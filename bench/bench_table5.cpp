@@ -1,0 +1,85 @@
+// Reproduces paper Table 5: average cycle counts for modular squaring and
+// modular multiplication across platforms. Literature rows are quoted;
+// the Cortex-M0+ F(2^233) row is measured by running the Thumb kernels on
+// the ISA simulator.
+#include <cstdio>
+
+#include "asmkernels/runner.h"
+#include "common/rng.h"
+#include "report.h"
+
+using namespace eccm0;
+using gf2::k233::Fe;
+
+int main() {
+  bench::banner(
+      "Table 5 - average cycles for modular squaring / multiplication");
+
+  asmkernels::KernelVm vm;
+  Rng rng(0x7AB1E5);
+  Fe a, b;
+  rng.fill(a);
+  rng.fill(b);
+  a[7] &= gf2::k233::kTopMask;
+  b[7] &= gf2::k233::kTopMask;
+
+  // Average over a few operands (cycle counts are data-independent for
+  // these straight-line kernels; the average documents that).
+  std::uint64_t sqr_sum = 0, mul_sum = 0;
+  constexpr int kReps = 8;
+  for (int i = 0; i < kReps; ++i) {
+    rng.fill(a);
+    rng.fill(b);
+    a[7] &= gf2::k233::kTopMask;
+    b[7] &= gf2::k233::kTopMask;
+    sqr_sum += vm.sqr(a).stats.cycles;
+    mul_sum += vm.mul(asmkernels::MulKernel::kFixedRegisters, a, b, true)
+                   .stats.cycles;
+  }
+  // K-163 instantiation of the same kernel generator.
+  asmkernels::KernelVm::Fe163 x163{}, y163{};
+  for (auto& w : x163) w = rng.next_word();
+  for (auto& w : y163) w = rng.next_word();
+  x163[5] &= 7;
+  y163[5] &= 7;
+  const auto mul163 =
+      vm.mul_k163(asmkernels::MulKernel::kFixedRegisters, x163, y163, true)
+          .stats.cycles;
+
+  bench::Table t({"Author", "Platform", "Word", "Sqr", "Mul", "Field",
+                  "Source"});
+  t.add_row({"S. Erdem", "ARM7TDMI", "32", "348", "4359", "F(2^228)",
+             "paper"});
+  t.add_row({"S. Erdem", "ARM7TDMI", "32", "389", "5398", "F(2^256)",
+             "paper"});
+  t.add_row({"Aranha et al.", "ATMega128L", "8", "570", "4508", "F(2^163)",
+             "paper"});
+  t.add_row({"Aranha et al.", "ATMega128L", "8", "956", "8314", "F(2^233)",
+             "paper"});
+  t.add_row({"Kargl et al.", "ATMega128L", "8", "663", "5490", "F(2^167)",
+             "paper"});
+  t.add_row({"Szczechowiak", "ATMega128L", "8", "1581", "13557",
+             "F(2^271)", "paper"});
+  t.add_row({"Gouvea", "MSP430X", "16", "199", "3585", "F(2^163)",
+             "paper"});
+  t.add_row({"Gouvea", "MSP430X", "16", "325", "8166", "F(2^283)",
+             "paper"});
+  t.add_row({"TinyPBC", "PXA271", "32", "187", "2025", "F(2^271)",
+             "paper"});
+  t.add_row({"This work (paper)", "Cortex-M0+", "32", "395", "3672",
+             "F(2^233)", "paper"});
+  t.add_row({"This repro (VM)", "Cortex-M0+", "32",
+             bench::fmt_u64(sqr_sum / kReps), bench::fmt_u64(mul_sum / kReps),
+             "F(2^233)", "this repro"});
+  t.add_row({"This repro (VM)", "Cortex-M0+", "32", "-",
+             bench::fmt_u64(mul163), "F(2^163)", "this repro"});
+  t.print();
+
+  std::printf(
+      "\nThe reproduced kernels implement the paper's algorithms without\n"
+      "its final hand-tuning (reduction is a separate pass, LUT\n"
+      "generation is unoptimised); the ~25%% cycle overhead is analysed\n"
+      "in EXPERIMENTS.md. The 32-bit-word advantage over the 8/16-bit\n"
+      "platforms (the table's point) reproduces cleanly.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Minimal fixed-width table printer shared by the reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace eccm0::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : widths_(headers.size(), 0) {
+    add_row(std::move(headers));
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::string line;
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        std::string cell = rows_[r][c];
+        cell.resize(widths_[c], ' ');
+        line += cell;
+        line += "  ";
+      }
+      std::printf("%s\n", line.c_str());
+      if (r == 0) {
+        std::string rule;
+        for (std::size_t c = 0; c < widths_.size(); ++c) {
+          rule += std::string(widths_[c], '-') + "  ";
+        }
+        std::printf("%s\n", rule.c_str());
+      }
+    }
+  }
+
+ private:
+  std::vector<std::string> widths_helper_;
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+inline std::string fmt_f(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline void banner(const char* title) {
+  std::printf("\n=== %s ===\n\n", title);
+}
+
+}  // namespace eccm0::bench

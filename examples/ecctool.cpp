@@ -1,0 +1,139 @@
+// ecctool — command-line frontend over the whole stack: key generation,
+// compressed-point serialization, ECDSA signatures and ECDH agreement on
+// sect233k1.
+//
+//   ecctool keygen <seed>
+//   ecctool sign   <priv-hex> <message...>
+//   ecctool verify <pub-hex> <r-hex> <s-hex> <message...>
+//   ecctool ecdh   <priv-hex> <peer-pub-hex>
+//   ecctool info
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "crypto/ecdsa.h"
+#include "ec/codec.h"
+
+using namespace eccm0;
+
+namespace {
+
+std::vector<std::uint8_t> hex_to_bytes(const std::string& h) {
+  auto nib = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw std::invalid_argument("bad hex digit");
+  };
+  if (h.size() % 2) throw std::invalid_argument("odd hex length");
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i < h.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(nib(h[i]) << 4 | nib(h[i + 1])));
+  }
+  return out;
+}
+
+std::string bytes_to_hex(std::span<const std::uint8_t> b) {
+  static const char* d = "0123456789abcdef";
+  std::string s;
+  for (auto x : b) {
+    s += d[x >> 4];
+    s += d[x & 0xF];
+  }
+  return s;
+}
+
+std::string join_args(int argc, char** argv, int from) {
+  std::string m;
+  for (int i = from; i < argc; ++i) {
+    if (i > from) m += " ";
+    m += argv[i];
+  }
+  return m;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ecctool keygen <seed>\n"
+               "       ecctool sign <priv-hex> <message...>\n"
+               "       ecctool verify <pub-hex> <r-hex> <s-hex> <message...>\n"
+               "       ecctool ecdh <priv-hex> <peer-pub-hex>\n"
+               "       ecctool info\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const crypto::Ecdsa ecdsa;
+  const crypto::Ecdh ecdh;
+  const auto& curve = ecdsa.curve();
+  ec::CurveOps ops(curve);
+
+  try {
+    if (cmd == "info") {
+      std::printf("curve     : %s (Koblitz, F(2^%u), a=0, b=1, h=%u)\n",
+                  curve.name.c_str(), curve.f().m(), curve.cofactor);
+      std::printf("order     : %s\n", curve.order.to_hex().c_str());
+      std::printf("generator : %s\n",
+                  bytes_to_hex(ec::encode_point(
+                                   curve,
+                                   ec::AffinePoint::make(curve.gx, curve.gy),
+                                   true))
+                      .c_str());
+      return 0;
+    }
+    if (cmd == "keygen") {
+      if (argc < 3) return usage();
+      const std::string seed_str = argv[2];
+      std::vector<std::uint8_t> seed(seed_str.begin(), seed_str.end());
+      crypto::HmacDrbg rng(seed);
+      const crypto::KeyPair kp = ecdsa.generate(rng);
+      std::printf("private: %s\n", kp.d.to_hex().c_str());
+      std::printf("public : %s\n",
+                  bytes_to_hex(ec::encode_point(curve, kp.q, true)).c_str());
+      return 0;
+    }
+    if (cmd == "sign") {
+      if (argc < 4) return usage();
+      const mpint::UInt d = mpint::UInt::from_hex(argv[2]);
+      const std::string msg = join_args(argc, argv, 3);
+      const crypto::Signature sig = ecdsa.sign(d, msg);
+      std::printf("r: %s\n", sig.r.to_hex().c_str());
+      std::printf("s: %s\n", sig.s.to_hex().c_str());
+      return 0;
+    }
+    if (cmd == "verify") {
+      if (argc < 6) return usage();
+      const ec::AffinePoint q =
+          ec::decode_point(ops, hex_to_bytes(argv[2]));
+      const crypto::Signature sig{mpint::UInt::from_hex(argv[3]),
+                                  mpint::UInt::from_hex(argv[4])};
+      const std::string msg = join_args(argc, argv, 5);
+      const bool ok = ecdsa.verify(q, msg, sig);
+      std::printf("%s\n", ok ? "VALID" : "INVALID");
+      return ok ? 0 : 1;
+    }
+    if (cmd == "ecdh") {
+      if (argc != 4) return usage();
+      const mpint::UInt d = mpint::UInt::from_hex(argv[2]);
+      const ec::AffinePoint peer =
+          ec::decode_point(ops, hex_to_bytes(argv[3]));
+      if (!ecdh.valid_public_key(peer)) {
+        std::fprintf(stderr, "peer public key failed validation\n");
+        return 1;
+      }
+      const auto secret = ecdh.shared_secret(d, peer);
+      std::printf("secret: %s\n", crypto::to_hex(secret).c_str());
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

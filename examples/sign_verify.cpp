@@ -1,0 +1,38 @@
+// ECDSA on sect233k1: sign a sensor reading, verify it, and demonstrate
+// that tampering is caught — the authentication half of a WSN security
+// stack.
+#include <cstdio>
+
+#include "crypto/ecdsa.h"
+
+using namespace eccm0;
+
+int main() {
+  const crypto::Ecdsa ecdsa;  // sect233k1, deterministic nonces
+
+  std::vector<std::uint8_t> seed{0xDE, 0xAD, 0xBE, 0xEF};
+  crypto::HmacDrbg rng(seed);
+  const crypto::KeyPair node = ecdsa.generate(rng);
+  std::printf("node public key x = %s...\n",
+              ecdsa.curve().f().to_hex(node.q.x).substr(0, 24).c_str());
+
+  const std::string reading = "node=17 t=2026-07-05T12:00Z temp=21.4C";
+  const crypto::Signature sig = ecdsa.sign(node.d, reading);
+  std::printf("reading  : %s\n", reading.c_str());
+  std::printf("sig.r    = %s...\n", sig.r.to_hex().substr(0, 24).c_str());
+  std::printf("sig.s    = %s...\n", sig.s.to_hex().substr(0, 24).c_str());
+
+  const bool ok = ecdsa.verify(node.q, reading, sig);
+  std::printf("verify   : %s\n", ok ? "ACCEPT" : "reject");
+
+  const std::string tampered = "node=17 t=2026-07-05T12:00Z temp=99.9C";
+  const bool tampered_ok = ecdsa.verify(node.q, tampered, sig);
+  std::printf("tampered : %s\n", tampered_ok ? "ACCEPT (BUG!)" : "reject");
+
+  // Determinism: re-signing the same message gives the same signature —
+  // no on-node entropy source needed (RFC 6979 rationale).
+  const crypto::Signature sig2 = ecdsa.sign(node.d, reading);
+  std::printf("deterministic: %s\n",
+              (sig.r == sig2.r && sig.s == sig2.s) ? "yes" : "no");
+  return ok && !tampered_ok ? 0 : 1;
+}

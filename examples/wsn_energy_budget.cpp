@@ -1,0 +1,69 @@
+// Wireless-sensor-node energy budget — the scenario from the paper's
+// introduction: "a node's lifetime is directly influenced by the amount
+// of energy that it uses to perform computations".
+//
+// A node runs on a CR2032 coin cell (~225 mAh @ 3 V ~= 2430 J) and
+// performs one ECDH key agreement per reporting interval. How many
+// agreements does each implementation buy, and what fraction of the
+// battery does a year of hourly rekeying cost?
+#include <cstdio>
+
+#include "common/rng.h"
+#include "ecp/costing.h"
+#include "relic_like/baseline.h"
+
+using namespace eccm0;
+using mpint::UInt;
+
+namespace {
+
+constexpr double kBatteryJ = 2430.0;  // CR2032: 225 mAh x 3 V
+constexpr double kYearHours = 24 * 365.0;
+
+void report(const char* name, double uj_per_agreement) {
+  const double agreements = kBatteryJ / (uj_per_agreement * 1e-6);
+  const double year_fraction =
+      kYearHours * uj_per_agreement * 1e-6 / kBatteryJ;
+  std::printf("%-28s %10.2f uJ  %12.0f agreements/battery  %8.5f%% of "
+              "battery per year of hourly rekeying\n",
+              name, uj_per_agreement, agreements, 100.0 * year_fraction);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("WSN node energy budget (CR2032, %.0f J usable)\n\n",
+              kBatteryJ);
+  std::printf("One ECDH agreement = one kG (ephemeral key) + one kP "
+              "(shared secret):\n\n");
+
+  Rng rng(0x5E2);
+  const auto& k233 = ec::BinaryCurve::sect233k1();
+  const auto g = ec::AffinePoint::make(k233.gx, k233.gy);
+  const UInt k = UInt::random_below(rng, k233.order);
+
+  const auto& ours = relic_like::proposed_asm_costs();
+  const auto our_kg = ec::cost_point_mul(k233, g, k, 6, true, ours);
+  const auto our_kp = ec::cost_point_mul(k233, g, k, 4, false, ours);
+  report("this work (K-233)",
+         our_kg.energy_uj(ours) + our_kp.energy_uj(ours));
+
+  const relic_like::RelicBaseline relic;
+  const auto& rt = relic_like::relic_like_costs();
+  report("RELIC-like (K-233)",
+         relic.kg(k).energy_uj(rt) + relic.kp(g, k).energy_uj(rt));
+
+  const auto& p224 = ecp::PrimeCurve::secp224r1();
+  Rng prng(0x5E3);
+  const UInt pk = UInt::random_below(prng, p224.order);
+  const auto prun = ecp::cost_point_mul_p(p224, pk, 4);
+  const auto pcosts = ecp::m0plus_prime_costs(p224.limbs());
+  report("prime wNAF model (P-224)", 2.0 * prun.energy_uj(pcosts));
+
+  std::printf(
+      "\nFor scale, the paper's strongest literature comparator (Micro ECC\n"
+      "secp192r1, 134.9 uJ per point multiplication) would spend %.1f uJ\n"
+      "per agreement — the energy argument for the Koblitz/M0+ design.\n",
+      2 * 134.9);
+  return 0;
+}

@@ -1,0 +1,675 @@
+#include "armvm/asm.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "armvm/codec.h"
+#include "armvm/isa.h"
+
+namespace eccm0::armvm {
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> tokenize_operands(std::string_view s) {
+  // Split on commas that are not inside brackets or braces.
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string cur;
+  for (char c : s) {
+    if (c == '[' || c == '{') ++depth;
+    if (c == ']' || c == '}') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  for (auto& t : out) {
+    const auto b = t.find_first_not_of(" \t");
+    const auto e = t.find_last_not_of(" \t");
+    t = b == std::string::npos ? "" : t.substr(b, e - b + 1);
+  }
+  std::erase(out, "");
+  return out;
+}
+
+std::string lower(std::string_view s) {
+  std::string r(s);
+  std::transform(r.begin(), r.end(), r.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return r;
+}
+
+std::optional<unsigned> parse_reg(std::string_view t) {
+  const std::string s = lower(t);
+  if (s == "sp") return kSP;
+  if (s == "lr") return kLR;
+  if (s == "pc") return kPC;
+  if (s.size() >= 2 && s[0] == 'r') {
+    unsigned v = 0;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(s[i]))) return std::nullopt;
+      v = v * 10 + static_cast<unsigned>(s[i] - '0');
+    }
+    if (v < 16) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view t) {
+  std::string s(t);
+  if (!s.empty() && s[0] == '#') s.erase(0, 1);
+  if (s.empty()) return std::nullopt;
+  bool neg = false;
+  if (s[0] == '-') {
+    neg = true;
+    s.erase(0, 1);
+  }
+  if (s.empty()) return std::nullopt;
+  std::int64_t v = 0;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    for (std::size_t i = 2; i < s.size(); ++i) {
+      const char c = static_cast<char>(std::tolower(s[i]));
+      int d;
+      if (c >= '0' && c <= '9') {
+        d = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        d = c - 'a' + 10;
+      } else {
+        return std::nullopt;
+      }
+      v = v * 16 + d;
+    }
+  } else {
+    for (char c : s) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+      v = v * 10 + (c - '0');
+    }
+  }
+  return neg ? -v : v;
+}
+
+std::uint16_t parse_reg_list(std::string_view t, bool allow_lr, bool allow_pc) {
+  std::string s(t);
+  if (s.size() < 2 || s.front() != '{' || s.back() != '}') {
+    throw std::invalid_argument("expected register list {..}");
+  }
+  s = s.substr(1, s.size() - 2);
+  std::uint16_t mask = 0;
+  for (const std::string& part : tokenize_operands(s)) {
+    const auto dash = part.find('-');
+    if (dash != std::string::npos) {
+      const auto lo = parse_reg(part.substr(0, dash));
+      const auto hi = parse_reg(lower(part).substr(dash + 1));
+      if (!lo || !hi || *lo > *hi || *hi > 7) {
+        throw std::invalid_argument("bad register range: " + part);
+      }
+      for (unsigned r = *lo; r <= *hi; ++r) mask |= 1u << r;
+    } else {
+      const auto r = parse_reg(part);
+      if (!r) throw std::invalid_argument("bad register: " + part);
+      if (*r < 8) {
+        mask |= 1u << *r;
+      } else if (*r == kLR && allow_lr) {
+        mask |= 0x100;
+      } else if (*r == kPC && allow_pc) {
+        mask |= 0x100;
+      } else {
+        throw std::invalid_argument("register not allowed in list: " + part);
+      }
+    }
+  }
+  return mask;
+}
+
+/// One source statement after pass 1: either a fully-formed instruction, a
+/// label-dependent branch/adr, a literal-pool load, or raw data.
+struct Item {
+  enum class Kind { kInstr, kBranch, kLdrLit, kWordData } kind = Kind::kInstr;
+  Instr ins;               // kInstr: complete; kBranch: op/cond set
+  std::string label;       // kBranch target
+  std::uint32_t literal = 0;  // kLdrLit constant / kWordData value
+  std::uint32_t addr = 0;     // byte address of this item
+  unsigned size_hw = 1;       // halfwords
+  int line = 0;
+};
+
+const std::map<std::string, Cond>& cond_table() {
+  static const std::map<std::string, Cond> t = {
+      {"eq", Cond::kEq}, {"ne", Cond::kNe}, {"cs", Cond::kCs},
+      {"hs", Cond::kCs}, {"cc", Cond::kCc}, {"lo", Cond::kCc},
+      {"mi", Cond::kMi}, {"pl", Cond::kPl}, {"vs", Cond::kVs},
+      {"vc", Cond::kVc}, {"hi", Cond::kHi}, {"ls", Cond::kLs},
+      {"ge", Cond::kGe}, {"lt", Cond::kLt}, {"gt", Cond::kGt},
+      {"le", Cond::kLe}};
+  return t;
+}
+
+class Assembler {
+ public:
+  explicit Assembler(std::string_view source) : source_(source) {}
+
+  Program run() {
+    pass1();
+    layout();
+    return pass2();
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw std::invalid_argument("asm line " + std::to_string(line_) + ": " +
+                                msg);
+  }
+
+  unsigned need_reg(const std::string& t) {
+    const auto r = parse_reg(t);
+    if (!r) fail("expected register, got '" + t + "'");
+    return *r;
+  }
+
+  std::int32_t need_imm(const std::string& t) {
+    const auto v = parse_int(t);
+    if (!v) fail("expected immediate, got '" + t + "'");
+    return static_cast<std::int32_t>(*v);
+  }
+
+  /// mem operand "[rn]", "[rn, #imm]" or "[rn, rm]".
+  struct MemRef {
+    unsigned rn;
+    bool reg_offset;
+    unsigned rm = 0;
+    std::int32_t imm = 0;
+  };
+  MemRef parse_mem(const std::string& t) {
+    if (t.size() < 2 || t.front() != '[' || t.back() != ']') {
+      fail("expected memory operand, got '" + t + "'");
+    }
+    const auto parts = tokenize_operands(t.substr(1, t.size() - 2));
+    if (parts.empty() || parts.size() > 2) fail("bad memory operand");
+    MemRef m{};
+    m.rn = need_reg(parts[0]);
+    if (parts.size() == 2) {
+      if (const auto r = parse_reg(parts[1])) {
+        m.reg_offset = true;
+        m.rm = *r;
+      } else {
+        m.imm = need_imm(parts[1]);
+      }
+    }
+    return m;
+  }
+
+  void emit(const Instr& ins, unsigned hw = 1) {
+    Item it;
+    it.ins = ins;
+    it.size_hw = hw;
+    it.line = line_;
+    items_.push_back(it);
+  }
+
+  void emit_branch(Op op, Cond cond, const std::string& label) {
+    Item it;
+    it.kind = Item::Kind::kBranch;
+    it.ins.op = op;
+    it.ins.cond = cond;
+    it.label = label;
+    it.size_hw = op == Op::kBl ? 2 : 1;
+    it.line = line_;
+    items_.push_back(it);
+  }
+
+  void parse_line(std::string_view raw) {
+    std::string s(raw);
+    if (const auto sc = s.find_first_of(";@"); sc != std::string::npos) {
+      // '@' and ';' start comments; "//" too.
+      s = s.substr(0, sc);
+    }
+    if (const auto sl = s.find("//"); sl != std::string::npos) {
+      s = s.substr(0, sl);
+    }
+    // Labels (possibly several on one line).
+    for (;;) {
+      const auto b = s.find_first_not_of(" \t");
+      if (b == std::string::npos) return;
+      const auto colon = s.find(':');
+      const auto word_end = s.find_first_of(" \t", b);
+      if (colon != std::string::npos &&
+          (word_end == std::string::npos || colon < word_end)) {
+        const std::string name = s.substr(b, colon - b);
+        if (name.empty()) fail("empty label");
+        if (labels_.count(name)) fail("duplicate label " + name);
+        labels_[name] = items_.size();  // resolved to address in layout()
+        label_at_item_[items_.size()].push_back(name);
+        s = s.substr(colon + 1);
+        continue;
+      }
+      break;
+    }
+    const auto b = s.find_first_not_of(" \t");
+    if (b == std::string::npos) return;
+    const auto e = s.find_first_of(" \t", b);
+    const std::string mnem = lower(s.substr(b, e == std::string::npos
+                                                   ? std::string::npos
+                                                   : e - b));
+    const std::string rest = e == std::string::npos ? "" : s.substr(e);
+    const auto ops = tokenize_operands(rest);
+    handle(mnem, ops);
+  }
+
+  void handle(const std::string& mnem, const std::vector<std::string>& ops) {
+    Instr i;
+    auto req = [&](std::size_t n) {
+      if (ops.size() != n) {
+        fail(mnem + ": expected " + std::to_string(n) + " operands");
+      }
+    };
+    // Directives.
+    if (mnem == ".word") {
+      req(1);
+      Item it;
+      it.kind = Item::Kind::kWordData;
+      it.literal = static_cast<std::uint32_t>(need_imm(ops[0]));
+      it.size_hw = 2;
+      it.line = line_;
+      items_.push_back(it);
+      return;
+    }
+    if (mnem == ".align") return;  // items are halfword-aligned already
+
+    if (mnem == "nop") { emit({}); return; }
+    if (mnem == "bkpt") {
+      i.op = Op::kBkpt;
+      i.imm = ops.empty() ? 0 : need_imm(ops[0]);
+      emit(i);
+      return;
+    }
+    if (mnem == "bx" || mnem == "blx") {
+      req(1);
+      i.op = mnem == "bx" ? Op::kBx : Op::kBlx;
+      i.rm = static_cast<std::uint8_t>(need_reg(ops[0]));
+      emit(i);
+      return;
+    }
+    if (mnem == "bl") {
+      req(1);
+      emit_branch(Op::kBl, Cond::kEq, ops[0]);
+      return;
+    }
+    if (mnem == "b") {
+      req(1);
+      emit_branch(Op::kB, Cond::kEq, ops[0]);
+      return;
+    }
+    if (mnem.size() == 3 && mnem[0] == 'b' && cond_table().count(mnem.substr(1))) {
+      req(1);
+      emit_branch(Op::kBCond, cond_table().at(mnem.substr(1)), ops[0]);
+      return;
+    }
+    if (mnem == "push" || mnem == "pop") {
+      req(1);
+      i.op = mnem == "push" ? Op::kPush : Op::kPop;
+      i.reg_list = parse_reg_list(ops[0], mnem == "push", mnem == "pop");
+      emit(i);
+      return;
+    }
+    if (mnem == "ldmia" || mnem == "stmia" || mnem == "ldm" || mnem == "stm") {
+      req(2);
+      std::string base = ops[0];
+      if (!base.empty() && base.back() == '!') base.pop_back();
+      i.op = mnem[0] == 'l' ? Op::kLdm : Op::kStm;
+      i.rn = static_cast<std::uint8_t>(need_reg(base));
+      i.reg_list = parse_reg_list(ops[1], false, false);
+      emit(i);
+      return;
+    }
+    if (mnem == "ldrsb" || mnem == "ldrsh") {
+      req(2);
+      i.rd = static_cast<std::uint8_t>(need_reg(ops[0]));
+      const MemRef m2 = parse_mem(ops[1]);
+      if (!m2.reg_offset) fail(mnem + " supports register offsets only");
+      i.op = mnem == "ldrsb" ? Op::kLdrsbReg : Op::kLdrshReg;
+      i.rn = static_cast<std::uint8_t>(m2.rn);
+      i.rm = static_cast<std::uint8_t>(m2.rm);
+      emit(i);
+      return;
+    }
+    if (mnem == "ldr" || mnem == "str" || mnem == "ldrb" || mnem == "strb" ||
+        mnem == "ldrh" || mnem == "strh") {
+      req(2);
+      i.rd = static_cast<std::uint8_t>(need_reg(ops[0]));
+      if (mnem == "ldr" && !ops[1].empty() && ops[1][0] == '=') {
+        // Literal-pool load.
+        const auto v = parse_int(ops[1].substr(1));
+        if (!v) fail("bad literal " + ops[1]);
+        Item it;
+        it.kind = Item::Kind::kLdrLit;
+        it.ins = i;
+        it.literal = static_cast<std::uint32_t>(*v);
+        it.line = line_;
+        items_.push_back(it);
+        return;
+      }
+      const MemRef m = parse_mem(ops[1]);
+      const bool load = mnem[0] == 'l';
+      if (mnem == "ldr" || mnem == "str") {
+        if (m.reg_offset) {
+          i.op = load ? Op::kLdrReg : Op::kStrReg;
+          i.rn = static_cast<std::uint8_t>(m.rn);
+          i.rm = static_cast<std::uint8_t>(m.rm);
+        } else if (m.rn == kSP) {
+          i.op = load ? Op::kLdrSp : Op::kStrSp;
+          i.imm = m.imm;
+        } else if (m.rn == kPC) {
+          if (!load) fail("str to pc-relative");
+          i.op = Op::kLdrLit;
+          i.imm = m.imm;
+        } else {
+          i.op = load ? Op::kLdrImm : Op::kStrImm;
+          i.rn = static_cast<std::uint8_t>(m.rn);
+          i.imm = m.imm;
+        }
+      } else if (mnem == "ldrb" || mnem == "strb") {
+        if (m.reg_offset) {
+          i.op = load ? Op::kLdrbReg : Op::kStrbReg;
+          i.rn = static_cast<std::uint8_t>(m.rn);
+          i.rm = static_cast<std::uint8_t>(m.rm);
+        } else {
+          i.op = load ? Op::kLdrbImm : Op::kStrbImm;
+          i.rn = static_cast<std::uint8_t>(m.rn);
+          i.imm = m.imm;
+        }
+      } else {
+        if (m.reg_offset) {
+          i.op = load ? Op::kLdrhReg : Op::kStrhReg;
+          i.rn = static_cast<std::uint8_t>(m.rn);
+          i.rm = static_cast<std::uint8_t>(m.rm);
+        } else {
+          i.op = load ? Op::kLdrhImm : Op::kStrhImm;
+          i.rn = static_cast<std::uint8_t>(m.rn);
+          i.imm = m.imm;
+        }
+      }
+      emit(i);
+      return;
+    }
+    if (mnem == "adr") {
+      req(2);
+      // adr rd, label — resolved like a branch.
+      Item it;
+      it.kind = Item::Kind::kBranch;
+      it.ins.op = Op::kAdr;
+      it.ins.rd = static_cast<std::uint8_t>(need_reg(ops[0]));
+      it.label = ops[1];
+      it.line = line_;
+      items_.push_back(it);
+      return;
+    }
+
+    // Data-processing mnemonics.
+    auto is_imm = [](const std::string& t) {
+      return !t.empty() && (t[0] == '#' || t[0] == '-' ||
+                            std::isdigit(static_cast<unsigned char>(t[0])));
+    };
+    if (mnem == "movs" || mnem == "mov") {
+      req(2);
+      i.rd = static_cast<std::uint8_t>(need_reg(ops[0]));
+      if (is_imm(ops[1])) {
+        i.op = Op::kMovImm;
+        i.imm = need_imm(ops[1]);
+      } else {
+        const unsigned rm = need_reg(ops[1]);
+        if (mnem == "movs" && i.rd < 8 && rm < 8) {
+          i.op = Op::kLslImm;  // MOVS Rd, Rm == LSLS Rd, Rm, #0
+          i.rm = static_cast<std::uint8_t>(rm);
+          i.imm = 0;
+        } else {
+          i.op = Op::kMovHi;
+          i.rm = static_cast<std::uint8_t>(rm);
+        }
+      }
+      emit(i);
+      return;
+    }
+    if (mnem == "adds" || mnem == "subs" || mnem == "add" || mnem == "sub") {
+      const bool add = mnem[0] == 'a';
+      if (ops.size() == 3) {
+        i.rd = static_cast<std::uint8_t>(need_reg(ops[0]));
+        if (lower(ops[1]) == "sp") {
+          if (!add) fail("sub rd, sp, # unsupported");
+          i.op = Op::kAddRdSp;
+          i.imm = need_imm(ops[2]);
+        } else {
+          i.rn = static_cast<std::uint8_t>(need_reg(ops[1]));
+          if (is_imm(ops[2])) {
+            i.op = add ? Op::kAddImm3 : Op::kSubImm3;
+            i.imm = need_imm(ops[2]);
+          } else {
+            i.op = add ? Op::kAddReg : Op::kSubReg;
+            i.rm = static_cast<std::uint8_t>(need_reg(ops[2]));
+          }
+        }
+        emit(i);
+        return;
+      }
+      req(2);
+      if (lower(ops[0]) == "sp") {
+        i.op = add ? Op::kAddSpImm7 : Op::kSubSpImm7;
+        i.imm = need_imm(ops[1]);
+        emit(i);
+        return;
+      }
+      i.rd = static_cast<std::uint8_t>(need_reg(ops[0]));
+      if (is_imm(ops[1])) {
+        i.op = add ? Op::kAddImm8 : Op::kSubImm8;
+        i.imm = need_imm(ops[1]);
+      } else if (mnem == "add") {
+        i.op = Op::kAddHi;
+        i.rm = static_cast<std::uint8_t>(need_reg(ops[1]));
+      } else {
+        // adds rd, rm -> adds rd, rd, rm
+        i.op = add ? Op::kAddReg : Op::kSubReg;
+        i.rn = i.rd;
+        i.rm = static_cast<std::uint8_t>(need_reg(ops[1]));
+      }
+      emit(i);
+      return;
+    }
+    if (mnem == "cmp" || mnem == "cmn") {
+      req(2);
+      i.rd = static_cast<std::uint8_t>(need_reg(ops[0]));
+      if (is_imm(ops[1])) {
+        if (mnem == "cmn") fail("cmn immediate unsupported");
+        i.op = Op::kCmpImm;
+        i.imm = need_imm(ops[1]);
+      } else {
+        const unsigned rm = need_reg(ops[1]);
+        i.rm = static_cast<std::uint8_t>(rm);
+        if (mnem == "cmn") {
+          i.op = Op::kCmn;
+        } else {
+          i.op = (i.rd < 8 && rm < 8) ? Op::kCmpReg : Op::kCmpHi;
+        }
+      }
+      emit(i);
+      return;
+    }
+    if (mnem == "lsls" || mnem == "lsrs" || mnem == "asrs" || mnem == "rors") {
+      i.rd = static_cast<std::uint8_t>(need_reg(ops[0]));
+      if (ops.size() == 3) {
+        if (mnem == "rors") fail("rors immediate does not exist in Thumb-1");
+        i.rm = static_cast<std::uint8_t>(need_reg(ops[1]));
+        i.imm = need_imm(ops[2]);
+        i.op = mnem == "lsls" ? Op::kLslImm
+               : mnem == "lsrs" ? Op::kLsrImm : Op::kAsrImm;
+      } else {
+        req(2);
+        i.rm = static_cast<std::uint8_t>(need_reg(ops[1]));
+        i.op = mnem == "lsls"   ? Op::kLslReg
+               : mnem == "lsrs" ? Op::kLsrReg
+               : mnem == "asrs" ? Op::kAsrReg
+                                : Op::kRorReg;
+      }
+      emit(i);
+      return;
+    }
+    static const std::map<std::string, Op> two_reg = {
+        {"ands", Op::kAnd},   {"eors", Op::kEor},  {"adcs", Op::kAdc},
+        {"sbcs", Op::kSbc},   {"tst", Op::kTst},   {"orrs", Op::kOrr},
+        {"muls", Op::kMul},   {"bics", Op::kBic},  {"mvns", Op::kMvn},
+        {"rsbs", Op::kRsb},   {"negs", Op::kRsb},  {"sxth", Op::kSxth},
+        {"sxtb", Op::kSxtb},  {"uxth", Op::kUxth}, {"uxtb", Op::kUxtb},
+        {"rev", Op::kRev},    {"rev16", Op::kRev16},
+        {"revsh", Op::kRevsh}};
+    if (const auto it = two_reg.find(mnem); it != two_reg.end()) {
+      if (mnem == "muls" && ops.size() == 3) {
+        // muls rd, rm, rd form
+        i.rd = static_cast<std::uint8_t>(need_reg(ops[0]));
+        i.rm = static_cast<std::uint8_t>(need_reg(ops[1]));
+        if (need_reg(ops[2]) != i.rd) fail("muls rd, rm, rd required");
+      } else if ((mnem == "rsbs" || mnem == "negs") && ops.size() == 3) {
+        i.rd = static_cast<std::uint8_t>(need_reg(ops[0]));
+        i.rm = static_cast<std::uint8_t>(need_reg(ops[1]));
+        if (need_imm(ops[2]) != 0) fail("rsbs only supports #0");
+      } else {
+        req(2);
+        i.rd = static_cast<std::uint8_t>(need_reg(ops[0]));
+        i.rm = static_cast<std::uint8_t>(need_reg(ops[1]));
+      }
+      i.op = it->second;
+      emit(i);
+      return;
+    }
+    fail("unknown mnemonic '" + mnem + "'");
+  }
+
+  void pass1() {
+    std::istringstream in{std::string(source_)};
+    std::string line;
+    line_ = 0;
+    while (std::getline(in, line)) {
+      ++line_;
+      parse_line(line);
+    }
+  }
+
+  void layout() {
+    // Assign addresses; then place the literal pool (word-aligned) at the
+    // end, deduplicating constants.
+    std::uint32_t addr = 0;
+    for (Item& it : items_) {
+      it.addr = addr;
+      addr += 2 * it.size_hw;
+    }
+    pool_base_ = (addr + 3u) & ~3u;
+    // Resolve label item-indices to addresses.
+    for (auto& [name, idx] : labels_) {
+      label_addr_[name] =
+          idx < items_.size() ? items_[idx].addr : pool_base_;
+    }
+    // Collect literals.
+    for (const Item& it : items_) {
+      if (it.kind == Item::Kind::kLdrLit &&
+          std::find(pool_.begin(), pool_.end(), it.literal) == pool_.end()) {
+        pool_.push_back(it.literal);
+      }
+    }
+  }
+
+  Program pass2() {
+    Program p;
+    for (const Item& it : items_) {
+      line_ = it.line;
+      while (p.code.size() < it.addr / 2) p.code.push_back(0xBF00);  // pad
+      switch (it.kind) {
+        case Item::Kind::kInstr: {
+          const auto hw = encode(it.ins);
+          p.code.insert(p.code.end(), hw.begin(), hw.end());
+          break;
+        }
+        case Item::Kind::kWordData: {
+          if (it.addr % 4 != 0) fail(".word not word-aligned");
+          p.code.push_back(static_cast<std::uint16_t>(it.literal));
+          p.code.push_back(static_cast<std::uint16_t>(it.literal >> 16));
+          break;
+        }
+        case Item::Kind::kBranch: {
+          const auto target = label_addr_.find(it.label);
+          if (target == label_addr_.end()) {
+            fail("undefined label '" + it.label + "'");
+          }
+          Instr ins = it.ins;
+          if (ins.op == Op::kAdr) {
+            const std::uint32_t base = (it.addr + 4) & ~3u;
+            const std::int64_t off =
+                static_cast<std::int64_t>(target->second) - base;
+            if (off < 0 || off % 4 != 0) fail("adr target not reachable");
+            ins.imm = static_cast<std::int32_t>(off);
+          } else {
+            ins.imm = static_cast<std::int32_t>(target->second) -
+                      static_cast<std::int32_t>(it.addr + 4);
+          }
+          const auto hw = encode(ins);
+          p.code.insert(p.code.end(), hw.begin(), hw.end());
+          break;
+        }
+        case Item::Kind::kLdrLit: {
+          const std::size_t pi = static_cast<std::size_t>(
+              std::find(pool_.begin(), pool_.end(), it.literal) -
+              pool_.begin());
+          const std::uint32_t lit_addr =
+              pool_base_ + static_cast<std::uint32_t>(4 * pi);
+          const std::uint32_t base = (it.addr + 4) & ~3u;
+          if (lit_addr < base || lit_addr - base > 1020) {
+            fail("literal pool out of range");
+          }
+          Instr ins = it.ins;
+          ins.op = Op::kLdrLit;
+          ins.imm = static_cast<std::int32_t>(lit_addr - base);
+          const auto hw = encode(ins);
+          p.code.insert(p.code.end(), hw.begin(), hw.end());
+          break;
+        }
+      }
+    }
+    if (!pool_.empty()) {
+      while (p.code.size() * 2 < pool_base_) p.code.push_back(0xBF00);
+    }
+    for (std::uint32_t v : pool_) {
+      p.code.push_back(static_cast<std::uint16_t>(v));
+      p.code.push_back(static_cast<std::uint16_t>(v >> 16));
+    }
+    for (const auto& [name, addr] : label_addr_) p.symbols[name] = addr;
+    return p;
+  }
+
+  std::string_view source_;
+  int line_ = 0;
+  std::vector<Item> items_;
+  std::map<std::string, std::size_t> labels_;  // name -> item index
+  std::map<std::size_t, std::vector<std::string>> label_at_item_;
+  std::map<std::string, std::uint32_t> label_addr_;
+  std::vector<std::uint32_t> pool_;
+  std::uint32_t pool_base_ = 0;
+};
+
+}  // namespace
+
+std::uint32_t Program::entry(const std::string& label) const {
+  const auto it = symbols.find(label);
+  if (it == symbols.end()) {
+    throw std::out_of_range("Program: no symbol '" + label + "'");
+  }
+  return it->second;
+}
+
+Program assemble(std::string_view source) { return Assembler(source).run(); }
+
+}  // namespace eccm0::armvm

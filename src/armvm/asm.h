@@ -1,0 +1,29 @@
+// Two-pass Thumb-1 text assembler.
+//
+// Accepts a GNU-as-flavoured subset: labels, the instruction forms the
+// codec supports, `ldr rN, =constant` with an automatic end-of-program
+// literal pool, `.word` data, and register lists with ranges. Enough to
+// write the paper's field-arithmetic kernels as readable source.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eccm0::armvm {
+
+struct Program {
+  std::vector<std::uint16_t> code;
+  /// Label name -> byte address within the image.
+  std::map<std::string, std::uint32_t> symbols;
+
+  std::uint32_t entry(const std::string& label) const;
+};
+
+/// Assemble source text. Throws std::invalid_argument with a line-tagged
+/// message on syntax errors, unknown mnemonics, or out-of-range operands.
+Program assemble(std::string_view source);
+
+}  // namespace eccm0::armvm

@@ -1,0 +1,515 @@
+#include "armvm/codec.h"
+
+#include <stdexcept>
+
+namespace eccm0::armvm {
+namespace {
+
+void require(bool ok, const char* msg) {
+  if (!ok) throw std::invalid_argument(msg);
+}
+
+void lo_reg(unsigned r) { require(r < 8, "encode: hi register in lo form"); }
+
+std::uint16_t dp(unsigned op4, unsigned rm, unsigned rd) {
+  return static_cast<std::uint16_t>(0x4000u | (op4 << 6) | (rm << 3) | rd);
+}
+
+}  // namespace
+
+std::vector<std::uint16_t> encode(const Instr& i) {
+  auto one = [](std::uint16_t h) { return std::vector<std::uint16_t>{h}; };
+  switch (i.op) {
+    case Op::kLslImm:
+    case Op::kLsrImm:
+    case Op::kAsrImm: {
+      lo_reg(i.rd);
+      lo_reg(i.rm);
+      require(i.imm >= 0 && i.imm < 32, "shift imm5 out of range");
+      const unsigned op2 = i.op == Op::kLslImm ? 0 : i.op == Op::kLsrImm ? 1 : 2;
+      return one(static_cast<std::uint16_t>(
+          (op2 << 11) | (static_cast<unsigned>(i.imm) << 6) | (i.rm << 3) |
+          i.rd));
+    }
+    case Op::kAddReg:
+    case Op::kSubReg: {
+      lo_reg(i.rd);
+      lo_reg(i.rn);
+      lo_reg(i.rm);
+      const unsigned base = i.op == Op::kAddReg ? 0x1800u : 0x1A00u;
+      return one(static_cast<std::uint16_t>(base | (i.rm << 6) | (i.rn << 3) |
+                                            i.rd));
+    }
+    case Op::kAddImm3:
+    case Op::kSubImm3: {
+      lo_reg(i.rd);
+      lo_reg(i.rn);
+      require(i.imm >= 0 && i.imm < 8, "imm3 out of range");
+      const unsigned base = i.op == Op::kAddImm3 ? 0x1C00u : 0x1E00u;
+      return one(static_cast<std::uint16_t>(
+          base | (static_cast<unsigned>(i.imm) << 6) | (i.rn << 3) | i.rd));
+    }
+    case Op::kMovImm:
+    case Op::kCmpImm:
+    case Op::kAddImm8:
+    case Op::kSubImm8: {
+      lo_reg(i.rd);
+      require(i.imm >= 0 && i.imm < 256, "imm8 out of range");
+      const unsigned op2 = i.op == Op::kMovImm   ? 0
+                           : i.op == Op::kCmpImm ? 1
+                           : i.op == Op::kAddImm8 ? 2
+                                                  : 3;
+      return one(static_cast<std::uint16_t>(
+          0x2000u | (op2 << 11) | (i.rd << 8) | static_cast<unsigned>(i.imm)));
+    }
+    case Op::kAnd: lo_reg(i.rd); lo_reg(i.rm); return one(dp(0x0, i.rm, i.rd));
+    case Op::kEor: lo_reg(i.rd); lo_reg(i.rm); return one(dp(0x1, i.rm, i.rd));
+    case Op::kLslReg: lo_reg(i.rd); lo_reg(i.rm); return one(dp(0x2, i.rm, i.rd));
+    case Op::kLsrReg: lo_reg(i.rd); lo_reg(i.rm); return one(dp(0x3, i.rm, i.rd));
+    case Op::kAsrReg: lo_reg(i.rd); lo_reg(i.rm); return one(dp(0x4, i.rm, i.rd));
+    case Op::kAdc: lo_reg(i.rd); lo_reg(i.rm); return one(dp(0x5, i.rm, i.rd));
+    case Op::kSbc: lo_reg(i.rd); lo_reg(i.rm); return one(dp(0x6, i.rm, i.rd));
+    case Op::kRorReg: lo_reg(i.rd); lo_reg(i.rm); return one(dp(0x7, i.rm, i.rd));
+    case Op::kTst: lo_reg(i.rd); lo_reg(i.rm); return one(dp(0x8, i.rm, i.rd));
+    case Op::kRsb: lo_reg(i.rd); lo_reg(i.rm); return one(dp(0x9, i.rm, i.rd));
+    case Op::kCmpReg: lo_reg(i.rd); lo_reg(i.rm); return one(dp(0xA, i.rm, i.rd));
+    case Op::kCmn: lo_reg(i.rd); lo_reg(i.rm); return one(dp(0xB, i.rm, i.rd));
+    case Op::kOrr: lo_reg(i.rd); lo_reg(i.rm); return one(dp(0xC, i.rm, i.rd));
+    case Op::kMul: lo_reg(i.rd); lo_reg(i.rm); return one(dp(0xD, i.rm, i.rd));
+    case Op::kBic: lo_reg(i.rd); lo_reg(i.rm); return one(dp(0xE, i.rm, i.rd));
+    case Op::kMvn: lo_reg(i.rd); lo_reg(i.rm); return one(dp(0xF, i.rm, i.rd));
+    case Op::kAddHi:
+    case Op::kCmpHi:
+    case Op::kMovHi: {
+      require(i.rd < 16 && i.rm < 16, "register out of range");
+      const unsigned op2 = i.op == Op::kAddHi ? 0 : i.op == Op::kCmpHi ? 1 : 2;
+      const unsigned dn = (i.rd >> 3) & 1;
+      return one(static_cast<std::uint16_t>(0x4400u | (op2 << 8) | (dn << 7) |
+                                            (i.rm << 3) | (i.rd & 7)));
+    }
+    case Op::kBx:
+    case Op::kBlx: {
+      require(i.rm < 16, "register out of range");
+      const unsigned l = i.op == Op::kBlx ? 1 : 0;
+      return one(static_cast<std::uint16_t>(0x4700u | (l << 7) | (i.rm << 3)));
+    }
+    case Op::kLdrLit: {
+      lo_reg(i.rd);
+      require(i.imm >= 0 && i.imm < 1024 && i.imm % 4 == 0,
+              "literal offset out of range");
+      return one(static_cast<std::uint16_t>(
+          0x4800u | (i.rd << 8) | (static_cast<unsigned>(i.imm) >> 2)));
+    }
+    case Op::kStrReg: case Op::kStrhReg: case Op::kStrbReg:
+    case Op::kLdrReg: case Op::kLdrhReg: case Op::kLdrbReg:
+    case Op::kLdrsbReg: case Op::kLdrshReg: {
+      lo_reg(i.rd);
+      lo_reg(i.rn);
+      lo_reg(i.rm);
+      unsigned opb = 0;
+      switch (i.op) {
+        case Op::kStrReg: opb = 0; break;
+        case Op::kStrhReg: opb = 1; break;
+        case Op::kStrbReg: opb = 2; break;
+        case Op::kLdrsbReg: opb = 3; break;
+        case Op::kLdrReg: opb = 4; break;
+        case Op::kLdrhReg: opb = 5; break;
+        case Op::kLdrbReg: opb = 6; break;
+        default: opb = 7; break;  // kLdrshReg
+      }
+      return one(static_cast<std::uint16_t>(0x5000u | (opb << 9) |
+                                            (i.rm << 6) | (i.rn << 3) | i.rd));
+    }
+    case Op::kStrImm:
+    case Op::kLdrImm: {
+      lo_reg(i.rd);
+      lo_reg(i.rn);
+      require(i.imm >= 0 && i.imm < 128 && i.imm % 4 == 0,
+              "word offset out of range");
+      const unsigned l = i.op == Op::kLdrImm ? 1 : 0;
+      return one(static_cast<std::uint16_t>(
+          0x6000u | (l << 11) | ((static_cast<unsigned>(i.imm) >> 2) << 6) |
+          (i.rn << 3) | i.rd));
+    }
+    case Op::kStrbImm:
+    case Op::kLdrbImm: {
+      lo_reg(i.rd);
+      lo_reg(i.rn);
+      require(i.imm >= 0 && i.imm < 32, "byte offset out of range");
+      const unsigned l = i.op == Op::kLdrbImm ? 1 : 0;
+      return one(static_cast<std::uint16_t>(
+          0x7000u | (l << 11) | (static_cast<unsigned>(i.imm) << 6) |
+          (i.rn << 3) | i.rd));
+    }
+    case Op::kStrhImm:
+    case Op::kLdrhImm: {
+      lo_reg(i.rd);
+      lo_reg(i.rn);
+      require(i.imm >= 0 && i.imm < 64 && i.imm % 2 == 0,
+              "half offset out of range");
+      const unsigned l = i.op == Op::kLdrhImm ? 1 : 0;
+      return one(static_cast<std::uint16_t>(
+          0x8000u | (l << 11) | ((static_cast<unsigned>(i.imm) >> 1) << 6) |
+          (i.rn << 3) | i.rd));
+    }
+    case Op::kStrSp:
+    case Op::kLdrSp: {
+      lo_reg(i.rd);
+      require(i.imm >= 0 && i.imm < 1024 && i.imm % 4 == 0,
+              "sp offset out of range");
+      const unsigned l = i.op == Op::kLdrSp ? 1 : 0;
+      return one(static_cast<std::uint16_t>(
+          0x9000u | (l << 11) | (i.rd << 8) |
+          (static_cast<unsigned>(i.imm) >> 2)));
+    }
+    case Op::kAdr:
+    case Op::kAddRdSp: {
+      lo_reg(i.rd);
+      require(i.imm >= 0 && i.imm < 1024 && i.imm % 4 == 0,
+              "adr offset out of range");
+      const unsigned sp = i.op == Op::kAddRdSp ? 1 : 0;
+      return one(static_cast<std::uint16_t>(
+          0xA000u | (sp << 11) | (i.rd << 8) |
+          (static_cast<unsigned>(i.imm) >> 2)));
+    }
+    case Op::kAddSpImm7:
+    case Op::kSubSpImm7: {
+      require(i.imm >= 0 && i.imm < 512 && i.imm % 4 == 0,
+              "sp adjust out of range");
+      const unsigned s = i.op == Op::kSubSpImm7 ? 1 : 0;
+      return one(static_cast<std::uint16_t>(
+          0xB000u | (s << 7) | (static_cast<unsigned>(i.imm) >> 2)));
+    }
+    case Op::kPush: {
+      require((i.reg_list & ~0x1FFu) == 0, "push list out of range");
+      return one(static_cast<std::uint16_t>(0xB400u | (i.reg_list & 0x1FF)));
+    }
+    case Op::kPop: {
+      require((i.reg_list & ~0x1FFu) == 0, "pop list out of range");
+      return one(static_cast<std::uint16_t>(0xBC00u | (i.reg_list & 0x1FF)));
+    }
+    case Op::kSxth:
+    case Op::kSxtb:
+    case Op::kUxth:
+    case Op::kUxtb: {
+      lo_reg(i.rd);
+      lo_reg(i.rm);
+      const unsigned op2 = i.op == Op::kSxth ? 0
+                           : i.op == Op::kSxtb ? 1
+                           : i.op == Op::kUxth ? 2
+                                               : 3;
+      return one(static_cast<std::uint16_t>(0xB200u | (op2 << 6) |
+                                            (i.rm << 3) | i.rd));
+    }
+    case Op::kRev:
+    case Op::kRev16:
+    case Op::kRevsh: {
+      lo_reg(i.rd);
+      lo_reg(i.rm);
+      const unsigned op2 = i.op == Op::kRev ? 0 : i.op == Op::kRev16 ? 1 : 3;
+      return one(static_cast<std::uint16_t>(0xBA00u | (op2 << 6) |
+                                            (i.rm << 3) | i.rd));
+    }
+    case Op::kBkpt:
+      require(i.imm >= 0 && i.imm < 256, "bkpt imm out of range");
+      return one(static_cast<std::uint16_t>(0xBE00u |
+                                            static_cast<unsigned>(i.imm)));
+    case Op::kNop:
+      return one(0xBF00u);
+    case Op::kStm:
+    case Op::kLdm: {
+      lo_reg(i.rn);
+      require((i.reg_list & ~0xFFu) == 0 && i.reg_list != 0,
+              "ldm/stm list invalid");
+      const unsigned l = i.op == Op::kLdm ? 1 : 0;
+      return one(static_cast<std::uint16_t>(0xC000u | (l << 11) |
+                                            (i.rn << 8) | i.reg_list));
+    }
+    case Op::kBCond: {
+      require(i.imm >= -256 && i.imm < 256 && i.imm % 2 == 0,
+              "conditional branch offset out of range");
+      const unsigned off = static_cast<unsigned>(i.imm >> 1) & 0xFF;
+      return one(static_cast<std::uint16_t>(
+          0xD000u | (static_cast<unsigned>(i.cond) << 8) | off));
+    }
+    case Op::kB: {
+      require(i.imm >= -2048 && i.imm < 2048 && i.imm % 2 == 0,
+              "branch offset out of range");
+      const unsigned off = static_cast<unsigned>(i.imm >> 1) & 0x7FF;
+      return one(static_cast<std::uint16_t>(0xE000u | off));
+    }
+    case Op::kBl: {
+      require(i.imm >= -(1 << 22) && i.imm < (1 << 22) && i.imm % 2 == 0,
+              "bl offset out of range");
+      const std::uint32_t off = static_cast<std::uint32_t>(i.imm);
+      const std::uint16_t hi =
+          static_cast<std::uint16_t>(0xF000u | ((off >> 12) & 0x7FF));
+      const std::uint16_t lo =
+          static_cast<std::uint16_t>(0xF800u | ((off >> 1) & 0x7FF));
+      return {hi, lo};
+    }
+  }
+  throw std::invalid_argument("encode: unsupported op");
+}
+
+Decoded decode(const std::vector<std::uint16_t>& code, std::size_t idx) {
+  const std::uint16_t h = code.at(idx);
+  Instr i;
+  auto ret = [&](Op op) {
+    i.op = op;
+    return Decoded{i, 1};
+  };
+
+  switch (h >> 12) {
+    case 0x0:
+    case 0x1: {
+      const unsigned top5 = h >> 11;
+      i.rd = h & 7;
+      i.rm = (h >> 3) & 7;
+      if (top5 < 3) {
+        i.imm = (h >> 6) & 31;
+        return ret(top5 == 0 ? Op::kLslImm
+                             : top5 == 1 ? Op::kLsrImm : Op::kAsrImm);
+      }
+      // 00011 xx
+      i.rn = (h >> 3) & 7;
+      i.rm = (h >> 6) & 7;
+      const unsigned oi = (h >> 9) & 3;
+      if (oi < 2) return ret(oi == 0 ? Op::kAddReg : Op::kSubReg);
+      i.imm = static_cast<std::int32_t>((h >> 6) & 7);
+      return ret(oi == 2 ? Op::kAddImm3 : Op::kSubImm3);
+    }
+    case 0x2:
+    case 0x3: {
+      i.rd = (h >> 8) & 7;
+      i.imm = h & 0xFF;
+      const unsigned op2 = (h >> 11) & 3;
+      static constexpr Op ops[] = {Op::kMovImm, Op::kCmpImm, Op::kAddImm8,
+                                   Op::kSubImm8};
+      return ret(ops[op2]);
+    }
+    case 0x4: {
+      if ((h & 0xFC00u) == 0x4000u) {
+        i.rd = h & 7;
+        i.rm = (h >> 3) & 7;
+        static constexpr Op ops[] = {Op::kAnd, Op::kEor, Op::kLslReg,
+                                     Op::kLsrReg, Op::kAsrReg, Op::kAdc,
+                                     Op::kSbc, Op::kRorReg, Op::kTst,
+                                     Op::kRsb, Op::kCmpReg, Op::kCmn,
+                                     Op::kOrr, Op::kMul, Op::kBic, Op::kMvn};
+        return ret(ops[(h >> 6) & 0xF]);
+      }
+      if ((h & 0xFC00u) == 0x4400u) {
+        const unsigned op2 = (h >> 8) & 3;
+        if (op2 == 3) {
+          if ((h & 7) != 0) {
+            throw std::invalid_argument("decode: BX/BLX SBZ bits set");
+          }
+          i.rm = (h >> 3) & 0xF;
+          return ret((h & 0x80) ? Op::kBlx : Op::kBx);
+        }
+        i.rd = static_cast<std::uint8_t>(((h >> 7) & 1) << 3 | (h & 7));
+        i.rm = (h >> 3) & 0xF;
+        static constexpr Op ops[] = {Op::kAddHi, Op::kCmpHi, Op::kMovHi};
+        return ret(ops[op2]);
+      }
+      // 01001: LDR literal
+      i.rd = (h >> 8) & 7;
+      i.imm = (h & 0xFF) << 2;
+      return ret(Op::kLdrLit);
+    }
+    case 0x5: {
+      i.rd = h & 7;
+      i.rn = (h >> 3) & 7;
+      i.rm = (h >> 6) & 7;
+      static constexpr Op ops[] = {Op::kStrReg,   Op::kStrhReg,
+                                   Op::kStrbReg,  Op::kLdrsbReg,
+                                   Op::kLdrReg,   Op::kLdrhReg,
+                                   Op::kLdrbReg,  Op::kLdrshReg};
+      return ret(ops[(h >> 9) & 7]);
+    }
+    case 0x6:
+    case 0x7: {
+      i.rd = h & 7;
+      i.rn = (h >> 3) & 7;
+      const bool byte = (h >> 12) == 0x7;
+      const bool load = (h >> 11) & 1;
+      i.imm = static_cast<std::int32_t>(((h >> 6) & 31) << (byte ? 0 : 2));
+      if (byte) return ret(load ? Op::kLdrbImm : Op::kStrbImm);
+      return ret(load ? Op::kLdrImm : Op::kStrImm);
+    }
+    case 0x8: {
+      i.rd = h & 7;
+      i.rn = (h >> 3) & 7;
+      i.imm = static_cast<std::int32_t>(((h >> 6) & 31) << 1);
+      return ret(((h >> 11) & 1) ? Op::kLdrhImm : Op::kStrhImm);
+    }
+    case 0x9: {
+      i.rd = (h >> 8) & 7;
+      i.imm = (h & 0xFF) << 2;
+      return ret(((h >> 11) & 1) ? Op::kLdrSp : Op::kStrSp);
+    }
+    case 0xA: {
+      i.rd = (h >> 8) & 7;
+      i.imm = (h & 0xFF) << 2;
+      return ret(((h >> 11) & 1) ? Op::kAddRdSp : Op::kAdr);
+    }
+    case 0xB: {
+      if ((h & 0xFF00u) == 0xB000u) {
+        i.imm = (h & 0x7F) << 2;
+        return ret((h & 0x80) ? Op::kSubSpImm7 : Op::kAddSpImm7);
+      }
+      if ((h & 0xFE00u) == 0xB400u) {
+        i.reg_list = h & 0x1FF;
+        return ret(Op::kPush);
+      }
+      if ((h & 0xFE00u) == 0xBC00u) {
+        i.reg_list = h & 0x1FF;
+        return ret(Op::kPop);
+      }
+      if ((h & 0xFF00u) == 0xB200u) {
+        i.rd = h & 7;
+        i.rm = (h >> 3) & 7;
+        static constexpr Op ops[] = {Op::kSxth, Op::kSxtb, Op::kUxth,
+                                     Op::kUxtb};
+        return ret(ops[(h >> 6) & 3]);
+      }
+      if ((h & 0xFF00u) == 0xBA00u) {
+        i.rd = h & 7;
+        i.rm = (h >> 3) & 7;
+        const unsigned op2 = (h >> 6) & 3;
+        if (op2 == 2) {
+          throw std::invalid_argument("decode: 0xBA80 undefined");
+        }
+        static constexpr Op ops[] = {Op::kRev, Op::kRev16, Op::kNop,
+                                     Op::kRevsh};
+        return ret(ops[op2]);
+      }
+      if ((h & 0xFF00u) == 0xBE00u) {
+        i.imm = h & 0xFF;
+        return ret(Op::kBkpt);
+      }
+      if (h == 0xBF00u) return ret(Op::kNop);
+      throw std::invalid_argument("decode: unsupported misc encoding");
+    }
+    case 0xC: {
+      i.rn = (h >> 8) & 7;
+      i.reg_list = h & 0xFF;
+      if (i.reg_list == 0) {
+        throw std::invalid_argument("decode: empty ldm/stm list");
+      }
+      return ret(((h >> 11) & 1) ? Op::kLdm : Op::kStm);
+    }
+    case 0xD: {
+      const unsigned cond = (h >> 8) & 0xF;
+      if (cond >= 14) {
+        throw std::invalid_argument("decode: UDF/SVC unsupported");
+      }
+      i.cond = static_cast<Cond>(cond);
+      i.imm = static_cast<std::int32_t>(static_cast<std::int8_t>(h & 0xFF))
+              << 1;
+      return ret(Op::kBCond);
+    }
+    case 0xE: {
+      if (h & 0x0800u) {
+        throw std::invalid_argument("decode: 32-bit prefix E8-EF unsupported");
+      }
+      std::int32_t off = h & 0x7FF;
+      if (off & 0x400) off -= 0x800;
+      i.imm = off << 1;
+      return ret(Op::kB);
+    }
+    case 0xF: {
+      // Classic Thumb BL pair.
+      if ((h & 0xF800u) != 0xF000u) {
+        throw std::invalid_argument("decode: stray BL low halfword");
+      }
+      const std::uint16_t h2 = code.at(idx + 1);
+      if ((h2 & 0xF800u) != 0xF800u) {
+        throw std::invalid_argument("decode: BL pair malformed");
+      }
+      std::int32_t hi = h & 0x7FF;
+      if (hi & 0x400) hi -= 0x800;
+      const std::int32_t lo = h2 & 0x7FF;
+      i.imm = (hi << 12) | (lo << 1);
+      i.op = Op::kBl;
+      return Decoded{i, 2};
+    }
+  }
+  throw std::invalid_argument("decode: unreachable");
+}
+
+std::string disassemble(const Instr& i) {
+  std::string s = i.op == Op::kBCond
+                      ? std::string("b") + cond_name(i.cond)
+                      : std::string(op_name(i.op));
+  auto r = [](unsigned x) { return reg_name(x); };
+  auto imm = [](std::int32_t v) { return "#" + std::to_string(v); };
+  switch (i.op) {
+    case Op::kLslImm: case Op::kLsrImm: case Op::kAsrImm:
+      return s + " " + r(i.rd) + ", " + r(i.rm) + ", " + imm(i.imm);
+    case Op::kAddReg: case Op::kSubReg:
+      return s + " " + r(i.rd) + ", " + r(i.rn) + ", " + r(i.rm);
+    case Op::kAddImm3: case Op::kSubImm3:
+      return s + " " + r(i.rd) + ", " + r(i.rn) + ", " + imm(i.imm);
+    case Op::kMovImm: case Op::kCmpImm: case Op::kAddImm8: case Op::kSubImm8:
+      return s + " " + r(i.rd) + ", " + imm(i.imm);
+    case Op::kAnd: case Op::kEor: case Op::kLslReg: case Op::kLsrReg:
+    case Op::kAsrReg: case Op::kAdc: case Op::kSbc: case Op::kRorReg:
+    case Op::kTst: case Op::kRsb: case Op::kCmpReg: case Op::kCmn:
+    case Op::kOrr: case Op::kMul: case Op::kBic: case Op::kMvn:
+      return s + " " + r(i.rd) + ", " + r(i.rm);
+    case Op::kAddHi: case Op::kCmpHi: case Op::kMovHi:
+    case Op::kSxth: case Op::kSxtb: case Op::kUxth: case Op::kUxtb:
+    case Op::kRev: case Op::kRev16: case Op::kRevsh:
+      return s + " " + r(i.rd) + ", " + r(i.rm);
+    case Op::kBx: case Op::kBlx:
+      return s + " " + r(i.rm);
+    case Op::kLdrLit:
+      return s + " " + r(i.rd) + ", [pc, " + imm(i.imm) + "]";
+    case Op::kLdrImm: case Op::kStrImm: case Op::kLdrbImm: case Op::kStrbImm:
+    case Op::kLdrhImm: case Op::kStrhImm:
+      return s + " " + r(i.rd) + ", [" + r(i.rn) + ", " + imm(i.imm) + "]";
+    case Op::kLdrReg: case Op::kStrReg: case Op::kLdrbReg: case Op::kStrbReg:
+    case Op::kLdrhReg: case Op::kStrhReg: case Op::kLdrsbReg:
+    case Op::kLdrshReg:
+      return s + " " + r(i.rd) + ", [" + r(i.rn) + ", " + r(i.rm) + "]";
+    case Op::kLdrSp: case Op::kStrSp:
+      return s + " " + r(i.rd) + ", [sp, " + imm(i.imm) + "]";
+    case Op::kAdr:
+      return s + " " + r(i.rd) + ", " + imm(i.imm);
+    case Op::kAddRdSp:
+      return s + " " + r(i.rd) + ", sp, " + imm(i.imm);
+    case Op::kAddSpImm7: case Op::kSubSpImm7:
+      return s + " sp, " + imm(i.imm);
+    case Op::kPush: case Op::kPop: case Op::kLdm: case Op::kStm: {
+      std::string list = "{";
+      bool first = true;
+      for (unsigned b = 0; b < 9; ++b) {
+        if (i.reg_list & (1u << b)) {
+          if (!first) list += ", ";
+          first = false;
+          if (b == 8) {
+            list += i.op == Op::kPush ? "lr" : "pc";
+          } else {
+            list += r(b);
+          }
+        }
+      }
+      list += "}";
+      if (i.op == Op::kLdm || i.op == Op::kStm) {
+        return s + " " + r(i.rn) + "!, " + list;
+      }
+      return s + " " + list;
+    }
+    case Op::kBCond: case Op::kB: case Op::kBl:
+      return s + " " + imm(i.imm);
+    case Op::kBkpt:
+      return s + " " + imm(i.imm);
+    case Op::kNop:
+      return s;
+  }
+  return s;
+}
+
+}  // namespace eccm0::armvm

@@ -1,0 +1,33 @@
+// Thumb-1 instruction encoder / decoder.
+//
+// Real 16-bit ARMv6-M encodings (BL is the classic two-halfword pair), so
+// encode/decode round-trips are testable and programs are genuine Thumb
+// images.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "armvm/isa.h"
+
+namespace eccm0::armvm {
+
+/// Encode one instruction to 1 (or, for BL, 2) halfwords.
+/// Throws std::invalid_argument for unencodable operand combinations
+/// (e.g. hi registers in lo-only forms, out-of-range immediates).
+std::vector<std::uint16_t> encode(const Instr& ins);
+
+/// Decoded instruction plus its size in halfwords.
+struct Decoded {
+  Instr ins;
+  unsigned halfwords = 1;
+};
+
+/// Decode the instruction starting at code[idx] (idx in halfwords).
+/// Throws std::invalid_argument on undefined/unsupported encodings.
+Decoded decode(const std::vector<std::uint16_t>& code, std::size_t idx);
+
+/// Human-readable disassembly of a single decoded instruction.
+std::string disassemble(const Instr& ins);
+
+}  // namespace eccm0::armvm

@@ -1,0 +1,638 @@
+#include "armvm/cpu.h"
+
+#include <stdexcept>
+
+#include "armvm/codec.h"
+#include "armvm/isa.h"
+
+namespace eccm0::armvm {
+
+using costmodel::InstrClass;
+
+std::size_t Memory::index(std::uint32_t addr, std::size_t bytes) const {
+  if (addr < kRamBase || addr - kRamBase + bytes > bytes_.size()) {
+    throw std::out_of_range("Memory: access outside RAM at " +
+                            std::to_string(addr));
+  }
+  return addr - kRamBase;
+}
+
+std::uint8_t Memory::load8(std::uint32_t addr) const {
+  return bytes_[index(addr, 1)];
+}
+
+std::uint16_t Memory::load16(std::uint32_t addr) const {
+  if (addr & 1) throw std::runtime_error("Memory: unaligned halfword load");
+  const std::size_t i = index(addr, 2);
+  return static_cast<std::uint16_t>(bytes_[i] | (bytes_[i + 1] << 8));
+}
+
+std::uint32_t Memory::load32(std::uint32_t addr) const {
+  if (addr & 3) throw std::runtime_error("Memory: unaligned word load");
+  const std::size_t i = index(addr, 4);
+  return static_cast<std::uint32_t>(bytes_[i]) |
+         (static_cast<std::uint32_t>(bytes_[i + 1]) << 8) |
+         (static_cast<std::uint32_t>(bytes_[i + 2]) << 16) |
+         (static_cast<std::uint32_t>(bytes_[i + 3]) << 24);
+}
+
+void Memory::store8(std::uint32_t addr, std::uint8_t v) {
+  bytes_[index(addr, 1)] = v;
+}
+
+void Memory::store16(std::uint32_t addr, std::uint16_t v) {
+  if (addr & 1) throw std::runtime_error("Memory: unaligned halfword store");
+  const std::size_t i = index(addr, 2);
+  bytes_[i] = static_cast<std::uint8_t>(v);
+  bytes_[i + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void Memory::store32(std::uint32_t addr, std::uint32_t v) {
+  if (addr & 3) throw std::runtime_error("Memory: unaligned word store");
+  const std::size_t i = index(addr, 4);
+  bytes_[i] = static_cast<std::uint8_t>(v);
+  bytes_[i + 1] = static_cast<std::uint8_t>(v >> 8);
+  bytes_[i + 2] = static_cast<std::uint8_t>(v >> 16);
+  bytes_[i + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void Memory::write_words(std::uint32_t addr,
+                         std::span<const std::uint32_t> w) {
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    store32(addr + static_cast<std::uint32_t>(4 * i), w[i]);
+  }
+}
+
+std::vector<std::uint32_t> Memory::read_words(std::uint32_t addr,
+                                              std::size_t count) const {
+  std::vector<std::uint32_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = load32(addr + static_cast<std::uint32_t>(4 * i));
+  }
+  return out;
+}
+
+Cpu::Cpu(std::vector<std::uint16_t> code, Memory& ram)
+    : code_(std::move(code)), ram_(ram) {
+  r_[kSP] = kRamBase + static_cast<std::uint32_t>(ram_.size());
+}
+
+void Cpu::account(InstrClass cls, unsigned cycles) {
+  stats_.histogram.add(cls, cycles);
+  stats_.cycles += cycles;
+  if (trace_) trace_(cls, cycles);
+}
+
+void Cpu::set_nz(std::uint32_t v) {
+  n_ = (v >> 31) != 0;
+  z_ = v == 0;
+}
+
+std::uint32_t Cpu::add_with_carry(std::uint32_t a, std::uint32_t b, bool cin,
+                                  bool set_flags) {
+  const std::uint64_t wide =
+      static_cast<std::uint64_t>(a) + b + (cin ? 1 : 0);
+  const auto result = static_cast<std::uint32_t>(wide);
+  if (set_flags) {
+    set_nz(result);
+    c_ = (wide >> 32) != 0;
+    v_ = (~(a ^ b) & (a ^ result) & 0x80000000u) != 0;
+  }
+  return result;
+}
+
+std::uint32_t Cpu::read_mem(std::uint32_t addr, unsigned bytes) {
+  if (addr < kRamBase) {
+    // Read-only code / literal-pool space.
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i) {
+      const std::uint32_t byte_addr = addr + i;
+      const std::size_t hw = byte_addr / 2;
+      if (hw >= code_.size()) {
+        throw std::out_of_range("Cpu: code-space read out of range");
+      }
+      const std::uint8_t byte =
+          static_cast<std::uint8_t>(code_[hw] >> (8 * (byte_addr % 2)));
+      v |= static_cast<std::uint32_t>(byte) << (8 * i);
+    }
+    return v;
+  }
+  switch (bytes) {
+    case 1: return ram_.load8(addr);
+    case 2: return ram_.load16(addr);
+    default: return ram_.load32(addr);
+  }
+}
+
+void Cpu::write_mem(std::uint32_t addr, std::uint32_t v, unsigned bytes) {
+  switch (bytes) {
+    case 1: ram_.store8(addr, static_cast<std::uint8_t>(v)); break;
+    case 2: ram_.store16(addr, static_cast<std::uint16_t>(v)); break;
+    default: ram_.store32(addr, v); break;
+  }
+}
+
+bool Cpu::step() {
+  if (halted_) return false;
+  const std::uint32_t pc = r_[kPC];
+  if (pc == kReturnSentinel) {
+    halted_ = true;
+    return false;
+  }
+  if (pc % 2 != 0) throw std::runtime_error("Cpu: odd PC");
+  const std::size_t idx = pc / 2;
+  if (idx >= code_.size()) throw std::out_of_range("Cpu: PC outside code");
+  const Decoded d = decode(code_, idx);
+  r_[kPC] = pc + 2 * d.halfwords;  // default fallthrough
+  exec(d.ins, d.halfwords);
+  ++stats_.instructions;
+  return !halted_;
+}
+
+RunStats Cpu::call(std::uint32_t entry,
+                   std::initializer_list<std::uint32_t> args,
+                   std::uint64_t max_instructions) {
+  unsigned n = 0;
+  for (std::uint32_t a : args) {
+    if (n > 3) throw std::invalid_argument("Cpu::call: more than 4 args");
+    r_[n++] = a;
+  }
+  r_[kLR] = kReturnSentinel;
+  r_[kPC] = entry;
+  halted_ = false;
+  const RunStats before = stats_;
+  while (step()) {
+    if (stats_.instructions - before.instructions > max_instructions) {
+      throw std::runtime_error("Cpu::call: instruction budget exceeded");
+    }
+  }
+  RunStats delta;
+  delta.instructions = stats_.instructions - before.instructions;
+  delta.cycles = stats_.cycles - before.cycles;
+  delta.histogram = stats_.histogram;
+  for (int i = 0; i < static_cast<int>(InstrClass::kCount); ++i) {
+    delta.histogram.cycles[i] -= before.histogram.cycles[i];
+  }
+  return delta;
+}
+
+void Cpu::exec(const Instr& i, unsigned halfwords) {
+  const std::uint32_t pc4 =
+      r_[kPC] - 2 * halfwords + 4;  // instruction address + 4
+  auto branch_to = [&](std::uint32_t target) {
+    if (target == kReturnSentinel) {
+      halted_ = true;
+      r_[kPC] = kReturnSentinel;
+      return;
+    }
+    r_[kPC] = target & ~1u;
+  };
+
+  switch (i.op) {
+    case Op::kLslImm:
+    case Op::kLsrImm:
+    case Op::kAsrImm: {
+      const std::uint32_t v = r_[i.rm];
+      std::uint32_t res;
+      unsigned amount = static_cast<unsigned>(i.imm);
+      if (i.op == Op::kLslImm) {
+        res = amount == 0 ? v : (v << amount);
+        if (amount != 0) c_ = (v >> (32 - amount)) & 1;
+      } else if (i.op == Op::kLsrImm) {
+        if (amount == 0) amount = 32;
+        res = amount == 32 ? 0 : (v >> amount);
+        c_ = amount == 32 ? (v >> 31) & 1 : (v >> (amount - 1)) & 1;
+      } else {
+        if (amount == 0) amount = 32;
+        if (amount == 32) {
+          res = (v >> 31) ? ~0u : 0u;
+          c_ = (v >> 31) & 1;
+        } else {
+          res = static_cast<std::uint32_t>(static_cast<std::int32_t>(v) >>
+                                           amount);
+          c_ = (v >> (amount - 1)) & 1;
+        }
+      }
+      r_[i.rd] = res;
+      set_nz(res);
+      account(i.op == Op::kLslImm && i.imm == 0
+                  ? InstrClass::kMov
+                  : (i.op == Op::kLslImm ? InstrClass::kLsl
+                                         : InstrClass::kLsr),
+              1);
+      break;
+    }
+    case Op::kLslReg:
+    case Op::kLsrReg:
+    case Op::kAsrReg:
+    case Op::kRorReg: {
+      const unsigned amount = r_[i.rm] & 0xFF;
+      std::uint32_t v = r_[i.rd];
+      if (amount != 0) {
+        if (i.op == Op::kLslReg) {
+          if (amount < 32) {
+            c_ = (v >> (32 - amount)) & 1;
+            v <<= amount;
+          } else {
+            c_ = amount == 32 ? (v & 1) : false;
+            v = 0;
+          }
+        } else if (i.op == Op::kLsrReg) {
+          if (amount < 32) {
+            c_ = (v >> (amount - 1)) & 1;
+            v >>= amount;
+          } else {
+            c_ = amount == 32 ? (v >> 31) & 1 : false;
+            v = 0;
+          }
+        } else if (i.op == Op::kAsrReg) {
+          if (amount < 32) {
+            c_ = (v >> (amount - 1)) & 1;
+            v = static_cast<std::uint32_t>(static_cast<std::int32_t>(v) >>
+                                           amount);
+          } else {
+            c_ = (v >> 31) & 1;
+            v = (v >> 31) ? ~0u : 0u;
+          }
+        } else {  // ROR
+          const unsigned rot = amount % 32;
+          if (rot != 0) v = (v >> rot) | (v << (32 - rot));
+          c_ = (v >> 31) & 1;
+        }
+      }
+      r_[i.rd] = v;
+      set_nz(v);
+      account(i.op == Op::kLslReg ? InstrClass::kLsl : InstrClass::kLsr, 1);
+      break;
+    }
+    case Op::kAddReg:
+      r_[i.rd] = add_with_carry(r_[i.rn], r_[i.rm], false, true);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kSubReg:
+      r_[i.rd] = add_with_carry(r_[i.rn], ~r_[i.rm], true, true);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kAddImm3:
+      r_[i.rd] = add_with_carry(r_[i.rn], static_cast<std::uint32_t>(i.imm),
+                                false, true);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kSubImm3:
+      r_[i.rd] = add_with_carry(r_[i.rn], ~static_cast<std::uint32_t>(i.imm),
+                                true, true);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kMovImm:
+      r_[i.rd] = static_cast<std::uint32_t>(i.imm);
+      set_nz(r_[i.rd]);
+      account(InstrClass::kMov, 1);
+      break;
+    case Op::kCmpImm:
+      (void)add_with_carry(r_[i.rd], ~static_cast<std::uint32_t>(i.imm), true,
+                           true);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kAddImm8:
+      r_[i.rd] = add_with_carry(r_[i.rd], static_cast<std::uint32_t>(i.imm),
+                                false, true);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kSubImm8:
+      r_[i.rd] = add_with_carry(r_[i.rd], ~static_cast<std::uint32_t>(i.imm),
+                                true, true);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kAnd:
+      r_[i.rd] &= r_[i.rm];
+      set_nz(r_[i.rd]);
+      account(InstrClass::kEor, 1);
+      break;
+    case Op::kEor:
+      r_[i.rd] ^= r_[i.rm];
+      set_nz(r_[i.rd]);
+      account(InstrClass::kEor, 1);
+      break;
+    case Op::kAdc:
+      r_[i.rd] = add_with_carry(r_[i.rd], r_[i.rm], c_, true);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kSbc:
+      r_[i.rd] = add_with_carry(r_[i.rd], ~r_[i.rm], c_, true);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kTst:
+      set_nz(r_[i.rd] & r_[i.rm]);
+      account(InstrClass::kEor, 1);
+      break;
+    case Op::kRsb:
+      r_[i.rd] = add_with_carry(~r_[i.rm], 0, true, true);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kCmpReg:
+      (void)add_with_carry(r_[i.rd], ~r_[i.rm], true, true);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kCmn:
+      (void)add_with_carry(r_[i.rd], r_[i.rm], false, true);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kOrr:
+      r_[i.rd] |= r_[i.rm];
+      set_nz(r_[i.rd]);
+      account(InstrClass::kEor, 1);
+      break;
+    case Op::kMul:
+      r_[i.rd] *= r_[i.rm];
+      set_nz(r_[i.rd]);
+      account(InstrClass::kMul, 1);  // single-cycle multiplier option
+      break;
+    case Op::kBic:
+      r_[i.rd] &= ~r_[i.rm];
+      set_nz(r_[i.rd]);
+      account(InstrClass::kEor, 1);
+      break;
+    case Op::kMvn:
+      r_[i.rd] = ~r_[i.rm];
+      set_nz(r_[i.rd]);
+      account(InstrClass::kEor, 1);
+      break;
+    case Op::kAddHi: {
+      const std::uint32_t rm = i.rm == kPC ? pc4 : r_[i.rm];
+      if (i.rd == kPC) {
+        branch_to(r_[kPC] - 2 * halfwords + 4 + rm);  // rare; treated as branch
+        account(InstrClass::kBranch, 2);
+        break;
+      }
+      r_[i.rd] += rm;
+      account(InstrClass::kAdd, 1);
+      break;
+    }
+    case Op::kCmpHi:
+      (void)add_with_carry(r_[i.rd], ~r_[i.rm], true, true);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kMovHi: {
+      const std::uint32_t v = i.rm == kPC ? pc4 : r_[i.rm];
+      if (i.rd == kPC) {
+        branch_to(v);
+        account(InstrClass::kBranch, 2);
+        break;
+      }
+      r_[i.rd] = v;
+      account(InstrClass::kMov, 1);
+      break;
+    }
+    case Op::kBx:
+      branch_to(r_[i.rm]);
+      account(InstrClass::kBranch, 2);
+      break;
+    case Op::kBlx: {
+      const std::uint32_t target = r_[i.rm];
+      r_[kLR] = (r_[kPC]) | 1u;  // next instruction
+      branch_to(target);
+      account(InstrClass::kBranch, 2);
+      break;
+    }
+    case Op::kLdrLit: {
+      const std::uint32_t base = pc4 & ~3u;
+      r_[i.rd] = read_mem(base + static_cast<std::uint32_t>(i.imm), 4);
+      account(InstrClass::kLdr, 2);
+      break;
+    }
+    case Op::kLdrImm:
+      r_[i.rd] = read_mem(r_[i.rn] + static_cast<std::uint32_t>(i.imm), 4);
+      account(InstrClass::kLdr, 2);
+      break;
+    case Op::kStrImm:
+      write_mem(r_[i.rn] + static_cast<std::uint32_t>(i.imm), r_[i.rd], 4);
+      account(InstrClass::kStr, 2);
+      break;
+    case Op::kLdrbImm:
+      r_[i.rd] = read_mem(r_[i.rn] + static_cast<std::uint32_t>(i.imm), 1);
+      account(InstrClass::kLdr, 2);
+      break;
+    case Op::kStrbImm:
+      write_mem(r_[i.rn] + static_cast<std::uint32_t>(i.imm), r_[i.rd], 1);
+      account(InstrClass::kStr, 2);
+      break;
+    case Op::kLdrhImm:
+      r_[i.rd] = read_mem(r_[i.rn] + static_cast<std::uint32_t>(i.imm), 2);
+      account(InstrClass::kLdr, 2);
+      break;
+    case Op::kStrhImm:
+      write_mem(r_[i.rn] + static_cast<std::uint32_t>(i.imm), r_[i.rd], 2);
+      account(InstrClass::kStr, 2);
+      break;
+    case Op::kLdrReg:
+      r_[i.rd] = read_mem(r_[i.rn] + r_[i.rm], 4);
+      account(InstrClass::kLdr, 2);
+      break;
+    case Op::kStrReg:
+      write_mem(r_[i.rn] + r_[i.rm], r_[i.rd], 4);
+      account(InstrClass::kStr, 2);
+      break;
+    case Op::kLdrbReg:
+      r_[i.rd] = read_mem(r_[i.rn] + r_[i.rm], 1);
+      account(InstrClass::kLdr, 2);
+      break;
+    case Op::kStrbReg:
+      write_mem(r_[i.rn] + r_[i.rm], r_[i.rd], 1);
+      account(InstrClass::kStr, 2);
+      break;
+    case Op::kLdrhReg:
+      r_[i.rd] = read_mem(r_[i.rn] + r_[i.rm], 2);
+      account(InstrClass::kLdr, 2);
+      break;
+    case Op::kLdrsbReg:
+      r_[i.rd] = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+          static_cast<std::int8_t>(read_mem(r_[i.rn] + r_[i.rm], 1))));
+      account(InstrClass::kLdr, 2);
+      break;
+    case Op::kLdrshReg:
+      r_[i.rd] = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+          static_cast<std::int16_t>(read_mem(r_[i.rn] + r_[i.rm], 2))));
+      account(InstrClass::kLdr, 2);
+      break;
+    case Op::kStrhReg:
+      write_mem(r_[i.rn] + r_[i.rm], r_[i.rd], 2);
+      account(InstrClass::kStr, 2);
+      break;
+    case Op::kLdrSp:
+      r_[i.rd] = read_mem(r_[kSP] + static_cast<std::uint32_t>(i.imm), 4);
+      account(InstrClass::kLdr, 2);
+      break;
+    case Op::kStrSp:
+      write_mem(r_[kSP] + static_cast<std::uint32_t>(i.imm), r_[i.rd], 4);
+      account(InstrClass::kStr, 2);
+      break;
+    case Op::kAddSpImm7:
+      r_[kSP] += static_cast<std::uint32_t>(i.imm);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kSubSpImm7:
+      r_[kSP] -= static_cast<std::uint32_t>(i.imm);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kAddRdSp:
+      r_[i.rd] = r_[kSP] + static_cast<std::uint32_t>(i.imm);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kAdr:
+      r_[i.rd] = (pc4 & ~3u) + static_cast<std::uint32_t>(i.imm);
+      account(InstrClass::kAdd, 1);
+      break;
+    case Op::kPush: {
+      unsigned n = 0;
+      for (unsigned b = 0; b < 9; ++b) n += (i.reg_list >> b) & 1;
+      std::uint32_t sp = r_[kSP] - 4 * n;
+      r_[kSP] = sp;
+      for (unsigned b = 0; b < 8; ++b) {
+        if (i.reg_list & (1u << b)) {
+          write_mem(sp, r_[b], 4);
+          sp += 4;
+        }
+      }
+      if (i.reg_list & 0x100) write_mem(sp, r_[kLR], 4);
+      account(InstrClass::kStr, n);
+      account(InstrClass::kOther, 1);
+      break;
+    }
+    case Op::kPop: {
+      unsigned n = 0;
+      for (unsigned b = 0; b < 9; ++b) n += (i.reg_list >> b) & 1;
+      std::uint32_t sp = r_[kSP];
+      for (unsigned b = 0; b < 8; ++b) {
+        if (i.reg_list & (1u << b)) {
+          r_[b] = read_mem(sp, 4);
+          sp += 4;
+        }
+      }
+      bool to_pc = false;
+      if (i.reg_list & 0x100) {
+        branch_to(read_mem(sp, 4));
+        sp += 4;
+        to_pc = true;
+      }
+      r_[kSP] = sp;
+      account(InstrClass::kLdr, n);
+      account(InstrClass::kOther, to_pc ? 3 : 1);
+      break;
+    }
+    case Op::kStm: {
+      std::uint32_t addr = r_[i.rn];
+      unsigned n = 0;
+      for (unsigned b = 0; b < 8; ++b) {
+        if (i.reg_list & (1u << b)) {
+          write_mem(addr, r_[b], 4);
+          addr += 4;
+          ++n;
+        }
+      }
+      r_[i.rn] = addr;
+      account(InstrClass::kStr, n);
+      account(InstrClass::kOther, 1);
+      break;
+    }
+    case Op::kLdm: {
+      std::uint32_t addr = r_[i.rn];
+      unsigned n = 0;
+      const bool base_in_list = (i.reg_list >> i.rn) & 1;
+      for (unsigned b = 0; b < 8; ++b) {
+        if (i.reg_list & (1u << b)) {
+          r_[b] = read_mem(addr, 4);
+          addr += 4;
+          ++n;
+        }
+      }
+      if (!base_in_list) r_[i.rn] = addr;
+      account(InstrClass::kLdr, n);
+      account(InstrClass::kOther, 1);
+      break;
+    }
+    case Op::kBCond: {
+      bool take = false;
+      switch (i.cond) {
+        case Cond::kEq: take = z_; break;
+        case Cond::kNe: take = !z_; break;
+        case Cond::kCs: take = c_; break;
+        case Cond::kCc: take = !c_; break;
+        case Cond::kMi: take = n_; break;
+        case Cond::kPl: take = !n_; break;
+        case Cond::kVs: take = v_; break;
+        case Cond::kVc: take = !v_; break;
+        case Cond::kHi: take = c_ && !z_; break;
+        case Cond::kLs: take = !c_ || z_; break;
+        case Cond::kGe: take = n_ == v_; break;
+        case Cond::kLt: take = n_ != v_; break;
+        case Cond::kGt: take = !z_ && n_ == v_; break;
+        case Cond::kLe: take = z_ || n_ != v_; break;
+      }
+      if (take) {
+        branch_to(pc4 + static_cast<std::uint32_t>(i.imm));
+        account(InstrClass::kBranch, 2);
+      } else {
+        account(InstrClass::kBranch, 1);
+      }
+      break;
+    }
+    case Op::kB:
+      branch_to(pc4 + static_cast<std::uint32_t>(i.imm));
+      account(InstrClass::kBranch, 2);
+      break;
+    case Op::kBl:
+      r_[kLR] = r_[kPC] | 1u;  // return address (past both halfwords)
+      branch_to(pc4 + static_cast<std::uint32_t>(i.imm));
+      account(InstrClass::kBranch, 3);
+      break;
+    case Op::kSxth:
+      r_[i.rd] = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+          static_cast<std::int16_t>(r_[i.rm])));
+      account(InstrClass::kMov, 1);
+      break;
+    case Op::kSxtb:
+      r_[i.rd] = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+          static_cast<std::int8_t>(r_[i.rm])));
+      account(InstrClass::kMov, 1);
+      break;
+    case Op::kUxth:
+      r_[i.rd] = r_[i.rm] & 0xFFFFu;
+      account(InstrClass::kMov, 1);
+      break;
+    case Op::kUxtb:
+      r_[i.rd] = r_[i.rm] & 0xFFu;
+      account(InstrClass::kMov, 1);
+      break;
+    case Op::kRev: {
+      const std::uint32_t v = r_[i.rm];
+      r_[i.rd] = (v >> 24) | ((v >> 8) & 0xFF00u) | ((v << 8) & 0xFF0000u) |
+                 (v << 24);
+      account(InstrClass::kMov, 1);
+      break;
+    }
+    case Op::kRev16: {
+      const std::uint32_t v = r_[i.rm];
+      r_[i.rd] = ((v >> 8) & 0x00FF00FFu) | ((v << 8) & 0xFF00FF00u);
+      account(InstrClass::kMov, 1);
+      break;
+    }
+    case Op::kRevsh: {
+      const std::uint32_t v = r_[i.rm];
+      const std::uint16_t half =
+          static_cast<std::uint16_t>(((v >> 8) & 0xFFu) | ((v & 0xFFu) << 8));
+      r_[i.rd] = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+          static_cast<std::int16_t>(half)));
+      account(InstrClass::kMov, 1);
+      break;
+    }
+    case Op::kNop:
+      account(InstrClass::kOther, 1);
+      break;
+    case Op::kBkpt:
+      halted_ = true;
+      account(InstrClass::kOther, 1);
+      break;
+  }
+}
+
+}  // namespace eccm0::armvm

@@ -1,0 +1,103 @@
+// Cortex-M0+ style execution core: Thumb-1 interpreter with the M0+
+// cycle model (loads/stores 2 cycles, taken branches 2, LDM/STM 1+N,
+// single-cycle multiplier) and per-instruction-class energy accounting
+// against the paper's Table 3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "costmodel/energy.h"
+
+namespace eccm0::armvm {
+
+/// Code lives at 0x0 (read-only), RAM at 0x20000000 — the Cortex-M0+
+/// flash/SRAM split.
+inline constexpr std::uint32_t kRamBase = 0x20000000u;
+/// Writing this to PC (via BX LR) ends a `call`.
+inline constexpr std::uint32_t kReturnSentinel = 0xFFFFFFFEu;
+
+class Memory {
+ public:
+  explicit Memory(std::size_t size) : bytes_(size, 0) {}
+
+  std::size_t size() const { return bytes_.size(); }
+  std::uint8_t load8(std::uint32_t addr) const;
+  std::uint16_t load16(std::uint32_t addr) const;
+  std::uint32_t load32(std::uint32_t addr) const;
+  void store8(std::uint32_t addr, std::uint8_t v);
+  void store16(std::uint32_t addr, std::uint16_t v);
+  void store32(std::uint32_t addr, std::uint32_t v);
+
+  /// Bulk helpers for test/benchmark harnesses (RAM-relative address).
+  void write_words(std::uint32_t addr, std::span<const std::uint32_t> w);
+  std::vector<std::uint32_t> read_words(std::uint32_t addr,
+                                        std::size_t count) const;
+
+ private:
+  std::size_t index(std::uint32_t addr, std::size_t bytes) const;
+  std::vector<std::uint8_t> bytes_;
+};
+
+struct RunStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  costmodel::CycleHistogram histogram;
+
+  costmodel::EnergyReport energy(const costmodel::InstructionEnergyTable& t =
+                                     costmodel::kM0PlusEnergy) const {
+    return costmodel::energy_of(histogram, t);
+  }
+};
+
+class Cpu {
+ public:
+  /// `code` is the Thumb image at address 0; `ram` is the SRAM.
+  Cpu(std::vector<std::uint16_t> code, Memory& ram);
+
+  std::uint32_t reg(unsigned r) const { return r_[r]; }
+  void set_reg(unsigned r, std::uint32_t v) { r_[r] = v; }
+  bool flag_n() const { return n_; }
+  bool flag_z() const { return z_; }
+  bool flag_c() const { return c_; }
+  bool flag_v() const { return v_; }
+
+  /// Execute one instruction at PC. Returns false when halted (BKPT or
+  /// return-sentinel reached).
+  bool step();
+
+  /// Standard AAPCS-ish call: r0..r3 = args, lr = sentinel, runs to
+  /// completion (throws std::runtime_error after `max_instructions`).
+  RunStats call(std::uint32_t entry, std::initializer_list<std::uint32_t> args,
+                std::uint64_t max_instructions = 100'000'000);
+
+  const RunStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Per-retired-cost callback (class, cycles) — lets a power-trace
+  /// simulator observe the executed instruction stream.
+  using TraceHook = std::function<void(costmodel::InstrClass, unsigned)>;
+  void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
+
+ private:
+  void exec(const struct Instr& ins, unsigned halfwords);
+  std::uint32_t add_with_carry(std::uint32_t a, std::uint32_t b, bool cin,
+                               bool set_flags);
+  void set_nz(std::uint32_t v);
+  std::uint32_t read_mem(std::uint32_t addr, unsigned bytes);
+  void write_mem(std::uint32_t addr, std::uint32_t v, unsigned bytes);
+  void account(costmodel::InstrClass cls, unsigned cycles);
+
+  std::vector<std::uint16_t> code_;
+  Memory& ram_;
+  std::uint32_t r_[16] = {};
+  bool n_ = false, z_ = false, c_ = false, v_ = false;
+  bool halted_ = false;
+  RunStats stats_;
+  TraceHook trace_;
+};
+
+}  // namespace eccm0::armvm

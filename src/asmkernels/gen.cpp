@@ -1,0 +1,722 @@
+#include "asmkernels/gen.h"
+
+#include <array>
+
+#include "armvm/cpu.h"
+
+namespace eccm0::asmkernels {
+namespace {
+
+/// Where each product word v[i] lives in the fixed-register layout for an
+/// n-word field: the n+1-word window v[(n-1)/2 .. (n-1)/2 + n] is pinned;
+/// within it the four hottest words v[n-3..n] take the lo registers
+/// r4-r7 (EORS directly), the remainder take hi registers r8.. (MOV
+/// shuttle); everything else lives in RAM at r3 + 4*i.
+/// For n = 8 this reproduces the paper's layout exactly:
+/// v[5..8] -> r4-r7, v[3],v[4],v[9],v[10],v[11] -> r8-r12.
+struct Residence {
+  enum Kind { kLo, kHi, kMem } kind;
+  unsigned reg = 0;  // for kLo/kHi
+};
+
+Residence fixed_residence_n(unsigned n, unsigned i) {
+  const unsigned w0 = (n - 1) / 2;
+  if (i < w0 || i > w0 + n) return {Residence::kMem, 0};
+  if (i >= n - 3 && i <= n) {
+    return {Residence::kLo, 4 + (i - (n - 3))};
+  }
+  // Remaining window words, ascending, into r8, r9, ...
+  unsigned hi = 8;
+  for (unsigned w = w0; w <= w0 + n; ++w) {
+    if (w >= n - 3 && w <= n) continue;
+    if (w == i) return {Residence::kHi, hi};
+    ++hi;
+  }
+  return {Residence::kMem, 0};  // unreachable
+}
+
+Residence fixed_residence(unsigned i) { return fixed_residence_n(8, i); }
+
+Residence mem_residence(unsigned) { return {Residence::kMem, 0}; }
+
+class Emitter {
+ public:
+  void line(const std::string& s) {
+    out_ += "    ";
+    out_ += s;
+    out_ += "\n";
+  }
+  void label(const std::string& s) { out_ += s + ":\n"; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+std::string off(unsigned bytes) { return "#" + std::to_string(bytes); }
+
+/// Load r<reg> = kRamBase + byte_off without a literal pool (the unrolled
+/// kernels are longer than the 1 KiB LDR-literal reach). kRamBase is
+/// 1 << 29; offsets used here are all multiples of 8 below 2 KiB.
+void emit_load_base(Emitter& e, unsigned reg, std::uint32_t byte_off,
+                    const std::string& base_reg = "") {
+  const std::string r = "r" + std::to_string(reg);
+  if (byte_off == 0) {
+    e.line("movs " + r + ", #1");
+    e.line("lsls " + r + ", " + r + ", #29");
+    return;
+  }
+  // byte_off = imm8 << 3 for all our offsets.
+  e.line("movs " + r + ", #" + std::to_string(byte_off >> 3));
+  e.line("lsls " + r + ", " + r + ", #3");
+  e.line("add " + r + ", " + base_reg);
+}
+
+/// Emit LUT generation: T[u] = u(z)*y(z) at r3+kLutOff, y at r3+kYOff.
+/// Clobbers r0..r2, r4..r7 (v registers are initialised afterwards).
+void emit_lut_gen(Emitter& e, unsigned n) {
+  // r1 = LUT base
+  e.line("movs r1, #" + std::to_string(kLutOff));
+  e.line("add r1, r3");
+  // T[0] = 0; T[1] = y.
+  e.line("movs r0, #0");
+  for (unsigned i = 0; i < n; ++i) e.line("str r0, [r1, " + off(4 * i) + "]");
+  for (unsigned i = 0; i < n; ++i) {
+    e.line("ldr r0, [r3, " + off(kYOff + 4 * i) + "]");
+    e.line("str r0, [r1, " + off(32 + 4 * i) + "]");
+  }
+  // Pairs: T[u] = T[u/2] << 1 (even), T[u+1] = T[u] ^ y (odd).
+  for (unsigned u = 2; u < 16; u += 2) {
+    // r2 = src = &T[u/2]; r4 = dst = &T[u].
+    e.line("movs r2, #" + std::to_string((u / 2) * 32));
+    e.line("add r2, r1");
+    e.line("movs r4, #" + std::to_string(u));
+    e.line("lsls r4, r4, #5");
+    e.line("add r4, r1");
+    // r5/r0 alternate as the source-word register so the previous word is
+    // still live for the carry without a copy.
+    for (unsigned i = 0; i < n; ++i) {
+      const char* cur = (i % 2 == 0) ? "r5" : "r0";
+      const char* prev = (i % 2 == 0) ? "r0" : "r5";
+      e.line(std::string("ldr ") + cur + ", [r2, " + off(4 * i) + "]");
+      e.line(std::string("lsls r6, ") + cur + ", #1");
+      if (i > 0) {
+        e.line(std::string("lsrs ") + prev + ", " + prev + ", #31");
+        e.line(std::string("orrs r6, ") + prev);
+      }
+      e.line("str r6, [r4, " + off(4 * i) + "]");
+      e.line("ldr r7, [r3, " + off(kYOff + 4 * i) + "]");
+      e.line("eors r7, r6");
+      e.line("str r7, [r4, " + off(32 + 4 * i) + "]");
+    }
+  }
+}
+
+/// XOR the T-entry word in r0 into product word `idx` under `res`.
+template <typename ResFn>
+void emit_xor_into_v(Emitter& e, unsigned idx, ResFn res) {
+  const Residence r = res(idx);
+  switch (r.kind) {
+    case Residence::kLo:
+      e.line("eors r" + std::to_string(r.reg) + ", r0");
+      break;
+    case Residence::kHi:
+      e.line("mov r2, r" + std::to_string(r.reg));
+      e.line("eors r2, r0");
+      e.line("mov r" + std::to_string(r.reg) + ", r2");
+      break;
+    case Residence::kMem:
+      e.line("ldr r2, [r3, " + off(kVOff + 4 * idx) + "]");
+      e.line("eors r2, r0");
+      e.line("str r2, [r3, " + off(kVOff + 4 * idx) + "]");
+      break;
+  }
+}
+
+/// Emit the whole-product shift left by 4 over words 0..15, top down,
+/// respecting residences. Uses r0 (carry) and r2 (hi shuttle).
+template <typename ResFn>
+void emit_shl4(Emitter& e, unsigned n, ResFn res) {
+  for (int i = static_cast<int>(2 * n) - 1; i >= 0; --i) {
+    // r0 = carry = v[i-1] >> 28 (i > 0).
+    if (i > 0) {
+      const Residence below = res(static_cast<unsigned>(i - 1));
+      switch (below.kind) {
+        case Residence::kLo:
+          e.line("lsrs r0, r" + std::to_string(below.reg) + ", #28");
+          break;
+        case Residence::kHi:
+          e.line("mov r0, r" + std::to_string(below.reg));
+          e.line("lsrs r0, r0, #28");
+          break;
+        case Residence::kMem:
+          e.line("ldr r0, [r3, " + off(kVOff + 4 * (i - 1)) + "]");
+          e.line("lsrs r0, r0, #28");
+          break;
+      }
+    }
+    const Residence cur = res(static_cast<unsigned>(i));
+    switch (cur.kind) {
+      case Residence::kLo: {
+        const std::string rv = "r" + std::to_string(cur.reg);
+        e.line("lsls " + rv + ", " + rv + ", #4");
+        if (i > 0) e.line("orrs " + rv + ", r0");
+        break;
+      }
+      case Residence::kHi:
+        e.line("mov r2, r" + std::to_string(cur.reg));
+        e.line("lsls r2, r2, #4");
+        if (i > 0) e.line("orrs r2, r0");
+        e.line("mov r" + std::to_string(cur.reg) + ", r2");
+        break;
+      case Residence::kMem:
+        e.line("ldr r2, [r3, " + off(kVOff + 4 * i) + "]");
+        e.line("lsls r2, r2, #4");
+        if (i > 0) e.line("orrs r2, r0");
+        e.line("str r2, [r3, " + off(kVOff + 4 * i) + "]");
+        break;
+    }
+  }
+}
+
+/// Word-at-a-time fold of the 16-word buffer at `base_reg` modulo
+/// z^233 + z^74 + 1, in place, including the top partial word and mask.
+void emit_reduce_body(Emitter& e, const std::string& base_reg) {
+  auto rmw = [&](unsigned word, const std::string& shifted) {
+    e.line(shifted);  // r1 = t shifted appropriately
+    e.line("ldr r2, [" + base_reg + ", " + off(4 * word) + "]");
+    e.line("eors r2, r1");
+    e.line("str r2, [" + base_reg + ", " + off(4 * word) + "]");
+  };
+  for (int i = 15; i >= 8; --i) {
+    e.line("ldr r0, [" + base_reg + ", " + off(4 * i) + "]");
+    rmw(static_cast<unsigned>(i - 8), "lsls r1, r0, #23");
+    rmw(static_cast<unsigned>(i - 7), "lsrs r1, r0, #9");
+    rmw(static_cast<unsigned>(i - 5), "lsls r1, r0, #1");
+    rmw(static_cast<unsigned>(i - 4), "lsrs r1, r0, #31");
+  }
+  // t = v[7] >> 9 folds to bits 0.. and 74..
+  e.line("ldr r0, [" + base_reg + ", #28]");
+  e.line("lsrs r0, r0, #9");
+  rmw(0, "movs r1, r0");
+  rmw(2, "lsls r1, r0, #10");
+  rmw(3, "lsrs r1, r0, #22");
+  // v[7] &= 0x1FF
+  e.line("ldr r2, [" + base_reg + ", #28]");
+  e.line("lsls r2, r2, #23");
+  e.line("lsrs r2, r2, #23");
+  e.line("str r2, [" + base_reg + ", #28]");
+}
+
+/// Generic word-at-a-time fold of a 2n-word buffer at `base_reg` modulo
+/// x^m + sum x^t (terms below m given in `terms`, descending, ending in
+/// 0), in place, including the partial boundary word and mask. Mirrors
+/// gf2::GF2Field::reduce_wide, fully unrolled.
+void emit_reduce_generic(Emitter& e, const std::string& base_reg, unsigned m,
+                         const std::vector<unsigned>& terms, unsigned n) {
+  const unsigned mw = m / 32;
+  const unsigned mb = m % 32;
+  auto rmw = [&](unsigned word, const std::string& shifted) {
+    e.line(shifted);  // r1 = t shifted
+    e.line("ldr r2, [" + base_reg + ", " + off(4 * word) + "]");
+    e.line("eors r2, r1");
+    e.line("str r2, [" + base_reg + ", " + off(4 * word) + "]");
+  };
+  for (int i = static_cast<int>(2 * n) - 1; i > static_cast<int>(mw); --i) {
+    e.line("ldr r0, [" + base_reg + ", " + off(4 * i) + "]");
+    // The source word is consumed entirely; clear it first so fold
+    // targets can alias it safely (they cannot here, but stay uniform).
+    e.line("movs r1, #0");
+    e.line("str r1, [" + base_reg + ", " + off(4 * i) + "]");
+    for (std::size_t k = 1; k < terms.size(); ++k) {
+      const unsigned q =
+          static_cast<unsigned>(i) * 32 - (m - terms[k]);
+      const unsigned b = q % 32;
+      if (b == 0) {
+        rmw(q / 32, "movs r1, r0");
+      } else {
+        rmw(q / 32, "lsls r1, r0, #" + std::to_string(b));
+        rmw(q / 32 + 1, "lsrs r1, r0, #" + std::to_string(32 - b));
+      }
+    }
+  }
+  // Partial boundary word: t = c[mw] >> mb.
+  e.line("ldr r0, [" + base_reg + ", " + off(4 * mw) + "]");
+  e.line("lsrs r0, r0, #" + std::to_string(mb));
+  for (std::size_t k = 1; k < terms.size(); ++k) {
+    const unsigned tm = terms[k];
+    const unsigned b = tm % 32;
+    if (b == 0) {
+      rmw(tm / 32, "movs r1, r0");
+    } else {
+      rmw(tm / 32, "lsls r1, r0, #" + std::to_string(b));
+      if (mb + b > 32) {
+        // Only spill when t's high bits actually cross the word boundary.
+        rmw(tm / 32 + 1, "lsrs r1, r0, #" + std::to_string(32 - b));
+      } else {
+        rmw(tm / 32 + 1, "lsrs r1, r0, #" + std::to_string(32 - b));
+      }
+    }
+  }
+  // Mask the boundary word.
+  e.line("ldr r2, [" + base_reg + ", " + off(4 * mw) + "]");
+  e.line("lsls r2, r2, #" + std::to_string(32 - mb));
+  e.line("lsrs r2, r2, #" + std::to_string(32 - mb));
+  e.line("str r2, [" + base_reg + ", " + off(4 * mw) + "]");
+}
+
+/// Reduction interleaved with the fixed-register state (paper section
+/// 3.2.1: "the field multiplication algorithm can be interleaved with the
+/// reduction algorithm"): folds words 15..8 directly from/into their
+/// residences — most fold targets are register-resident, so the flush +
+/// memory-pass round trip of a standalone reduction disappears. Result is
+/// written to v[0..7] in RAM.
+void emit_reduce_fixed_state(Emitter& e) {
+  // r0 = t (source word), r1 = shifted value, r2 = hi shuttle.
+  auto fold = [&e](unsigned target, const std::string& shifted) {
+    e.line(shifted);  // r1 = t shifted
+    const Residence r = fixed_residence(target);
+    switch (r.kind) {
+      case Residence::kLo:
+        e.line("eors r" + std::to_string(r.reg) + ", r1");
+        break;
+      case Residence::kHi:
+        e.line("mov r2, r" + std::to_string(r.reg));
+        e.line("eors r2, r1");
+        e.line("mov r" + std::to_string(r.reg) + ", r2");
+        break;
+      case Residence::kMem:
+        e.line("ldr r2, [r3, " + off(kVOff + 4 * target) + "]");
+        e.line("eors r2, r1");
+        e.line("str r2, [r3, " + off(kVOff + 4 * target) + "]");
+        break;
+    }
+  };
+  for (int i = 15; i >= 8; --i) {
+    const Residence src = fixed_residence(static_cast<unsigned>(i));
+    switch (src.kind) {
+      case Residence::kLo:
+        e.line("movs r0, r" + std::to_string(src.reg));
+        break;
+      case Residence::kHi:
+        e.line("mov r0, r" + std::to_string(src.reg));
+        break;
+      case Residence::kMem:
+        e.line("ldr r0, [r3, " + off(kVOff + 4 * i) + "]");
+        break;
+    }
+    fold(static_cast<unsigned>(i - 8), "lsls r1, r0, #23");
+    fold(static_cast<unsigned>(i - 7), "lsrs r1, r0, #9");
+    fold(static_cast<unsigned>(i - 5), "lsls r1, r0, #1");
+    fold(static_cast<unsigned>(i - 4), "lsrs r1, r0, #31");
+  }
+  // Top fold: t = v[7] >> 9 (v[7] lives in r6), then mask v[7].
+  e.line("lsrs r0, r6, #9");
+  fold(0, "movs r1, r0");
+  fold(2, "lsls r1, r0, #10");
+  fold(3, "lsrs r1, r0, #22");
+  e.line("lsls r6, r6, #23");
+  e.line("lsrs r6, r6, #23");
+  // Write the reduced words 3..7 back to RAM (0..2 are already there).
+  for (unsigned i = 3; i < 8; ++i) {
+    const Residence r = fixed_residence(i);
+    if (r.kind == Residence::kLo) {
+      e.line("str r" + std::to_string(r.reg) + ", [r3, " +
+             off(kVOff + 4 * i) + "]");
+    } else {
+      e.line("mov r2, r" + std::to_string(r.reg));
+      e.line("str r2, [r3, " + off(kVOff + 4 * i) + "]");
+    }
+  }
+}
+
+/// Flush the pinned registers back to RAM so reduction can run in memory.
+void emit_flush_fixed(Emitter& e, unsigned n) {
+  const unsigned w0 = (n - 1) / 2;
+  for (unsigned i = w0; i <= w0 + n; ++i) {
+    const Residence r = fixed_residence_n(n, i);
+    if (r.kind == Residence::kLo) {
+      e.line("str r" + std::to_string(r.reg) + ", [r3, " +
+             off(kVOff + 4 * i) + "]");
+    } else {
+      e.line("mov r2, r" + std::to_string(r.reg));
+      e.line("str r2, [r3, " + off(kVOff + 4 * i) + "]");
+    }
+  }
+}
+
+template <typename ResFn>
+std::string gen_mul(unsigned n, unsigned m,
+                    const std::vector<unsigned>& terms, bool fixed,
+                    bool reduce, ResFn res) {
+  Emitter e;
+  e.label("entry");
+  emit_load_base(e, 3, 0);
+  emit_lut_gen(e, n);
+  // Zero the product vector.
+  e.line("movs r0, #0");
+  for (unsigned i = 0; i < 2 * n; ++i) {
+    const Residence r = res(i);
+    switch (r.kind) {
+      case Residence::kLo:
+        e.line("movs r" + std::to_string(r.reg) + ", #0");
+        break;
+      case Residence::kHi:
+        e.line("mov r" + std::to_string(r.reg) + ", r0");
+        break;
+      case Residence::kMem:
+        e.line("str r0, [r3, " + off(kVOff + 4 * i) + "]");
+        break;
+    }
+  }
+  // The kernel is a leaf (it ends in BKPT), so LR is a free register:
+  // park the LUT base there and save an add per (j, k) block.
+  e.line("movs r1, #" + std::to_string(kLutOff));
+  e.line("add r1, r3");
+  e.line("mov lr, r1");
+  // Main left-to-right nibble scan, fully unrolled.
+  for (int j = 7; j >= 0; --j) {
+    for (unsigned k = 0; k < n; ++k) {
+      e.line("ldr r2, [r3, " + off(kXOff + 4 * k) + "]");
+      if (j == 7) {
+        e.line("lsrs r2, r2, #28");
+      } else {
+        e.line("lsls r2, r2, #" + std::to_string(28 - 4 * j));
+        e.line("lsrs r2, r2, #28");
+      }
+      e.line("lsls r1, r2, #5");
+      e.line("add r1, lr");
+      for (unsigned l = 0; l < n; ++l) {
+        e.line("ldr r0, [r1, " + off(4 * l) + "]");
+        emit_xor_into_v(e, k + l, res);
+      }
+    }
+    if (j != 0) emit_shl4(e, n, res);
+  }
+  if (fixed && reduce && m == 233) {
+    emit_reduce_fixed_state(e);  // interleaved with the register state
+  } else {
+    if (fixed) emit_flush_fixed(e, n);
+    if (reduce) {
+      if (m == 233) {
+        emit_reduce_body(e, "r3");
+      } else {
+        emit_reduce_generic(e, "r3", m, terms, n);
+      }
+    }
+  }
+  e.line("bkpt");
+  return e.take();
+}
+
+}  // namespace
+
+std::string gen_mul_fixed(bool reduce) {
+  return gen_mul(8, 233, {233, 74, 0}, true, reduce, fixed_residence);
+}
+
+std::string gen_mul_plain(bool reduce) {
+  return gen_mul(8, 233, {233, 74, 0}, false, reduce, mem_residence);
+}
+
+std::string gen_mul_k163_fixed(bool reduce) {
+  return gen_mul(6, 163, {163, 7, 6, 3, 0}, true, reduce,
+                 [](unsigned i) { return fixed_residence_n(6, i); });
+}
+
+std::string gen_mul_k163_plain(bool reduce) {
+  return gen_mul(6, 163, {163, 7, 6, 3, 0}, false, reduce, mem_residence);
+}
+
+std::string gen_lut_only() {
+  Emitter e;
+  e.label("entry");
+  emit_load_base(e, 3, 0);
+  emit_lut_gen(e, 8);
+  e.line("bkpt");
+  return e.take();
+}
+
+std::string gen_sqr() {
+  Emitter e;
+  e.label("entry");
+  emit_load_base(e, 3, 0);
+  emit_load_base(e, 4, kSqrTabOff, "r3");
+  emit_load_base(e, 5, kInOff, "r3");
+  emit_load_base(e, 6, kWideOff, "r3");
+  emit_load_base(e, 7, kOutOff, "r3");
+  // The low half of the expansion goes straight to the output buffer
+  // (it is the part that survives reduction); the high half goes to the
+  // wide scratch and is folded onto the output (paper section 3.2.4's
+  // "the upper half is expanded and then immediately reduced").
+  for (unsigned i = 0; i < 8; ++i) {
+    const bool low_half = i < 4;
+    const std::string base = low_half ? "r7" : "r6";
+    const unsigned base_off = low_half ? 8 * i : 8 * (i - 4);
+    e.line("ldr r0, [r5, " + off(4 * i) + "]");
+    // low expansion word: spread(byte0) | spread(byte1) << 16
+    e.line("lsls r1, r0, #24");
+    e.line("lsrs r1, r1, #23");  // byte0 * 2 = halfword table index
+    e.line("ldrh r2, [r4, r1]");
+    e.line("lsls r1, r0, #16");
+    e.line("lsrs r1, r1, #24");
+    e.line("lsls r1, r1, #1");
+    e.line("ldrh r1, [r4, r1]");
+    e.line("lsls r1, r1, #16");
+    e.line("orrs r2, r1");
+    e.line("str r2, [" + base + ", " + off(base_off) + "]");
+    // high expansion word
+    e.line("lsls r1, r0, #8");
+    e.line("lsrs r1, r1, #24");
+    e.line("lsls r1, r1, #1");
+    e.line("ldrh r2, [r4, r1]");
+    e.line("lsrs r1, r0, #24");
+    e.line("lsls r1, r1, #1");
+    e.line("ldrh r1, [r4, r1]");
+    e.line("lsls r1, r1, #16");
+    e.line("orrs r2, r1");
+    e.line("str r2, [" + base + ", " + off(base_off + 4) + "]");
+  }
+  // Fold the high words (wide[0..7] = product words 8..15) onto the
+  // output, top down, then the partial top word. Fold targets >= 8 still
+  // live in the wide buffer; lower targets in the output buffer.
+  auto rmw = [&e](int target, const std::string& shifted) {
+    e.line(shifted);
+    const std::string base = target >= 8 ? "r6" : "r7";
+    const unsigned o = target >= 8 ? 4 * (static_cast<unsigned>(target) - 8)
+                                   : 4 * static_cast<unsigned>(target);
+    e.line("ldr r2, [" + base + ", " + off(o) + "]");
+    e.line("eors r2, r1");
+    e.line("str r2, [" + base + ", " + off(o) + "]");
+  };
+  for (int i = 15; i >= 8; --i) {
+    e.line("ldr r0, [r6, " + off(4 * (i - 8)) + "]");
+    rmw(i - 8, "lsls r1, r0, #23");
+    rmw(i - 7, "lsrs r1, r0, #9");
+    rmw(i - 5, "lsls r1, r0, #1");
+    rmw(i - 4, "lsrs r1, r0, #31");
+  }
+  e.line("ldr r0, [r7, #28]");
+  e.line("lsrs r0, r0, #9");
+  rmw(0, "movs r1, r0");
+  rmw(2, "lsls r1, r0, #10");
+  rmw(3, "lsrs r1, r0, #22");
+  e.line("ldr r2, [r7, #28]");
+  e.line("lsls r2, r2, #23");
+  e.line("lsrs r2, r2, #23");
+  e.line("str r2, [r7, #28]");
+  e.line("bkpt");
+  return e.take();
+}
+
+std::string gen_inv() {
+  // Register convention in the main loop:
+  //   r6 = vars block: [0]=du [4]=dv [8]=&u [12]=&v [16]=&g1 [20]=&g2
+  //   everything else is scratch; subroutines preserve r4-r7.
+  // xsh(dst=r0, src=r1, j=r2): dst ^= src << j  (8-word vectors)
+  // deg(ptr=r0) -> r0: polynomial degree, -1 for zero.
+  return R"(
+entry:
+    movs r0, #1
+    lsls r0, r0, #29        ; r0 = RAM base
+    movs r6, #216
+    lsls r6, r6, #3
+    add  r6, r0             ; r6 = vars block (base + 0x6C0)
+
+    ; u = a (copy 8 words from 0x480 to 0x600)
+    movs r1, #144
+    lsls r1, r1, #3
+    add  r1, r0             ; in ptr
+    movs r2, #192
+    lsls r2, r2, #3
+    add  r2, r0             ; u ptr
+    str  r2, [r6, #8]
+    movs r4, #0
+cp_u:
+    ldr  r3, [r1, r4]
+    str  r3, [r2, r4]
+    adds r4, #4
+    cmp  r4, #32
+    blt  cp_u
+
+    ; v = f = z^233 + z^74 + 1
+    movs r2, #196
+    lsls r2, r2, #3
+    add  r2, r0             ; v ptr (0x620)
+    str  r2, [r6, #12]
+    movs r3, #0
+    movs r4, #0
+zf:
+    str  r3, [r2, r4]
+    adds r4, #4
+    cmp  r4, #32
+    blt  zf
+    movs r3, #1
+    str  r3, [r2, #0]       ; z^0
+    lsls r3, r3, #10
+    str  r3, [r2, #8]       ; z^74 = word 2 bit 10
+    movs r3, #1
+    lsls r3, r3, #9
+    str  r3, [r2, #28]      ; z^233 = word 7 bit 9
+
+    ; g1 = 1, g2 = 0
+    movs r2, #200
+    lsls r2, r2, #3
+    add  r2, r0             ; g1 ptr (0x640)
+    str  r2, [r6, #16]
+    movs r3, #0
+    movs r4, #0
+zg1:
+    str  r3, [r2, r4]
+    adds r4, #4
+    cmp  r4, #32
+    blt  zg1
+    movs r3, #1
+    str  r3, [r2, #0]
+    movs r2, #204
+    lsls r2, r2, #3
+    add  r2, r0             ; g2 ptr (0x660)
+    str  r2, [r6, #20]
+    movs r3, #0
+    movs r4, #0
+zg2:
+    str  r3, [r2, r4]
+    adds r4, #4
+    cmp  r4, #32
+    blt  zg2
+
+    ; dv = 233; du = deg(u)
+    movs r3, #233
+    str  r3, [r6, #4]
+    ldr  r0, [r6, #8]
+    bl   deg
+    str  r0, [r6, #0]
+
+main_loop:
+    ldr  r0, [r6, #0]       ; du
+    cmp  r0, #0
+    ble  done
+    ldr  r1, [r6, #4]       ; dv
+    subs r2, r0, r1         ; j = du - dv
+    bge  noswap
+    ; pointer swap u<->v, g1<->g2, du<->dv; j = -j
+    ldr  r0, [r6, #8]
+    ldr  r1, [r6, #12]
+    str  r1, [r6, #8]
+    str  r0, [r6, #12]
+    ldr  r0, [r6, #16]
+    ldr  r1, [r6, #20]
+    str  r1, [r6, #16]
+    str  r0, [r6, #20]
+    ldr  r0, [r6, #0]
+    ldr  r1, [r6, #4]
+    str  r1, [r6, #0]
+    str  r0, [r6, #4]
+    rsbs r2, r2, #0
+noswap:
+    push {r2}
+    ldr  r0, [r6, #8]       ; u ^= v << j
+    ldr  r1, [r6, #12]
+    bl   xsh
+    pop  {r2}
+    ldr  r0, [r6, #16]      ; g1 ^= g2 << j
+    ldr  r1, [r6, #20]
+    bl   xsh
+    ldr  r0, [r6, #8]
+    bl   deg
+    str  r0, [r6, #0]
+    b    main_loop
+
+done:
+    ; copy g1 to out (0x4C0)
+    ldr  r1, [r6, #16]
+    movs r0, #1
+    lsls r0, r0, #29
+    movs r2, #152
+    lsls r2, r2, #3
+    add  r2, r0
+    movs r4, #0
+cp_out:
+    ldr  r3, [r1, r4]
+    str  r3, [r2, r4]
+    adds r4, #4
+    cmp  r4, #32
+    blt  cp_out
+    bkpt
+
+; --- xsh: dst(r0) ^= src(r1) << j(r2); clobbers r0-r3, preserves r4-r7.
+xsh:
+    push {r4-r7}
+    lsrs r3, r2, #5         ; wj = j / 32
+    lsls r4, r3, #2
+    adds r0, r0, r4         ; dst' = dst + 4*wj
+    movs r4, #31
+    ands r2, r4             ; b = j & 31
+    movs r4, #32
+    subs r4, r4, r2         ; 32 - b (reg shift by 32 yields 0 when b=0)
+    movs r5, #7
+    subs r5, r5, r3         ; i = 7 - wj
+xloop:
+    lsls r6, r5, #2
+    ldr  r7, [r1, r6]       ; src[i]
+    movs r3, r7
+    lsls r3, r2             ; src[i] << b
+    cmp  r5, #0
+    beq  xstore
+    subs r6, #4
+    ldr  r6, [r1, r6]       ; src[i-1]
+    lsrs r6, r4             ; >> (32-b)
+    orrs r3, r6
+xstore:
+    lsls r6, r5, #2
+    ldr  r7, [r0, r6]
+    eors r7, r3
+    str  r7, [r0, r6]
+    subs r5, #1
+    bpl  xloop
+    pop  {r4-r7}
+    bx   lr
+
+; --- deg: r0 = ptr -> r0 = degree of the 8-word polynomial, -1 if zero.
+deg:
+    movs r2, #28
+dg_w:
+    ldr  r3, [r0, r2]
+    cmp  r3, #0
+    bne  dg_f
+    subs r2, #4
+    bpl  dg_w
+    movs r0, #0
+    mvns r0, r0             ; -1
+    bx   lr
+dg_f:
+    lsls r2, r2, #3         ; word_index * 32
+    movs r1, #31
+dg_b:
+    cmp  r3, #0
+    bmi  dg_d               ; bit 31 set
+    lsls r3, r3, #1
+    subs r1, #1
+    b    dg_b
+dg_d:
+    adds r0, r2, r1
+    bx   lr
+)";
+}
+
+std::string gen_reduce() {
+  Emitter e;
+  e.label("entry");
+  emit_load_base(e, 3, 0);
+  emit_load_base(e, 6, kWideOff, "r3");
+  emit_load_base(e, 7, kOutOff, "r3");
+  emit_reduce_body(e, "r6");
+  for (unsigned i = 0; i < 8; ++i) {
+    e.line("ldr r0, [r6, " + off(4 * i) + "]");
+    e.line("str r0, [r7, " + off(4 * i) + "]");
+  }
+  e.line("bkpt");
+  return e.take();
+}
+
+}  // namespace eccm0::asmkernels

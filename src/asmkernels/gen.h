@@ -1,0 +1,77 @@
+// Thumb-1 source generators for the K-233 field kernels.
+//
+// The kernels are emitted as assembly text (loops unrolled by the
+// generator, exactly as a hand-optimiser would) and assembled/run on the
+// armvm core, which yields *measured* Cortex-M0+ cycle counts for Tables
+// 5 and 6 rather than modelled ones.
+//
+// Fixed RAM layout shared by the multiplication kernels (offsets from the
+// base register r3 = RAM base):
+//   0x000  v    16-word product / reduced result
+//   0x040  x    8-word multiplier (scanned operand)
+//   0x060  y    8-word multiplicand (LUT operand)
+//   0x080  LUT  16 entries x 8 words (u(z)*y(z), u < 16)
+// Squaring/reduction kernels:
+//   0x280  256-entry halfword squaring table
+//   0x480  8-word input a
+//   0x4C0  8-word output r
+//   0x500  16-word wide buffer
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace eccm0::asmkernels {
+
+inline constexpr std::uint32_t kVOff = 0x000;
+inline constexpr std::uint32_t kXOff = 0x040;
+inline constexpr std::uint32_t kYOff = 0x060;
+inline constexpr std::uint32_t kLutOff = 0x080;
+inline constexpr std::uint32_t kSqrTabOff = 0x280;
+inline constexpr std::uint32_t kInOff = 0x480;
+inline constexpr std::uint32_t kOutOff = 0x4C0;
+inline constexpr std::uint32_t kWideOff = 0x500;
+
+/// Lopez-Dahab w=4 multiplication with the paper's fixed-register layout:
+/// v[3..11] pinned (v[5..8] in lo registers r4-r7, v[3],v[4],v[9..11] in
+/// hi registers r8-r12), v[0..2] and v[12..15] in RAM. If `reduce` is
+/// true the kernel folds the product modulo z^233+z^74+1 in place.
+std::string gen_mul_fixed(bool reduce);
+
+/// Plain Lopez-Dahab w=4 with the whole product vector in RAM — the shape
+/// a C compiler produces (no register pinning); the paper's Table 6
+/// "C language" comparator.
+std::string gen_mul_plain(bool reduce);
+
+/// The same two kernels instantiated for K-163's field F(2^163)
+/// (pentanomial x^163+x^7+x^6+x^3+1, n = 6, window v[2..8] pinned) —
+/// the paper's method ported to the other NIST Koblitz field we model.
+std::string gen_mul_k163_fixed(bool reduce);
+std::string gen_mul_k163_plain(bool reduce);
+
+/// Table-based modular squaring (256-entry halfword table) + reduction.
+std::string gen_sqr();
+
+/// Standalone word-at-a-time reduction of the 16-word wide buffer into
+/// the output slot.
+std::string gen_reduce();
+
+/// Only the w=4 lookup-table generation (T[u] = u*y) — isolates the
+/// "Multiply Precomputation" share of a multiplication (Table 7).
+std::string gen_lut_only();
+
+/// Field inversion by the Extended Euclidean Algorithm for binary
+/// polynomials — a genuine looping/branching Thumb routine (pointer-swap
+/// instead of content-swap, shift-function subroutine, degree scan).
+/// Input at kInOff, result at kOutOff; scratch at kInvUOff..: this is the
+/// "compiled-shape" inversion the paper kept in C (Table 6 lists no
+/// assembly column for it).
+std::string gen_inv();
+
+inline constexpr std::uint32_t kInvUOff = 0x600;
+inline constexpr std::uint32_t kInvVOff = 0x620;
+inline constexpr std::uint32_t kInvG1Off = 0x640;
+inline constexpr std::uint32_t kInvG2Off = 0x660;
+inline constexpr std::uint32_t kInvVarsOff = 0x6C0;
+
+}  // namespace eccm0::asmkernels

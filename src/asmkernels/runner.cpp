@@ -1,0 +1,137 @@
+#include "asmkernels/runner.h"
+
+#include "asmkernels/gen.h"
+#include "gf2/sqr_table.h"
+
+namespace eccm0::asmkernels {
+namespace {
+
+constexpr std::size_t kRamSize = 0x800;
+
+using gf2::k233::Fe;
+using gf2::k233::Prod;
+
+void write_fe(armvm::Memory& mem, std::uint32_t offset, const Fe& v) {
+  mem.write_words(armvm::kRamBase + offset,
+                  std::span<const std::uint32_t>(v.data(), v.size()));
+}
+
+void write_sqr_table(armvm::Memory& mem) {
+  for (unsigned i = 0; i < 256; ++i) {
+    mem.store16(armvm::kRamBase + kSqrTabOff + 2 * i, gf2::kSquareTable[i]);
+  }
+}
+
+}  // namespace
+
+KernelVm::KernelVm()
+    : mul_fixed_raw_(armvm::assemble(gen_mul_fixed(false))),
+      mul_fixed_mod_(armvm::assemble(gen_mul_fixed(true))),
+      mul_plain_raw_(armvm::assemble(gen_mul_plain(false))),
+      mul_plain_mod_(armvm::assemble(gen_mul_plain(true))),
+      sqr_(armvm::assemble(gen_sqr())),
+      reduce_(armvm::assemble(gen_reduce())),
+      lut_only_(armvm::assemble(gen_lut_only())),
+      inv_(armvm::assemble(gen_inv())),
+      mul163_fixed_raw_(armvm::assemble(gen_mul_k163_fixed(false))),
+      mul163_fixed_mod_(armvm::assemble(gen_mul_k163_fixed(true))),
+      mul163_plain_raw_(armvm::assemble(gen_mul_k163_plain(false))),
+      mul163_plain_mod_(armvm::assemble(gen_mul_k163_plain(true))) {}
+
+KernelVm::Mul163Result KernelVm::mul_k163(MulKernel kernel, const Fe163& x,
+                                          const Fe163& y, bool reduce) {
+  const armvm::Program& prog =
+      kernel == MulKernel::kFixedRegisters
+          ? (reduce ? mul163_fixed_mod_ : mul163_fixed_raw_)
+          : (reduce ? mul163_plain_mod_ : mul163_plain_raw_);
+  armvm::Memory mem(kRamSize);
+  mem.write_words(armvm::kRamBase + kXOff,
+                  std::span<const std::uint32_t>(x.data(), x.size()));
+  mem.write_words(armvm::kRamBase + kYOff,
+                  std::span<const std::uint32_t>(y.data(), y.size()));
+  armvm::Cpu cpu(prog.code, mem);
+  Mul163Result r;
+  r.stats = cpu.call(prog.entry("entry"), {});
+  if (reduce) {
+    const auto words = mem.read_words(armvm::kRamBase + kVOff, 6);
+    for (std::size_t i = 0; i < 6; ++i) r.reduced[i] = words[i];
+  } else {
+    const auto words = mem.read_words(armvm::kRamBase + kVOff, 12);
+    for (std::size_t i = 0; i < 12; ++i) r.product[i] = words[i];
+  }
+  return r;
+}
+
+KernelVm::FeResult KernelVm::inv(const Fe& a) {
+  armvm::Memory mem(kRamSize);
+  write_fe(mem, kInOff, a);
+  armvm::Cpu cpu(inv_.code, mem);
+  FeResult r;
+  r.stats = cpu.call(inv_.entry("entry"), {});
+  const auto words = mem.read_words(armvm::kRamBase + kOutOff, 8);
+  for (std::size_t i = 0; i < 8; ++i) r.value[i] = words[i];
+  return r;
+}
+
+std::uint64_t KernelVm::lut_cycles(const Fe& y) {
+  armvm::Memory mem(kRamSize);
+  write_fe(mem, kYOff, y);
+  armvm::Cpu cpu(lut_only_.code, mem);
+  return cpu.call(lut_only_.entry("entry"), {}).cycles;
+}
+
+KernelVm::MulResult KernelVm::mul(MulKernel kernel, const Fe& x, const Fe& y,
+                                  bool reduce) {
+  const armvm::Program& prog =
+      kernel == MulKernel::kFixedRegisters
+          ? (reduce ? mul_fixed_mod_ : mul_fixed_raw_)
+          : (reduce ? mul_plain_mod_ : mul_plain_raw_);
+  armvm::Memory mem(kRamSize);
+  write_fe(mem, kXOff, x);
+  write_fe(mem, kYOff, y);
+  armvm::Cpu cpu(prog.code, mem);
+  MulResult r;
+  r.stats = cpu.call(prog.entry("entry"), {});
+  if (reduce) {
+    const auto words = mem.read_words(armvm::kRamBase + kVOff, 8);
+    for (std::size_t i = 0; i < 8; ++i) r.reduced[i] = words[i];
+  } else {
+    const auto words = mem.read_words(armvm::kRamBase + kVOff, 16);
+    for (std::size_t i = 0; i < 16; ++i) r.product[i] = words[i];
+  }
+  return r;
+}
+
+KernelVm::FeResult KernelVm::sqr(const Fe& a) {
+  armvm::Memory mem(kRamSize);
+  write_sqr_table(mem);
+  write_fe(mem, kInOff, a);
+  armvm::Cpu cpu(sqr_.code, mem);
+  FeResult r;
+  r.stats = cpu.call(sqr_.entry("entry"), {});
+  const auto words = mem.read_words(armvm::kRamBase + kOutOff, 8);
+  for (std::size_t i = 0; i < 8; ++i) r.value[i] = words[i];
+  return r;
+}
+
+KernelVm::FeResult KernelVm::reduce(const Prod& wide) {
+  armvm::Memory mem(kRamSize);
+  mem.write_words(armvm::kRamBase + kWideOff,
+                  std::span<const std::uint32_t>(wide.data(), wide.size()));
+  armvm::Cpu cpu(reduce_.code, mem);
+  FeResult r;
+  r.stats = cpu.call(reduce_.entry("entry"), {});
+  const auto words = mem.read_words(armvm::kRamBase + kOutOff, 8);
+  for (std::size_t i = 0; i < 8; ++i) r.value[i] = words[i];
+  return r;
+}
+
+std::size_t KernelVm::code_bytes_mul_fixed() const {
+  return 2 * mul_fixed_mod_.code.size();
+}
+
+std::size_t KernelVm::code_bytes_sqr() const {
+  return 2 * sqr_.code.size();
+}
+
+}  // namespace eccm0::asmkernels

@@ -1,0 +1,66 @@
+#include "common/hex.h"
+
+#include <stdexcept>
+
+namespace eccm0 {
+namespace {
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string_view strip_prefix(std::string_view hex) {
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    hex.remove_prefix(2);
+  }
+  return hex;
+}
+
+}  // namespace
+
+std::vector<Word> words_from_hex(std::string_view hex) {
+  hex = strip_prefix(hex);
+  std::vector<Word> out(words_for_bits(hex.size() * 4));
+  if (out.empty()) out.resize(1);
+  words_from_hex(hex, out);
+  return out;
+}
+
+void words_from_hex(std::string_view hex, std::span<Word> out) {
+  hex = strip_prefix(hex);
+  for (Word& w : out) w = 0;
+  std::size_t bit = 0;  // next bit position (little-endian)
+  for (std::size_t i = hex.size(); i-- > 0;) {
+    int v = nibble(hex[i]);
+    if (v < 0) throw std::invalid_argument("words_from_hex: non-hex digit");
+    if (v != 0 && bit + 4 > out.size() * kWordBits) {
+      throw std::length_error("words_from_hex: value does not fit");
+    }
+    if (bit + 4 <= out.size() * kWordBits) {
+      out[bit / kWordBits] |=
+          static_cast<Word>(v) << (bit % kWordBits);
+    }
+    bit += 4;
+  }
+}
+
+std::string words_to_hex(std::span<const Word> w) {
+  static constexpr char kDigits[] = "0123456789ABCDEF";
+  std::string s;
+  bool leading = true;
+  for (std::size_t i = w.size(); i-- > 0;) {
+    for (int shift = kWordBits - 4; shift >= 0; shift -= 4) {
+      unsigned v = (w[i] >> shift) & 0xFu;
+      if (leading && v == 0) continue;
+      leading = false;
+      s.push_back(kDigits[v]);
+    }
+  }
+  if (s.empty()) s.push_back('0');
+  return s;
+}
+
+}  // namespace eccm0

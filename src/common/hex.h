@@ -1,0 +1,27 @@
+// Hex codec between big-endian hex strings (the notation used by SEC2 /
+// NIST parameter listings and the paper) and little-endian word arrays
+// (the in-memory representation used by all arithmetic).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/words.h"
+
+namespace eccm0 {
+
+/// Parse a big-endian hex string (optionally "0x"-prefixed) into
+/// little-endian words. Throws std::invalid_argument on non-hex input.
+std::vector<Word> words_from_hex(std::string_view hex);
+
+/// Parse into a caller-provided little-endian buffer (zero padded).
+/// Throws std::length_error if the value does not fit.
+void words_from_hex(std::string_view hex, std::span<Word> out);
+
+/// Render little-endian words as a big-endian hex string without leading
+/// zeros ("0" for zero).
+std::string words_to_hex(std::span<const Word> w);
+
+}  // namespace eccm0

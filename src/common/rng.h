@@ -1,0 +1,46 @@
+// Deterministic pseudo-random generator for tests, benches and examples.
+//
+// Everything in this repo that needs randomness takes an explicit Rng so
+// experiments are reproducible run to run (no hidden global state).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/words.h"
+
+namespace eccm0 {
+
+/// SplitMix64: tiny, high-quality, deterministic. Not cryptographic; the
+/// crypto module layers an HMAC-DRBG on top when key material is needed.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  constexpr Word next_word() { return static_cast<Word>(next_u64()); }
+
+  /// Uniform value in [0, bound) for bound > 0.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    return next_u64() % bound;
+  }
+
+  constexpr void fill(std::span<Word> out) {
+    for (Word& w : out) w = next_word();
+  }
+
+  constexpr void fill_bytes(std::span<std::uint8_t> out) {
+    for (auto& b : out) b = static_cast<std::uint8_t>(next_u64());
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace eccm0

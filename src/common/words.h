@@ -1,0 +1,59 @@
+// Basic machine-word definitions and bit utilities shared by every module.
+//
+// The whole library models a 32-bit target (the ARM Cortex-M0+), so the
+// canonical limb type is a 32-bit word even though the host is 64-bit.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace eccm0 {
+
+/// Machine word of the modelled target (Cortex-M0+ is a 32-bit core).
+using Word = std::uint32_t;
+/// Double-width word used for carries and 32x32 -> 64 products.
+using DWord = std::uint64_t;
+
+/// Word size in bits (the paper's `W`).
+inline constexpr unsigned kWordBits = 32;
+
+/// Number of words needed to hold `bits` bits.
+constexpr std::size_t words_for_bits(std::size_t bits) {
+  return (bits + kWordBits - 1) / kWordBits;
+}
+
+/// Index of the most significant set bit of a non-zero word (0..31).
+constexpr unsigned top_bit(Word w) {
+  return kWordBits - 1 - static_cast<unsigned>(std::countl_zero(w));
+}
+
+/// Degree of the binary polynomial stored little-endian in `w`
+/// (-1 for the zero polynomial).
+constexpr int poly_degree(std::span<const Word> w) {
+  for (std::size_t i = w.size(); i-- > 0;) {
+    if (w[i] != 0) {
+      return static_cast<int>(i * kWordBits + top_bit(w[i]));
+    }
+  }
+  return -1;
+}
+
+/// Test bit `i` of the little-endian word array `w`.
+constexpr bool get_bit(std::span<const Word> w, std::size_t i) {
+  return (w[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+/// Set bit `i` of the little-endian word array `w`.
+constexpr void set_bit(std::span<Word> w, std::size_t i) {
+  w[i / kWordBits] |= Word{1} << (i % kWordBits);
+}
+
+/// Flip bit `i` of the little-endian word array `w`.
+constexpr void flip_bit(std::span<Word> w, std::size_t i) {
+  w[i / kWordBits] ^= Word{1} << (i % kWordBits);
+}
+
+}  // namespace eccm0

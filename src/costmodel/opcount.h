@@ -1,0 +1,85 @@
+// Operation accounting in the style of the paper's Tables 1 and 2.
+//
+// The paper models a field-multiplication routine as a bag of abstract
+// operations — memory reads, memory writes, XORs, shifts — and converts the
+// bag to cycles with "memory operations take 2 cycles, everything else 1".
+// The traced gf2 multipliers tick an OpRecorder as they execute so the same
+// model can be regenerated from running code.
+#pragma once
+
+#include <cstdint>
+
+namespace eccm0::costmodel {
+
+/// Counts of the abstract operations the paper's model distinguishes.
+struct OpCounts {
+  std::uint64_t mem_read = 0;   ///< word loads from RAM
+  std::uint64_t mem_write = 0;  ///< word stores to RAM
+  std::uint64_t xor_ops = 0;    ///< XOR / OR word ops (paper's "XOR" column)
+  std::uint64_t shift = 0;      ///< single-word shift ops
+  std::uint64_t add = 0;        ///< integer add/sub (prime-field model)
+  std::uint64_t mul = 0;        ///< integer multiply (prime-field model)
+  std::uint64_t mov = 0;        ///< register-to-register moves
+  std::uint64_t other = 0;      ///< bookkeeping not in the paper's columns
+
+  constexpr std::uint64_t memory_ops() const { return mem_read + mem_write; }
+  constexpr std::uint64_t total() const {
+    return mem_read + mem_write + xor_ops + shift + add + mul + mov + other;
+  }
+
+  constexpr OpCounts& operator+=(const OpCounts& o) {
+    mem_read += o.mem_read;
+    mem_write += o.mem_write;
+    xor_ops += o.xor_ops;
+    shift += o.shift;
+    add += o.add;
+    mul += o.mul;
+    mov += o.mov;
+    other += o.other;
+    return *this;
+  }
+  friend constexpr OpCounts operator+(OpCounts a, const OpCounts& b) {
+    a += b;
+    return a;
+  }
+  friend constexpr OpCounts operator-(const OpCounts& a, const OpCounts& b) {
+    return {a.mem_read - b.mem_read, a.mem_write - b.mem_write,
+            a.xor_ops - b.xor_ops,  a.shift - b.shift,
+            a.add - b.add,          a.mul - b.mul,
+            a.mov - b.mov,          a.other - b.other};
+  }
+  friend constexpr bool operator==(const OpCounts&, const OpCounts&) = default;
+};
+
+/// Mutable recorder handed to traced algorithm implementations.
+class OpRecorder {
+ public:
+  constexpr void read(std::uint64_t n = 1) { c_.mem_read += n; }
+  constexpr void write(std::uint64_t n = 1) { c_.mem_write += n; }
+  constexpr void xor_op(std::uint64_t n = 1) { c_.xor_ops += n; }
+  constexpr void shift(std::uint64_t n = 1) { c_.shift += n; }
+  constexpr void add(std::uint64_t n = 1) { c_.add += n; }
+  constexpr void mul(std::uint64_t n = 1) { c_.mul += n; }
+  constexpr void mov(std::uint64_t n = 1) { c_.mov += n; }
+  constexpr void other(std::uint64_t n = 1) { c_.other += n; }
+
+  constexpr const OpCounts& counts() const { return c_; }
+  constexpr void reset() { c_ = {}; }
+
+ private:
+  OpCounts c_;
+};
+
+/// The paper's cycle model (Table 2 footnote): a memory operation costs
+/// `mem_cycles`, every other counted operation costs `alu_cycles`.
+struct CycleModel {
+  unsigned mem_cycles = 2;
+  unsigned alu_cycles = 1;
+
+  constexpr std::uint64_t cycles(const OpCounts& c) const {
+    return c.memory_ops() * mem_cycles +
+           (c.total() - c.memory_ops()) * alu_cycles;
+  }
+};
+
+}  // namespace eccm0::costmodel

@@ -1,0 +1,59 @@
+#include "crypto/ecdh.h"
+
+#include <stdexcept>
+
+namespace eccm0::crypto {
+
+using ec::AffinePoint;
+using ec::CurveOps;
+using mpint::UInt;
+
+Ecdh::Ecdh(const ec::BinaryCurve& curve) : curve_(&curve) {
+  CurveOps ops(curve);
+  g_table_ =
+      ec::make_wtnaf_table(ops, AffinePoint::make(curve.gx, curve.gy), 6);
+}
+
+UInt Ecdh::random_scalar(HmacDrbg& rng) const {
+  const std::size_t bytes = (curve_->order.bit_length() + 15) / 8;
+  for (;;) {
+    std::vector<std::uint8_t> buf(bytes);
+    rng.generate(buf);
+    // Big-endian bytes -> UInt, then reject out-of-range values.
+    UInt v;
+    for (std::uint8_t b : buf) v = (v << 8) + UInt{b};
+    v = v % curve_->order;
+    if (!v.is_zero()) return v;
+  }
+}
+
+KeyPair Ecdh::generate(HmacDrbg& rng) const {
+  const UInt d = random_scalar(rng);
+  CurveOps ops(*curve_);
+  return {d, ec::mul_wtnaf(ops, g_table_, d)};
+}
+
+AffinePoint Ecdh::shared_point(const UInt& d, const AffinePoint& peer) const {
+  CurveOps ops(*curve_);
+  return ec::mul_wtnaf(ops, peer, d, 4);
+}
+
+Digest Ecdh::shared_secret(const UInt& d, const AffinePoint& peer) const {
+  const AffinePoint p = shared_point(d, peer);
+  if (p.inf) {
+    // Contributory behaviour: reject degenerate agreements loudly.
+    throw std::invalid_argument("Ecdh: degenerate shared point");
+  }
+  // KDF(x) = SHA-256 over the big-endian x-coordinate.
+  const std::string hex = curve_->f().to_hex(p.x);
+  return Sha256::hash(hex);
+}
+
+bool Ecdh::valid_public_key(const AffinePoint& q) const {
+  if (q.inf) return false;
+  CurveOps ops(*curve_);
+  if (!ops.on_curve(q)) return false;
+  return ec::mul_wtnaf(ops, q, curve_->order, 4).inf;
+}
+
+}  // namespace eccm0::crypto

@@ -1,0 +1,43 @@
+// ECDH key agreement over a Koblitz binary curve — the paper's target
+// workload: PKC for key exchange in a hybrid WSN cryptosystem, with kG
+// (fixed-point, w=6) for key generation and kP (random-point, w=4) for
+// the shared secret.
+#pragma once
+
+#include "crypto/hmac.h"
+#include "ec/curve.h"
+#include "ec/scalarmul.h"
+#include "mpint/uint.h"
+
+namespace eccm0::crypto {
+
+struct KeyPair {
+  mpint::UInt d;       ///< private scalar in [1, n-1]
+  ec::AffinePoint q;   ///< public point d*G
+};
+
+class Ecdh {
+ public:
+  explicit Ecdh(const ec::BinaryCurve& curve = ec::BinaryCurve::sect233k1());
+
+  const ec::BinaryCurve& curve() const { return *curve_; }
+
+  /// Uniform private scalar in [1, n-1] from the DRBG.
+  mpint::UInt random_scalar(HmacDrbg& rng) const;
+  /// Key generation: fixed-point multiplication (paper kG path, w = 6).
+  KeyPair generate(HmacDrbg& rng) const;
+  /// Raw shared point: d * peer (paper kP path, w = 4).
+  ec::AffinePoint shared_point(const mpint::UInt& d,
+                               const ec::AffinePoint& peer) const;
+  /// KDF(x-coordinate): the symmetric key both sides derive.
+  Digest shared_secret(const mpint::UInt& d,
+                       const ec::AffinePoint& peer) const;
+  /// Public-key validation: on curve, not infinity, n*Q = infinity.
+  bool valid_public_key(const ec::AffinePoint& q) const;
+
+ private:
+  const ec::BinaryCurve* curve_;
+  ec::WtnafTable g_table_;  ///< w = 6 precomputation for G (offline)
+};
+
+}  // namespace eccm0::crypto

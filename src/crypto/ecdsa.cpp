@@ -1,0 +1,72 @@
+#include "crypto/ecdsa.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace eccm0::crypto {
+
+using ec::AffinePoint;
+using ec::CurveOps;
+using mpint::UInt;
+
+Ecdsa::Ecdsa(const ec::BinaryCurve& curve) : ecdh_(curve) {}
+
+UInt Ecdsa::hash_to_int(std::string_view msg) const {
+  const Digest h = Sha256::hash(msg);
+  UInt e;
+  for (std::uint8_t b : h) e = (e << 8) + UInt{b};
+  const std::size_t nbits = curve().order.bit_length();
+  if (256 > nbits) e = e >> (256 - nbits);
+  return e % curve().order;
+}
+
+UInt Ecdsa::x_mod_n(const AffinePoint& p) const {
+  const auto& f = curve().f();
+  std::vector<Word> limbs(p.x.begin(), p.x.begin() + f.words());
+  return UInt{std::move(limbs)} % curve().order;
+}
+
+Signature Ecdsa::sign(const UInt& d, std::string_view msg) const {
+  const UInt& n = curve().order;
+  const UInt e = hash_to_int(msg);
+  // Deterministic nonce stream seeded with d || H(m).
+  std::vector<std::uint8_t> seed;
+  for (char c : d.to_hex()) seed.push_back(static_cast<std::uint8_t>(c));
+  const Digest h = Sha256::hash(msg);
+  seed.insert(seed.end(), h.begin(), h.end());
+  HmacDrbg drbg(seed);
+  CurveOps ops(curve());
+  const AffinePoint g = AffinePoint::make(curve().gx, curve().gy);
+  for (;;) {
+    const UInt k = ecdh_.random_scalar(drbg);
+    const AffinePoint kg = ec::mul_wtnaf(ops, g, k, 6);
+    if (kg.inf) continue;
+    const UInt r = x_mod_n(kg);
+    if (r.is_zero()) continue;
+    const UInt s =
+        mulmod(invmod(k, n), addmod(e, mulmod(r, d, n), n), n);
+    if (s.is_zero()) continue;
+    return {r, s};
+  }
+}
+
+bool Ecdsa::verify(const AffinePoint& q, std::string_view msg,
+                   const Signature& sig) const {
+  const UInt& n = curve().order;
+  if (sig.r.is_zero() || sig.s.is_zero() || sig.r >= n || sig.s >= n) {
+    return false;
+  }
+  CurveOps ops(curve());
+  if (q.inf || !ops.on_curve(q)) return false;
+  const UInt e = hash_to_int(msg);
+  const UInt w = invmod(sig.s, n);
+  const UInt u1 = mulmod(e, w, n);
+  const UInt u2 = mulmod(sig.r, w, n);
+  const AffinePoint g = AffinePoint::make(curve().gx, curve().gy);
+  const AffinePoint p =
+      ops.add(ec::mul_wtnaf(ops, g, u1, 4), ec::mul_wtnaf(ops, q, u2, 4));
+  if (p.inf) return false;
+  return x_mod_n(p) == sig.r;
+}
+
+}  // namespace eccm0::crypto

@@ -1,0 +1,39 @@
+// ECDSA over Koblitz binary curves with deterministic nonces
+// (RFC 6979-style: the nonce is derived from the key and message through
+// HMAC-DRBG, so no on-node entropy source is required — the realistic
+// choice for the paper's sensor-node setting).
+#pragma once
+
+#include <string_view>
+
+#include "crypto/ecdh.h"
+
+namespace eccm0::crypto {
+
+struct Signature {
+  mpint::UInt r;
+  mpint::UInt s;
+};
+
+class Ecdsa {
+ public:
+  explicit Ecdsa(const ec::BinaryCurve& curve = ec::BinaryCurve::sect233k1());
+
+  const ec::BinaryCurve& curve() const { return ecdh_.curve(); }
+
+  KeyPair generate(HmacDrbg& rng) const { return ecdh_.generate(rng); }
+
+  Signature sign(const mpint::UInt& d, std::string_view msg) const;
+  bool verify(const ec::AffinePoint& q, std::string_view msg,
+              const Signature& sig) const;
+
+ private:
+  /// Leftmost order-bits of SHA-256(msg) as an integer mod n.
+  mpint::UInt hash_to_int(std::string_view msg) const;
+  /// x-coordinate of a point as an integer mod n.
+  mpint::UInt x_mod_n(const ec::AffinePoint& p) const;
+
+  Ecdh ecdh_;
+};
+
+}  // namespace eccm0::crypto

@@ -1,0 +1,68 @@
+#include "crypto/hmac.h"
+
+#include <algorithm>
+
+namespace eccm0::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> msg) {
+  std::array<std::uint8_t, 64> k{};
+  if (key.size() > 64) {
+    const Digest d = Sha256::hash(key);
+    std::copy(d.begin(), d.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  std::array<std::uint8_t, 64> ipad, opad;
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(msg);
+  const Digest id = inner.finish();
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(id);
+  return outer.finish();
+}
+
+HmacDrbg::HmacDrbg(std::span<const std::uint8_t> seed) {
+  k_.fill(0x00);
+  v_.fill(0x01);
+  update(seed);
+}
+
+void HmacDrbg::update(std::span<const std::uint8_t> material) {
+  // K = HMAC(K, V || 0x00 || material); V = HMAC(K, V); then with 0x01 if
+  // material is non-empty.
+  for (std::uint8_t sep : {std::uint8_t{0x00}, std::uint8_t{0x01}}) {
+    std::vector<std::uint8_t> data(v_.begin(), v_.end());
+    data.push_back(sep);
+    data.insert(data.end(), material.begin(), material.end());
+    const Digest nk = hmac_sha256(k_, data);
+    std::copy(nk.begin(), nk.end(), k_.begin());
+    const Digest nv = hmac_sha256(k_, v_);
+    std::copy(nv.begin(), nv.end(), v_.begin());
+    if (material.empty()) break;
+  }
+}
+
+void HmacDrbg::generate(std::span<std::uint8_t> out) {
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const Digest nv = hmac_sha256(k_, v_);
+    std::copy(nv.begin(), nv.end(), v_.begin());
+    const std::size_t n = std::min<std::size_t>(32, out.size() - off);
+    std::copy_n(v_.begin(), n, out.begin() + static_cast<std::ptrdiff_t>(off));
+    off += n;
+  }
+  update({});
+}
+
+void HmacDrbg::reseed(std::span<const std::uint8_t> material) {
+  update(material);
+}
+
+}  // namespace eccm0::crypto

@@ -1,0 +1,34 @@
+// HMAC-SHA256 (RFC 2104) and HMAC-DRBG (SP 800-90A style) — deterministic
+// key/nonce generation for the ECC layer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace eccm0::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> msg);
+
+/// Deterministic byte generator: HMAC-DRBG without the optional
+/// personalization/reseed machinery the paper's use cases don't need.
+class HmacDrbg {
+ public:
+  explicit HmacDrbg(std::span<const std::uint8_t> seed);
+
+  /// Fill `out` with pseudorandom bytes.
+  void generate(std::span<std::uint8_t> out);
+  /// Mix additional entropy/material into the state.
+  void reseed(std::span<const std::uint8_t> material);
+
+ private:
+  void update(std::span<const std::uint8_t> material);
+
+  std::array<std::uint8_t, 32> k_;
+  std::array<std::uint8_t, 32> v_;
+};
+
+}  // namespace eccm0::crypto

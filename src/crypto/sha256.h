@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4). Substrate for HMAC, the deterministic-nonce DRBG
+// and ECDSA message digests — the symmetric half of the hybrid
+// cryptosystem the paper's introduction motivates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace eccm0::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+  /// Finalizes; the object must be reset() before reuse.
+  Digest finish();
+
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(std::string_view s);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::uint32_t h_[8];
+  std::uint8_t buf_[64];
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+std::string to_hex(const Digest& d);
+
+}  // namespace eccm0::crypto

@@ -1,0 +1,120 @@
+#include "ec/codec.h"
+
+#include <stdexcept>
+
+namespace eccm0::ec {
+
+using gf2::Elem;
+using gf2::GF2Field;
+
+std::size_t field_octets(const BinaryCurve& curve) {
+  return (curve.f().m() + 7) / 8;
+}
+
+std::vector<std::uint8_t> elem_to_octets(const BinaryCurve& curve,
+                                         const Elem& e) {
+  const std::size_t len = field_octets(curve);
+  std::vector<std::uint8_t> out(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    // out[0] is the most significant byte.
+    const std::size_t byte = len - 1 - i;
+    out[i] = static_cast<std::uint8_t>(e[byte / 4] >> (8 * (byte % 4)));
+  }
+  return out;
+}
+
+Elem elem_from_octets(const BinaryCurve& curve,
+                      std::span<const std::uint8_t> in) {
+  if (in.size() != field_octets(curve)) {
+    throw std::invalid_argument("elem_from_octets: wrong length");
+  }
+  Elem e{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::size_t byte = in.size() - 1 - i;
+    e[byte / 4] |= static_cast<Word>(in[i]) << (8 * (byte % 4));
+  }
+  if (poly_degree(std::span<const Word>(e)) >=
+      static_cast<int>(curve.f().m())) {
+    throw std::invalid_argument("elem_from_octets: value exceeds the field");
+  }
+  return e;
+}
+
+std::vector<std::uint8_t> encode_point(const BinaryCurve& curve,
+                                       const AffinePoint& p,
+                                       bool compressed) {
+  if (p.inf) return {0x00};
+  std::vector<std::uint8_t> out;
+  const auto x = elem_to_octets(curve, p.x);
+  if (!compressed) {
+    out.push_back(0x04);
+    out.insert(out.end(), x.begin(), x.end());
+    const auto y = elem_to_octets(curve, p.y);
+    out.insert(out.end(), y.begin(), y.end());
+    return out;
+  }
+  // y-tilde = low bit of y/x (0 when x = 0, by SEC1 convention).
+  unsigned bit = 0;
+  if (!GF2Field::is_zero(p.x)) {
+    const Elem z = curve.f().div(p.y, p.x);
+    bit = z[0] & 1u;
+  }
+  out.push_back(static_cast<std::uint8_t>(0x02 | bit));
+  out.insert(out.end(), x.begin(), x.end());
+  return out;
+}
+
+AffinePoint decode_point(CurveOps& ops, std::span<const std::uint8_t> in) {
+  const auto& curve = ops.curve();
+  const GF2Field& f = curve.f();
+  if (in.empty()) throw std::invalid_argument("decode_point: empty");
+  if (in[0] == 0x00) {
+    if (in.size() != 1) throw std::invalid_argument("decode_point: trailing");
+    return AffinePoint::infinity();
+  }
+  const std::size_t flen = field_octets(curve);
+  if (in[0] == 0x04) {
+    if (in.size() != 1 + 2 * flen) {
+      throw std::invalid_argument("decode_point: bad uncompressed length");
+    }
+    const AffinePoint p = AffinePoint::make(
+        elem_from_octets(curve, in.subspan(1, flen)),
+        elem_from_octets(curve, in.subspan(1 + flen, flen)));
+    if (!ops.on_curve(p)) {
+      throw std::invalid_argument("decode_point: point not on curve");
+    }
+    return p;
+  }
+  if (in[0] != 0x02 && in[0] != 0x03) {
+    throw std::invalid_argument("decode_point: bad prefix");
+  }
+  if (in.size() != 1 + flen) {
+    throw std::invalid_argument("decode_point: bad compressed length");
+  }
+  const unsigned want_bit = in[0] & 1u;
+  const Elem x = elem_from_octets(curve, in.subspan(1, flen));
+  if (GF2Field::is_zero(x)) {
+    // y^2 = b  ->  y = sqrt(b).
+    if (want_bit != 0) {
+      throw std::invalid_argument("decode_point: invalid y-tilde for x=0");
+    }
+    return AffinePoint::make(x, f.sqrt(curve.b));
+  }
+  // Substitute y = x z: z^2 + z = x + a + b / x^2 =: c, solvable iff
+  // Tr(c) = 0; pick the root whose low bit matches.
+  const Elem x2 = f.sqr(x);
+  Elem c = f.add(x, f.div(curve.b, x2));
+  c = f.add(c, curve.a);
+  if (f.trace(c) != 0) {
+    throw std::invalid_argument("decode_point: x has no point on the curve");
+  }
+  Elem z = f.half_trace(c);
+  if ((z[0] & 1u) != want_bit) z = f.add(z, f.one());
+  const AffinePoint p = AffinePoint::make(x, f.mul(x, z));
+  if (!ops.on_curve(p)) {
+    throw std::invalid_argument("decode_point: decompression failed");
+  }
+  return p;
+}
+
+}  // namespace eccm0::ec

@@ -1,0 +1,35 @@
+// SEC1-style point encoding for binary curves, including point
+// compression via the half-trace quadratic solver — what a WSN node
+// actually puts on the radio (a compressed sect233k1 point is 31 bytes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ec/ops.h"
+
+namespace eccm0::ec {
+
+/// Octet length of one field element for this curve (ceil(m/8)).
+std::size_t field_octets(const BinaryCurve& curve);
+
+/// Encode a point:
+///   infinity      -> { 0x00 }
+///   uncompressed  -> 0x04 || X || Y     (big-endian, fixed length)
+///   compressed    -> 0x02|0x03 || X     (low bit of y/x selects the root)
+std::vector<std::uint8_t> encode_point(const BinaryCurve& curve,
+                                       const AffinePoint& p,
+                                       bool compressed);
+
+/// Decode and validate. Throws std::invalid_argument on malformed input,
+/// wrong length, points off the curve, or unsolvable compressed x.
+AffinePoint decode_point(CurveOps& ops, std::span<const std::uint8_t> in);
+
+/// Field element <-> big-endian octets (fixed curve width).
+std::vector<std::uint8_t> elem_to_octets(const BinaryCurve& curve,
+                                         const gf2::Elem& e);
+gf2::Elem elem_from_octets(const BinaryCurve& curve,
+                           std::span<const std::uint8_t> in);
+
+}  // namespace eccm0::ec

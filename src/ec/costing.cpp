@@ -1,0 +1,78 @@
+#include "ec/costing.h"
+
+#include <stdexcept>
+
+#include "ec/tnaf.h"
+
+namespace eccm0::ec {
+namespace {
+
+/// Price a bag of field operations into Table 7 rows (multiply split into
+/// its LUT and scan parts) plus the support share they generate.
+void price_ops(const FieldOpCounts& ops, const FieldCostTable& t,
+               std::uint64_t* multiply, std::uint64_t* multiply_precomp,
+               std::uint64_t* square, std::uint64_t* inversion,
+               std::uint64_t* support) {
+  *multiply += ops.mul * (t.mul - t.mul_lut);
+  *multiply_precomp += ops.mul * t.mul_lut;
+  *square += ops.sqr * t.sqr;
+  *inversion += ops.inv * t.inv;
+  const std::uint64_t calls = ops.mul + ops.sqr + ops.inv + ops.add;
+  *support += calls * t.call_overhead + ops.add * t.fadd;
+}
+
+}  // namespace
+
+CostedRun cost_point_mul(const BinaryCurve& curve, const AffinePoint& p,
+                         const mpint::UInt& k, unsigned w, bool fixed_base,
+                         const FieldCostTable& prices) {
+  if (!curve.koblitz) {
+    throw std::invalid_argument("cost_point_mul: Koblitz curves only");
+  }
+  CurveOps ops(curve);
+  CostedRun run;
+
+  // Phase 1: scalar recoding (integer arithmetic, priced per digit).
+  const ZTau rho = partmod(k, curve);
+  const auto digits = wtnaf_digits(rho, curve.mu, w);
+  run.digits = digits.size();
+  for (int u : digits) {
+    if (u != 0) ++run.adds;
+  }
+  run.cost.tnaf_repr =
+      prices.tnaf_fixed + run.digits * prices.tnaf_per_digit;
+
+  // Phase 2: point precomputation (field ops priced into their own row).
+  const WtnafTable table = make_wtnaf_table(ops, p, w);
+  run.precomp_ops = ops.counts();
+  if (!fixed_base) {
+    std::uint64_t mul = 0, mul_pre = 0, sqr = 0, inv = 0, support = 0;
+    price_ops(run.precomp_ops, prices, &mul, &mul_pre, &sqr, &inv, &support);
+    run.cost.tnaf_precomp = mul + mul_pre + sqr + inv + support;
+  }
+
+  // Phase 3: the Horner loop over Frobenius + mixed additions, then the
+  // final conversion to affine.
+  ops.reset_counts();
+  LDPoint q = LDPoint::infinity();
+  for (std::size_t i = digits.size(); i-- > 0;) {
+    ops.frob_inplace(q);
+    const int u = digits[i];
+    if (u != 0) {
+      const AffinePoint& pu =
+          table.points[static_cast<std::size_t>(u > 0 ? u : -u) / 2];
+      ops.ld_add_mixed(q, u > 0 ? pu : ops.neg(pu));
+    }
+  }
+  run.result = ops.to_affine(q);
+  run.main_ops = ops.counts();
+
+  price_ops(run.main_ops, prices, &run.cost.multiply,
+            &run.cost.multiply_precomp, &run.cost.square,
+            &run.cost.inversion, &run.cost.support);
+  run.cost.support += run.digits * prices.per_digit +
+                      run.adds * prices.point_copy;
+  return run;
+}
+
+}  // namespace eccm0::ec

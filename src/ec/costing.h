@@ -1,0 +1,80 @@
+// Cycle/energy costing of point multiplications (paper Tables 4 and 7).
+//
+// A real wTNAF scalar multiplication is executed (so digit counts, adds,
+// and field-op tallies are exact, not estimated) and then priced with a
+// FieldCostTable holding the per-routine cycle costs. The field-routine
+// prices come from VM measurements (asmkernels) or the traced C models;
+// the small bookkeeping constants (call overhead, loop cost, recoding
+// cost per digit) are documented calibration parameters.
+#pragma once
+
+#include <string>
+
+#include "costmodel/energy.h"
+#include "ec/ops.h"
+#include "ec/scalarmul.h"
+
+namespace eccm0::ec {
+
+/// Per-routine cycle prices + overhead model for one implementation.
+struct FieldCostTable {
+  std::string name;
+  std::uint64_t mul = 0;      ///< full modular multiplication
+  std::uint64_t mul_lut = 0;  ///< LUT-generation share of `mul`
+  std::uint64_t sqr = 0;
+  std::uint64_t inv = 0;
+  /// Average energy density of the implementation's instruction mix.
+  double pj_per_cycle = 11.9;
+
+  // Calibrated bookkeeping constants (cycles).
+  std::uint64_t fadd = 48;            ///< n-word XOR through memory
+  std::uint64_t call_overhead = 28;   ///< per field-op call (push/pop, bl/bx)
+  std::uint64_t per_digit = 42;       ///< scalar-mult loop body bookkeeping
+  std::uint64_t point_copy = 60;      ///< LD point move
+  std::uint64_t tnaf_per_digit = 600; ///< recoding: one tau-division step
+  std::uint64_t tnaf_fixed = 38000;   ///< recoding: partmod + setup
+};
+
+/// The paper's Table 7 rows.
+struct PointMulCost {
+  std::uint64_t tnaf_repr = 0;
+  std::uint64_t tnaf_precomp = 0;
+  std::uint64_t multiply = 0;
+  std::uint64_t multiply_precomp = 0;
+  std::uint64_t square = 0;
+  std::uint64_t inversion = 0;
+  std::uint64_t support = 0;
+
+  std::uint64_t total() const {
+    return tnaf_repr + tnaf_precomp + multiply + multiply_precomp + square +
+           inversion + support;
+  }
+};
+
+/// Result of one costed point multiplication.
+struct CostedRun {
+  AffinePoint result;
+  PointMulCost cost;
+  std::size_t digits = 0;     ///< wTNAF length
+  std::size_t adds = 0;       ///< non-zero digits (point additions)
+  FieldOpCounts main_ops;     ///< field ops in the Horner loop + finish
+  FieldOpCounts precomp_ops;  ///< field ops building the table
+
+  double energy_uj(const FieldCostTable& t) const {
+    return static_cast<double>(cost.total()) * t.pj_per_cycle * 1e-6;
+  }
+  double time_ms() const {
+    return static_cast<double>(cost.total()) / costmodel::kClockHz * 1e3;
+  }
+  double avg_power_uw(const FieldCostTable& t) const {
+    return energy_uj(t) / time_ms() * 1e3;  // uJ/ms = mW
+  }
+};
+
+/// Execute and price k*P. `fixed_base` models the paper's kG path: the
+/// wTNAF table is precomputed offline, so the precomputation row is zero.
+CostedRun cost_point_mul(const BinaryCurve& curve, const AffinePoint& p,
+                         const mpint::UInt& k, unsigned w, bool fixed_base,
+                         const FieldCostTable& prices);
+
+}  // namespace eccm0::ec

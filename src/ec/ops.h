@@ -1,0 +1,88 @@
+// Point arithmetic on binary curves, routed through a field-operation
+// counter so scalar-multiplication experiments can decompose their cost by
+// routine (paper Table 7).
+//
+// Coordinates follow the paper: Lopez-Dahab projective for the running
+// point, affine for precomputed points, "mixed LD-affine" addition
+// (Hankerson et al. Alg 3.24/3.25).
+#pragma once
+
+#include <cstdint>
+
+#include "ec/curve.h"
+#include "ec/point.h"
+
+namespace eccm0::ec {
+
+/// Field-operation tallies; the currency Table 7 is priced in.
+struct FieldOpCounts {
+  std::uint64_t mul = 0;
+  std::uint64_t sqr = 0;
+  std::uint64_t inv = 0;
+  std::uint64_t add = 0;
+
+  friend FieldOpCounts operator-(const FieldOpCounts& a,
+                                 const FieldOpCounts& b) {
+    return {a.mul - b.mul, a.sqr - b.sqr, a.inv - b.inv, a.add - b.add};
+  }
+  friend FieldOpCounts operator+(const FieldOpCounts& a,
+                                 const FieldOpCounts& b) {
+    return {a.mul + b.mul, a.sqr + b.sqr, a.inv + b.inv, a.add + b.add};
+  }
+  friend bool operator==(const FieldOpCounts&, const FieldOpCounts&) = default;
+};
+
+class CurveOps {
+ public:
+  explicit CurveOps(const BinaryCurve& c) : c_(c) {}
+
+  const BinaryCurve& curve() const { return c_; }
+  const gf2::GF2Field& f() const { return c_.f(); }
+  const FieldOpCounts& counts() const { return counts_; }
+  void reset_counts() { counts_ = {}; }
+
+  // Counted field operations.
+  gf2::Elem fmul(const gf2::Elem& a, const gf2::Elem& b) {
+    ++counts_.mul;
+    return f().mul(a, b);
+  }
+  gf2::Elem fsqr(const gf2::Elem& a) {
+    ++counts_.sqr;
+    return f().sqr(a);
+  }
+  gf2::Elem finv(const gf2::Elem& a) {
+    ++counts_.inv;
+    return f().inv(a);
+  }
+  gf2::Elem fadd(const gf2::Elem& a, const gf2::Elem& b) {
+    ++counts_.add;
+    return f().add(a, b);
+  }
+
+  /// y^2 + xy == x^3 + ax^2 + b (infinity counts as on-curve).
+  bool on_curve(const AffinePoint& p);
+  /// -(x, y) = (x, x + y).
+  AffinePoint neg(const AffinePoint& p);
+  /// Affine addition/doubling — the slow oracle path (one inversion each).
+  AffinePoint add(const AffinePoint& p, const AffinePoint& q);
+  AffinePoint dbl(const AffinePoint& p);
+
+  LDPoint to_ld(const AffinePoint& p);
+  AffinePoint to_affine(const LDPoint& p);
+
+  /// In-place LD doubling (Alg 3.24): 5S + 3M for Koblitz curves.
+  void ld_double(LDPoint& p);
+  /// In-place mixed LD-affine addition (Alg 3.25): 8M + 5S for a in {0,1}.
+  void ld_add_mixed(LDPoint& p, const AffinePoint& q);
+
+  /// Frobenius endomorphism tau(x, y) = (x^2, y^2) — 2 squarings affine,
+  /// 3 squarings projective. Koblitz curves only.
+  AffinePoint frob(const AffinePoint& p);
+  void frob_inplace(LDPoint& p);
+
+ private:
+  const BinaryCurve& c_;
+  FieldOpCounts counts_;
+};
+
+}  // namespace eccm0::ec

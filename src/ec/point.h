@@ -1,0 +1,36 @@
+// Point representations on binary curves.
+#pragma once
+
+#include "gf2/field.h"
+
+namespace eccm0::ec {
+
+/// Affine point; `inf` marks the identity.
+struct AffinePoint {
+  gf2::Elem x{};
+  gf2::Elem y{};
+  bool inf = true;
+
+  static AffinePoint infinity() { return AffinePoint{}; }
+  static AffinePoint make(const gf2::Elem& x, const gf2::Elem& y) {
+    return AffinePoint{x, y, false};
+  }
+  friend bool operator==(const AffinePoint& p, const AffinePoint& q) {
+    if (p.inf || q.inf) return p.inf == q.inf;
+    return p.x == q.x && p.y == q.y;
+  }
+};
+
+/// Lopez-Dahab projective point: x = X/Z, y = Y/Z^2; Z = 0 is the identity.
+/// The paper's point additions are done in these "mixed LD-affine"
+/// coordinates.
+struct LDPoint {
+  gf2::Elem X{};
+  gf2::Elem Y{};
+  gf2::Elem Z{};  ///< zero means infinity
+
+  bool is_inf() const { return gf2::GF2Field::is_zero(Z); }
+  static LDPoint infinity() { return LDPoint{}; }
+};
+
+}  // namespace eccm0::ec

@@ -1,0 +1,48 @@
+#include "ecp/costing.h"
+
+namespace eccm0::ecp {
+
+double prime_mix_pj_per_cycle() {
+  // One 32x32->64 MAC on the M0+: 4 MULS, 8 ADD/ADC, 3 shifts, 3 MOVs,
+  // ~2.5 load cycles of operand traffic amortised per MAC.
+  using costmodel::InstrClass;
+  const auto& t = costmodel::kM0PlusEnergy;
+  const double cycles = 4 + 8 + 3 + 3 + 2.5;
+  const double pj = 4 * t.pj(InstrClass::kMul) + 8 * t.pj(InstrClass::kAdd) +
+                    3 * t.pj(InstrClass::kLsl) + 3 * t.pj(InstrClass::kMov) +
+                    2.5 * t.pj(InstrClass::kLdr);
+  return pj / cycles;
+}
+
+PrimeFieldCosts m0plus_prime_costs(std::size_t limbs) {
+  const auto n = static_cast<std::uint64_t>(limbs);
+  PrimeFieldCosts c;
+  // Comba multiply: n^2 MACs x ~28 cycles + linear operand/result traffic.
+  c.mul = 30 * n * n + 40 * n + 80;
+  // Comba squaring reuses cross products: ~2/3 of the MACs.
+  c.sqr = 20 * n * n + 40 * n + 80;
+  // Binary extended Euclid mod p: ~2*bits iterations of shift/sub passes.
+  c.inv = 64 * n * n * 2;  // ~2*32n iterations x ~n words touched
+  c.add = 5 * n + 16;
+  c.pj_per_cycle = prime_mix_pj_per_cycle();
+  return c;
+}
+
+PrimeCostedRun cost_point_mul_p(const PrimeCurve& curve, const mpint::UInt& k,
+                                unsigned w) {
+  PrimeCurveOps ops(curve);
+  const PrimeFieldCosts t = m0plus_prime_costs(curve.limbs());
+
+  PrimeCostedRun run;
+  run.bits = curve.order.bit_length();
+  run.result = mul_wnaf_p(ops, ops.generator(), k, w);
+  run.ops = ops.counts();
+
+  const auto& o = run.ops;
+  const std::uint64_t calls = o.mul + o.sqr + o.inv + o.add;
+  run.cycles = o.mul * t.mul + o.sqr * t.sqr + o.inv * t.inv + o.add * t.add +
+               calls * t.call_overhead + run.bits * t.per_bit;
+  return run;
+}
+
+}  // namespace eccm0::ecp

@@ -1,0 +1,54 @@
+#include "ecp/curve.h"
+
+namespace eccm0::ecp {
+namespace {
+
+PrimeCurve make(const char* name, const char* p, const char* b,
+                const char* gx, const char* gy, const char* n) {
+  PrimeCurve c;
+  c.p = mpint::UInt::from_hex(p);
+  c.b = mpint::UInt::from_hex(b);
+  c.gx = mpint::UInt::from_hex(gx);
+  c.gy = mpint::UInt::from_hex(gy);
+  c.order = mpint::UInt::from_hex(n);
+  c.name = name;
+  c.mont = std::make_shared<mpint::Montgomery>(c.p);
+  return c;
+}
+
+}  // namespace
+
+const PrimeCurve& PrimeCurve::secp192r1() {
+  static const PrimeCurve c = make(
+      "secp192r1",
+      "FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFFFFFFFFFF",
+      "64210519E59C80E70FA7E9AB72243049FEB8DEECC146B9B1",
+      "188DA80EB03090F67CBF20EB43A18800F4FF0AFD82FF1012",
+      "07192B95FFC8DA78631011ED6B24CDD573F977A11E794811",
+      "FFFFFFFFFFFFFFFFFFFFFFFF99DEF836146BC9B1B4D22831");
+  return c;
+}
+
+const PrimeCurve& PrimeCurve::secp224r1() {
+  static const PrimeCurve c = make(
+      "secp224r1",
+      "FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF000000000000000000000001",
+      "B4050A850C04B3ABF54132565044B0B7D7BFD8BA270B39432355FFB4",
+      "B70E0CBD6BB4BF7F321390B94A03C1D356C21122343280D6115C1D21",
+      "BD376388B5F723FB4C22DFE6CD4375A05A07476444D5819985007E34",
+      "FFFFFFFFFFFFFFFFFFFFFFFFFFFF16A2E0B8F03E13DD29455C5C2A3D");
+  return c;
+}
+
+const PrimeCurve& PrimeCurve::secp256r1() {
+  static const PrimeCurve c = make(
+      "secp256r1",
+      "FFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF",
+      "5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B",
+      "6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296",
+      "4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5",
+      "FFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551");
+  return c;
+}
+
+}  // namespace eccm0::ecp

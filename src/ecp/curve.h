@@ -1,0 +1,33 @@
+// Short-Weierstrass prime curves y^2 = x^3 - 3x + b over F_p — the
+// comparison targets of the paper's Table 4 (MIRACL / Micro ECC /
+// Wenger et al. run secp192r1/secp224r1/secp256r1) and of the section 3.1
+// curve-selection model.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mpint/montgomery.h"
+#include "mpint/uint.h"
+
+namespace eccm0::ecp {
+
+struct PrimeCurve {
+  mpint::UInt p;
+  mpint::UInt b;   ///< a is fixed to -3 (all SEC2 r1 curves)
+  mpint::UInt gx;
+  mpint::UInt gy;
+  mpint::UInt order;
+  unsigned cofactor = 1;
+  std::string name;
+  std::shared_ptr<const mpint::Montgomery> mont;  ///< mod-p context
+
+  std::size_t limbs() const { return mont->limbs(); }
+  unsigned bits() const { return static_cast<unsigned>(p.bit_length()); }
+
+  static const PrimeCurve& secp192r1();
+  static const PrimeCurve& secp224r1();
+  static const PrimeCurve& secp256r1();
+};
+
+}  // namespace eccm0::ecp

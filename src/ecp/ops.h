@@ -1,0 +1,103 @@
+// Prime-curve point arithmetic: Jacobian coordinates over the Montgomery
+// domain, with field-operation counting mirroring ec::CurveOps so prime
+// and binary implementations can be costed with the same machinery.
+#pragma once
+
+#include <cstdint>
+
+#include "ecp/curve.h"
+
+namespace eccm0::ecp {
+
+/// Affine point, coordinates in the Montgomery domain. `inf` marks the
+/// identity.
+struct AffinePointP {
+  mpint::UInt x;
+  mpint::UInt y;
+  bool inf = true;
+
+  static AffinePointP infinity() { return {}; }
+};
+
+/// Jacobian point: x = X/Z^2, y = Y/Z^3, in the Montgomery domain.
+struct JacobianPoint {
+  mpint::UInt X;
+  mpint::UInt Y;
+  mpint::UInt Z;  ///< zero = infinity
+
+  bool is_inf() const { return Z.is_zero(); }
+  static JacobianPoint infinity() { return {}; }
+};
+
+struct PrimeOpCounts {
+  std::uint64_t mul = 0;
+  std::uint64_t sqr = 0;
+  std::uint64_t inv = 0;
+  std::uint64_t add = 0;  ///< modular add/sub
+};
+
+class PrimeCurveOps {
+ public:
+  explicit PrimeCurveOps(const PrimeCurve& c) : c_(c) {}
+
+  const PrimeCurve& curve() const { return c_; }
+  const PrimeOpCounts& counts() const { return counts_; }
+  void reset_counts() { counts_ = {}; }
+
+  /// Import/export between plain integers mod p and the Montgomery domain.
+  AffinePointP import_point(const mpint::UInt& x, const mpint::UInt& y) const;
+  void export_point(const AffinePointP& p, mpint::UInt* x,
+                    mpint::UInt* y) const;
+  /// The curve generator, imported.
+  AffinePointP generator() const;
+
+  mpint::UInt fmul(const mpint::UInt& a, const mpint::UInt& b) {
+    ++counts_.mul;
+    return c_.mont->mul(a, b);
+  }
+  mpint::UInt fsqr(const mpint::UInt& a) {
+    ++counts_.sqr;
+    return c_.mont->mul(a, a);
+  }
+  mpint::UInt finv(const mpint::UInt& a) {
+    ++counts_.inv;
+    return c_.mont->inv(a);
+  }
+  mpint::UInt fadd(const mpint::UInt& a, const mpint::UInt& b) {
+    ++counts_.add;
+    return c_.mont->add(a, b);
+  }
+  mpint::UInt fsub(const mpint::UInt& a, const mpint::UInt& b) {
+    ++counts_.add;
+    return c_.mont->sub(a, b);
+  }
+
+  bool on_curve(const AffinePointP& p);
+  AffinePointP neg(const AffinePointP& p) const;
+  /// Affine oracle operations (one inversion each).
+  AffinePointP add(const AffinePointP& p, const AffinePointP& q);
+  AffinePointP dbl(const AffinePointP& p);
+
+  JacobianPoint to_jacobian(const AffinePointP& p) const;
+  AffinePointP to_affine(const JacobianPoint& p);
+  /// Jacobian doubling with the a = -3 shortcut: 4M + 4S.
+  void jac_double(JacobianPoint& p);
+  /// Mixed Jacobian-affine addition: 8M + 3S.
+  void jac_add_mixed(JacobianPoint& p, const AffinePointP& q);
+
+  bool eq(const AffinePointP& p, const AffinePointP& q) const;
+
+ private:
+  const PrimeCurve& c_;
+  PrimeOpCounts counts_;
+};
+
+/// Width-w NAF scalar multiplication (the doubling-based path a prime
+/// curve requires; no Frobenius shortcut exists).
+AffinePointP mul_wnaf_p(PrimeCurveOps& ops, const AffinePointP& p,
+                        const mpint::UInt& k, unsigned w);
+/// Reference oracle: affine double-and-add.
+AffinePointP mul_naive_p(PrimeCurveOps& ops, const AffinePointP& p,
+                         const mpint::UInt& k);
+
+}  // namespace eccm0::ecp

@@ -1,0 +1,261 @@
+#include "gf2/field.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/hex.h"
+#include "gf2/k233.h"
+#include "gf2/sqr_table.h"
+
+namespace eccm0::gf2 {
+namespace {
+
+k233::Fe to233(const Elem& a) {
+  k233::Fe f;
+  for (std::size_t i = 0; i < k233::kWords; ++i) f[i] = a[i];
+  return f;
+}
+
+Elem from233(const k233::Fe& f) {
+  Elem e{};
+  for (std::size_t i = 0; i < k233::kWords; ++i) e[i] = f[i];
+  return e;
+}
+
+}  // namespace
+
+GF2Field::GF2Field(GF2FieldParams p) : params_(std::move(p)) {
+  const unsigned m = params_.m;
+  if (params_.terms.empty() || params_.terms.front() != m ||
+      params_.terms.back() != 0) {
+    throw std::invalid_argument("GF2Field: modulus must span x^m .. 1");
+  }
+  if (m % kWordBits == 0) {
+    throw std::invalid_argument("GF2Field: m must not be a word multiple");
+  }
+  // Word-at-a-time reduction needs all lower terms at least two words
+  // below the leading one (true for every NIST binary field).
+  const unsigned t2 = params_.terms.size() > 1 ? params_.terms[1] : 0;
+  if (t2 != 0 && m - t2 < 2 * kWordBits) {
+    throw std::invalid_argument("GF2Field: modulus tail too close to x^m");
+  }
+  n_ = words_for_bits(m);
+  if (n_ > kMaxFieldWords) throw std::invalid_argument("GF2Field: m too big");
+  top_mask_ = (Word{1} << (m % kWordBits)) - 1;
+  fast233_ = (m == 233 && params_.terms == std::vector<unsigned>{233, 74, 0});
+  modulus_poly_ = Poly::from_exponents(params_.terms);
+}
+
+const GF2Field& GF2Field::f233() {
+  static const GF2Field f{GF2FieldParams{233, {233, 74, 0}, "F(2^233)"}};
+  return f;
+}
+
+const GF2Field& GF2Field::f163() {
+  static const GF2Field f{GF2FieldParams{163, {163, 7, 6, 3, 0}, "F(2^163)"}};
+  return f;
+}
+
+const GF2Field& GF2Field::f283() {
+  static const GF2Field f{GF2FieldParams{283, {283, 12, 7, 5, 0}, "F(2^283)"}};
+  return f;
+}
+
+const GF2Field& GF2Field::f409() {
+  static const GF2Field f{GF2FieldParams{409, {409, 87, 0}, "F(2^409)"}};
+  return f;
+}
+
+bool GF2Field::is_zero(const Elem& a) {
+  Word acc = 0;
+  for (Word w : a) acc |= w;
+  return acc == 0;
+}
+
+Elem GF2Field::add(const Elem& a, const Elem& b) const {
+  Elem r;
+  for (std::size_t i = 0; i < kMaxFieldWords; ++i) r[i] = a[i] ^ b[i];
+  return r;
+}
+
+void GF2Field::reduce_wide(std::span<Word> c) const {
+  const unsigned m = params_.m;
+  const std::size_t mw = m / kWordBits;
+  const unsigned mb = m % kWordBits;
+  // Fold whole words above the one containing bit m, top-down. Bit 32*i+j
+  // (j in [0,32)) of word i reduces to bit 32*i+j - (m - t) for every
+  // lower modulus term t (including t = 0).
+  for (std::size_t i = c.size() - 1; i > mw; --i) {
+    const Word t = c[i];
+    if (t == 0) continue;
+    c[i] = 0;
+    for (std::size_t k = 1; k < params_.terms.size(); ++k) {
+      const std::size_t q = i * kWordBits - (m - params_.terms[k]);
+      const unsigned b = q % kWordBits;
+      c[q / kWordBits] ^= t << b;
+      if (b != 0) c[q / kWordBits + 1] ^= t >> (kWordBits - b);
+    }
+  }
+  // Fold the bits of the boundary word that sit at or above bit m.
+  const Word t = c[mw] >> mb;
+  if (t != 0) {
+    for (std::size_t k = 1; k < params_.terms.size(); ++k) {
+      const unsigned tm = params_.terms[k];
+      const unsigned b = tm % kWordBits;
+      c[tm / kWordBits] ^= t << b;
+      if (b != 0) c[tm / kWordBits + 1] ^= t >> (kWordBits - b);
+    }
+  }
+  c[mw] &= top_mask_;
+}
+
+Elem GF2Field::mul(const Elem& a, const Elem& b) const {
+  if (fast233_) {
+    return from233(k233::mul(to233(a), to233(b)));
+  }
+  // Generic right-to-left comb (Hankerson Alg 2.34) into a wide buffer.
+  std::array<Word, 2 * kMaxFieldWords> v{};
+  std::array<Word, kMaxFieldWords + 1> sh{};  // b << bit
+  for (std::size_t i = 0; i < n_; ++i) sh[i] = b[i];
+  for (unsigned bit = 0; bit < kWordBits; ++bit) {
+    for (std::size_t k = 0; k < n_; ++k) {
+      if ((a[k] >> bit) & 1u) {
+        for (std::size_t l = 0; l <= n_; ++l) v[k + l] ^= sh[l];
+      }
+    }
+    if (bit + 1 < kWordBits) {
+      for (std::size_t i = n_; i > 0; --i) {
+        sh[i] = (sh[i] << 1) | (sh[i - 1] >> (kWordBits - 1));
+      }
+      sh[0] <<= 1;
+    }
+  }
+  reduce_wide(std::span<Word>(v.data(), 2 * n_));
+  Elem r{};
+  for (std::size_t i = 0; i < n_; ++i) r[i] = v[i];
+  return r;
+}
+
+Elem GF2Field::sqr(const Elem& a) const {
+  if (fast233_) {
+    k233::Fe r;
+    k233::sqr(r, to233(a));
+    return from233(r);
+  }
+  std::array<Word, 2 * kMaxFieldWords> v{};
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint64_t s = square_spread(a[i]);
+    v[2 * i] = static_cast<Word>(s);
+    v[2 * i + 1] = static_cast<Word>(s >> 32);
+  }
+  reduce_wide(std::span<Word>(v.data(), 2 * n_));
+  Elem r{};
+  for (std::size_t i = 0; i < n_; ++i) r[i] = v[i];
+  return r;
+}
+
+Elem GF2Field::inv(const Elem& a) const {
+  assert(!is_zero(a));
+  if (fast233_) {
+    return from233(k233::inv(to233(a)));
+  }
+  // Extended Euclidean Algorithm over n_-word polynomials.
+  Elem u = a;
+  Elem v{};
+  for (unsigned e : params_.terms) set_bit(v, e);
+  Elem g1 = one();
+  Elem g2 = zero();
+  auto deg = [](const Elem& x) { return poly_degree(std::span<const Word>(x)); };
+  auto xor_shifted = [this](Elem& dst, const Elem& src, unsigned bits) {
+    const unsigned wj = bits / kWordBits;
+    const unsigned b = bits % kWordBits;
+    for (std::size_t i = 0; i + wj < kMaxFieldWords; ++i) {
+      dst[i + wj] ^= b == 0 ? src[i] : (src[i] << b);
+      if (b != 0 && i + wj + 1 < kMaxFieldWords) {
+        dst[i + wj + 1] ^= src[i] >> (kWordBits - b);
+      }
+    }
+    (void)this;
+  };
+  int du = deg(u);
+  int dv = static_cast<int>(params_.m);
+  while (du > 0) {
+    int j = du - dv;
+    if (j < 0) {
+      std::swap(u, v);
+      std::swap(g1, g2);
+      std::swap(du, dv);
+      j = -j;
+    }
+    xor_shifted(u, v, static_cast<unsigned>(j));
+    xor_shifted(g1, g2, static_cast<unsigned>(j));
+    du = deg(u);
+  }
+  return g1;
+}
+
+Elem GF2Field::sqrt(const Elem& a) const {
+  Elem r = a;
+  for (unsigned i = 0; i + 1 < params_.m; ++i) r = sqr(r);
+  return r;
+}
+
+unsigned GF2Field::trace(const Elem& a) const {
+  Elem t = a;
+  Elem acc = a;
+  for (unsigned i = 1; i < params_.m; ++i) {
+    t = sqr(t);
+    acc = add(acc, t);
+  }
+  // acc is 0 or 1 by theory.
+  return static_cast<unsigned>(acc[0] & 1u);
+}
+
+Elem GF2Field::half_trace(const Elem& a) const {
+  assert(params_.m % 2 == 1);
+  Elem acc = a;
+  for (unsigned i = 1; i <= (params_.m - 1) / 2; ++i) {
+    acc = sqr(sqr(acc));
+    acc = add(acc, a);
+  }
+  return acc;
+}
+
+Elem GF2Field::frob(const Elem& a, unsigned k) const {
+  Elem r = a;
+  for (unsigned i = 0; i < k; ++i) r = sqr(r);
+  return r;
+}
+
+Elem GF2Field::from_hex(std::string_view hex) const {
+  Elem e{};
+  words_from_hex(hex, std::span<Word>(e.data(), n_));
+  return e;
+}
+
+std::string GF2Field::to_hex(const Elem& a) const {
+  return words_to_hex(std::span<const Word>(a.data(), n_));
+}
+
+Elem GF2Field::from_poly(const Poly& p) const {
+  if (p.degree() >= static_cast<int>(params_.m)) {
+    return from_poly(Poly::mod(p, modulus_poly_));
+  }
+  Elem e{};
+  auto w = p.words();
+  for (std::size_t i = 0; i < w.size(); ++i) e[i] = w[i];
+  return e;
+}
+
+Poly GF2Field::to_poly(const Elem& a) const {
+  return Poly{std::vector<Word>(a.begin(), a.begin() + n_)};
+}
+
+Elem GF2Field::random(Rng& rng) const {
+  Elem e{};
+  rng.fill(std::span<Word>(e.data(), n_));
+  e[n_ - 1] &= top_mask_;
+  return e;
+}
+
+}  // namespace eccm0::gf2

@@ -1,0 +1,97 @@
+// Runtime-parameterised binary field F(2^m) with fixed-capacity elements.
+//
+// One class serves every curve in the repo: it dispatches to the optimised
+// K-233 kernel when constructed with the sect233k1/sect233r1 modulus and
+// falls back to generic comb multiplication + word-at-a-time reduction for
+// the other NIST binary fields (163, 283, ...).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/words.h"
+#include "gf2/poly.h"
+
+namespace eccm0::gf2 {
+
+/// Capacity of a field element in words; supports m <= 415.
+inline constexpr std::size_t kMaxFieldWords = 13;
+
+/// A field element. Words beyond the field's width are always zero, so
+/// plain == compares correctly regardless of the owning field's size.
+using Elem = std::array<Word, kMaxFieldWords>;
+
+struct GF2FieldParams {
+  unsigned m;                   ///< extension degree
+  std::vector<unsigned> terms;  ///< modulus exponents, descending, incl m, 0
+  std::string name;
+};
+
+class GF2Field {
+ public:
+  explicit GF2Field(GF2FieldParams p);
+
+  /// F(2^233) with z^233 + z^74 + 1 (sect233k1 / sect233r1).
+  static const GF2Field& f233();
+  /// F(2^163) with z^163 + z^7 + z^6 + z^3 + 1 (sect163k1 / sect163r2).
+  static const GF2Field& f163();
+  /// F(2^283) with z^283 + z^12 + z^7 + z^5 + 1 (sect283k1).
+  static const GF2Field& f283();
+  /// F(2^409) with z^409 + z^87 + 1 (sect409k1).
+  static const GF2Field& f409();
+
+  const std::string& name() const { return params_.name; }
+  unsigned m() const { return params_.m; }
+  std::size_t words() const { return n_; }
+  const std::vector<unsigned>& modulus_terms() const { return params_.terms; }
+
+  Elem zero() const { return Elem{}; }
+  Elem one() const {
+    Elem e{};
+    e[0] = 1;
+    return e;
+  }
+  static bool is_zero(const Elem& a);
+  static bool eq(const Elem& a, const Elem& b) { return a == b; }
+
+  Elem add(const Elem& a, const Elem& b) const;
+  Elem mul(const Elem& a, const Elem& b) const;
+  Elem sqr(const Elem& a) const;
+  /// Inverse via the Extended Euclidean Algorithm. Precondition: a != 0.
+  Elem inv(const Elem& a) const;
+  Elem div(const Elem& a, const Elem& b) const { return mul(a, inv(b)); }
+
+  /// Square root: a^(2^(m-1)), i.e. m-1 modular squarings.
+  Elem sqrt(const Elem& a) const;
+  /// Trace map Tr(a) in {0, 1}.
+  unsigned trace(const Elem& a) const;
+  /// Half-trace (m odd): H(a) solves z^2 + z = a when Tr(a) = 0.
+  Elem half_trace(const Elem& a) const;
+
+  /// a^(2^k) by repeated squaring.
+  Elem frob(const Elem& a, unsigned k) const;
+
+  Elem from_hex(std::string_view hex) const;
+  std::string to_hex(const Elem& a) const;
+  Elem from_poly(const Poly& p) const;
+  Poly to_poly(const Elem& a) const;
+  /// Uniform random field element.
+  Elem random(Rng& rng) const;
+
+  /// Reduce a 2n-word raw product in place; result in the first n words.
+  void reduce_wide(std::span<Word> c) const;
+
+ private:
+  GF2FieldParams params_;
+  std::size_t n_;      ///< words per element
+  Word top_mask_;      ///< mask of used bits in the top word
+  bool fast233_;       ///< dispatch to the k233 kernel
+  Poly modulus_poly_;
+};
+
+}  // namespace eccm0::gf2

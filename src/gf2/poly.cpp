@@ -1,0 +1,131 @@
+#include "gf2/poly.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/hex.h"
+
+namespace eccm0::gf2 {
+
+Poly::Poly(std::vector<Word> words) : w_(std::move(words)) { normalize(); }
+
+void Poly::normalize() {
+  while (!w_.empty() && w_.back() == 0) w_.pop_back();
+}
+
+Poly Poly::one() { return Poly{{1}}; }
+
+Poly Poly::monomial(std::size_t e) {
+  std::vector<Word> w(e / kWordBits + 1, 0);
+  w[e / kWordBits] = Word{1} << (e % kWordBits);
+  return Poly{std::move(w)};
+}
+
+Poly Poly::from_exponents(std::span<const unsigned> exps) {
+  Poly p;
+  for (unsigned e : exps) p ^= monomial(e);
+  return p;
+}
+
+Poly Poly::from_hex(std::string_view hex) { return Poly{words_from_hex(hex)}; }
+
+int Poly::degree() const { return poly_degree(w_); }
+
+bool Poly::bit(std::size_t i) const {
+  if (i / kWordBits >= w_.size()) return false;
+  return get_bit(w_, i);
+}
+
+std::string Poly::to_hex() const { return words_to_hex(w_); }
+
+Poly& Poly::operator^=(const Poly& o) {
+  if (o.w_.size() > w_.size()) w_.resize(o.w_.size(), 0);
+  for (std::size_t i = 0; i < o.w_.size(); ++i) w_[i] ^= o.w_[i];
+  normalize();
+  return *this;
+}
+
+Poly Poly::shifted_left(std::size_t bits) const {
+  if (is_zero()) return {};
+  const std::size_t wj = bits / kWordBits;
+  const unsigned b = bits % kWordBits;
+  std::vector<Word> r(w_.size() + wj + 1, 0);
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    r[i + wj] |= b == 0 ? w_[i] : (w_[i] << b);
+    if (b != 0) r[i + wj + 1] |= w_[i] >> (kWordBits - b);
+  }
+  return Poly{std::move(r)};
+}
+
+Poly Poly::shifted_right(std::size_t bits) const {
+  const std::size_t wj = bits / kWordBits;
+  const unsigned b = bits % kWordBits;
+  if (wj >= w_.size()) return {};
+  std::vector<Word> r(w_.size() - wj, 0);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    r[i] = b == 0 ? w_[i + wj] : (w_[i + wj] >> b);
+    if (b != 0 && i + wj + 1 < w_.size()) {
+      r[i] |= w_[i + wj + 1] << (kWordBits - b);
+    }
+  }
+  return Poly{std::move(r)};
+}
+
+Poly Poly::mul(const Poly& a, const Poly& b) {
+  Poly acc;
+  const int da = a.degree();
+  for (int i = 0; i <= da; ++i) {
+    if (a.bit(static_cast<std::size_t>(i))) {
+      acc ^= b.shifted_left(static_cast<std::size_t>(i));
+    }
+  }
+  return acc;
+}
+
+Poly Poly::mod(const Poly& a, const Poly& f) {
+  if (f.is_zero()) throw std::domain_error("Poly::mod by zero");
+  Poly r = a;
+  const int df = f.degree();
+  for (int dr = r.degree(); dr >= df; dr = r.degree()) {
+    r ^= f.shifted_left(static_cast<std::size_t>(dr - df));
+  }
+  return r;
+}
+
+Poly Poly::mulmod(const Poly& a, const Poly& b, const Poly& f) {
+  return mod(mul(a, b), f);
+}
+
+Poly Poly::sqr(const Poly& a) { return mul(a, a); }
+
+Poly Poly::gcd(Poly a, Poly b) {
+  while (!b.is_zero()) {
+    Poly r = mod(a, b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+Poly Poly::inv_mod(const Poly& a, const Poly& f) {
+  // Extended Euclid: maintain g1*a = u, g2*a = v (mod f).
+  Poly u = mod(a, f);
+  Poly v = f;
+  Poly g1 = one();
+  Poly g2 = zero();
+  if (u.is_zero()) throw std::domain_error("Poly::inv_mod of zero");
+  while (u.degree() > 0) {
+    int j = u.degree() - v.degree();
+    if (j < 0) {
+      std::swap(u, v);
+      std::swap(g1, g2);
+      j = -j;
+    }
+    u ^= v.shifted_left(static_cast<std::size_t>(j));
+    g1 ^= g2.shifted_left(static_cast<std::size_t>(j));
+  }
+  if (u.is_zero()) throw std::domain_error("Poly::inv_mod: not invertible");
+  return mod(g1, f);
+}
+
+}  // namespace eccm0::gf2

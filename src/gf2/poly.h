@@ -1,0 +1,60 @@
+// Arbitrary-degree binary polynomials. This is the slow, obviously-correct
+// reference implementation used as the differential-test oracle for every
+// optimised kernel, and as scaffolding for generic-field setup.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/words.h"
+
+namespace eccm0::gf2 {
+
+/// Binary polynomial, little-endian words, always normalised (no trailing
+/// zero words; the zero polynomial has an empty word vector).
+class Poly {
+ public:
+  Poly() = default;
+  explicit Poly(std::vector<Word> words);
+
+  static Poly zero() { return Poly{}; }
+  static Poly one();
+  /// The monomial z^e.
+  static Poly monomial(std::size_t e);
+  /// Sum of monomials, e.g. from_exponents({233, 74, 0}) is the K-233 modulus.
+  static Poly from_exponents(std::span<const unsigned> exps);
+  static Poly from_hex(std::string_view hex);
+
+  int degree() const;  ///< -1 for zero
+  bool is_zero() const { return w_.empty(); }
+  bool bit(std::size_t i) const;
+  std::span<const Word> words() const { return w_; }
+  std::string to_hex() const;
+
+  Poly& operator^=(const Poly& o);
+  friend Poly operator^(Poly a, const Poly& b) { return a ^= b; }
+  friend bool operator==(const Poly&, const Poly&) = default;
+
+  Poly shifted_left(std::size_t bits) const;
+  Poly shifted_right(std::size_t bits) const;
+
+  /// Bit-serial product.
+  static Poly mul(const Poly& a, const Poly& b);
+  /// Remainder of a modulo f (deg f >= 0).
+  static Poly mod(const Poly& a, const Poly& f);
+  static Poly mulmod(const Poly& a, const Poly& b, const Poly& f);
+  static Poly sqr(const Poly& a);
+  /// Polynomial GCD.
+  static Poly gcd(Poly a, Poly b);
+  /// Inverse of a modulo f; throws std::domain_error if gcd(a, f) != 1.
+  static Poly inv_mod(const Poly& a, const Poly& f);
+
+ private:
+  void normalize();
+  std::vector<Word> w_;
+};
+
+}  // namespace eccm0::gf2

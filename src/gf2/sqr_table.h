@@ -1,0 +1,38 @@
+// Byte-expansion table for binary-field squaring (paper section 3.2.4).
+//
+// Squaring a binary polynomial interleaves zero bits between its
+// coefficients; the table maps a byte b7..b0 to the 16-bit value
+// 0b0 b7 0 b6 ... 0 b0. The paper uses a 256-entry 16-bit table
+// ("requiring 4 kB" counts the expanded working storage; the table itself
+// is 512 bytes).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace eccm0::gf2 {
+
+constexpr std::array<std::uint16_t, 256> make_square_table() {
+  std::array<std::uint16_t, 256> t{};
+  for (unsigned b = 0; b < 256; ++b) {
+    std::uint16_t r = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+      if ((b >> i) & 1u) r |= static_cast<std::uint16_t>(1u << (2 * i));
+    }
+    t[b] = r;
+  }
+  return t;
+}
+
+inline constexpr std::array<std::uint16_t, 256> kSquareTable =
+    make_square_table();
+
+/// Expand one 32-bit word into its 64-bit square (bits spread).
+constexpr std::uint64_t square_spread(std::uint32_t w) {
+  return static_cast<std::uint64_t>(kSquareTable[w & 0xFF]) |
+         static_cast<std::uint64_t>(kSquareTable[(w >> 8) & 0xFF]) << 16 |
+         static_cast<std::uint64_t>(kSquareTable[(w >> 16) & 0xFF]) << 32 |
+         static_cast<std::uint64_t>(kSquareTable[(w >> 24) & 0xFF]) << 48;
+}
+
+}  // namespace eccm0::gf2

@@ -1,0 +1,357 @@
+#include "gf2/traced.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "gf2/sqr_table.h"
+
+namespace eccm0::gf2::traced {
+namespace {
+
+using costmodel::OpRecorder;
+
+/// Top non-zero word index of v, or -1 if v is zero. Used for live-range
+/// tracking: words above this are known zero, so optimised methods skip
+/// loading/shifting them.
+int top_nonzero(std::span<const Word> v) {
+  for (std::size_t i = v.size(); i-- > 0;) {
+    if (v[i] != 0) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// Build the 16-entry LUT T[u] = u(z) * y(z), deg(u) < 4. Entries are n
+/// words (callers guarantee deg(y) <= n*W - 4, true for all our fields).
+/// Counting: y is loaded once and stays register-resident; even entries are
+/// made by shifting the just-read previous half entry; odd entries xor the
+/// just-computed even entry (register-resident) with y.
+std::vector<Word> make_lut(std::span<const Word> y, OpRecorder& rec) {
+  const std::size_t n = y.size();
+  std::vector<Word> t(16 * n, 0);
+  rec.read(n);  // load y
+  std::copy(y.begin(), y.end(), t.begin() + n);
+  rec.write(n);  // store T[1]
+  for (unsigned u = 2; u < 16; u += 2) {
+    const Word* h = t.data() + (u / 2) * n;
+    Word* e = t.data() + u * n;
+    rec.read(n);  // load T[u/2]
+    for (std::size_t i = n; i-- > 1;) {
+      e[i] = (h[i] << 1) | (h[i - 1] >> (kWordBits - 1));
+    }
+    e[0] = h[0] << 1;
+    rec.shift(2 * n);
+    rec.xor_op(n);  // the OR combining the two shifted halves
+    rec.write(n);   // store T[u]
+    Word* o = t.data() + (u + 1) * n;
+    for (std::size_t i = 0; i < n; ++i) o[i] = e[i] ^ y[i];
+    rec.xor_op(n);  // T[u] still register-resident, y register-resident
+    rec.write(n);   // store T[u+1]
+  }
+  return t;
+}
+
+/// One whole-vector shift left by 4 over words [0, hi], rolling the carry
+/// in a register. Returns the new top index. `count_mem` selects whether a
+/// word's read-modify-write hits memory (true) or registers (false),
+/// per-index, letting methods B/C shift their register segment for free
+/// memory-wise.
+template <typename MemPredicate>
+int shl4_counted(std::span<Word> v, int hi, MemPredicate in_memory,
+                 OpRecorder& rec) {
+  if (hi < 0) return hi;
+  const int new_hi =
+      (hi + 1 < static_cast<int>(v.size()) && (v[hi] >> 28) != 0) ? hi + 1
+                                                                  : hi;
+  for (int i = new_hi; i > 0; --i) {
+    const Word x = v[i];
+    v[i] = (x << 4) | (v[i - 1] >> 28);
+    if (in_memory(i)) {
+      if (i <= hi) rec.read(1);
+      rec.write(1);
+    }
+    rec.shift(2);
+    rec.xor_op(1);  // OR of the two parts
+  }
+  v[0] <<= 4;
+  if (in_memory(0)) {
+    rec.read(1);
+    rec.write(1);
+  }
+  rec.shift(1);
+  return new_hi;
+}
+
+void check_sizes(std::span<Word> v, std::span<const Word> x,
+                 std::span<const Word> y) {
+  assert(x.size() == y.size());
+  assert(v.size() == 2 * x.size());
+  (void)v;
+  (void)x;
+  (void)y;
+}
+
+}  // namespace
+
+void mul_ld_plain(std::span<Word> v, std::span<const Word> x,
+                  std::span<const Word> y, OpRecorder& rec) {
+  check_sizes(v, x, y);
+  const std::size_t n = x.size();
+  const auto lut = make_lut(y, rec);
+
+  std::fill(v.begin(), v.end(), 0);
+  rec.write(2 * n);  // naive method zeroes the vector in memory
+
+  for (int j = kWordBits / kWindow - 1; j >= 0; --j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      rec.read(1);   // x[k]
+      rec.other(2);  // extract + mask of the nibble
+      const unsigned u = (x[k] >> (kWindow * j)) & 0xFu;
+      const Word* e = lut.data() + u * n;
+      for (std::size_t l = 0; l < n; ++l) {
+        rec.read(2);  // T[u][l] and v[l+k]
+        v[l + k] ^= e[l];
+        rec.xor_op(1);
+        rec.write(1);  // v[l+k]
+      }
+    }
+    if (j != 0) {
+      // Whole-product shift; the naive method still only touches words
+      // that can be non-zero (zero high words need no shifting).
+      shl4_counted(v, top_nonzero(v), [](int) { return true; }, rec);
+    }
+  }
+}
+
+void mul_ld_rotating(std::span<Word> v, std::span<const Word> x,
+                     std::span<const Word> y, OpRecorder& rec) {
+  check_sizes(v, x, y);
+  const std::size_t n = x.size();
+  const auto lut = make_lut(y, rec);
+  std::fill(v.begin(), v.end(), 0);
+  rec.write(2 * n);  // static code zeroes the vector in memory
+  int hi = -1;       // top non-zero index (used for the shared shift trim)
+
+  for (int j = kWordBits / kWindow - 1; j >= 0; --j) {
+    // Load the initial window v[0..n] into the n+1 rotating registers.
+    // The rotation schedule is static straight-line code, so loads are
+    // unconditional (no data-dependent trimming).
+    rec.read(n + 1);
+    for (std::size_t k = 0; k < n; ++k) {
+      rec.read(1);
+      rec.other(2);
+      const unsigned u = (x[k] >> (kWindow * j)) & 0xFu;
+      const Word* e = lut.data() + u * n;
+      for (std::size_t l = 0; l < n; ++l) {
+        rec.read(1);  // T[u][l]; v[l+k] is in the window
+        v[l + k] ^= e[l];
+        rec.xor_op(1);
+      }
+      // v[k] is finished for this pass: retire it, slide the window.
+      rec.write(1);
+      if (k + 1 < n) rec.read(1);  // incoming v[k+1+n]
+    }
+    hi = top_nonzero(v);
+    if (j != 0) {
+      // Registers hold v[n..2n-1]; shift them in place, shift the memory
+      // half with read-modify-write.
+      hi = shl4_counted(
+          v, hi, [n](int i) { return i < static_cast<int>(n); }, rec);
+    }
+    // Flush the register half so the next pass can reload from v[0]
+    // (static code: all n words, every pass).
+    rec.write(n);
+  }
+}
+
+void mul_ld_fixed(std::span<Word> v, std::span<const Word> x,
+                  std::span<const Word> y, OpRecorder& rec) {
+  check_sizes(v, x, y);
+  const std::size_t n = x.size();
+  const std::size_t w0 = fixed_window_base(n);  // v[w0 .. w0+n] pinned
+  const auto in_regs = [w0, n](std::size_t i) {
+    return i >= w0 && i <= w0 + n;
+  };
+  const auto lut = make_lut(y, rec);
+
+  std::fill(v.begin(), v.end(), 0);
+  rec.mov(n + 1);      // zero the pinned registers
+  rec.write(n - 1);    // zero the memory-resident words
+  int hi = -1;
+
+  for (int j = kWordBits / kWindow - 1; j >= 0; --j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      rec.read(1);
+      rec.other(2);
+      const unsigned u = (x[k] >> (kWindow * j)) & 0xFu;
+      const Word* e = lut.data() + u * n;
+      for (std::size_t l = 0; l < n; ++l) {
+        rec.read(1);  // T[u][l]
+        const std::size_t idx = l + k;
+        if (!in_regs(idx)) {
+          rec.read(1);  // read-modify-write of the memory word
+          rec.write(1);
+        }
+        v[idx] ^= e[l];
+        rec.xor_op(1);
+      }
+    }
+    hi = top_nonzero(v);
+    if (j != 0) {
+      hi = shl4_counted(
+          v, hi, [&](int i) { return !in_regs(static_cast<std::size_t>(i)); },
+          rec);
+    }
+  }
+  // Flush the pinned registers once at the end.
+  for (std::size_t i = w0; i <= w0 + n && i < 2 * n; ++i) rec.write(1);
+}
+
+costmodel::OpCounts paper_ld_plain(std::uint64_t n) {
+  costmodel::OpCounts c;
+  c.mem_read = 16 * n * n + 23 * n;
+  c.mem_write = 8 * n * n + 30 * n;
+  c.xor_ops = 8 * n * n + 30 * n - 7;
+  c.shift = 42 * n - 21;
+  return c;
+}
+
+costmodel::OpCounts paper_ld_rotating(std::uint64_t n) {
+  costmodel::OpCounts c;
+  c.mem_read = 8 * n * n + 39 * n - 8;
+  c.mem_write = 46 * n;
+  c.xor_ops = 8 * n * n + 38 * n - 7;
+  c.shift = 42 * n - 21;
+  return c;
+}
+
+costmodel::OpCounts paper_ld_fixed(std::uint64_t n) {
+  costmodel::OpCounts c;
+  c.mem_read = 8 * n * n + 24 * n + 1;
+  c.mem_write = 31 * n + 1;
+  c.xor_ops = 8 * n * n + 30 * n - 7;
+  c.shift = 42 * n - 21;
+  return c;
+}
+
+void reduce_traced(k233::Fe& r, const k233::Prod& c0, OpRecorder& rec) {
+  k233::Prod c = c0;
+  for (int i = 15; i >= 8; --i) {
+    const Word t = c[i];
+    rec.read(1);
+    // Four fold targets; two of them are adjacent so a tight loop keeps
+    // one rolling, but we charge the plain read-modify-write for each.
+    c[i - 8] ^= t << 23;
+    c[i - 7] ^= t >> 9;
+    c[i - 5] ^= t << 1;
+    c[i - 4] ^= t >> 31;
+    rec.shift(4);
+    rec.xor_op(4);
+    rec.read(4);
+    rec.write(4);
+  }
+  const Word t = c[7] >> 9;
+  rec.read(1);
+  rec.shift(1);
+  c[0] ^= t;
+  c[2] ^= t << 10;
+  c[3] ^= t >> 22;
+  c[7] &= k233::kTopMask;
+  rec.shift(2);
+  rec.xor_op(3);
+  rec.read(3);
+  rec.write(4);
+  rec.other(1);  // mask
+  for (std::size_t i = 0; i < k233::kWords; ++i) r[i] = c[i];
+}
+
+void sqr_traced(k233::Fe& r, const k233::Fe& a, OpRecorder& rec) {
+  // Model of the paper's interleaved squaring: expand word-by-word; the
+  // low half of the expansion stays in registers; each high word is folded
+  // into the register-resident low half the moment it is produced.
+  k233::Prod wide;
+  k233::sqr_expand(wide, a);
+  for (std::size_t i = 0; i < k233::kWords; ++i) {
+    rec.read(1);    // a[i]
+    rec.shift(3);   // extract bytes 1..3
+    rec.read(4);    // four table lookups
+    rec.shift(2);   // position the 16-bit halves
+    rec.xor_op(3);  // combine into two 32-bit words
+  }
+  // Fold the eight high words (word indices 8..15): four shifted xors each
+  // onto register-resident targets; no stores of unreduced data.
+  rec.shift(4 * 8);
+  rec.xor_op(4 * 8);
+  // Final fold of bits 233..255 of word 7 plus mask.
+  rec.shift(3);
+  rec.xor_op(3);
+  rec.other(1);
+  // Store the reduced result.
+  rec.write(k233::kWords);
+  k233::reduce(r, wide);
+}
+
+k233::Fe inv_traced(const k233::Fe& a, OpRecorder& rec) {
+  assert(!k233::is_zero(a));
+  k233::Fe u = a;
+  k233::Fe v = k233::modulus();
+  k233::Fe g1 = k233::one();
+  k233::Fe g2 = k233::zero();
+
+  // The paper's optimisation: the top-word indices of u and v are cached so
+  // degree computation reads one word instead of scanning, and the u<->v
+  // swap is free (two mirrored code segments instead of memory swaps).
+  auto deg = [&rec](const k233::Fe& e) {
+    rec.read(1);   // top word (index cached)
+    rec.other(2);  // normalise within the word
+    return poly_degree(std::span<const Word>(e));
+  };
+  // xor-shift of a full n-word vector: the paper's "variable field shift
+  // function". Full width (the compiled C the paper measured does not trim
+  // to the live degree).
+  auto xor_shifted = [&rec](k233::Fe& dst, const k233::Fe& src,
+                            unsigned bits) {
+    const unsigned wj = bits / kWordBits;
+    const unsigned b = bits % kWordBits;
+    for (std::size_t i = 0; i + wj < k233::kWords; ++i) {
+      dst[i + wj] ^= b == 0 ? (src[i] << b) : (src[i] << b);
+      if (b != 0 && i + wj + 1 < k233::kWords) {
+        dst[i + wj + 1] ^= src[i] >> (kWordBits - b);
+      }
+    }
+    rec.read(2 * k233::kWords);  // src word + dst word
+    rec.write(k233::kWords);
+    rec.shift(2 * k233::kWords);
+    rec.xor_op(2 * k233::kWords);
+    rec.other(8);  // call + loop bookkeeping of the shift function
+  };
+
+  int du = deg(u);
+  int dv = static_cast<int>(k233::kDegree);
+  while (du > 0) {
+    int j = du - dv;
+    if (j < 0) {
+      std::swap(u, v);
+      std::swap(g1, g2);
+      std::swap(du, dv);
+      j = -j;
+      // swap-free by construction: no operations recorded
+    }
+    xor_shifted(u, v, static_cast<unsigned>(j));
+    xor_shifted(g1, g2, static_cast<unsigned>(j));
+    rec.other(6);  // loop control, branch, index updates
+    du = deg(u);
+  }
+  return g1;
+}
+
+k233::Fe mul_traced(const k233::Fe& a, const k233::Fe& b, OpRecorder& rec) {
+  k233::Prod p;
+  mul_ld_fixed(std::span<Word>(p), std::span<const Word>(a),
+               std::span<const Word>(b), rec);
+  k233::Fe r;
+  reduce_traced(r, p, rec);
+  return r;
+}
+
+}  // namespace eccm0::gf2::traced

@@ -1,0 +1,91 @@
+#include "measure/power_trace.h"
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "armvm/asm.h"
+#include "armvm/cpu.h"
+
+namespace eccm0::measure {
+
+double PowerRig::gaussian() {
+  // Box-Muller on the deterministic generator.
+  const double u1 =
+      (static_cast<double>(rng_.next_u64() >> 11) + 1.0) / 9007199254740993.0;
+  const double u2 =
+      static_cast<double>(rng_.next_u64() >> 11) / 9007199254740992.0;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+void PowerRig::on_instruction(costmodel::InstrClass cls, unsigned cycles) {
+  // Instantaneous power of this instruction class at 48 MHz:
+  // P = E_per_cycle / T_cycle.
+  const double pj = costmodel::kM0PlusEnergy.pj(cls);
+  const double power_uw = pj * 1e-12 * costmodel::kClockHz * 1e6;
+  for (unsigned i = 0; i < cycles; ++i) {
+    trace_.push_back(power_uw + cfg_.bias_uw + cfg_.noise_uw * gaussian());
+  }
+}
+
+double PowerRig::integrate_pj(std::size_t begin, std::size_t end) const {
+  double uw_sum = 0.0;
+  for (std::size_t i = begin; i < end && i < trace_.size(); ++i) {
+    uw_sum += trace_[i];
+  }
+  // Each sample spans one clock period.
+  return uw_sum * 1e-6 / costmodel::kClockHz * 1e12;
+}
+
+double PowerRig::average_power_uw() const {
+  if (trace_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : trace_) s += v;
+  return s / static_cast<double>(trace_.size());
+}
+
+double PowerRig::total_energy_uj() const {
+  return integrate_pj(0, trace_.size()) * 1e-6;
+}
+
+namespace {
+
+double run_loop_energy_pj(const std::string& body, unsigned loops,
+                          const RigConfig& cfg) {
+  std::string src;
+  src += "entry:\n";
+  src += "    movs r1, #1\n    lsls r1, r1, #29\n";  // r1 = RAM base
+  src += "    movs r2, #85\n";                       // a data pattern
+  src += "    ldr r7, =" + std::to_string(loops) + "\n";
+  src += "loop:\n";
+  src += body;
+  src += "    subs r7, #1\n    bne loop\n    bkpt\n";
+  const armvm::Program prog = armvm::assemble(src);
+  armvm::Memory mem(0x400);
+  armvm::Cpu cpu(prog.code, mem);
+  PowerRig rig(cfg);
+  cpu.set_trace_hook([&rig](costmodel::InstrClass c, unsigned cy) {
+    rig.on_instruction(c, cy);
+  });
+  (void)cpu.call(prog.entry("entry"), {});
+  return rig.total_energy_uj() * 1e6;
+}
+
+}  // namespace
+
+double measure_instruction_energy_pj(const std::string& instr_line,
+                                     unsigned iterations, RigConfig cfg) {
+  constexpr unsigned kLoops = 256;
+  std::string body;
+  for (unsigned i = 0; i < iterations; ++i) {
+    body += "    " + instr_line + "\n";
+  }
+  RigConfig cfg_empty = cfg;
+  cfg_empty.seed ^= 0xABCDEF;  // independent noise for the baseline run
+  const double with = run_loop_energy_pj(body, kLoops, cfg);
+  const double without = run_loop_energy_pj("", kLoops, cfg_empty);
+  return (with - without) / (static_cast<double>(kLoops) * iterations);
+}
+
+}  // namespace eccm0::measure

@@ -1,0 +1,69 @@
+// Simulated power-measurement setup (paper section 4.1).
+//
+// The paper measured instruction and point-multiplication energy with a
+// physical rig (shunt + scope) on a real M0+ at 48 MHz. We have no
+// hardware, so this module simulates the rig end-to-end: the executed
+// instruction stream drives a per-cycle power waveform (from the Table 3
+// energy table) with configurable Gaussian measurement noise; the
+// "measurement" side integrates the waveform back into energy and average
+// power. bench_table3 re-derives the per-instruction energies exactly the
+// way the paper did: run an instruction in a long measured loop, subtract
+// the loop overhead, divide by iteration count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "costmodel/energy.h"
+
+namespace eccm0::measure {
+
+/// One power sample per CPU cycle, in microwatt.
+using PowerTrace = std::vector<double>;
+
+struct RigConfig {
+  /// Gaussian noise added to every sample (1-sigma, microwatt).
+  double noise_uw = 25.0;
+  /// Scope offset error (constant bias, microwatt).
+  double bias_uw = 0.0;
+  std::uint64_t seed = 0x5EED;
+};
+
+/// Records the executed instruction stream of a Cpu (via its trace hook)
+/// and synthesizes the sampled waveform.
+class PowerRig {
+ public:
+  explicit PowerRig(RigConfig cfg = {}) : cfg_(cfg), rng_(cfg.seed) {}
+
+  /// Hook this into Cpu::set_trace_hook.
+  void on_instruction(costmodel::InstrClass cls, unsigned cycles);
+
+  const PowerTrace& trace() const { return trace_; }
+  void clear() { trace_.clear(); }
+
+  /// Integrate a window [begin, end) of the trace: energy in pJ.
+  double integrate_pj(std::size_t begin, std::size_t end) const;
+  /// Average power over the whole trace in microwatt.
+  double average_power_uw() const;
+  /// Total energy of the whole trace in microjoule.
+  double total_energy_uj() const;
+
+ private:
+  double gaussian();
+
+  RigConfig cfg_;
+  Rng rng_;
+  PowerTrace trace_;
+};
+
+/// Run `instr_line` (one Thumb instruction, may use r0-r2 freely) inside a
+/// calibrated loop on the VM rig and return the measured energy per
+/// execution in pJ — the paper's Table 3 methodology. `iterations` is the
+/// unrolled count per loop body.
+double measure_instruction_energy_pj(const std::string& instr_line,
+                                     unsigned iterations = 64,
+                                     RigConfig cfg = {});
+
+}  // namespace eccm0::measure

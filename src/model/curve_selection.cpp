@@ -1,0 +1,133 @@
+#include "model/curve_selection.h"
+
+#include <vector>
+
+#include "common/rng.h"
+#include "costmodel/energy.h"
+#include "gf2/traced.h"
+
+namespace eccm0::model {
+namespace {
+
+using costmodel::CycleModel;
+using costmodel::InstrClass;
+using costmodel::kM0PlusEnergy;
+
+/// Energy density of the abstract binary-field operation mix (loads,
+/// stores, XORs, shifts priced per Table 3).
+double binary_mix_pj_per_cycle(const costmodel::OpCounts& c) {
+  const auto h = costmodel::histogram_of(c);
+  const auto e = costmodel::energy_of(h);
+  return e.cycles == 0 ? 0.0 : e.energy_pj / static_cast<double>(e.cycles);
+}
+
+/// Prime MAC mix (mirrors ecp::prime_mix_pj_per_cycle; duplicated here so
+/// the model layer has no dependency on the ecp implementation).
+double prime_mix_pj_per_cycle() {
+  const auto& t = kM0PlusEnergy;
+  const double cycles = 4 + 8 + 3 + 3 + 2.5;
+  const double pj = 4 * t.pj(InstrClass::kMul) + 8 * t.pj(InstrClass::kAdd) +
+                    3 * t.pj(InstrClass::kLsl) + 3 * t.pj(InstrClass::kMov) +
+                    2.5 * t.pj(InstrClass::kLdr);
+  return pj / cycles;
+}
+
+void finish(CandidateEstimate& e) {
+  e.time_ms = static_cast<double>(e.point_mul_cycles) /
+              costmodel::kClockHz * 1e3;
+  e.energy_uj = static_cast<double>(e.point_mul_cycles) * e.pj_per_cycle *
+                1e-6;
+  e.power_uw = e.energy_uj / e.time_ms * 1e3;
+}
+
+}  // namespace
+
+CandidateEstimate estimate_koblitz(const std::string& name, unsigned m) {
+  CandidateEstimate e;
+  e.name = name;
+  e.binary = true;
+  e.field_bits = m;
+  e.security_bits = (m - 2) / 2;  // cofactor 2-4 costs a couple of bits
+
+  // Field multiplication: the traced LD-with-fixed-registers method at
+  // this word count (the paper's Table 1/2 analysis generalised to n).
+  const std::size_t n = words_for_bits(m);
+  Rng rng(0xCA11 + m);
+  std::vector<Word> x(n), y(n), v(2 * n);
+  rng.fill(x);
+  rng.fill(y);
+  const unsigned top = m % kWordBits;
+  x[n - 1] &= (Word{1} << top) - 1;
+  y[n - 1] &= (Word{1} << top) - 1;
+  costmodel::OpRecorder rec;
+  gf2::traced::mul_ld_fixed(v, x, y, rec);
+  const CycleModel cm;
+  e.field_mul_cycles = cm.cycles(rec.counts());
+  e.pj_per_cycle = binary_mix_pj_per_cycle(rec.counts());
+
+  // Point multiplication (wTNAF, w = 4): ~m digits, density 1/(w+1);
+  // Frobenius costs 3 squarings per digit, a mixed add 8M + 5S; one final
+  // inversion ~ 10 multiplications in the EEA model; +10% support.
+  const double digits = m;
+  const double adds = digits / 5.0;
+  // Squaring is ~1/8 of a multiplication (table method).
+  const double sqr_cycles = static_cast<double>(e.field_mul_cycles) / 8.0;
+  const double cycles = adds * (8.0 * static_cast<double>(e.field_mul_cycles) +
+                                5.0 * sqr_cycles) +
+                        digits * 3.0 * sqr_cycles +
+                        10.0 * static_cast<double>(e.field_mul_cycles);
+  e.point_mul_cycles = static_cast<std::uint64_t>(cycles * 1.10);
+  finish(e);
+  return e;
+}
+
+CandidateEstimate estimate_prime(const std::string& name, unsigned bits) {
+  CandidateEstimate e;
+  e.name = name;
+  e.binary = false;
+  e.field_bits = bits;
+  e.security_bits = bits / 2;
+
+  const auto n = static_cast<std::uint64_t>(words_for_bits(bits));
+  e.field_mul_cycles = 30 * n * n + 40 * n + 80;  // Comba MAC model
+  const double sqr_cycles = static_cast<double>(20 * n * n + 40 * n + 80);
+  e.pj_per_cycle = prime_mix_pj_per_cycle();
+
+  // wNAF w = 4: one Jacobian double (3M + 5S) per bit, density 1/5 mixed
+  // adds (8M + 3S), one final inversion ~ 60 multiplications (binary EEA
+  // mod p), +10% support.
+  const double mulc = static_cast<double>(e.field_mul_cycles);
+  const double cycles = bits * (3.0 * mulc + 5.0 * sqr_cycles) +
+                        (bits / 5.0) * (8.0 * mulc + 3.0 * sqr_cycles) +
+                        60.0 * mulc;
+  e.point_mul_cycles = static_cast<std::uint64_t>(cycles * 1.10);
+  finish(e);
+  return e;
+}
+
+std::vector<CandidateEstimate> estimate_candidates() {
+  return {
+      estimate_koblitz("sect163k1", 163),
+      estimate_koblitz("sect233k1", 233),
+      estimate_koblitz("sect283k1", 283),
+      estimate_prime("secp192r1", 192),
+      estimate_prime("secp224r1", 224),
+      estimate_prime("secp256r1", 256),
+  };
+}
+
+SelectionConclusions evaluate(const std::vector<CandidateEstimate>& c) {
+  SelectionConclusions out{true, true};
+  // Pair candidates by position: binary i matches prime i+3.
+  for (std::size_t i = 0; i + 3 < c.size() && i < 3; ++i) {
+    const auto& k = c[i];
+    const auto& p = c[i + 3];
+    if (k.point_mul_cycles >= p.point_mul_cycles) {
+      out.koblitz_faster_at_matched_security = false;
+    }
+    if (k.power_uw >= p.power_uw) out.binary_lower_power = false;
+  }
+  return out;
+}
+
+}  // namespace eccm0::model

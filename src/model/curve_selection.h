@@ -1,0 +1,51 @@
+// The paper's section 3.1 selection model: estimate instruction usage,
+// cycle count and energy of a point multiplication for candidate curves
+// (binary Koblitz vs prime at matched security) from an analysis of the
+// dominant routine — field multiplication — and reach the paper's two
+// conclusions:
+//   (1) binary Koblitz curves give the faster point multiplication;
+//   (2) binary curves draw less power, because XOR/shift/load mixes are
+//       cheaper per cycle than MUL/ADD mixes (Table 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "costmodel/opcount.h"
+
+namespace eccm0::model {
+
+struct CandidateEstimate {
+  std::string name;
+  bool binary = false;
+  unsigned field_bits = 0;
+  unsigned security_bits = 0;  ///< ~ group order bits / 2
+  std::uint64_t field_mul_cycles = 0;
+  std::uint64_t point_mul_cycles = 0;
+  double pj_per_cycle = 0.0;
+  double power_uw = 0.0;
+  double time_ms = 0.0;
+  double energy_uj = 0.0;
+};
+
+/// Estimate one binary Koblitz candidate (wTNAF w = 4, LD-with-fixed-
+/// registers multiplication modelled by the traced implementation at the
+/// candidate's word count).
+CandidateEstimate estimate_koblitz(const std::string& name, unsigned m);
+
+/// Estimate one prime candidate (wNAF w = 4, Comba/MAC model).
+CandidateEstimate estimate_prime(const std::string& name, unsigned bits);
+
+/// The paper's candidate set: K-163/233/283 and P-192/224/256.
+std::vector<CandidateEstimate> estimate_candidates();
+
+struct SelectionConclusions {
+  bool koblitz_faster_at_matched_security = false;
+  bool binary_lower_power = false;
+};
+
+/// Evaluate the two conclusions over security-matched pairs
+/// (K-163, P-192), (K-233, P-224), (K-283, P-256).
+SelectionConclusions evaluate(const std::vector<CandidateEstimate>& c);
+
+}  // namespace eccm0::model

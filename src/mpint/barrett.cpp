@@ -1,0 +1,38 @@
+#include "mpint/barrett.h"
+
+#include <stdexcept>
+
+namespace eccm0::mpint {
+
+Barrett::Barrett(UInt modulus) : m_(std::move(modulus)) {
+  if (m_ <= UInt{1}) {
+    throw std::invalid_argument("Barrett: modulus must be > 1");
+  }
+  k_ = m_.limbs().size();
+  mu_ = UInt::pow2(2 * 32 * k_) / m_;
+}
+
+UInt Barrett::reduce(const UInt& x) const {
+  if (x < m_) return x;
+  // q = floor( floor(x / b^(k-1)) * mu / b^(k+1) ), r = x - q*m, then at
+  // most two conditional subtractions (HAC Alg 14.42).
+  const UInt q1 = x >> (32 * (k_ - 1));
+  const UInt q2 = q1 * mu_;
+  const UInt q3 = q2 >> (32 * (k_ + 1));
+  UInt r = x - q3 * m_;
+  while (r >= m_) r = r - m_;
+  return r;
+}
+
+UInt Barrett::pow(const UInt& base, const UInt& exp) const {
+  UInt result{1};
+  UInt b = reduce(base);
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mul(result, b);
+    b = sqr(b);
+  }
+  return result;
+}
+
+}  // namespace eccm0::mpint

@@ -1,0 +1,34 @@
+// Barrett reduction context: fast repeated reduction modulo a fixed
+// (not necessarily odd) modulus using a precomputed reciprocal — the
+// classic alternative to Montgomery when operands arrive in plain
+// representation, e.g. the mod-n arithmetic of ECDSA.
+#pragma once
+
+#include "mpint/uint.h"
+
+namespace eccm0::mpint {
+
+class Barrett {
+ public:
+  /// modulus > 1 (odd or even).
+  explicit Barrett(UInt modulus);
+
+  const UInt& modulus() const { return m_; }
+
+  /// x mod m for x < m^2 (asserted by construction of all call sites:
+  /// products of reduced operands).
+  UInt reduce(const UInt& x) const;
+
+  UInt mul(const UInt& a, const UInt& b) const { return reduce(a * b); }
+  UInt sqr(const UInt& a) const { return reduce(a * a); }
+  UInt add(const UInt& a, const UInt& b) const { return addmod(a, b, m_); }
+  UInt sub(const UInt& a, const UInt& b) const { return submod(a, b, m_); }
+  UInt pow(const UInt& base, const UInt& exp) const;
+
+ private:
+  UInt m_;
+  UInt mu_;          ///< floor(2^(2*32*k) / m)
+  std::size_t k_;    ///< limb count of m
+};
+
+}  // namespace eccm0::mpint

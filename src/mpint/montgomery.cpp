@@ -1,0 +1,82 @@
+#include "mpint/montgomery.h"
+
+#include <stdexcept>
+
+namespace eccm0::mpint {
+namespace {
+
+/// -m^-1 mod 2^32 by Newton iteration (m odd).
+Word neg_inv32(Word m) {
+  Word x = m;  // correct mod 2^3... iterate to full width
+  for (int i = 0; i < 5; ++i) x *= 2 - m * x;  // x = m^-1 mod 2^32
+  return static_cast<Word>(0u - x);
+}
+
+}  // namespace
+
+Montgomery::Montgomery(UInt modulus) : m_(std::move(modulus)) {
+  if (!m_.is_odd() || m_ <= UInt{2}) {
+    throw std::invalid_argument("Montgomery: modulus must be odd and > 2");
+  }
+  n_ = m_.limbs().size();
+  m0_inv_ = neg_inv32(m_.limbs()[0]);
+  r_mod_m_ = UInt::pow2(32 * n_) % m_;
+  r2_mod_m_ = mulmod(r_mod_m_, r_mod_m_, m_);
+}
+
+UInt Montgomery::redc(std::vector<Word> t) const {
+  // t has up to 2n limbs; extend for carries.
+  t.resize(2 * n_ + 1, 0);
+  const auto m = m_.limbs();
+  for (std::size_t i = 0; i < n_; ++i) {
+    const Word u = t[i] * m0_inv_;
+    DWord carry = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      const DWord s = static_cast<DWord>(u) * m[j] + t[i + j] + carry;
+      t[i + j] = static_cast<Word>(s);
+      carry = s >> 32;
+    }
+    for (std::size_t j = i + n_; carry != 0; ++j) {
+      const DWord s = static_cast<DWord>(t[j]) + carry;
+      t[j] = static_cast<Word>(s);
+      carry = s >> 32;
+    }
+  }
+  UInt r{std::vector<Word>(t.begin() + static_cast<std::ptrdiff_t>(n_),
+                           t.end())};
+  if (r >= m_) r = r - m_;
+  return r;
+}
+
+UInt Montgomery::to_mont(const UInt& a) const {
+  const UInt reduced = a % m_;
+  return mul(reduced, r2_mod_m_);
+}
+
+UInt Montgomery::from_mont(const UInt& a) const {
+  std::vector<Word> t(a.limbs().begin(), a.limbs().end());
+  return redc(std::move(t));
+}
+
+UInt Montgomery::mul(const UInt& a, const UInt& b) const {
+  const UInt p = a * b;
+  std::vector<Word> t(p.limbs().begin(), p.limbs().end());
+  return redc(std::move(t));
+}
+
+UInt Montgomery::pow(const UInt& base, const UInt& exp) const {
+  UInt result = r_mod_m_;  // 1 in-domain
+  UInt b = base;
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mul(result, b);
+    b = mul(b, b);
+  }
+  return result;
+}
+
+UInt Montgomery::inv(const UInt& a) const {
+  return pow(a, m_ - UInt{2});
+}
+
+}  // namespace eccm0::mpint

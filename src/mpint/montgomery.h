@@ -1,0 +1,52 @@
+// Montgomery modular arithmetic context for odd moduli.
+//
+// Substrate for the prime-field baselines (secp192r1/224r1/256r1): the
+// paper's comparison targets (MIRACL, Micro ECC) are prime-curve libraries
+// whose inner loop is Montgomery/Comba multiplication — MUL/ADD heavy,
+// which is exactly the instruction-mix contrast the paper's energy
+// argument rests on.
+#pragma once
+
+#include "mpint/uint.h"
+
+namespace eccm0::mpint {
+
+class Montgomery {
+ public:
+  /// modulus must be odd and > 2.
+  explicit Montgomery(UInt modulus);
+
+  const UInt& modulus() const { return m_; }
+  std::size_t limbs() const { return n_; }
+
+  /// Map into the Montgomery domain: a * R mod m (R = 2^(32n)).
+  UInt to_mont(const UInt& a) const;
+  /// Map out of the Montgomery domain: a * R^-1 mod m.
+  UInt from_mont(const UInt& a) const;
+
+  /// Montgomery product: a * b * R^-1 mod m (both operands in-domain).
+  UInt mul(const UInt& a, const UInt& b) const;
+  UInt sqr(const UInt& a) const { return mul(a, a); }
+  /// In-domain addition/subtraction.
+  UInt add(const UInt& a, const UInt& b) const { return addmod(a, b, m_); }
+  UInt sub(const UInt& a, const UInt& b) const { return submod(a, b, m_); }
+
+  /// base^exp with base in-domain; result in-domain.
+  UInt pow(const UInt& base, const UInt& exp) const;
+  /// Inverse of an in-domain value (prime modulus assumed): a^(m-2).
+  UInt inv(const UInt& a) const;
+
+  /// 1 in the Montgomery domain (R mod m).
+  UInt one() const { return r_mod_m_; }
+
+ private:
+  UInt redc(std::vector<Word> t) const;
+
+  UInt m_;
+  std::size_t n_ = 0;
+  Word m0_inv_ = 0;  ///< -m^-1 mod 2^32
+  UInt r_mod_m_;     ///< R mod m
+  UInt r2_mod_m_;    ///< R^2 mod m
+};
+
+}  // namespace eccm0::mpint

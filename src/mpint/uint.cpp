@@ -1,0 +1,255 @@
+#include "mpint/uint.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/hex.h"
+
+namespace eccm0::mpint {
+
+UInt::UInt(std::uint64_t v) {
+  if (v != 0) w_.push_back(static_cast<Word>(v));
+  if (v >> 32) w_.push_back(static_cast<Word>(v >> 32));
+}
+
+UInt::UInt(std::vector<Word> limbs) : w_(std::move(limbs)) { normalize(); }
+
+void UInt::normalize() {
+  while (!w_.empty() && w_.back() == 0) w_.pop_back();
+}
+
+UInt UInt::from_hex(std::string_view hex) { return UInt{words_from_hex(hex)}; }
+
+UInt UInt::pow2(std::size_t e) {
+  std::vector<Word> w(e / kWordBits + 1, 0);
+  w.back() = Word{1} << (e % kWordBits);
+  return UInt{std::move(w)};
+}
+
+UInt UInt::random_below(Rng& rng, const UInt& bound) {
+  if (bound.is_zero()) throw std::domain_error("random_below: zero bound");
+  const std::size_t bits = bound.bit_length();
+  const std::size_t n = words_for_bits(bits);
+  const Word top_mask =
+      bits % kWordBits == 0 ? ~Word{0} : (Word{1} << (bits % kWordBits)) - 1;
+  // Rejection sampling keeps the distribution uniform.
+  for (;;) {
+    std::vector<Word> w(n);
+    rng.fill(w);
+    w.back() &= top_mask;
+    UInt v{std::move(w)};
+    if (v < bound) return v;
+  }
+}
+
+std::size_t UInt::bit_length() const {
+  if (w_.empty()) return 0;
+  return (w_.size() - 1) * kWordBits + top_bit(w_.back()) + 1;
+}
+
+bool UInt::bit(std::size_t i) const {
+  if (i / kWordBits >= w_.size()) return false;
+  return get_bit(w_, i);
+}
+
+std::uint64_t UInt::low_u64() const {
+  std::uint64_t v = w_.empty() ? 0 : w_[0];
+  if (w_.size() > 1) v |= static_cast<std::uint64_t>(w_[1]) << 32;
+  return v;
+}
+
+std::string UInt::to_hex() const { return words_to_hex(w_); }
+
+std::strong_ordering UInt::operator<=>(const UInt& o) const {
+  if (w_.size() != o.w_.size()) return w_.size() <=> o.w_.size();
+  for (std::size_t i = w_.size(); i-- > 0;) {
+    if (w_[i] != o.w_[i]) return w_[i] <=> o.w_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+UInt UInt::operator+(const UInt& o) const {
+  const std::vector<Word>& a = w_.size() >= o.w_.size() ? w_ : o.w_;
+  const std::vector<Word>& b = w_.size() >= o.w_.size() ? o.w_ : w_;
+  std::vector<Word> r(a.size() + 1, 0);
+  DWord carry = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    DWord s = carry + a[i] + (i < b.size() ? b[i] : 0);
+    r[i] = static_cast<Word>(s);
+    carry = s >> 32;
+  }
+  r[a.size()] = static_cast<Word>(carry);
+  return UInt{std::move(r)};
+}
+
+UInt UInt::operator-(const UInt& o) const {
+  if (*this < o) throw std::underflow_error("UInt subtraction underflow");
+  std::vector<Word> r(w_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    std::int64_t d = static_cast<std::int64_t>(w_[i]) -
+                     (i < o.w_.size() ? o.w_[i] : 0) - borrow;
+    borrow = d < 0 ? 1 : 0;
+    r[i] = static_cast<Word>(d + (borrow << 32));
+  }
+  return UInt{std::move(r)};
+}
+
+UInt UInt::operator*(const UInt& o) const {
+  if (is_zero() || o.is_zero()) return {};
+  std::vector<Word> r(w_.size() + o.w_.size(), 0);
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    DWord carry = 0;
+    for (std::size_t j = 0; j < o.w_.size(); ++j) {
+      DWord cur = static_cast<DWord>(w_[i]) * o.w_[j] + r[i + j] + carry;
+      r[i + j] = static_cast<Word>(cur);
+      carry = cur >> 32;
+    }
+    r[i + o.w_.size()] += static_cast<Word>(carry);
+  }
+  return UInt{std::move(r)};
+}
+
+UInt UInt::operator<<(std::size_t bits) const {
+  if (is_zero()) return {};
+  const std::size_t wj = bits / kWordBits;
+  const unsigned b = bits % kWordBits;
+  std::vector<Word> r(w_.size() + wj + 1, 0);
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    r[i + wj] |= b == 0 ? w_[i] : (w_[i] << b);
+    if (b != 0) r[i + wj + 1] |= w_[i] >> (kWordBits - b);
+  }
+  return UInt{std::move(r)};
+}
+
+UInt UInt::operator>>(std::size_t bits) const {
+  const std::size_t wj = bits / kWordBits;
+  const unsigned b = bits % kWordBits;
+  if (wj >= w_.size()) return {};
+  std::vector<Word> r(w_.size() - wj, 0);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    r[i] = b == 0 ? w_[i + wj] : (w_[i + wj] >> b);
+    if (b != 0 && i + wj + 1 < w_.size()) {
+      r[i] |= w_[i + wj + 1] << (kWordBits - b);
+    }
+  }
+  return UInt{std::move(r)};
+}
+
+std::pair<UInt, UInt> UInt::divmod(const UInt& a, const UInt& b) {
+  if (b.is_zero()) throw std::domain_error("UInt division by zero");
+  if (a < b) return {UInt{}, a};
+  if (b.w_.size() == 1) {
+    // Fast single-limb path.
+    const Word d = b.w_[0];
+    std::vector<Word> q(a.w_.size(), 0);
+    DWord rem = 0;
+    for (std::size_t i = a.w_.size(); i-- > 0;) {
+      DWord cur = (rem << 32) | a.w_[i];
+      q[i] = static_cast<Word>(cur / d);
+      rem = cur % d;
+    }
+    return {UInt{std::move(q)}, UInt{static_cast<std::uint64_t>(rem)}};
+  }
+  // Knuth Algorithm D. Normalise so the divisor's top limb has its high
+  // bit set.
+  const unsigned shift = kWordBits - 1 - top_bit(b.w_.back());
+  const UInt an = a << shift;
+  const UInt bn = b << shift;
+  const std::size_t n = bn.w_.size();
+  const std::size_t m = an.w_.size() - n;
+  std::vector<Word> u(an.w_.begin(), an.w_.end());
+  u.push_back(0);  // u has m + n + 1 limbs
+  const std::vector<Word>& v = bn.w_;
+  std::vector<Word> q(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat from the top two limbs of the current remainder.
+    const DWord top = (static_cast<DWord>(u[j + n]) << 32) | u[j + n - 1];
+    DWord q_hat = top / v[n - 1];
+    DWord r_hat = top % v[n - 1];
+    while (q_hat >> 32 ||
+           q_hat * v[n - 2] > ((r_hat << 32) | u[j + n - 2])) {
+      --q_hat;
+      r_hat += v[n - 1];
+      if (r_hat >> 32) break;
+    }
+    // Multiply-subtract u[j..j+n] -= q_hat * v.
+    std::int64_t borrow = 0;
+    DWord carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const DWord p = q_hat * v[i] + carry;
+      carry = p >> 32;
+      const std::int64_t d =
+          static_cast<std::int64_t>(u[i + j]) -
+          static_cast<std::int64_t>(static_cast<Word>(p)) - borrow;
+      u[i + j] = static_cast<Word>(d);
+      borrow = d < 0 ? 1 : 0;
+    }
+    const std::int64_t d = static_cast<std::int64_t>(u[j + n]) -
+                           static_cast<std::int64_t>(carry) - borrow;
+    u[j + n] = static_cast<Word>(d);
+    if (d < 0) {
+      // q_hat was one too large: add back.
+      --q_hat;
+      DWord c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const DWord s = static_cast<DWord>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<Word>(s);
+        c = s >> 32;
+      }
+      u[j + n] = static_cast<Word>(u[j + n] + c);
+    }
+    q[j] = static_cast<Word>(q_hat);
+  }
+  u.resize(n);
+  return {UInt{std::move(q)}, UInt{std::move(u)} >> shift};
+}
+
+UInt addmod(const UInt& a, const UInt& b, const UInt& m) {
+  UInt s = a + b;
+  if (s >= m) s = s - m;
+  return s;
+}
+
+UInt submod(const UInt& a, const UInt& b, const UInt& m) {
+  if (a >= b) return a - b;
+  return a + m - b;
+}
+
+UInt mulmod(const UInt& a, const UInt& b, const UInt& m) {
+  return (a * b) % m;
+}
+
+UInt powmod(UInt base, UInt exp, const UInt& m) {
+  UInt result{1};
+  base = base % m;
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+  }
+  return result;
+}
+
+UInt invmod(const UInt& a, const UInt& m) {
+  // Extended Euclid with signed bookkeeping done via (value, negative) on
+  // UInts: track x s.t. a*x = g (mod m).
+  UInt r0 = m;
+  UInt r1 = a % m;
+  // x coefficients for a: x0 = 0, x1 = 1, values mod m.
+  UInt x0{0};
+  UInt x1{1};
+  while (!r1.is_zero()) {
+    const auto [q, r2] = UInt::divmod(r0, r1);
+    r0 = r1;
+    r1 = r2;
+    const UInt t = submod(x0, mulmod(q, x1, m), m);
+    x0 = x1;
+    x1 = t;
+  }
+  if (!(r0 == UInt{1})) throw std::domain_error("invmod: not invertible");
+  return x0;
+}
+
+}  // namespace eccm0::mpint

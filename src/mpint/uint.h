@@ -1,0 +1,75 @@
+// Arbitrary-precision unsigned integers on 32-bit limbs.
+//
+// Substrate for everything the paper delegates to RELIC's integer layer:
+// curve orders, TNAF/Solinas scalar recoding, ECDSA modular arithmetic and
+// the prime-field baselines. Little-endian limbs, always normalised.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/words.h"
+
+namespace eccm0::mpint {
+
+class UInt {
+ public:
+  UInt() = default;
+  /// From a small value.
+  UInt(std::uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal ergonomics
+  explicit UInt(std::vector<Word> limbs);
+
+  static UInt from_hex(std::string_view hex);
+  /// 2^e.
+  static UInt pow2(std::size_t e);
+  /// Uniform value in [0, bound), bound > 0.
+  static UInt random_below(Rng& rng, const UInt& bound);
+
+  bool is_zero() const { return w_.empty(); }
+  bool is_odd() const { return !w_.empty() && (w_[0] & 1u); }
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+  std::span<const Word> limbs() const { return w_; }
+  /// Low 64 bits.
+  std::uint64_t low_u64() const;
+  std::string to_hex() const;
+
+  std::strong_ordering operator<=>(const UInt& o) const;
+  bool operator==(const UInt& o) const = default;
+
+  UInt operator+(const UInt& o) const;
+  /// Precondition: *this >= o (checked, throws std::underflow_error).
+  UInt operator-(const UInt& o) const;
+  UInt operator*(const UInt& o) const;
+  UInt operator<<(std::size_t bits) const;
+  UInt operator>>(std::size_t bits) const;
+  UInt& operator+=(const UInt& o) { return *this = *this + o; }
+  UInt& operator-=(const UInt& o) { return *this = *this - o; }
+
+  /// Quotient and remainder; divisor must be non-zero.
+  static std::pair<UInt, UInt> divmod(const UInt& a, const UInt& b);
+  UInt operator/(const UInt& o) const { return divmod(*this, o).first; }
+  UInt operator%(const UInt& o) const { return divmod(*this, o).second; }
+
+ private:
+  void normalize();
+  std::vector<Word> w_;
+};
+
+/// (a + b) mod m, operands already reduced.
+UInt addmod(const UInt& a, const UInt& b, const UInt& m);
+/// (a - b) mod m, operands already reduced.
+UInt submod(const UInt& a, const UInt& b, const UInt& m);
+UInt mulmod(const UInt& a, const UInt& b, const UInt& m);
+UInt powmod(UInt base, UInt exp, const UInt& m);
+/// Inverse of a modulo m (gcd(a, m) = 1); throws std::domain_error.
+UInt invmod(const UInt& a, const UInt& m);
+
+}  // namespace eccm0::mpint

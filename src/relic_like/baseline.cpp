@@ -1,0 +1,20 @@
+#include "relic_like/baseline.h"
+
+namespace eccm0::relic_like {
+
+RelicBaseline::RelicBaseline() : curve_(&ec::BinaryCurve::sect233k1()) {}
+
+ec::CostedRun RelicBaseline::kp(const ec::AffinePoint& p,
+                                const mpint::UInt& k) const {
+  return ec::cost_point_mul(*curve_, p, k, 4, /*fixed_base=*/false,
+                            relic_like_costs());
+}
+
+ec::CostedRun RelicBaseline::kg(const mpint::UInt& k) const {
+  const ec::AffinePoint g = ec::AffinePoint::make(curve_->gx, curve_->gy);
+  // RELIC's fixed-point path caches the precomputation but keeps w = 4.
+  return ec::cost_point_mul(*curve_, g, k, 4, /*fixed_base=*/true,
+                            relic_like_costs());
+}
+
+}  // namespace eccm0::relic_like

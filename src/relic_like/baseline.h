@@ -1,0 +1,31 @@
+// RELIC-style baseline implementation facade (paper section 4.2.1).
+//
+// The paper's first implementation "relies exclusively on the RELIC
+// toolkit": generic wTNAF with w = 4 for both random and fixed point
+// multiplication over sect233k1. This facade reproduces that
+// configuration on our own generic code paths and prices it with the
+// RELIC-like cost table.
+#pragma once
+
+#include "ec/costing.h"
+#include "relic_like/costs.h"
+
+namespace eccm0::relic_like {
+
+class RelicBaseline {
+ public:
+  RelicBaseline();
+
+  /// Random point multiplication kP (w = 4, table built at runtime).
+  ec::CostedRun kp(const ec::AffinePoint& p, const mpint::UInt& k) const;
+  /// Fixed point multiplication kG (w = 4 — RELIC's generic path also
+  /// recomputes with the same window; only the table is cached).
+  ec::CostedRun kg(const mpint::UInt& k) const;
+
+  const ec::BinaryCurve& curve() const { return *curve_; }
+
+ private:
+  const ec::BinaryCurve* curve_;
+};
+
+}  // namespace eccm0::relic_like

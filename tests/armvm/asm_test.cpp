@@ -1,0 +1,203 @@
+// Assembler syntax coverage: labels, operand forms, literal pools, error
+// reporting, and agreement with the disassembler.
+#include "armvm/asm.h"
+
+#include <gtest/gtest.h>
+
+#include "armvm/codec.h"
+
+namespace eccm0::armvm {
+namespace {
+
+TEST(Asm, EmptyAndComments) {
+  const Program p = assemble(R"(
+; full line comment
+   @ another
+
+fn: bx lr  ; trailing
+)");
+  EXPECT_EQ(p.code.size(), 1u);
+  EXPECT_EQ(p.entry("fn"), 0u);
+}
+
+TEST(Asm, KnownBytes) {
+  const Program p = assemble("movs r0, #42\n eors r3, r4\n bx lr\n");
+  ASSERT_EQ(p.code.size(), 3u);
+  EXPECT_EQ(p.code[0], 0x202A);
+  EXPECT_EQ(p.code[1], 0x4063);
+  EXPECT_EQ(p.code[2], 0x4770);
+}
+
+TEST(Asm, ForwardAndBackwardBranches) {
+  const Program p = assemble(R"(
+top:  b mid
+      nop
+mid:  bne top
+      bx lr
+)");
+  // b mid: from addr 0, target 4: offset 0 -> 0xE000
+  EXPECT_EQ(p.code[0], 0xE000);
+  // bne top: from addr 4, target 0: offset -8 -> imm8 = -4>>... 0xD1FC
+  EXPECT_EQ(p.code[2], 0xD1FC);
+}
+
+TEST(Asm, BlToFunction) {
+  const Program p = assemble(R"(
+main: bl fn
+      bx lr
+fn:   bx lr
+)");
+  const Decoded d = decode(p.code, 0);
+  EXPECT_EQ(d.ins.op, Op::kBl);
+  EXPECT_EQ(d.halfwords, 2u);
+  // target = 0 + 4 + imm = 6 (addr of fn)
+  EXPECT_EQ(d.ins.imm, 2);
+}
+
+TEST(Asm, MultipleLabelsSameAddress) {
+  const Program p = assemble(R"(
+a: b c
+b: c: bx lr
+)");
+  EXPECT_EQ(p.entry("b"), p.entry("c"));
+  EXPECT_EQ(p.entry("b"), 2u);
+}
+
+TEST(Asm, MemoryOperandForms) {
+  const Program p = assemble(R"(
+fn: ldr r0, [r1]
+    ldr r0, [r1, #8]
+    ldr r0, [r1, r2]
+    str r0, [sp, #4]
+    ldrb r3, [r4, #1]
+    strh r5, [r6, #2]
+    bx lr
+)");
+  EXPECT_EQ(decode(p.code, 0).ins.op, Op::kLdrImm);
+  EXPECT_EQ(decode(p.code, 0).ins.imm, 0);
+  EXPECT_EQ(decode(p.code, 1).ins.imm, 8);
+  EXPECT_EQ(decode(p.code, 2).ins.op, Op::kLdrReg);
+  EXPECT_EQ(decode(p.code, 3).ins.op, Op::kStrSp);
+  EXPECT_EQ(decode(p.code, 4).ins.op, Op::kLdrbImm);
+  EXPECT_EQ(decode(p.code, 5).ins.op, Op::kStrhImm);
+}
+
+TEST(Asm, RegListRanges) {
+  const Program p = assemble("push {r0, r2-r4, lr}\n");
+  const Decoded d = decode(p.code, 0);
+  EXPECT_EQ(d.ins.reg_list, 0x100u | 0b00011101u);
+}
+
+TEST(Asm, LiteralPoolDeduplicated) {
+  const Program p = assemble(R"(
+fn: ldr r0, =0xCAFEBABE
+    ldr r1, =0xCAFEBABE
+    bx lr
+)");
+  // 3 halfwords code + padding to word + one 2-halfword literal
+  unsigned count = 0;
+  for (std::size_t i = 0; i + 1 < p.code.size(); ++i) {
+    if (p.code[i] == 0xBABE && p.code[i + 1] == 0xCAFE) ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Asm, WordDirective) {
+  const Program p = assemble(R"(
+data: .word 0x11223344
+)");
+  ASSERT_EQ(p.code.size(), 2u);
+  EXPECT_EQ(p.code[0], 0x3344);
+  EXPECT_EQ(p.code[1], 0x1122);
+}
+
+TEST(Asm, ShiftForms) {
+  const Program p = assemble(R"(
+fn: lsls r0, r1, #4
+    lsrs r0, r1, #8
+    asrs r0, r1, #2
+    lsls r0, r1
+    rors r2, r3
+    bx lr
+)");
+  EXPECT_EQ(decode(p.code, 0).ins.op, Op::kLslImm);
+  EXPECT_EQ(decode(p.code, 3).ins.op, Op::kLslReg);
+  EXPECT_EQ(decode(p.code, 4).ins.op, Op::kRorReg);
+}
+
+TEST(Asm, AddSubForms) {
+  const Program p = assemble(R"(
+fn: adds r0, r1, r2
+    adds r0, r1, #7
+    adds r0, #200
+    subs r3, r4, r5
+    sub sp, #8
+    add sp, #8
+    add r0, sp, #16
+    add r0, r8
+    bx lr
+)");
+  EXPECT_EQ(decode(p.code, 0).ins.op, Op::kAddReg);
+  EXPECT_EQ(decode(p.code, 1).ins.op, Op::kAddImm3);
+  EXPECT_EQ(decode(p.code, 2).ins.op, Op::kAddImm8);
+  EXPECT_EQ(decode(p.code, 3).ins.op, Op::kSubReg);
+  EXPECT_EQ(decode(p.code, 4).ins.op, Op::kSubSpImm7);
+  EXPECT_EQ(decode(p.code, 5).ins.op, Op::kAddSpImm7);
+  EXPECT_EQ(decode(p.code, 6).ins.op, Op::kAddRdSp);
+  EXPECT_EQ(decode(p.code, 7).ins.op, Op::kAddHi);
+}
+
+TEST(Asm, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nnop\nbogus r0\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Asm, ErrorOnUndefinedLabel) {
+  EXPECT_THROW(assemble("b nowhere\n"), std::invalid_argument);
+}
+
+TEST(Asm, ErrorOnDuplicateLabel) {
+  EXPECT_THROW(assemble("a: nop\na: nop\n"), std::invalid_argument);
+}
+
+TEST(Asm, ErrorOnBadRegister) {
+  EXPECT_THROW(assemble("movs r9, #1\n"), std::invalid_argument);
+  EXPECT_THROW(assemble("adds r0, r1, r12\n"), std::invalid_argument);
+}
+
+TEST(Asm, ErrorOnRangeViolations) {
+  EXPECT_THROW(assemble("movs r0, #300\n"), std::invalid_argument);
+  EXPECT_THROW(assemble("lsls r0, r1, #32\n"), std::invalid_argument);
+  EXPECT_THROW(assemble("ldr r0, [r1, #3]\n"), std::invalid_argument);
+}
+
+TEST(Asm, DisassemblyRoundTripThroughAssembler) {
+  // Assemble, disassemble each instruction, re-assemble, compare bytes.
+  const std::string src = R"(
+fn: movs r0, #1
+    lsls r1, r0, #5
+    adds r2, r0, r1
+    eors r2, r1
+    muls r2, r0
+    ldr r3, [r2, #4]
+    str r3, [r2, #8]
+    push {r4, lr}
+    pop {r4, pc}
+)";
+  const Program p1 = assemble(src);
+  std::string re;
+  for (std::size_t i = 0; i < p1.code.size();) {
+    const Decoded d = decode(p1.code, i);
+    re += disassemble(d.ins) + "\n";
+    i += d.halfwords;
+  }
+  const Program p2 = assemble(re);
+  EXPECT_EQ(p1.code, p2.code);
+}
+
+}  // namespace
+}  // namespace eccm0::armvm

@@ -1,0 +1,267 @@
+// Encoder/decoder round-trip and known-encoding checks against the ARMv6-M
+// reference encodings.
+#include "armvm/codec.h"
+
+#include <gtest/gtest.h>
+
+namespace eccm0::armvm {
+namespace {
+
+Instr roundtrip(const Instr& in) {
+  const auto hw = encode(in);
+  const Decoded d = decode(hw, 0);
+  EXPECT_EQ(d.halfwords, hw.size());
+  return d.ins;
+}
+
+TEST(Codec, KnownEncodings) {
+  // Reference values from the ARMv6-M ARM (hand-assembled).
+  Instr i;
+  i.op = Op::kMovImm; i.rd = 0; i.imm = 42;
+  EXPECT_EQ(encode(i)[0], 0x202A);  // movs r0, #42
+  i = {}; i.op = Op::kLslImm; i.rd = 1; i.rm = 2; i.imm = 4;
+  EXPECT_EQ(encode(i)[0], 0x0111);  // lsls r1, r2, #4
+  i = {}; i.op = Op::kAddReg; i.rd = 0; i.rn = 1; i.rm = 2;
+  EXPECT_EQ(encode(i)[0], 0x1888);  // adds r0, r1, r2
+  i = {}; i.op = Op::kEor; i.rd = 3; i.rm = 4;
+  EXPECT_EQ(encode(i)[0], 0x4063);  // eors r3, r4
+  i = {}; i.op = Op::kMul; i.rd = 0; i.rm = 7;
+  EXPECT_EQ(encode(i)[0], 0x4378);  // muls r0, r7
+  i = {}; i.op = Op::kLdrImm; i.rd = 0; i.rn = 1; i.imm = 4;
+  EXPECT_EQ(encode(i)[0], 0x6848);  // ldr r0, [r1, #4]
+  i = {}; i.op = Op::kStrImm; i.rd = 2; i.rn = 3; i.imm = 0;
+  EXPECT_EQ(encode(i)[0], 0x601A);  // str r2, [r3]
+  i = {}; i.op = Op::kPush; i.reg_list = 0x1F0;  // push {r4-r7, lr}
+  EXPECT_EQ(encode(i)[0], 0xB5F0);
+  i = {}; i.op = Op::kPop; i.reg_list = 0x1F0;  // pop {r4-r7, pc}
+  EXPECT_EQ(encode(i)[0], 0xBDF0);
+  i = {}; i.op = Op::kBx; i.rm = 14;
+  EXPECT_EQ(encode(i)[0], 0x4770);  // bx lr
+  i = {}; i.op = Op::kNop;
+  EXPECT_EQ(encode(i)[0], 0xBF00);
+  i = {}; i.op = Op::kB; i.imm = -4;
+  EXPECT_EQ(encode(i)[0], 0xE7FE);  // b . (self-loop)
+}
+
+TEST(Codec, MovHiEncoding) {
+  Instr i;
+  i.op = Op::kMovHi; i.rd = 8; i.rm = 1;
+  EXPECT_EQ(encode(i)[0], 0x4688);  // mov r8, r1
+  i.rd = 1; i.rm = 9;
+  EXPECT_EQ(encode(i)[0], 0x4649);  // mov r1, r9
+}
+
+TEST(Codec, RoundTripAllDataProcessing) {
+  for (Op op : {Op::kAnd, Op::kEor, Op::kLslReg, Op::kLsrReg, Op::kAsrReg,
+                Op::kAdc, Op::kSbc, Op::kRorReg, Op::kTst, Op::kRsb,
+                Op::kCmpReg, Op::kCmn, Op::kOrr, Op::kMul, Op::kBic,
+                Op::kMvn}) {
+    for (std::uint8_t rd = 0; rd < 8; ++rd) {
+      Instr i;
+      i.op = op;
+      i.rd = rd;
+      i.rm = static_cast<std::uint8_t>(7 - rd);
+      EXPECT_EQ(roundtrip(i), i) << op_name(op);
+    }
+  }
+}
+
+TEST(Codec, RoundTripImmediates) {
+  for (Op op : {Op::kMovImm, Op::kCmpImm, Op::kAddImm8, Op::kSubImm8}) {
+    for (std::int32_t imm : {0, 1, 127, 255}) {
+      Instr i;
+      i.op = op;
+      i.rd = 5;
+      i.imm = imm;
+      EXPECT_EQ(roundtrip(i), i);
+    }
+  }
+  for (Op op : {Op::kLslImm, Op::kLsrImm, Op::kAsrImm}) {
+    for (std::int32_t imm : {0, 1, 31}) {
+      Instr i;
+      i.op = op;
+      i.rd = 1;
+      i.rm = 2;
+      i.imm = imm;
+      EXPECT_EQ(roundtrip(i), i);
+    }
+  }
+}
+
+TEST(Codec, RoundTripMemory) {
+  for (Op op : {Op::kLdrImm, Op::kStrImm}) {
+    for (std::int32_t imm : {0, 4, 124}) {
+      Instr i;
+      i.op = op;
+      i.rd = 3;
+      i.rn = 4;
+      i.imm = imm;
+      EXPECT_EQ(roundtrip(i), i);
+    }
+  }
+  for (Op op : {Op::kLdrbImm, Op::kStrbImm}) {
+    Instr i;
+    i.op = op;
+    i.rd = 0;
+    i.rn = 7;
+    i.imm = 31;
+    EXPECT_EQ(roundtrip(i), i);
+  }
+  for (Op op : {Op::kLdrhImm, Op::kStrhImm}) {
+    Instr i;
+    i.op = op;
+    i.rd = 2;
+    i.rn = 3;
+    i.imm = 62;
+    EXPECT_EQ(roundtrip(i), i);
+  }
+  for (Op op : {Op::kLdrReg, Op::kStrReg, Op::kLdrbReg, Op::kStrbReg,
+                Op::kLdrhReg, Op::kStrhReg}) {
+    Instr i;
+    i.op = op;
+    i.rd = 1;
+    i.rn = 2;
+    i.rm = 3;
+    EXPECT_EQ(roundtrip(i), i);
+  }
+  for (Op op : {Op::kLdrSp, Op::kStrSp}) {
+    Instr i;
+    i.op = op;
+    i.rd = 6;
+    i.imm = 1020;
+    EXPECT_EQ(roundtrip(i), i);
+  }
+}
+
+TEST(Codec, RoundTripBranches) {
+  for (std::int32_t imm : {-256, -2, 0, 2, 254}) {
+    Instr i;
+    i.op = Op::kBCond;
+    i.cond = Cond::kNe;
+    i.imm = imm;
+    EXPECT_EQ(roundtrip(i), i);
+  }
+  for (std::int32_t imm : {-2048, 0, 2046}) {
+    Instr i;
+    i.op = Op::kB;
+    i.imm = imm;
+    EXPECT_EQ(roundtrip(i), i);
+  }
+  for (std::int32_t imm : {-4096, -2, 0, 4096, 1 << 21}) {
+    Instr i;
+    i.op = Op::kBl;
+    i.imm = imm;
+    const auto hw = encode(i);
+    ASSERT_EQ(hw.size(), 2u);
+    EXPECT_EQ(roundtrip(i), i);
+  }
+}
+
+TEST(Codec, RoundTripLdmStmPushPop) {
+  Instr i;
+  i.op = Op::kLdm;
+  i.rn = 2;
+  i.reg_list = 0xF1;
+  EXPECT_EQ(roundtrip(i), i);
+  i.op = Op::kStm;
+  EXPECT_EQ(roundtrip(i), i);
+  i = {};
+  i.op = Op::kPush;
+  i.reg_list = 0x110;
+  EXPECT_EQ(roundtrip(i), i);
+  i.op = Op::kPop;
+  EXPECT_EQ(roundtrip(i), i);
+}
+
+TEST(Codec, RejectsOutOfRange) {
+  Instr i;
+  i.op = Op::kMovImm;
+  i.rd = 0;
+  i.imm = 256;
+  EXPECT_THROW(encode(i), std::invalid_argument);
+  i = {};
+  i.op = Op::kAddReg;
+  i.rd = 8;  // hi register in lo-only form
+  EXPECT_THROW(encode(i), std::invalid_argument);
+  i = {};
+  i.op = Op::kLdrImm;
+  i.rd = 0;
+  i.rn = 1;
+  i.imm = 3;  // not word aligned
+  EXPECT_THROW(encode(i), std::invalid_argument);
+  i = {};
+  i.op = Op::kBCond;
+  i.imm = 300;
+  EXPECT_THROW(encode(i), std::invalid_argument);
+}
+
+TEST(Codec, DecodeRejectsUnsupported) {
+  EXPECT_THROW(decode({0xDE00}, 0), std::invalid_argument);  // UDF
+  EXPECT_THROW(decode({0xF800}, 0), std::invalid_argument);  // stray BL lo
+  EXPECT_THROW(decode({0xC000}, 0), std::invalid_argument);  // empty STM list
+  EXPECT_THROW(decode({0xBF10}, 0), std::invalid_argument);  // WFE hint
+}
+
+TEST(Codec, SignedLoadsRoundTrip) {
+  for (Op op : {Op::kLdrsbReg, Op::kLdrshReg}) {
+    Instr i;
+    i.op = op;
+    i.rd = 1;
+    i.rn = 2;
+    i.rm = 3;
+    const auto hw = encode(i);
+    EXPECT_EQ(decode(hw, 0).ins, i);
+  }
+  Instr i;
+  i.op = Op::kLdrsbReg;
+  i.rd = 0;
+  i.rn = 1;
+  i.rm = 2;
+  EXPECT_EQ(encode(i)[0], 0x5688);  // ldrsb r0, [r1, r2]
+}
+
+TEST(Codec, ExhaustiveDecodeEncodeFixpoint) {
+  // For every 16-bit pattern: if it decodes, re-encoding the decoded form
+  // must reproduce the original bytes (the decoder is a partial inverse
+  // of the encoder, with no silent canonicalisation).
+  unsigned decodable = 0;
+  for (unsigned h = 0; h <= 0xFFFF; ++h) {
+    std::vector<std::uint16_t> code{static_cast<std::uint16_t>(h), 0xF801};
+    Decoded d;
+    try {
+      d = decode(code, 0);
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    ++decodable;
+    const auto re = encode(d.ins);
+    ASSERT_EQ(re.size(), d.halfwords) << std::hex << h;
+    EXPECT_EQ(re[0], static_cast<std::uint16_t>(h)) << std::hex << h;
+    if (d.halfwords == 2) {
+      EXPECT_EQ(re[1], 0xF801) << std::hex << h;
+    }
+  }
+  // The vast majority of the space decodes (Thumb-1 is dense).
+  EXPECT_GT(decodable, 55000u);
+}
+
+TEST(Codec, DisassembleSmoke) {
+  Instr i;
+  i.op = Op::kEor;
+  i.rd = 3;
+  i.rm = 4;
+  EXPECT_EQ(disassemble(i), "eors r3, r4");
+  i = {};
+  i.op = Op::kLdrImm;
+  i.rd = 0;
+  i.rn = 1;
+  i.imm = 4;
+  EXPECT_EQ(disassemble(i), "ldr r0, [r1, #4]");
+  i = {};
+  i.op = Op::kPush;
+  i.reg_list = 0x1F0;
+  EXPECT_EQ(disassemble(i), "push {r4, r5, r6, r7, lr}");
+}
+
+}  // namespace
+}  // namespace eccm0::armvm

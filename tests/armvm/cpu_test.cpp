@@ -1,0 +1,343 @@
+// Semantic tests of the Thumb interpreter: arithmetic flags, memory,
+// control flow, the M0+ cycle model and the call ABI.
+#include "armvm/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include "armvm/asm.h"
+
+namespace eccm0::armvm {
+namespace {
+
+struct Machine {
+  explicit Machine(const std::string& src, std::size_t ram = 1 << 16)
+      : program(assemble(src)), mem(ram), cpu(program.code, mem) {}
+  Program program;
+  Memory mem;
+  Cpu cpu;
+};
+
+TEST(Cpu, ReturnsFromCall) {
+  Machine m(R"(
+fn: movs r0, #7
+    bx lr
+)");
+  const RunStats s = m.cpu.call(m.program.entry("fn"), {});
+  EXPECT_EQ(m.cpu.reg(0), 7u);
+  EXPECT_EQ(s.instructions, 2u);
+  EXPECT_EQ(s.cycles, 1u + 2u);  // movs 1 + bx 2
+}
+
+TEST(Cpu, AddSubFlags) {
+  Machine m(R"(
+fn: movs r0, #0
+    subs r0, #1       ; 0 - 1 = 0xFFFFFFFF, N=1 C=0 (borrow)
+    bx lr
+)");
+  m.cpu.call(m.program.entry("fn"), {});
+  EXPECT_EQ(m.cpu.reg(0), 0xFFFFFFFFu);
+  EXPECT_TRUE(m.cpu.flag_n());
+  EXPECT_FALSE(m.cpu.flag_c());
+  EXPECT_FALSE(m.cpu.flag_z());
+}
+
+TEST(Cpu, AdcChainAdds64Bit) {
+  // 64-bit add: (r0,r1) + (r2,r3) -> (r0,r1).
+  Machine m(R"(
+fn: adds r0, r0, r2
+    adcs r1, r3
+    bx lr
+)");
+  m.cpu.set_reg(0, 0xFFFFFFFF);
+  m.cpu.set_reg(1, 0x1);
+  m.cpu.set_reg(2, 0x2);
+  m.cpu.set_reg(3, 0x10);
+  m.cpu.set_reg(15, m.program.entry("fn"));
+  m.cpu.set_reg(14, kReturnSentinel);
+  while (m.cpu.step()) {
+  }
+  EXPECT_EQ(m.cpu.reg(0), 0x1u);         // 0xFFFFFFFF + 2 = 0x1_00000001
+  EXPECT_EQ(m.cpu.reg(1), 0x12u);        // 1 + 0x10 + carry
+}
+
+TEST(Cpu, OverflowFlag) {
+  Machine m(R"(
+fn: movs r0, #1
+    lsls r0, r0, #31   ; r0 = 0x80000000
+    subs r0, #1        ; 0x80000000 - 1 overflows (min-int - 1)
+    bx lr
+)");
+  m.cpu.call(m.program.entry("fn"), {});
+  EXPECT_TRUE(m.cpu.flag_v());
+  EXPECT_EQ(m.cpu.reg(0), 0x7FFFFFFFu);
+}
+
+TEST(Cpu, ShiftCarrySemantics) {
+  Machine m(R"(
+fn: movs r0, #3
+    lsrs r0, r0, #1    ; r0 = 1, C = 1
+    bx lr
+)");
+  m.cpu.call(m.program.entry("fn"), {});
+  EXPECT_EQ(m.cpu.reg(0), 1u);
+  EXPECT_TRUE(m.cpu.flag_c());
+}
+
+TEST(Cpu, MulAndLogic) {
+  Machine m(R"(
+fn: muls r0, r1
+    eors r0, r2
+    bx lr
+)");
+  const RunStats s = m.cpu.call(m.program.entry("fn"), {6, 7, 0xFF});
+  EXPECT_EQ(m.cpu.reg(0), (6u * 7u) ^ 0xFFu);
+  EXPECT_EQ(s.cycles, 1u + 1u + 2u);
+}
+
+TEST(Cpu, MemoryLoadStore) {
+  Machine m(R"(
+fn: str r1, [r0]
+    ldr r2, [r0, #0]
+    adds r2, #1
+    str r2, [r0, #4]
+    bx lr
+)");
+  m.cpu.call(m.program.entry("fn"), {kRamBase + 0x100, 41});
+  EXPECT_EQ(m.mem.load32(kRamBase + 0x100), 41u);
+  EXPECT_EQ(m.mem.load32(kRamBase + 0x104), 42u);
+}
+
+TEST(Cpu, ByteAndHalfAccess) {
+  Machine m(R"(
+fn: strb r1, [r0]
+    strb r1, [r0, #1]
+    ldrh r2, [r0]
+    bx lr
+)");
+  m.cpu.call(m.program.entry("fn"), {kRamBase + 0x40, 0xAB});
+  EXPECT_EQ(m.cpu.reg(2), 0xABABu);
+}
+
+TEST(Cpu, SignedLoads) {
+  Machine m(R"(
+fn: movs r2, #0
+    ldrsb r1, [r0, r2]
+    movs r3, #2
+    ldrsh r4, [r0, r3]
+    bx lr
+)");
+  m.mem.store8(kRamBase + 0, 0x80);        // -128 as signed byte
+  m.mem.store16(kRamBase + 2, 0xFFFE);     // -2 as signed halfword
+  m.cpu.call(m.program.entry("fn"), {kRamBase});
+  EXPECT_EQ(m.cpu.reg(1), static_cast<std::uint32_t>(-128));
+  EXPECT_EQ(m.cpu.reg(4), static_cast<std::uint32_t>(-2));
+}
+
+TEST(Cpu, LoopWithBranches) {
+  // sum 1..10
+  Machine m(R"(
+fn:   movs r1, #0
+      movs r2, #10
+loop: adds r1, r1, r2
+      subs r2, #1
+      bne loop
+      movs r0, r1
+      bx lr
+)");
+  m.cpu.call(m.program.entry("fn"), {});
+  EXPECT_EQ(m.cpu.reg(0), 55u);
+}
+
+TEST(Cpu, BranchCycleCost) {
+  // Taken branch = 2 cycles, not taken = 1.
+  Machine m(R"(
+fn:  cmp r0, #0
+     beq skip
+     movs r1, #1
+skip: bx lr
+)");
+  const RunStats taken = m.cpu.call(m.program.entry("fn"), {0});
+  // cmp 1 + beq taken 2 + bx 2 = 5
+  EXPECT_EQ(taken.cycles, 5u);
+  const RunStats not_taken = m.cpu.call(m.program.entry("fn"), {1});
+  // cmp 1 + beq not-taken 1 + movs 1 + bx 2 = 5
+  EXPECT_EQ(not_taken.cycles, 5u);
+  EXPECT_EQ(not_taken.instructions, 4u);
+}
+
+TEST(Cpu, LoadStoreCycleCost) {
+  Machine m(R"(
+fn: ldr r1, [r0]
+    str r1, [r0, #4]
+    bx lr
+)");
+  const RunStats s = m.cpu.call(m.program.entry("fn"), {kRamBase});
+  EXPECT_EQ(s.cycles, 2u + 2u + 2u);
+}
+
+TEST(Cpu, LdmStmCostAndWriteback) {
+  Machine m(R"(
+fn: ldmia r0!, {r1, r2, r3}
+    stmia r4!, {r1, r2, r3}
+    bx lr
+)");
+  m.mem.write_words(kRamBase, std::array<std::uint32_t, 3>{10, 20, 30});
+  m.cpu.set_reg(4, kRamBase + 0x100);
+  const RunStats s = m.cpu.call(m.program.entry("fn"), {kRamBase});
+  EXPECT_EQ(m.cpu.reg(0), kRamBase + 12);
+  EXPECT_EQ(m.cpu.reg(4), kRamBase + 0x100 + 12);
+  EXPECT_EQ(m.mem.load32(kRamBase + 0x104), 20u);
+  EXPECT_EQ(s.cycles, (1u + 3u) * 2 + 2u);  // two 1+N transfers + bx
+}
+
+TEST(Cpu, PushPopRoundTrip) {
+  Machine m(R"(
+fn: push {r4, r5, lr}
+    movs r4, #1
+    movs r5, #2
+    pop {r4, r5, pc}
+)");
+  m.cpu.set_reg(4, 0xAAAA);
+  m.cpu.set_reg(5, 0xBBBB);
+  m.cpu.call(m.program.entry("fn"), {});
+  EXPECT_EQ(m.cpu.reg(4), 0xAAAAu);  // restored
+  EXPECT_EQ(m.cpu.reg(5), 0xBBBBu);
+}
+
+TEST(Cpu, BlAndNestedCall) {
+  Machine m(R"(
+main: push {lr}
+      bl helper
+      adds r0, #1
+      pop {pc}
+helper: movs r0, #10
+      bx lr
+)");
+  m.cpu.call(m.program.entry("main"), {});
+  EXPECT_EQ(m.cpu.reg(0), 11u);
+}
+
+TEST(Cpu, HiRegisterMovAdd) {
+  Machine m(R"(
+fn: mov r8, r0
+    mov r1, r8
+    add r1, r8
+    bx lr
+)");
+  m.cpu.call(m.program.entry("fn"), {21});
+  EXPECT_EQ(m.cpu.reg(1), 42u);
+}
+
+TEST(Cpu, LiteralPoolLoad) {
+  Machine m(R"(
+fn: ldr r0, =0xDEADBEEF
+    ldr r1, =0x12345678
+    bx lr
+)");
+  m.cpu.call(m.program.entry("fn"), {});
+  EXPECT_EQ(m.cpu.reg(0), 0xDEADBEEFu);
+  EXPECT_EQ(m.cpu.reg(1), 0x12345678u);
+}
+
+TEST(Cpu, EnergyHistogramAccumulates) {
+  Machine m(R"(
+fn: ldr r1, [r0]
+    eors r1, r1
+    lsls r1, r1, #1
+    adds r1, #1
+    muls r1, r1
+    str r1, [r0]
+    bx lr
+)");
+  const RunStats s = m.cpu.call(m.program.entry("fn"), {kRamBase});
+  using costmodel::InstrClass;
+  auto cy = [&](InstrClass c) {
+    return s.histogram.cycles[static_cast<int>(c)];
+  };
+  EXPECT_EQ(cy(InstrClass::kLdr), 2u);
+  EXPECT_EQ(cy(InstrClass::kStr), 2u);
+  EXPECT_EQ(cy(InstrClass::kEor), 1u);
+  EXPECT_EQ(cy(InstrClass::kLsl), 1u);
+  EXPECT_EQ(cy(InstrClass::kAdd), 1u);
+  EXPECT_EQ(cy(InstrClass::kMul), 1u);
+  EXPECT_EQ(cy(InstrClass::kBranch), 2u);
+  const auto e = s.energy();
+  EXPECT_GT(e.energy_pj, 0.0);
+  EXPECT_EQ(e.cycles, s.cycles);
+}
+
+TEST(Cpu, InstructionBudgetGuard) {
+  Machine m(R"(
+fn: b fn
+)");
+  EXPECT_THROW(m.cpu.call(m.program.entry("fn"), {}, 1000),
+               std::runtime_error);
+}
+
+TEST(Cpu, UnalignedAccessFaults) {
+  Machine m(R"(
+fn: ldr r1, [r0]
+    bx lr
+)");
+  EXPECT_THROW(m.cpu.call(m.program.entry("fn"), {kRamBase + 2}),
+               std::runtime_error);
+}
+
+TEST(Cpu, OutOfRangeAccessFaults) {
+  Machine m(R"(
+fn: str r1, [r0]
+    bx lr
+)",
+            256);
+  EXPECT_THROW(m.cpu.call(m.program.entry("fn"), {kRamBase + 512}),
+               std::out_of_range);
+}
+
+TEST(Cpu, BkptHalts) {
+  Machine m(R"(
+fn: movs r0, #5
+    bkpt
+    movs r0, #9
+)");
+  m.cpu.call(m.program.entry("fn"), {});
+  EXPECT_EQ(m.cpu.reg(0), 5u);
+}
+
+TEST(Cpu, RsbNegates) {
+  Machine m(R"(
+fn: rsbs r0, r0, #0
+    bx lr
+)");
+  m.cpu.call(m.program.entry("fn"), {5});
+  EXPECT_EQ(m.cpu.reg(0), static_cast<std::uint32_t>(-5));
+}
+
+TEST(Cpu, RegisterShifts) {
+  Machine m(R"(
+fn: lsls r0, r1
+    lsrs r2, r3
+    bx lr
+)");
+  m.cpu.call(m.program.entry("fn"), {1, 4, 0x100, 4});
+  EXPECT_EQ(m.cpu.reg(0), 16u);
+  EXPECT_EQ(m.cpu.reg(2), 0x10u);
+}
+
+TEST(Cpu, ComparisonBranchesSignedUnsigned) {
+  // blt is signed, blo (bcc) unsigned.
+  Machine m(R"(
+fn:  cmp r0, r1
+     blt less
+     movs r2, #0
+     bx lr
+less: movs r2, #1
+     bx lr
+)");
+  m.cpu.call(m.program.entry("fn"), {static_cast<std::uint32_t>(-1), 1});
+  EXPECT_EQ(m.cpu.reg(2), 1u);  // -1 < 1 signed
+  m.cpu.call(m.program.entry("fn"), {0xFFFFFFFF, 1});
+  EXPECT_EQ(m.cpu.reg(2), 1u);  // same bits
+}
+
+}  // namespace
+}  // namespace eccm0::armvm

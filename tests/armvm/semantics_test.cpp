@@ -1,0 +1,250 @@
+// Property-style differential tests of the interpreter's arithmetic and
+// flag semantics: for randomly generated operand pairs, the VM's results
+// and NZCV flags must match a host-side reference implementation of the
+// ARMv6-M pseudocode.
+#include <gtest/gtest.h>
+
+#include "armvm/asm.h"
+#include "armvm/cpu.h"
+#include "common/rng.h"
+
+namespace eccm0::armvm {
+namespace {
+
+struct Flags {
+  bool n, z, c, v;
+  friend bool operator==(const Flags&, const Flags&) = default;
+};
+
+struct RefResult {
+  std::uint32_t value;
+  Flags f;
+};
+
+RefResult ref_add_with_carry(std::uint32_t a, std::uint32_t b, bool cin) {
+  const std::uint64_t wide = std::uint64_t{a} + b + (cin ? 1 : 0);
+  const auto r = static_cast<std::uint32_t>(wide);
+  Flags f{};
+  f.n = (r >> 31) != 0;
+  f.z = r == 0;
+  f.c = (wide >> 32) != 0;
+  f.v = (~(a ^ b) & (a ^ r) & 0x80000000u) != 0;
+  return {r, f};
+}
+
+class Harness {
+ public:
+  explicit Harness(const std::string& body)
+      : prog_(assemble("fn:\n" + body + "    bx lr\n")),
+        mem_(1 << 12),
+        cpu_(prog_.code, mem_) {}
+
+  RefResult run(std::uint32_t r0, std::uint32_t r1, bool carry_in = false) {
+    cpu_.set_reg(0, r0);
+    cpu_.set_reg(1, r1);
+    if (carry_in) {
+      // Set C by running "cmp r2, r2" style trick: instead, seed via a
+      // shift: place value 3 in r2 and LSR by 1 -> C=1. We bake it in by
+      // running a priming instruction sequence in the harness body
+      // instead; tests needing carry use bodies that set it.
+    }
+    (void)cpu_.call(prog_.entry("fn"), {});
+    return {cpu_.reg(0),
+            {cpu_.flag_n(), cpu_.flag_z(), cpu_.flag_c(), cpu_.flag_v()}};
+  }
+
+ private:
+  Program prog_;
+  Memory mem_;
+  Cpu cpu_;
+};
+
+TEST(Semantics, AddsMatchesReference) {
+  Harness h("    adds r0, r0, r1\n");
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_u64());
+    const auto b = static_cast<std::uint32_t>(rng.next_u64());
+    const RefResult want = ref_add_with_carry(a, b, false);
+    const RefResult got = h.run(a, b);
+    EXPECT_EQ(got.value, want.value);
+    EXPECT_EQ(got.f, want.f) << a << "+" << b;
+  }
+}
+
+TEST(Semantics, SubsMatchesReference) {
+  Harness h("    subs r0, r0, r1\n");
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_u64());
+    const auto b = static_cast<std::uint32_t>(rng.next_u64());
+    const RefResult want = ref_add_with_carry(a, ~b, true);
+    const RefResult got = h.run(a, b);
+    EXPECT_EQ(got.value, want.value);
+    EXPECT_EQ(got.f, want.f);
+  }
+}
+
+TEST(Semantics, AdcsChainMatches64BitAddition) {
+  // (r0:r1) treated as 64-bit halves added to themselves via adds/adcs.
+  Harness h("    adds r0, r0, r0\n    adcs r1, r1\n");
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t x = rng.next_u64();
+    const auto lo = static_cast<std::uint32_t>(x);
+    const auto hi = static_cast<std::uint32_t>(x >> 32);
+    Harness h2("    adds r0, r0, r0\n    adcs r1, r1\n");
+    h2.run(lo, hi);
+    // reconstruct from registers via a second harness run returning r1.
+    Harness h3("    adds r0, r0, r0\n    adcs r1, r1\n    movs r0, r1\n");
+    const auto hi_got = h3.run(lo, hi).value;
+    const auto lo_got = h2.run(lo, hi).value;
+    const std::uint64_t got =
+        (std::uint64_t{hi_got} << 32) | lo_got;
+    EXPECT_EQ(got, x + x);
+  }
+}
+
+TEST(Semantics, ShiftImmediatesMatchReference) {
+  Rng rng(4);
+  for (unsigned sh : {1u, 7u, 16u, 31u}) {
+    Harness lsl("    lsls r0, r0, #" + std::to_string(sh) + "\n");
+    Harness lsr("    lsrs r0, r0, #" + std::to_string(sh) + "\n");
+    Harness asr("    asrs r0, r0, #" + std::to_string(sh) + "\n");
+    for (int i = 0; i < 50; ++i) {
+      const auto v = static_cast<std::uint32_t>(rng.next_u64());
+      auto got = lsl.run(v, 0);
+      EXPECT_EQ(got.value, v << sh);
+      EXPECT_EQ(got.f.c, ((v >> (32 - sh)) & 1) != 0);
+      got = lsr.run(v, 0);
+      EXPECT_EQ(got.value, v >> sh);
+      EXPECT_EQ(got.f.c, ((v >> (sh - 1)) & 1) != 0);
+      got = asr.run(v, 0);
+      EXPECT_EQ(got.value, static_cast<std::uint32_t>(
+                               static_cast<std::int32_t>(v) >> sh));
+    }
+  }
+}
+
+TEST(Semantics, RegisterShiftBoundaryAmounts) {
+  // Amounts 0, 31, 32, 33, 255 follow the ARMv6-M pseudocode.
+  Harness lsl("    lsls r0, r1\n");
+  Harness lsr("    lsrs r0, r1\n");
+  const std::uint32_t v = 0x80000001u;
+  EXPECT_EQ(lsl.run(v, 0).value, v);        // no shift, flags NZ only
+  EXPECT_EQ(lsl.run(v, 31).value, 0x80000000u);
+  auto got = lsl.run(v, 32);
+  EXPECT_EQ(got.value, 0u);
+  EXPECT_TRUE(got.f.c);  // last bit out = bit 0 = 1
+  got = lsl.run(v, 33);
+  EXPECT_EQ(got.value, 0u);
+  EXPECT_FALSE(got.f.c);
+  got = lsr.run(v, 32);
+  EXPECT_EQ(got.value, 0u);
+  EXPECT_TRUE(got.f.c);  // bit 31
+  EXPECT_EQ(lsr.run(v, 255).value, 0u);
+}
+
+TEST(Semantics, MulsTruncatesTo32Bits) {
+  Harness h("    muls r0, r1\n");
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_u64());
+    const auto b = static_cast<std::uint32_t>(rng.next_u64());
+    const auto got = h.run(a, b);
+    EXPECT_EQ(got.value, a * b);
+    EXPECT_EQ(got.f.n, (a * b) >> 31 != 0);
+    EXPECT_EQ(got.f.z, a * b == 0);
+  }
+}
+
+TEST(Semantics, LogicalOpsMatchReference) {
+  Harness andh("    ands r0, r1\n");
+  Harness orrh("    orrs r0, r1\n");
+  Harness eorh("    eors r0, r1\n");
+  Harness bich("    bics r0, r1\n");
+  Harness mvnh("    mvns r0, r1\n");
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_u64());
+    const auto b = static_cast<std::uint32_t>(rng.next_u64());
+    EXPECT_EQ(andh.run(a, b).value, a & b);
+    EXPECT_EQ(orrh.run(a, b).value, a | b);
+    EXPECT_EQ(eorh.run(a, b).value, a ^ b);
+    EXPECT_EQ(bich.run(a, b).value, a & ~b);
+    EXPECT_EQ(mvnh.run(a, b).value, ~b);
+  }
+}
+
+TEST(Semantics, CmpConditionMatrix) {
+  // For random pairs, each condition code must agree with the host's
+  // signed/unsigned comparisons.
+  // MOVS/ADDS clobber the flags, so each predicate re-compares.
+  const std::string body = R"(
+    mov r3, r0
+    movs r0, #0
+    cmp r3, r1
+    bls n1
+    adds r0, #1
+n1: cmp r3, r1
+    bge n2
+    adds r0, #2
+n2: cmp r3, r1
+    bne n3
+    adds r0, #4
+n3: cmp r3, r1
+    blt n4
+    adds r0, #8
+n4: nop
+)";
+  Harness h(body);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_u64());
+    const auto b =
+        rng.next_below(4) == 0 ? a : static_cast<std::uint32_t>(rng.next_u64());
+    const std::uint32_t mask = h.run(a, b).value;
+    EXPECT_EQ((mask & 1) != 0, a > b) << "hi";                    // unsigned >
+    EXPECT_EQ((mask & 2) != 0,
+              static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b))
+        << "lt";
+    EXPECT_EQ((mask & 4) != 0, a == b) << "eq";
+    EXPECT_EQ((mask & 8) != 0,
+              static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b))
+        << "ge";
+  }
+}
+
+TEST(Semantics, ExtendAndReverseOps) {
+  Harness sxtb("    sxtb r0, r1\n");
+  Harness sxth("    sxth r0, r1\n");
+  Harness uxtb("    uxtb r0, r1\n");
+  Harness uxth("    uxth r0, r1\n");
+  Harness rev("    rev r0, r1\n");
+  Harness rev16("    rev16 r0, r1\n");
+  Harness revsh("    revsh r0, r1\n");
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = static_cast<std::uint32_t>(rng.next_u64());
+    EXPECT_EQ(sxtb.run(0, v).value,
+              static_cast<std::uint32_t>(
+                  static_cast<std::int32_t>(static_cast<std::int8_t>(v))));
+    EXPECT_EQ(sxth.run(0, v).value,
+              static_cast<std::uint32_t>(
+                  static_cast<std::int32_t>(static_cast<std::int16_t>(v))));
+    EXPECT_EQ(uxtb.run(0, v).value, v & 0xFFu);
+    EXPECT_EQ(uxth.run(0, v).value, v & 0xFFFFu);
+    EXPECT_EQ(rev.run(0, v).value, ((v >> 24) & 0xFF) | ((v >> 8) & 0xFF00) |
+                                       ((v << 8) & 0xFF0000) | (v << 24));
+    EXPECT_EQ(rev16.run(0, v).value,
+              ((v >> 8) & 0x00FF00FFu) | ((v << 8) & 0xFF00FF00u));
+    const std::uint16_t swapped = static_cast<std::uint16_t>(
+        ((v >> 8) & 0xFFu) | ((v & 0xFFu) << 8));
+    EXPECT_EQ(revsh.run(0, v).value,
+              static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                  static_cast<std::int16_t>(swapped))));
+  }
+}
+
+}  // namespace
+}  // namespace eccm0::armvm

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "common/words.h"
+
+namespace eccm0 {
+namespace {
+
+TEST(Words, WordsForBits) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(32), 1u);
+  EXPECT_EQ(words_for_bits(33), 2u);
+  EXPECT_EQ(words_for_bits(233), 8u);
+  EXPECT_EQ(words_for_bits(256), 8u);
+  EXPECT_EQ(words_for_bits(257), 9u);
+}
+
+TEST(Words, TopBit) {
+  EXPECT_EQ(top_bit(1), 0u);
+  EXPECT_EQ(top_bit(2), 1u);
+  EXPECT_EQ(top_bit(0x80000000u), 31u);
+  EXPECT_EQ(top_bit(0x1FF), 8u);
+}
+
+TEST(Words, PolyDegree) {
+  std::array<Word, 3> w{0, 0, 0};
+  EXPECT_EQ(poly_degree(w), -1);
+  w[0] = 1;
+  EXPECT_EQ(poly_degree(w), 0);
+  w[2] = 0x200;
+  EXPECT_EQ(poly_degree(w), 64 + 9);
+}
+
+TEST(Words, BitOps) {
+  std::array<Word, 4> w{};
+  set_bit(w, 74);
+  EXPECT_TRUE(get_bit(w, 74));
+  EXPECT_FALSE(get_bit(w, 73));
+  EXPECT_EQ(w[2], 1u << 10);
+  flip_bit(w, 74);
+  EXPECT_FALSE(get_bit(w, 74));
+  EXPECT_EQ(poly_degree(w), -1);
+}
+
+TEST(Hex, RoundTrip) {
+  const std::string h = "17232BA853A7E731AF129F22FF4149563A419C26BF50A4C9D6EEFAD6126";
+  auto w = words_from_hex(h);
+  EXPECT_EQ(words_to_hex(w), h);
+}
+
+TEST(Hex, PrefixAndCase) {
+  auto a = words_from_hex("0xDEADbeef");
+  auto b = words_from_hex("DEADBEEF");
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[0], 0xDEADBEEFu);
+}
+
+TEST(Hex, Zero) {
+  auto w = words_from_hex("0");
+  EXPECT_EQ(words_to_hex(w), "0");
+}
+
+TEST(Hex, FixedBufferOverflowThrows) {
+  std::array<Word, 1> buf;
+  EXPECT_THROW(words_from_hex("123456789AB", buf), std::length_error);
+  EXPECT_NO_THROW(words_from_hex("00000000FFFFFFFF", buf));
+  EXPECT_EQ(buf[0], 0xFFFFFFFFu);
+}
+
+TEST(Hex, BadDigitThrows) {
+  EXPECT_THROW(words_from_hex("12G4"), std::invalid_argument);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, FillsDistinctWords) {
+  Rng rng(7);
+  std::array<Word, 8> w{};
+  rng.fill(w);
+  // Not all equal (overwhelmingly likely for a working generator).
+  bool all_same = true;
+  for (auto x : w) all_same &= (x == w[0]);
+  EXPECT_FALSE(all_same);
+}
+
+TEST(Rng, NextBelow) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+}  // namespace
+}  // namespace eccm0

@@ -1,0 +1,131 @@
+// FIPS 180-4 / RFC test vectors for SHA-256 and RFC 4231 vectors for
+// HMAC-SHA256, plus DRBG behaviour tests.
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace eccm0::crypto {
+namespace {
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(to_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(to_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      to_hex(Sha256::hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 s;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) s.update(chunk);
+  EXPECT_EQ(to_hex(s.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog multiple times to cross "
+      "block boundaries in interesting ways 0123456789.";
+  for (std::size_t split = 0; split <= msg.size(); split += 13) {
+    Sha256 s;
+    s.update(std::string_view(msg).substr(0, split));
+    s.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(s.finish(), Sha256::hash(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // 55/56/63/64/65 bytes exercise the padding edge cases.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u}) {
+    const std::string m(len, 'x');
+    Sha256 a;
+    a.update(m);
+    const Digest d1 = a.finish();
+    Sha256 b;
+    for (char c : m) b.update(std::string_view(&c, 1));
+    EXPECT_EQ(b.finish(), d1) << len;
+  }
+}
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> r;
+  for (int x : v) r.push_back(static_cast<std::uint8_t>(x));
+  return r;
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  const auto key = std::vector<std::uint8_t>(20, 0x0b);
+  const std::string msg = "Hi There";
+  const Digest d = hmac_sha256(
+      key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(to_hex(d),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string msg = "what do ya want for nothing?";
+  const Digest d = hmac_sha256(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(to_hex(d),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const auto key = std::vector<std::uint8_t>(20, 0xaa);
+  const auto msg = std::vector<std::uint8_t>(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  const auto key = std::vector<std::uint8_t>(131, 0xaa);
+  const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const Digest d = hmac_sha256(
+      key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(to_hex(d),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacDrbg, DeterministicAndSeedSensitive) {
+  const auto seed1 = bytes({1, 2, 3});
+  const auto seed2 = bytes({1, 2, 4});
+  HmacDrbg a(seed1), b(seed1), c(seed2);
+  std::array<std::uint8_t, 48> oa{}, ob{}, oc{};
+  a.generate(oa);
+  b.generate(ob);
+  c.generate(oc);
+  EXPECT_EQ(oa, ob);
+  EXPECT_NE(oa, oc);
+}
+
+TEST(HmacDrbg, StreamAdvances) {
+  HmacDrbg a(bytes({9}));
+  std::array<std::uint8_t, 32> first{}, second{};
+  a.generate(first);
+  a.generate(second);
+  EXPECT_NE(first, second);
+}
+
+TEST(HmacDrbg, ReseedChangesStream) {
+  HmacDrbg a(bytes({7}));
+  HmacDrbg b(bytes({7}));
+  std::array<std::uint8_t, 32> oa{}, ob{};
+  b.reseed(bytes({42}));
+  a.generate(oa);
+  b.generate(ob);
+  EXPECT_NE(oa, ob);
+}
+
+}  // namespace
+}  // namespace eccm0::crypto

@@ -1,0 +1,130 @@
+// Point-encoding tests: SEC1 round trips (compressed + uncompressed),
+// malformed-input rejection, and the half-trace decompression math.
+#include "ec/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ec/scalarmul.h"
+
+namespace eccm0::ec {
+namespace {
+
+class CodecTest : public ::testing::TestWithParam<const BinaryCurve*> {
+ protected:
+  CodecTest() : ops_(*GetParam()) {}
+  AffinePoint random_point(Rng& rng) {
+    const AffinePoint g =
+        AffinePoint::make(GetParam()->gx, GetParam()->gy);
+    return mul_naive(ops_, g, mpint::UInt{1 + rng.next_below(5000)});
+  }
+  CurveOps ops_;
+};
+
+TEST_P(CodecTest, UncompressedRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const AffinePoint p = random_point(rng);
+    const auto bytes = encode_point(*GetParam(), p, false);
+    EXPECT_EQ(bytes.size(), 1 + 2 * field_octets(*GetParam()));
+    EXPECT_EQ(decode_point(ops_, bytes), p);
+  }
+}
+
+TEST_P(CodecTest, CompressedRoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    const AffinePoint p = random_point(rng);
+    const auto bytes = encode_point(*GetParam(), p, true);
+    EXPECT_EQ(bytes.size(), 1 + field_octets(*GetParam()));
+    EXPECT_EQ(decode_point(ops_, bytes), p);
+  }
+}
+
+TEST_P(CodecTest, CompressionDistinguishesConjugatePoints) {
+  Rng rng(3);
+  const AffinePoint p = random_point(rng);
+  const AffinePoint np = ops_.neg(p);
+  const auto bp = encode_point(*GetParam(), p, true);
+  const auto bn = encode_point(*GetParam(), np, true);
+  ASSERT_NE(p, np);
+  EXPECT_NE(bp[0], bn[0]);  // same x, opposite y-tilde
+  EXPECT_EQ(decode_point(ops_, bp), p);
+  EXPECT_EQ(decode_point(ops_, bn), np);
+}
+
+TEST_P(CodecTest, InfinityEncoding) {
+  const auto bytes =
+      encode_point(*GetParam(), AffinePoint::infinity(), true);
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x00);
+  EXPECT_TRUE(decode_point(ops_, bytes).inf);
+}
+
+TEST_P(CodecTest, RejectsMalformedInput) {
+  Rng rng(4);
+  const AffinePoint p = random_point(rng);
+  auto good = encode_point(*GetParam(), p, false);
+  // Bad prefix.
+  auto bad = good;
+  bad[0] = 0x07;
+  EXPECT_THROW(decode_point(ops_, bad), std::invalid_argument);
+  // Truncated.
+  bad = good;
+  bad.pop_back();
+  EXPECT_THROW(decode_point(ops_, bad), std::invalid_argument);
+  // Off-curve (flip a y bit).
+  bad = good;
+  bad.back() ^= 1;
+  EXPECT_THROW(decode_point(ops_, bad), std::invalid_argument);
+  // Empty.
+  EXPECT_THROW(decode_point(ops_, std::vector<std::uint8_t>{}),
+               std::invalid_argument);
+}
+
+TEST_P(CodecTest, RejectsUnsolvableCompressedX) {
+  // Roughly half of all x values have no curve point; find one by search.
+  Rng rng(5);
+  const auto& curve = *GetParam();
+  int rejected = 0;
+  for (int i = 0; i < 40 && rejected == 0; ++i) {
+    const gf2::Elem x = curve.f().random(rng);
+    std::vector<std::uint8_t> enc{0x02};
+    const auto oct = elem_to_octets(curve, x);
+    enc.insert(enc.end(), oct.begin(), oct.end());
+    try {
+      (void)decode_point(ops_, enc);
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST_P(CodecTest, ElemOctetsRoundTrip) {
+  Rng rng(6);
+  const auto& curve = *GetParam();
+  for (int i = 0; i < 10; ++i) {
+    const gf2::Elem e = curve.f().random(rng);
+    EXPECT_EQ(elem_from_octets(curve, elem_to_octets(curve, e)), e);
+  }
+  EXPECT_THROW(
+      elem_from_octets(curve, std::vector<std::uint8_t>(3, 0)),
+      std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Curves, CodecTest,
+                         ::testing::Values(&BinaryCurve::sect233k1(),
+                                           &BinaryCurve::sect163k1(),
+                                           &BinaryCurve::sect233r1()),
+                         [](const auto& info) {
+                           return std::string(info.param->name);
+                         });
+
+TEST(Codec, K233CompressedSizeIs31Bytes) {
+  // ceil(233/8) = 30 bytes of x + 1 prefix byte: the WSN radio payload.
+  EXPECT_EQ(field_octets(BinaryCurve::sect233k1()), 30u);
+}
+
+}  // namespace
+}  // namespace eccm0::ec

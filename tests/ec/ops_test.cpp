@@ -1,0 +1,219 @@
+// Point-arithmetic laws, and consistency of the projective (LD) formulas
+// with the affine oracle, across all named curves.
+#include "ec/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ec/scalarmul.h"
+
+namespace eccm0::ec {
+namespace {
+
+class OpsTest : public ::testing::TestWithParam<const BinaryCurve*> {
+ protected:
+  OpsTest() : ops_(*GetParam()), g_(AffinePoint::make(GetParam()->gx, GetParam()->gy)) {}
+
+  /// A pseudorandom curve point: small multiple of G.
+  AffinePoint random_point(Rng& rng) {
+    return mul_naive(ops_, g_, mpint::UInt{1 + rng.next_below(1000)});
+  }
+
+  CurveOps ops_;
+  AffinePoint g_;
+};
+
+TEST_P(OpsTest, NegationInvolutive) {
+  Rng rng(1);
+  const AffinePoint p = random_point(rng);
+  EXPECT_EQ(ops_.neg(ops_.neg(p)), p);
+  EXPECT_TRUE(ops_.on_curve(ops_.neg(p)));
+}
+
+TEST_P(OpsTest, AddNegGivesInfinity) {
+  Rng rng(2);
+  const AffinePoint p = random_point(rng);
+  EXPECT_TRUE(ops_.add(p, ops_.neg(p)).inf);
+}
+
+TEST_P(OpsTest, InfinityIsIdentity) {
+  Rng rng(3);
+  const AffinePoint p = random_point(rng);
+  const AffinePoint inf = AffinePoint::infinity();
+  EXPECT_EQ(ops_.add(p, inf), p);
+  EXPECT_EQ(ops_.add(inf, p), p);
+  EXPECT_TRUE(ops_.dbl(inf).inf);
+  EXPECT_TRUE(ops_.neg(inf).inf);
+}
+
+TEST_P(OpsTest, AdditionCommutative) {
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    const AffinePoint p = random_point(rng);
+    const AffinePoint q = random_point(rng);
+    EXPECT_EQ(ops_.add(p, q), ops_.add(q, p));
+  }
+}
+
+TEST_P(OpsTest, AdditionAssociative) {
+  Rng rng(5);
+  for (int i = 0; i < 5; ++i) {
+    const AffinePoint p = random_point(rng);
+    const AffinePoint q = random_point(rng);
+    const AffinePoint r = random_point(rng);
+    EXPECT_EQ(ops_.add(ops_.add(p, q), r), ops_.add(p, ops_.add(q, r)));
+  }
+}
+
+TEST_P(OpsTest, ClosureUnderAddAndDouble) {
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    const AffinePoint p = random_point(rng);
+    const AffinePoint q = random_point(rng);
+    EXPECT_TRUE(ops_.on_curve(ops_.add(p, q)));
+    EXPECT_TRUE(ops_.on_curve(ops_.dbl(p)));
+  }
+}
+
+TEST_P(OpsTest, DoubleEqualsSelfAdd) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const AffinePoint p = random_point(rng);
+    EXPECT_EQ(ops_.dbl(p), ops_.add(p, p));
+  }
+}
+
+TEST_P(OpsTest, LdRoundTrip) {
+  Rng rng(8);
+  const AffinePoint p = random_point(rng);
+  EXPECT_EQ(ops_.to_affine(ops_.to_ld(p)), p);
+  EXPECT_TRUE(ops_.to_affine(LDPoint::infinity()).inf);
+}
+
+TEST_P(OpsTest, LdDoubleMatchesAffine) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    const AffinePoint p = random_point(rng);
+    LDPoint q = ops_.to_ld(p);
+    ops_.ld_double(q);
+    EXPECT_EQ(ops_.to_affine(q), ops_.dbl(p));
+  }
+}
+
+TEST_P(OpsTest, LdDoubleWithNonTrivialZ) {
+  // Exercise doubling where Z != 1 by chaining two doublings.
+  Rng rng(10);
+  const AffinePoint p = random_point(rng);
+  LDPoint q = ops_.to_ld(p);
+  ops_.ld_double(q);
+  ops_.ld_double(q);
+  EXPECT_EQ(ops_.to_affine(q), ops_.dbl(ops_.dbl(p)));
+}
+
+TEST_P(OpsTest, MixedAddMatchesAffine) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    const AffinePoint p = random_point(rng);
+    const AffinePoint q = random_point(rng);
+    LDPoint acc = ops_.to_ld(p);
+    ops_.ld_double(acc);  // make Z non-trivial
+    ops_.ld_add_mixed(acc, q);
+    EXPECT_EQ(ops_.to_affine(acc), ops_.add(ops_.dbl(p), q));
+  }
+}
+
+TEST_P(OpsTest, MixedAddSpecialCases) {
+  Rng rng(12);
+  const AffinePoint p = random_point(rng);
+  // P + (-P) = infinity through the projective path.
+  LDPoint acc = ops_.to_ld(p);
+  ops_.ld_double(acc);
+  const AffinePoint d = ops_.dbl(p);
+  ops_.ld_add_mixed(acc, ops_.neg(d));
+  EXPECT_TRUE(ops_.to_affine(acc).inf);
+  // P + P = 2P through the projective path (B == 0, A == 0 branch).
+  acc = ops_.to_ld(p);
+  ops_.ld_add_mixed(acc, p);
+  EXPECT_EQ(ops_.to_affine(acc), d);
+  // infinity + Q
+  acc = LDPoint::infinity();
+  ops_.ld_add_mixed(acc, p);
+  EXPECT_EQ(ops_.to_affine(acc), p);
+  // Q + infinity
+  acc = ops_.to_ld(p);
+  ops_.ld_add_mixed(acc, AffinePoint::infinity());
+  EXPECT_EQ(ops_.to_affine(acc), p);
+}
+
+TEST_P(OpsTest, OpCountsOfLdFormulas) {
+  // The paper's coordinate choice is motivated by these costs: mixed add
+  // is 8M + 5S and doubling 3-4M + 5S for a in {0,1}.
+  Rng rng(13);
+  const AffinePoint p = random_point(rng);
+  const AffinePoint q = random_point(rng);
+  LDPoint acc = ops_.to_ld(p);
+  ops_.ld_double(acc);  // non-trivial Z
+  ops_.reset_counts();
+  ops_.ld_add_mixed(acc, q);
+  EXPECT_EQ(ops_.counts().mul, 8u);
+  EXPECT_EQ(ops_.counts().sqr, 5u);
+  EXPECT_EQ(ops_.counts().inv, 0u);
+  ops_.reset_counts();
+  ops_.ld_double(acc);
+  EXPECT_LE(ops_.counts().mul, 4u);
+  EXPECT_EQ(ops_.counts().sqr, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Curves, OpsTest,
+                         ::testing::Values(&BinaryCurve::sect233k1(),
+                                           &BinaryCurve::sect163k1(),
+                                           &BinaryCurve::sect233r1()),
+                         [](const auto& info) {
+                           return std::string(info.param->name);
+                         });
+
+class KoblitzOpsTest : public ::testing::TestWithParam<const BinaryCurve*> {
+ protected:
+  KoblitzOpsTest()
+      : ops_(*GetParam()),
+        g_(AffinePoint::make(GetParam()->gx, GetParam()->gy)) {}
+  CurveOps ops_;
+  AffinePoint g_;
+};
+
+TEST_P(KoblitzOpsTest, FrobeniusStaysOnCurve) {
+  EXPECT_TRUE(ops_.on_curve(ops_.frob(g_)));
+}
+
+TEST_P(KoblitzOpsTest, FrobeniusCharacteristicEquation) {
+  // tau^2(P) - mu*tau(P) + 2P = infinity, i.e.
+  // tau^2(P) + 2P = mu * tau(P).
+  Rng rng(14);
+  for (int i = 0; i < 5; ++i) {
+    const AffinePoint p =
+        mul_naive(ops_, g_, mpint::UInt{1 + rng.next_below(1000)});
+    const AffinePoint t = ops_.frob(p);
+    const AffinePoint t2 = ops_.frob(t);
+    const AffinePoint lhs = ops_.add(t2, ops_.dbl(p));
+    const AffinePoint rhs = ops_.curve().mu == 1 ? t : ops_.neg(t);
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST_P(KoblitzOpsTest, ProjectiveFrobeniusMatchesAffine) {
+  LDPoint q = ops_.to_ld(g_);
+  ops_.ld_double(q);
+  const AffinePoint affine_before = ops_.to_affine(q);
+  ops_.frob_inplace(q);
+  EXPECT_EQ(ops_.to_affine(q), ops_.frob(affine_before));
+}
+
+INSTANTIATE_TEST_SUITE_P(Koblitz, KoblitzOpsTest,
+                         ::testing::Values(&BinaryCurve::sect233k1(),
+                                           &BinaryCurve::sect163k1()),
+                         [](const auto& info) {
+                           return std::string(info.param->name);
+                         });
+
+}  // namespace
+}  // namespace eccm0::ec

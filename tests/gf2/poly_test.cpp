@@ -1,0 +1,148 @@
+#include "gf2/poly.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eccm0::gf2 {
+namespace {
+
+Poly random_poly(Rng& rng, std::size_t max_words) {
+  std::vector<Word> w(1 + rng.next_below(max_words));
+  rng.fill(w);
+  return Poly{std::move(w)};
+}
+
+TEST(Poly, ZeroAndOne) {
+  EXPECT_TRUE(Poly::zero().is_zero());
+  EXPECT_EQ(Poly::one().degree(), 0);
+  EXPECT_EQ(Poly::zero().degree(), -1);
+}
+
+TEST(Poly, MonomialDegree) {
+  for (std::size_t e : {0u, 1u, 31u, 32u, 74u, 233u}) {
+    EXPECT_EQ(Poly::monomial(e).degree(), static_cast<int>(e));
+  }
+}
+
+TEST(Poly, FromExponents) {
+  const std::array<unsigned, 3> exps{233, 74, 0};
+  const Poly f = Poly::from_exponents(exps);
+  EXPECT_TRUE(f.bit(0));
+  EXPECT_TRUE(f.bit(74));
+  EXPECT_TRUE(f.bit(233));
+  EXPECT_FALSE(f.bit(1));
+  EXPECT_EQ(f.degree(), 233);
+}
+
+TEST(Poly, HexRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const Poly p = random_poly(rng, 8);
+    EXPECT_EQ(Poly::from_hex(p.to_hex()), p);
+  }
+}
+
+TEST(Poly, XorGroupLaws) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const Poly a = random_poly(rng, 5);
+    const Poly b = random_poly(rng, 5);
+    EXPECT_EQ(a ^ b, b ^ a);
+    EXPECT_EQ((a ^ b) ^ b, a);
+    EXPECT_TRUE((a ^ a).is_zero());
+  }
+}
+
+TEST(Poly, ShiftRoundTrip) {
+  Rng rng(3);
+  for (std::size_t bits : {1u, 4u, 31u, 32u, 33u, 97u}) {
+    const Poly p = random_poly(rng, 4);
+    EXPECT_EQ(p.shifted_left(bits).shifted_right(bits), p);
+    if (!p.is_zero()) {
+      EXPECT_EQ(p.shifted_left(bits).degree(),
+                p.degree() + static_cast<int>(bits));
+    }
+  }
+}
+
+TEST(Poly, MulDegreeAndCommutativity) {
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const Poly a = random_poly(rng, 4);
+    const Poly b = random_poly(rng, 4);
+    const Poly ab = Poly::mul(a, b);
+    EXPECT_EQ(ab, Poly::mul(b, a));
+    if (!a.is_zero() && !b.is_zero()) {
+      EXPECT_EQ(ab.degree(), a.degree() + b.degree());
+    }
+  }
+}
+
+TEST(Poly, MulDistributesOverXor) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const Poly a = random_poly(rng, 3);
+    const Poly b = random_poly(rng, 3);
+    const Poly c = random_poly(rng, 3);
+    EXPECT_EQ(Poly::mul(a, b ^ c), Poly::mul(a, b) ^ Poly::mul(a, c));
+  }
+}
+
+TEST(Poly, ModProperties) {
+  Rng rng(6);
+  const Poly f = Poly::from_exponents(std::array<unsigned, 3>{233, 74, 0});
+  for (int i = 0; i < 20; ++i) {
+    const Poly a = random_poly(rng, 15);
+    const Poly r = Poly::mod(a, f);
+    EXPECT_LT(r.degree(), f.degree());
+    // a = q*f + r  =>  a ^ r is divisible by f.
+    EXPECT_TRUE(Poly::mod(a ^ r, f).is_zero());
+  }
+}
+
+TEST(Poly, ModByZeroThrows) {
+  EXPECT_THROW(Poly::mod(Poly::one(), Poly::zero()), std::domain_error);
+}
+
+TEST(Poly, SqrHasSpreadBits) {
+  Rng rng(7);
+  const Poly p = random_poly(rng, 3);
+  const Poly s = Poly::sqr(p);
+  for (int i = 0; i <= p.degree(); ++i) {
+    EXPECT_EQ(s.bit(2 * static_cast<std::size_t>(i)),
+              p.bit(static_cast<std::size_t>(i)));
+  }
+}
+
+TEST(Poly, GcdOfMultiples) {
+  Rng rng(8);
+  const Poly g = random_poly(rng, 2) ^ Poly::one();  // ensure non-zero
+  const Poly a = Poly::mul(g, random_poly(rng, 2) ^ Poly::monomial(40));
+  const Poly b = Poly::mul(g, random_poly(rng, 2) ^ Poly::monomial(41));
+  // gcd divides both products
+  const Poly d = Poly::gcd(a, b);
+  EXPECT_TRUE(Poly::mod(a, d).is_zero());
+  EXPECT_TRUE(Poly::mod(b, d).is_zero());
+  EXPECT_TRUE(Poly::mod(d, g).is_zero() || d.degree() >= g.degree());
+}
+
+TEST(Poly, InvModIrreducible) {
+  Rng rng(9);
+  const Poly f = Poly::from_exponents(std::array<unsigned, 3>{233, 74, 0});
+  for (int i = 0; i < 10; ++i) {
+    Poly a = random_poly(rng, 7);
+    if (a.is_zero()) a = Poly::one();
+    const Poly ai = Poly::inv_mod(a, f);
+    EXPECT_EQ(Poly::mulmod(a, ai, f), Poly::one());
+  }
+}
+
+TEST(Poly, InvModZeroThrows) {
+  const Poly f =
+      Poly::from_exponents(std::array<unsigned, 5>{163, 7, 6, 3, 0});
+  EXPECT_THROW(Poly::inv_mod(Poly::zero(), f), std::domain_error);
+}
+
+}  // namespace
+}  // namespace eccm0::gf2

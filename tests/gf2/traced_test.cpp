@@ -1,0 +1,229 @@
+// The traced multipliers must (1) compute correct products and (2) show
+// the paper's memory-traffic ordering: fixed < rotating < plain, with
+// measured counts near the Table 1 / Table 2 closed forms.
+#include "gf2/traced.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gf2/k233.h"
+#include "gf2/poly.h"
+
+namespace eccm0::gf2::traced {
+namespace {
+
+using costmodel::CycleModel;
+using costmodel::OpCounts;
+using costmodel::OpRecorder;
+
+std::vector<Word> random_words(Rng& rng, std::size_t n, unsigned top_mask) {
+  std::vector<Word> w(n);
+  rng.fill(w);
+  w[n - 1] &= top_mask;
+  return w;
+}
+
+using TracedMul = void (*)(std::span<Word>, std::span<const Word>,
+                           std::span<const Word>, OpRecorder&);
+
+struct MethodCase {
+  const char* name;
+  TracedMul fn;
+  OpCounts (*paper)(std::uint64_t);
+};
+
+class TracedMulTest : public ::testing::TestWithParam<MethodCase> {};
+
+TEST_P(TracedMulTest, ProductMatchesOracleAcrossSizes) {
+  Rng rng(1);
+  for (std::size_t n : {2u, 4u, 8u, 9u}) {
+    for (int i = 0; i < 10; ++i) {
+      const auto x = random_words(rng, n, 0x1FF);
+      const auto y = random_words(rng, n, 0x1FF);
+      std::vector<Word> v(2 * n);
+      OpRecorder rec;
+      GetParam().fn(v, x, y, rec);
+      const Poly expect = Poly::mul(Poly{x}, Poly{y});
+      EXPECT_EQ(Poly{v}, expect) << GetParam().name << " n=" << n;
+    }
+  }
+}
+
+TEST_P(TracedMulTest, ZeroAndOneOperands) {
+  const std::size_t n = 8;
+  std::vector<Word> zero(n, 0), one(n, 0), v(2 * n);
+  one[0] = 1;
+  Rng rng(2);
+  const auto x = random_words(rng, n, 0x1FF);
+  OpRecorder rec;
+  GetParam().fn(v, x, zero, rec);
+  EXPECT_TRUE(Poly{v}.is_zero());
+  GetParam().fn(v, x, one, rec);
+  EXPECT_EQ(Poly{v}, Poly{x});
+  GetParam().fn(v, zero, x, rec);
+  EXPECT_TRUE(Poly{v}.is_zero());
+}
+
+TEST_P(TracedMulTest, MeasuredCountsNearPaperFormula) {
+  // Measured abstract-op counts should track the paper's closed forms
+  // within 25% on every column that dominates cost (reads, writes, xors).
+  const std::size_t n = 8;
+  Rng rng(3);
+  const auto x = random_words(rng, n, 0x1FF);
+  const auto y = random_words(rng, n, 0x1FF);
+  std::vector<Word> v(2 * n);
+  OpRecorder rec;
+  GetParam().fn(v, x, y, rec);
+  const OpCounts paper = GetParam().paper(n);
+  const OpCounts got = rec.counts();
+  auto near = [](std::uint64_t got, std::uint64_t want, double tol) {
+    const double g = static_cast<double>(got);
+    const double w = static_cast<double>(want);
+    return g >= w * (1.0 - tol) && g <= w * (1.0 + tol);
+  };
+  EXPECT_TRUE(near(got.mem_read, paper.mem_read, 0.25))
+      << GetParam().name << " reads " << got.mem_read << " vs "
+      << paper.mem_read;
+  EXPECT_TRUE(near(got.mem_write, paper.mem_write, 0.25))
+      << GetParam().name << " writes " << got.mem_write << " vs "
+      << paper.mem_write;
+  EXPECT_TRUE(near(got.xor_ops, paper.xor_ops, 0.25))
+      << GetParam().name << " xors " << got.xor_ops << " vs "
+      << paper.xor_ops;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, TracedMulTest,
+    ::testing::Values(MethodCase{"plain", &mul_ld_plain, &paper_ld_plain},
+                      MethodCase{"rotating", &mul_ld_rotating,
+                                 &paper_ld_rotating},
+                      MethodCase{"fixed", &mul_ld_fixed, &paper_ld_fixed}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(TracedOrdering, FixedBeatsRotatingBeatsPlain) {
+  const std::size_t n = 8;
+  Rng rng(4);
+  const auto x = random_words(rng, n, 0x1FF);
+  const auto y = random_words(rng, n, 0x1FF);
+  std::vector<Word> v(2 * n);
+  OpRecorder ra, rb, rc;
+  mul_ld_plain(v, x, y, ra);
+  mul_ld_rotating(v, x, y, rb);
+  mul_ld_fixed(v, x, y, rc);
+  const CycleModel model;
+  const auto ca = model.cycles(ra.counts());
+  const auto cb = model.cycles(rb.counts());
+  const auto cc = model.cycles(rc.counts());
+  // The paper's headline ordering (Table 2): C < B < A.
+  EXPECT_LT(cc, cb);
+  EXPECT_LT(cb, ca);
+  // Memory-op ordering is the mechanism.
+  EXPECT_LT(rc.counts().memory_ops(), rb.counts().memory_ops());
+  EXPECT_LT(rb.counts().memory_ops(), ra.counts().memory_ops());
+}
+
+TEST(TracedReduce, MatchesUntracedKernel) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    k233::Prod p;
+    rng.fill(p);
+    p[15] = 0;
+    p[14] &= (1u << 17) - 1;
+    k233::Fe want, got;
+    k233::reduce(want, p);
+    OpRecorder rec;
+    reduce_traced(got, p, rec);
+    EXPECT_EQ(got, want);
+    EXPECT_GT(rec.counts().memory_ops(), 0u);
+  }
+}
+
+TEST(TracedSqr, MatchesUntracedKernel) {
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    k233::Fe a;
+    rng.fill(a);
+    a[7] &= k233::kTopMask;
+    k233::Fe want, got;
+    k233::sqr(want, a);
+    OpRecorder rec;
+    sqr_traced(got, a, rec);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(TracedSqr, CycleCountInPaperBand) {
+  // Paper Table 6: modular squaring 395 (asm) / 419 (C) cycles. The traced
+  // model has no loop overhead, so it should land at or below that band
+  // but within 2x.
+  Rng rng(7);
+  k233::Fe a;
+  rng.fill(a);
+  a[7] &= k233::kTopMask;
+  k233::Fe r;
+  OpRecorder rec;
+  sqr_traced(r, a, rec);
+  const auto cycles = CycleModel{}.cycles(rec.counts());
+  EXPECT_GT(cycles, 150u);
+  EXPECT_LT(cycles, 800u);
+}
+
+TEST(TracedInv, MatchesUntracedKernel) {
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) {
+    k233::Fe a;
+    rng.fill(a);
+    a[7] &= k233::kTopMask;
+    if (k233::is_zero(a)) a[0] = 1;
+    OpRecorder rec;
+    const k233::Fe got = inv_traced(a, rec);
+    EXPECT_EQ(got, k233::inv(a));
+  }
+}
+
+TEST(TracedInv, CycleCountInPaperBand) {
+  // Paper Table 6: inversion 141916 cycles in C. Our model should land in
+  // the same order of magnitude (tens of thousands to ~200k).
+  Rng rng(9);
+  k233::Fe a;
+  rng.fill(a);
+  a[7] &= k233::kTopMask;
+  OpRecorder rec;
+  (void)inv_traced(a, rec);
+  const auto cycles = CycleModel{}.cycles(rec.counts());
+  EXPECT_GT(cycles, 30'000u);
+  EXPECT_LT(cycles, 250'000u);
+}
+
+TEST(TracedMulFull, MatchesUntracedModularMul) {
+  Rng rng(10);
+  for (int i = 0; i < 20; ++i) {
+    k233::Fe a, b;
+    rng.fill(a);
+    rng.fill(b);
+    a[7] &= k233::kTopMask;
+    b[7] &= k233::kTopMask;
+    OpRecorder rec;
+    EXPECT_EQ(mul_traced(a, b, rec), k233::mul(a, b));
+  }
+}
+
+TEST(TracedMulFull, CycleCountInPaperBand) {
+  // Paper Table 2 estimates 2968 cycles for the fixed-register multiply;
+  // the measured assembly with reduction is 3672 (Table 6). The traced
+  // model (mult + reduction, no loop overhead) should fall in 2500..4500.
+  Rng rng(11);
+  k233::Fe a, b;
+  rng.fill(a);
+  rng.fill(b);
+  a[7] &= k233::kTopMask;
+  b[7] &= k233::kTopMask;
+  OpRecorder rec;
+  (void)mul_traced(a, b, rec);
+  const auto cycles = CycleModel{}.cycles(rec.counts());
+  EXPECT_GT(cycles, 2200u);
+  EXPECT_LT(cycles, 4800u);
+}
+
+}  // namespace
+}  // namespace eccm0::gf2::traced

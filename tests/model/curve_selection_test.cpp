@@ -1,0 +1,55 @@
+// Section 3.1 model tests: the candidate estimates must reach the
+// paper's conclusions and be internally consistent.
+#include "model/curve_selection.h"
+
+#include <gtest/gtest.h>
+
+namespace eccm0::model {
+namespace {
+
+TEST(CurveSelection, ProducesAllSixCandidates) {
+  const auto c = estimate_candidates();
+  ASSERT_EQ(c.size(), 6u);
+  for (const auto& e : c) {
+    EXPECT_GT(e.field_mul_cycles, 0u) << e.name;
+    EXPECT_GT(e.point_mul_cycles, e.field_mul_cycles) << e.name;
+    EXPECT_GT(e.pj_per_cycle, 10.0) << e.name;
+    EXPECT_LT(e.pj_per_cycle, 13.45) << e.name;
+    EXPECT_GT(e.energy_uj, 0.0) << e.name;
+  }
+}
+
+TEST(CurveSelection, CostGrowsWithFieldSize) {
+  const auto c = estimate_candidates();
+  EXPECT_LT(c[0].point_mul_cycles, c[1].point_mul_cycles);  // K163 < K233
+  EXPECT_LT(c[1].point_mul_cycles, c[2].point_mul_cycles);  // K233 < K283
+  EXPECT_LT(c[3].point_mul_cycles, c[4].point_mul_cycles);  // P192 < P224
+  EXPECT_LT(c[4].point_mul_cycles, c[5].point_mul_cycles);
+}
+
+TEST(CurveSelection, PaperConclusionsHold) {
+  const auto conclusions = evaluate(estimate_candidates());
+  EXPECT_TRUE(conclusions.koblitz_faster_at_matched_security);
+  EXPECT_TRUE(conclusions.binary_lower_power);
+}
+
+TEST(CurveSelection, K233EstimateNearMeasuredImplementation) {
+  // The model should predict the same order of magnitude the paper (and
+  // our costed implementation) later measures: kP on K-233 is a few
+  // million cycles.
+  const auto k233 = estimate_koblitz("sect233k1", 233);
+  EXPECT_GT(k233.point_mul_cycles, 1'000'000u);
+  EXPECT_LT(k233.point_mul_cycles, 6'000'000u);
+  // Average power in the 500-620 uW band at 48 MHz.
+  EXPECT_GT(k233.power_uw, 500.0);
+  EXPECT_LT(k233.power_uw, 620.0);
+}
+
+TEST(CurveSelection, BinaryMixBeatsPrimeMixPerCycle) {
+  const auto k = estimate_koblitz("sect233k1", 233);
+  const auto p = estimate_prime("secp224r1", 224);
+  EXPECT_LT(k.pj_per_cycle, p.pj_per_cycle);
+}
+
+}  // namespace
+}  // namespace eccm0::model

@@ -1,0 +1,59 @@
+#include "mpint/barrett.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eccm0::mpint {
+namespace {
+
+TEST(Barrett, MatchesDivmodForRandomProducts) {
+  Rng rng(1);
+  const UInt n = UInt::from_hex(
+      "8000000000000000000000000000069D5BB915BCD46EFB1AD5F173ABDF");
+  const Barrett ctx(n);
+  for (int i = 0; i < 100; ++i) {
+    const UInt a = UInt::random_below(rng, n);
+    const UInt b = UInt::random_below(rng, n);
+    EXPECT_EQ(ctx.mul(a, b), mulmod(a, b, n));
+    EXPECT_EQ(ctx.reduce(a * b), (a * b) % n);
+  }
+}
+
+TEST(Barrett, WorksForEvenModulus) {
+  // Montgomery cannot do this; Barrett can.
+  Rng rng(2);
+  const UInt m = UInt::from_hex("1000000000000000000000000000000000000002");
+  const Barrett ctx(m);
+  for (int i = 0; i < 30; ++i) {
+    const UInt a = UInt::random_below(rng, m);
+    const UInt b = UInt::random_below(rng, m);
+    EXPECT_EQ(ctx.mul(a, b), mulmod(a, b, m));
+  }
+}
+
+TEST(Barrett, EdgeValues) {
+  const UInt m{1000003};
+  const Barrett ctx(m);
+  EXPECT_EQ(ctx.reduce(UInt{0}), UInt{0});
+  EXPECT_EQ(ctx.reduce(UInt{1000002}), UInt{1000002});
+  EXPECT_EQ(ctx.reduce(UInt{1000003}), UInt{0});
+  EXPECT_EQ(ctx.reduce(UInt{1000004}), UInt{1});
+  EXPECT_EQ(ctx.reduce(m * m - UInt{1}), (m * m - UInt{1}) % m);
+}
+
+TEST(Barrett, PowMatchesPowmod) {
+  Rng rng(3);
+  const UInt p{1000003};
+  const Barrett ctx(p);
+  const UInt base = UInt::random_below(rng, p);
+  EXPECT_EQ(ctx.pow(base, p - UInt{1}), powmod(base, p - UInt{1}, p));
+}
+
+TEST(Barrett, RejectsTrivialModulus) {
+  EXPECT_THROW(Barrett(UInt{1}), std::invalid_argument);
+  EXPECT_THROW(Barrett(UInt{0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eccm0::mpint

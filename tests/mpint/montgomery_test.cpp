@@ -1,0 +1,77 @@
+#include "mpint/montgomery.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eccm0::mpint {
+namespace {
+
+// NIST P-256 and P-192 primes.
+const char* kP256 =
+    "FFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF";
+const char* kP192 = "FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFFFFFFFFFF";
+
+class MontgomeryTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  MontgomeryTest() : p_(UInt::from_hex(GetParam())), mont_(p_) {}
+  UInt p_;
+  Montgomery mont_;
+};
+
+TEST_P(MontgomeryTest, ToFromRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    const UInt a = UInt::random_below(rng, p_);
+    EXPECT_EQ(mont_.from_mont(mont_.to_mont(a)), a);
+  }
+}
+
+TEST_P(MontgomeryTest, MulMatchesPlainModmul) {
+  Rng rng(2);
+  for (int i = 0; i < 30; ++i) {
+    const UInt a = UInt::random_below(rng, p_);
+    const UInt b = UInt::random_below(rng, p_);
+    const UInt got =
+        mont_.from_mont(mont_.mul(mont_.to_mont(a), mont_.to_mont(b)));
+    EXPECT_EQ(got, mulmod(a, b, p_));
+  }
+}
+
+TEST_P(MontgomeryTest, OneIsMultiplicativeIdentity) {
+  Rng rng(3);
+  const UInt a = mont_.to_mont(UInt::random_below(rng, p_));
+  EXPECT_EQ(mont_.mul(a, mont_.one()), a);
+}
+
+TEST_P(MontgomeryTest, PowMatchesPowmod) {
+  Rng rng(4);
+  const UInt a = UInt::random_below(rng, p_);
+  const UInt e{65537};
+  const UInt got = mont_.from_mont(mont_.pow(mont_.to_mont(a), e));
+  EXPECT_EQ(got, powmod(a, e, p_));
+}
+
+TEST_P(MontgomeryTest, InvRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    UInt a = UInt::random_below(rng, p_);
+    if (a.is_zero()) a = UInt{3};
+    const UInt am = mont_.to_mont(a);
+    EXPECT_EQ(mont_.mul(am, mont_.inv(am)), mont_.one());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, MontgomeryTest,
+                         ::testing::Values(kP256, kP192),
+                         [](const auto& info) {
+                           return info.index == 0 ? "P256" : "P192";
+                         });
+
+TEST(Montgomery, RejectsEvenModulus) {
+  EXPECT_THROW(Montgomery(UInt{100}), std::invalid_argument);
+  EXPECT_THROW(Montgomery(UInt{1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eccm0::mpint

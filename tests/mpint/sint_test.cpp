@@ -1,0 +1,113 @@
+#include "mpint/sint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eccm0::mpint {
+namespace {
+
+TEST(SInt, ConstructionFromI64) {
+  EXPECT_TRUE(SInt{0}.is_zero());
+  EXPECT_EQ(SInt{-5}.sign(), -1);
+  EXPECT_EQ(SInt{5}.sign(), 1);
+  EXPECT_EQ(SInt{-5}.to_i64(), -5);
+  EXPECT_EQ(SInt{INT64_MIN + 1}.to_i64(), INT64_MIN + 1);
+}
+
+TEST(SInt, SignedArithmetic) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<std::int64_t>(rng.next_u64() >> 34) -
+                   (1ll << 29);
+    const auto b = static_cast<std::int64_t>(rng.next_u64() >> 34) -
+                   (1ll << 29);
+    EXPECT_EQ((SInt{a} + SInt{b}).to_i64(), a + b);
+    EXPECT_EQ((SInt{a} - SInt{b}).to_i64(), a - b);
+    EXPECT_EQ((SInt{a} * SInt{b}).to_i64(), a * b);
+    EXPECT_EQ(SInt{a} < SInt{b}, a < b);
+    EXPECT_EQ(SInt{a} == SInt{b}, a == b);
+  }
+}
+
+TEST(SInt, NegationAndZero) {
+  EXPECT_EQ(-SInt{0}, SInt{0});
+  EXPECT_EQ((-SInt{7}).to_i64(), -7);
+  const SInt neg_zero{UInt{}, true};
+  EXPECT_FALSE(neg_zero.is_neg());  // -0 normalised to +0
+}
+
+TEST(SInt, DivFloor) {
+  // Floor semantics for negative dividends.
+  EXPECT_EQ(SInt::div_floor(SInt{7}, UInt{2}).to_i64(), 3);
+  EXPECT_EQ(SInt::div_floor(SInt{-7}, UInt{2}).to_i64(), -4);
+  EXPECT_EQ(SInt::div_floor(SInt{-8}, UInt{2}).to_i64(), -4);
+  EXPECT_EQ(SInt::div_floor(SInt{0}, UInt{5}).to_i64(), 0);
+}
+
+TEST(SInt, DivRound) {
+  EXPECT_EQ(SInt::div_round(SInt{7}, UInt{2}).to_i64(), 4);   // 3.5 -> 4
+  EXPECT_EQ(SInt::div_round(SInt{-7}, UInt{2}).to_i64(), -3); // -3.5 -> -3
+  EXPECT_EQ(SInt::div_round(SInt{9}, UInt{4}).to_i64(), 2);   // 2.25 -> 2
+  EXPECT_EQ(SInt::div_round(SInt{-9}, UInt{4}).to_i64(), -2);
+  EXPECT_EQ(SInt::div_round(SInt{11}, UInt{4}).to_i64(), 3);  // 2.75 -> 3
+  EXPECT_EQ(SInt::div_round(SInt{-11}, UInt{4}).to_i64(), -3);
+}
+
+TEST(SInt, DivRoundPropertyHalfUlp) {
+  // |a - q*b| <= b/2 for q = div_round(a, b).
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = static_cast<std::int64_t>(rng.next_u64() >> 20) -
+                   (1ll << 43);
+    const auto b = 1 + static_cast<std::int64_t>(rng.next_below(1 << 20));
+    const SInt q = SInt::div_round(SInt{a}, UInt{static_cast<std::uint64_t>(b)});
+    const SInt diff = SInt{a} - q * SInt{b};
+    EXPECT_LE((diff * SInt{2}).abs(), UInt{static_cast<std::uint64_t>(b)})
+        << a << "/" << b;
+  }
+}
+
+TEST(SInt, ModEuclid) {
+  EXPECT_EQ(SInt::mod_euclid(SInt{7}, UInt{3}), UInt{1});
+  EXPECT_EQ(SInt::mod_euclid(SInt{-7}, UInt{3}), UInt{2});
+  EXPECT_EQ(SInt::mod_euclid(SInt{-6}, UInt{3}), UInt{0});
+}
+
+TEST(SInt, ModsPow2) {
+  // Signed residues in [-2^(w-1), 2^(w-1)).
+  EXPECT_EQ(SInt{7}.mods_pow2(4), 7);
+  EXPECT_EQ(SInt{9}.mods_pow2(4), -7);   // 9 mod 16 = 9 -> 9-16
+  EXPECT_EQ(SInt{8}.mods_pow2(4), -8);
+  EXPECT_EQ(SInt{-1}.mods_pow2(4), -1);
+  EXPECT_EQ(SInt{-9}.mods_pow2(4), 7);   // -9 mod 16 = 7
+  EXPECT_EQ(SInt{16}.mods_pow2(4), 0);
+}
+
+TEST(SInt, ModsPow2Property) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<std::int64_t>(rng.next_u64() >> 30) -
+                   (1ll << 33);
+    for (unsigned w : {2u, 4u, 6u}) {
+      const std::int64_t r = SInt{a}.mods_pow2(w);
+      EXPECT_GE(r, -(1ll << (w - 1)));
+      EXPECT_LT(r, 1ll << (w - 1));
+      EXPECT_EQ(((a - r) % (1ll << w) + (1ll << w)) % (1ll << w), 0)
+          << a << " w=" << w;
+    }
+  }
+}
+
+TEST(SInt, Half) {
+  EXPECT_EQ(SInt{-8}.half().to_i64(), -4);
+  EXPECT_EQ(SInt{8}.half().to_i64(), 4);
+  EXPECT_THROW(SInt{7}.half(), std::domain_error);
+}
+
+TEST(SInt, ShiftLeft) {
+  EXPECT_EQ((SInt{-3} << 4).to_i64(), -48);
+}
+
+}  // namespace
+}  // namespace eccm0::mpint

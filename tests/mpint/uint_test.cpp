@@ -1,0 +1,167 @@
+#include "mpint/uint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eccm0::mpint {
+namespace {
+
+UInt random_uint(Rng& rng, std::size_t max_words) {
+  std::vector<Word> w(1 + rng.next_below(max_words));
+  rng.fill(w);
+  return UInt{std::move(w)};
+}
+
+TEST(UInt, SmallValueConstruction) {
+  EXPECT_TRUE(UInt{}.is_zero());
+  EXPECT_TRUE(UInt{0}.is_zero());
+  EXPECT_EQ(UInt{1}.bit_length(), 1u);
+  EXPECT_EQ(UInt{0xFFFFFFFFFFFFFFFFull}.bit_length(), 64u);
+  EXPECT_EQ(UInt{0x100000000ull}.to_hex(), "100000000");
+}
+
+TEST(UInt, HexRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const UInt a = random_uint(rng, 10);
+    EXPECT_EQ(UInt::from_hex(a.to_hex()), a);
+  }
+}
+
+TEST(UInt, CompareBasic) {
+  EXPECT_LT(UInt{3}, UInt{5});
+  EXPECT_GT(UInt::pow2(64), UInt{0xFFFFFFFFFFFFFFFFull});
+  EXPECT_EQ(UInt{7}, UInt{7});
+  EXPECT_LT(UInt{}, UInt{1});
+}
+
+TEST(UInt, AddSubRoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const UInt a = random_uint(rng, 8);
+    const UInt b = random_uint(rng, 8);
+    EXPECT_EQ(a + b - b, a);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a - a, UInt{});
+  }
+}
+
+TEST(UInt, SubUnderflowThrows) {
+  EXPECT_THROW(UInt{1} - UInt{2}, std::underflow_error);
+}
+
+TEST(UInt, MulBasicIdentities) {
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const UInt a = random_uint(rng, 6);
+    const UInt b = random_uint(rng, 6);
+    const UInt c = random_uint(rng, 6);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * UInt{1}, a);
+    EXPECT_EQ(a * UInt{}, UInt{});
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(UInt, MulMatchesShiftForPow2) {
+  Rng rng(4);
+  const UInt a = random_uint(rng, 5);
+  for (std::size_t e : {1u, 31u, 32u, 33u, 64u, 95u}) {
+    EXPECT_EQ(a * UInt::pow2(e), a << e);
+  }
+}
+
+TEST(UInt, ShiftRoundTrip) {
+  Rng rng(5);
+  for (std::size_t bits : {1u, 31u, 32u, 33u, 100u}) {
+    const UInt a = random_uint(rng, 5);
+    EXPECT_EQ((a << bits) >> bits, a);
+  }
+}
+
+TEST(UInt, DivmodReconstruction) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const UInt a = random_uint(rng, 12);
+    UInt b = random_uint(rng, 1 + rng.next_below(10));
+    if (b.is_zero()) b = UInt{1};
+    const auto [q, r] = UInt::divmod(a, b);
+    EXPECT_LT(r, b);
+    EXPECT_EQ(q * b + r, a);
+  }
+}
+
+TEST(UInt, DivmodEdgeCases) {
+  EXPECT_THROW(UInt::divmod(UInt{1}, UInt{}), std::domain_error);
+  const auto [q1, r1] = UInt::divmod(UInt{5}, UInt{7});
+  EXPECT_EQ(q1, UInt{});
+  EXPECT_EQ(r1, UInt{5});
+  const auto [q2, r2] = UInt::divmod(UInt{7}, UInt{7});
+  EXPECT_EQ(q2, UInt{1});
+  EXPECT_TRUE(r2.is_zero());
+}
+
+TEST(UInt, DivmodKnuthAddBackCase) {
+  // Crafted operands that exercise the rare add-back branch: divisor with
+  // high limb 0x80000000 and dividend just below a multiple.
+  const UInt b = (UInt::pow2(63) + UInt{1});
+  const UInt a = (b * UInt::from_hex("FFFFFFFFFFFFFFFF")) - UInt{1};
+  const auto [q, r] = UInt::divmod(a, b);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_LT(r, b);
+}
+
+TEST(UInt, BitAccess) {
+  const UInt a = UInt::from_hex("8000000000000000000000000000069D5BB915BCD46EFB1AD5F173ABDF");
+  EXPECT_TRUE(a.bit(0));
+  EXPECT_TRUE(a.bit(231));
+  EXPECT_FALSE(a.bit(230));
+  EXPECT_EQ(a.bit_length(), 232u);
+}
+
+TEST(UInt, RandomBelowIsUniformish) {
+  Rng rng(7);
+  const UInt bound = UInt::from_hex("10000000000000001");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LT(UInt::random_below(rng, bound), bound);
+  }
+}
+
+TEST(ModArith, AddSubMod) {
+  Rng rng(8);
+  const UInt m = UInt::from_hex("FFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7EDEE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3BE39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF6955817183995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF");
+  for (int i = 0; i < 10; ++i) {
+    const UInt a = UInt::random_below(rng, m);
+    const UInt b = UInt::random_below(rng, m);
+    EXPECT_EQ(addmod(a, b, m), (a + b) % m);
+    EXPECT_EQ(submod(addmod(a, b, m), b, m), a);
+  }
+}
+
+TEST(ModArith, PowmodSmall) {
+  // 3^10 = 59049; mod 1000 = 49
+  EXPECT_EQ(powmod(UInt{3}, UInt{10}, UInt{1000}), UInt{49});
+  // Fermat: a^(p-1) = 1 mod p
+  const UInt p{1000003};
+  EXPECT_EQ(powmod(UInt{2}, p - UInt{1}, p), UInt{1});
+}
+
+TEST(ModArith, InvmodRoundTrip) {
+  Rng rng(9);
+  const UInt p = UInt::from_hex("FFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF");
+  for (int i = 0; i < 20; ++i) {
+    UInt a = UInt::random_below(rng, p);
+    if (a.is_zero()) a = UInt{2};
+    const UInt ai = invmod(a, p);
+    EXPECT_EQ(mulmod(a, ai, p), UInt{1});
+  }
+}
+
+TEST(ModArith, InvmodNotInvertibleThrows) {
+  EXPECT_THROW(invmod(UInt{6}, UInt{9}), std::domain_error);
+  EXPECT_THROW(invmod(UInt{0}, UInt{7}), std::domain_error);
+}
+
+}  // namespace
+}  // namespace eccm0::mpint

@@ -1,0 +1,163 @@
+// End-to-end costing checks: the priced point multiplications must
+// reproduce the paper's headline comparisons (Tables 4, 6, 7) in shape.
+#include "relic_like/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ec/scalarmul.h"
+#include "relic_like/costs.h"
+
+namespace eccm0::relic_like {
+namespace {
+
+using ec::AffinePoint;
+using ec::BinaryCurve;
+using ec::CostedRun;
+using ec::cost_point_mul;
+using mpint::UInt;
+
+const BinaryCurve& k233() { return BinaryCurve::sect233k1(); }
+AffinePoint gen() { return AffinePoint::make(k233().gx, k233().gy); }
+
+UInt random_scalar(std::uint64_t seed) {
+  Rng rng(seed);
+  return UInt::random_below(rng, k233().order);
+}
+
+TEST(Costing, ResultMatchesReferenceScalarMul) {
+  const UInt k = random_scalar(1);
+  ec::CurveOps ops(k233());
+  const CostedRun run =
+      cost_point_mul(k233(), gen(), k, 4, false, proposed_asm_costs());
+  EXPECT_EQ(run.result, ec::mul_wtnaf(ops, gen(), k, 4));
+}
+
+TEST(Costing, DigitStatisticsMatchTheory) {
+  // wTNAF(w) length ~m and density ~1/(w+1).
+  const UInt k = random_scalar(2);
+  const CostedRun r4 =
+      cost_point_mul(k233(), gen(), k, 4, false, proposed_asm_costs());
+  EXPECT_NEAR(static_cast<double>(r4.digits), 233.0, 8.0);
+  EXPECT_NEAR(static_cast<double>(r4.adds), 233.0 / 5.0, 14.0);
+  const CostedRun r6 =
+      cost_point_mul(k233(), gen(), k, 6, false, proposed_asm_costs());
+  EXPECT_NEAR(static_cast<double>(r6.adds), 233.0 / 7.0, 12.0);
+  EXPECT_LT(r6.adds, r4.adds);
+}
+
+TEST(Costing, Table7RowShape) {
+  // Paper Table 7 (kP): Multiply is the dominant row; the
+  // Multiply-Precomputation share is ~15-30% of the multiply total;
+  // Inversion ~ exactly one inversion; Square between them.
+  const UInt k = random_scalar(3);
+  const CostedRun run =
+      cost_point_mul(k233(), gen(), k, 4, false, proposed_asm_costs());
+  const auto& c = run.cost;
+  EXPECT_GT(c.multiply, c.square);
+  EXPECT_GT(c.square, c.inversion);
+  const double lut_share =
+      static_cast<double>(c.multiply_precomp) /
+      static_cast<double>(c.multiply + c.multiply_precomp);
+  EXPECT_GT(lut_share, 0.10);
+  EXPECT_LT(lut_share, 0.35);
+  // Exactly one explicit inversion in the main flow (final conversion).
+  EXPECT_EQ(run.main_ops.inv, 1u);
+  EXPECT_NEAR(static_cast<double>(c.inversion),
+              static_cast<double>(proposed_asm_costs().inv), 1.0);
+}
+
+TEST(Costing, FixedBaseSkipsPrecomputation) {
+  const UInt k = random_scalar(4);
+  const CostedRun kp =
+      cost_point_mul(k233(), gen(), k, 4, false, proposed_asm_costs());
+  const CostedRun kg =
+      cost_point_mul(k233(), gen(), k, 6, true, proposed_asm_costs());
+  EXPECT_GT(kp.cost.tnaf_precomp, 0u);
+  EXPECT_EQ(kg.cost.tnaf_precomp, 0u);
+  // Paper: kG (w=6, no precomp) is ~1.5x faster than kP (w=4).
+  const double ratio = static_cast<double>(kp.cost.total()) /
+                       static_cast<double>(kg.cost.total());
+  EXPECT_GT(ratio, 1.25);
+  EXPECT_LT(ratio, 1.9);
+}
+
+TEST(Costing, TotalsInPaperBand) {
+  // Paper: kP 2.81M cycles, kG 1.86M. Our multiply kernel is ~25% slower
+  // than the authors' final hand-tuned version, so accept 2.2M..4.5M and
+  // 1.4M..3.0M.
+  const UInt k = random_scalar(5);
+  const CostedRun kp =
+      cost_point_mul(k233(), gen(), k, 4, false, proposed_asm_costs());
+  const CostedRun kg =
+      cost_point_mul(k233(), gen(), k, 6, true, proposed_asm_costs());
+  EXPECT_GT(kp.cost.total(), 2'200'000u);
+  EXPECT_LT(kp.cost.total(), 4'500'000u);
+  EXPECT_GT(kg.cost.total(), 1'400'000u);
+  EXPECT_LT(kg.cost.total(), 3'000'000u);
+}
+
+TEST(Costing, EnergyInPaperBand) {
+  // Paper: kP 34.16 uJ, kG 20.63 uJ at 48 MHz, ~520-580 uW average power.
+  const UInt k = random_scalar(6);
+  const CostedRun kp =
+      cost_point_mul(k233(), gen(), k, 4, false, proposed_asm_costs());
+  const auto& t = proposed_asm_costs();
+  EXPECT_GT(kp.energy_uj(t), 25.0);
+  EXPECT_LT(kp.energy_uj(t), 55.0);
+  EXPECT_GT(kp.avg_power_uw(t), 500.0);
+  EXPECT_LT(kp.avg_power_uw(t), 620.0);
+}
+
+TEST(Costing, AsmBeatsCBeatsRelic) {
+  // Table 4/6 ordering: this-work-asm < this-work-C < RELIC-like, and the
+  // RELIC-like/asm ratio near the paper's ~2x for kP.
+  const UInt k = random_scalar(7);
+  const auto asm_run =
+      cost_point_mul(k233(), gen(), k, 4, false, proposed_asm_costs());
+  const auto c_run =
+      cost_point_mul(k233(), gen(), k, 4, false, proposed_c_costs());
+  RelicBaseline relic;
+  const auto relic_run = relic.kp(gen(), k);
+  EXPECT_LT(asm_run.cost.total(), c_run.cost.total());
+  EXPECT_LT(c_run.cost.total(), relic_run.cost.total());
+  const double speedup = static_cast<double>(relic_run.cost.total()) /
+                         static_cast<double>(asm_run.cost.total());
+  EXPECT_GT(speedup, 1.4);  // paper: 1.99
+  EXPECT_LT(speedup, 2.6);
+}
+
+TEST(Costing, RelicFixedVsRandomSmallGap) {
+  // Paper: RELIC kG is only marginally faster than RELIC kP (5.55M vs
+  // 5.62M) because RELIC keeps w = 4 and merely caches the table.
+  RelicBaseline relic;
+  const UInt k = random_scalar(8);
+  const auto kp = relic.kp(gen(), k);
+  const auto kg = relic.kg(k);
+  EXPECT_LT(kg.cost.total(), kp.cost.total());
+  const double gap = static_cast<double>(kp.cost.total()) /
+                     static_cast<double>(kg.cost.total());
+  EXPECT_LT(gap, 1.25);
+}
+
+TEST(Costing, RejectsNonKoblitz) {
+  const auto& b233 = BinaryCurve::sect233r1();
+  EXPECT_THROW(cost_point_mul(b233, AffinePoint::make(b233.gx, b233.gy),
+                              UInt{5}, 4, false, proposed_asm_costs()),
+               std::invalid_argument);
+}
+
+TEST(CostPresets, OrderingOfPrices) {
+  EXPECT_LT(proposed_asm_costs().mul, proposed_c_costs().mul);
+  EXPECT_LT(proposed_c_costs().mul, relic_like_costs().mul);
+  EXPECT_GT(proposed_asm_costs().mul_lut, 0u);
+  EXPECT_LT(proposed_asm_costs().mul_lut, proposed_asm_costs().mul);
+  // Inversion is the C EEA everywhere. The traced model gives ~44k
+  // cycles; the paper measured 142k for its (unpublished) C code — the
+  // delta is discussed in EXPERIMENTS.md. Sanity band only:
+  EXPECT_GT(proposed_asm_costs().inv, 25'000u);
+  EXPECT_LT(proposed_asm_costs().inv, 250'000u);
+}
+
+}  // namespace
+}  // namespace eccm0::relic_like
