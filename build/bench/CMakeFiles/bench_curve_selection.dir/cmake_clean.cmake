@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_curve_selection.dir/bench_curve_selection.cpp.o"
+  "CMakeFiles/bench_curve_selection.dir/bench_curve_selection.cpp.o.d"
+  "bench_curve_selection"
+  "bench_curve_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_curve_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_field.dir/bench_host_field.cpp.o"
+  "CMakeFiles/bench_host_field.dir/bench_host_field.cpp.o.d"
+  "bench_host_field"
+  "bench_host_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_point.dir/bench_host_point.cpp.o"
+  "CMakeFiles/bench_host_point.dir/bench_host_point.cpp.o.d"
+  "bench_host_point"
+  "bench_host_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

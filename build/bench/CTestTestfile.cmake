@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_table1 "/root/repo/build/bench/bench_table1")
+set_tests_properties(smoke_bench_table1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_table2 "/root/repo/build/bench/bench_table2")
+set_tests_properties(smoke_bench_table2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_table3 "/root/repo/build/bench/bench_table3")
+set_tests_properties(smoke_bench_table3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_table4 "/root/repo/build/bench/bench_table4")
+set_tests_properties(smoke_bench_table4 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_table5 "/root/repo/build/bench/bench_table5")
+set_tests_properties(smoke_bench_table5 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_table6 "/root/repo/build/bench/bench_table6")
+set_tests_properties(smoke_bench_table6 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_table7 "/root/repo/build/bench/bench_table7")
+set_tests_properties(smoke_bench_table7 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fig1 "/root/repo/build/bench/bench_fig1")
+set_tests_properties(smoke_bench_fig1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_curve_selection "/root/repo/build/bench/bench_curve_selection")
+set_tests_properties(smoke_bench_curve_selection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ablation_window "/root/repo/build/bench/bench_ablation_window")
+set_tests_properties(smoke_bench_ablation_window PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ladder "/root/repo/build/bench/bench_ladder")
+set_tests_properties(smoke_bench_ladder PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecctool.dir/ecctool.cpp.o"
+  "CMakeFiles/ecctool.dir/ecctool.cpp.o.d"
+  "ecctool"
+  "ecctool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecctool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

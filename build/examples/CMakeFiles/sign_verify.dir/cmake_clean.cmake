@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sign_verify.dir/sign_verify.cpp.o"
+  "CMakeFiles/sign_verify.dir/sign_verify.cpp.o.d"
+  "sign_verify"
+  "sign_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sign_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

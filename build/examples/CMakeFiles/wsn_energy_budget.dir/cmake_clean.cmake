@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_energy_budget.dir/wsn_energy_budget.cpp.o"
+  "CMakeFiles/wsn_energy_budget.dir/wsn_energy_budget.cpp.o.d"
+  "wsn_energy_budget"
+  "wsn_energy_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_energy_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/armvm/asm.cpp" "src/armvm/CMakeFiles/eccm0_armvm.dir/asm.cpp.o" "gcc" "src/armvm/CMakeFiles/eccm0_armvm.dir/asm.cpp.o.d"
+  "/root/repo/src/armvm/codec.cpp" "src/armvm/CMakeFiles/eccm0_armvm.dir/codec.cpp.o" "gcc" "src/armvm/CMakeFiles/eccm0_armvm.dir/codec.cpp.o.d"
+  "/root/repo/src/armvm/cpu.cpp" "src/armvm/CMakeFiles/eccm0_armvm.dir/cpu.cpp.o" "gcc" "src/armvm/CMakeFiles/eccm0_armvm.dir/cpu.cpp.o.d"
+  "/root/repo/src/armvm/isa.cpp" "src/armvm/CMakeFiles/eccm0_armvm.dir/isa.cpp.o" "gcc" "src/armvm/CMakeFiles/eccm0_armvm.dir/isa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eccm0_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eccm0_armvm.dir/asm.cpp.o"
+  "CMakeFiles/eccm0_armvm.dir/asm.cpp.o.d"
+  "CMakeFiles/eccm0_armvm.dir/codec.cpp.o"
+  "CMakeFiles/eccm0_armvm.dir/codec.cpp.o.d"
+  "CMakeFiles/eccm0_armvm.dir/cpu.cpp.o"
+  "CMakeFiles/eccm0_armvm.dir/cpu.cpp.o.d"
+  "CMakeFiles/eccm0_armvm.dir/isa.cpp.o"
+  "CMakeFiles/eccm0_armvm.dir/isa.cpp.o.d"
+  "libeccm0_armvm.a"
+  "libeccm0_armvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eccm0_armvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

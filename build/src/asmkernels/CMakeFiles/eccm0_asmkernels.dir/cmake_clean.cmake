@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eccm0_asmkernels.dir/gen.cpp.o"
+  "CMakeFiles/eccm0_asmkernels.dir/gen.cpp.o.d"
+  "CMakeFiles/eccm0_asmkernels.dir/runner.cpp.o"
+  "CMakeFiles/eccm0_asmkernels.dir/runner.cpp.o.d"
+  "libeccm0_asmkernels.a"
+  "libeccm0_asmkernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eccm0_asmkernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eccm0_common.dir/hex.cpp.o"
+  "CMakeFiles/eccm0_common.dir/hex.cpp.o.d"
+  "libeccm0_common.a"
+  "libeccm0_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eccm0_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/ecdh.cpp" "src/crypto/CMakeFiles/eccm0_crypto.dir/ecdh.cpp.o" "gcc" "src/crypto/CMakeFiles/eccm0_crypto.dir/ecdh.cpp.o.d"
+  "/root/repo/src/crypto/ecdsa.cpp" "src/crypto/CMakeFiles/eccm0_crypto.dir/ecdsa.cpp.o" "gcc" "src/crypto/CMakeFiles/eccm0_crypto.dir/ecdsa.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/eccm0_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/eccm0_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/eccm0_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/eccm0_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ec/CMakeFiles/eccm0_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpint/CMakeFiles/eccm0_mpint.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eccm0_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf2/CMakeFiles/eccm0_gf2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eccm0_crypto.dir/ecdh.cpp.o"
+  "CMakeFiles/eccm0_crypto.dir/ecdh.cpp.o.d"
+  "CMakeFiles/eccm0_crypto.dir/ecdsa.cpp.o"
+  "CMakeFiles/eccm0_crypto.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/eccm0_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/eccm0_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/eccm0_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/eccm0_crypto.dir/sha256.cpp.o.d"
+  "libeccm0_crypto.a"
+  "libeccm0_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eccm0_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ec/codec.cpp" "src/ec/CMakeFiles/eccm0_ec.dir/codec.cpp.o" "gcc" "src/ec/CMakeFiles/eccm0_ec.dir/codec.cpp.o.d"
+  "/root/repo/src/ec/costing.cpp" "src/ec/CMakeFiles/eccm0_ec.dir/costing.cpp.o" "gcc" "src/ec/CMakeFiles/eccm0_ec.dir/costing.cpp.o.d"
+  "/root/repo/src/ec/curve.cpp" "src/ec/CMakeFiles/eccm0_ec.dir/curve.cpp.o" "gcc" "src/ec/CMakeFiles/eccm0_ec.dir/curve.cpp.o.d"
+  "/root/repo/src/ec/ops.cpp" "src/ec/CMakeFiles/eccm0_ec.dir/ops.cpp.o" "gcc" "src/ec/CMakeFiles/eccm0_ec.dir/ops.cpp.o.d"
+  "/root/repo/src/ec/scalarmul.cpp" "src/ec/CMakeFiles/eccm0_ec.dir/scalarmul.cpp.o" "gcc" "src/ec/CMakeFiles/eccm0_ec.dir/scalarmul.cpp.o.d"
+  "/root/repo/src/ec/tnaf.cpp" "src/ec/CMakeFiles/eccm0_ec.dir/tnaf.cpp.o" "gcc" "src/ec/CMakeFiles/eccm0_ec.dir/tnaf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf2/CMakeFiles/eccm0_gf2.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpint/CMakeFiles/eccm0_mpint.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eccm0_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eccm0_ec.dir/codec.cpp.o"
+  "CMakeFiles/eccm0_ec.dir/codec.cpp.o.d"
+  "CMakeFiles/eccm0_ec.dir/costing.cpp.o"
+  "CMakeFiles/eccm0_ec.dir/costing.cpp.o.d"
+  "CMakeFiles/eccm0_ec.dir/curve.cpp.o"
+  "CMakeFiles/eccm0_ec.dir/curve.cpp.o.d"
+  "CMakeFiles/eccm0_ec.dir/ops.cpp.o"
+  "CMakeFiles/eccm0_ec.dir/ops.cpp.o.d"
+  "CMakeFiles/eccm0_ec.dir/scalarmul.cpp.o"
+  "CMakeFiles/eccm0_ec.dir/scalarmul.cpp.o.d"
+  "CMakeFiles/eccm0_ec.dir/tnaf.cpp.o"
+  "CMakeFiles/eccm0_ec.dir/tnaf.cpp.o.d"
+  "libeccm0_ec.a"
+  "libeccm0_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eccm0_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeccm0_ec.a"
+)

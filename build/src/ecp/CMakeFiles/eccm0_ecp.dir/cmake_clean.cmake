@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eccm0_ecp.dir/costing.cpp.o"
+  "CMakeFiles/eccm0_ecp.dir/costing.cpp.o.d"
+  "CMakeFiles/eccm0_ecp.dir/curve.cpp.o"
+  "CMakeFiles/eccm0_ecp.dir/curve.cpp.o.d"
+  "CMakeFiles/eccm0_ecp.dir/ops.cpp.o"
+  "CMakeFiles/eccm0_ecp.dir/ops.cpp.o.d"
+  "libeccm0_ecp.a"
+  "libeccm0_ecp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eccm0_ecp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gf2/field.cpp" "src/gf2/CMakeFiles/eccm0_gf2.dir/field.cpp.o" "gcc" "src/gf2/CMakeFiles/eccm0_gf2.dir/field.cpp.o.d"
+  "/root/repo/src/gf2/k233.cpp" "src/gf2/CMakeFiles/eccm0_gf2.dir/k233.cpp.o" "gcc" "src/gf2/CMakeFiles/eccm0_gf2.dir/k233.cpp.o.d"
+  "/root/repo/src/gf2/poly.cpp" "src/gf2/CMakeFiles/eccm0_gf2.dir/poly.cpp.o" "gcc" "src/gf2/CMakeFiles/eccm0_gf2.dir/poly.cpp.o.d"
+  "/root/repo/src/gf2/traced.cpp" "src/gf2/CMakeFiles/eccm0_gf2.dir/traced.cpp.o" "gcc" "src/gf2/CMakeFiles/eccm0_gf2.dir/traced.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eccm0_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

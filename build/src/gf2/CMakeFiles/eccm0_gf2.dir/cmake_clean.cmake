@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eccm0_gf2.dir/field.cpp.o"
+  "CMakeFiles/eccm0_gf2.dir/field.cpp.o.d"
+  "CMakeFiles/eccm0_gf2.dir/k233.cpp.o"
+  "CMakeFiles/eccm0_gf2.dir/k233.cpp.o.d"
+  "CMakeFiles/eccm0_gf2.dir/poly.cpp.o"
+  "CMakeFiles/eccm0_gf2.dir/poly.cpp.o.d"
+  "CMakeFiles/eccm0_gf2.dir/traced.cpp.o"
+  "CMakeFiles/eccm0_gf2.dir/traced.cpp.o.d"
+  "libeccm0_gf2.a"
+  "libeccm0_gf2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eccm0_gf2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eccm0_measure.dir/power_trace.cpp.o"
+  "CMakeFiles/eccm0_measure.dir/power_trace.cpp.o.d"
+  "libeccm0_measure.a"
+  "libeccm0_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eccm0_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

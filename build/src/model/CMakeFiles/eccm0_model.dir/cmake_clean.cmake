@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eccm0_model.dir/curve_selection.cpp.o"
+  "CMakeFiles/eccm0_model.dir/curve_selection.cpp.o.d"
+  "libeccm0_model.a"
+  "libeccm0_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eccm0_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpint/barrett.cpp" "src/mpint/CMakeFiles/eccm0_mpint.dir/barrett.cpp.o" "gcc" "src/mpint/CMakeFiles/eccm0_mpint.dir/barrett.cpp.o.d"
+  "/root/repo/src/mpint/montgomery.cpp" "src/mpint/CMakeFiles/eccm0_mpint.dir/montgomery.cpp.o" "gcc" "src/mpint/CMakeFiles/eccm0_mpint.dir/montgomery.cpp.o.d"
+  "/root/repo/src/mpint/sint.cpp" "src/mpint/CMakeFiles/eccm0_mpint.dir/sint.cpp.o" "gcc" "src/mpint/CMakeFiles/eccm0_mpint.dir/sint.cpp.o.d"
+  "/root/repo/src/mpint/uint.cpp" "src/mpint/CMakeFiles/eccm0_mpint.dir/uint.cpp.o" "gcc" "src/mpint/CMakeFiles/eccm0_mpint.dir/uint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eccm0_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

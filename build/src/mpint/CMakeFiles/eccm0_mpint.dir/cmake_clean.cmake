@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eccm0_mpint.dir/barrett.cpp.o"
+  "CMakeFiles/eccm0_mpint.dir/barrett.cpp.o.d"
+  "CMakeFiles/eccm0_mpint.dir/montgomery.cpp.o"
+  "CMakeFiles/eccm0_mpint.dir/montgomery.cpp.o.d"
+  "CMakeFiles/eccm0_mpint.dir/sint.cpp.o"
+  "CMakeFiles/eccm0_mpint.dir/sint.cpp.o.d"
+  "CMakeFiles/eccm0_mpint.dir/uint.cpp.o"
+  "CMakeFiles/eccm0_mpint.dir/uint.cpp.o.d"
+  "libeccm0_mpint.a"
+  "libeccm0_mpint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eccm0_mpint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

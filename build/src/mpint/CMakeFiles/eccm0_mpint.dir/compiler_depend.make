@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eccm0_mpint.
+# This may be replaced when dependencies are built.

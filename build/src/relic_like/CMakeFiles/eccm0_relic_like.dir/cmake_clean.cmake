@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eccm0_relic_like.dir/baseline.cpp.o"
+  "CMakeFiles/eccm0_relic_like.dir/baseline.cpp.o.d"
+  "CMakeFiles/eccm0_relic_like.dir/costs.cpp.o"
+  "CMakeFiles/eccm0_relic_like.dir/costs.cpp.o.d"
+  "libeccm0_relic_like.a"
+  "libeccm0_relic_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eccm0_relic_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

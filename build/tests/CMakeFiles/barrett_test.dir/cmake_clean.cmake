@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrett_test.dir/mpint/barrett_test.cpp.o"
+  "CMakeFiles/barrett_test.dir/mpint/barrett_test.cpp.o.d"
+  "barrett_test"
+  "barrett_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrett_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

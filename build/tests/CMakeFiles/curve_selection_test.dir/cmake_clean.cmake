@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curve_selection_test.dir/model/curve_selection_test.cpp.o"
+  "CMakeFiles/curve_selection_test.dir/model/curve_selection_test.cpp.o.d"
+  "curve_selection_test"
+  "curve_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curve_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

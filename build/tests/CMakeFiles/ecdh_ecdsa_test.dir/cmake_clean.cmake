@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdh_ecdsa_test.dir/crypto/ecdh_ecdsa_test.cpp.o"
+  "CMakeFiles/ecdh_ecdsa_test.dir/crypto/ecdh_ecdsa_test.cpp.o.d"
+  "ecdh_ecdsa_test"
+  "ecdh_ecdsa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdh_ecdsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

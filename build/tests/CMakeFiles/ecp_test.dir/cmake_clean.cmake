@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecp_test.dir/ecp/ecp_test.cpp.o"
+  "CMakeFiles/ecp_test.dir/ecp/ecp_test.cpp.o.d"
+  "ecp_test"
+  "ecp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

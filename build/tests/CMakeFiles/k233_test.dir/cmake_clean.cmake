@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k233_test.dir/gf2/k233_test.cpp.o"
+  "CMakeFiles/k233_test.dir/gf2/k233_test.cpp.o.d"
+  "k233_test"
+  "k233_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k233_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

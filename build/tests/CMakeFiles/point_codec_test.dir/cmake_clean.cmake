@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/point_codec_test.dir/ec/codec_test.cpp.o"
+  "CMakeFiles/point_codec_test.dir/ec/codec_test.cpp.o.d"
+  "point_codec_test"
+  "point_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/point_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

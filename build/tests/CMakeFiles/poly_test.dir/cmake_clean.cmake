@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_test.dir/gf2/poly_test.cpp.o"
+  "CMakeFiles/poly_test.dir/gf2/poly_test.cpp.o.d"
+  "poly_test"
+  "poly_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalarmul_test.dir/ec/scalarmul_test.cpp.o"
+  "CMakeFiles/scalarmul_test.dir/ec/scalarmul_test.cpp.o.d"
+  "scalarmul_test"
+  "scalarmul_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalarmul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

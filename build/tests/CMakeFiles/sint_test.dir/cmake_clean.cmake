@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sint_test.dir/mpint/sint_test.cpp.o"
+  "CMakeFiles/sint_test.dir/mpint/sint_test.cpp.o.d"
+  "sint_test"
+  "sint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

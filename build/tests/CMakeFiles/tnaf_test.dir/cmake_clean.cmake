@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnaf_test.dir/ec/tnaf_test.cpp.o"
+  "CMakeFiles/tnaf_test.dir/ec/tnaf_test.cpp.o.d"
+  "tnaf_test"
+  "tnaf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnaf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traced_test.dir/gf2/traced_test.cpp.o"
+  "CMakeFiles/traced_test.dir/gf2/traced_test.cpp.o.d"
+  "traced_test"
+  "traced_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uint_test.dir/mpint/uint_test.cpp.o"
+  "CMakeFiles/uint_test.dir/mpint/uint_test.cpp.o.d"
+  "uint_test"
+  "uint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
