@@ -1,8 +1,14 @@
-// Minimal fixed-width table printer shared by the reproduction benches.
+// Minimal fixed-width table printer shared by the reproduction benches,
+// plus the `--json` output convention: every bench main may accept
+// `--json[=PATH]` and mirror its regenerated numbers into a
+// machine-readable JSON file (default: BENCH_<name>.json in the CWD) so
+// perf trajectories can be tracked across commits.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
-#include <initializer_list>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -16,7 +22,8 @@ class Table {
   }
 
   void add_row(std::vector<std::string> cells) {
-    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    if (cells.size() > widths_.size()) widths_.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
       widths_[i] = std::max(widths_[i], cells[i].size());
     }
     rows_.push_back(std::move(cells));
@@ -31,19 +38,24 @@ class Table {
         line += cell;
         line += "  ";
       }
+      while (!line.empty() && line.back() == ' ') line.pop_back();
       std::printf("%s\n", line.c_str());
       if (r == 0) {
         std::string rule;
         for (std::size_t c = 0; c < widths_.size(); ++c) {
           rule += std::string(widths_[c], '-') + "  ";
         }
+        while (!rule.empty() && rule.back() == ' ') rule.pop_back();
         std::printf("%s\n", rule.c_str());
       }
     }
   }
 
+  /// Serialize the body rows as a JSON array of objects keyed by the
+  /// header row (row cells beyond the header count are dropped).
+  std::string to_json() const;
+
  private:
-  std::vector<std::string> widths_helper_;
   std::vector<std::size_t> widths_;
   std::vector<std::vector<std::string>> rows_;
 };
@@ -58,6 +70,124 @@ inline std::string fmt_f(double v, int prec = 2) {
 
 inline void banner(const char* title) {
   std::printf("\n=== %s ===\n\n", title);
+}
+
+/// Escape a string for embedding in JSON output.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Incremental writer for flat/nested JSON objects — enough structure for
+/// bench outputs without a JSON dependency.
+class JsonWriter {
+ public:
+  void begin_object(const char* key = nullptr) { open('{', key); }
+  void end_object() { close('}'); }
+  void begin_array(const char* key = nullptr) { open('[', key); }
+  void end_array() { close(']'); }
+
+  void field(const char* key, const std::string& v) {
+    prefix(key);
+    out_ += '"' + json_escape(v) + '"';
+  }
+  void field(const char* key, const char* v) { field(key, std::string(v)); }
+  void field(const char* key, double v) {
+    prefix(key);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ += buf;
+  }
+  void field(const char* key, std::uint64_t v) {
+    prefix(key);
+    out_ += std::to_string(v);
+  }
+  void field(const char* key, int v) {
+    field(key, static_cast<std::uint64_t>(v));
+  }
+  void field(const char* key, bool v) {
+    prefix(key);
+    out_ += v ? "true" : "false";
+  }
+  /// Splice pre-serialized JSON (e.g. Table::to_json()) as a value.
+  void raw(const char* key, const std::string& json) {
+    prefix(key);
+    out_ += json;
+  }
+
+  const std::string& str() const { return out_; }
+
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs(out_.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  void prefix(const char* key) {
+    if (need_comma_) out_ += ',';
+    if (key != nullptr) out_ += '"' + json_escape(key) + "\":";
+    need_comma_ = true;
+  }
+  void open(char c, const char* key) {
+    prefix(key);
+    out_ += c;
+    need_comma_ = false;
+  }
+  void close(char c) {
+    out_ += c;
+    need_comma_ = true;
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+inline std::string Table::to_json() const {
+  JsonWriter w;
+  w.begin_array();
+  for (std::size_t r = 1; r < rows_.size(); ++r) {
+    w.begin_object();
+    const std::vector<std::string>& hdr = rows_[0];
+    for (std::size_t c = 0; c < rows_[r].size() && c < hdr.size(); ++c) {
+      w.field(hdr[c].c_str(), rows_[r][c]);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  return w.str();
+}
+
+/// The `--json` flag convention for bench mains: returns the output path
+/// if `--json` (use `default_path`) or `--json=PATH` was passed, empty
+/// string when JSON output was not requested.
+inline std::string json_flag_path(int argc, char** argv,
+                                  const std::string& default_path) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return default_path;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return {};
 }
 
 }  // namespace eccm0::bench

@@ -439,6 +439,20 @@ Decoded decode(const std::vector<std::uint16_t>& code, std::size_t idx) {
   throw std::invalid_argument("decode: unreachable");
 }
 
+std::vector<PredecodedSlot> predecode(const std::vector<std::uint16_t>& code) {
+  std::vector<PredecodedSlot> slots(code.size());
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    try {
+      const Decoded d = decode(code, i);
+      slots[i] = {d.ins, static_cast<std::uint8_t>(d.halfwords), true};
+    } catch (const std::exception&) {
+      // Not an instruction at this position (data word, BL low halfword,
+      // undefined encoding). Left invalid; executing it traps.
+    }
+  }
+  return slots;
+}
+
 std::string disassemble(const Instr& i) {
   std::string s = i.op == Op::kBCond
                       ? std::string("b") + cond_name(i.cond)

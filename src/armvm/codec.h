@@ -27,6 +27,24 @@ struct Decoded {
 /// Throws std::invalid_argument on undefined/unsupported encodings.
 Decoded decode(const std::vector<std::uint16_t>& code, std::size_t idx);
 
+/// One slot of a pre-decoded Thumb image. `valid` is false for halfword
+/// positions that do not decode to an instruction — literal-pool data,
+/// `.word` payloads, BL low halfwords, undefined encodings. Such slots
+/// are harmless unless the PC lands on them, in which case the executor
+/// re-runs `decode()` to raise the exact per-step decode error.
+struct PredecodedSlot {
+  Instr ins;
+  std::uint8_t halfwords = 1;
+  bool valid = false;
+};
+
+/// Decode every halfword position of `code` once, up front. This is the
+/// construction-time pass behind the Cpu's pre-decoded execution engine:
+/// executing from the returned cache retires the identical instruction
+/// sequence as calling `decode()` per step (same Instr values, same
+/// sizes, same errors on undecodable slots).
+std::vector<PredecodedSlot> predecode(const std::vector<std::uint16_t>& code);
+
 /// Human-readable disassembly of a single decoded instruction.
 std::string disassemble(const Instr& ins);
 

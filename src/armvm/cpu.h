@@ -2,14 +2,29 @@
 // cycle model (loads/stores 2 cycles, taken branches 2, LDM/STM 1+N,
 // single-cycle multiplier) and per-instruction-class energy accounting
 // against the paper's Table 3.
+//
+// Execution engine: the Thumb image is decoded ONCE at Cpu construction
+// into a flat cache indexed by halfword (`codec.h::predecode`), and
+// `step()`/`call()` execute straight out of that cache — the interpreter
+// never re-decodes a retired instruction. Slots that do not decode (data
+// words, literal pools, BL low halfwords) trap to a fresh `decode()` when
+// the PC actually lands on them, so error behavior is identical to
+// decoding per step. `DecodeMode::kPerStep` keeps the original
+// decode-every-instruction path alive as the reference engine for
+// differential tests (`tests/armvm/predecode_test.cpp`) and the
+// `bench_vm_throughput` speedup baseline; both modes retire the same
+// instruction stream and produce bit-identical cycle counts, histograms
+// and energy reports.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <functional>
+#include <cstring>
 #include <initializer_list>
 #include <span>
 #include <vector>
 
+#include "armvm/codec.h"
 #include "costmodel/energy.h"
 
 namespace eccm0::armvm {
@@ -25,12 +40,61 @@ class Memory {
   explicit Memory(std::size_t size) : bytes_(size, 0) {}
 
   std::size_t size() const { return bytes_.size(); }
-  std::uint8_t load8(std::uint32_t addr) const;
-  std::uint16_t load16(std::uint32_t addr) const;
-  std::uint32_t load32(std::uint32_t addr) const;
-  void store8(std::uint32_t addr, std::uint8_t v);
-  void store16(std::uint32_t addr, std::uint16_t v);
-  void store32(std::uint32_t addr, std::uint32_t v);
+
+  // Aligned, in-range accesses take the inline fast path below: one
+  // range/alignment test and a direct load/store at a precomputed
+  // RAM-base offset, no per-access byte switch. Anything else falls
+  // through to the out-of-line slow path, which throws exactly the
+  // errors the original byte-wise implementation threw.
+  std::uint8_t load8(std::uint32_t addr) const {
+    const std::uint32_t off = addr - kRamBase;
+    if (addr >= kRamBase && off < bytes_.size()) [[likely]] {
+      return bytes_[off];
+    }
+    return load8_slow(addr);
+  }
+  std::uint16_t load16(std::uint32_t addr) const {
+    const std::uint32_t off = addr - kRamBase;
+    if (addr >= kRamBase && (addr & 1) == 0 && off + 2 <= bytes_.size())
+        [[likely]] {
+      return le16(&bytes_[off]);
+    }
+    return load16_slow(addr);
+  }
+  std::uint32_t load32(std::uint32_t addr) const {
+    const std::uint32_t off = addr - kRamBase;
+    if (addr >= kRamBase && (addr & 3) == 0 && off + 4 <= bytes_.size())
+        [[likely]] {
+      return le32(&bytes_[off]);
+    }
+    return load32_slow(addr);
+  }
+  void store8(std::uint32_t addr, std::uint8_t v) {
+    const std::uint32_t off = addr - kRamBase;
+    if (addr >= kRamBase && off < bytes_.size()) [[likely]] {
+      bytes_[off] = v;
+      return;
+    }
+    store8_slow(addr, v);
+  }
+  void store16(std::uint32_t addr, std::uint16_t v) {
+    const std::uint32_t off = addr - kRamBase;
+    if (addr >= kRamBase && (addr & 1) == 0 && off + 2 <= bytes_.size())
+        [[likely]] {
+      put_le16(&bytes_[off], v);
+      return;
+    }
+    store16_slow(addr, v);
+  }
+  void store32(std::uint32_t addr, std::uint32_t v) {
+    const std::uint32_t off = addr - kRamBase;
+    if (addr >= kRamBase && (addr & 3) == 0 && off + 4 <= bytes_.size())
+        [[likely]] {
+      put_le32(&bytes_[off], v);
+      return;
+    }
+    store32_slow(addr, v);
+  }
 
   /// Bulk helpers for test/benchmark harnesses (RAM-relative address).
   void write_words(std::uint32_t addr, std::span<const std::uint32_t> w);
@@ -38,7 +102,52 @@ class Memory {
                                         std::size_t count) const;
 
  private:
+  static std::uint16_t le16(const std::uint8_t* p) {
+    if constexpr (std::endian::native == std::endian::little) {
+      std::uint16_t v;
+      std::memcpy(&v, p, 2);
+      return v;
+    } else {
+      return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+    }
+  }
+  static std::uint32_t le32(const std::uint8_t* p) {
+    if constexpr (std::endian::native == std::endian::little) {
+      std::uint32_t v;
+      std::memcpy(&v, p, 4);
+      return v;
+    } else {
+      return static_cast<std::uint32_t>(p[0]) | (p[1] << 8u) | (p[2] << 16u) |
+             (static_cast<std::uint32_t>(p[3]) << 24u);
+    }
+  }
+  static void put_le16(std::uint8_t* p, std::uint16_t v) {
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(p, &v, 2);
+    } else {
+      p[0] = static_cast<std::uint8_t>(v);
+      p[1] = static_cast<std::uint8_t>(v >> 8);
+    }
+  }
+  static void put_le32(std::uint8_t* p, std::uint32_t v) {
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(p, &v, 4);
+    } else {
+      p[0] = static_cast<std::uint8_t>(v);
+      p[1] = static_cast<std::uint8_t>(v >> 8);
+      p[2] = static_cast<std::uint8_t>(v >> 16);
+      p[3] = static_cast<std::uint8_t>(v >> 24);
+    }
+  }
+
+  std::uint8_t load8_slow(std::uint32_t addr) const;
+  std::uint16_t load16_slow(std::uint32_t addr) const;
+  std::uint32_t load32_slow(std::uint32_t addr) const;
+  void store8_slow(std::uint32_t addr, std::uint8_t v);
+  void store16_slow(std::uint32_t addr, std::uint16_t v);
+  void store32_slow(std::uint32_t addr, std::uint32_t v);
   std::size_t index(std::uint32_t addr, std::size_t bytes) const;
+
   std::vector<std::uint8_t> bytes_;
 };
 
@@ -53,10 +162,30 @@ struct RunStats {
   }
 };
 
+/// Observer of the retired instruction stream (power-trace simulators,
+/// instruction-mix profilers). Untraced runs pay exactly one
+/// predictable null-check branch per retired cost event — there is no
+/// std::function indirection on the hot path.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// One retired cost event: instruction class + cycles it consumed.
+  /// LDM/STM/PUSH/POP emit two events (transfer + overhead), matching
+  /// their two histogram contributions.
+  virtual void on_instruction(costmodel::InstrClass cls, unsigned cycles) = 0;
+};
+
 class Cpu {
  public:
+  /// How `step()` obtains decoded instructions.
+  enum class DecodeMode {
+    kPredecode,  ///< execute from the construction-time decode cache
+    kPerStep,    ///< reference engine: fresh decode() every instruction
+  };
+
   /// `code` is the Thumb image at address 0; `ram` is the SRAM.
-  Cpu(std::vector<std::uint16_t> code, Memory& ram);
+  Cpu(std::vector<std::uint16_t> code, Memory& ram,
+      DecodeMode mode = DecodeMode::kPredecode);
 
   std::uint32_t reg(unsigned r) const { return r_[r]; }
   void set_reg(unsigned r, std::uint32_t v) { r_[r] = v; }
@@ -64,6 +193,7 @@ class Cpu {
   bool flag_z() const { return z_; }
   bool flag_c() const { return c_; }
   bool flag_v() const { return v_; }
+  DecodeMode decode_mode() const { return mode_; }
 
   /// Execute one instruction at PC. Returns false when halted (BKPT or
   /// return-sentinel reached).
@@ -77,27 +207,34 @@ class Cpu {
   const RunStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
-  /// Per-retired-cost callback (class, cycles) — lets a power-trace
-  /// simulator observe the executed instruction stream.
-  using TraceHook = std::function<void(costmodel::InstrClass, unsigned)>;
-  void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
+  /// Attach an observer of retired cost events (nullptr detaches). The
+  /// sink is borrowed, not owned; it must outlive the traced run.
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
 
  private:
-  void exec(const struct Instr& ins, unsigned halfwords);
+  void exec(const Instr& ins, unsigned halfwords);
   std::uint32_t add_with_carry(std::uint32_t a, std::uint32_t b, bool cin,
                                bool set_flags);
   void set_nz(std::uint32_t v);
   std::uint32_t read_mem(std::uint32_t addr, unsigned bytes);
   void write_mem(std::uint32_t addr, std::uint32_t v, unsigned bytes);
-  void account(costmodel::InstrClass cls, unsigned cycles);
+  void account(costmodel::InstrClass cls, unsigned cycles) {
+    stats_.histogram.add(cls, cycles);
+    stats_.cycles += cycles;
+    if (trace_ != nullptr) [[unlikely]] trace_->on_instruction(cls, cycles);
+  }
+  [[noreturn]] void trap_undecodable(std::size_t idx) const;
+  std::uint64_t run_predecoded(std::uint64_t limit);
 
   std::vector<std::uint16_t> code_;
+  std::vector<PredecodedSlot> cache_;
   Memory& ram_;
+  DecodeMode mode_;
   std::uint32_t r_[16] = {};
   bool n_ = false, z_ = false, c_ = false, v_ = false;
   bool halted_ = false;
   RunStats stats_;
-  TraceHook trace_;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace eccm0::armvm

@@ -7,6 +7,7 @@
 // the paper's "fixed registers" method is built around.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -48,6 +49,10 @@ enum class Op : std::uint8_t {
   kSxth, kSxtb, kUxth, kUxtb, kRev, kRev16, kRevsh,
   kNop, kBkpt,
 };
+
+/// Number of distinct Op values (kBkpt is last). Sizes per-opcode tables
+/// such as the decode-cache opcode-mix statistics in bench_vm_throughput.
+inline constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kBkpt) + 1;
 
 /// Condition codes for kBCond.
 enum class Cond : std::uint8_t {

@@ -65,9 +65,7 @@ double run_loop_energy_pj(const std::string& body, unsigned loops,
   armvm::Memory mem(0x400);
   armvm::Cpu cpu(prog.code, mem);
   PowerRig rig(cfg);
-  cpu.set_trace_hook([&rig](costmodel::InstrClass c, unsigned cy) {
-    rig.on_instruction(c, cy);
-  });
+  cpu.set_trace_sink(&rig);
   (void)cpu.call(prog.entry("entry"), {});
   return rig.total_energy_uj() * 1e6;
 }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "armvm/cpu.h"
 #include "common/rng.h"
 #include "costmodel/energy.h"
 
@@ -31,14 +32,14 @@ struct RigConfig {
   std::uint64_t seed = 0x5EED;
 };
 
-/// Records the executed instruction stream of a Cpu (via its trace hook)
-/// and synthesizes the sampled waveform.
-class PowerRig {
+/// Records the executed instruction stream of a Cpu (attach via
+/// Cpu::set_trace_sink) and synthesizes the sampled waveform.
+class PowerRig final : public armvm::TraceSink {
  public:
   explicit PowerRig(RigConfig cfg = {}) : cfg_(cfg), rng_(cfg.seed) {}
 
-  /// Hook this into Cpu::set_trace_hook.
-  void on_instruction(costmodel::InstrClass cls, unsigned cycles);
+  /// TraceSink: one retired cost event from the Cpu.
+  void on_instruction(costmodel::InstrClass cls, unsigned cycles) override;
 
   const PowerTrace& trace() const { return trace_; }
   void clear() { trace_.clear(); }

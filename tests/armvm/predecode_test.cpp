@@ -1,0 +1,258 @@
+// Differential test of the pre-decoded execution engine against the
+// per-step-decode reference engine: on the real K-233 field kernels and a
+// kP-shaped schedule of them, both engines must retire the same
+// instruction stream — identical cycle counts, per-class histograms,
+// energy reports, trace-sink event streams, registers and memory.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "armvm/asm.h"
+#include "armvm/cpu.h"
+#include "asmkernels/gen.h"
+#include "common/rng.h"
+#include "gf2/sqr_table.h"
+
+namespace eccm0::armvm {
+namespace {
+
+constexpr std::size_t kRamSize = 0x800;
+
+/// Records every retired cost event for stream-level comparison.
+struct RecordingSink final : TraceSink {
+  std::vector<std::pair<costmodel::InstrClass, unsigned>> events;
+  void on_instruction(costmodel::InstrClass cls, unsigned cycles) override {
+    events.emplace_back(cls, cycles);
+  }
+};
+
+void expect_stats_identical(const RunStats& a, const RunStats& b) {
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.cycles, b.cycles);
+  for (int i = 0; i < static_cast<int>(costmodel::InstrClass::kCount); ++i) {
+    EXPECT_EQ(a.histogram.cycles[i], b.histogram.cycles[i])
+        << "histogram class " << i;
+  }
+  EXPECT_EQ(a.energy().energy_uj(), b.energy().energy_uj());
+  EXPECT_EQ(a.energy().avg_power_uw(), b.energy().avg_power_uw());
+  EXPECT_EQ(a.energy().time_ms(), b.energy().time_ms());
+}
+
+struct Engine {
+  Engine(const Program& prog, Cpu::DecodeMode mode)
+      : mem(kRamSize), cpu(prog.code, mem, mode) {
+    cpu.set_trace_sink(&sink);
+  }
+  Memory mem;
+  Cpu cpu;
+  RecordingSink sink;
+};
+
+/// Runs `prog` on both engines with `setup` applied to each Memory, then
+/// asserts stats, trace streams, registers and all of RAM are identical.
+void run_differential(const Program& prog,
+                      const std::function<void(Memory&)>& setup) {
+  Engine ref(prog, Cpu::DecodeMode::kPerStep);
+  Engine pre(prog, Cpu::DecodeMode::kPredecode);
+  setup(ref.mem);
+  setup(pre.mem);
+  const RunStats a = ref.cpu.call(prog.entry("entry"), {});
+  const RunStats b = pre.cpu.call(prog.entry("entry"), {});
+  expect_stats_identical(a, b);
+  EXPECT_EQ(ref.sink.events, pre.sink.events);
+  for (unsigned r = 0; r < 13; ++r) {
+    EXPECT_EQ(ref.cpu.reg(r), pre.cpu.reg(r)) << "r" << r;
+  }
+  EXPECT_EQ(ref.cpu.flag_n(), pre.cpu.flag_n());
+  EXPECT_EQ(ref.cpu.flag_z(), pre.cpu.flag_z());
+  EXPECT_EQ(ref.cpu.flag_c(), pre.cpu.flag_c());
+  EXPECT_EQ(ref.cpu.flag_v(), pre.cpu.flag_v());
+  const auto ram_a = ref.mem.read_words(kRamBase, kRamSize / 4);
+  const auto ram_b = pre.mem.read_words(kRamBase, kRamSize / 4);
+  EXPECT_EQ(ram_a, ram_b);
+}
+
+std::array<std::uint32_t, 8> random_fe(Rng& rng) {
+  std::array<std::uint32_t, 8> v;
+  for (auto& w : v) w = static_cast<std::uint32_t>(rng.next_u64());
+  v[7] &= 0x1FF;  // 233-bit field element
+  return v;
+}
+
+void write_fe(Memory& mem, std::uint32_t off,
+              const std::array<std::uint32_t, 8>& v) {
+  for (int w = 0; w < 8; ++w) mem.store32(kRamBase + off + 4 * w, v[w]);
+}
+
+TEST(Predecode, FieldMulFixedRegistersIdentical) {
+  const Program prog = assemble(asmkernels::gen_mul_fixed(true));
+  Rng rng(0xF1E1D);
+  const auto x = random_fe(rng), y = random_fe(rng);
+  run_differential(prog, [&](Memory& mem) {
+    write_fe(mem, asmkernels::kXOff, x);
+    write_fe(mem, asmkernels::kYOff, y);
+  });
+}
+
+TEST(Predecode, FieldMulPlainMemoryIdentical) {
+  const Program prog = assemble(asmkernels::gen_mul_plain(true));
+  Rng rng(0x71A17);
+  const auto x = random_fe(rng), y = random_fe(rng);
+  run_differential(prog, [&](Memory& mem) {
+    write_fe(mem, asmkernels::kXOff, x);
+    write_fe(mem, asmkernels::kYOff, y);
+  });
+}
+
+TEST(Predecode, KpScheduleIdentical) {
+  // A kP-shaped schedule: the field-kernel mix of a (scaled-down) wTNAF
+  // w=4 point multiplication — muls, squarings and one EEA inversion,
+  // executed back-to-back on persistent per-kernel machines exactly like
+  // bench_vm_throughput's workload.
+  const Program mul_prog = assemble(asmkernels::gen_mul_fixed(true));
+  const Program sqr_prog = assemble(asmkernels::gen_sqr());
+  const Program inv_prog = assemble(asmkernels::gen_inv());
+  constexpr unsigned kMuls = 19, kSqrs = 47, kInvs = 1;
+
+  Rng rng(0x5CED);
+  const auto x = random_fe(rng), y = random_fe(rng);
+  auto a = random_fe(rng);
+  a[0] |= 1;  // nonzero for inversion
+
+  auto run_schedule = [&](Cpu::DecodeMode mode, RunStats& total,
+                          RecordingSink& sink,
+                          std::vector<std::uint32_t>& outputs) {
+    Memory mul_mem(kRamSize), sqr_mem(kRamSize), inv_mem(kRamSize);
+    write_fe(mul_mem, asmkernels::kXOff, x);
+    write_fe(mul_mem, asmkernels::kYOff, y);
+    write_fe(sqr_mem, asmkernels::kInOff, a);
+    for (unsigned i = 0; i < 256; ++i) {
+      sqr_mem.store16(kRamBase + asmkernels::kSqrTabOff + 2 * i,
+                      gf2::kSquareTable[i]);
+    }
+    Cpu mul_cpu(mul_prog.code, mul_mem, mode);
+    Cpu sqr_cpu(sqr_prog.code, sqr_mem, mode);
+    Cpu inv_cpu(inv_prog.code, inv_mem, mode);
+    mul_cpu.set_trace_sink(&sink);
+    sqr_cpu.set_trace_sink(&sink);
+    inv_cpu.set_trace_sink(&sink);
+    for (unsigned i = 0; i < kMuls; ++i) {
+      mul_cpu.call(mul_prog.entry("entry"), {});
+    }
+    for (unsigned i = 0; i < kSqrs; ++i) {
+      sqr_cpu.call(sqr_prog.entry("entry"), {});
+    }
+    for (unsigned i = 0; i < kInvs; ++i) {
+      write_fe(inv_mem, asmkernels::kInOff, a);
+      inv_cpu.call(inv_prog.entry("entry"), {});
+    }
+    total = mul_cpu.stats();
+    total.instructions +=
+        sqr_cpu.stats().instructions + inv_cpu.stats().instructions;
+    total.cycles += sqr_cpu.stats().cycles + inv_cpu.stats().cycles;
+    total.histogram += sqr_cpu.stats().histogram;
+    total.histogram += inv_cpu.stats().histogram;
+    for (int w = 0; w < 8; ++w) {
+      outputs.push_back(mul_mem.load32(kRamBase + asmkernels::kVOff + 4 * w));
+      outputs.push_back(
+          sqr_mem.load32(kRamBase + asmkernels::kOutOff + 4 * w));
+      outputs.push_back(
+          inv_mem.load32(kRamBase + asmkernels::kOutOff + 4 * w));
+    }
+  };
+
+  RunStats ref_stats, pre_stats;
+  RecordingSink ref_sink, pre_sink;
+  std::vector<std::uint32_t> ref_out, pre_out;
+  run_schedule(Cpu::DecodeMode::kPerStep, ref_stats, ref_sink, ref_out);
+  run_schedule(Cpu::DecodeMode::kPredecode, pre_stats, pre_sink, pre_out);
+  expect_stats_identical(ref_stats, pre_stats);
+  EXPECT_EQ(ref_sink.events, pre_sink.events);
+  EXPECT_EQ(ref_out, pre_out);
+  EXPECT_GT(pre_stats.instructions, 100000u);  // a real workload, not a stub
+}
+
+TEST(Predecode, LoopingInversionKernelIdentical) {
+  // The EEA inversion is the one genuinely branchy, data-dependent
+  // kernel — the strongest exercise of branch-target handling in the
+  // cached engine.
+  const Program prog = assemble(asmkernels::gen_inv());
+  Rng rng(0x1EA);
+  auto a = random_fe(rng);
+  a[0] |= 1;
+  run_differential(prog, [&](Memory& mem) {
+    write_fe(mem, asmkernels::kInOff, a);
+  });
+}
+
+TEST(Predecode, LiteralPoolDataSlotsAreHarmless) {
+  // `ldr rN, =imm` materializes a literal pool after the code; those
+  // data words do not decode as instructions. Predecoding must tolerate
+  // them (lazy trap slots) and execution must never touch the traps.
+  const Program prog = assemble(R"(
+entry:
+    ldr r0, =0x12345678
+    ldr r1, =0xCAFEBABE
+    adds r0, r0, r1
+    bx lr
+)");
+  Engine ref(prog, Cpu::DecodeMode::kPerStep);
+  Engine pre(prog, Cpu::DecodeMode::kPredecode);
+  const RunStats a = ref.cpu.call(prog.entry("entry"), {});
+  const RunStats b = pre.cpu.call(prog.entry("entry"), {});
+  expect_stats_identical(a, b);
+  EXPECT_EQ(ref.cpu.reg(0), 0x12345678u + 0xCAFEBABEu);
+  EXPECT_EQ(pre.cpu.reg(0), 0x12345678u + 0xCAFEBABEu);
+}
+
+TEST(Predecode, UndecodableSlotTrapsWithPerStepError) {
+  // Jumping into a data word must raise the same decode error the
+  // per-step engine raises, from the same architectural state.
+  const std::vector<std::uint16_t> image = {
+      0x2007,  // movs r0, #7
+      0xBA80,  // undefined (0xBA80 hole in the REV group)
+  };
+  Memory mem_a(kRamSize), mem_b(kRamSize);
+  Cpu ref(image, mem_a, Cpu::DecodeMode::kPerStep);
+  Cpu pre(image, mem_b, Cpu::DecodeMode::kPredecode);
+  std::string err_a, err_b;
+  try {
+    ref.call(0, {});
+  } catch (const std::invalid_argument& e) {
+    err_a = e.what();
+  }
+  try {
+    pre.call(0, {});
+  } catch (const std::invalid_argument& e) {
+    err_b = e.what();
+  }
+  EXPECT_FALSE(err_a.empty());
+  EXPECT_EQ(err_a, err_b);
+  expect_stats_identical(ref.stats(), pre.stats());
+  EXPECT_EQ(ref.reg(0), 7u);
+  EXPECT_EQ(pre.reg(0), 7u);
+}
+
+TEST(Predecode, InstructionBudgetTripsIdentically) {
+  const Program prog = assemble(R"(
+entry:
+loop: b loop
+)");
+  Engine ref(prog, Cpu::DecodeMode::kPerStep);
+  Engine pre(prog, Cpu::DecodeMode::kPredecode);
+  EXPECT_THROW(ref.cpu.call(prog.entry("entry"), {}, 100000),
+               std::runtime_error);
+  EXPECT_THROW(pre.cpu.call(prog.entry("entry"), {}, 100000),
+               std::runtime_error);
+  // Both engines retired exactly budget + 1 instructions before tripping.
+  expect_stats_identical(ref.cpu.stats(), pre.cpu.stats());
+  EXPECT_EQ(pre.cpu.stats().instructions, 100001u);
+}
+
+}  // namespace
+}  // namespace eccm0::armvm
