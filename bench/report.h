@@ -60,6 +60,41 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Labeled 2-D grid (row label x column label -> cell) for cross-product
+/// reports like the fault campaign's coverage matrix. Prints through the
+/// Table layout; serializes as an object of row objects, so a consumer
+/// can index `matrix[profile][fault_model]` directly.
+class Matrix {
+ public:
+  Matrix(std::string corner, std::vector<std::string> cols)
+      : cols_(std::move(cols)) {
+    std::vector<std::string> hdr;
+    hdr.push_back(std::move(corner));
+    for (const std::string& c : cols_) hdr.push_back(c);
+    table_ = Table(std::move(hdr));
+  }
+
+  /// One row; `cells` must line up with the column labels.
+  void add_row(std::string label, std::vector<std::string> cells) {
+    row_labels_.push_back(label);
+    cells_.push_back(cells);
+    std::vector<std::string> row;
+    row.push_back(std::move(label));
+    for (std::string& c : cells) row.push_back(std::move(c));
+    table_.add_row(std::move(row));
+  }
+
+  void print() const { table_.print(); }
+
+  std::string to_json() const;
+
+ private:
+  std::vector<std::string> cols_;
+  std::vector<std::string> row_labels_;
+  std::vector<std::vector<std::string>> cells_;
+  Table table_{{}};
+};
+
 inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
 
 inline std::string fmt_f(double v, int prec = 2) {
@@ -175,6 +210,20 @@ inline std::string Table::to_json() const {
     w.end_object();
   }
   w.end_array();
+  return w.str();
+}
+
+inline std::string Matrix::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  for (std::size_t r = 0; r < row_labels_.size(); ++r) {
+    w.begin_object(row_labels_[r].c_str());
+    for (std::size_t c = 0; c < cells_[r].size() && c < cols_.size(); ++c) {
+      w.field(cols_[c].c_str(), cells_[r][c]);
+    }
+    w.end_object();
+  }
+  w.end_object();
   return w.str();
 }
 

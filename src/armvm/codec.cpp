@@ -2,11 +2,21 @@
 
 #include <stdexcept>
 
+#include "armvm/fault.h"
+
 namespace eccm0::armvm {
 namespace {
 
 void require(bool ok, const char* msg) {
   if (!ok) throw std::invalid_argument(msg);
+}
+
+// Decode errors are architectural (the core fetched something that is
+// not an instruction), so they surface as typed DecodeFaults carrying
+// the byte address of the offending halfword. Encoder errors above stay
+// plain std::invalid_argument: they are API misuse, not machine faults.
+[[noreturn]] void decode_fail(std::size_t idx, const char* msg) {
+  throw DecodeFault(msg, static_cast<std::uint32_t>(2 * idx));
 }
 
 void lo_reg(unsigned r) { require(r < 8, "encode: hi register in lo form"); }
@@ -303,7 +313,7 @@ Decoded decode(const std::vector<std::uint16_t>& code, std::size_t idx) {
         const unsigned op2 = (h >> 8) & 3;
         if (op2 == 3) {
           if ((h & 7) != 0) {
-            throw std::invalid_argument("decode: BX/BLX SBZ bits set");
+            decode_fail(idx, "decode: BX/BLX SBZ bits set");
           }
           i.rm = (h >> 3) & 0xF;
           return ret((h & 0x80) ? Op::kBlx : Op::kBx);
@@ -379,7 +389,7 @@ Decoded decode(const std::vector<std::uint16_t>& code, std::size_t idx) {
         i.rm = (h >> 3) & 7;
         const unsigned op2 = (h >> 6) & 3;
         if (op2 == 2) {
-          throw std::invalid_argument("decode: 0xBA80 undefined");
+          decode_fail(idx, "decode: 0xBA80 undefined");
         }
         static constexpr Op ops[] = {Op::kRev, Op::kRev16, Op::kNop,
                                      Op::kRevsh};
@@ -390,20 +400,20 @@ Decoded decode(const std::vector<std::uint16_t>& code, std::size_t idx) {
         return ret(Op::kBkpt);
       }
       if (h == 0xBF00u) return ret(Op::kNop);
-      throw std::invalid_argument("decode: unsupported misc encoding");
+      decode_fail(idx, "decode: unsupported misc encoding");
     }
     case 0xC: {
       i.rn = (h >> 8) & 7;
       i.reg_list = h & 0xFF;
       if (i.reg_list == 0) {
-        throw std::invalid_argument("decode: empty ldm/stm list");
+        decode_fail(idx, "decode: empty ldm/stm list");
       }
       return ret(((h >> 11) & 1) ? Op::kLdm : Op::kStm);
     }
     case 0xD: {
       const unsigned cond = (h >> 8) & 0xF;
       if (cond >= 14) {
-        throw std::invalid_argument("decode: UDF/SVC unsupported");
+        decode_fail(idx, "decode: UDF/SVC unsupported");
       }
       i.cond = static_cast<Cond>(cond);
       i.imm = static_cast<std::int32_t>(static_cast<std::int8_t>(h & 0xFF))
@@ -412,7 +422,7 @@ Decoded decode(const std::vector<std::uint16_t>& code, std::size_t idx) {
     }
     case 0xE: {
       if (h & 0x0800u) {
-        throw std::invalid_argument("decode: 32-bit prefix E8-EF unsupported");
+        decode_fail(idx, "decode: 32-bit prefix E8-EF unsupported");
       }
       std::int32_t off = h & 0x7FF;
       if (off & 0x400) off -= 0x800;
@@ -422,11 +432,14 @@ Decoded decode(const std::vector<std::uint16_t>& code, std::size_t idx) {
     case 0xF: {
       // Classic Thumb BL pair.
       if ((h & 0xF800u) != 0xF000u) {
-        throw std::invalid_argument("decode: stray BL low halfword");
+        decode_fail(idx, "decode: stray BL low halfword");
       }
-      const std::uint16_t h2 = code.at(idx + 1);
+      if (idx + 1 >= code.size()) {
+        decode_fail(idx, "decode: BL pair truncated");
+      }
+      const std::uint16_t h2 = code[idx + 1];
       if ((h2 & 0xF800u) != 0xF800u) {
-        throw std::invalid_argument("decode: BL pair malformed");
+        decode_fail(idx, "decode: BL pair malformed");
       }
       std::int32_t hi = h & 0x7FF;
       if (hi & 0x400) hi -= 0x800;
@@ -436,7 +449,7 @@ Decoded decode(const std::vector<std::uint16_t>& code, std::size_t idx) {
       return Decoded{i, 2};
     }
   }
-  throw std::invalid_argument("decode: unreachable");
+  decode_fail(idx, "decode: unreachable");
 }
 
 std::vector<PredecodedSlot> predecode(const std::vector<std::uint16_t>& code) {

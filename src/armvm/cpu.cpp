@@ -19,12 +19,12 @@ using costmodel::InstrClass;
 
 // Slow paths: reached only for unaligned or out-of-range addresses (the
 // inline fast paths in cpu.h handle every well-formed access). They keep
-// the original check order so the thrown error is unchanged: alignment
+// the original check order so the raised fault is unchanged: alignment
 // faults on an in-principle-unaligned address are reported before range.
 std::size_t Memory::index(std::uint32_t addr, std::size_t bytes) const {
   if (addr < kRamBase || addr - kRamBase + bytes > bytes_.size()) {
-    throw std::out_of_range("Memory: access outside RAM at " +
-                            std::to_string(addr));
+    throw BusFault("Memory: access outside RAM at " + std::to_string(addr),
+                   addr);
   }
   return addr - kRamBase;
 }
@@ -34,13 +34,13 @@ std::uint8_t Memory::load8_slow(std::uint32_t addr) const {
 }
 
 std::uint16_t Memory::load16_slow(std::uint32_t addr) const {
-  if (addr & 1) throw std::runtime_error("Memory: unaligned halfword load");
+  if (addr & 1) throw AlignmentFault("Memory: unaligned halfword load", addr);
   const std::size_t i = index(addr, 2);
   return static_cast<std::uint16_t>(bytes_[i] | (bytes_[i + 1] << 8));
 }
 
 std::uint32_t Memory::load32_slow(std::uint32_t addr) const {
-  if (addr & 3) throw std::runtime_error("Memory: unaligned word load");
+  if (addr & 3) throw AlignmentFault("Memory: unaligned word load", addr);
   const std::size_t i = index(addr, 4);
   return static_cast<std::uint32_t>(bytes_[i]) |
          (static_cast<std::uint32_t>(bytes_[i + 1]) << 8) |
@@ -53,14 +53,14 @@ void Memory::store8_slow(std::uint32_t addr, std::uint8_t v) {
 }
 
 void Memory::store16_slow(std::uint32_t addr, std::uint16_t v) {
-  if (addr & 1) throw std::runtime_error("Memory: unaligned halfword store");
+  if (addr & 1) throw AlignmentFault("Memory: unaligned halfword store", addr);
   const std::size_t i = index(addr, 2);
   bytes_[i] = static_cast<std::uint8_t>(v);
   bytes_[i + 1] = static_cast<std::uint8_t>(v >> 8);
 }
 
 void Memory::store32_slow(std::uint32_t addr, std::uint32_t v) {
-  if (addr & 3) throw std::runtime_error("Memory: unaligned word store");
+  if (addr & 3) throw AlignmentFault("Memory: unaligned word store", addr);
   const std::size_t i = index(addr, 4);
   bytes_[i] = static_cast<std::uint8_t>(v);
   bytes_[i + 1] = static_cast<std::uint8_t>(v >> 8);
@@ -126,7 +126,7 @@ std::uint32_t Cpu::read_mem(std::uint32_t addr, unsigned bytes) {
       const std::uint32_t byte_addr = addr + i;
       const std::size_t hw = byte_addr / 2;
       if (hw >= code_.size()) {
-        throw std::out_of_range("Cpu: code-space read out of range");
+        throw BusFault("Cpu: code-space read out of range", byte_addr);
       }
       const std::uint8_t byte =
           static_cast<std::uint8_t>(code_[hw] >> (8 * (byte_addr % 2)));
@@ -149,16 +149,45 @@ void Cpu::write_mem(std::uint32_t addr, std::uint32_t v, unsigned bytes) {
   }
 }
 
+ArchState Cpu::arch_state() const {
+  ArchState s;
+  for (unsigned i = 0; i < kNumRegs; ++i) s.r[i] = r_[i];
+  s.n = n_;
+  s.z = z_;
+  s.c = c_;
+  s.v = v_;
+  s.instructions = stats_.instructions;
+  s.cycles = stats_.cycles;
+  return s;
+}
+
+void Cpu::set_arch_state(const ArchState& s) {
+  for (unsigned i = 0; i < kNumRegs; ++i) r_[i] = s.r[i];
+  n_ = s.n;
+  z_ = s.z;
+  c_ = s.c;
+  v_ = s.v;
+}
+
 bool Cpu::step() {
+  try {
+    return step_impl();
+  } catch (Fault& f) {
+    f.attach_state(arch_state());
+    throw;
+  }
+}
+
+bool Cpu::step_impl() {
   if (halted_) return false;
   const std::uint32_t pc = r_[kPC];
   if (pc == kReturnSentinel) {
     halted_ = true;
     return false;
   }
-  if (pc % 2 != 0) throw std::runtime_error("Cpu: odd PC");
+  if (pc % 2 != 0) throw AlignmentFault("Cpu: odd PC", pc);
   const std::size_t idx = pc / 2;
-  if (idx >= code_.size()) throw std::out_of_range("Cpu: PC outside code");
+  if (idx >= code_.size()) throw BusFault("Cpu: PC outside code", pc);
   if (mode_ == DecodeMode::kPredecode) [[likely]] {
     const PredecodedSlot& s = cache_[idx];
     if (!s.valid) [[unlikely]] trap_undecodable(idx);
@@ -189,10 +218,10 @@ ECCM0_FLATTEN std::uint64_t Cpu::run_predecoded(std::uint64_t limit) {
         halted_ = true;
         break;
       }
-      if (pc % 2 != 0) throw std::runtime_error("Cpu: odd PC");
+      if (pc % 2 != 0) throw AlignmentFault("Cpu: odd PC", pc);
       const std::size_t idx = pc / 2;
       if (idx >= code_halfwords) {
-        throw std::out_of_range("Cpu: PC outside code");
+        throw BusFault("Cpu: PC outside code", pc);
       }
       const PredecodedSlot& s = cache[idx];
       if (!s.valid) [[unlikely]] trap_undecodable(idx);
@@ -200,6 +229,12 @@ ECCM0_FLATTEN std::uint64_t Cpu::run_predecoded(std::uint64_t limit) {
       exec(s.ins, s.halfwords);
       ++done;
     }
+  } catch (Fault& f) {
+    // Flush the retired-count first so the state snapshot matches what a
+    // step-at-a-time loop would have left behind at the same fault.
+    stats_.instructions += done;
+    f.attach_state(arch_state());
+    throw;
   } catch (...) {
     stats_.instructions += done;
     throw;
@@ -229,7 +264,9 @@ RunStats Cpu::call(std::uint32_t entry,
   while (!halted_) {
     const std::uint64_t executed = stats_.instructions - before.instructions;
     if (executed > max_instructions) {
-      throw std::runtime_error("Cpu::call: instruction budget exceeded");
+      BudgetFault f("Cpu::call: instruction budget exceeded", r_[kPC]);
+      f.attach_state(arch_state());
+      throw f;
     }
     std::uint64_t chunk = max_instructions - executed + 1;
     if (chunk > kBudgetCheckInterval) chunk = kBudgetCheckInterval;

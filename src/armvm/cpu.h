@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "armvm/codec.h"
+#include "armvm/fault.h"
 #include "costmodel/energy.h"
 
 namespace eccm0::armvm {
@@ -44,8 +45,9 @@ class Memory {
   // Aligned, in-range accesses take the inline fast path below: one
   // range/alignment test and a direct load/store at a precomputed
   // RAM-base offset, no per-access byte switch. Anything else falls
-  // through to the out-of-line slow path, which throws exactly the
-  // errors the original byte-wise implementation threw.
+  // through to the out-of-line slow path, which raises the typed
+  // armvm::Fault matching the condition (BusFault for out-of-range,
+  // AlignmentFault for misaligned) with the pre-typed what() text.
   std::uint8_t load8(std::uint32_t addr) const {
     const std::uint32_t off = addr - kRamBase;
     if (addr >= kRamBase && off < bytes_.size()) [[likely]] {
@@ -196,13 +198,23 @@ class Cpu {
   DecodeMode decode_mode() const { return mode_; }
 
   /// Execute one instruction at PC. Returns false when halted (BKPT or
-  /// return-sentinel reached).
+  /// return-sentinel reached). Architectural errors surface as typed
+  /// armvm::Fault exceptions annotated with the state at the fault.
   bool step();
 
   /// Standard AAPCS-ish call: r0..r3 = args, lr = sentinel, runs to
-  /// completion (throws std::runtime_error after `max_instructions`).
+  /// completion (throws armvm::BudgetFault after `max_instructions`).
   RunStats call(std::uint32_t entry, std::initializer_list<std::uint32_t> args,
                 std::uint64_t max_instructions = 100'000'000);
+
+  /// Snapshot of registers, flags and retired-work counters — the same
+  /// structure a Fault carries. Used by fault-injection harnesses to
+  /// hand execution between cores and by tests to compare engines.
+  ArchState arch_state() const;
+  /// Restore registers and flags from a snapshot (retired-work counters
+  /// and the halted latch are NOT restored; they belong to this core's
+  /// own execution history).
+  void set_arch_state(const ArchState& s);
 
   const RunStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -212,6 +224,7 @@ class Cpu {
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
 
  private:
+  bool step_impl();
   void exec(const Instr& ins, unsigned halfwords);
   std::uint32_t add_with_carry(std::uint32_t a, std::uint32_t b, bool cin,
                                bool set_flags);

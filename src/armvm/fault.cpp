@@ -1,0 +1,15 @@
+#include "armvm/fault.h"
+
+namespace eccm0::armvm {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kBusFault: return "bus-fault";
+    case FaultKind::kAlignmentFault: return "alignment-fault";
+    case FaultKind::kDecodeFault: return "decode-fault";
+    case FaultKind::kBudgetExhausted: return "budget-exhausted";
+  }
+  return "unknown-fault";
+}
+
+}  // namespace eccm0::armvm

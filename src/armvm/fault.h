@@ -1,0 +1,117 @@
+// Typed architectural fault hierarchy for the ARM VM.
+//
+// Every error the simulated core can raise while executing — bus faults,
+// alignment faults, decode faults, instruction-budget exhaustion — is an
+// instance of `armvm::Fault`, carrying a machine-readable kind, the
+// faulting address, and (when raised through a running Cpu) a snapshot of
+// the architectural state at the moment of the fault. Callers that need
+// to distinguish fault classes programmatically (the faultsim campaign
+// engine, differential tests) catch `armvm::Fault&`; legacy callers keep
+// working because every concrete fault also inherits the std exception
+// type the pre-typed implementation threw, with the same what() text.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace eccm0::armvm {
+
+/// Machine-readable classification of an architectural fault.
+enum class FaultKind : std::uint8_t {
+  kBusFault,         ///< data/fetch access outside RAM or code space
+  kAlignmentFault,   ///< unaligned data access or odd PC
+  kDecodeFault,      ///< undefined/unsupported instruction encoding
+  kBudgetExhausted,  ///< Cpu::call instruction budget tripped (watchdog)
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// Architectural state of the core at the moment a fault was raised:
+/// registers, APSR flags and retired-work counters. r[15] is the
+/// architectural PC at the time of the fault (already advanced to the
+/// fallthrough address for faults raised mid-execution of an
+/// instruction, exactly as a step-at-a-time interpreter leaves it).
+struct ArchState {
+  std::uint32_t r[16] = {};
+  bool n = false, z = false, c = false, v = false;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+
+  friend bool operator==(const ArchState&, const ArchState&) = default;
+};
+
+/// Base of the typed fault hierarchy. Deliberately NOT derived from
+/// std::exception: each concrete fault inherits both Fault and the std
+/// exception type the original implementation threw, so `catch
+/// (std::exception&)` stays unambiguous and old catch clauses keep
+/// matching.
+class Fault {
+ public:
+  virtual ~Fault() = default;
+
+  FaultKind kind() const { return kind_; }
+  /// Faulting data address, or the offending PC for fetch/decode/budget
+  /// faults.
+  std::uint32_t address() const { return addr_; }
+  /// Same text the std exception base reports via what().
+  const std::string& message() const { return msg_; }
+
+  /// True once a running Cpu annotated the fault with its state. Faults
+  /// raised by a bare Memory (no Cpu in the call chain) carry none.
+  bool has_state() const { return has_state_; }
+  const ArchState& state() const { return state_; }
+
+  /// First annotation wins: the innermost Cpu that observes the fault in
+  /// flight records its state; outer frames must not overwrite it.
+  void attach_state(const ArchState& s) {
+    if (!has_state_) {
+      state_ = s;
+      has_state_ = true;
+    }
+  }
+
+ protected:
+  Fault(FaultKind kind, std::uint32_t addr, std::string msg)
+      : kind_(kind), addr_(addr), msg_(std::move(msg)) {}
+
+ private:
+  FaultKind kind_;
+  std::uint32_t addr_;
+  std::string msg_;
+  ArchState state_;
+  bool has_state_ = false;
+};
+
+/// Access outside RAM or code space (was std::out_of_range).
+class BusFault : public Fault, public std::out_of_range {
+ public:
+  BusFault(const std::string& msg, std::uint32_t addr)
+      : Fault(FaultKind::kBusFault, addr, msg), std::out_of_range(msg) {}
+};
+
+/// Unaligned data access or odd PC (was std::runtime_error).
+class AlignmentFault : public Fault, public std::runtime_error {
+ public:
+  AlignmentFault(const std::string& msg, std::uint32_t addr)
+      : Fault(FaultKind::kAlignmentFault, addr, msg),
+        std::runtime_error(msg) {}
+};
+
+/// Undefined or unsupported encoding (was std::invalid_argument).
+class DecodeFault : public Fault, public std::invalid_argument {
+ public:
+  DecodeFault(const std::string& msg, std::uint32_t addr)
+      : Fault(FaultKind::kDecodeFault, addr, msg),
+        std::invalid_argument(msg) {}
+};
+
+/// Instruction budget exhausted in Cpu::call — the simulator's watchdog
+/// (was std::runtime_error).
+class BudgetFault : public Fault, public std::runtime_error {
+ public:
+  BudgetFault(const std::string& msg, std::uint32_t pc)
+      : Fault(FaultKind::kBudgetExhausted, pc, msg), std::runtime_error(msg) {}
+};
+
+}  // namespace eccm0::armvm

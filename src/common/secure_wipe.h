@@ -1,0 +1,45 @@
+// Best-effort secret zeroization.
+//
+// `memset` before free is legal for a compiler to elide (the store is
+// dead); these helpers write through a volatile pointer and fence with a
+// compiler barrier so the wipe survives optimization. This is the
+// hygiene layer for ECDSA nonces, DRBG seeds and ECDH shared-secret
+// temporaries: a fault or a later out-of-bounds read must not find key
+// material lingering in freed heap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace eccm0::common {
+
+/// Overwrite n bytes at p with zeros; the write is not elidable.
+inline void secure_wipe(void* p, std::size_t n) {
+  volatile std::uint8_t* b = static_cast<volatile std::uint8_t*>(p);
+  for (std::size_t i = 0; i < n; ++i) b[i] = 0;
+#if defined(__GNUC__) || defined(__clang__)
+  __asm__ __volatile__("" : : "r"(p) : "memory");
+#endif
+}
+
+/// Wipe a vector's elements, then release the storage.
+template <typename T>
+void secure_wipe(std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "secure_wipe only handles flat element types");
+  if (!v.empty()) secure_wipe(v.data(), v.size() * sizeof(T));
+  v.clear();
+  v.shrink_to_fit();
+}
+
+/// Wipe a string's characters, then release the storage.
+inline void secure_wipe(std::string& s) {
+  if (!s.empty()) secure_wipe(s.data(), s.size());
+  s.clear();
+  s.shrink_to_fit();
+}
+
+}  // namespace eccm0::common

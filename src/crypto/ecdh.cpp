@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/secure_wipe.h"
+
 namespace eccm0::crypto {
 
 using ec::AffinePoint;
@@ -19,11 +21,14 @@ UInt Ecdh::random_scalar(HmacDrbg& rng) const {
   for (;;) {
     std::vector<std::uint8_t> buf(bytes);
     rng.generate(buf);
-    // Big-endian bytes -> UInt, then reject out-of-range values.
+    // Big-endian bytes -> UInt, then reject out-of-range values. The
+    // raw bytes are scalar material; wipe them once converted.
     UInt v;
     for (std::uint8_t b : buf) v = (v << 8) + UInt{b};
+    common::secure_wipe(buf);
     v = v % curve_->order;
     if (!v.is_zero()) return v;
+    v.wipe();
   }
 }
 
@@ -44,9 +49,12 @@ Digest Ecdh::shared_secret(const UInt& d, const AffinePoint& peer) const {
     // Contributory behaviour: reject degenerate agreements loudly.
     throw std::invalid_argument("Ecdh: degenerate shared point");
   }
-  // KDF(x) = SHA-256 over the big-endian x-coordinate.
-  const std::string hex = curve_->f().to_hex(p.x);
-  return Sha256::hash(hex);
+  // KDF(x) = SHA-256 over the big-endian x-coordinate. The hex image of
+  // the shared x is itself the secret; wipe it after hashing.
+  std::string hex = curve_->f().to_hex(p.x);
+  const Digest out = Sha256::hash(hex);
+  common::secure_wipe(hex);
+  return out;
 }
 
 bool Ecdh::valid_public_key(const AffinePoint& q) const {

@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/secure_wipe.h"
+#include "ec/protect.h"
+
 namespace eccm0::crypto {
 
 using ec::AffinePoint;
@@ -26,27 +29,56 @@ UInt Ecdsa::x_mod_n(const AffinePoint& p) const {
   return UInt{std::move(limbs)} % curve().order;
 }
 
-Signature Ecdsa::sign(const UInt& d, std::string_view msg) const {
+Signature Ecdsa::sign(const UInt& d, std::string_view msg,
+                      const SignOpts& opts) const {
   const UInt& n = curve().order;
   const UInt e = hash_to_int(msg);
-  // Deterministic nonce stream seeded with d || H(m).
+  // Deterministic nonce stream seeded with d || H(m). The seed embeds
+  // the private key, so it is wiped the moment the DRBG has absorbed it.
+  std::string d_hex = d.to_hex();
   std::vector<std::uint8_t> seed;
-  for (char c : d.to_hex()) seed.push_back(static_cast<std::uint8_t>(c));
+  for (char c : d_hex) seed.push_back(static_cast<std::uint8_t>(c));
+  common::secure_wipe(d_hex);
   const Digest h = Sha256::hash(msg);
   seed.insert(seed.end(), h.begin(), h.end());
   HmacDrbg drbg(seed);
+  common::secure_wipe(seed);
   CurveOps ops(curve());
+  if (tamper_) ops.set_mul_tamper(tamper_);
   const AffinePoint g = AffinePoint::make(curve().gx, curve().gy);
   for (;;) {
-    const UInt k = ecdh_.random_scalar(drbg);
+    // Per-signature secrets: the nonce k and its inverse are wiped on
+    // every exit from the loop body — leaking either reveals d.
+    UInt k = ecdh_.random_scalar(drbg);
     const AffinePoint kg = ec::mul_wtnaf(ops, g, k, 6);
-    if (kg.inf) continue;
+    if (kg.inf) {
+      k.wipe();
+      continue;
+    }
     const UInt r = x_mod_n(kg);
-    if (r.is_zero()) continue;
-    const UInt s =
-        mulmod(invmod(k, n), addmod(e, mulmod(r, d, n), n), n);
+    if (r.is_zero()) {
+      k.wipe();
+      continue;
+    }
+    UInt kinv = invmod(k, n);
+    k.wipe();
+    const UInt s = mulmod(kinv, addmod(e, mulmod(r, d, n), n), n);
+    kinv.wipe();
     if (s.is_zero()) continue;
-    return {r, s};
+    const Signature sig{r, s};
+    if (opts.coherence_check) {
+      // Verify-after-sign against Q = d*G: a fault anywhere in the
+      // pipeline above produces a signature that cannot verify, so the
+      // faulty value is refused instead of released.
+      CurveOps clean(curve());
+      const AffinePoint q = ec::mul_wtnaf(clean, g, d, 6);
+      if (!verify(q, msg, sig)) {
+        throw ec::FaultDetectedError(
+            ec::FaultDetectedError::Check::kSignCoherence,
+            "Ecdsa::sign: signature failed verify-after-sign");
+      }
+    }
+    return sig;
   }
 }
 

@@ -15,6 +15,17 @@ struct Signature {
   mpint::UInt s;
 };
 
+/// Hardening knobs for sign().
+struct SignOpts {
+  /// Verify the freshly produced signature against Q = d*G before
+  /// releasing it (verify-after-sign). A fault anywhere in the signing
+  /// computation — nonce multiplication, modular arithmetic — yields a
+  /// signature that fails its own verification, so the faulty value
+  /// never leaves the node (Bellcore-style fault attacks need it to).
+  /// Costs roughly one extra verify (~2 scalar multiplications).
+  bool coherence_check = false;
+};
+
 class Ecdsa {
  public:
   explicit Ecdsa(const ec::BinaryCurve& curve = ec::BinaryCurve::sect233k1());
@@ -23,9 +34,16 @@ class Ecdsa {
 
   KeyPair generate(HmacDrbg& rng) const { return ecdh_.generate(rng); }
 
-  Signature sign(const mpint::UInt& d, std::string_view msg) const;
+  /// Throws ec::FaultDetectedError (kSignCoherence) when
+  /// opts.coherence_check is set and the signature fails verify-after-sign.
+  Signature sign(const mpint::UInt& d, std::string_view msg,
+                 const SignOpts& opts = {}) const;
   bool verify(const ec::AffinePoint& q, std::string_view msg,
               const Signature& sig) const;
+
+  /// Fault-injection seam: tamper hook installed on the CurveOps that
+  /// sign() uses for its nonce multiplication k*G. Testing only.
+  void set_mul_tamper(ec::CurveOps::MulTamper t) { tamper_ = std::move(t); }
 
  private:
   /// Leftmost order-bits of SHA-256(msg) as an integer mod n.
@@ -34,6 +52,7 @@ class Ecdsa {
   mpint::UInt x_mod_n(const ec::AffinePoint& p) const;
 
   Ecdh ecdh_;
+  ec::CurveOps::MulTamper tamper_;
 };
 
 }  // namespace eccm0::crypto

@@ -18,6 +18,18 @@ bool CurveOps::on_curve(const AffinePoint& p) {
   return lhs == rhs;
 }
 
+bool CurveOps::on_curve_ld(const LDPoint& p) {
+  if (p.is_inf()) return true;
+  // Y^2 + XYZ = X^3 Z + a X^2 Z^2 + b Z^4 (affine equation cleared of
+  // denominators by Z^4).
+  const Elem z2 = fsqr(p.Z);
+  const Elem x2 = fsqr(p.X);
+  const Elem lhs = fadd(fsqr(p.Y), fmul(fmul(p.X, p.Y), p.Z));
+  Elem rhs = fadd(fmul(fmul(x2, p.X), p.Z), fmul(c_.b, fsqr(z2)));
+  if (!GF2Field::is_zero(c_.a)) rhs = fadd(rhs, fmul(c_.a, fmul(x2, z2)));
+  return lhs == rhs;
+}
+
 AffinePoint CurveOps::neg(const AffinePoint& p) {
   if (p.inf) return p;
   return AffinePoint::make(p.x, fadd(p.x, p.y));

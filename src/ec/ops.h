@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "ec/curve.h"
 #include "ec/point.h"
@@ -34,6 +36,14 @@ struct FieldOpCounts {
 
 class CurveOps {
  public:
+  /// Fault-injection seam: observes every counted field multiplication
+  /// (0-based running index, both operands) and may overwrite the result
+  /// in place. Installed only by fault campaigns; normal runs pay one
+  /// branch per fmul.
+  using MulTamper = std::function<void(
+      std::uint64_t index, const gf2::Elem& a, const gf2::Elem& b,
+      gf2::Elem& r)>;
+
   explicit CurveOps(const BinaryCurve& c) : c_(c) {}
 
   const BinaryCurve& curve() const { return c_; }
@@ -41,10 +51,20 @@ class CurveOps {
   const FieldOpCounts& counts() const { return counts_; }
   void reset_counts() { counts_ = {}; }
 
+  /// Install (or clear, with nullptr) the multiplication tamper hook.
+  /// Resets the running multiplication index to 0.
+  void set_mul_tamper(MulTamper t) {
+    tamper_ = std::move(t);
+    mul_index_ = 0;
+  }
+
   // Counted field operations.
   gf2::Elem fmul(const gf2::Elem& a, const gf2::Elem& b) {
     ++counts_.mul;
-    return f().mul(a, b);
+    if (!tamper_) [[likely]] return f().mul(a, b);
+    gf2::Elem r = f().mul(a, b);
+    tamper_(mul_index_++, a, b, r);
+    return r;
   }
   gf2::Elem fsqr(const gf2::Elem& a) {
     ++counts_.sqr;
@@ -61,6 +81,11 @@ class CurveOps {
 
   /// y^2 + xy == x^3 + ax^2 + b (infinity counts as on-curve).
   bool on_curve(const AffinePoint& p);
+  /// Curve equation in Lopez-Dahab coordinates without an inversion:
+  /// Y^2 + XYZ == X^3 Z + a X^2 Z^2 + b Z^4. Lets the protected scalar
+  /// multiplication verify its result BEFORE paying the LD->affine
+  /// conversion (and before a faulted Z could corrupt it).
+  bool on_curve_ld(const LDPoint& p);
   /// -(x, y) = (x, x + y).
   AffinePoint neg(const AffinePoint& p);
   /// Affine addition/doubling — the slow oracle path (one inversion each).
@@ -83,6 +108,8 @@ class CurveOps {
  private:
   const BinaryCurve& c_;
   FieldOpCounts counts_;
+  MulTamper tamper_;
+  std::uint64_t mul_index_ = 0;
 };
 
 }  // namespace eccm0::ec

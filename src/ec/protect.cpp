@@ -1,0 +1,104 @@
+#include "ec/protect.h"
+
+namespace eccm0::ec {
+
+using mpint::UInt;
+
+const char* check_name(FaultDetectedError::Check c) {
+  switch (c) {
+    case FaultDetectedError::Check::kInputValidation: return "input-validation";
+    case FaultDetectedError::Check::kScalarRange: return "scalar-range";
+    case FaultDetectedError::Check::kResultOnCurve: return "result-on-curve";
+    case FaultDetectedError::Check::kResultOrder: return "result-order";
+    case FaultDetectedError::Check::kSignCoherence: return "sign-coherence";
+    case FaultDetectedError::Check::kAccumulatorCollapse:
+      return "accumulator-collapse";
+  }
+  return "unknown-check";
+}
+
+namespace {
+
+[[noreturn]] void detected(FaultDetectedError::Check c, const char* what) {
+  throw FaultDetectedError(
+      c, std::string("scalarmul_protected: ") + what + " (" + check_name(c) +
+             ")");
+}
+
+}  // namespace
+
+AffinePoint scalarmul_protected(CurveOps& ops, const WtnafTable& table,
+                                const AffinePoint& p, const mpint::UInt& k,
+                                const ProtectOpts& opts) {
+  if (opts.validate_input) {
+    if (p.inf) {
+      detected(FaultDetectedError::Check::kInputValidation,
+               "input point is the identity");
+    }
+    if (!ops.on_curve(p)) {
+      detected(FaultDetectedError::Check::kInputValidation,
+               "input point not on curve");
+    }
+    if (k.is_zero() || k >= ops.curve().order) {
+      detected(FaultDetectedError::Check::kScalarRange,
+               "scalar outside (0, n)");
+    }
+  }
+  bool collapsed = false;
+  const LDPoint q_ld =
+      mul_wtnaf_ld(ops, table, k, opts.recheck_result ? &collapsed : nullptr);
+  if (opts.recheck_result) {
+    // Check the loop invariant first: a collapsed-and-rebuilt
+    // accumulator ends on a valid point, so the checks below would pass.
+    if (collapsed) {
+      detected(FaultDetectedError::Check::kAccumulatorCollapse,
+               "accumulator returned to the identity mid-loop");
+    }
+    if (!ops.on_curve_ld(q_ld)) {
+      detected(FaultDetectedError::Check::kResultOnCurve,
+               "result violates curve equation");
+    }
+    // kP = infinity is impossible for P != inf of prime order n and
+    // 0 < k < n — a faulted accumulator that collapsed to Z = 0 is the
+    // only way to get here with such inputs, so refuse it.
+    const bool degenerate_inputs = p.inf || k.is_zero() ||
+                                   k >= ops.curve().order;
+    if (q_ld.is_inf() && !degenerate_inputs) {
+      detected(FaultDetectedError::Check::kResultOnCurve,
+               "result is the identity for non-degenerate inputs");
+    }
+  }
+  const AffinePoint q = ops.to_affine(q_ld);
+  if (opts.order_check) {
+    // n*Q must die: Q on the curve but with a cofactor-torsion component
+    // survives the on-curve recheck yet fails here. This must use the
+    // doubling-based wNAF ladder: the tau-adic path reduces n modulo
+    // (tau^m - 1)/(tau - 1) first, and n IS the norm of that element, so
+    // its tau-digit expansion is identically zero and mul_wtnaf(Q, n)
+    // returns the identity for every input — a vacuous check.
+    if (!(mul_wnaf(ops, q, ops.curve().order, 4) == AffinePoint::infinity())) {
+      detected(FaultDetectedError::Check::kResultOrder,
+               "result not annihilated by the group order");
+    }
+  }
+  return q;
+}
+
+AffinePoint scalarmul_protected(CurveOps& ops, const AffinePoint& p,
+                                const mpint::UInt& k, unsigned w,
+                                const ProtectOpts& opts) {
+  // The table build runs the same accumulator loop per alpha_u; a
+  // collapse there poisons a table slot with a valid wrong point, so it
+  // is watched under the same invariant.
+  bool collapsed = false;
+  const WtnafTable table =
+      make_wtnaf_table(ops, p, w, opts.recheck_result ? &collapsed : nullptr);
+  if (collapsed) {
+    detected(FaultDetectedError::Check::kAccumulatorCollapse,
+             "table accumulator returned to the identity mid-loop");
+  }
+  return scalarmul_protected(ops, table, p, k, opts);
+}
+
+}  // namespace eccm0::ec
+

@@ -1,0 +1,82 @@
+// Fault-detecting scalar multiplication.
+//
+// A glitched multiplier, a skipped instruction or a flipped RAM bit
+// inside kP silently yields a wrong point — the classic entry for
+// fault attacks on ECC (Biehl-Meyer-Muller). This layer wraps the
+// production wTNAF path with the standard algorithm-level
+// countermeasures, each individually toggleable so the faultsim
+// campaign can measure what every check buys:
+//
+//   validate_input  — reject P off-curve / at infinity and k out of
+//                     range before any arithmetic (blocks invalid-curve
+//                     injection at the entry).
+//   recheck_result  — verify the result satisfies the curve equation in
+//                     Lopez-Dahab coordinates BEFORE the LD->affine
+//                     conversion (a corrupted accumulator almost never
+//                     lands back on the curve), refuse impossible
+//                     identity results, and refuse runs whose
+//                     accumulator collapsed to the identity mid-loop —
+//                     the one fault class (Z zeroed, loop silently
+//                     restarts) that rebuilds a *valid* wrong point no
+//                     end-of-run point check can see.
+//   order_check     — additionally verify n*Q = infinity, catching
+//                     faults that land on-curve but outside the
+//                     prime-order subgroup (cofactor torsion).
+//
+// Detection surfaces as FaultDetectedError naming the tripped check.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "ec/scalarmul.h"
+
+namespace eccm0::ec {
+
+/// Which countermeasures scalarmul_protected runs. Default: everything
+/// except the order check (which costs a second scalar multiplication).
+struct ProtectOpts {
+  bool validate_input = true;
+  bool recheck_result = true;
+  bool order_check = false;
+
+  static ProtectOpts none() { return {false, false, false}; }
+  static ProtectOpts all() { return {true, true, true}; }
+};
+
+/// A countermeasure tripped: the computation was about to emit a wrong
+/// (or attacker-useful) result and refused to.
+class FaultDetectedError : public std::runtime_error {
+ public:
+  enum class Check {
+    kInputValidation,  ///< input point off-curve or at infinity
+    kScalarRange,      ///< scalar zero or >= group order
+    kResultOnCurve,    ///< result violates the curve equation (LD form)
+    kResultOrder,      ///< result not killed by the group order
+    kSignCoherence,    ///< signature failed verify-after-sign
+    kAccumulatorCollapse,  ///< accumulator hit the identity mid-loop
+  };
+
+  FaultDetectedError(Check check, const std::string& msg)
+      : std::runtime_error(msg), check_(check) {}
+
+  Check check() const { return check_; }
+
+ private:
+  Check check_;
+};
+
+const char* check_name(FaultDetectedError::Check c);
+
+/// Guarded wTNAF kP with a caller-supplied table (fixed-base shape).
+/// Throws FaultDetectedError when an enabled check trips.
+AffinePoint scalarmul_protected(CurveOps& ops, const WtnafTable& table,
+                                const AffinePoint& p, const mpint::UInt& k,
+                                const ProtectOpts& opts = {});
+
+/// Guarded wTNAF kP, building the width-w table (random-point shape).
+AffinePoint scalarmul_protected(CurveOps& ops, const AffinePoint& p,
+                                const mpint::UInt& k, unsigned w,
+                                const ProtectOpts& opts = {});
+
+}  // namespace eccm0::ec

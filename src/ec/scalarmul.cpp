@@ -63,7 +63,22 @@ std::vector<AffinePoint> batch_to_affine(CurveOps& ops,
   return out;
 }
 
-WtnafTable make_wtnaf_table(CurveOps& ops, const AffinePoint& p, unsigned w) {
+namespace {
+
+/// Mixed add plus the identity-collapse invariant: once an accumulator
+/// has left the identity, an honest run can never bring it back (every
+/// partial sum is a nonzero multiple of the base point).
+void add_mixed_watched(CurveOps& ops, LDPoint& q, const AffinePoint& p,
+                       bool* collapsed) {
+  const bool was_inf = q.is_inf();
+  ops.ld_add_mixed(q, p);
+  if (collapsed != nullptr && !was_inf && q.is_inf()) *collapsed = true;
+}
+
+}  // namespace
+
+WtnafTable make_wtnaf_table(CurveOps& ops, const AffinePoint& p, unsigned w,
+                            bool* collapsed) {
   const auto& curve = ops.curve();
   if (!curve.koblitz) {
     throw std::invalid_argument("make_wtnaf_table: curve is not Koblitz");
@@ -90,9 +105,9 @@ WtnafTable make_wtnaf_table(CurveOps& ops, const AffinePoint& p, unsigned w) {
     for (std::size_t i = digits.size(); i-- > 0;) {
       ops.frob_inplace(q);
       if (digits[i] > 0) {
-        ops.ld_add_mixed(q, p);
+        add_mixed_watched(ops, q, p, collapsed);
       } else if (digits[i] < 0) {
-        ops.ld_add_mixed(q, neg_p);
+        add_mixed_watched(ops, q, neg_p, collapsed);
       }
     }
     proj.push_back(q);
@@ -101,9 +116,10 @@ WtnafTable make_wtnaf_table(CurveOps& ops, const AffinePoint& p, unsigned w) {
   return t;
 }
 
-AffinePoint mul_wtnaf(CurveOps& ops, const WtnafTable& table, const UInt& k) {
+LDPoint mul_wtnaf_ld(CurveOps& ops, const WtnafTable& table, const UInt& k,
+                     bool* collapsed) {
   const auto& curve = ops.curve();
-  if (k.is_zero()) return AffinePoint::infinity();
+  if (k.is_zero()) return LDPoint::infinity();
   const ZTau rho = partmod(k, curve);
   const auto digits = wtnaf_digits(rho, curve.mu, table.w);
   LDPoint q = LDPoint::infinity();
@@ -113,10 +129,14 @@ AffinePoint mul_wtnaf(CurveOps& ops, const WtnafTable& table, const UInt& k) {
     if (u != 0) {
       const AffinePoint& pu =
           table.points[static_cast<std::size_t>(u > 0 ? u : -u) / 2];
-      ops.ld_add_mixed(q, u > 0 ? pu : ops.neg(pu));
+      add_mixed_watched(ops, q, u > 0 ? pu : ops.neg(pu), collapsed);
     }
   }
-  return ops.to_affine(q);
+  return q;
+}
+
+AffinePoint mul_wtnaf(CurveOps& ops, const WtnafTable& table, const UInt& k) {
+  return ops.to_affine(mul_wtnaf_ld(ops, table, k));
 }
 
 AffinePoint mul_wtnaf(CurveOps& ops, const AffinePoint& p, const UInt& k,

@@ -28,12 +28,28 @@ struct WtnafTable {
 /// Build the table for width w (2^(w-2) points). Runtime cost is the
 /// paper's "TNAF Precomputation" row; for the fixed base point it is done
 /// once offline.
-WtnafTable make_wtnaf_table(CurveOps& ops, const AffinePoint& p, unsigned w);
+///
+/// `collapsed`, when non-null, is set if an accumulator ever returned to
+/// the identity after leaving it. Honest evaluations never do this (every
+/// partial tau-adic sum is a nonzero multiple of P); a corrupted field
+/// operation that zeroes a Z coordinate does — and the loop would then
+/// silently restart from the identity and rebuild a *valid but wrong*
+/// point no end-of-run check can refuse. The flag is the detection seam
+/// `scalarmul_protected` uses against that fault class.
+WtnafTable make_wtnaf_table(CurveOps& ops, const AffinePoint& p, unsigned w,
+                            bool* collapsed = nullptr);
 
 /// Window-TNAF multiplication with an existing table (paper Alg 3.70
 /// shape: Horner over Frobenius, mixed LD-affine additions).
 AffinePoint mul_wtnaf(CurveOps& ops, const WtnafTable& table,
                       const mpint::UInt& k);
+
+/// Same Horner loop, but returns the running point still in Lopez-Dahab
+/// coordinates — the seam `scalarmul_protected` uses to verify the
+/// result on-curve before the inversion-bearing affine conversion.
+/// `collapsed` as in make_wtnaf_table.
+LDPoint mul_wtnaf_ld(CurveOps& ops, const WtnafTable& table,
+                     const mpint::UInt& k, bool* collapsed = nullptr);
 
 /// Convenience: table build + multiply (the paper's random-point kP path).
 AffinePoint mul_wtnaf(CurveOps& ops, const AffinePoint& p,

@@ -1,0 +1,242 @@
+#include "faultsim/campaign.h"
+
+#include <span>
+
+#include "asmkernels/gen.h"
+#include "gf2/k233.h"
+#include "relic_like/costs.h"
+
+namespace eccm0::faultsim {
+
+using ec::AffinePoint;
+using ec::CurveOps;
+using mpint::UInt;
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kCorrect: return "correct";
+    case Outcome::kDetected: return "detected";
+    case Outcome::kCrashed: return "crashed";
+    case Outcome::kSilentWrong: return "silent-wrong";
+  }
+  return "unknown-outcome";
+}
+
+void OutcomeTally::add(Outcome o) {
+  switch (o) {
+    case Outcome::kCorrect: ++correct; break;
+    case Outcome::kDetected: ++detected; break;
+    case Outcome::kCrashed: ++crashed; break;
+    case Outcome::kSilentWrong: ++silent; break;
+  }
+}
+
+const std::array<ProtectionProfile, kNumProfiles>& protection_profiles() {
+  static const std::array<ProtectionProfile, kNumProfiles> kProfiles = {{
+      {"none", ec::ProtectOpts::none()},
+      {"validate-input", {true, false, false}},
+      {"+recheck-result", {true, true, false}},
+      {"+order-check", ec::ProtectOpts::all()},
+  }};
+  return kProfiles;
+}
+
+namespace {
+
+/// The mul kernel's data region: product + operands + LUT
+/// (gen.h layout, 0x000..0x280). RAM flips land here.
+constexpr std::uint32_t kKernelDataWords = asmkernels::kSqrTabOff / 4;
+constexpr std::size_t kKernelRamSize = 0x800;
+/// Clean kernel runs ~2k instructions; anything past this looped.
+constexpr std::uint64_t kKernelBudget = 200'000;
+
+/// Thrown out of the tamper hook when the injected kernel run crashed,
+/// unwinding the whole scalar multiplication the way a node reset would.
+struct CrashSignal {};
+
+gf2::k233::Fe to_fe(const gf2::Elem& e) {
+  gf2::k233::Fe f{};
+  for (std::size_t i = 0; i < f.size(); ++i) f[i] = e[i];
+  return f;
+}
+
+gf2::Elem from_fe(const gf2::k233::Fe& f) {
+  gf2::Elem e{};
+  for (std::size_t i = 0; i < f.size(); ++i) e[i] = f[i];
+  return e;
+}
+
+void write_fe(armvm::Memory& mem, std::uint32_t offset,
+              const gf2::k233::Fe& v) {
+  mem.write_words(armvm::kRamBase + offset,
+                  std::span<const std::uint32_t>(v.data(), v.size()));
+}
+
+std::uint64_t priced_cycles(const ec::FieldOpCounts& ops,
+                            const ec::FieldCostTable& t) {
+  return ops.mul * (t.mul + t.call_overhead) +
+         ops.sqr * (t.sqr + t.call_overhead) +
+         ops.inv * (t.inv + t.call_overhead) +
+         ops.add * (t.fadd + t.call_overhead);
+}
+
+}  // namespace
+
+KpFaultCampaign::KpFaultCampaign(std::uint64_t seed)
+    : seed_(seed),
+      curve_(ec::BinaryCurve::sect233k1()),
+      mul_prog_(armvm::assemble(asmkernels::gen_mul_fixed(true))) {
+  Rng rng(seed);
+  CurveOps ops(curve_);
+  const AffinePoint g = AffinePoint::make(curve_.gx, curve_.gy);
+  // Seed-derived experiment point and scalar (both kept fixed across the
+  // campaign so every injection perturbs the same golden computation).
+  UInt r;
+  do {
+    r = UInt::random_below(rng, curve_.order);
+  } while (r.is_zero());
+  p_ = ec::mul_wtnaf(ops, g, r, 4);
+  do {
+    k_ = UInt::random_below(rng, curve_.order);
+  } while (k_.is_zero());
+  golden_ = ec::mul_wtnaf(ops, p_, k_, 4);
+
+  // Clean kernel retirement count: the injection window for specs. The
+  // kernel is straight-line (generator-unrolled), so the count is
+  // operand-independent.
+  armvm::Memory mem(kKernelRamSize);
+  write_fe(mem, asmkernels::kXOff, to_fe(p_.x));
+  write_fe(mem, asmkernels::kYOff, to_fe(p_.y));
+  FaultSpec never;
+  never.index = ~std::uint64_t{0};
+  const InjectedRun clean = run_with_fault(mul_prog_, mem, never,
+                                           kKernelBudget);
+  kernel_retires_ = clean.instructions;
+
+  // How many fmul calls one clean kP (table build + Horner loop) makes:
+  // the sample space for which multiplication gets the fault.
+  CurveOps counting(curve_);
+  const ec::WtnafTable t = ec::make_wtnaf_table(counting, p_, 4);
+  (void)ec::mul_wtnaf_ld(counting, t, k_);
+  muls_per_kp_ = counting.counts().mul;
+}
+
+ModelResult KpFaultCampaign::run_model(FaultModel model, std::uint64_t runs) {
+  ModelResult res;
+  res.model = model;
+  res.runs = runs;
+  // Per-model spec stream, decorrelated from the setup stream but still
+  // a pure function of (seed, model).
+  Rng rng(seed_ ^ (0x9E3779B97F4A7C15ull *
+                   (static_cast<std::uint64_t>(model) + 2)));
+  const auto& profiles = protection_profiles();
+  for (std::uint64_t run = 0; run < runs; ++run) {
+    const std::uint64_t target = rng.next_below(muls_per_kp_);
+    const FaultSpec spec =
+        sample_spec(rng, model, kernel_retires_, kKernelDataWords);
+
+    // One evaluation per injection; the observations below are enough to
+    // classify it under every countermeasure set.
+    bool crashed = false;
+    bool fired = false;
+    bool vm_injected = false;
+    bool wrong = false;
+    bool inf = false;
+    bool oncurve = true;
+    bool order_ok = true;
+    bool collapsed = false;
+    CurveOps ops(curve_);
+    ops.set_mul_tamper([&](std::uint64_t idx, const gf2::Elem& a,
+                           const gf2::Elem& b, gf2::Elem& out) {
+      if (fired || idx != target) return;
+      fired = true;
+      armvm::Memory mem(kKernelRamSize);
+      write_fe(mem, asmkernels::kXOff, to_fe(a));
+      write_fe(mem, asmkernels::kYOff, to_fe(b));
+      const InjectedRun vm = run_with_fault(mul_prog_, mem, spec,
+                                            kKernelBudget);
+      vm_injected = vm.injected;
+      if (vm.outcome == RunOutcome::kCrashed) throw CrashSignal{};
+      const auto words =
+          mem.read_words(armvm::kRamBase + asmkernels::kVOff, 8);
+      gf2::k233::Fe fe{};
+      for (std::size_t i = 0; i < fe.size(); ++i) fe[i] = words[i];
+      out = from_fe(fe);
+    });
+    try {
+      const ec::WtnafTable t = ec::make_wtnaf_table(ops, p_, 4, &collapsed);
+      const ec::LDPoint q_ld = ec::mul_wtnaf_ld(ops, t, k_, &collapsed);
+      inf = q_ld.is_inf();
+      oncurve = ops.on_curve_ld(q_ld);
+      const AffinePoint q = ops.to_affine(q_ld);
+      wrong = !(q == golden_);
+      if (wrong && oncurve && !inf) {
+        // Lazy: the order check only matters for the rare faults that
+        // land back on the curve. Doubling-based on purpose — the
+        // tau-adic expansion of n is all zeros, so mul_wtnaf(Q, n) would
+        // pass everything (see protect.cpp).
+        order_ok =
+            ec::mul_wnaf(ops, q, curve_.order, 4) == AffinePoint::infinity();
+      }
+    } catch (const CrashSignal&) {
+      crashed = true;
+    }
+    if (vm_injected) ++res.injected;
+
+    for (unsigned p = 0; p < kNumProfiles; ++p) {
+      const ec::ProtectOpts& o = profiles[p].opts;
+      Outcome outcome;
+      if (crashed) {
+        outcome = Outcome::kCrashed;
+      } else if (!wrong) {
+        outcome = Outcome::kCorrect;
+      } else {
+        bool detected = false;
+        if (o.recheck_result) {
+          // The protected path refuses an off-curve result, an
+          // impossible identity (kP = inf with validated 0 < k < n), and
+          // a mid-loop identity collapse (whose rebuilt endpoint is a
+          // valid wrong point the two end checks cannot see).
+          detected = inf || !oncurve || collapsed;
+        }
+        if (!detected && o.order_check && oncurve && !inf) {
+          detected = !order_ok;
+        }
+        outcome = detected ? Outcome::kDetected : Outcome::kSilentWrong;
+      }
+      res.per_profile[p].add(outcome);
+    }
+  }
+  return res;
+}
+
+std::array<ProfileCost, kNumProfiles> KpFaultCampaign::profile_costs(
+    const ec::FieldCostTable& prices) {
+  std::array<ProfileCost, kNumProfiles> out;
+  const auto& profiles = protection_profiles();
+  for (unsigned p = 0; p < kNumProfiles; ++p) {
+    CurveOps ops(curve_);
+    (void)ec::scalarmul_protected(ops, p_, k_, 4, profiles[p].opts);
+    out[p].ops = ops.counts();
+    out[p].cycles = priced_cycles(out[p].ops, prices);
+    out[p].energy_uj =
+        static_cast<double>(out[p].cycles) * prices.pj_per_cycle * 1e-6;
+  }
+  return out;
+}
+
+CampaignResult run_kp_campaign(const CampaignConfig& config) {
+  CampaignResult res;
+  res.config = config;
+  KpFaultCampaign campaign(config.seed);
+  const FaultModel models[kNumFaultModels] = {
+      FaultModel::kRegisterFlip, FaultModel::kRamFlip,
+      FaultModel::kInstructionSkip, FaultModel::kOpcodeFlip};
+  for (unsigned m = 0; m < kNumFaultModels; ++m) {
+    res.models[m] = campaign.run_model(models[m], config.runs_per_model);
+  }
+  res.costs = campaign.profile_costs(relic_like::proposed_asm_costs());
+  return res;
+}
+
+}  // namespace eccm0::faultsim

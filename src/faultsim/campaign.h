@@ -1,0 +1,113 @@
+// Fault-injection campaign against the paper's kP workload.
+//
+// Each injected run computes k*P on sect233k1 with the production wTNAF
+// path, but exactly one field multiplication inside it is executed on
+// the armvm Thumb kernel (the paper's fixed-register LD multiplier)
+// under a seeded FaultSpec. The faulted product — or the crash — then
+// propagates through the rest of the scalar multiplication exactly as
+// it would on a glitched node. Every run is classified against each
+// countermeasure profile of ec::scalarmul_protected, producing the
+// detection-coverage matrix (profile x fault model -> % silent
+// corruption) that bench_fault_campaign prints.
+//
+// Determinism: one seed fixes (P, k), the golden result, the faulted
+// multiplication's position and every FaultSpec. Same seed, same
+// campaign, bit for bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ec/costing.h"
+#include "ec/protect.h"
+#include "faultsim/inject.h"
+
+namespace eccm0::faultsim {
+
+/// Classification of one injected kP run under one protection profile.
+enum class Outcome : std::uint8_t {
+  kCorrect,     ///< result equals the golden kP (fault absorbed / missed)
+  kDetected,    ///< an enabled countermeasure refused the wrong result
+  kCrashed,     ///< the core raised a typed armvm::Fault (or watchdog)
+  kSilentWrong, ///< wrong result released with no indication — the loss
+};
+const char* outcome_name(Outcome o);
+
+struct OutcomeTally {
+  std::uint64_t correct = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t crashed = 0;
+  std::uint64_t silent = 0;
+
+  std::uint64_t total() const { return correct + detected + crashed + silent; }
+  double silent_rate() const {
+    return total() == 0 ? 0.0
+                        : static_cast<double>(silent) /
+                              static_cast<double>(total());
+  }
+  void add(Outcome o);
+};
+
+/// Cumulative countermeasure profiles, weakest to strongest.
+struct ProtectionProfile {
+  const char* name;
+  ec::ProtectOpts opts;
+};
+inline constexpr unsigned kNumProfiles = 4;
+const std::array<ProtectionProfile, kNumProfiles>& protection_profiles();
+
+/// Clean-run (no fault) cost of one profile, priced with a
+/// FieldCostTable: what the countermeasures cost when nothing goes wrong.
+struct ProfileCost {
+  ec::FieldOpCounts ops;
+  std::uint64_t cycles = 0;
+  double energy_uj = 0.0;
+};
+
+struct ModelResult {
+  FaultModel model = FaultModel::kRegisterFlip;
+  std::uint64_t runs = 0;
+  std::uint64_t injected = 0;  ///< runs whose fault window actually fired
+  std::array<OutcomeTally, kNumProfiles> per_profile;
+};
+
+struct CampaignConfig {
+  std::uint64_t seed = 0xECC0FA17u;
+  std::uint64_t runs_per_model = 1000;
+};
+
+struct CampaignResult {
+  CampaignConfig config;
+  std::array<ModelResult, kNumFaultModels> models;
+  std::array<ProfileCost, kNumProfiles> costs;
+};
+
+class KpFaultCampaign {
+ public:
+  explicit KpFaultCampaign(std::uint64_t seed);
+
+  /// Inject `runs` seeded faults of `model`, one per kP computation.
+  ModelResult run_model(FaultModel model, std::uint64_t runs);
+
+  /// Clean-run field-op counts of each profile priced with `prices`.
+  std::array<ProfileCost, kNumProfiles> profile_costs(
+      const ec::FieldCostTable& prices);
+
+  const ec::AffinePoint& golden() const { return golden_; }
+
+ private:
+  std::uint64_t seed_;
+  const ec::BinaryCurve& curve_;
+  ec::AffinePoint p_;
+  mpint::UInt k_;
+  ec::AffinePoint golden_;
+  armvm::Program mul_prog_;         ///< fixed-register LD mul, reducing
+  std::uint64_t kernel_retires_;    ///< instruction count of a clean mul
+  std::uint64_t muls_per_kp_;       ///< fmul invocations in one clean kP
+};
+
+/// Run the whole matrix: every fault model x every profile, plus the
+/// clean-run overhead column (priced with the proposed-asm cost table).
+CampaignResult run_kp_campaign(const CampaignConfig& config);
+
+}  // namespace eccm0::faultsim

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/hex.h"
+#include "common/secure_wipe.h"
 
 namespace eccm0::mpint {
 
@@ -19,6 +20,8 @@ void UInt::normalize() {
 }
 
 UInt UInt::from_hex(std::string_view hex) { return UInt{words_from_hex(hex)}; }
+
+void UInt::wipe() { common::secure_wipe(w_); }
 
 UInt UInt::pow2(std::size_t e) {
   std::vector<Word> w(e / kWordBits + 1, 0);

@@ -53,6 +53,11 @@ class UInt {
   UInt& operator+=(const UInt& o) { return *this = *this + o; }
   UInt& operator-=(const UInt& o) { return *this = *this - o; }
 
+  /// Zeroize the limb storage (non-elidable volatile overwrite) and
+  /// release it, leaving the value zero. For ECDSA nonces and other
+  /// per-use secrets whose residue must not linger in freed heap.
+  void wipe();
+
   /// Quotient and remainder; divisor must be non-zero.
   static std::pair<UInt, UInt> divmod(const UInt& a, const UInt& b);
   UInt operator/(const UInt& o) const { return divmod(*this, o).first; }

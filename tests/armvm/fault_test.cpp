@@ -1,0 +1,172 @@
+// The typed armvm::Fault hierarchy: every architectural error is a Fault
+// with the right kind/address, still catchable as the std exception type
+// (and what() text) the pre-typed implementation threw.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "armvm/codec.h"
+#include "armvm/cpu.h"
+#include "armvm/fault.h"
+
+namespace eccm0::armvm {
+namespace {
+
+TEST(Fault, MemoryOutOfRangeIsBusFaultAndOutOfRange) {
+  Memory mem(0x100);
+  const std::uint32_t addr = kRamBase + 0x200;
+  bool typed = false, legacy = false;
+  try {
+    (void)mem.load32(addr);
+  } catch (const BusFault& f) {
+    typed = true;
+    EXPECT_EQ(f.kind(), FaultKind::kBusFault);
+    EXPECT_EQ(f.address(), addr);
+    EXPECT_EQ(f.message(),
+              "Memory: access outside RAM at " + std::to_string(addr));
+    EXPECT_STREQ(f.what(), f.message().c_str());
+    // A bare Memory has no Cpu to annotate architectural state.
+    EXPECT_FALSE(f.has_state());
+  }
+  try {
+    mem.store8(addr, 0xAA);
+  } catch (const std::out_of_range&) {
+    legacy = true;  // old catch clauses keep matching
+  }
+  EXPECT_TRUE(typed);
+  EXPECT_TRUE(legacy);
+}
+
+TEST(Fault, UnalignedAccessIsAlignmentFaultAndRuntimeError) {
+  Memory mem(0x100);
+  try {
+    (void)mem.load16(kRamBase + 1);
+    FAIL() << "expected AlignmentFault";
+  } catch (const AlignmentFault& f) {
+    EXPECT_EQ(f.kind(), FaultKind::kAlignmentFault);
+    EXPECT_EQ(f.address(), kRamBase + 1);
+    EXPECT_EQ(f.message(), "Memory: unaligned halfword load");
+  }
+  EXPECT_THROW((void)mem.load32(kRamBase + 2), std::runtime_error);
+  EXPECT_THROW(mem.store16(kRamBase + 1, 1), std::runtime_error);
+  EXPECT_THROW(mem.store32(kRamBase + 2, 1), std::runtime_error);
+}
+
+TEST(Fault, UndefinedEncodingIsDecodeFaultWithByteAddress) {
+  const std::vector<std::uint16_t> code = {0x2007, 0xBA80};
+  try {
+    (void)decode(code, 1);
+    FAIL() << "expected DecodeFault";
+  } catch (const DecodeFault& f) {
+    EXPECT_EQ(f.kind(), FaultKind::kDecodeFault);
+    EXPECT_EQ(f.address(), 2u);  // byte address of the bad halfword
+    EXPECT_EQ(f.message(), "decode: 0xBA80 undefined");
+  }
+  // Legacy contract: still a std::invalid_argument.
+  EXPECT_THROW((void)decode(code, 1), std::invalid_argument);
+}
+
+TEST(Fault, TruncatedBlPairIsDecodeFaultNotRawOutOfRange) {
+  const std::vector<std::uint16_t> code = {0xF000};  // BL high half only
+  try {
+    (void)decode(code, 0);
+    FAIL() << "expected DecodeFault";
+  } catch (const DecodeFault& f) {
+    EXPECT_EQ(f.kind(), FaultKind::kDecodeFault);
+    EXPECT_EQ(f.message(), "decode: BL pair truncated");
+  }
+}
+
+TEST(Fault, CpuFaultsCarryArchitecturalState) {
+  // Entering at an odd PC faults before anything retires; the snapshot
+  // must show exactly the state call() set up.
+  Memory mem(0x100);
+  const std::vector<std::uint16_t> code = {0x2007};  // movs r0, #7
+  Cpu cpu(code, mem);
+  try {
+    cpu.call(1, {});  // odd entry PC
+    FAIL() << "expected AlignmentFault";
+  } catch (const AlignmentFault& f) {
+    EXPECT_EQ(f.kind(), FaultKind::kAlignmentFault);
+    EXPECT_EQ(f.message(), "Cpu: odd PC");
+    EXPECT_EQ(f.address(), 1u);
+    ASSERT_TRUE(f.has_state());
+    EXPECT_EQ(f.state().r[15], 1u);
+    EXPECT_EQ(f.state(), cpu.arch_state());
+  }
+}
+
+TEST(Fault, PcOutsideCodeIsBusFaultWithState) {
+  Memory mem(0x100);
+  const std::vector<std::uint16_t> code = {0x2007};
+  Cpu cpu(code, mem);
+  try {
+    cpu.call(0x40, {});
+    FAIL() << "expected BusFault";
+  } catch (const BusFault& f) {
+    EXPECT_EQ(f.kind(), FaultKind::kBusFault);
+    EXPECT_EQ(f.message(), "Cpu: PC outside code");
+    EXPECT_TRUE(f.has_state());
+  }
+}
+
+TEST(Fault, BudgetExhaustionIsBudgetFaultWithState) {
+  Memory mem(0x100);
+  const std::vector<std::uint16_t> code = {0xE7FE};  // b . (self-loop)
+  Cpu cpu(code, mem);
+  try {
+    cpu.call(0, {}, 100);
+    FAIL() << "expected BudgetFault";
+  } catch (const BudgetFault& f) {
+    EXPECT_EQ(f.kind(), FaultKind::kBudgetExhausted);
+    EXPECT_EQ(f.message(), "Cpu::call: instruction budget exceeded");
+    ASSERT_TRUE(f.has_state());
+    EXPECT_EQ(f.state().instructions, 101u);  // budget + 1, as before
+  }
+  // Legacy contract preserved.
+  Cpu again(code, mem);
+  EXPECT_THROW(again.call(0, {}, 100), std::runtime_error);
+}
+
+TEST(Fault, CatchAsBaseFaultClassifiesAllKinds) {
+  Memory mem(0x100);
+  int caught = 0;
+  try {
+    (void)mem.load32(0);
+  } catch (const Fault& f) {
+    ++caught;
+    EXPECT_EQ(f.kind(), FaultKind::kBusFault);
+  }
+  try {
+    (void)mem.load16(kRamBase + 1);
+  } catch (const Fault& f) {
+    ++caught;
+    EXPECT_EQ(f.kind(), FaultKind::kAlignmentFault);
+  }
+  EXPECT_EQ(caught, 2);
+}
+
+TEST(Fault, FirstStateAnnotationWins) {
+  BusFault f("test", 0);
+  ArchState first;
+  first.r[0] = 111;
+  ArchState second;
+  second.r[0] = 222;
+  f.attach_state(first);
+  f.attach_state(second);  // must not overwrite
+  EXPECT_EQ(f.state().r[0], 111u);
+}
+
+TEST(Fault, KindNames) {
+  EXPECT_STREQ(fault_kind_name(FaultKind::kBusFault), "bus-fault");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kAlignmentFault),
+               "alignment-fault");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kDecodeFault), "decode-fault");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kBudgetExhausted),
+               "budget-exhausted");
+}
+
+}  // namespace
+}  // namespace eccm0::armvm

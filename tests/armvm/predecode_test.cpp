@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -238,6 +239,70 @@ TEST(Predecode, UndecodableSlotTrapsWithPerStepError) {
   EXPECT_EQ(pre.reg(0), 7u);
 }
 
+TEST(Predecode, TypedDecodeFaultIdenticalAcrossEngines) {
+  // Both engines must raise the same typed DecodeFault — same kind,
+  // message, faulting address AND architectural-state snapshot.
+  const std::vector<std::uint16_t> image = {
+      0x2007,  // movs r0, #7
+      0xBA80,  // undefined (0xBA80 hole in the REV group)
+  };
+  Memory mem_a(kRamSize), mem_b(kRamSize);
+  Cpu ref(image, mem_a, Cpu::DecodeMode::kPerStep);
+  Cpu pre(image, mem_b, Cpu::DecodeMode::kPredecode);
+  auto capture = [](Cpu& cpu) {
+    try {
+      cpu.call(0, {});
+    } catch (const Fault& f) {
+      EXPECT_TRUE(f.has_state());
+      return std::make_tuple(f.kind(), f.message(), f.address(), f.state());
+    }
+    ADD_FAILURE() << "no typed fault raised";
+    return std::make_tuple(FaultKind::kBusFault, std::string{},
+                           std::uint32_t{0}, ArchState{});
+  };
+  const auto a = capture(ref);
+  const auto b = capture(pre);
+  EXPECT_EQ(std::get<0>(a), FaultKind::kDecodeFault);
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+  EXPECT_EQ(std::get<3>(a), std::get<3>(b));  // identical ArchState
+  EXPECT_EQ(std::get<3>(a).r[0], 7u);
+  EXPECT_EQ(std::get<3>(a).instructions, 1u);
+}
+
+TEST(Predecode, MemoryFaultStateIdenticalAcrossEngines) {
+  // A data abort mid-run: a load from far outside RAM must surface as
+  // the same BusFault, with identical state, from both engines.
+  const Program prog = assemble(R"(
+entry:
+    movs r0, #7
+    ldr r1, =0x30000000
+    ldr r2, [r1]
+    bx lr
+)");
+  Engine ref(prog, Cpu::DecodeMode::kPerStep);
+  Engine pre(prog, Cpu::DecodeMode::kPredecode);
+  auto capture = [&](Cpu& cpu) {
+    try {
+      cpu.call(prog.entry("entry"), {});
+    } catch (const BusFault& f) {
+      EXPECT_TRUE(f.has_state());
+      return std::make_tuple(f.message(), f.address(), f.state());
+    }
+    ADD_FAILURE() << "no BusFault raised";
+    return std::make_tuple(std::string{}, std::uint32_t{0}, ArchState{});
+  };
+  const auto a = capture(ref.cpu);
+  const auto b = capture(pre.cpu);
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<1>(a), 0x30000000u);
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+  EXPECT_EQ(std::get<2>(a).r[0], 7u);
+  EXPECT_EQ(ref.sink.events, pre.sink.events);
+}
+
 TEST(Predecode, InstructionBudgetTripsIdentically) {
   const Program prog = assemble(R"(
 entry:
@@ -246,12 +311,21 @@ loop: b loop
   Engine ref(prog, Cpu::DecodeMode::kPerStep);
   Engine pre(prog, Cpu::DecodeMode::kPredecode);
   EXPECT_THROW(ref.cpu.call(prog.entry("entry"), {}, 100000),
-               std::runtime_error);
-  EXPECT_THROW(pre.cpu.call(prog.entry("entry"), {}, 100000),
-               std::runtime_error);
+               std::runtime_error);  // legacy catch still works
+  ArchState pre_state;
+  try {
+    pre.cpu.call(prog.entry("entry"), {}, 100000);
+    ADD_FAILURE() << "budget did not trip";
+  } catch (const BudgetFault& f) {
+    EXPECT_EQ(f.kind(), FaultKind::kBudgetExhausted);
+    ASSERT_TRUE(f.has_state());
+    pre_state = f.state();
+  }
   // Both engines retired exactly budget + 1 instructions before tripping.
   expect_stats_identical(ref.cpu.stats(), pre.cpu.stats());
   EXPECT_EQ(pre.cpu.stats().instructions, 100001u);
+  EXPECT_EQ(pre_state.instructions, 100001u);
+  EXPECT_EQ(pre_state, pre.cpu.arch_state());
 }
 
 }  // namespace

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/hex.h"
 #include "common/rng.h"
+#include "common/secure_wipe.h"
 #include "common/words.h"
 
 namespace eccm0 {
@@ -88,6 +92,36 @@ TEST(Rng, FillsDistinctWords) {
   bool all_same = true;
   for (auto x : w) all_same &= (x == w[0]);
   EXPECT_FALSE(all_same);
+}
+
+TEST(SecureWipe, ZeroesRawBuffer) {
+  std::array<std::uint8_t, 32> buf;
+  buf.fill(0xA5);
+  common::secure_wipe(buf.data(), buf.size());
+  for (const std::uint8_t b : buf) EXPECT_EQ(b, 0u);
+}
+
+TEST(SecureWipe, ClearsAndReleasesVector) {
+  std::vector<Word> v(8, 0xDEADBEEFu);
+  common::secure_wipe(v);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 0u);  // shrink_to_fit released the heap block
+}
+
+TEST(SecureWipe, ClearsString) {
+  std::string s = "this hex image held a shared secret";
+  common::secure_wipe(s);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SecureWipe, EmptyInputsAreNoOps) {
+  std::vector<std::uint8_t> v;
+  std::string s;
+  common::secure_wipe(v);
+  common::secure_wipe(s);
+  common::secure_wipe(nullptr, 0);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(s.empty());
 }
 
 TEST(Rng, NextBelow) {

@@ -5,8 +5,12 @@
 #include "crypto/ecdsa.h"
 
 #include "ec/codec.h"
+#include "ec/protect.h"
 
 #include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
 
 namespace eccm0::crypto {
 namespace {
@@ -103,6 +107,117 @@ TEST(Ecdsa, RejectsMalformedSignatures) {
   Signature twisted = sig;
   twisted.s = addmod(twisted.s, mpint::UInt{1}, ecdsa.curve().order);
   EXPECT_FALSE(ecdsa.verify(kp.q, "hello", twisted));
+}
+
+// Parameterized negative suite: every structured mutation of a valid
+// (r, s) pair must be rejected by ecdsa_verify — range violations and
+// value corruptions alike.
+struct SigMutation {
+  const char* name;
+  void (*apply)(Signature&, const mpint::UInt& order);
+};
+
+class MutatedSignatureTest : public ::testing::TestWithParam<SigMutation> {};
+
+TEST_P(MutatedSignatureTest, VerifyRejects) {
+  const Ecdsa ecdsa;
+  HmacDrbg rng(seed_bytes(30));
+  const KeyPair kp = ecdsa.generate(rng);
+  const Signature good = ecdsa.sign(kp.d, "mutate me");
+  ASSERT_TRUE(ecdsa.verify(kp.q, "mutate me", good));
+  Signature bad = good;
+  GetParam().apply(bad, ecdsa.curve().order);
+  ASSERT_FALSE(bad.r == good.r && bad.s == good.s)
+      << GetParam().name << " mutated nothing";
+  EXPECT_FALSE(ecdsa.verify(kp.q, "mutate me", bad)) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mutations, MutatedSignatureTest,
+    ::testing::Values(
+        SigMutation{"r-zero",
+                    [](Signature& s, const mpint::UInt&) {
+                      s.r = mpint::UInt{0};
+                    }},
+        SigMutation{"s-zero",
+                    [](Signature& s, const mpint::UInt&) {
+                      s.s = mpint::UInt{0};
+                    }},
+        SigMutation{"r-equals-order",
+                    [](Signature& s, const mpint::UInt& n) { s.r = n; }},
+        SigMutation{"s-equals-order",
+                    [](Signature& s, const mpint::UInt& n) { s.s = n; }},
+        SigMutation{"r-plus-one",
+                    [](Signature& s, const mpint::UInt& n) {
+                      s.r = addmod(s.r, mpint::UInt{1}, n);
+                    }},
+        SigMutation{"s-plus-one",
+                    [](Signature& s, const mpint::UInt& n) {
+                      s.s = addmod(s.s, mpint::UInt{1}, n);
+                    }},
+        SigMutation{"r-low-bit-flip",
+                    [](Signature& s, const mpint::UInt&) {
+                      // XOR of bit 0 via +-1 (keeps the value in range).
+                      s.r = s.r.is_odd() ? s.r - mpint::UInt{1}
+                                         : s.r + mpint::UInt{1};
+                    }},
+        SigMutation{"s-top-bit-flip",
+                    [](Signature& s, const mpint::UInt&) {
+                      s.s = s.s - mpint::UInt::pow2(s.s.bit_length() - 1);
+                    }},
+        SigMutation{"r-s-swapped",
+                    [](Signature& s, const mpint::UInt&) {
+                      std::swap(s.r, s.s);
+                    }},
+        SigMutation{"both-doubled",
+                    [](Signature& s, const mpint::UInt& n) {
+                      s.r = addmod(s.r, s.r, n);
+                      s.s = addmod(s.s, s.s, n);
+                    }}),
+    [](const auto& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Ecdsa, SignCoherenceCheckPassesHonestSigner) {
+  const Ecdsa ecdsa;
+  HmacDrbg rng(seed_bytes(31));
+  const KeyPair kp = ecdsa.generate(rng);
+  SignOpts opts;
+  opts.coherence_check = true;
+  const Signature sig = ecdsa.sign(kp.d, "guarded", opts);
+  EXPECT_TRUE(ecdsa.verify(kp.q, "guarded", sig));
+}
+
+TEST(Ecdsa, SignCoherenceCheckCatchesFaultedScalarMul) {
+  // Corrupt one field multiplication inside the k*G of sign(): with the
+  // coherence check on, the bad signature must never leave sign().
+  Ecdsa ecdsa;
+  HmacDrbg rng(seed_bytes(32));
+  const KeyPair kp = ecdsa.generate(rng);
+  ecdsa.set_mul_tamper([](std::uint64_t idx, const gf2::Elem&,
+                          const gf2::Elem&, gf2::Elem& r) {
+    if (idx == 100) r[0] ^= 1u;
+  });
+  SignOpts opts;
+  opts.coherence_check = true;
+  try {
+    (void)ecdsa.sign(kp.d, "faulted", opts);
+    FAIL() << "expected FaultDetectedError";
+  } catch (const ec::FaultDetectedError& e) {
+    EXPECT_EQ(e.check(), ec::FaultDetectedError::Check::kSignCoherence);
+  }
+  // Without the check the corrupted signature escapes — and is invalid.
+  Ecdsa unguarded;
+  unguarded.set_mul_tamper([](std::uint64_t idx, const gf2::Elem&,
+                              const gf2::Elem&, gf2::Elem& r) {
+    if (idx == 100) r[0] ^= 1u;
+  });
+  const Signature bad = unguarded.sign(kp.d, "faulted");
+  EXPECT_FALSE(ecdsa.verify(kp.q, "faulted", bad));
 }
 
 TEST(Ecdsa, RejectsInvalidPublicKey) {

@@ -82,6 +82,55 @@ TEST_P(CodecTest, RejectsMalformedInput) {
                std::invalid_argument);
 }
 
+TEST_P(CodecTest, RejectsCorruptedSec1Matrix) {
+  // Table-driven corruption sweep, applied to both the compressed and
+  // the uncompressed encoding of the same point on every curve under
+  // test: each mutation must either fail to decode or decode to a point
+  // that is NOT the original (never a silent pass-through).
+  struct Corruption {
+    const char* name;
+    void (*apply)(std::vector<std::uint8_t>&);
+  };
+  static constexpr Corruption kCorruptions[] = {
+      {"prefix-zeroed", [](std::vector<std::uint8_t>& b) { b[0] = 0x00; }},
+      {"prefix-hybrid", [](std::vector<std::uint8_t>& b) { b[0] = 0x06; }},
+      {"prefix-flipped-bit",
+       [](std::vector<std::uint8_t>& b) { b[0] ^= 0x01; }},
+      {"first-payload-byte",
+       [](std::vector<std::uint8_t>& b) { b[1] ^= 0x80; }},
+      {"last-byte", [](std::vector<std::uint8_t>& b) { b.back() ^= 0x01; }},
+      {"truncated-1", [](std::vector<std::uint8_t>& b) { b.pop_back(); }},
+      {"truncated-half",
+       [](std::vector<std::uint8_t>& b) { b.resize(b.size() / 2); }},
+      {"extended-1", [](std::vector<std::uint8_t>& b) { b.push_back(0); }},
+      {"high-bits-beyond-field",
+       // Set bits above the field degree in the leading x octet; the
+       // decoder must refuse out-of-field elements.
+       [](std::vector<std::uint8_t>& b) { b[1] = 0xFF; }},
+  };
+  Rng rng(7);
+  const AffinePoint p = random_point(rng);
+  for (const bool compressed : {false, true}) {
+    const auto good = encode_point(*GetParam(), p, compressed);
+    ASSERT_EQ(decode_point(ops_, good), p);
+    for (const Corruption& c : kCorruptions) {
+      auto bad = good;
+      c.apply(bad);
+      if (bad == good) continue;  // mutation was a no-op for this encoding
+      SCOPED_TRACE(std::string(c.name) +
+                   (compressed ? " (compressed)" : " (uncompressed)"));
+      try {
+        const AffinePoint q = decode_point(ops_, bad);
+        // Decoded without throwing (e.g. a y-tilde flip selects the
+        // conjugate): it must not silently equal the original point.
+        EXPECT_FALSE(q == p) << "corruption silently accepted";
+      } catch (const std::invalid_argument&) {
+        // rejected: good
+      }
+    }
+  }
+}
+
 TEST_P(CodecTest, RejectsUnsolvableCompressedX) {
   // Roughly half of all x values have no curve point; find one by search.
   Rng rng(5);

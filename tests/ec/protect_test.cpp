@@ -1,0 +1,161 @@
+// Fault-detecting scalar multiplication: the protected path must agree
+// with the plain path on honest inputs and refuse corrupted ones.
+#include <gtest/gtest.h>
+
+#include "ec/protect.h"
+
+namespace eccm0::ec {
+namespace {
+
+using mpint::UInt;
+
+class ProtectTest : public ::testing::Test {
+ protected:
+  ProtectTest()
+      : curve_(BinaryCurve::sect233k1()),
+        ops_(curve_),
+        g_(AffinePoint::make(curve_.gx, curve_.gy)) {}
+
+  const BinaryCurve& curve_;
+  CurveOps ops_;
+  AffinePoint g_;
+};
+
+TEST_F(ProtectTest, AgreesWithPlainWtnafOnHonestInputs) {
+  const UInt k = UInt::from_hex("1B2C3D4E5F60718293A4B5C6D7E8F90012");
+  const AffinePoint plain = mul_wtnaf(ops_, g_, k, 4);
+  const AffinePoint guarded =
+      scalarmul_protected(ops_, g_, k, 4, ProtectOpts::all());
+  EXPECT_EQ(plain, guarded);
+}
+
+TEST_F(ProtectTest, RejectsOffCurveInputPoint) {
+  AffinePoint bad = g_;
+  bad.x[0] ^= 1;  // knock it off the curve
+  try {
+    (void)scalarmul_protected(ops_, bad, UInt{12345}, 4);
+    FAIL() << "expected FaultDetectedError";
+  } catch (const FaultDetectedError& e) {
+    EXPECT_EQ(e.check(), FaultDetectedError::Check::kInputValidation);
+  }
+}
+
+TEST_F(ProtectTest, RejectsInfinityInputAndBadScalars) {
+  EXPECT_THROW(
+      (void)scalarmul_protected(ops_, AffinePoint::infinity(), UInt{5}, 4),
+      FaultDetectedError);
+  try {
+    (void)scalarmul_protected(ops_, g_, UInt{0}, 4);
+    FAIL() << "expected scalar-range rejection";
+  } catch (const FaultDetectedError& e) {
+    EXPECT_EQ(e.check(), FaultDetectedError::Check::kScalarRange);
+  }
+  EXPECT_THROW((void)scalarmul_protected(ops_, g_, curve_.order, 4),
+               FaultDetectedError);
+}
+
+TEST_F(ProtectTest, ChecksCanBeDisabled) {
+  // With validation off, the degenerate scalar is simply computed.
+  const AffinePoint q =
+      scalarmul_protected(ops_, g_, UInt{0}, 4, ProtectOpts::none());
+  EXPECT_TRUE(q.inf);
+}
+
+TEST_F(ProtectTest, TamperedMultiplicationIsCaughtByRecheck) {
+  // Corrupt one field multiplication mid-kP through the tamper seam: the
+  // LD-coordinate recheck must refuse the result.
+  const UInt k = UInt::from_hex("0FEDCBA9876543210123456789ABCDEF");
+  CurveOps tampered(curve_);
+  tampered.set_mul_tamper([](std::uint64_t idx, const gf2::Elem&,
+                             const gf2::Elem&, gf2::Elem& r) {
+    if (idx == 57) r[0] ^= 0x40u;
+  });
+  try {
+    (void)scalarmul_protected(tampered, g_, k, 4, ProtectOpts::all());
+    FAIL() << "expected FaultDetectedError";
+  } catch (const FaultDetectedError& e) {
+    EXPECT_EQ(e.check(), FaultDetectedError::Check::kResultOnCurve);
+  }
+}
+
+TEST_F(ProtectTest, ZeroedProductCollapseIsCaught) {
+  // The nastiest single-fault class: a product forced to zero kills the
+  // accumulator's Z, the Horner loop reads the point as the identity and
+  // silently restarts, and the run ends on a VALID but wrong subgroup
+  // point — invisible to both the curve-equation recheck and the order
+  // check. The mid-loop collapse invariant must refuse it. Index 101 is
+  // a Z-feeding multiplication inside a mixed addition for this (P, k)
+  // counted in the ProtectOpts::all() frame, where input validation
+  // spends 2 multiplications before the kP loop starts.
+  const UInt k = UInt::from_hex("0FEDCBA9876543210123456789ABCDEF");
+  CurveOps tampered(curve_);
+  tampered.set_mul_tamper([](std::uint64_t idx, const gf2::Elem&,
+                             const gf2::Elem&, gf2::Elem& r) {
+    if (idx == 101) r = gf2::Elem{};
+  });
+  try {
+    (void)scalarmul_protected(tampered, g_, k, 4, ProtectOpts::all());
+    FAIL() << "expected FaultDetectedError";
+  } catch (const FaultDetectedError& e) {
+    EXPECT_EQ(e.check(), FaultDetectedError::Check::kAccumulatorCollapse);
+  }
+  // Unprotected, the same fault flows straight through to a wrong
+  // result that still satisfies every end-of-run validity property.
+  // ProtectOpts::none() skips the input on-curve check and its 2 field
+  // multiplications, so the same physical multiplication sits at index
+  // 99 in this frame.
+  CurveOps unprotected(curve_);
+  unprotected.set_mul_tamper([](std::uint64_t idx, const gf2::Elem&,
+                                const gf2::Elem&, gf2::Elem& r) {
+    if (idx == 99) r = gf2::Elem{};
+  });
+  const AffinePoint q =
+      scalarmul_protected(unprotected, g_, k, 4, ProtectOpts::none());
+  CurveOps clean(curve_);
+  EXPECT_FALSE(q == mul_wtnaf(clean, g_, k, 4));
+  EXPECT_TRUE(clean.on_curve(q));
+  // Sound (doubling-based) order check: the wrong point is still a
+  // genuine subgroup element, which is what makes this class nasty.
+  EXPECT_EQ(mul_wnaf(clean, q, curve_.order, 4), AffinePoint::infinity());
+}
+
+TEST_F(ProtectTest, OnCurveLdMatchesAffineCheck) {
+  const UInt k = UInt{97};
+  const AffinePoint q = mul_wtnaf(ops_, g_, k, 4);
+  LDPoint ld = ops_.to_ld(q);
+  EXPECT_TRUE(ops_.on_curve_ld(ld));
+  // Re-scale to a non-trivial Z: X' = X*Z, Y' = Y*Z^2 keeps the point.
+  const gf2::Elem z = ops_.fadd(q.x, q.y);
+  LDPoint scaled{ops_.fmul(ld.X, z), ops_.fmul(ld.Y, ops_.fsqr(z)), z};
+  EXPECT_TRUE(ops_.on_curve_ld(scaled));
+  scaled.Y[0] ^= 2;
+  EXPECT_FALSE(ops_.on_curve_ld(scaled));
+  EXPECT_TRUE(ops_.on_curve_ld(LDPoint::infinity()));
+}
+
+TEST_F(ProtectTest, OrderCheckPassesForSubgroupPoints) {
+  const UInt k = UInt{1234567};
+  const AffinePoint q = scalarmul_protected(ops_, g_, k, 4,
+                                            ProtectOpts::all());
+  EXPECT_TRUE(ops_.on_curve(q));
+}
+
+TEST_F(ProtectTest, CheckNamesAreStable) {
+  EXPECT_STREQ(check_name(FaultDetectedError::Check::kInputValidation),
+               "input-validation");
+  EXPECT_STREQ(check_name(FaultDetectedError::Check::kSignCoherence),
+               "sign-coherence");
+  EXPECT_STREQ(check_name(FaultDetectedError::Check::kAccumulatorCollapse),
+               "accumulator-collapse");
+}
+
+TEST_F(ProtectTest, MulWtnafLdSeamMatchesAffineResult) {
+  const UInt k = UInt::from_hex("ABCDEF0123456789");
+  const WtnafTable t = make_wtnaf_table(ops_, g_, 4);
+  const LDPoint ld = mul_wtnaf_ld(ops_, t, k);
+  EXPECT_TRUE(ops_.on_curve_ld(ld));
+  EXPECT_EQ(ops_.to_affine(ld), mul_wtnaf(ops_, t, k));
+}
+
+}  // namespace
+}  // namespace eccm0::ec

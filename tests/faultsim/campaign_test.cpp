@@ -1,0 +1,166 @@
+// The fault-injection engine: deterministic seeded injection on the
+// armvm core, and the kP campaign's classification invariants.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "armvm/asm.h"
+#include "asmkernels/gen.h"
+#include "faultsim/campaign.h"
+#include "faultsim/inject.h"
+#include "gf2/k233.h"
+
+namespace eccm0::faultsim {
+namespace {
+
+constexpr std::size_t kRamSize = 0x800;
+
+armvm::Program mul_program() {
+  return armvm::assemble(asmkernels::gen_mul_fixed(true));
+}
+
+void write_operands(armvm::Memory& mem) {
+  gf2::k233::Fe x{}, y{};
+  Rng rng(0xFEED);
+  for (auto& w : x) w = rng.next_word();
+  for (auto& w : y) w = rng.next_word();
+  x[7] &= 0x1FF;
+  y[7] &= 0x1FF;
+  mem.write_words(armvm::kRamBase + asmkernels::kXOff,
+                  std::span<const std::uint32_t>(x.data(), x.size()));
+  mem.write_words(armvm::kRamBase + asmkernels::kYOff,
+                  std::span<const std::uint32_t>(y.data(), y.size()));
+}
+
+TEST(Inject, NoFaultWhenIndexBeyondRetirement) {
+  const armvm::Program prog = mul_program();
+  armvm::Memory mem(kRamSize);
+  write_operands(mem);
+  FaultSpec never;
+  never.index = ~std::uint64_t{0};
+  const InjectedRun run = run_with_fault(prog, mem, never);
+  EXPECT_EQ(run.outcome, RunOutcome::kCompleted);
+  EXPECT_FALSE(run.injected);
+  EXPECT_GT(run.instructions, 100u);
+}
+
+TEST(Inject, SameSpecSameOutcomeBitForBit) {
+  const armvm::Program prog = mul_program();
+  auto run_once = [&](const FaultSpec& spec) {
+    armvm::Memory mem(kRamSize);
+    write_operands(mem);
+    const InjectedRun run = run_with_fault(prog, mem, spec);
+    // Fold the result words in so value corruption is part of the
+    // fingerprint, not just control flow.
+    std::string fp = std::to_string(static_cast<int>(run.outcome)) + ":" +
+                     std::to_string(run.instructions) + ":" +
+                     std::to_string(run.cycles) + ":" + run.fault_message;
+    if (run.outcome == RunOutcome::kCompleted) {
+      for (std::uint32_t w :
+           mem.read_words(armvm::kRamBase + asmkernels::kVOff, 8)) {
+        fp += "," + std::to_string(w);
+      }
+    }
+    return fp;
+  };
+  Rng rng(123);
+  for (const FaultModel m :
+       {FaultModel::kRegisterFlip, FaultModel::kRamFlip,
+        FaultModel::kInstructionSkip, FaultModel::kOpcodeFlip}) {
+    for (int i = 0; i < 10; ++i) {
+      const FaultSpec spec = sample_spec(rng, m, 1500, 0xA0);
+      EXPECT_EQ(run_once(spec), run_once(spec))
+          << fault_model_name(m) << " spec not deterministic";
+    }
+  }
+}
+
+TEST(Inject, SampleSpecIsSeedDeterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 50; ++i) {
+    const FaultSpec sa = sample_spec(a, FaultModel::kRamFlip, 1000, 160);
+    const FaultSpec sb = sample_spec(b, FaultModel::kRamFlip, 1000, 160);
+    EXPECT_EQ(sa.index, sb.index);
+    EXPECT_EQ(sa.ram_word, sb.ram_word);
+    EXPECT_EQ(sa.bit, sb.bit);
+    EXPECT_LT(sa.index, 1000u);
+    EXPECT_LT(sa.ram_word, 160u);
+    EXPECT_LT(sa.bit, 32u);
+  }
+}
+
+TEST(Inject, RegisterFlipOfPcCrashesWithTypedFault) {
+  const armvm::Program prog = mul_program();
+  armvm::Memory mem(kRamSize);
+  write_operands(mem);
+  FaultSpec spec;
+  spec.model = FaultModel::kRegisterFlip;
+  spec.index = 10;
+  spec.reg = 15;  // PC
+  spec.bit = 0;   // odd PC => alignment fault
+  const InjectedRun run = run_with_fault(prog, mem, spec);
+  ASSERT_EQ(run.outcome, RunOutcome::kCrashed);
+  EXPECT_TRUE(run.injected);
+  EXPECT_EQ(run.fault_kind, armvm::FaultKind::kAlignmentFault);
+  EXPECT_EQ(run.fault_message, "Cpu: odd PC");
+}
+
+TEST(Campaign, DeterministicAcrossRuns) {
+  CampaignConfig cfg;
+  cfg.seed = 0xD5EED;
+  cfg.runs_per_model = 12;
+  const CampaignResult a = run_kp_campaign(cfg);
+  const CampaignResult b = run_kp_campaign(cfg);
+  for (unsigned m = 0; m < kNumFaultModels; ++m) {
+    EXPECT_EQ(a.models[m].injected, b.models[m].injected);
+    for (unsigned p = 0; p < kNumProfiles; ++p) {
+      const OutcomeTally& ta = a.models[m].per_profile[p];
+      const OutcomeTally& tb = b.models[m].per_profile[p];
+      EXPECT_EQ(ta.correct, tb.correct);
+      EXPECT_EQ(ta.detected, tb.detected);
+      EXPECT_EQ(ta.crashed, tb.crashed);
+      EXPECT_EQ(ta.silent, tb.silent);
+    }
+  }
+}
+
+TEST(Campaign, ProtectionEliminatesSilentCorruption) {
+  CampaignConfig cfg;
+  cfg.runs_per_model = 20;
+  const CampaignResult res = run_kp_campaign(cfg);
+  bool saw_silent_unprotected = false;
+  for (unsigned m = 0; m < kNumFaultModels; ++m) {
+    const auto& profiles = res.models[m].per_profile;
+    // Every run lands in exactly one bucket, for every profile.
+    for (unsigned p = 0; p < kNumProfiles; ++p) {
+      EXPECT_EQ(profiles[p].total(), res.models[m].runs);
+    }
+    // Crash/correct classification is profile-independent.
+    for (unsigned p = 1; p < kNumProfiles; ++p) {
+      EXPECT_EQ(profiles[p].crashed, profiles[0].crashed);
+      EXPECT_EQ(profiles[p].correct, profiles[0].correct);
+    }
+    if (profiles[0].silent > 0) saw_silent_unprotected = true;
+    // Full protection: nothing silent.
+    EXPECT_EQ(profiles[kNumProfiles - 1].silent, 0u)
+        << fault_model_name(res.models[m].model);
+  }
+  EXPECT_TRUE(saw_silent_unprotected);
+}
+
+TEST(Campaign, ProfileCostsAreMonotone) {
+  CampaignConfig cfg;
+  cfg.runs_per_model = 1;
+  const CampaignResult res = run_kp_campaign(cfg);
+  for (unsigned p = 1; p < kNumProfiles; ++p) {
+    EXPECT_GE(res.costs[p].cycles, res.costs[p - 1].cycles);
+    EXPECT_GE(res.costs[p].energy_uj, res.costs[p - 1].energy_uj);
+  }
+  // The order check costs a second scalar multiplication, clearly more
+  // than the polynomial-evaluation rechecks.
+  EXPECT_GT(res.costs[3].cycles, res.costs[2].cycles);
+  EXPECT_GT(res.costs[0].cycles, 1'000'000u);  // a real kP, not a stub
+}
+
+}  // namespace
+}  // namespace eccm0::faultsim
