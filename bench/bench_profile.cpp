@@ -1,0 +1,328 @@
+// Symbol-attributed profile of the paper's core workload: the K-233
+// field-kernel mix of one wTNAF w=4 `kP` (the same schedule as
+// bench_vm_throughput), run traced with a Profiler + MemHeatmap attached
+// to each kernel machine.
+//
+// Outputs:
+//   - per-function flat/inclusive cycle, instruction and Table-3 energy
+//     attribution for every machine (mul_fixed, sqr, inv), self-checked
+//     to match the Cpu's own RunStats *exactly*;
+//   - a per-word RAM heatmap of the product vector v[0..15], fixed-
+//     register vs plain-memory multiplication — the observational proof
+//     of the paper's register-pinning claim (v[3..11] near-zero traffic);
+//   - BENCH_profile.json (report.h convention), profile_trace.json
+//     (Chrome trace-event / Perfetto, simulated 48 MHz clock) and
+//     profile_flame.txt (collapsed stacks for flamegraph.pl).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "armvm/asm.h"
+#include "armvm/cpu.h"
+#include "asmkernels/gen.h"
+#include "common/rng.h"
+#include "ec/costing.h"
+#include "ec/curve.h"
+#include "gf2/sqr_table.h"
+#include "profile/heatmap.h"
+#include "profile/profiler.h"
+#include "profile/trace_export.h"
+#include "report.h"
+
+using namespace eccm0;
+using armvm::Cpu;
+
+namespace {
+
+constexpr std::size_t kRamSize = 0x800;
+
+struct Machine {
+  std::string name;
+  armvm::Program prog;
+  armvm::Memory mem;
+  Cpu cpu;
+  profile::Profiler prof;
+  profile::MemHeatmap heat;
+  profile::TeeSink tee;
+
+  Machine(std::string n, armvm::Program p)
+      : name(std::move(n)),
+        prog(std::move(p)),
+        mem(kRamSize),
+        cpu(prog.code, mem, Cpu::DecodeMode::kPredecode),
+        prof(prog),
+        heat(kRamSize) {
+    tee.add(&prof);
+    tee.add(&heat);
+    cpu.set_trace_sink(&tee);
+  }
+};
+
+bool check_totals(Machine& m) {
+  const armvm::RunStats s = m.cpu.stats();
+  const double model_pj = s.energy().energy_pj;
+  const double prof_pj = m.prof.total_energy_pj();
+  if (m.prof.total_cycles() != s.cycles ||
+      m.prof.total_instructions() != s.instructions || prof_pj != model_pj) {
+    std::fprintf(stderr,
+                 "FAIL [%s]: profiler totals diverge from RunStats "
+                 "(cycles %llu vs %llu, instr %llu vs %llu, "
+                 "energy %.3f vs %.3f pJ)\n",
+                 m.name.c_str(),
+                 static_cast<unsigned long long>(m.prof.total_cycles()),
+                 static_cast<unsigned long long>(s.cycles),
+                 static_cast<unsigned long long>(m.prof.total_instructions()),
+                 static_cast<unsigned long long>(s.instructions), prof_pj,
+                 model_pj);
+    return false;
+  }
+  // The root frame's inclusive cost must also be the whole run.
+  for (const auto& f : m.prof.functions()) {
+    if (f.name == "entry" && f.inclusive_cycles != s.cycles) {
+      std::fprintf(stderr,
+                   "FAIL [%s]: root inclusive cycles %llu != RunStats %llu\n",
+                   m.name.c_str(),
+                   static_cast<unsigned long long>(f.inclusive_cycles),
+                   static_cast<unsigned long long>(s.cycles));
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_functions(Machine& m) {
+  const armvm::RunStats s = m.cpu.stats();
+  std::printf("[%s] %llu instructions, %llu cycles, %.3f uJ\n",
+              m.name.c_str(), static_cast<unsigned long long>(s.instructions),
+              static_cast<unsigned long long>(s.cycles),
+              s.energy().energy_uj());
+  bench::Table t({"function", "calls", "instrs", "self cyc", "incl cyc",
+                  "self uJ", "self %"});
+  for (const auto& f : m.prof.functions()) {
+    t.add_row({f.name, bench::fmt_u64(f.calls), bench::fmt_u64(f.instructions),
+               bench::fmt_u64(f.self_cycles),
+               bench::fmt_u64(f.inclusive_cycles),
+               bench::fmt_f(f.self_energy_pj() * 1e-6, 4),
+               bench::fmt_f(100.0 * static_cast<double>(f.self_cycles) /
+                                static_cast<double>(s.cycles),
+                            1)});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "kP field-kernel profile - symbol attribution + RAM heatmap");
+
+  // Field-op mix of one real wTNAF w=4 kP on sect233k1 (same derivation
+  // as bench_vm_throughput, same seed).
+  Rng mix_rng(0x7AB1E4);
+  const auto& k233 = ec::BinaryCurve::sect233k1();
+  const ec::AffinePoint g = ec::AffinePoint::make(k233.gx, k233.gy);
+  const mpint::UInt k = mpint::UInt::random_below(mix_rng, k233.order);
+  const ec::CostedRun costed =
+      ec::cost_point_mul(k233, g, k, 4, false, ec::FieldCostTable{});
+  const ec::FieldOpCounts ops = costed.main_ops + costed.precomp_ops;
+  std::printf("kP workload (wTNAF w=4, sect233k1): %llu mul, %llu sqr, "
+              "%llu inv\n\n",
+              static_cast<unsigned long long>(ops.mul),
+              static_cast<unsigned long long>(ops.sqr),
+              static_cast<unsigned long long>(ops.inv));
+
+  Machine mul("mul_fixed", armvm::assemble(asmkernels::gen_mul_fixed(true)));
+  Machine sqr("sqr", armvm::assemble(asmkernels::gen_sqr()));
+  Machine inv("inv", armvm::assemble(asmkernels::gen_inv()));
+  // Plain-memory multiplication comparator for the heatmap claim only —
+  // same operands, same call count as the fixed machine.
+  Machine plain("mul_plain",
+                armvm::assemble(asmkernels::gen_mul_plain(true)));
+
+  Rng rng(0x7151CA7);
+  std::uint32_t x[8], y[8], a[8];
+  for (int w = 0; w < 8; ++w) {
+    x[w] = static_cast<std::uint32_t>(rng.next_u64());
+    y[w] = static_cast<std::uint32_t>(rng.next_u64());
+    a[w] = static_cast<std::uint32_t>(rng.next_u64());
+  }
+  x[7] &= 0x1FF;
+  y[7] &= 0x1FF;
+  a[7] &= 0x1FF;
+  a[0] |= 1;
+
+  for (Machine* m : {&mul, &plain}) {
+    for (int w = 0; w < 8; ++w) {
+      m->mem.store32(armvm::kRamBase + asmkernels::kXOff + 4 * w, x[w]);
+      m->mem.store32(armvm::kRamBase + asmkernels::kYOff + 4 * w, y[w]);
+    }
+  }
+  for (int w = 0; w < 8; ++w) {
+    sqr.mem.store32(armvm::kRamBase + asmkernels::kInOff + 4 * w, a[w]);
+  }
+  for (unsigned i = 0; i < 256; ++i) {
+    sqr.mem.store16(armvm::kRamBase + asmkernels::kSqrTabOff + 2 * i,
+                    gf2::kSquareTable[i]);
+  }
+
+  for (std::uint64_t i = 0; i < ops.mul; ++i) {
+    mul.cpu.call(mul.prog.entry("entry"), {});
+    plain.cpu.call(plain.prog.entry("entry"), {});
+  }
+  for (std::uint64_t i = 0; i < ops.sqr; ++i) {
+    sqr.cpu.call(sqr.prog.entry("entry"), {});
+  }
+  for (std::uint64_t i = 0; i < ops.inv; ++i) {
+    for (int w = 0; w < 8; ++w) {
+      inv.mem.store32(armvm::kRamBase + asmkernels::kInOff + 4 * w, a[w]);
+    }
+    inv.cpu.call(inv.prog.entry("entry"), {});
+  }
+
+  // --- Self-check: attribution totals equal RunStats exactly. ---------
+  bool ok = true;
+  for (Machine* m : {&mul, &sqr, &inv, &plain}) ok = check_totals(*m) && ok;
+  if (!ok) return 1;
+
+  for (Machine* m : {&mul, &sqr, &inv}) print_functions(*m);
+
+  // --- Heatmap: the fixed-register claim, per product word. ----------
+  std::printf("product-word RAM traffic per multiplication "
+              "(%llu calls each):\n",
+              static_cast<unsigned long long>(ops.mul));
+  bench::Table ht({"v word", "fixed loads", "fixed stores", "plain loads",
+                   "plain stores", "pinned"});
+  std::uint64_t fixed_pinned = 0, plain_pinned = 0;
+  for (std::size_t w = 0; w < 16; ++w) {
+    const std::size_t idx = asmkernels::kVOff / 4 + w;
+    const bool pinned = w >= 3 && w <= 11;
+    if (pinned) {
+      fixed_pinned += mul.heat.traffic_at(idx);
+      plain_pinned += plain.heat.traffic_at(idx);
+    }
+    ht.add_row({"v[" + std::to_string(w) + "]",
+                bench::fmt_u64(mul.heat.loads_at(idx)),
+                bench::fmt_u64(mul.heat.stores_at(idx)),
+                bench::fmt_u64(plain.heat.loads_at(idx)),
+                bench::fmt_u64(plain.heat.stores_at(idx)),
+                pinned ? "yes" : ""});
+  }
+  ht.print();
+  std::printf("\npinned words v[3..11] traffic: fixed %llu vs plain %llu "
+              "(%.1fx)\n\n",
+              static_cast<unsigned long long>(fixed_pinned),
+              static_cast<unsigned long long>(plain_pinned),
+              static_cast<double>(plain_pinned) /
+                  static_cast<double>(fixed_pinned == 0 ? 1 : fixed_pinned));
+  if (plain_pinned <= 10 * fixed_pinned) {
+    std::fprintf(stderr,
+                 "FAIL: fixed-register claim not observed (plain %llu <= "
+                 "10x fixed %llu)\n",
+                 static_cast<unsigned long long>(plain_pinned),
+                 static_cast<unsigned long long>(fixed_pinned));
+    return 1;
+  }
+
+  const profile::MemHeatmap::Region kMulRegions[] = {
+      {"v (product)", asmkernels::kVOff, 16},
+      {"x (multiplier)", asmkernels::kXOff, 8},
+      {"y (multiplicand)", asmkernels::kYOff, 8},
+      {"LUT (16x8)", asmkernels::kLutOff, 16 * 8},
+  };
+  std::printf("mul_fixed RAM regions:\n");
+  bench::Table rt({"region", "loads", "stores", "peak word"});
+  for (const auto& rep : mul.heat.summarize(kMulRegions)) {
+    rt.add_row({rep.name, bench::fmt_u64(rep.loads),
+                bench::fmt_u64(rep.stores),
+                bench::fmt_u64(rep.peak_word_traffic)});
+  }
+  rt.print();
+
+  // --- Exports. ------------------------------------------------------
+  const profile::NamedProfile tracks[] = {
+      {"mul_fixed", &mul.prof}, {"sqr", &sqr.prof}, {"inv", &inv.prof}};
+  if (!profile::write_text_file("profile_trace.json",
+                                profile::chrome_trace_json(tracks)) ||
+      !profile::write_text_file("profile_flame.txt",
+                                profile::collapsed_stack_text(tracks))) {
+    std::fprintf(stderr, "warning: could not write trace exports\n");
+  } else {
+    std::printf("\nwrote profile_trace.json (Perfetto / chrome://tracing) "
+                "and profile_flame.txt (flamegraph.pl)\n");
+  }
+
+  std::string json_path =
+      bench::json_flag_path(argc, argv, "BENCH_profile.json");
+  if (json_path.empty()) json_path = "BENCH_profile.json";
+  bench::JsonWriter w;
+  w.begin_object();
+  w.field("bench", "profile");
+  w.begin_object("workload");
+  w.field("kind", "wTNAF w=4 kP field-kernel mix, sect233k1");
+  w.field("mul", ops.mul);
+  w.field("sqr", ops.sqr);
+  w.field("inv", ops.inv);
+  w.end_object();
+  w.begin_object("machines");
+  for (Machine* m : {&mul, &sqr, &inv}) {
+    const armvm::RunStats s = m->cpu.stats();
+    w.begin_object(m->name.c_str());
+    w.field("instructions", s.instructions);
+    w.field("cycles", s.cycles);
+    w.field("energy_uj", s.energy().energy_uj());
+    w.field("totals_match_runstats", true);
+    w.begin_array("functions");
+    for (const auto& f : m->prof.functions()) {
+      w.begin_object();
+      w.field("name", f.name);
+      w.field("calls", f.calls);
+      w.field("instructions", f.instructions);
+      w.field("self_cycles", f.self_cycles);
+      w.field("inclusive_cycles", f.inclusive_cycles);
+      w.field("self_energy_pj", f.self_energy_pj());
+      w.field("inclusive_energy_pj", f.inclusive_energy_pj());
+      w.end_object();
+    }
+    w.end_array();
+    w.begin_array("call_sites");
+    for (const auto& cs : m->prof.call_sites()) {
+      w.begin_object();
+      w.field("site_pc", static_cast<std::uint64_t>(cs.site_pc));
+      w.field("caller", cs.caller);
+      w.field("callee", cs.callee);
+      w.field("count", cs.count);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.begin_object("heatmap");
+  w.field("pinned_words", "v[3..11]");
+  w.field("fixed_pinned_traffic", fixed_pinned);
+  w.field("plain_pinned_traffic", plain_pinned);
+  w.field("claim_observed", true);
+  w.begin_array("v_words");
+  for (std::size_t word = 0; word < 16; ++word) {
+    const std::size_t idx = asmkernels::kVOff / 4 + word;
+    w.begin_object();
+    w.field("word", static_cast<std::uint64_t>(word));
+    w.field("fixed_loads", mul.heat.loads_at(idx));
+    w.field("fixed_stores", mul.heat.stores_at(idx));
+    w.field("plain_loads", plain.heat.loads_at(idx));
+    w.field("plain_stores", plain.heat.stores_at(idx));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  if (!w.write_file(json_path)) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  } else {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

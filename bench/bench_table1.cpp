@@ -36,7 +36,7 @@ std::string triple(const OpCounts& c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner(
       "Table 1 - operation counts (read/write/xor) for LD multiplication "
       "methods");
@@ -66,5 +66,16 @@ int main() {
       "Residual deltas on the linear terms come from LUT-generation\n"
       "bookkeeping the paper's closed forms elide; the quadratic terms\n"
       "(the memory-traffic mechanism) match exactly.\n");
+
+  const std::string json_path =
+      bench::json_flag_path(argc, argv, "BENCH_table1.json");
+  if (!json_path.empty()) {
+    bench::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "table1");
+    w.raw("rows", t.to_json());
+    w.end_object();
+    w.write_file(json_path);
+  }
   return 0;
 }

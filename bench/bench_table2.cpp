@@ -37,7 +37,7 @@ OpCounts measure(const Method& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner(
       "Table 2 - operations and cycle estimate for multiplication in "
       "F(2^233), n = 8, w = 4");
@@ -75,5 +75,20 @@ int main() {
                          static_cast<double>(cycles_b)),
       100.0 * (1.0 - static_cast<double>(cycles_c) /
                          static_cast<double>(cycles_a)));
+
+  const std::string json_path =
+      bench::json_flag_path(argc, argv, "BENCH_table2.json");
+  if (!json_path.empty()) {
+    bench::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "table2");
+    w.raw("rows", t.to_json());
+    w.field("c_vs_b_speedup",
+            static_cast<double>(cycles_b) / static_cast<double>(cycles_c));
+    w.field("c_vs_a_speedup",
+            static_cast<double>(cycles_a) / static_cast<double>(cycles_c));
+    w.end_object();
+    w.write_file(json_path);
+  }
   return 0;
 }

@@ -9,7 +9,7 @@
 
 using namespace eccm0;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner(
       "Table 3 - energy per cycle per instruction at 48 MHz (measured on "
       "the simulated rig, 25 uW gaussian noise)");
@@ -49,5 +49,17 @@ int main() {
       "cheapest —\nthe instruction-mix fact behind the binary-curve "
       "choice.\n",
       100.0 * (max_pj - min_pj) / min_pj);
+
+  const std::string json_path =
+      bench::json_flag_path(argc, argv, "BENCH_table3.json");
+  if (!json_path.empty()) {
+    bench::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "table3");
+    w.raw("rows", t.to_json());
+    w.field("variation_pct", 100.0 * (max_pj - min_pj) / min_pj);
+    w.end_object();
+    w.write_file(json_path);
+  }
   return 0;
 }

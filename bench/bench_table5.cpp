@@ -11,7 +11,7 @@
 using namespace eccm0;
 using gf2::k233::Fe;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner(
       "Table 5 - average cycles for modular squaring / multiplication");
 
@@ -81,5 +81,19 @@ int main() {
       "generation is unoptimised); the ~25%% cycle overhead is analysed\n"
       "in EXPERIMENTS.md. The 32-bit-word advantage over the 8/16-bit\n"
       "platforms (the table's point) reproduces cleanly.\n");
+
+  const std::string json_path =
+      bench::json_flag_path(argc, argv, "BENCH_table5.json");
+  if (!json_path.empty()) {
+    bench::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "table5");
+    w.raw("rows", t.to_json());
+    w.field("sqr_cycles", sqr_sum / kReps);
+    w.field("mul_cycles", mul_sum / kReps);
+    w.field("mul163_cycles", mul163);
+    w.end_object();
+    w.write_file(json_path);
+  }
   return 0;
 }

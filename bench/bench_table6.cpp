@@ -19,7 +19,7 @@
 using namespace eccm0;
 using gf2::k233::Fe;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Table 6 - field arithmetic cycle counts (C vs assembly)");
 
   asmkernels::KernelVm vm;
@@ -103,5 +103,23 @@ int main() {
       static_cast<unsigned long long>(it_ours),
       static_cast<unsigned long long>(inv_vm),
       static_cast<unsigned>(it_paper));
+
+  const std::string json_path =
+      bench::json_flag_path(argc, argv, "BENCH_table6.json");
+  if (!json_path.empty()) {
+    bench::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "table6");
+    w.raw("rows", t.to_json());
+    w.field("mul_plain_cycles", mul_plain);
+    w.field("mul_fixed_cycles", mul_fixed);
+    w.field("pinning_gain_pct",
+            100.0 * (1.0 - static_cast<double>(mul_fixed) /
+                               static_cast<double>(mul_plain)));
+    w.field("itoh_tsujii_cycles", it_ours);
+    w.field("eea_cycles", inv_vm);
+    w.end_object();
+    w.write_file(json_path);
+  }
   return 0;
 }

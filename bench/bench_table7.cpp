@@ -12,7 +12,7 @@ using namespace eccm0;
 using ec::PointMulCost;
 using mpint::UInt;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner(
       "Table 7 - accumulated cycles per operation class (kP w=4, kG w=6)");
 
@@ -75,5 +75,18 @@ int main() {
       "TNAF Precomputation (offline table) and a smaller Multiply row\n"
       "(w = 6 halves the addition density); Square and Inversion are\n"
       "nearly identical across kP/kG, as in the paper.\n");
+
+  const std::string json_path =
+      bench::json_flag_path(argc, argv, "BENCH_table7.json");
+  if (!json_path.empty()) {
+    bench::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "table7");
+    w.raw("rows", t.to_json());
+    w.field("total_kp", tot_kp);
+    w.field("total_kg", tot_kg);
+    w.end_object();
+    w.write_file(json_path);
+  }
   return 0;
 }

@@ -2,19 +2,33 @@
 // compressed-point serialization, ECDSA signatures and ECDH agreement on
 // sect233k1.
 //
-//   ecctool keygen <seed>
-//   ecctool sign   <priv-hex> <message...>
-//   ecctool verify <pub-hex> <r-hex> <s-hex> <message...>
-//   ecctool ecdh   <priv-hex> <peer-pub-hex>
+//   ecctool keygen  <seed>
+//   ecctool sign    <priv-hex> <message...>
+//   ecctool verify  <pub-hex> <r-hex> <s-hex> <message...>
+//   ecctool ecdh    <priv-hex> <peer-pub-hex>
 //   ecctool info
+//   ecctool profile [mul|mul-plain|sqr|inv] [--calls N]
+//
+// `profile` runs a K-233 field kernel on the cycle-accurate armvm with
+// the symbol-attributed profiler and RAM heatmap attached, prints the
+// per-function cycle/energy breakdown and the hottest RAM words, and
+// writes ecctool_trace.json (Perfetto) + ecctool_flame.txt.
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "armvm/asm.h"
+#include "armvm/cpu.h"
+#include "asmkernels/gen.h"
+#include "common/rng.h"
 #include "crypto/ecdsa.h"
 #include "ec/codec.h"
+#include "gf2/sqr_table.h"
+#include "profile/heatmap.h"
+#include "profile/profiler.h"
+#include "profile/trace_export.h"
 
 using namespace eccm0;
 
@@ -60,8 +74,98 @@ int usage() {
                "       ecctool sign <priv-hex> <message...>\n"
                "       ecctool verify <pub-hex> <r-hex> <s-hex> <message...>\n"
                "       ecctool ecdh <priv-hex> <peer-pub-hex>\n"
-               "       ecctool info\n");
+               "       ecctool info\n"
+               "       ecctool profile [mul|mul-plain|sqr|inv] [--calls N]\n");
   return 2;
+}
+
+int run_profile(int argc, char** argv) {
+  constexpr std::size_t kRamSize = 0x800;
+  std::string kernel = "mul";
+  unsigned calls = 1;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--calls") == 0 && i + 1 < argc) {
+      calls = static_cast<unsigned>(std::atoi(argv[++i]));
+      if (calls == 0) calls = 1;
+    } else {
+      kernel = argv[i];
+    }
+  }
+
+  armvm::Program prog;
+  if (kernel == "mul") {
+    prog = armvm::assemble(asmkernels::gen_mul_fixed(true));
+  } else if (kernel == "mul-plain") {
+    prog = armvm::assemble(asmkernels::gen_mul_plain(true));
+  } else if (kernel == "sqr") {
+    prog = armvm::assemble(asmkernels::gen_sqr());
+  } else if (kernel == "inv") {
+    prog = armvm::assemble(asmkernels::gen_inv());
+  } else {
+    return usage();
+  }
+
+  armvm::Memory mem(kRamSize);
+  armvm::Cpu cpu(prog.code, mem, armvm::Cpu::DecodeMode::kPredecode);
+  profile::Profiler prof(prog);
+  profile::MemHeatmap heat(kRamSize);
+  profile::TeeSink tee({&prof, &heat});
+  cpu.set_trace_sink(&tee);
+
+  Rng rng(0xECC7001);
+  std::uint32_t op[3][8];
+  for (auto& v : op) {
+    for (auto& w : v) w = static_cast<std::uint32_t>(rng.next_u64());
+    v[7] &= 0x1FF;  // in-field (233 bits)
+  }
+  op[2][0] |= 1;  // inversion input must be nonzero
+  for (int w = 0; w < 8; ++w) {
+    mem.store32(armvm::kRamBase + asmkernels::kXOff + 4 * w, op[0][w]);
+    mem.store32(armvm::kRamBase + asmkernels::kYOff + 4 * w, op[1][w]);
+  }
+  for (unsigned i = 0; i < 256; ++i) {
+    mem.store16(armvm::kRamBase + asmkernels::kSqrTabOff + 2 * i,
+                gf2::kSquareTable[i]);
+  }
+  for (unsigned c = 0; c < calls; ++c) {
+    for (int w = 0; w < 8; ++w) {
+      mem.store32(armvm::kRamBase + asmkernels::kInOff + 4 * w, op[2][w]);
+    }
+    cpu.call(prog.entry("entry"), {});
+  }
+
+  const armvm::RunStats s = cpu.stats();
+  std::printf("kernel %s: %u call(s), %llu instructions, %llu cycles, "
+              "%.3f uJ, %.3f ms @48 MHz\n\n",
+              kernel.c_str(), calls,
+              static_cast<unsigned long long>(s.instructions),
+              static_cast<unsigned long long>(s.cycles),
+              s.energy().energy_uj(), s.energy().time_ms());
+  std::printf("%-10s %8s %10s %12s %12s %10s\n", "function", "calls",
+              "instrs", "self cyc", "incl cyc", "self pJ");
+  for (const auto& f : prof.functions()) {
+    std::printf("%-10s %8llu %10llu %12llu %12llu %10.0f\n", f.name.c_str(),
+                static_cast<unsigned long long>(f.calls),
+                static_cast<unsigned long long>(f.instructions),
+                static_cast<unsigned long long>(f.self_cycles),
+                static_cast<unsigned long long>(f.inclusive_cycles),
+                f.self_energy_pj());
+  }
+  std::printf("\nhottest RAM words (loads+stores):\n");
+  for (const auto& [word, traffic] : heat.hottest(8)) {
+    std::printf("  +0x%03zx: %llu\n", word * 4,
+                static_cast<unsigned long long>(traffic));
+  }
+
+  const profile::NamedProfile tracks[] = {{kernel, &prof}};
+  if (profile::write_text_file("ecctool_trace.json",
+                               profile::chrome_trace_json(tracks)) &&
+      profile::write_text_file("ecctool_flame.txt",
+                               profile::collapsed_stack_text(tracks))) {
+    std::printf("\nwrote ecctool_trace.json (Perfetto) and "
+                "ecctool_flame.txt (flamegraph.pl)\n");
+  }
+  return 0;
 }
 
 }  // namespace
@@ -75,6 +179,7 @@ int main(int argc, char** argv) {
   ec::CurveOps ops(curve);
 
   try {
+    if (cmd == "profile") return run_profile(argc, argv);
     if (cmd == "info") {
       std::printf("curve     : %s (Koblitz, F(2^%u), a=0, b=1, h=%u)\n",
                   curve.name.c_str(), curve.f().m(), curve.cofactor);

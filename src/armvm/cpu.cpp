@@ -118,7 +118,9 @@ std::uint32_t Cpu::add_with_carry(std::uint32_t a, std::uint32_t b, bool cin,
   return result;
 }
 
+template <bool kTraced>
 std::uint32_t Cpu::read_mem(std::uint32_t addr, unsigned bytes) {
+  if constexpr (kTraced) note_access(addr, bytes, false);
   if (addr < kRamBase) {
     // Read-only code / literal-pool space.
     std::uint32_t v = 0;
@@ -141,7 +143,9 @@ std::uint32_t Cpu::read_mem(std::uint32_t addr, unsigned bytes) {
   }
 }
 
+template <bool kTraced>
 void Cpu::write_mem(std::uint32_t addr, std::uint32_t v, unsigned bytes) {
+  if constexpr (kTraced) note_access(addr, bytes, true);
   switch (bytes) {
     case 1: ram_.store8(addr, static_cast<std::uint8_t>(v)); break;
     case 2: ram_.store16(addr, static_cast<std::uint16_t>(v)); break;
@@ -169,6 +173,17 @@ void Cpu::set_arch_state(const ArchState& s) {
   v_ = s.v;
 }
 
+void Cpu::exec_traced(std::uint32_t pc, const Instr& ins, unsigned halfwords) {
+  ev_.cycle = stats_.cycles;
+  ev_.pc = pc;
+  ev_.ins = ins;
+  ev_.num_costs = 0;
+  ev_.num_accesses = 0;
+  exec<true>(ins, halfwords);
+  ev_.next_pc = r_[kPC];
+  trace_->on_retire(ev_);
+}
+
 bool Cpu::step() {
   try {
     return step_impl();
@@ -192,17 +207,34 @@ bool Cpu::step_impl() {
     const PredecodedSlot& s = cache_[idx];
     if (!s.valid) [[unlikely]] trap_undecodable(idx);
     r_[kPC] = pc + 2u * s.halfwords;  // default fallthrough
-    exec(s.ins, s.halfwords);
+    if (trace_ == nullptr) [[likely]] {
+      exec<false>(s.ins, s.halfwords);
+    } else {
+      exec_traced(pc, s.ins, s.halfwords);
+    }
   } else {
     const Decoded d = decode(code_, idx);
     r_[kPC] = pc + 2 * d.halfwords;  // default fallthrough
-    exec(d.ins, d.halfwords);
+    if (trace_ == nullptr) [[likely]] {
+      exec<false>(d.ins, d.halfwords);
+    } else {
+      exec_traced(pc, d.ins, d.halfwords);
+    }
   }
   ++stats_.instructions;
   return !halted_;
 }
 
-ECCM0_FLATTEN std::uint64_t Cpu::run_predecoded(std::uint64_t limit) {
+std::uint64_t Cpu::run_predecoded(std::uint64_t limit) {
+  // Select the loop instantiation ONCE per chunk: the untraced variant
+  // contains no tracing code at all, so an idle sink pointer costs the
+  // hot path nothing.
+  return trace_ == nullptr ? run_predecoded_impl<false>(limit)
+                           : run_predecoded_impl<true>(limit);
+}
+
+template <bool kTraced>
+ECCM0_FLATTEN std::uint64_t Cpu::run_predecoded_impl(std::uint64_t limit) {
   // Tight inner loop of the pre-decoded engine: no decode, no budget
   // check, and the retired-instruction counter is carried in a register
   // and flushed once per chunk (also on the exception path, so stats_
@@ -226,7 +258,11 @@ ECCM0_FLATTEN std::uint64_t Cpu::run_predecoded(std::uint64_t limit) {
       const PredecodedSlot& s = cache[idx];
       if (!s.valid) [[unlikely]] trap_undecodable(idx);
       r_[kPC] = pc + 2u * s.halfwords;  // default fallthrough
-      exec(s.ins, s.halfwords);
+      if constexpr (kTraced) {
+        exec_traced(pc, s.ins, s.halfwords);
+      } else {
+        exec<false>(s.ins, s.halfwords);
+      }
       ++done;
     }
   } catch (Fault& f) {
@@ -287,6 +323,7 @@ RunStats Cpu::call(std::uint32_t entry,
   return delta;
 }
 
+template <bool kTraced>
 void Cpu::exec(const Instr& i, unsigned halfwords) {
   const std::uint32_t pc4 =
       r_[kPC] - 2 * halfwords + 4;  // instruction address + 4
@@ -326,7 +363,7 @@ void Cpu::exec(const Instr& i, unsigned halfwords) {
       }
       r_[i.rd] = res;
       set_nz(res);
-      account(i.op == Op::kLslImm && i.imm == 0
+      account<kTraced>(i.op == Op::kLslImm && i.imm == 0
                   ? InstrClass::kMov
                   : (i.op == Op::kLslImm ? InstrClass::kLsl
                                          : InstrClass::kLsr),
@@ -373,225 +410,225 @@ void Cpu::exec(const Instr& i, unsigned halfwords) {
       }
       r_[i.rd] = v;
       set_nz(v);
-      account(i.op == Op::kLslReg ? InstrClass::kLsl : InstrClass::kLsr, 1);
+      account<kTraced>(i.op == Op::kLslReg ? InstrClass::kLsl : InstrClass::kLsr, 1);
       break;
     }
     case Op::kAddReg:
       r_[i.rd] = add_with_carry(r_[i.rn], r_[i.rm], false, true);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kSubReg:
       r_[i.rd] = add_with_carry(r_[i.rn], ~r_[i.rm], true, true);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kAddImm3:
       r_[i.rd] = add_with_carry(r_[i.rn], static_cast<std::uint32_t>(i.imm),
                                 false, true);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kSubImm3:
       r_[i.rd] = add_with_carry(r_[i.rn], ~static_cast<std::uint32_t>(i.imm),
                                 true, true);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kMovImm:
       r_[i.rd] = static_cast<std::uint32_t>(i.imm);
       set_nz(r_[i.rd]);
-      account(InstrClass::kMov, 1);
+      account<kTraced>(InstrClass::kMov, 1);
       break;
     case Op::kCmpImm:
       (void)add_with_carry(r_[i.rd], ~static_cast<std::uint32_t>(i.imm), true,
                            true);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kAddImm8:
       r_[i.rd] = add_with_carry(r_[i.rd], static_cast<std::uint32_t>(i.imm),
                                 false, true);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kSubImm8:
       r_[i.rd] = add_with_carry(r_[i.rd], ~static_cast<std::uint32_t>(i.imm),
                                 true, true);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kAnd:
       r_[i.rd] &= r_[i.rm];
       set_nz(r_[i.rd]);
-      account(InstrClass::kEor, 1);
+      account<kTraced>(InstrClass::kEor, 1);
       break;
     case Op::kEor:
       r_[i.rd] ^= r_[i.rm];
       set_nz(r_[i.rd]);
-      account(InstrClass::kEor, 1);
+      account<kTraced>(InstrClass::kEor, 1);
       break;
     case Op::kAdc:
       r_[i.rd] = add_with_carry(r_[i.rd], r_[i.rm], c_, true);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kSbc:
       r_[i.rd] = add_with_carry(r_[i.rd], ~r_[i.rm], c_, true);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kTst:
       set_nz(r_[i.rd] & r_[i.rm]);
-      account(InstrClass::kEor, 1);
+      account<kTraced>(InstrClass::kEor, 1);
       break;
     case Op::kRsb:
       r_[i.rd] = add_with_carry(~r_[i.rm], 0, true, true);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kCmpReg:
       (void)add_with_carry(r_[i.rd], ~r_[i.rm], true, true);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kCmn:
       (void)add_with_carry(r_[i.rd], r_[i.rm], false, true);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kOrr:
       r_[i.rd] |= r_[i.rm];
       set_nz(r_[i.rd]);
-      account(InstrClass::kEor, 1);
+      account<kTraced>(InstrClass::kEor, 1);
       break;
     case Op::kMul:
       r_[i.rd] *= r_[i.rm];
       set_nz(r_[i.rd]);
-      account(InstrClass::kMul, 1);  // single-cycle multiplier option
+      account<kTraced>(InstrClass::kMul, 1);  // single-cycle multiplier option
       break;
     case Op::kBic:
       r_[i.rd] &= ~r_[i.rm];
       set_nz(r_[i.rd]);
-      account(InstrClass::kEor, 1);
+      account<kTraced>(InstrClass::kEor, 1);
       break;
     case Op::kMvn:
       r_[i.rd] = ~r_[i.rm];
       set_nz(r_[i.rd]);
-      account(InstrClass::kEor, 1);
+      account<kTraced>(InstrClass::kEor, 1);
       break;
     case Op::kAddHi: {
       const std::uint32_t rm = i.rm == kPC ? pc4 : r_[i.rm];
       if (i.rd == kPC) {
         branch_to(r_[kPC] - 2 * halfwords + 4 + rm);  // rare; treated as branch
-        account(InstrClass::kBranch, 2);
+        account<kTraced>(InstrClass::kBranch, 2);
         break;
       }
       r_[i.rd] += rm;
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     }
     case Op::kCmpHi:
       (void)add_with_carry(r_[i.rd], ~r_[i.rm], true, true);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kMovHi: {
       const std::uint32_t v = i.rm == kPC ? pc4 : r_[i.rm];
       if (i.rd == kPC) {
         branch_to(v);
-        account(InstrClass::kBranch, 2);
+        account<kTraced>(InstrClass::kBranch, 2);
         break;
       }
       r_[i.rd] = v;
-      account(InstrClass::kMov, 1);
+      account<kTraced>(InstrClass::kMov, 1);
       break;
     }
     case Op::kBx:
       branch_to(r_[i.rm]);
-      account(InstrClass::kBranch, 2);
+      account<kTraced>(InstrClass::kBranch, 2);
       break;
     case Op::kBlx: {
       const std::uint32_t target = r_[i.rm];
       r_[kLR] = (r_[kPC]) | 1u;  // next instruction
       branch_to(target);
-      account(InstrClass::kBranch, 2);
+      account<kTraced>(InstrClass::kBranch, 2);
       break;
     }
     case Op::kLdrLit: {
       const std::uint32_t base = pc4 & ~3u;
-      r_[i.rd] = read_mem(base + static_cast<std::uint32_t>(i.imm), 4);
-      account(InstrClass::kLdr, 2);
+      r_[i.rd] = read_mem<kTraced>(base + static_cast<std::uint32_t>(i.imm), 4);
+      account<kTraced>(InstrClass::kLdr, 2);
       break;
     }
     case Op::kLdrImm:
-      r_[i.rd] = read_mem(r_[i.rn] + static_cast<std::uint32_t>(i.imm), 4);
-      account(InstrClass::kLdr, 2);
+      r_[i.rd] = read_mem<kTraced>(r_[i.rn] + static_cast<std::uint32_t>(i.imm), 4);
+      account<kTraced>(InstrClass::kLdr, 2);
       break;
     case Op::kStrImm:
-      write_mem(r_[i.rn] + static_cast<std::uint32_t>(i.imm), r_[i.rd], 4);
-      account(InstrClass::kStr, 2);
+      write_mem<kTraced>(r_[i.rn] + static_cast<std::uint32_t>(i.imm), r_[i.rd], 4);
+      account<kTraced>(InstrClass::kStr, 2);
       break;
     case Op::kLdrbImm:
-      r_[i.rd] = read_mem(r_[i.rn] + static_cast<std::uint32_t>(i.imm), 1);
-      account(InstrClass::kLdr, 2);
+      r_[i.rd] = read_mem<kTraced>(r_[i.rn] + static_cast<std::uint32_t>(i.imm), 1);
+      account<kTraced>(InstrClass::kLdr, 2);
       break;
     case Op::kStrbImm:
-      write_mem(r_[i.rn] + static_cast<std::uint32_t>(i.imm), r_[i.rd], 1);
-      account(InstrClass::kStr, 2);
+      write_mem<kTraced>(r_[i.rn] + static_cast<std::uint32_t>(i.imm), r_[i.rd], 1);
+      account<kTraced>(InstrClass::kStr, 2);
       break;
     case Op::kLdrhImm:
-      r_[i.rd] = read_mem(r_[i.rn] + static_cast<std::uint32_t>(i.imm), 2);
-      account(InstrClass::kLdr, 2);
+      r_[i.rd] = read_mem<kTraced>(r_[i.rn] + static_cast<std::uint32_t>(i.imm), 2);
+      account<kTraced>(InstrClass::kLdr, 2);
       break;
     case Op::kStrhImm:
-      write_mem(r_[i.rn] + static_cast<std::uint32_t>(i.imm), r_[i.rd], 2);
-      account(InstrClass::kStr, 2);
+      write_mem<kTraced>(r_[i.rn] + static_cast<std::uint32_t>(i.imm), r_[i.rd], 2);
+      account<kTraced>(InstrClass::kStr, 2);
       break;
     case Op::kLdrReg:
-      r_[i.rd] = read_mem(r_[i.rn] + r_[i.rm], 4);
-      account(InstrClass::kLdr, 2);
+      r_[i.rd] = read_mem<kTraced>(r_[i.rn] + r_[i.rm], 4);
+      account<kTraced>(InstrClass::kLdr, 2);
       break;
     case Op::kStrReg:
-      write_mem(r_[i.rn] + r_[i.rm], r_[i.rd], 4);
-      account(InstrClass::kStr, 2);
+      write_mem<kTraced>(r_[i.rn] + r_[i.rm], r_[i.rd], 4);
+      account<kTraced>(InstrClass::kStr, 2);
       break;
     case Op::kLdrbReg:
-      r_[i.rd] = read_mem(r_[i.rn] + r_[i.rm], 1);
-      account(InstrClass::kLdr, 2);
+      r_[i.rd] = read_mem<kTraced>(r_[i.rn] + r_[i.rm], 1);
+      account<kTraced>(InstrClass::kLdr, 2);
       break;
     case Op::kStrbReg:
-      write_mem(r_[i.rn] + r_[i.rm], r_[i.rd], 1);
-      account(InstrClass::kStr, 2);
+      write_mem<kTraced>(r_[i.rn] + r_[i.rm], r_[i.rd], 1);
+      account<kTraced>(InstrClass::kStr, 2);
       break;
     case Op::kLdrhReg:
-      r_[i.rd] = read_mem(r_[i.rn] + r_[i.rm], 2);
-      account(InstrClass::kLdr, 2);
+      r_[i.rd] = read_mem<kTraced>(r_[i.rn] + r_[i.rm], 2);
+      account<kTraced>(InstrClass::kLdr, 2);
       break;
     case Op::kLdrsbReg:
       r_[i.rd] = static_cast<std::uint32_t>(static_cast<std::int32_t>(
-          static_cast<std::int8_t>(read_mem(r_[i.rn] + r_[i.rm], 1))));
-      account(InstrClass::kLdr, 2);
+          static_cast<std::int8_t>(read_mem<kTraced>(r_[i.rn] + r_[i.rm], 1))));
+      account<kTraced>(InstrClass::kLdr, 2);
       break;
     case Op::kLdrshReg:
       r_[i.rd] = static_cast<std::uint32_t>(static_cast<std::int32_t>(
-          static_cast<std::int16_t>(read_mem(r_[i.rn] + r_[i.rm], 2))));
-      account(InstrClass::kLdr, 2);
+          static_cast<std::int16_t>(read_mem<kTraced>(r_[i.rn] + r_[i.rm], 2))));
+      account<kTraced>(InstrClass::kLdr, 2);
       break;
     case Op::kStrhReg:
-      write_mem(r_[i.rn] + r_[i.rm], r_[i.rd], 2);
-      account(InstrClass::kStr, 2);
+      write_mem<kTraced>(r_[i.rn] + r_[i.rm], r_[i.rd], 2);
+      account<kTraced>(InstrClass::kStr, 2);
       break;
     case Op::kLdrSp:
-      r_[i.rd] = read_mem(r_[kSP] + static_cast<std::uint32_t>(i.imm), 4);
-      account(InstrClass::kLdr, 2);
+      r_[i.rd] = read_mem<kTraced>(r_[kSP] + static_cast<std::uint32_t>(i.imm), 4);
+      account<kTraced>(InstrClass::kLdr, 2);
       break;
     case Op::kStrSp:
-      write_mem(r_[kSP] + static_cast<std::uint32_t>(i.imm), r_[i.rd], 4);
-      account(InstrClass::kStr, 2);
+      write_mem<kTraced>(r_[kSP] + static_cast<std::uint32_t>(i.imm), r_[i.rd], 4);
+      account<kTraced>(InstrClass::kStr, 2);
       break;
     case Op::kAddSpImm7:
       r_[kSP] += static_cast<std::uint32_t>(i.imm);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kSubSpImm7:
       r_[kSP] -= static_cast<std::uint32_t>(i.imm);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kAddRdSp:
       r_[i.rd] = r_[kSP] + static_cast<std::uint32_t>(i.imm);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kAdr:
       r_[i.rd] = (pc4 & ~3u) + static_cast<std::uint32_t>(i.imm);
-      account(InstrClass::kAdd, 1);
+      account<kTraced>(InstrClass::kAdd, 1);
       break;
     case Op::kPush: {
       unsigned n = 0;
@@ -600,13 +637,13 @@ void Cpu::exec(const Instr& i, unsigned halfwords) {
       r_[kSP] = sp;
       for (unsigned b = 0; b < 8; ++b) {
         if (i.reg_list & (1u << b)) {
-          write_mem(sp, r_[b], 4);
+          write_mem<kTraced>(sp, r_[b], 4);
           sp += 4;
         }
       }
-      if (i.reg_list & 0x100) write_mem(sp, r_[kLR], 4);
-      account(InstrClass::kStr, n);
-      account(InstrClass::kOther, 1);
+      if (i.reg_list & 0x100) write_mem<kTraced>(sp, r_[kLR], 4);
+      account<kTraced>(InstrClass::kStr, n);
+      account<kTraced>(InstrClass::kOther, 1);
       break;
     }
     case Op::kPop: {
@@ -615,19 +652,19 @@ void Cpu::exec(const Instr& i, unsigned halfwords) {
       std::uint32_t sp = r_[kSP];
       for (unsigned b = 0; b < 8; ++b) {
         if (i.reg_list & (1u << b)) {
-          r_[b] = read_mem(sp, 4);
+          r_[b] = read_mem<kTraced>(sp, 4);
           sp += 4;
         }
       }
       bool to_pc = false;
       if (i.reg_list & 0x100) {
-        branch_to(read_mem(sp, 4));
+        branch_to(read_mem<kTraced>(sp, 4));
         sp += 4;
         to_pc = true;
       }
       r_[kSP] = sp;
-      account(InstrClass::kLdr, n);
-      account(InstrClass::kOther, to_pc ? 3 : 1);
+      account<kTraced>(InstrClass::kLdr, n);
+      account<kTraced>(InstrClass::kOther, to_pc ? 3 : 1);
       break;
     }
     case Op::kStm: {
@@ -635,14 +672,14 @@ void Cpu::exec(const Instr& i, unsigned halfwords) {
       unsigned n = 0;
       for (unsigned b = 0; b < 8; ++b) {
         if (i.reg_list & (1u << b)) {
-          write_mem(addr, r_[b], 4);
+          write_mem<kTraced>(addr, r_[b], 4);
           addr += 4;
           ++n;
         }
       }
       r_[i.rn] = addr;
-      account(InstrClass::kStr, n);
-      account(InstrClass::kOther, 1);
+      account<kTraced>(InstrClass::kStr, n);
+      account<kTraced>(InstrClass::kOther, 1);
       break;
     }
     case Op::kLdm: {
@@ -651,14 +688,14 @@ void Cpu::exec(const Instr& i, unsigned halfwords) {
       const bool base_in_list = (i.reg_list >> i.rn) & 1;
       for (unsigned b = 0; b < 8; ++b) {
         if (i.reg_list & (1u << b)) {
-          r_[b] = read_mem(addr, 4);
+          r_[b] = read_mem<kTraced>(addr, 4);
           addr += 4;
           ++n;
         }
       }
       if (!base_in_list) r_[i.rn] = addr;
-      account(InstrClass::kLdr, n);
-      account(InstrClass::kOther, 1);
+      account<kTraced>(InstrClass::kLdr, n);
+      account<kTraced>(InstrClass::kOther, 1);
       break;
     }
     case Op::kBCond: {
@@ -681,50 +718,50 @@ void Cpu::exec(const Instr& i, unsigned halfwords) {
       }
       if (take) {
         branch_to(pc4 + static_cast<std::uint32_t>(i.imm));
-        account(InstrClass::kBranch, 2);
+        account<kTraced>(InstrClass::kBranch, 2);
       } else {
-        account(InstrClass::kBranch, 1);
+        account<kTraced>(InstrClass::kBranch, 1);
       }
       break;
     }
     case Op::kB:
       branch_to(pc4 + static_cast<std::uint32_t>(i.imm));
-      account(InstrClass::kBranch, 2);
+      account<kTraced>(InstrClass::kBranch, 2);
       break;
     case Op::kBl:
       r_[kLR] = r_[kPC] | 1u;  // return address (past both halfwords)
       branch_to(pc4 + static_cast<std::uint32_t>(i.imm));
-      account(InstrClass::kBranch, 3);
+      account<kTraced>(InstrClass::kBranch, 3);
       break;
     case Op::kSxth:
       r_[i.rd] = static_cast<std::uint32_t>(static_cast<std::int32_t>(
           static_cast<std::int16_t>(r_[i.rm])));
-      account(InstrClass::kMov, 1);
+      account<kTraced>(InstrClass::kMov, 1);
       break;
     case Op::kSxtb:
       r_[i.rd] = static_cast<std::uint32_t>(static_cast<std::int32_t>(
           static_cast<std::int8_t>(r_[i.rm])));
-      account(InstrClass::kMov, 1);
+      account<kTraced>(InstrClass::kMov, 1);
       break;
     case Op::kUxth:
       r_[i.rd] = r_[i.rm] & 0xFFFFu;
-      account(InstrClass::kMov, 1);
+      account<kTraced>(InstrClass::kMov, 1);
       break;
     case Op::kUxtb:
       r_[i.rd] = r_[i.rm] & 0xFFu;
-      account(InstrClass::kMov, 1);
+      account<kTraced>(InstrClass::kMov, 1);
       break;
     case Op::kRev: {
       const std::uint32_t v = r_[i.rm];
       r_[i.rd] = (v >> 24) | ((v >> 8) & 0xFF00u) | ((v << 8) & 0xFF0000u) |
                  (v << 24);
-      account(InstrClass::kMov, 1);
+      account<kTraced>(InstrClass::kMov, 1);
       break;
     }
     case Op::kRev16: {
       const std::uint32_t v = r_[i.rm];
       r_[i.rd] = ((v >> 8) & 0x00FF00FFu) | ((v << 8) & 0xFF00FF00u);
-      account(InstrClass::kMov, 1);
+      account<kTraced>(InstrClass::kMov, 1);
       break;
     }
     case Op::kRevsh: {
@@ -733,15 +770,15 @@ void Cpu::exec(const Instr& i, unsigned halfwords) {
           static_cast<std::uint16_t>(((v >> 8) & 0xFFu) | ((v & 0xFFu) << 8));
       r_[i.rd] = static_cast<std::uint32_t>(static_cast<std::int32_t>(
           static_cast<std::int16_t>(half)));
-      account(InstrClass::kMov, 1);
+      account<kTraced>(InstrClass::kMov, 1);
       break;
     }
     case Op::kNop:
-      account(InstrClass::kOther, 1);
+      account<kTraced>(InstrClass::kOther, 1);
       break;
     case Op::kBkpt:
       halted_ = true;
-      account(InstrClass::kOther, 1);
+      account<kTraced>(InstrClass::kOther, 1);
       break;
   }
 }

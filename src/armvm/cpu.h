@@ -164,17 +164,76 @@ struct RunStats {
   }
 };
 
+/// One memory access performed by a retired instruction.
+struct MemAccess {
+  std::uint32_t addr = 0;
+  std::uint8_t width = 0;  ///< bytes transferred: 1, 2 or 4
+  bool store = false;
+
+  friend bool operator==(const MemAccess&, const MemAccess&) = default;
+};
+
+/// Rich retired-instruction event: where the instruction was (PC), what
+/// it was (decoded form), what it cost (the same cost pairs the cycle
+/// histogram receives — LDM/STM/PUSH/POP carry two: transfer + overhead)
+/// and which memory words it touched. `cycle` is the simulated clock at
+/// issue, so a sink can reconstruct the full timeline; `next_pc` is the
+/// PC after retirement (branch target, fallthrough, or the return
+/// sentinel), which is what lets a profiler follow BL/BX control flow
+/// without re-decoding anything.
+struct TraceEvent {
+  std::uint64_t cycle = 0;  ///< simulated clock when the instruction issued
+  std::uint32_t pc = 0;      ///< address of the retired instruction
+  std::uint32_t next_pc = 0; ///< PC after retirement
+  Instr ins;
+
+  struct Cost {
+    costmodel::InstrClass cls{};
+    std::uint8_t cycles = 0;
+
+    friend bool operator==(const Cost&, const Cost&) = default;
+  };
+  std::uint8_t num_costs = 0;
+  std::uint8_t num_accesses = 0;
+  Cost costs[2];
+  /// LDM/STM/PUSH/POP transfer at most 8 lo registers + LR/PC.
+  MemAccess accesses[9];
+
+  unsigned cycles() const {
+    unsigned t = 0;
+    for (unsigned i = 0; i < num_costs; ++i) t += costs[i].cycles;
+    return t;
+  }
+
+  /// Streams compare equal when every *populated* field matches (the
+  /// scratch event is reused across instructions, so entries past the
+  /// counts are stale).
+  friend bool operator==(const TraceEvent& a, const TraceEvent& b) {
+    if (a.cycle != b.cycle || a.pc != b.pc || a.next_pc != b.next_pc ||
+        !(a.ins == b.ins) || a.num_costs != b.num_costs ||
+        a.num_accesses != b.num_accesses) {
+      return false;
+    }
+    for (unsigned i = 0; i < a.num_costs; ++i) {
+      if (!(a.costs[i] == b.costs[i])) return false;
+    }
+    for (unsigned i = 0; i < a.num_accesses; ++i) {
+      if (!(a.accesses[i] == b.accesses[i])) return false;
+    }
+    return true;
+  }
+};
+
 /// Observer of the retired instruction stream (power-trace simulators,
-/// instruction-mix profilers). Untraced runs pay exactly one
-/// predictable null-check branch per retired cost event — there is no
-/// std::function indirection on the hot path.
+/// profilers, memory heatmaps). The interpreter is stamped out twice:
+/// untraced runs execute a loop with NO tracing code in it at all (the
+/// single `trace_` null-check selects the loop variant outside the hot
+/// path), so attaching a sink costs the untraced path nothing.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
-  /// One retired cost event: instruction class + cycles it consumed.
-  /// LDM/STM/PUSH/POP emit two events (transfer + overhead), matching
-  /// their two histogram contributions.
-  virtual void on_instruction(costmodel::InstrClass cls, unsigned cycles) = 0;
+  /// One retired instruction with its full cost and memory detail.
+  virtual void on_retire(const TraceEvent& ev) = 0;
 };
 
 class Cpu {
@@ -225,19 +284,43 @@ class Cpu {
 
  private:
   bool step_impl();
+  /// The interpreter core, stamped out twice: the untraced instantiation
+  /// is bit-for-bit the seed hot path (no event assembly, no extra
+  /// branches anywhere inside the flattened loop); the traced one
+  /// records cost pairs and memory accesses into the scratch event.
+  template <bool kTraced>
   void exec(const Instr& ins, unsigned halfwords);
   std::uint32_t add_with_carry(std::uint32_t a, std::uint32_t b, bool cin,
                                bool set_flags);
   void set_nz(std::uint32_t v);
+  template <bool kTraced>
   std::uint32_t read_mem(std::uint32_t addr, unsigned bytes);
+  template <bool kTraced>
   void write_mem(std::uint32_t addr, std::uint32_t v, unsigned bytes);
+  template <bool kTraced>
   void account(costmodel::InstrClass cls, unsigned cycles) {
     stats_.histogram.add(cls, cycles);
     stats_.cycles += cycles;
-    if (trace_ != nullptr) [[unlikely]] trace_->on_instruction(cls, cycles);
+    if constexpr (kTraced) {
+      ev_.costs[ev_.num_costs].cls = cls;
+      ev_.costs[ev_.num_costs].cycles = static_cast<std::uint8_t>(cycles);
+      ++ev_.num_costs;
+    }
   }
+  void note_access(std::uint32_t addr, unsigned bytes, bool store) {
+    if (ev_.num_accesses < 9) {
+      ev_.accesses[ev_.num_accesses] = {addr, static_cast<std::uint8_t>(bytes),
+                                        store};
+      ++ev_.num_accesses;
+    }
+  }
+  /// Traced retirement: assemble the rich event around exec<true>() and
+  /// deliver it to the sink.
+  void exec_traced(std::uint32_t pc, const Instr& ins, unsigned halfwords);
   [[noreturn]] void trap_undecodable(std::size_t idx) const;
   std::uint64_t run_predecoded(std::uint64_t limit);
+  template <bool kTraced>
+  std::uint64_t run_predecoded_impl(std::uint64_t limit);
 
   std::vector<std::uint16_t> code_;
   std::vector<PredecodedSlot> cache_;
@@ -248,6 +331,7 @@ class Cpu {
   bool halted_ = false;
   RunStats stats_;
   TraceSink* trace_ = nullptr;
+  TraceEvent ev_;  ///< scratch event, populated only while trace_ is set
 };
 
 }  // namespace eccm0::armvm

@@ -19,6 +19,12 @@ double PowerRig::gaussian() {
          std::cos(2.0 * std::numbers::pi * u2);
 }
 
+void PowerRig::on_retire(const armvm::TraceEvent& ev) {
+  for (unsigned i = 0; i < ev.num_costs; ++i) {
+    on_instruction(ev.costs[i].cls, ev.costs[i].cycles);
+  }
+}
+
 void PowerRig::on_instruction(costmodel::InstrClass cls, unsigned cycles) {
   // Instantaneous power of this instruction class at 48 MHz:
   // P = E_per_cycle / T_cycle.

@@ -38,8 +38,13 @@ class PowerRig final : public armvm::TraceSink {
  public:
   explicit PowerRig(RigConfig cfg = {}) : cfg_(cfg), rng_(cfg.seed) {}
 
-  /// TraceSink: one retired cost event from the Cpu.
-  void on_instruction(costmodel::InstrClass cls, unsigned cycles) override;
+  /// TraceSink: one retired instruction from the Cpu. Expands the
+  /// event's cost pairs into per-cycle waveform samples.
+  void on_retire(const armvm::TraceEvent& ev) override;
+
+  /// Append `cycles` samples at the power level of `cls` — the primitive
+  /// on_retire feeds through, also used directly by calibration tests.
+  void on_instruction(costmodel::InstrClass cls, unsigned cycles);
 
   const PowerTrace& trace() const { return trace_; }
   void clear() { trace_.clear(); }

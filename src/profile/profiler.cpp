@@ -1,0 +1,190 @@
+#include "profile/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace eccm0::profile {
+
+using armvm::Op;
+
+Profiler::Profiler(const armvm::Program& prog) {
+  for (const auto& [name, addr] : prog.symbols) {
+    symbols_.emplace(addr, name);  // first (alphabetical) label wins
+  }
+}
+
+std::string Profiler::name_of(std::uint32_t addr) const {
+  char buf[48];
+  auto it = symbols_.upper_bound(addr);
+  if (it == symbols_.begin()) {
+    std::snprintf(buf, sizeof(buf), "0x%x", addr);
+    return buf;
+  }
+  --it;
+  if (it->first == addr) return it->second;
+  std::snprintf(buf, sizeof(buf), "%s+0x%x", it->second.c_str(),
+                addr - it->first);
+  return buf;
+}
+
+std::size_t Profiler::fn_index(std::uint32_t addr) {
+  auto it = fn_by_addr_.find(addr);
+  if (it != fn_by_addr_.end()) return it->second;
+  FunctionStats fs;
+  fs.name = name_of(addr);
+  fs.addr = addr;
+  fns_.push_back(std::move(fs));
+  fn_by_addr_.emplace(addr, fns_.size() - 1);
+  return fns_.size() - 1;
+}
+
+void Profiler::rebuild_signature() {
+  signature_.clear();
+  for (const Frame& f : stack_) {
+    if (!signature_.empty()) signature_ += ';';
+    signature_ += fns_[f.fn].name;
+  }
+}
+
+void Profiler::push_frame(std::size_t fn, std::uint32_t return_addr,
+                          std::uint64_t begin_cycle) {
+  bool recursive = false;
+  for (const Frame& f : stack_) {
+    if (f.fn == fn) {
+      recursive = true;
+      break;
+    }
+  }
+  fns_[fn].calls += 1;
+  spans_.push_back({fns_[fn].name, begin_cycle, begin_cycle,
+                    static_cast<unsigned>(stack_.size())});
+  stack_.push_back({fn, return_addr, spans_.size() - 1, recursive});
+  rebuild_signature();
+}
+
+void Profiler::pop_frame(std::uint64_t end_cycle) {
+  spans_[stack_.back().span].end_cycle = end_cycle;
+  stack_.pop_back();
+}
+
+void Profiler::on_retire(const armvm::TraceEvent& ev) {
+  if (!run_open_) {
+    // First event of a run (or re-entry of a persistent kernel machine
+    // after BKPT): open the root activation at the event's PC.
+    push_frame(fn_index(ev.pc), armvm::kReturnSentinel, ev.cycle);
+    run_open_ = true;
+  }
+
+  const unsigned cyc = ev.cycles();
+  last_cycle_ = ev.cycle + cyc;
+  total_cycles_ += cyc;
+  total_instructions_ += 1;
+
+  FunctionStats& top = fns_[stack_.back().fn];
+  top.instructions += 1;
+  top.self_cycles += cyc;
+  for (unsigned i = 0; i < ev.num_costs; ++i) {
+    total_hist_.add(ev.costs[i].cls, ev.costs[i].cycles);
+    top.self_hist.add(ev.costs[i].cls, ev.costs[i].cycles);
+  }
+  for (const Frame& f : stack_) {
+    if (f.recursive) continue;  // count recursive activations once
+    FunctionStats& fs = fns_[f.fn];
+    fs.inclusive_cycles += cyc;
+    for (unsigned i = 0; i < ev.num_costs; ++i) {
+      fs.inclusive_hist.add(ev.costs[i].cls, ev.costs[i].cycles);
+    }
+  }
+  collapsed_[signature_] += cyc;
+
+  // Shadow-stack maintenance from the retired control transfer.
+  const Op op = ev.ins.op;
+  const std::uint32_t np = ev.next_pc;
+  if (op == Op::kBkpt || np == armvm::kReturnSentinel) {
+    while (!stack_.empty()) pop_frame(last_cycle_);
+    run_open_ = false;
+    signature_.clear();
+    return;
+  }
+  if (op == Op::kBl || op == Op::kBlx) {
+    const std::uint32_t ret = ev.pc + (op == Op::kBl ? 4u : 2u);
+    const std::size_t caller = stack_.back().fn;
+    const std::size_t callee = fn_index(np);
+    auto& site = call_sites_[{ev.pc, callee}];
+    site.first = caller;
+    site.second += 1;
+    push_frame(callee, ret, last_cycle_);
+    return;
+  }
+  const bool indirect =
+      op == Op::kBx || (op == Op::kPop && (ev.ins.reg_list & 0x100u) != 0) ||
+      ((op == Op::kMovHi || op == Op::kAddHi) && ev.ins.rd == armvm::kPC);
+  if (!indirect) return;
+  // A return pops to (and including) the frame whose return address the
+  // transfer lands on; frames skipped over were tail-called and end too.
+  for (std::size_t i = stack_.size(); i-- > 1;) {
+    if (stack_[i].return_addr == np) {
+      while (stack_.size() > i) pop_frame(last_cycle_);
+      rebuild_signature();
+      return;
+    }
+  }
+  // No matching return address: landing exactly on a label is a tail
+  // call — replace the top frame, inheriting its return address.
+  if (symbols_.count(np) != 0 && stack_.size() > 1) {
+    const std::uint32_t ret = stack_.back().return_addr;
+    const std::size_t caller = stack_.back().fn;
+    pop_frame(last_cycle_);
+    const std::size_t callee = fn_index(np);
+    auto& site = call_sites_[{ev.pc, callee}];
+    site.first = caller;
+    site.second += 1;
+    push_frame(callee, ret, last_cycle_);
+  }
+}
+
+void Profiler::finalize() {
+  if (!run_open_) return;
+  while (!stack_.empty()) pop_frame(last_cycle_);
+  run_open_ = false;
+  signature_.clear();
+}
+
+std::vector<Profiler::FunctionStats> Profiler::functions() {
+  finalize();
+  std::vector<FunctionStats> out = fns_;
+  std::sort(out.begin(), out.end(),
+            [](const FunctionStats& a, const FunctionStats& b) {
+              return a.self_cycles > b.self_cycles;
+            });
+  return out;
+}
+
+std::vector<Profiler::CallSite> Profiler::call_sites() {
+  finalize();
+  std::vector<CallSite> out;
+  for (const auto& [key, val] : call_sites_) {
+    CallSite cs;
+    cs.site_pc = key.first;
+    cs.caller = fns_[val.first].name;
+    cs.callee = fns_[key.second].name;
+    cs.count = val.second;
+    out.push_back(std::move(cs));
+  }
+  std::sort(out.begin(), out.end(), [](const CallSite& a, const CallSite& b) {
+    return a.count > b.count;
+  });
+  return out;
+}
+
+const std::vector<Profiler::Span>& Profiler::spans() {
+  finalize();
+  return spans_;
+}
+
+const std::map<std::string, std::uint64_t>& Profiler::collapsed_stacks() {
+  finalize();
+  return collapsed_;
+}
+
+}  // namespace eccm0::profile

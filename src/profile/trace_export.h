@@ -1,0 +1,36 @@
+// Exporters for the profiler's timeline and stacks:
+//  - Chrome trace-event JSON on the simulated cycle clock (one complete
+//    "X" event per function activation) — loadable in Perfetto / chrome
+//    about:tracing, one track per profiled machine.
+//  - Collapsed-stack text ("root;callee <self-cycles>"), the input format
+//    of Brendan Gregg's flamegraph.pl and speedscope.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "costmodel/energy.h"
+#include "profile/profiler.h"
+
+namespace eccm0::profile {
+
+/// One timeline track: a profiled machine with a display name.
+struct NamedProfile {
+  std::string name;
+  Profiler* profiler = nullptr;
+};
+
+/// Serialize the tracks' spans as Chrome trace-event JSON. Timestamps are
+/// microseconds of simulated time at `clock_hz` (the paper's 48 MHz by
+/// default); each track becomes its own tid with a thread_name record.
+std::string chrome_trace_json(std::span<const NamedProfile> tracks,
+                              double clock_hz = costmodel::kClockHz);
+
+/// Collapsed stacks of every track, cycle-weighted, one line per stack.
+/// Track names prefix the stacks when more than one track is given.
+std::string collapsed_stack_text(std::span<const NamedProfile> tracks);
+
+/// Write `content` to `path`; returns false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace eccm0::profile

@@ -24,12 +24,11 @@ namespace {
 
 constexpr std::size_t kRamSize = 0x800;
 
-/// Records every retired cost event for stream-level comparison.
+/// Records every rich retired-instruction event for stream-level
+/// comparison: PC, decoded form, cost pairs, memory accesses, next PC.
 struct RecordingSink final : TraceSink {
-  std::vector<std::pair<costmodel::InstrClass, unsigned>> events;
-  void on_instruction(costmodel::InstrClass cls, unsigned cycles) override {
-    events.emplace_back(cls, cycles);
-  }
+  std::vector<TraceEvent> events;
+  void on_retire(const TraceEvent& ev) override { events.push_back(ev); }
 };
 
 void expect_stats_identical(const RunStats& a, const RunStats& b) {
@@ -176,6 +175,60 @@ TEST(Predecode, KpScheduleIdentical) {
   EXPECT_EQ(ref_sink.events, pre_sink.events);
   EXPECT_EQ(ref_out, pre_out);
   EXPECT_GT(pre_stats.instructions, 100000u);  // a real workload, not a stub
+}
+
+TEST(Predecode, RichTraceStreamsIdenticalForMulAndSqrKernels) {
+  // Both decode engines must emit bit-identical *rich* trace event
+  // streams — same PCs, decoded instructions, cost pairs and memory
+  // access addresses/widths — for the K-233 mul and square kernels.
+  Rng rng(0x51C);
+  for (const bool fixed : {true, false}) {
+    const Program prog = assemble(fixed ? asmkernels::gen_mul_fixed(true)
+                                        : asmkernels::gen_mul_plain(true));
+    const auto x = random_fe(rng), y = random_fe(rng);
+    Engine ref(prog, Cpu::DecodeMode::kPerStep);
+    Engine pre(prog, Cpu::DecodeMode::kPredecode);
+    for (Memory* mem : {&ref.mem, &pre.mem}) {
+      write_fe(*mem, asmkernels::kXOff, x);
+      write_fe(*mem, asmkernels::kYOff, y);
+    }
+    ref.cpu.call(prog.entry("entry"), {});
+    pre.cpu.call(prog.entry("entry"), {});
+    ASSERT_EQ(ref.sink.events.size(), pre.sink.events.size());
+    EXPECT_EQ(ref.sink.events, pre.sink.events);
+    // The stream is genuinely rich: it carries memory addresses.
+    std::uint64_t accesses = 0, load_words = 0;
+    for (const TraceEvent& ev : pre.sink.events) {
+      accesses += ev.num_accesses;
+      for (unsigned i = 0; i < ev.num_accesses; ++i) {
+        if (!ev.accesses[i].store && ev.accesses[i].width == 4) ++load_words;
+      }
+      EXPECT_GE(ev.num_costs, 1u);
+      EXPECT_EQ(ev.cycles(), ev.costs[0].cycles +
+                                 (ev.num_costs > 1 ? ev.costs[1].cycles : 0u));
+    }
+    EXPECT_GT(accesses, 100u);
+    EXPECT_GT(load_words, 50u);
+  }
+
+  const Program sqr_prog = assemble(asmkernels::gen_sqr());
+  const auto a = random_fe(rng);
+  Engine ref(sqr_prog, Cpu::DecodeMode::kPerStep);
+  Engine pre(sqr_prog, Cpu::DecodeMode::kPredecode);
+  for (Memory* mem : {&ref.mem, &pre.mem}) {
+    write_fe(*mem, asmkernels::kInOff, a);
+    for (unsigned i = 0; i < 256; ++i) {
+      mem->store16(kRamBase + asmkernels::kSqrTabOff + 2 * i,
+                   gf2::kSquareTable[i]);
+    }
+  }
+  ref.cpu.call(sqr_prog.entry("entry"), {});
+  pre.cpu.call(sqr_prog.entry("entry"), {});
+  EXPECT_EQ(ref.sink.events, pre.sink.events);
+  // Simulated-clock timestamps reconstruct the cycle count exactly.
+  ASSERT_FALSE(pre.sink.events.empty());
+  const TraceEvent& last = pre.sink.events.back();
+  EXPECT_EQ(last.cycle + last.cycles(), pre.cpu.stats().cycles);
 }
 
 TEST(Predecode, LoopingInversionKernelIdentical) {
