@@ -15,7 +15,7 @@
 using namespace eccm0;
 using mpint::UInt;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Ablation - wTNAF window width (measured cost tables)");
 
   const auto& curve = ec::BinaryCurve::sect233k1();
@@ -47,6 +47,20 @@ int main() {
                bench::fmt_f(kg.energy_uj(prices), 2)});
   }
   t.print();
+
+  const std::string json_path =
+      bench::json_flag_path(argc, argv, "BENCH_ablation_window.json");
+  if (!json_path.empty()) {
+    bench::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "ablation_window");
+    w.field("curve", "sect233k1");
+    w.raw("rows", t.to_json());
+    w.field("best_kp_w", static_cast<std::uint64_t>(best_kp_w));
+    w.field("best_kg_w", static_cast<std::uint64_t>(best_kg_w));
+    w.end_object();
+    w.write_file(json_path);
+  }
 
   std::printf(
       "\nCycle-optimal width: kP w = %u, kG w = %u (paper chose 4 and 6).\n"

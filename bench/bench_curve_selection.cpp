@@ -9,7 +9,7 @@
 
 using namespace eccm0;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner(
       "Section 3.1 - matching a curve to the architecture (model)");
 
@@ -36,5 +36,19 @@ int main() {
       "Conclusion (2): binary curves draw less power (XOR/shift mix vs "
       "MUL/ADD): %s (paper: yes)\n",
       conclusions.binary_lower_power ? "YES" : "NO");
+
+  const std::string json_path =
+      bench::json_flag_path(argc, argv, "BENCH_curve_selection.json");
+  if (!json_path.empty()) {
+    bench::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "curve_selection");
+    w.raw("rows", t.to_json());
+    w.field("koblitz_faster_at_matched_security",
+            conclusions.koblitz_faster_at_matched_security);
+    w.field("binary_lower_power", conclusions.binary_lower_power);
+    w.end_object();
+    w.write_file(json_path);
+  }
   return 0;
 }

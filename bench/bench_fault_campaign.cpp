@@ -10,7 +10,10 @@
 // shows ECDSA verify-after-sign refusing a faulted signature.
 //
 // Flags: --runs=N (default 1000 per model), --quick (25 per model),
-//        --seed=S, --json[=PATH] (default BENCH_fault_campaign.json).
+//        --seed=S, --threads=N (batch-executor workers, default 1,
+//        0 = hardware concurrency; tallies identical for any value),
+//        --json[=PATH] (default BENCH_fault_campaign.json).
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -68,16 +71,25 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       cfg.seed = std::strtoull(argv[i] + 7, nullptr, 0);
     }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      cfg.threads = static_cast<unsigned>(
+          std::strtoul(argv[i] + 10, nullptr, 10));
+    }
   }
   const std::string json_path =
       bench::json_flag_path(argc, argv, "BENCH_fault_campaign.json");
 
   bench::banner("Fault-injection campaign: wTNAF kP on sect233k1");
-  std::printf("seed 0x%llx, %llu injections per fault model\n\n",
+  std::printf("seed 0x%llx, %llu injections per fault model, %u thread(s)"
+              "\n\n",
               static_cast<unsigned long long>(cfg.seed),
-              static_cast<unsigned long long>(cfg.runs_per_model));
+              static_cast<unsigned long long>(cfg.runs_per_model),
+              cfg.threads);
 
+  const auto t0 = std::chrono::steady_clock::now();
   const faultsim::CampaignResult res = faultsim::run_kp_campaign(cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   const auto& profiles = faultsim::protection_profiles();
 
   // Coverage matrix: % of injections that escape as silent corruption.
@@ -132,6 +144,8 @@ int main(int argc, char** argv) {
   std::printf("same fault, no coherence check   : %s\n",
               escaped ? "invalid signature released silently"
                       : "signature unexpectedly fine");
+  std::printf("\ncampaign wall time: %.2f s (%u thread(s))\n", wall_seconds,
+              cfg.threads);
 
   if (!json_path.empty()) {
     bench::JsonWriter w;
@@ -140,6 +154,8 @@ int main(int argc, char** argv) {
     w.field("curve", "sect233k1");
     w.field("seed", cfg.seed);
     w.field("runs_per_model", cfg.runs_per_model);
+    w.field("threads", static_cast<std::uint64_t>(cfg.threads));
+    w.field("wall_seconds", wall_seconds);
     w.raw("silent_rate_matrix", coverage.to_json());
     w.begin_array("models");
     for (const auto& m : res.models) {

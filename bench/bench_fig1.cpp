@@ -10,7 +10,7 @@
 
 using namespace eccm0;
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::size_t n = 8;
   const std::size_t w0 = gf2::traced::fixed_window_base(n);
 
@@ -64,5 +64,31 @@ int main() {
       "Inner-loop accumulations hitting registers: %zu/64 per pass "
       "(%.0f%%)\n",
       in_window, 100.0 * static_cast<double>(in_window) / 64.0);
+
+  const std::string json_path =
+      bench::json_flag_path(argc, argv, "BENCH_fig1.json");
+  if (!json_path.empty()) {
+    bench::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "fig1");
+    w.field("n", static_cast<std::uint64_t>(n));
+    w.field("window_base", static_cast<std::uint64_t>(w0));
+    w.begin_array("words");
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      const bool reg = i >= w0 && i <= w0 + n;
+      const int mult =
+          static_cast<int>(n) - std::abs(static_cast<int>(i) - 7);
+      w.begin_object();
+      w.field("word", static_cast<std::uint64_t>(i));
+      w.field("residency", reg ? "REG" : "mem");
+      w.field("touches", static_cast<std::uint64_t>(8 * std::max(0, mult)));
+      w.end_object();
+    }
+    w.end_array();
+    w.field("in_window_per_pass", static_cast<std::uint64_t>(in_window));
+    w.field("accumulations_per_pass", static_cast<std::uint64_t>(64));
+    w.end_object();
+    w.write_file(json_path);
+  }
   return 0;
 }

@@ -3,11 +3,16 @@
 // cost of the instrumented and VM-executed paths.
 #include <benchmark/benchmark.h>
 
-#include "asmkernels/runner.h"
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workloads/runner.h"
 #include "common/rng.h"
 #include "gf2/field.h"
 #include "gf2/k233.h"
 #include "gf2/traced.h"
+#include "report.h"
 
 using namespace eccm0;
 using gf2::k233::Fe;
@@ -125,4 +130,26 @@ BENCHMARK(BM_Vm_MulFixedKernel);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Accepts the repo-wide `--json[=PATH]` flag by translating it into
+// google-benchmark's JSON reporter before handing over the argv.
+int main(int argc, char** argv) {
+  const std::string json_path =
+      eccm0::bench::json_flag_path(argc, argv, "BENCH_host_field.json");
+  std::vector<char*> args;
+  std::string out_flag, fmt_flag = "--benchmark_out_format=json";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json", 6) == 0) continue;
+    args.push_back(argv[i]);
+  }
+  if (!json_path.empty()) {
+    out_flag = "--benchmark_out=" + json_path;
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

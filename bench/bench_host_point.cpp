@@ -2,10 +2,15 @@
 // algorithm comparison and protocol round trips.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
 #include "crypto/ecdh.h"
 #include "crypto/ecdsa.h"
 #include "ec/scalarmul.h"
+#include "report.h"
 
 using namespace eccm0;
 using ec::AffinePoint;
@@ -115,4 +120,26 @@ BENCHMARK(BM_EcdsaVerify);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Accepts the repo-wide `--json[=PATH]` flag by translating it into
+// google-benchmark's JSON reporter before handing over the argv.
+int main(int argc, char** argv) {
+  const std::string json_path =
+      eccm0::bench::json_flag_path(argc, argv, "BENCH_host_point.json");
+  std::vector<char*> args;
+  std::string out_flag, fmt_flag = "--benchmark_out_format=json";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json", 6) == 0) continue;
+    args.push_back(argv[i]);
+  }
+  if (!json_path.empty()) {
+    out_flag = "--benchmark_out=" + json_path;
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -30,7 +30,7 @@ std::uint64_t price(const ec::FieldOpCounts& o,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner(
       "Ablation - Frobenius vs doubling, and the constant-time ladder");
 
@@ -74,6 +74,20 @@ int main() {
                           2) +
                  "x"});
   t.print();
+
+  const std::string json_path =
+      bench::json_flag_path(argc, argv, "BENCH_ladder.json");
+  if (!json_path.empty()) {
+    bench::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "ladder");
+    w.raw("rows", t.to_json());
+    w.field("wtnaf_kp_cycles", kob.cost.total());
+    w.field("wnaf_doubling_cycles", wnaf_cycles);
+    w.field("ladder_cycles", ladder_cycles);
+    w.end_object();
+    w.write_file(json_path);
+  }
 
   std::printf(
       "\n(a) Replacing Frobenius (3S) with true doublings (~4M+5S) costs\n"

@@ -19,45 +19,47 @@
 #include <string>
 #include <vector>
 
-#include "armvm/asm.h"
 #include "armvm/cpu.h"
 #include "asmkernels/gen.h"
-#include "common/rng.h"
 #include "ec/costing.h"
-#include "ec/curve.h"
-#include "gf2/sqr_table.h"
 #include "profile/heatmap.h"
 #include "profile/profiler.h"
 #include "profile/trace_export.h"
 #include "report.h"
+#include "workloads/kp_mix.h"
+#include "workloads/registry.h"
 
 using namespace eccm0;
 using armvm::Cpu;
 
 namespace {
 
-constexpr std::size_t kRamSize = 0x800;
+constexpr std::size_t kRamSize = workloads::kKernelRamSize;
 
+/// One registry kernel with a per-context Profiler + MemHeatmap fanned
+/// in via a TeeSink — the image is shared, the sinks are private.
 struct Machine {
   std::string name;
-  armvm::Program prog;
-  armvm::Memory mem;
-  Cpu cpu;
+  workloads::KernelMachine km;
   profile::Profiler prof;
   profile::MemHeatmap heat;
   profile::TeeSink tee;
+  armvm::Memory& mem;
+  Cpu& cpu;
 
-  Machine(std::string n, armvm::Program p)
-      : name(std::move(n)),
-        prog(std::move(p)),
-        mem(kRamSize),
-        cpu(prog.code, mem, Cpu::DecodeMode::kPredecode),
-        prof(prog),
-        heat(kRamSize) {
+  explicit Machine(const std::string& kernel_name)
+      : name(kernel_name),
+        km(workloads::kernel(kernel_name)),
+        prof(km.prog()),
+        heat(kRamSize),
+        mem(km.mem()),
+        cpu(km.cpu()) {
     tee.add(&prof);
     tee.add(&heat);
     cpu.set_trace_sink(&tee);
   }
+
+  void call() { km.call(); }
 };
 
 bool check_totals(Machine& m) {
@@ -119,67 +121,39 @@ int main(int argc, char** argv) {
   bench::banner(
       "kP field-kernel profile - symbol attribution + RAM heatmap");
 
-  // Field-op mix of one real wTNAF w=4 kP on sect233k1 (same derivation
-  // as bench_vm_throughput, same seed).
-  Rng mix_rng(0x7AB1E4);
-  const auto& k233 = ec::BinaryCurve::sect233k1();
-  const ec::AffinePoint g = ec::AffinePoint::make(k233.gx, k233.gy);
-  const mpint::UInt k = mpint::UInt::random_below(mix_rng, k233.order);
-  const ec::CostedRun costed =
-      ec::cost_point_mul(k233, g, k, 4, false, ec::FieldCostTable{});
-  const ec::FieldOpCounts ops = costed.main_ops + costed.precomp_ops;
+  // Field-op mix of one real wTNAF w=4 kP on sect233k1 (same schedule
+  // as bench_vm_throughput, one shared definition in workloads).
+  const ec::FieldOpCounts& ops = workloads::kp_mix_sect233k1();
   std::printf("kP workload (wTNAF w=4, sect233k1): %llu mul, %llu sqr, "
               "%llu inv\n\n",
               static_cast<unsigned long long>(ops.mul),
               static_cast<unsigned long long>(ops.sqr),
               static_cast<unsigned long long>(ops.inv));
 
-  Machine mul("mul_fixed", armvm::assemble(asmkernels::gen_mul_fixed(true)));
-  Machine sqr("sqr", armvm::assemble(asmkernels::gen_sqr()));
-  Machine inv("inv", armvm::assemble(asmkernels::gen_inv()));
-  // Plain-memory multiplication comparator for the heatmap claim only —
-  // same operands, same call count as the fixed machine.
-  Machine plain("mul_plain",
-                armvm::assemble(asmkernels::gen_mul_plain(true)));
+  // Registry names: "mul" is the fixed-register multiplier, "mul-plain"
+  // the memory-resident comparator for the heatmap claim only — same
+  // operands, same call count as the fixed machine.
+  Machine mul("mul");
+  mul.name = "mul_fixed";
+  Machine sqr("sqr");
+  Machine inv("inv");
+  Machine plain("mul-plain");
+  plain.name = "mul_plain";
 
-  Rng rng(0x7151CA7);
-  std::uint32_t x[8], y[8], a[8];
-  for (int w = 0; w < 8; ++w) {
-    x[w] = static_cast<std::uint32_t>(rng.next_u64());
-    y[w] = static_cast<std::uint32_t>(rng.next_u64());
-    a[w] = static_cast<std::uint32_t>(rng.next_u64());
-  }
-  x[7] &= 0x1FF;
-  y[7] &= 0x1FF;
-  a[7] &= 0x1FF;
-  a[0] |= 1;
-
-  for (Machine* m : {&mul, &plain}) {
-    for (int w = 0; w < 8; ++w) {
-      m->mem.store32(armvm::kRamBase + asmkernels::kXOff + 4 * w, x[w]);
-      m->mem.store32(armvm::kRamBase + asmkernels::kYOff + 4 * w, y[w]);
-    }
-  }
-  for (int w = 0; w < 8; ++w) {
-    sqr.mem.store32(armvm::kRamBase + asmkernels::kInOff + 4 * w, a[w]);
-  }
-  for (unsigned i = 0; i < 256; ++i) {
-    sqr.mem.store16(armvm::kRamBase + asmkernels::kSqrTabOff + 2 * i,
-                    gf2::kSquareTable[i]);
-  }
+  const workloads::KernelOperands& od = workloads::KernelOperands::standard();
+  workloads::load_mul_inputs(mul.mem, od.x, od.y);
+  workloads::load_mul_inputs(plain.mem, od.x, od.y);
+  workloads::load_sqr_table(sqr.mem);
+  workloads::load_sqr_input(sqr.mem, od.a);
 
   for (std::uint64_t i = 0; i < ops.mul; ++i) {
-    mul.cpu.call(mul.prog.entry("entry"), {});
-    plain.cpu.call(plain.prog.entry("entry"), {});
+    mul.call();
+    plain.call();
   }
-  for (std::uint64_t i = 0; i < ops.sqr; ++i) {
-    sqr.cpu.call(sqr.prog.entry("entry"), {});
-  }
+  for (std::uint64_t i = 0; i < ops.sqr; ++i) sqr.call();
   for (std::uint64_t i = 0; i < ops.inv; ++i) {
-    for (int w = 0; w < 8; ++w) {
-      inv.mem.store32(armvm::kRamBase + asmkernels::kInOff + 4 * w, a[w]);
-    }
-    inv.cpu.call(inv.prog.entry("entry"), {});
+    workloads::load_inv_input(inv.mem, od.a);
+    inv.call();
   }
 
   // --- Self-check: attribution totals equal RunStats exactly. ---------

@@ -4,7 +4,7 @@
 // the ISA simulator.
 #include <cstdio>
 
-#include "asmkernels/runner.h"
+#include "workloads/runner.h"
 #include "common/rng.h"
 #include "report.h"
 

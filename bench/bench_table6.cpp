@@ -10,7 +10,7 @@
 //   "Assembly" — the hand-scheduled kernels measured on the VM.
 #include <cstdio>
 
-#include "asmkernels/runner.h"
+#include "workloads/runner.h"
 #include "common/rng.h"
 #include "gf2/traced.h"
 #include "relic_like/costs.h"

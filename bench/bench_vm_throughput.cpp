@@ -9,29 +9,31 @@
 //                cache + tight run loop
 // The bench asserts their cycle counts, per-class histograms, energy
 // reports and kernel outputs are bit-identical, then reports the host
-// speedup. `--json[=PATH]` (default BENCH_vm_throughput.json) mirrors
-// the result machine-readably; `--reps N` scales the workload.
+// speedup. A third section fans the predecoded workload across a
+// sim::BatchExecutor (`--threads N`, default hardware concurrency) —
+// one execution context per worker over the same shared images — and
+// asserts the batched digest matches the serial one. `--json[=PATH]`
+// (default BENCH_vm_throughput.json) mirrors the result
+// machine-readably; `--reps N` scales the workload.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
-#include "armvm/asm.h"
 #include "armvm/cpu.h"
 #include "asmkernels/gen.h"
-#include "common/rng.h"
 #include "ec/costing.h"
-#include "ec/curve.h"
-#include "gf2/sqr_table.h"
 #include "report.h"
+#include "sim/batch.h"
+#include "workloads/kp_mix.h"
+#include "workloads/registry.h"
 
 using namespace eccm0;
 using armvm::Cpu;
 
 namespace {
-
-constexpr std::size_t kRamSize = 0x800;
 
 struct WorkloadResult {
   armvm::RunStats stats;
@@ -53,72 +55,69 @@ void mix64(std::uint64_t& h, std::uint32_t v) {
 /// wTNAF w=4 sect233k1 run), repeated `reps` times on one engine.
 WorkloadResult run_workload(Cpu::DecodeMode mode, const ec::FieldOpCounts& ops,
                             unsigned reps) {
-  const armvm::Program mul_prog =
-      armvm::assemble(asmkernels::gen_mul_fixed(true));
-  const armvm::Program sqr_prog = armvm::assemble(asmkernels::gen_sqr());
-  const armvm::Program inv_prog = armvm::assemble(asmkernels::gen_inv());
+  workloads::KernelMachine mul(workloads::kernel("mul"), mode);
+  workloads::KernelMachine sqr(workloads::kernel("sqr"), mode);
+  workloads::KernelMachine inv(workloads::kernel("inv"), mode);
 
   // Deterministic operands, same for both engines.
-  Rng rng(0x7151CA7);
-  std::uint32_t x[8], y[8], a[8];
-  for (int w = 0; w < 8; ++w) {
-    x[w] = static_cast<std::uint32_t>(rng.next_u64());
-    y[w] = static_cast<std::uint32_t>(rng.next_u64());
-    a[w] = static_cast<std::uint32_t>(rng.next_u64());
-  }
-  x[7] &= 0x1FF;  // keep operands in-field (233 bits)
-  y[7] &= 0x1FF;
-  a[7] &= 0x1FF;
-  a[0] |= 1;  // inversion input must be nonzero
-
-  armvm::Memory mul_mem(kRamSize), sqr_mem(kRamSize), inv_mem(kRamSize);
-  for (int w = 0; w < 8; ++w) {
-    mul_mem.store32(armvm::kRamBase + asmkernels::kXOff + 4 * w, x[w]);
-    mul_mem.store32(armvm::kRamBase + asmkernels::kYOff + 4 * w, y[w]);
-    sqr_mem.store32(armvm::kRamBase + asmkernels::kInOff + 4 * w, a[w]);
-  }
-  for (unsigned i = 0; i < 256; ++i) {
-    sqr_mem.store16(armvm::kRamBase + asmkernels::kSqrTabOff + 2 * i,
-                    gf2::kSquareTable[i]);
-  }
-
-  Cpu mul_cpu(mul_prog.code, mul_mem, mode);
-  Cpu sqr_cpu(sqr_prog.code, sqr_mem, mode);
-  Cpu inv_cpu(inv_prog.code, inv_mem, mode);
+  const workloads::KernelOperands& od = workloads::KernelOperands::standard();
+  workloads::load_mul_inputs(mul.mem(), od.x, od.y);
+  workloads::load_sqr_table(sqr.mem());
+  workloads::load_sqr_input(sqr.mem(), od.a);
 
   WorkloadResult r;
   const auto t0 = std::chrono::steady_clock::now();
   for (unsigned rep = 0; rep < reps; ++rep) {
-    for (std::uint64_t i = 0; i < ops.mul; ++i) {
-      mul_cpu.call(mul_prog.entry("entry"), {});
-    }
-    for (std::uint64_t i = 0; i < ops.sqr; ++i) {
-      sqr_cpu.call(sqr_prog.entry("entry"), {});
-    }
+    for (std::uint64_t i = 0; i < ops.mul; ++i) mul.call();
+    for (std::uint64_t i = 0; i < ops.sqr; ++i) sqr.call();
     for (std::uint64_t i = 0; i < ops.inv; ++i) {
       // The EEA kernel consumes its scratch state; re-seed the input so
       // every inversion runs the same (data-dependent) trace.
-      for (int w = 0; w < 8; ++w) {
-        inv_mem.store32(armvm::kRamBase + asmkernels::kInOff + 4 * w, a[w]);
-      }
-      inv_cpu.call(inv_prog.entry("entry"), {});
+      workloads::load_inv_input(inv.mem(), od.a);
+      inv.call();
     }
   }
   const auto t1 = std::chrono::steady_clock::now();
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
-  r.stats = mul_cpu.stats();
-  r.stats.instructions += sqr_cpu.stats().instructions;
-  r.stats.instructions += inv_cpu.stats().instructions;
-  r.stats.cycles += sqr_cpu.stats().cycles + inv_cpu.stats().cycles;
-  r.stats.histogram += sqr_cpu.stats().histogram;
-  r.stats.histogram += inv_cpu.stats().histogram;
+  r.stats = mul.cpu().stats();
+  r.stats.instructions += sqr.cpu().stats().instructions;
+  r.stats.instructions += inv.cpu().stats().instructions;
+  r.stats.cycles += sqr.cpu().stats().cycles + inv.cpu().stats().cycles;
+  r.stats.histogram += sqr.cpu().stats().histogram;
+  r.stats.histogram += inv.cpu().stats().histogram;
   for (int w = 0; w < 8; ++w) {
     mix64(r.output_digest,
-          mul_mem.load32(armvm::kRamBase + asmkernels::kVOff + 4 * w));
+          mul.mem().load32(armvm::kRamBase + asmkernels::kVOff + 4 * w));
     mix64(r.output_digest,
-          sqr_mem.load32(armvm::kRamBase + asmkernels::kOutOff + 4 * w));
+          sqr.mem().load32(armvm::kRamBase + asmkernels::kOutOff + 4 * w));
     mix64(r.output_digest,
-          inv_mem.load32(armvm::kRamBase + asmkernels::kOutOff + 4 * w));
+          inv.mem().load32(armvm::kRamBase + asmkernels::kOutOff + 4 * w));
+  }
+  return r;
+}
+
+/// `reps` independent workload units fanned across the batch executor:
+/// each task builds its own execution contexts over the registry's
+/// shared predecoded images and runs one kP mix. Returns the combined
+/// digest (order-independent by construction: serial fold over the
+/// per-task digests in index order).
+WorkloadResult run_batched(const ec::FieldOpCounts& ops, unsigned reps,
+                           unsigned threads) {
+  sim::BatchExecutor pool(threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<WorkloadResult> parts = pool.map<WorkloadResult>(
+      reps, [&](std::size_t) {
+        return run_workload(Cpu::DecodeMode::kPredecode, ops, 1);
+      });
+  const auto t1 = std::chrono::steady_clock::now();
+  WorkloadResult r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const WorkloadResult& p : parts) {
+    r.stats.instructions += p.stats.instructions;
+    r.stats.cycles += p.stats.cycles;
+    r.stats.histogram += p.stats.histogram;
+    mix64(r.output_digest, static_cast<std::uint32_t>(p.output_digest));
+    mix64(r.output_digest, static_cast<std::uint32_t>(p.output_digest >> 32));
   }
   return r;
 }
@@ -137,11 +136,14 @@ bool identical(const armvm::RunStats& a, const armvm::RunStats& b) {
 int main(int argc, char** argv) {
   unsigned reps = 3;
   unsigned rounds = 3;
+  unsigned threads = 0;  // 0 = hardware concurrency
   bool enforce = false;  // --enforce: exit nonzero when speedup < 3x
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       reps = static_cast<unsigned>(std::atoi(argv[++i]));
       if (reps == 0) reps = 1;  // zero work would make every rate NaN
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--enforce") == 0) {
       enforce = true;
     }
@@ -150,13 +152,7 @@ int main(int argc, char** argv) {
   bench::banner("VM host throughput - pre-decoded engine vs per-step decode");
 
   // Field-op mix of one real wTNAF w=4 kP on sect233k1.
-  Rng rng(0x7AB1E4);
-  const auto& k233 = ec::BinaryCurve::sect233k1();
-  const ec::AffinePoint g = ec::AffinePoint::make(k233.gx, k233.gy);
-  const mpint::UInt k = mpint::UInt::random_below(rng, k233.order);
-  const ec::CostedRun costed =
-      ec::cost_point_mul(k233, g, k, 4, false, ec::FieldCostTable{});
-  const ec::FieldOpCounts ops = costed.main_ops + costed.precomp_ops;
+  const ec::FieldOpCounts& ops = workloads::kp_mix_sect233k1();
   std::printf("kP workload (wTNAF w=4, sect233k1): %llu mul, %llu sqr, "
               "%llu inv per rep; %u rep(s), best of %u rounds\n\n",
               static_cast<unsigned long long>(ops.mul),
@@ -183,6 +179,18 @@ int main(int argc, char** argv) {
 
   const double speedup = pre.mips() / ref.mips();
 
+  // Batched section: same predecoded workload fanned across the batch
+  // executor. The one-thread digest is the determinism reference.
+  const WorkloadResult serial1 = run_batched(ops, reps, 1);
+  const WorkloadResult batched = run_batched(ops, reps, threads);
+  if (batched.output_digest != serial1.output_digest ||
+      batched.stats.instructions != serial1.stats.instructions ||
+      batched.stats.cycles != serial1.stats.cycles) {
+    std::fprintf(stderr, "FAIL: batch executor diverged from serial\n");
+    return 1;
+  }
+  const double batch_speedup = serial1.seconds / batched.seconds;
+
   bench::Table t({"Engine", "sim instructions", "sim cycles", "host s",
                   "sim MIPS"});
   t.add_row({"per-step decode (seed)", bench::fmt_u64(ref.stats.instructions),
@@ -191,10 +199,17 @@ int main(int argc, char** argv) {
   t.add_row({"pre-decoded cache", bench::fmt_u64(pre.stats.instructions),
              bench::fmt_u64(pre.stats.cycles), bench::fmt_f(pre.seconds, 4),
              bench::fmt_f(pre.mips(), 1)});
+  t.add_row({"pre-decoded, batched", bench::fmt_u64(batched.stats.instructions),
+             bench::fmt_u64(batched.stats.cycles),
+             bench::fmt_f(batched.seconds, 4),
+             bench::fmt_f(batched.mips(), 1)});
   t.print();
   std::printf("\nSpeedup: %.2fx (target >= 3x); cycle counts, histograms and "
               "energy reports bit-identical across engines\n",
               speedup);
+  std::printf("Batch executor: %.2fx over 1-thread serial, digest "
+              "bit-identical\n",
+              batch_speedup);
 
   std::string json_path =
       bench::json_flag_path(argc, argv, "BENCH_vm_throughput.json");
@@ -222,6 +237,15 @@ int main(int argc, char** argv) {
   w.field("cycles", pre.stats.cycles);
   w.field("host_seconds", pre.seconds);
   w.field("sim_mips", pre.mips());
+  w.end_object();
+  w.begin_object("batched");
+  w.field("engine", "pre-decoded cache, batch executor");
+  w.field("threads",
+          static_cast<std::uint64_t>(sim::BatchExecutor(threads).threads()));
+  w.field("instructions", batched.stats.instructions);
+  w.field("cycles", batched.stats.cycles);
+  w.field("host_seconds", batched.seconds);
+  w.field("batch_speedup", batch_speedup);
   w.end_object();
   w.field("speedup", speedup);
   w.field("bit_identical", true);

@@ -8,7 +8,8 @@
 #include "armvm/codec.h"
 #include "armvm/cpu.h"
 #include "asmkernels/gen.h"
-#include "asmkernels/runner.h"
+#include "workloads/registry.h"
+#include "workloads/runner.h"
 #include "common/rng.h"
 #include "measure/power_trace.h"
 
@@ -26,10 +27,10 @@ loop:    movs r2, r0
          movs r0, r1
          bx lr
 )";
-  const armvm::Program prog = armvm::assemble(src);
+  const armvm::ProgramRef prog = armvm::assemble(src);
   armvm::Memory mem(1 << 12);
-  armvm::Cpu cpu(prog.code, mem);
-  const auto stats = cpu.call(prog.entry("sum_sq"), {10});
+  armvm::Cpu cpu(prog, mem);
+  const auto stats = cpu.call(prog->entry("sum_sq"), {10});
   std::printf("sum of squares 1..10 = %u (expect 385)\n", cpu.reg(0));
   std::printf("  %llu instructions, %llu cycles, %.1f pJ\n\n",
               static_cast<unsigned long long>(stats.instructions),
@@ -37,16 +38,15 @@ loop:    movs r2, r0
               stats.energy().energy_pj);
 
   // --- 2. Disassemble the first lines of the generated mul kernel -----
-  const armvm::Program mul_prog =
-      armvm::assemble(asmkernels::gen_mul_fixed(true));
+  const armvm::ProgramRef mul_prog = workloads::kernel("mul");
   std::printf("LD-with-fixed-registers kernel, first 12 instructions:\n");
   std::size_t idx = 0;
   for (int i = 0; i < 12; ++i) {
-    const auto d = armvm::decode(mul_prog.code, idx);
+    const auto d = armvm::decode(mul_prog->code(), idx);
     std::printf("  %04zx: %s\n", 2 * idx, armvm::disassemble(d.ins).c_str());
     idx += d.halfwords;
   }
-  std::printf("  ... (%zu bytes total)\n\n", 2 * mul_prog.code.size());
+  std::printf("  ... (%zu bytes total)\n\n", 2 * mul_prog->code().size());
 
   // --- 3. Run it, with the power rig attached -------------------------
   asmkernels::KernelVm vm;

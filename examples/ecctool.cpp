@@ -7,28 +7,36 @@
 //   ecctool verify  <pub-hex> <r-hex> <s-hex> <message...>
 //   ecctool ecdh    <priv-hex> <peer-pub-hex>
 //   ecctool info
-//   ecctool profile [mul|mul-plain|sqr|inv] [--calls N]
+//   ecctool profile [mul|mul-plain|sqr|inv] [--calls N] [--threads N]
+//   ecctool campaign [--runs N] [--seed S] [--threads N]
 //
 // `profile` runs a K-233 field kernel on the cycle-accurate armvm with
-// the symbol-attributed profiler and RAM heatmap attached, prints the
+// the symbol-attributed profiler and RAM heatmap attached (one private
+// sink pair per execution context, merged after the run), prints the
 // per-function cycle/energy breakdown and the hottest RAM words, and
 // writes ecctool_trace.json (Perfetto) + ecctool_flame.txt.
+// `campaign` runs the seeded kP fault-injection matrix; its tallies are
+// bit-identical for any --threads value.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "armvm/asm.h"
 #include "armvm/cpu.h"
-#include "asmkernels/gen.h"
 #include "common/rng.h"
 #include "crypto/ecdsa.h"
 #include "ec/codec.h"
-#include "gf2/sqr_table.h"
+#include "faultsim/campaign.h"
 #include "profile/heatmap.h"
 #include "profile/profiler.h"
 #include "profile/trace_export.h"
+#include "sim/batch.h"
+#include "workloads/kp_mix.h"
+#include "workloads/registry.h"
 
 using namespace eccm0;
 
@@ -75,75 +83,130 @@ int usage() {
                "       ecctool verify <pub-hex> <r-hex> <s-hex> <message...>\n"
                "       ecctool ecdh <priv-hex> <peer-pub-hex>\n"
                "       ecctool info\n"
-               "       ecctool profile [mul|mul-plain|sqr|inv] [--calls N]\n");
+               "       ecctool profile [mul|mul-plain|sqr|inv] [--calls N]"
+               " [--threads N]\n"
+               "       ecctool campaign [--runs N] [--seed S]"
+               " [--threads N]\n");
   return 2;
 }
 
+/// One worker's share of a threaded profile: a private execution
+/// context over the shared registry image, with its own Profiler +
+/// MemHeatmap fanned in through a TeeSink.
+struct ProfilePart {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  double energy_uj = 0.0;
+  double time_ms = 0.0;
+  std::vector<profile::Profiler::FunctionStats> fns;
+  std::vector<std::uint64_t> loads;
+  std::vector<std::uint64_t> stores;
+};
+
+ProfilePart run_profile_part(const std::string& kernel, unsigned calls) {
+  workloads::KernelMachine km(workloads::kernel(kernel));
+  profile::Profiler prof(km.prog());
+  profile::MemHeatmap heat(workloads::kKernelRamSize);
+  profile::TeeSink tee({&prof, &heat});
+  km.cpu().set_trace_sink(&tee);
+
+  const workloads::KernelOperands& od = workloads::KernelOperands::standard();
+  workloads::load_mul_inputs(km.mem(), od.x, od.y);
+  workloads::load_sqr_table(km.mem());
+  for (unsigned c = 0; c < calls; ++c) {
+    workloads::load_inv_input(km.mem(), od.a);  // also the sqr input slot
+    km.call();
+  }
+
+  ProfilePart part;
+  const armvm::RunStats s = km.cpu().stats();
+  part.instructions = s.instructions;
+  part.cycles = s.cycles;
+  part.energy_uj = s.energy().energy_uj();
+  part.time_ms = s.energy().time_ms();
+  part.fns = prof.functions();
+  part.loads.resize(heat.words());
+  part.stores.resize(heat.words());
+  for (std::size_t w = 0; w < heat.words(); ++w) {
+    part.loads[w] = heat.loads_at(w);
+    part.stores[w] = heat.stores_at(w);
+  }
+  return part;
+}
+
 int run_profile(int argc, char** argv) {
-  constexpr std::size_t kRamSize = 0x800;
   std::string kernel = "mul";
   unsigned calls = 1;
+  unsigned threads = 1;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--calls") == 0 && i + 1 < argc) {
       calls = static_cast<unsigned>(std::atoi(argv[++i]));
       if (calls == 0) calls = 1;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
     } else {
       kernel = argv[i];
     }
   }
-
-  armvm::Program prog;
-  if (kernel == "mul") {
-    prog = armvm::assemble(asmkernels::gen_mul_fixed(true));
-  } else if (kernel == "mul-plain") {
-    prog = armvm::assemble(asmkernels::gen_mul_plain(true));
-  } else if (kernel == "sqr") {
-    prog = armvm::assemble(asmkernels::gen_sqr());
-  } else if (kernel == "inv") {
-    prog = armvm::assemble(asmkernels::gen_inv());
-  } else {
+  if (!workloads::KernelRegistry::instance().contains(kernel)) {
     return usage();
   }
 
-  armvm::Memory mem(kRamSize);
-  armvm::Cpu cpu(prog.code, mem, armvm::Cpu::DecodeMode::kPredecode);
-  profile::Profiler prof(prog);
-  profile::MemHeatmap heat(kRamSize);
-  profile::TeeSink tee({&prof, &heat});
-  cpu.set_trace_sink(&tee);
+  // Fan the calls across one context per task; each context has private
+  // sinks, merged below, so the aggregate attribution is thread-count
+  // independent.
+  sim::BatchExecutor pool(threads);
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::uint64_t>(
+          threads == 0 ? calls : std::min<std::uint64_t>(threads, calls),
+          calls));
+  std::vector<unsigned> share(workers, calls / workers);
+  for (unsigned w = 0; w < calls % workers; ++w) ++share[w];
+  const std::vector<ProfilePart> parts = pool.map<ProfilePart>(
+      workers, [&](std::size_t w) { return run_profile_part(kernel, share[w]); });
 
-  Rng rng(0xECC7001);
-  std::uint32_t op[3][8];
-  for (auto& v : op) {
-    for (auto& w : v) w = static_cast<std::uint32_t>(rng.next_u64());
-    v[7] &= 0x1FF;  // in-field (233 bits)
-  }
-  op[2][0] |= 1;  // inversion input must be nonzero
-  for (int w = 0; w < 8; ++w) {
-    mem.store32(armvm::kRamBase + asmkernels::kXOff + 4 * w, op[0][w]);
-    mem.store32(armvm::kRamBase + asmkernels::kYOff + 4 * w, op[1][w]);
-  }
-  for (unsigned i = 0; i < 256; ++i) {
-    mem.store16(armvm::kRamBase + asmkernels::kSqrTabOff + 2 * i,
-                gf2::kSquareTable[i]);
-  }
-  for (unsigned c = 0; c < calls; ++c) {
-    for (int w = 0; w < 8; ++w) {
-      mem.store32(armvm::kRamBase + asmkernels::kInOff + 4 * w, op[2][w]);
+  ProfilePart all;
+  std::map<std::string, profile::Profiler::FunctionStats> merged;
+  for (const ProfilePart& p : parts) {
+    all.instructions += p.instructions;
+    all.cycles += p.cycles;
+    all.energy_uj += p.energy_uj;
+    all.time_ms += p.time_ms;
+    if (all.loads.size() < p.loads.size()) {
+      all.loads.resize(p.loads.size());
+      all.stores.resize(p.stores.size());
     }
-    cpu.call(prog.entry("entry"), {});
+    for (std::size_t w = 0; w < p.loads.size(); ++w) {
+      all.loads[w] += p.loads[w];
+      all.stores[w] += p.stores[w];
+    }
+    for (const auto& f : p.fns) {
+      auto& m = merged[f.name];
+      m.name = f.name;
+      m.addr = f.addr;
+      m.calls += f.calls;
+      m.instructions += f.instructions;
+      m.self_cycles += f.self_cycles;
+      m.inclusive_cycles += f.inclusive_cycles;
+      m.self_hist += f.self_hist;
+      m.inclusive_hist += f.inclusive_hist;
+    }
   }
 
-  const armvm::RunStats s = cpu.stats();
-  std::printf("kernel %s: %u call(s), %llu instructions, %llu cycles, "
-              "%.3f uJ, %.3f ms @48 MHz\n\n",
-              kernel.c_str(), calls,
-              static_cast<unsigned long long>(s.instructions),
-              static_cast<unsigned long long>(s.cycles),
-              s.energy().energy_uj(), s.energy().time_ms());
+  std::printf("kernel %s: %u call(s), %u context(s), %llu instructions, "
+              "%llu cycles, %.3f uJ, %.3f ms @48 MHz\n\n",
+              kernel.c_str(), calls, workers,
+              static_cast<unsigned long long>(all.instructions),
+              static_cast<unsigned long long>(all.cycles), all.energy_uj,
+              all.time_ms);
   std::printf("%-10s %8s %10s %12s %12s %10s\n", "function", "calls",
               "instrs", "self cyc", "incl cyc", "self pJ");
-  for (const auto& f : prof.functions()) {
+  std::vector<profile::Profiler::FunctionStats> fns;
+  for (auto& [name, f] : merged) fns.push_back(f);
+  std::sort(fns.begin(), fns.end(), [](const auto& a, const auto& b) {
+    return a.self_cycles > b.self_cycles;
+  });
+  for (const auto& f : fns) {
     std::printf("%-10s %8llu %10llu %12llu %12llu %10.0f\n", f.name.c_str(),
                 static_cast<unsigned long long>(f.calls),
                 static_cast<unsigned long long>(f.instructions),
@@ -152,11 +215,30 @@ int run_profile(int argc, char** argv) {
                 f.self_energy_pj());
   }
   std::printf("\nhottest RAM words (loads+stores):\n");
-  for (const auto& [word, traffic] : heat.hottest(8)) {
+  std::vector<std::pair<std::size_t, std::uint64_t>> hot;
+  for (std::size_t w = 0; w < all.loads.size(); ++w) {
+    if (all.loads[w] + all.stores[w]) {
+      hot.emplace_back(w, all.loads[w] + all.stores[w]);
+    }
+  }
+  std::sort(hot.begin(), hot.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (hot.size() > 8) hot.resize(8);
+  for (const auto& [word, traffic] : hot) {
     std::printf("  +0x%03zx: %llu\n", word * 4,
                 static_cast<unsigned long long>(traffic));
   }
 
+  // The timeline export needs one coherent span stream; rerun one
+  // context's worth when the run was fanned out.
+  workloads::KernelMachine km(workloads::kernel(kernel));
+  profile::Profiler prof(km.prog());
+  km.cpu().set_trace_sink(&prof);
+  const workloads::KernelOperands& od = workloads::KernelOperands::standard();
+  workloads::load_mul_inputs(km.mem(), od.x, od.y);
+  workloads::load_sqr_table(km.mem());
+  workloads::load_inv_input(km.mem(), od.a);
+  km.call();
   const profile::NamedProfile tracks[] = {{kernel, &prof}};
   if (profile::write_text_file("ecctool_trace.json",
                                profile::chrome_trace_json(tracks)) &&
@@ -164,6 +246,49 @@ int run_profile(int argc, char** argv) {
                                profile::collapsed_stack_text(tracks))) {
     std::printf("\nwrote ecctool_trace.json (Perfetto) and "
                 "ecctool_flame.txt (flamegraph.pl)\n");
+  }
+  return 0;
+}
+
+int run_campaign(int argc, char** argv) {
+  faultsim::CampaignConfig cfg;
+  cfg.runs_per_model = 200;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      cfg.runs_per_model = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      if (cfg.runs_per_model == 0) cfg.runs_per_model = 1;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      cfg.seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 0));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      cfg.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else {
+      return usage();
+    }
+  }
+  std::printf("kP fault campaign: seed 0x%llx, %llu runs/model, "
+              "%u thread(s)\n\n",
+              static_cast<unsigned long long>(cfg.seed),
+              static_cast<unsigned long long>(cfg.runs_per_model),
+              cfg.threads);
+  const faultsim::CampaignResult res = faultsim::run_kp_campaign(cfg);
+  const auto& profiles = faultsim::protection_profiles();
+  std::printf("silent-corruption rate (%% of runs), fault model x "
+              "protection profile:\n");
+  std::printf("%-18s", "model");
+  for (const auto& p : profiles) std::printf(" %16s", p.name);
+  std::printf("\n");
+  for (const auto& m : res.models) {
+    std::printf("%-18s", faultsim::fault_model_name(m.model));
+    for (unsigned p = 0; p < faultsim::kNumProfiles; ++p) {
+      std::printf(" %15.1f%%", 100.0 * m.per_profile[p].silent_rate());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nclean-run cost of each profile (proposed-asm prices):\n");
+  for (unsigned p = 0; p < faultsim::kNumProfiles; ++p) {
+    std::printf("  %-16s %10llu cycles  %8.2f uJ\n", profiles[p].name,
+                static_cast<unsigned long long>(res.costs[p].cycles),
+                res.costs[p].energy_uj);
   }
   return 0;
 }
@@ -180,6 +305,7 @@ int main(int argc, char** argv) {
 
   try {
     if (cmd == "profile") return run_profile(argc, argv);
+    if (cmd == "campaign") return run_campaign(argc, argv);
     if (cmd == "info") {
       std::printf("curve     : %s (Koblitz, F(2^%u), a=0, b=1, h=%u)\n",
                   curve.name.c_str(), curve.f().m(), curve.cofactor);

@@ -157,7 +157,7 @@ class Assembler {
  public:
   explicit Assembler(std::string_view source) : source_(source) {}
 
-  Program run() {
+  ProgramRef run() {
     pass1();
     layout();
     return pass2();
@@ -583,21 +583,21 @@ class Assembler {
     }
   }
 
-  Program pass2() {
-    Program p;
+  ProgramRef pass2() {
+    std::vector<std::uint16_t> code;
     for (const Item& it : items_) {
       line_ = it.line;
-      while (p.code.size() < it.addr / 2) p.code.push_back(0xBF00);  // pad
+      while (code.size() < it.addr / 2) code.push_back(0xBF00);  // pad
       switch (it.kind) {
         case Item::Kind::kInstr: {
           const auto hw = encode(it.ins);
-          p.code.insert(p.code.end(), hw.begin(), hw.end());
+          code.insert(code.end(), hw.begin(), hw.end());
           break;
         }
         case Item::Kind::kWordData: {
           if (it.addr % 4 != 0) fail(".word not word-aligned");
-          p.code.push_back(static_cast<std::uint16_t>(it.literal));
-          p.code.push_back(static_cast<std::uint16_t>(it.literal >> 16));
+          code.push_back(static_cast<std::uint16_t>(it.literal));
+          code.push_back(static_cast<std::uint16_t>(it.literal >> 16));
           break;
         }
         case Item::Kind::kBranch: {
@@ -617,7 +617,7 @@ class Assembler {
                       static_cast<std::int32_t>(it.addr + 4);
           }
           const auto hw = encode(ins);
-          p.code.insert(p.code.end(), hw.begin(), hw.end());
+          code.insert(code.end(), hw.begin(), hw.end());
           break;
         }
         case Item::Kind::kLdrLit: {
@@ -634,20 +634,19 @@ class Assembler {
           ins.op = Op::kLdrLit;
           ins.imm = static_cast<std::int32_t>(lit_addr - base);
           const auto hw = encode(ins);
-          p.code.insert(p.code.end(), hw.begin(), hw.end());
+          code.insert(code.end(), hw.begin(), hw.end());
           break;
         }
       }
     }
     if (!pool_.empty()) {
-      while (p.code.size() * 2 < pool_base_) p.code.push_back(0xBF00);
+      while (code.size() * 2 < pool_base_) code.push_back(0xBF00);
     }
     for (std::uint32_t v : pool_) {
-      p.code.push_back(static_cast<std::uint16_t>(v));
-      p.code.push_back(static_cast<std::uint16_t>(v >> 16));
+      code.push_back(static_cast<std::uint16_t>(v));
+      code.push_back(static_cast<std::uint16_t>(v >> 16));
     }
-    for (const auto& [name, addr] : label_addr_) p.symbols[name] = addr;
-    return p;
+    return make_program(std::move(code), label_addr_);
   }
 
   std::string_view source_;
@@ -662,14 +661,6 @@ class Assembler {
 
 }  // namespace
 
-std::uint32_t Program::entry(const std::string& label) const {
-  const auto it = symbols.find(label);
-  if (it == symbols.end()) {
-    throw std::out_of_range("Program: no symbol '" + label + "'");
-  }
-  return it->second;
-}
-
-Program assemble(std::string_view source) { return Assembler(source).run(); }
+ProgramRef assemble(std::string_view source) { return Assembler(source).run(); }
 
 }  // namespace eccm0::armvm

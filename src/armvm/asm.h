@@ -6,24 +6,16 @@
 // write the paper's field-arithmetic kernels as readable source.
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <string>
 #include <string_view>
-#include <vector>
+
+#include "armvm/program.h"
 
 namespace eccm0::armvm {
 
-struct Program {
-  std::vector<std::uint16_t> code;
-  /// Label name -> byte address within the image.
-  std::map<std::string, std::uint32_t> symbols;
-
-  std::uint32_t entry(const std::string& label) const;
-};
-
-/// Assemble source text. Throws std::invalid_argument with a line-tagged
-/// message on syntax errors, unknown mnemonics, or out-of-range operands.
-Program assemble(std::string_view source);
+/// Assemble source text into a shared immutable Program (code + symbols
+/// + predecode cache, built once). Throws std::invalid_argument with a
+/// line-tagged message on syntax errors, unknown mnemonics, or
+/// out-of-range operands.
+ProgramRef assemble(std::string_view source);
 
 }  // namespace eccm0::armvm

@@ -1,5 +1,6 @@
 #include "armvm/cpu.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "armvm/codec.h"
@@ -68,6 +69,13 @@ void Memory::store32_slow(std::uint32_t addr, std::uint32_t v) {
   bytes_[i + 3] = static_cast<std::uint8_t>(v >> 24);
 }
 
+void Memory::set_bytes(std::span<const std::uint8_t> image) {
+  if (image.size() != bytes_.size()) {
+    throw std::invalid_argument("Memory::set_bytes: size mismatch");
+  }
+  std::copy(image.begin(), image.end(), bytes_.begin());
+}
+
 void Memory::write_words(std::uint32_t addr,
                          std::span<const std::uint32_t> w) {
   for (std::size_t i = 0; i < w.size(); ++i) {
@@ -84,19 +92,23 @@ std::vector<std::uint32_t> Memory::read_words(std::uint32_t addr,
   return out;
 }
 
-Cpu::Cpu(std::vector<std::uint16_t> code, Memory& ram, DecodeMode mode)
-    : code_(std::move(code)),
-      cache_(mode == DecodeMode::kPredecode ? predecode(code_)
-                                            : std::vector<PredecodedSlot>{}),
+Cpu::Cpu(ProgramRef prog, Memory& ram, DecodeMode mode)
+    : prog_(std::move(prog)),
+      code_(prog_->code().data()),
+      code_size_(prog_->code().size()),
+      cache_(prog_->cache().data()),
       ram_(ram),
       mode_(mode) {
   r_[kSP] = kRamBase + static_cast<std::uint32_t>(ram_.size());
 }
 
+Cpu::Cpu(std::vector<std::uint16_t> code, Memory& ram, DecodeMode mode)
+    : Cpu(make_program(std::move(code)), ram, mode) {}
+
 void Cpu::trap_undecodable(std::size_t idx) const {
   // Re-run the fresh decoder so the caller sees the exact error a
   // per-step interpreter would have raised at this PC.
-  (void)decode(code_, idx);
+  (void)decode(prog_->code(), idx);
   throw std::logic_error("Cpu: predecode-invalid slot decoded cleanly");
 }
 
@@ -127,7 +139,7 @@ std::uint32_t Cpu::read_mem(std::uint32_t addr, unsigned bytes) {
     for (unsigned i = 0; i < bytes; ++i) {
       const std::uint32_t byte_addr = addr + i;
       const std::size_t hw = byte_addr / 2;
-      if (hw >= code_.size()) {
+      if (hw >= code_size_) {
         throw BusFault("Cpu: code-space read out of range", byte_addr);
       }
       const std::uint8_t byte =
@@ -173,6 +185,23 @@ void Cpu::set_arch_state(const ArchState& s) {
   v_ = s.v;
 }
 
+MachineSnapshot Cpu::snapshot() const {
+  MachineSnapshot s;
+  s.arch = arch_state();
+  s.stats = stats_;
+  s.halted = halted_;
+  const auto ram = ram_.bytes();
+  s.ram.assign(ram.begin(), ram.end());
+  return s;
+}
+
+void Cpu::restore(const MachineSnapshot& s) {
+  set_arch_state(s.arch);
+  stats_ = s.stats;
+  halted_ = s.halted;
+  ram_.set_bytes(s.ram);
+}
+
 void Cpu::exec_traced(std::uint32_t pc, const Instr& ins, unsigned halfwords) {
   ev_.cycle = stats_.cycles;
   ev_.pc = pc;
@@ -202,7 +231,7 @@ bool Cpu::step_impl() {
   }
   if (pc % 2 != 0) throw AlignmentFault("Cpu: odd PC", pc);
   const std::size_t idx = pc / 2;
-  if (idx >= code_.size()) throw BusFault("Cpu: PC outside code", pc);
+  if (idx >= code_size_) throw BusFault("Cpu: PC outside code", pc);
   if (mode_ == DecodeMode::kPredecode) [[likely]] {
     const PredecodedSlot& s = cache_[idx];
     if (!s.valid) [[unlikely]] trap_undecodable(idx);
@@ -213,7 +242,7 @@ bool Cpu::step_impl() {
       exec_traced(pc, s.ins, s.halfwords);
     }
   } else {
-    const Decoded d = decode(code_, idx);
+    const Decoded d = decode(prog_->code(), idx);
     r_[kPC] = pc + 2 * d.halfwords;  // default fallthrough
     if (trace_ == nullptr) [[likely]] {
       exec<false>(d.ins, d.halfwords);
@@ -240,8 +269,8 @@ ECCM0_FLATTEN std::uint64_t Cpu::run_predecoded_impl(std::uint64_t limit) {
   // and flushed once per chunk (also on the exception path, so stats_
   // reflect exactly the instructions that retired before a fault — the
   // same state a step-at-a-time loop leaves behind).
-  const PredecodedSlot* const cache = cache_.data();
-  const std::size_t code_halfwords = code_.size();
+  const PredecodedSlot* const cache = cache_;
+  const std::size_t code_halfwords = code_size_;
   std::uint64_t done = 0;
   try {
     while (done < limit && !halted_) {

@@ -26,6 +26,7 @@
 
 #include "armvm/codec.h"
 #include "armvm/fault.h"
+#include "armvm/program.h"
 #include "costmodel/energy.h"
 
 namespace eccm0::armvm {
@@ -103,6 +104,12 @@ class Memory {
   std::vector<std::uint32_t> read_words(std::uint32_t addr,
                                         std::size_t count) const;
 
+  /// Whole-RAM access for machine snapshots.
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+  /// Overwrite the full RAM image (size must match exactly; throws
+  /// std::invalid_argument otherwise). Used by Cpu::restore().
+  void set_bytes(std::span<const std::uint8_t> image);
+
  private:
   static std::uint16_t le16(const std::uint8_t* p) {
     if constexpr (std::endian::native == std::endian::little) {
@@ -162,6 +169,25 @@ struct RunStats {
                                      costmodel::kM0PlusEnergy) const {
     return costmodel::energy_of(histogram, t);
   }
+
+  friend bool operator==(const RunStats&, const RunStats&) = default;
+};
+
+/// Complete checkpoint of one execution context: architectural state
+/// (registers + flags, with the retired-work counters mirrored in
+/// `arch`), the full RunStats including the cycle histogram, the halted
+/// latch, and the entire RAM image. `Cpu::snapshot()` at an injection
+/// point plus `Cpu::restore()` on any context over the same Program
+/// forks the run instead of replaying it from reset — the continuation
+/// is bit-identical to a straight-through execution.
+struct MachineSnapshot {
+  ArchState arch;
+  RunStats stats;
+  bool halted = false;
+  std::vector<std::uint8_t> ram;
+
+  friend bool operator==(const MachineSnapshot&,
+                         const MachineSnapshot&) = default;
 };
 
 /// One memory access performed by a retired instruction.
@@ -244,9 +270,18 @@ class Cpu {
     kPerStep,    ///< reference engine: fresh decode() every instruction
   };
 
-  /// `code` is the Thumb image at address 0; `ram` is the SRAM.
+  /// A Cpu is a cheap per-run execution context over a shared immutable
+  /// `Program` (code at address 0, predecode cache, symbols); `ram` is
+  /// the SRAM. Any number of contexts — including on different threads —
+  /// can execute the same ProgramRef concurrently, each with its own
+  /// Memory.
+  Cpu(ProgramRef prog, Memory& ram, DecodeMode mode = DecodeMode::kPredecode);
+  /// Convenience: wrap raw halfwords into a fresh single-use Program.
   Cpu(std::vector<std::uint16_t> code, Memory& ram,
       DecodeMode mode = DecodeMode::kPredecode);
+
+  const Program& program() const { return *prog_; }
+  const ProgramRef& program_ref() const { return prog_; }
 
   std::uint32_t reg(unsigned r) const { return r_[r]; }
   void set_reg(unsigned r, std::uint32_t v) { r_[r] = v; }
@@ -270,10 +305,27 @@ class Cpu {
   /// structure a Fault carries. Used by fault-injection harnesses to
   /// hand execution between cores and by tests to compare engines.
   ArchState arch_state() const;
-  /// Restore registers and flags from a snapshot (retired-work counters
-  /// and the halted latch are NOT restored; they belong to this core's
-  /// own execution history).
+  /// Restore registers and flags from a snapshot. Deliberately
+  /// asymmetric with arch_state(): the retired-work counters and the
+  /// halted latch are NOT restored — they belong to this core's own
+  /// execution history. `reset_stats()` + `set_arch_state()` (plus
+  /// `clear_halted()` if the core already ran to completion) therefore
+  /// give a clean re-run from the restored architectural state.
   void set_arch_state(const ArchState& s);
+
+  /// Full machine checkpoint: architectural state, RunStats (histogram
+  /// included), halted latch and the complete RAM image.
+  MachineSnapshot snapshot() const;
+  /// Restore every field a snapshot() captured — counters, latch and
+  /// RAM included — so execution resumes bit-identically from the
+  /// checkpoint. The snapshot's RAM size must match this context's RAM.
+  void restore(const MachineSnapshot& s);
+
+  /// True once a run ended (BKPT or return sentinel). `call()` clears
+  /// the latch itself; `clear_halted()` re-arms a stepped or restored
+  /// context so it can resume.
+  bool halted() const { return halted_; }
+  void clear_halted() { halted_ = false; }
 
   const RunStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -322,8 +374,12 @@ class Cpu {
   template <bool kTraced>
   std::uint64_t run_predecoded_impl(std::uint64_t limit);
 
-  std::vector<std::uint16_t> code_;
-  std::vector<PredecodedSlot> cache_;
+  /// The shared immutable image, plus raw views into it so the hot loop
+  /// pays no shared_ptr indirection.
+  ProgramRef prog_;
+  const std::uint16_t* code_ = nullptr;
+  std::size_t code_size_ = 0;
+  const PredecodedSlot* cache_ = nullptr;
   Memory& ram_;
   DecodeMode mode_;
   std::uint32_t r_[16] = {};

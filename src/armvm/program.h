@@ -1,0 +1,58 @@
+// Immutable, shareable Thumb image.
+//
+// A `Program` bundles everything that is a pure function of the source
+// text — the halfword code image, the label symbol table, and the
+// predecode cache — built exactly once and then frozen. Harnesses share
+// one image across any number of execution contexts via `ProgramRef`
+// (a shared_ptr-to-const): every `Cpu` is a cheap per-run context over
+// the shared artifact, so campaigns and multi-threaded bench sweeps pay
+// the assemble+predecode cost once instead of per run (and concurrent
+// readers need no locking, because nothing here ever mutates).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "armvm/codec.h"
+
+namespace eccm0::armvm {
+
+class Program {
+ public:
+  Program() = default;
+  /// Freeze `code` (+ optional label table) and predecode it. The
+  /// predecode pass is total — undecodable halfwords become invalid
+  /// slots that trap only if the PC lands on them — so construction
+  /// never throws on bad encodings.
+  explicit Program(std::vector<std::uint16_t> code,
+                   std::map<std::string, std::uint32_t> symbols = {});
+
+  const std::vector<std::uint16_t>& code() const { return code_; }
+  const std::map<std::string, std::uint32_t>& symbols() const {
+    return symbols_;
+  }
+  const std::vector<PredecodedSlot>& cache() const { return cache_; }
+  /// Static code size in bytes (for the Table-7 style reports).
+  std::size_t code_bytes() const { return 2 * code_.size(); }
+
+  /// Byte address of `label`. Throws std::out_of_range if undefined.
+  std::uint32_t entry(const std::string& label) const;
+
+ private:
+  std::vector<std::uint16_t> code_;
+  std::map<std::string, std::uint32_t> symbols_;
+  std::vector<PredecodedSlot> cache_;
+};
+
+/// How every harness holds a program: immutable and shared.
+using ProgramRef = std::shared_ptr<const Program>;
+
+/// Wrap raw halfwords (tests, scratch images for opcode corruption) into
+/// a shared immutable image.
+ProgramRef make_program(std::vector<std::uint16_t> code,
+                        std::map<std::string, std::uint32_t> symbols = {});
+
+}  // namespace eccm0::armvm

@@ -39,6 +39,22 @@ class Rng {
     for (auto& b : out) b = static_cast<std::uint8_t>(next_u64());
   }
 
+  /// Derive an independent child stream as a pure function of the
+  /// current state and `id`; the parent is not advanced. Child streams
+  /// for distinct ids are decorrelated from each other and from the
+  /// parent's own output sequence. Parallel campaigns split one child
+  /// per task from the campaign seed, so every task's randomness is a
+  /// function of (seed, task index) alone — never of scheduling order
+  /// or thread count.
+  constexpr Rng split(std::uint64_t id) const {
+    // SplitMix64 finalizer over the state perturbed by a golden-ratio
+    // multiple of the id (id 0 must not alias the parent state).
+    std::uint64_t z = state_ + 0x9E3779B97F4A7C15ull * (id + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return Rng(z ^ (z >> 31));
+  }
+
  private:
   std::uint64_t state_;
 };

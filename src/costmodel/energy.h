@@ -73,6 +73,9 @@ struct CycleHistogram {
     }
     return *this;
   }
+
+  friend constexpr bool operator==(const CycleHistogram&,
+                                   const CycleHistogram&) = default;
 };
 
 /// Energy/time/power summary for one routine execution, the quantities the

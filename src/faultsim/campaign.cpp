@@ -5,6 +5,8 @@
 #include "asmkernels/gen.h"
 #include "gf2/k233.h"
 #include "relic_like/costs.h"
+#include "sim/batch.h"
+#include "workloads/registry.h"
 
 namespace eccm0::faultsim {
 
@@ -85,7 +87,7 @@ std::uint64_t priced_cycles(const ec::FieldOpCounts& ops,
 KpFaultCampaign::KpFaultCampaign(std::uint64_t seed)
     : seed_(seed),
       curve_(ec::BinaryCurve::sect233k1()),
-      mul_prog_(armvm::assemble(asmkernels::gen_mul_fixed(true))) {
+      mul_prog_(workloads::kernel("mul")) {
   Rng rng(seed);
   CurveOps ops(curve_);
   const AffinePoint g = AffinePoint::make(curve_.gx, curve_.gy);
@@ -121,74 +123,83 @@ KpFaultCampaign::KpFaultCampaign(std::uint64_t seed)
   muls_per_kp_ = counting.counts().mul;
 }
 
-ModelResult KpFaultCampaign::run_model(FaultModel model, std::uint64_t runs) {
+KpFaultCampaign::RunObservation KpFaultCampaign::evaluate_run(
+    FaultModel model, std::uint64_t run) const {
+  // Per-run stream: child `run` of the per-model stream. A pure function
+  // of (seed, model, run), so any thread can evaluate any run and the
+  // campaign is independent of scheduling order.
+  const Rng model_stream(seed_ ^ (0x9E3779B97F4A7C15ull *
+                                  (static_cast<std::uint64_t>(model) + 2)));
+  Rng rng = model_stream.split(run);
+  const std::uint64_t target = rng.next_below(muls_per_kp_);
+  const FaultSpec spec =
+      sample_spec(rng, model, kernel_retires_, kKernelDataWords);
+
+  // One evaluation per injection; the observations below are enough to
+  // classify it under every countermeasure set.
+  RunObservation obs;
+  bool fired = false;
+  CurveOps ops(curve_);
+  ops.set_mul_tamper([&](std::uint64_t idx, const gf2::Elem& a,
+                         const gf2::Elem& b, gf2::Elem& out) {
+    if (fired || idx != target) return;
+    fired = true;
+    armvm::Memory mem(kKernelRamSize);
+    write_fe(mem, asmkernels::kXOff, to_fe(a));
+    write_fe(mem, asmkernels::kYOff, to_fe(b));
+    const InjectedRun vm = run_with_fault(mul_prog_, mem, spec,
+                                          kKernelBudget);
+    obs.vm_injected = vm.injected;
+    if (vm.outcome == RunOutcome::kCrashed) throw CrashSignal{};
+    const auto words =
+        mem.read_words(armvm::kRamBase + asmkernels::kVOff, 8);
+    gf2::k233::Fe fe{};
+    for (std::size_t i = 0; i < fe.size(); ++i) fe[i] = words[i];
+    out = from_fe(fe);
+  });
+  try {
+    const ec::WtnafTable t = ec::make_wtnaf_table(ops, p_, 4, &obs.collapsed);
+    const ec::LDPoint q_ld = ec::mul_wtnaf_ld(ops, t, k_, &obs.collapsed);
+    obs.inf = q_ld.is_inf();
+    obs.oncurve = ops.on_curve_ld(q_ld);
+    const AffinePoint q = ops.to_affine(q_ld);
+    obs.wrong = !(q == golden_);
+    if (obs.wrong && obs.oncurve && !obs.inf) {
+      // Lazy: the order check only matters for the rare faults that
+      // land back on the curve. Doubling-based on purpose — the
+      // tau-adic expansion of n is all zeros, so mul_wtnaf(Q, n) would
+      // pass everything (see protect.cpp).
+      obs.order_ok =
+          ec::mul_wnaf(ops, q, curve_.order, 4) == AffinePoint::infinity();
+    }
+  } catch (const CrashSignal&) {
+    obs.crashed = true;
+  }
+  return obs;
+}
+
+ModelResult KpFaultCampaign::run_model(FaultModel model, std::uint64_t runs,
+                                       unsigned threads) {
   ModelResult res;
   res.model = model;
   res.runs = runs;
-  // Per-model spec stream, decorrelated from the setup stream but still
-  // a pure function of (seed, model).
-  Rng rng(seed_ ^ (0x9E3779B97F4A7C15ull *
-                   (static_cast<std::uint64_t>(model) + 2)));
+  sim::BatchExecutor pool(threads);
+  const std::vector<RunObservation> observations =
+      pool.map<RunObservation>(runs, [&](std::size_t run) {
+        return evaluate_run(model, static_cast<std::uint64_t>(run));
+      });
+
+  // Tally serially in run order, so the result is byte-for-byte the
+  // same whatever the worker count.
   const auto& profiles = protection_profiles();
-  for (std::uint64_t run = 0; run < runs; ++run) {
-    const std::uint64_t target = rng.next_below(muls_per_kp_);
-    const FaultSpec spec =
-        sample_spec(rng, model, kernel_retires_, kKernelDataWords);
-
-    // One evaluation per injection; the observations below are enough to
-    // classify it under every countermeasure set.
-    bool crashed = false;
-    bool fired = false;
-    bool vm_injected = false;
-    bool wrong = false;
-    bool inf = false;
-    bool oncurve = true;
-    bool order_ok = true;
-    bool collapsed = false;
-    CurveOps ops(curve_);
-    ops.set_mul_tamper([&](std::uint64_t idx, const gf2::Elem& a,
-                           const gf2::Elem& b, gf2::Elem& out) {
-      if (fired || idx != target) return;
-      fired = true;
-      armvm::Memory mem(kKernelRamSize);
-      write_fe(mem, asmkernels::kXOff, to_fe(a));
-      write_fe(mem, asmkernels::kYOff, to_fe(b));
-      const InjectedRun vm = run_with_fault(mul_prog_, mem, spec,
-                                            kKernelBudget);
-      vm_injected = vm.injected;
-      if (vm.outcome == RunOutcome::kCrashed) throw CrashSignal{};
-      const auto words =
-          mem.read_words(armvm::kRamBase + asmkernels::kVOff, 8);
-      gf2::k233::Fe fe{};
-      for (std::size_t i = 0; i < fe.size(); ++i) fe[i] = words[i];
-      out = from_fe(fe);
-    });
-    try {
-      const ec::WtnafTable t = ec::make_wtnaf_table(ops, p_, 4, &collapsed);
-      const ec::LDPoint q_ld = ec::mul_wtnaf_ld(ops, t, k_, &collapsed);
-      inf = q_ld.is_inf();
-      oncurve = ops.on_curve_ld(q_ld);
-      const AffinePoint q = ops.to_affine(q_ld);
-      wrong = !(q == golden_);
-      if (wrong && oncurve && !inf) {
-        // Lazy: the order check only matters for the rare faults that
-        // land back on the curve. Doubling-based on purpose — the
-        // tau-adic expansion of n is all zeros, so mul_wtnaf(Q, n) would
-        // pass everything (see protect.cpp).
-        order_ok =
-            ec::mul_wnaf(ops, q, curve_.order, 4) == AffinePoint::infinity();
-      }
-    } catch (const CrashSignal&) {
-      crashed = true;
-    }
-    if (vm_injected) ++res.injected;
-
+  for (const RunObservation& obs : observations) {
+    if (obs.vm_injected) ++res.injected;
     for (unsigned p = 0; p < kNumProfiles; ++p) {
       const ec::ProtectOpts& o = profiles[p].opts;
       Outcome outcome;
-      if (crashed) {
+      if (obs.crashed) {
         outcome = Outcome::kCrashed;
-      } else if (!wrong) {
+      } else if (!obs.wrong) {
         outcome = Outcome::kCorrect;
       } else {
         bool detected = false;
@@ -197,10 +208,10 @@ ModelResult KpFaultCampaign::run_model(FaultModel model, std::uint64_t runs) {
           // impossible identity (kP = inf with validated 0 < k < n), and
           // a mid-loop identity collapse (whose rebuilt endpoint is a
           // valid wrong point the two end checks cannot see).
-          detected = inf || !oncurve || collapsed;
+          detected = obs.inf || !obs.oncurve || obs.collapsed;
         }
-        if (!detected && o.order_check && oncurve && !inf) {
-          detected = !order_ok;
+        if (!detected && o.order_check && obs.oncurve && !obs.inf) {
+          detected = !obs.order_ok;
         }
         outcome = detected ? Outcome::kDetected : Outcome::kSilentWrong;
       }
@@ -233,7 +244,8 @@ CampaignResult run_kp_campaign(const CampaignConfig& config) {
       FaultModel::kRegisterFlip, FaultModel::kRamFlip,
       FaultModel::kInstructionSkip, FaultModel::kOpcodeFlip};
   for (unsigned m = 0; m < kNumFaultModels; ++m) {
-    res.models[m] = campaign.run_model(models[m], config.runs_per_model);
+    res.models[m] =
+        campaign.run_model(models[m], config.runs_per_model, config.threads);
   }
   res.costs = campaign.profile_costs(relic_like::proposed_asm_costs());
   return res;

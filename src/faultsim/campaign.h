@@ -74,6 +74,11 @@ struct ModelResult {
 struct CampaignConfig {
   std::uint64_t seed = 0xECC0FA17u;
   std::uint64_t runs_per_model = 1000;
+  /// Worker threads for the batch executor (0 = hardware concurrency).
+  /// Results are bit-identical regardless of the thread count: every
+  /// run's RNG stream is split from (seed, model, run index) alone and
+  /// tallies aggregate in run order.
+  unsigned threads = 1;
 };
 
 struct CampaignResult {
@@ -86,8 +91,11 @@ class KpFaultCampaign {
  public:
   explicit KpFaultCampaign(std::uint64_t seed);
 
-  /// Inject `runs` seeded faults of `model`, one per kP computation.
-  ModelResult run_model(FaultModel model, std::uint64_t runs);
+  /// Inject `runs` seeded faults of `model`, one per kP computation,
+  /// fanned across `threads` workers (1 = serial; 0 = hardware
+  /// concurrency). The tally is independent of the thread count.
+  ModelResult run_model(FaultModel model, std::uint64_t runs,
+                        unsigned threads = 1);
 
   /// Clean-run field-op counts of each profile priced with `prices`.
   std::array<ProfileCost, kNumProfiles> profile_costs(
@@ -96,12 +104,27 @@ class KpFaultCampaign {
   const ec::AffinePoint& golden() const { return golden_; }
 
  private:
+  /// Everything one injected kP run observes; enough to classify it
+  /// under every countermeasure profile.
+  struct RunObservation {
+    bool crashed = false;
+    bool vm_injected = false;
+    bool wrong = false;
+    bool inf = false;
+    bool oncurve = true;
+    bool order_ok = true;
+    bool collapsed = false;
+  };
+  /// Evaluate one injection. Pure function of (seed, model, run) over
+  /// the campaign's immutable state — safe to call from any thread.
+  RunObservation evaluate_run(FaultModel model, std::uint64_t run) const;
+
   std::uint64_t seed_;
   const ec::BinaryCurve& curve_;
   ec::AffinePoint p_;
   mpint::UInt k_;
   ec::AffinePoint golden_;
-  armvm::Program mul_prog_;         ///< fixed-register LD mul, reducing
+  armvm::ProgramRef mul_prog_;      ///< fixed-register LD mul, reducing
   std::uint64_t kernel_retires_;    ///< instruction count of a clean mul
   std::uint64_t muls_per_kp_;       ///< fmul invocations in one clean kP
 };

@@ -64,9 +64,9 @@ bool apply_fault(armvm::Cpu& cpu, armvm::Memory& ram,
       const std::uint32_t pc = cpu.reg(armvm::kPC);
       const std::size_t idx = pc / 2;
       unsigned halfwords = 1;
-      if (pc % 2 == 0 && idx < prog.code.size()) {
+      if (pc % 2 == 0 && idx < prog.code().size()) {
         try {
-          halfwords = armvm::decode(prog.code, idx).halfwords;
+          halfwords = armvm::decode(prog.code(), idx).halfwords;
         } catch (const armvm::Fault&) {
           // Skipping an undecodable slot: glitch past one halfword.
         }
@@ -77,7 +77,7 @@ bool apply_fault(armvm::Cpu& cpu, armvm::Memory& ram,
     case FaultModel::kOpcodeFlip: {
       const std::uint32_t pc = cpu.reg(armvm::kPC);
       const std::size_t idx = pc / 2;
-      if (pc % 2 != 0 || idx >= prog.code.size()) {
+      if (pc % 2 != 0 || idx >= prog.code().size()) {
         // PC already derailed; the next step faults on its own.
         return true;
       }
@@ -85,7 +85,7 @@ bool apply_fault(armvm::Cpu& cpu, armvm::Memory& ram,
       // predecode cache of the main core must not see it: execute the
       // one corrupted instruction on a scratch per-step core sharing
       // RAM, then hand the architectural state back.
-      std::vector<std::uint16_t> corrupted = prog.code;
+      std::vector<std::uint16_t> corrupted = prog.code();
       corrupted[idx] = static_cast<std::uint16_t>(
           corrupted[idx] ^ (1u << spec.bit));
       armvm::Cpu scratch(std::move(corrupted), ram,
@@ -103,13 +103,14 @@ bool apply_fault(armvm::Cpu& cpu, armvm::Memory& ram,
 
 }  // namespace
 
-InjectedRun run_with_fault(const armvm::Program& prog, armvm::Memory& ram,
-                           const FaultSpec& spec,
-                           std::uint64_t max_instructions) {
+/// Shared tail of the replayed and forked paths: `cpu` is already
+/// positioned (at reset, or at a restored checkpoint); step to the
+/// trigger if it is still ahead, apply the fault, run to halt/crash.
+InjectedRun resume_with_fault(armvm::Cpu& cpu, armvm::Memory& ram,
+                              const armvm::Program& prog,
+                              const FaultSpec& spec,
+                              std::uint64_t max_instructions) {
   InjectedRun out;
-  armvm::Cpu cpu(prog.code, ram);
-  cpu.set_reg(armvm::kLR, armvm::kReturnSentinel);
-  cpu.set_reg(armvm::kPC, prog.entry("entry"));
   std::uint64_t extra_instructions = 0;
   std::uint64_t extra_cycles = 0;
   try {
@@ -142,6 +143,38 @@ InjectedRun run_with_fault(const armvm::Program& prog, armvm::Memory& ram,
   out.instructions = cpu.stats().instructions + extra_instructions;
   out.cycles = cpu.stats().cycles + extra_cycles;
   return out;
+}
+
+InjectedRun run_with_fault(const armvm::ProgramRef& prog, armvm::Memory& ram,
+                           const FaultSpec& spec,
+                           std::uint64_t max_instructions) {
+  armvm::Cpu cpu(prog, ram);
+  cpu.set_reg(armvm::kLR, armvm::kReturnSentinel);
+  cpu.set_reg(armvm::kPC, prog->entry("entry"));
+  return resume_with_fault(cpu, ram, *prog, spec, max_instructions);
+}
+
+armvm::MachineSnapshot checkpoint_at(const armvm::ProgramRef& prog,
+                                     armvm::Memory& ram,
+                                     std::uint64_t index) {
+  armvm::Cpu cpu(prog, ram);
+  cpu.set_reg(armvm::kLR, armvm::kReturnSentinel);
+  cpu.set_reg(armvm::kPC, prog->entry("entry"));
+  bool running = true;
+  while (running && cpu.stats().instructions < index) {
+    running = cpu.step();
+  }
+  return cpu.snapshot();
+}
+
+InjectedRun run_with_fault_forked(const armvm::ProgramRef& prog,
+                                  armvm::Memory& ram,
+                                  const armvm::MachineSnapshot& at_injection,
+                                  const FaultSpec& spec,
+                                  std::uint64_t max_instructions) {
+  armvm::Cpu cpu(prog, ram);
+  cpu.restore(at_injection);
+  return resume_with_fault(cpu, ram, *prog, spec, max_instructions);
 }
 
 }  // namespace eccm0::faultsim

@@ -67,12 +67,12 @@ double run_loop_energy_pj(const std::string& body, unsigned loops,
   src += "loop:\n";
   src += body;
   src += "    subs r7, #1\n    bne loop\n    bkpt\n";
-  const armvm::Program prog = armvm::assemble(src);
+  const armvm::ProgramRef prog = armvm::assemble(src);
   armvm::Memory mem(0x400);
-  armvm::Cpu cpu(prog.code, mem);
+  armvm::Cpu cpu(prog, mem);
   PowerRig rig(cfg);
   cpu.set_trace_sink(&rig);
-  (void)cpu.call(prog.entry("entry"), {});
+  (void)cpu.call(prog->entry("entry"), {});
   return rig.total_energy_uj() * 1e6;
 }
 

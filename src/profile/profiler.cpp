@@ -8,7 +8,7 @@ namespace eccm0::profile {
 using armvm::Op;
 
 Profiler::Profiler(const armvm::Program& prog) {
-  for (const auto& [name, addr] : prog.symbols) {
+  for (const auto& [name, addr] : prog.symbols()) {
     symbols_.emplace(addr, name);  // first (alphabetical) label wins
   }
 }

@@ -1,6 +1,6 @@
 #include "relic_like/costs.h"
 
-#include "asmkernels/runner.h"
+#include "workloads/runner.h"
 #include "common/rng.h"
 #include "gf2/traced.h"
 

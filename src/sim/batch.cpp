@@ -1,0 +1,60 @@
+#include "sim/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace eccm0::sim {
+
+BatchExecutor::BatchExecutor(unsigned threads)
+    : threads_(threads != 0 ? threads
+                            : std::max(1u, std::thread::hardware_concurrency())) {}
+
+void BatchExecutor::for_each(
+    std::uint64_t n, const std::function<void(std::uint64_t)>& fn) const {
+  if (n == 0) return;
+  if (threads_ <= 1 || n == 1) {
+    for (std::uint64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Work-stealing by atomic counter: indices are claimed in order but
+  // may complete in any order. Determinism is the tasks' property (pure
+  // functions of the index), not the scheduler's.
+  std::atomic<std::uint64_t> next{0};
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+  std::uint64_t first_error_index = ~std::uint64_t{0};
+
+  auto worker = [&] {
+    for (;;) {
+      const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        // Keep the lowest-index exception so the error surfaced is the
+        // same one a serial run would have hit first.
+        std::lock_guard<std::mutex> lock(err_mutex);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const unsigned nthreads =
+      static_cast<unsigned>(std::min<std::uint64_t>(threads_, n));
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads - 1);
+  for (unsigned t = 1; t < nthreads; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (std::thread& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace eccm0::sim

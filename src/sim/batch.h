@@ -1,0 +1,51 @@
+// Deterministic parallel batch executor for campaigns and bench sweeps.
+//
+// The repo's statistical experiments (fault campaigns, throughput
+// sweeps) are embarrassingly parallel once each task is a pure function
+// of its index: every worker gets its own execution context (Cpu +
+// Memory) over the shared immutable armvm::Program images, and its own
+// RNG stream split from the campaign seed (Rng::split). The executor's
+// only job is to hand out indices and collect results into per-index
+// slots — aggregation then happens in index order, so the merged result
+// is bit-identical to a serial run regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace eccm0::sim {
+
+class BatchExecutor {
+ public:
+  /// `threads` = 0 picks std::thread::hardware_concurrency(); 1 runs
+  /// everything inline on the calling thread (no pool, no locking).
+  explicit BatchExecutor(unsigned threads = 0);
+
+  unsigned threads() const { return threads_; }
+
+  /// Invoke fn(i) exactly once for every i in [0, n), distributed over
+  /// the pool. fn must be safe to call concurrently from different
+  /// threads for different indices (tasks share only immutable state).
+  /// If tasks throw, the exception of the lowest-throwing index is
+  /// rethrown after every worker has drained — again independent of
+  /// thread count.
+  void for_each(std::uint64_t n,
+                const std::function<void(std::uint64_t)>& fn) const;
+
+  /// for_each with one result slot per index, returned in index order.
+  template <typename R>
+  std::vector<R> map(std::uint64_t n,
+                     const std::function<R(std::uint64_t)>& fn) const {
+    std::vector<R> out(static_cast<std::size_t>(n));
+    for_each(n, [&](std::uint64_t i) {
+      out[static_cast<std::size_t>(i)] = fn(i);
+    });
+    return out;
+  }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace eccm0::sim

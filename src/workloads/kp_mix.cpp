@@ -1,0 +1,77 @@
+#include "workloads/kp_mix.h"
+
+#include <utility>
+
+#include "asmkernels/gen.h"
+#include "common/rng.h"
+#include "ec/curve.h"
+#include "gf2/sqr_table.h"
+#include "workloads/registry.h"
+
+namespace eccm0::workloads {
+
+const ec::FieldOpCounts& kp_mix_sect233k1() {
+  static const ec::FieldOpCounts kMix = [] {
+    Rng rng(0x7AB1E4);
+    const auto& k233 = ec::BinaryCurve::sect233k1();
+    const ec::AffinePoint g = ec::AffinePoint::make(k233.gx, k233.gy);
+    const mpint::UInt k = mpint::UInt::random_below(rng, k233.order);
+    const ec::CostedRun costed =
+        ec::cost_point_mul(k233, g, k, 4, false, ec::FieldCostTable{});
+    return costed.main_ops + costed.precomp_ops;
+  }();
+  return kMix;
+}
+
+const KernelOperands& KernelOperands::standard() {
+  static const KernelOperands kOps = [] {
+    KernelOperands o;
+    Rng rng(0x7151CA7);
+    for (int w = 0; w < 8; ++w) {
+      o.x[w] = static_cast<std::uint32_t>(rng.next_u64());
+      o.y[w] = static_cast<std::uint32_t>(rng.next_u64());
+      o.a[w] = static_cast<std::uint32_t>(rng.next_u64());
+    }
+    o.x[7] &= 0x1FF;  // keep operands in-field (233 bits)
+    o.y[7] &= 0x1FF;
+    o.a[7] &= 0x1FF;
+    o.a[0] |= 1;  // inversion input must be nonzero
+    return o;
+  }();
+  return kOps;
+}
+
+void load_mul_inputs(armvm::Memory& mem, const std::uint32_t (&x)[8],
+                     const std::uint32_t (&y)[8]) {
+  for (int w = 0; w < 8; ++w) {
+    mem.store32(armvm::kRamBase + asmkernels::kXOff + 4 * w, x[w]);
+    mem.store32(armvm::kRamBase + asmkernels::kYOff + 4 * w, y[w]);
+  }
+}
+
+void load_sqr_table(armvm::Memory& mem) {
+  for (unsigned i = 0; i < 256; ++i) {
+    mem.store16(armvm::kRamBase + asmkernels::kSqrTabOff + 2 * i,
+                gf2::kSquareTable[i]);
+  }
+}
+
+void load_sqr_input(armvm::Memory& mem, const std::uint32_t (&a)[8]) {
+  for (int w = 0; w < 8; ++w) {
+    mem.store32(armvm::kRamBase + asmkernels::kInOff + 4 * w, a[w]);
+  }
+}
+
+void load_inv_input(armvm::Memory& mem, const std::uint32_t (&a)[8]) {
+  load_sqr_input(mem, a);  // same kInOff slot
+}
+
+KernelMachine::KernelMachine(const std::string& kernel_name,
+                             armvm::Cpu::DecodeMode mode)
+    : KernelMachine(kernel(kernel_name), mode) {}
+
+KernelMachine::KernelMachine(armvm::ProgramRef prog,
+                             armvm::Cpu::DecodeMode mode)
+    : prog_(std::move(prog)), mem_(kKernelRamSize), cpu_(prog_, mem_, mode) {}
+
+}  // namespace eccm0::workloads

@@ -1,0 +1,72 @@
+#include "workloads/registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "armvm/asm.h"
+#include "asmkernels/gen.h"
+
+namespace eccm0::workloads {
+
+KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry r;
+  return r;
+}
+
+KernelRegistry::KernelRegistry() {
+  using namespace eccm0::asmkernels;
+  entries_["mul"] = {[] { return gen_mul_fixed(true); }, nullptr};
+  entries_["mul-raw"] = {[] { return gen_mul_fixed(false); }, nullptr};
+  entries_["mul-plain"] = {[] { return gen_mul_plain(true); }, nullptr};
+  entries_["mul-plain-raw"] = {[] { return gen_mul_plain(false); }, nullptr};
+  entries_["sqr"] = {[] { return gen_sqr(); }, nullptr};
+  entries_["reduce"] = {[] { return gen_reduce(); }, nullptr};
+  entries_["lut"] = {[] { return gen_lut_only(); }, nullptr};
+  entries_["inv"] = {[] { return gen_inv(); }, nullptr};
+  entries_["mul163"] = {[] { return gen_mul_k163_fixed(true); }, nullptr};
+  entries_["mul163-raw"] = {[] { return gen_mul_k163_fixed(false); }, nullptr};
+  entries_["mul163-plain"] = {[] { return gen_mul_k163_plain(true); }, nullptr};
+  entries_["mul163-plain-raw"] = {[] { return gen_mul_k163_plain(false); },
+                                  nullptr};
+}
+
+armvm::ProgramRef KernelRegistry::get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::out_of_range("KernelRegistry: no workload named '" + name +
+                            "'");
+  }
+  if (!it->second.image) {
+    it->second.image = armvm::assemble(it->second.build());
+  }
+  return it->second.image;
+}
+
+void KernelRegistry::add(const std::string& name, Builder build) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.count(name)) {
+    throw std::invalid_argument("KernelRegistry: duplicate workload '" + name +
+                                "'");
+  }
+  entries_[name] = {std::move(build), nullptr};
+}
+
+bool KernelRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(name) != 0;
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+armvm::ProgramRef kernel(const std::string& name) {
+  return KernelRegistry::instance().get(name);
+}
+
+}  // namespace eccm0::workloads

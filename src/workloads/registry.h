@@ -1,0 +1,61 @@
+// Central registry of named workload images.
+//
+// Every harness in this repo — KernelVm, the throughput/profile benches,
+// the fault-campaign engine, ecctool — used to assemble its own copy of
+// the same Thumb kernels. The registry builds each image exactly once,
+// lazily, and hands out the shared immutable armvm::ProgramRef; a new
+// workload is one `add()` call away. Resolution is thread-safe, so
+// parallel campaign workers can resolve images concurrently.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "armvm/program.h"
+
+namespace eccm0::workloads {
+
+class KernelRegistry {
+ public:
+  /// A builder returns the assembler source of the workload; it runs at
+  /// most once, on first resolution.
+  using Builder = std::function<std::string()>;
+
+  /// Process-wide instance, seeded with the built-in kernel set:
+  ///   mul / mul-raw           fixed-register LD K-233 mul (mod / raw)
+  ///   mul-plain / mul-plain-raw  plain-memory comparator
+  ///   sqr, reduce, lut, inv   the remaining K-233 field kernels
+  ///   mul163 / mul163-raw / mul163-plain / mul163-plain-raw  K-163
+  static KernelRegistry& instance();
+
+  /// Resolve `name` to its shared image, assembling+predecoding it on
+  /// first use. Throws std::out_of_range for unknown names.
+  armvm::ProgramRef get(const std::string& name);
+
+  /// Register a new named workload. Throws std::invalid_argument if the
+  /// name is already taken.
+  void add(const std::string& name, Builder build);
+
+  bool contains(const std::string& name) const;
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  KernelRegistry();
+
+  struct Entry {
+    Builder build;
+    armvm::ProgramRef image;  ///< null until first get()
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Shorthand for KernelRegistry::instance().get(name).
+armvm::ProgramRef kernel(const std::string& name);
+
+}  // namespace eccm0::workloads

@@ -1,15 +1,17 @@
-// Harness that assembles the generated Thumb kernels once and runs them on
-// the armvm core, giving measured Cortex-M0+ cycle counts and energy for
-// the K-233 field arithmetic (paper Tables 5 and 6).
+// Harness that runs the generated Thumb kernels on the armvm core,
+// giving measured Cortex-M0+ cycle counts and energy for the K-233
+// field arithmetic (paper Tables 5 and 6).
+//
+// The kernel images are resolved through the KernelRegistry: assembled
+// and predecoded once per process, shared by every KernelVm instance
+// (and every other harness) as immutable ProgramRefs.
 #pragma once
 
-#include <memory>
-
-#include "armvm/asm.h"
 #include "armvm/cpu.h"
+#include "armvm/program.h"
 #include "gf2/k233.h"
 
-namespace eccm0::asmkernels {
+namespace eccm0::workloads {
 
 /// Which multiplication kernel to run.
 enum class MulKernel {
@@ -61,11 +63,18 @@ class KernelVm {
   std::size_t code_bytes_sqr() const;
 
  private:
-  armvm::Program mul_fixed_raw_, mul_fixed_mod_;
-  armvm::Program mul_plain_raw_, mul_plain_mod_;
-  armvm::Program sqr_, reduce_, lut_only_, inv_;
-  armvm::Program mul163_fixed_raw_, mul163_fixed_mod_;
-  armvm::Program mul163_plain_raw_, mul163_plain_mod_;
+  armvm::ProgramRef mul_fixed_raw_, mul_fixed_mod_;
+  armvm::ProgramRef mul_plain_raw_, mul_plain_mod_;
+  armvm::ProgramRef sqr_, reduce_, lut_only_, inv_;
+  armvm::ProgramRef mul163_fixed_raw_, mul163_fixed_mod_;
+  armvm::ProgramRef mul163_plain_raw_, mul163_plain_mod_;
 };
 
+}  // namespace eccm0::workloads
+
+namespace eccm0::asmkernels {
+// The harness lived in asmkernels before the workloads library existed;
+// keep the old names usable.
+using MulKernel = workloads::MulKernel;
+using KernelVm = workloads::KernelVm;
 }  // namespace eccm0::asmkernels

@@ -10,44 +10,44 @@ namespace eccm0::armvm {
 namespace {
 
 TEST(Asm, EmptyAndComments) {
-  const Program p = assemble(R"(
+  const ProgramRef p = assemble(R"(
 ; full line comment
    @ another
 
 fn: bx lr  ; trailing
 )");
-  EXPECT_EQ(p.code.size(), 1u);
-  EXPECT_EQ(p.entry("fn"), 0u);
+  EXPECT_EQ(p->code().size(), 1u);
+  EXPECT_EQ(p->entry("fn"), 0u);
 }
 
 TEST(Asm, KnownBytes) {
-  const Program p = assemble("movs r0, #42\n eors r3, r4\n bx lr\n");
-  ASSERT_EQ(p.code.size(), 3u);
-  EXPECT_EQ(p.code[0], 0x202A);
-  EXPECT_EQ(p.code[1], 0x4063);
-  EXPECT_EQ(p.code[2], 0x4770);
+  const ProgramRef p = assemble("movs r0, #42\n eors r3, r4\n bx lr\n");
+  ASSERT_EQ(p->code().size(), 3u);
+  EXPECT_EQ(p->code()[0], 0x202A);
+  EXPECT_EQ(p->code()[1], 0x4063);
+  EXPECT_EQ(p->code()[2], 0x4770);
 }
 
 TEST(Asm, ForwardAndBackwardBranches) {
-  const Program p = assemble(R"(
+  const ProgramRef p = assemble(R"(
 top:  b mid
       nop
 mid:  bne top
       bx lr
 )");
   // b mid: from addr 0, target 4: offset 0 -> 0xE000
-  EXPECT_EQ(p.code[0], 0xE000);
+  EXPECT_EQ(p->code()[0], 0xE000);
   // bne top: from addr 4, target 0: offset -8 -> imm8 = -4>>... 0xD1FC
-  EXPECT_EQ(p.code[2], 0xD1FC);
+  EXPECT_EQ(p->code()[2], 0xD1FC);
 }
 
 TEST(Asm, BlToFunction) {
-  const Program p = assemble(R"(
+  const ProgramRef p = assemble(R"(
 main: bl fn
       bx lr
 fn:   bx lr
 )");
-  const Decoded d = decode(p.code, 0);
+  const Decoded d = decode(p->code(), 0);
   EXPECT_EQ(d.ins.op, Op::kBl);
   EXPECT_EQ(d.halfwords, 2u);
   // target = 0 + 4 + imm = 6 (addr of fn)
@@ -55,16 +55,16 @@ fn:   bx lr
 }
 
 TEST(Asm, MultipleLabelsSameAddress) {
-  const Program p = assemble(R"(
+  const ProgramRef p = assemble(R"(
 a: b c
 b: c: bx lr
 )");
-  EXPECT_EQ(p.entry("b"), p.entry("c"));
-  EXPECT_EQ(p.entry("b"), 2u);
+  EXPECT_EQ(p->entry("b"), p->entry("c"));
+  EXPECT_EQ(p->entry("b"), 2u);
 }
 
 TEST(Asm, MemoryOperandForms) {
-  const Program p = assemble(R"(
+  const ProgramRef p = assemble(R"(
 fn: ldr r0, [r1]
     ldr r0, [r1, #8]
     ldr r0, [r1, r2]
@@ -73,46 +73,46 @@ fn: ldr r0, [r1]
     strh r5, [r6, #2]
     bx lr
 )");
-  EXPECT_EQ(decode(p.code, 0).ins.op, Op::kLdrImm);
-  EXPECT_EQ(decode(p.code, 0).ins.imm, 0);
-  EXPECT_EQ(decode(p.code, 1).ins.imm, 8);
-  EXPECT_EQ(decode(p.code, 2).ins.op, Op::kLdrReg);
-  EXPECT_EQ(decode(p.code, 3).ins.op, Op::kStrSp);
-  EXPECT_EQ(decode(p.code, 4).ins.op, Op::kLdrbImm);
-  EXPECT_EQ(decode(p.code, 5).ins.op, Op::kStrhImm);
+  EXPECT_EQ(decode(p->code(), 0).ins.op, Op::kLdrImm);
+  EXPECT_EQ(decode(p->code(), 0).ins.imm, 0);
+  EXPECT_EQ(decode(p->code(), 1).ins.imm, 8);
+  EXPECT_EQ(decode(p->code(), 2).ins.op, Op::kLdrReg);
+  EXPECT_EQ(decode(p->code(), 3).ins.op, Op::kStrSp);
+  EXPECT_EQ(decode(p->code(), 4).ins.op, Op::kLdrbImm);
+  EXPECT_EQ(decode(p->code(), 5).ins.op, Op::kStrhImm);
 }
 
 TEST(Asm, RegListRanges) {
-  const Program p = assemble("push {r0, r2-r4, lr}\n");
-  const Decoded d = decode(p.code, 0);
+  const ProgramRef p = assemble("push {r0, r2-r4, lr}\n");
+  const Decoded d = decode(p->code(), 0);
   EXPECT_EQ(d.ins.reg_list, 0x100u | 0b00011101u);
 }
 
 TEST(Asm, LiteralPoolDeduplicated) {
-  const Program p = assemble(R"(
+  const ProgramRef p = assemble(R"(
 fn: ldr r0, =0xCAFEBABE
     ldr r1, =0xCAFEBABE
     bx lr
 )");
   // 3 halfwords code + padding to word + one 2-halfword literal
   unsigned count = 0;
-  for (std::size_t i = 0; i + 1 < p.code.size(); ++i) {
-    if (p.code[i] == 0xBABE && p.code[i + 1] == 0xCAFE) ++count;
+  for (std::size_t i = 0; i + 1 < p->code().size(); ++i) {
+    if (p->code()[i] == 0xBABE && p->code()[i + 1] == 0xCAFE) ++count;
   }
   EXPECT_EQ(count, 1u);
 }
 
 TEST(Asm, WordDirective) {
-  const Program p = assemble(R"(
+  const ProgramRef p = assemble(R"(
 data: .word 0x11223344
 )");
-  ASSERT_EQ(p.code.size(), 2u);
-  EXPECT_EQ(p.code[0], 0x3344);
-  EXPECT_EQ(p.code[1], 0x1122);
+  ASSERT_EQ(p->code().size(), 2u);
+  EXPECT_EQ(p->code()[0], 0x3344);
+  EXPECT_EQ(p->code()[1], 0x1122);
 }
 
 TEST(Asm, ShiftForms) {
-  const Program p = assemble(R"(
+  const ProgramRef p = assemble(R"(
 fn: lsls r0, r1, #4
     lsrs r0, r1, #8
     asrs r0, r1, #2
@@ -120,13 +120,13 @@ fn: lsls r0, r1, #4
     rors r2, r3
     bx lr
 )");
-  EXPECT_EQ(decode(p.code, 0).ins.op, Op::kLslImm);
-  EXPECT_EQ(decode(p.code, 3).ins.op, Op::kLslReg);
-  EXPECT_EQ(decode(p.code, 4).ins.op, Op::kRorReg);
+  EXPECT_EQ(decode(p->code(), 0).ins.op, Op::kLslImm);
+  EXPECT_EQ(decode(p->code(), 3).ins.op, Op::kLslReg);
+  EXPECT_EQ(decode(p->code(), 4).ins.op, Op::kRorReg);
 }
 
 TEST(Asm, AddSubForms) {
-  const Program p = assemble(R"(
+  const ProgramRef p = assemble(R"(
 fn: adds r0, r1, r2
     adds r0, r1, #7
     adds r0, #200
@@ -137,14 +137,14 @@ fn: adds r0, r1, r2
     add r0, r8
     bx lr
 )");
-  EXPECT_EQ(decode(p.code, 0).ins.op, Op::kAddReg);
-  EXPECT_EQ(decode(p.code, 1).ins.op, Op::kAddImm3);
-  EXPECT_EQ(decode(p.code, 2).ins.op, Op::kAddImm8);
-  EXPECT_EQ(decode(p.code, 3).ins.op, Op::kSubReg);
-  EXPECT_EQ(decode(p.code, 4).ins.op, Op::kSubSpImm7);
-  EXPECT_EQ(decode(p.code, 5).ins.op, Op::kAddSpImm7);
-  EXPECT_EQ(decode(p.code, 6).ins.op, Op::kAddRdSp);
-  EXPECT_EQ(decode(p.code, 7).ins.op, Op::kAddHi);
+  EXPECT_EQ(decode(p->code(), 0).ins.op, Op::kAddReg);
+  EXPECT_EQ(decode(p->code(), 1).ins.op, Op::kAddImm3);
+  EXPECT_EQ(decode(p->code(), 2).ins.op, Op::kAddImm8);
+  EXPECT_EQ(decode(p->code(), 3).ins.op, Op::kSubReg);
+  EXPECT_EQ(decode(p->code(), 4).ins.op, Op::kSubSpImm7);
+  EXPECT_EQ(decode(p->code(), 5).ins.op, Op::kAddSpImm7);
+  EXPECT_EQ(decode(p->code(), 6).ins.op, Op::kAddRdSp);
+  EXPECT_EQ(decode(p->code(), 7).ins.op, Op::kAddHi);
 }
 
 TEST(Asm, ErrorsCarryLineNumbers) {
@@ -188,15 +188,15 @@ fn: movs r0, #1
     push {r4, lr}
     pop {r4, pc}
 )";
-  const Program p1 = assemble(src);
+  const ProgramRef p1 = assemble(src);
   std::string re;
-  for (std::size_t i = 0; i < p1.code.size();) {
-    const Decoded d = decode(p1.code, i);
+  for (std::size_t i = 0; i < p1->code().size();) {
+    const Decoded d = decode(p1->code(), i);
     re += disassemble(d.ins) + "\n";
     i += d.halfwords;
   }
-  const Program p2 = assemble(re);
-  EXPECT_EQ(p1.code, p2.code);
+  const ProgramRef p2 = assemble(re);
+  EXPECT_EQ(p1->code(), p2->code());
 }
 
 }  // namespace

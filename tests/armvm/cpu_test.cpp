@@ -11,8 +11,8 @@ namespace {
 
 struct Machine {
   explicit Machine(const std::string& src, std::size_t ram = 1 << 16)
-      : program(assemble(src)), mem(ram), cpu(program.code, mem) {}
-  Program program;
+      : program(assemble(src)), mem(ram), cpu(program, mem) {}
+  ProgramRef program;
   Memory mem;
   Cpu cpu;
 };
@@ -22,7 +22,7 @@ TEST(Cpu, ReturnsFromCall) {
 fn: movs r0, #7
     bx lr
 )");
-  const RunStats s = m.cpu.call(m.program.entry("fn"), {});
+  const RunStats s = m.cpu.call(m.program->entry("fn"), {});
   EXPECT_EQ(m.cpu.reg(0), 7u);
   EXPECT_EQ(s.instructions, 2u);
   EXPECT_EQ(s.cycles, 1u + 2u);  // movs 1 + bx 2
@@ -34,7 +34,7 @@ fn: movs r0, #0
     subs r0, #1       ; 0 - 1 = 0xFFFFFFFF, N=1 C=0 (borrow)
     bx lr
 )");
-  m.cpu.call(m.program.entry("fn"), {});
+  m.cpu.call(m.program->entry("fn"), {});
   EXPECT_EQ(m.cpu.reg(0), 0xFFFFFFFFu);
   EXPECT_TRUE(m.cpu.flag_n());
   EXPECT_FALSE(m.cpu.flag_c());
@@ -52,7 +52,7 @@ fn: adds r0, r0, r2
   m.cpu.set_reg(1, 0x1);
   m.cpu.set_reg(2, 0x2);
   m.cpu.set_reg(3, 0x10);
-  m.cpu.set_reg(15, m.program.entry("fn"));
+  m.cpu.set_reg(15, m.program->entry("fn"));
   m.cpu.set_reg(14, kReturnSentinel);
   while (m.cpu.step()) {
   }
@@ -67,7 +67,7 @@ fn: movs r0, #1
     subs r0, #1        ; 0x80000000 - 1 overflows (min-int - 1)
     bx lr
 )");
-  m.cpu.call(m.program.entry("fn"), {});
+  m.cpu.call(m.program->entry("fn"), {});
   EXPECT_TRUE(m.cpu.flag_v());
   EXPECT_EQ(m.cpu.reg(0), 0x7FFFFFFFu);
 }
@@ -78,7 +78,7 @@ fn: movs r0, #3
     lsrs r0, r0, #1    ; r0 = 1, C = 1
     bx lr
 )");
-  m.cpu.call(m.program.entry("fn"), {});
+  m.cpu.call(m.program->entry("fn"), {});
   EXPECT_EQ(m.cpu.reg(0), 1u);
   EXPECT_TRUE(m.cpu.flag_c());
 }
@@ -89,7 +89,7 @@ fn: muls r0, r1
     eors r0, r2
     bx lr
 )");
-  const RunStats s = m.cpu.call(m.program.entry("fn"), {6, 7, 0xFF});
+  const RunStats s = m.cpu.call(m.program->entry("fn"), {6, 7, 0xFF});
   EXPECT_EQ(m.cpu.reg(0), (6u * 7u) ^ 0xFFu);
   EXPECT_EQ(s.cycles, 1u + 1u + 2u);
 }
@@ -102,7 +102,7 @@ fn: str r1, [r0]
     str r2, [r0, #4]
     bx lr
 )");
-  m.cpu.call(m.program.entry("fn"), {kRamBase + 0x100, 41});
+  m.cpu.call(m.program->entry("fn"), {kRamBase + 0x100, 41});
   EXPECT_EQ(m.mem.load32(kRamBase + 0x100), 41u);
   EXPECT_EQ(m.mem.load32(kRamBase + 0x104), 42u);
 }
@@ -114,7 +114,7 @@ fn: strb r1, [r0]
     ldrh r2, [r0]
     bx lr
 )");
-  m.cpu.call(m.program.entry("fn"), {kRamBase + 0x40, 0xAB});
+  m.cpu.call(m.program->entry("fn"), {kRamBase + 0x40, 0xAB});
   EXPECT_EQ(m.cpu.reg(2), 0xABABu);
 }
 
@@ -128,7 +128,7 @@ fn: movs r2, #0
 )");
   m.mem.store8(kRamBase + 0, 0x80);        // -128 as signed byte
   m.mem.store16(kRamBase + 2, 0xFFFE);     // -2 as signed halfword
-  m.cpu.call(m.program.entry("fn"), {kRamBase});
+  m.cpu.call(m.program->entry("fn"), {kRamBase});
   EXPECT_EQ(m.cpu.reg(1), static_cast<std::uint32_t>(-128));
   EXPECT_EQ(m.cpu.reg(4), static_cast<std::uint32_t>(-2));
 }
@@ -144,7 +144,7 @@ loop: adds r1, r1, r2
       movs r0, r1
       bx lr
 )");
-  m.cpu.call(m.program.entry("fn"), {});
+  m.cpu.call(m.program->entry("fn"), {});
   EXPECT_EQ(m.cpu.reg(0), 55u);
 }
 
@@ -156,10 +156,10 @@ fn:  cmp r0, #0
      movs r1, #1
 skip: bx lr
 )");
-  const RunStats taken = m.cpu.call(m.program.entry("fn"), {0});
+  const RunStats taken = m.cpu.call(m.program->entry("fn"), {0});
   // cmp 1 + beq taken 2 + bx 2 = 5
   EXPECT_EQ(taken.cycles, 5u);
-  const RunStats not_taken = m.cpu.call(m.program.entry("fn"), {1});
+  const RunStats not_taken = m.cpu.call(m.program->entry("fn"), {1});
   // cmp 1 + beq not-taken 1 + movs 1 + bx 2 = 5
   EXPECT_EQ(not_taken.cycles, 5u);
   EXPECT_EQ(not_taken.instructions, 4u);
@@ -171,7 +171,7 @@ fn: ldr r1, [r0]
     str r1, [r0, #4]
     bx lr
 )");
-  const RunStats s = m.cpu.call(m.program.entry("fn"), {kRamBase});
+  const RunStats s = m.cpu.call(m.program->entry("fn"), {kRamBase});
   EXPECT_EQ(s.cycles, 2u + 2u + 2u);
 }
 
@@ -183,7 +183,7 @@ fn: ldmia r0!, {r1, r2, r3}
 )");
   m.mem.write_words(kRamBase, std::array<std::uint32_t, 3>{10, 20, 30});
   m.cpu.set_reg(4, kRamBase + 0x100);
-  const RunStats s = m.cpu.call(m.program.entry("fn"), {kRamBase});
+  const RunStats s = m.cpu.call(m.program->entry("fn"), {kRamBase});
   EXPECT_EQ(m.cpu.reg(0), kRamBase + 12);
   EXPECT_EQ(m.cpu.reg(4), kRamBase + 0x100 + 12);
   EXPECT_EQ(m.mem.load32(kRamBase + 0x104), 20u);
@@ -199,7 +199,7 @@ fn: push {r4, r5, lr}
 )");
   m.cpu.set_reg(4, 0xAAAA);
   m.cpu.set_reg(5, 0xBBBB);
-  m.cpu.call(m.program.entry("fn"), {});
+  m.cpu.call(m.program->entry("fn"), {});
   EXPECT_EQ(m.cpu.reg(4), 0xAAAAu);  // restored
   EXPECT_EQ(m.cpu.reg(5), 0xBBBBu);
 }
@@ -213,7 +213,7 @@ main: push {lr}
 helper: movs r0, #10
       bx lr
 )");
-  m.cpu.call(m.program.entry("main"), {});
+  m.cpu.call(m.program->entry("main"), {});
   EXPECT_EQ(m.cpu.reg(0), 11u);
 }
 
@@ -224,7 +224,7 @@ fn: mov r8, r0
     add r1, r8
     bx lr
 )");
-  m.cpu.call(m.program.entry("fn"), {21});
+  m.cpu.call(m.program->entry("fn"), {21});
   EXPECT_EQ(m.cpu.reg(1), 42u);
 }
 
@@ -234,7 +234,7 @@ fn: ldr r0, =0xDEADBEEF
     ldr r1, =0x12345678
     bx lr
 )");
-  m.cpu.call(m.program.entry("fn"), {});
+  m.cpu.call(m.program->entry("fn"), {});
   EXPECT_EQ(m.cpu.reg(0), 0xDEADBEEFu);
   EXPECT_EQ(m.cpu.reg(1), 0x12345678u);
 }
@@ -249,7 +249,7 @@ fn: ldr r1, [r0]
     str r1, [r0]
     bx lr
 )");
-  const RunStats s = m.cpu.call(m.program.entry("fn"), {kRamBase});
+  const RunStats s = m.cpu.call(m.program->entry("fn"), {kRamBase});
   using costmodel::InstrClass;
   auto cy = [&](InstrClass c) {
     return s.histogram.cycles[static_cast<int>(c)];
@@ -270,7 +270,7 @@ TEST(Cpu, InstructionBudgetGuard) {
   Machine m(R"(
 fn: b fn
 )");
-  EXPECT_THROW(m.cpu.call(m.program.entry("fn"), {}, 1000),
+  EXPECT_THROW(m.cpu.call(m.program->entry("fn"), {}, 1000),
                std::runtime_error);
 }
 
@@ -279,7 +279,7 @@ TEST(Cpu, UnalignedAccessFaults) {
 fn: ldr r1, [r0]
     bx lr
 )");
-  EXPECT_THROW(m.cpu.call(m.program.entry("fn"), {kRamBase + 2}),
+  EXPECT_THROW(m.cpu.call(m.program->entry("fn"), {kRamBase + 2}),
                std::runtime_error);
 }
 
@@ -289,7 +289,7 @@ fn: str r1, [r0]
     bx lr
 )",
             256);
-  EXPECT_THROW(m.cpu.call(m.program.entry("fn"), {kRamBase + 512}),
+  EXPECT_THROW(m.cpu.call(m.program->entry("fn"), {kRamBase + 512}),
                std::out_of_range);
 }
 
@@ -299,7 +299,7 @@ fn: movs r0, #5
     bkpt
     movs r0, #9
 )");
-  m.cpu.call(m.program.entry("fn"), {});
+  m.cpu.call(m.program->entry("fn"), {});
   EXPECT_EQ(m.cpu.reg(0), 5u);
 }
 
@@ -308,7 +308,7 @@ TEST(Cpu, RsbNegates) {
 fn: rsbs r0, r0, #0
     bx lr
 )");
-  m.cpu.call(m.program.entry("fn"), {5});
+  m.cpu.call(m.program->entry("fn"), {5});
   EXPECT_EQ(m.cpu.reg(0), static_cast<std::uint32_t>(-5));
 }
 
@@ -318,7 +318,7 @@ fn: lsls r0, r1
     lsrs r2, r3
     bx lr
 )");
-  m.cpu.call(m.program.entry("fn"), {1, 4, 0x100, 4});
+  m.cpu.call(m.program->entry("fn"), {1, 4, 0x100, 4});
   EXPECT_EQ(m.cpu.reg(0), 16u);
   EXPECT_EQ(m.cpu.reg(2), 0x10u);
 }
@@ -333,9 +333,9 @@ fn:  cmp r0, r1
 less: movs r2, #1
      bx lr
 )");
-  m.cpu.call(m.program.entry("fn"), {static_cast<std::uint32_t>(-1), 1});
+  m.cpu.call(m.program->entry("fn"), {static_cast<std::uint32_t>(-1), 1});
   EXPECT_EQ(m.cpu.reg(2), 1u);  // -1 < 1 signed
-  m.cpu.call(m.program.entry("fn"), {0xFFFFFFFF, 1});
+  m.cpu.call(m.program->entry("fn"), {0xFFFFFFFF, 1});
   EXPECT_EQ(m.cpu.reg(2), 1u);  // same bits
 }
 

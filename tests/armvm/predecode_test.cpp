@@ -44,8 +44,8 @@ void expect_stats_identical(const RunStats& a, const RunStats& b) {
 }
 
 struct Engine {
-  Engine(const Program& prog, Cpu::DecodeMode mode)
-      : mem(kRamSize), cpu(prog.code, mem, mode) {
+  Engine(const ProgramRef& prog, Cpu::DecodeMode mode)
+      : mem(kRamSize), cpu(prog, mem, mode) {
     cpu.set_trace_sink(&sink);
   }
   Memory mem;
@@ -55,14 +55,14 @@ struct Engine {
 
 /// Runs `prog` on both engines with `setup` applied to each Memory, then
 /// asserts stats, trace streams, registers and all of RAM are identical.
-void run_differential(const Program& prog,
+void run_differential(const ProgramRef& prog,
                       const std::function<void(Memory&)>& setup) {
   Engine ref(prog, Cpu::DecodeMode::kPerStep);
   Engine pre(prog, Cpu::DecodeMode::kPredecode);
   setup(ref.mem);
   setup(pre.mem);
-  const RunStats a = ref.cpu.call(prog.entry("entry"), {});
-  const RunStats b = pre.cpu.call(prog.entry("entry"), {});
+  const RunStats a = ref.cpu.call(prog->entry("entry"), {});
+  const RunStats b = pre.cpu.call(prog->entry("entry"), {});
   expect_stats_identical(a, b);
   EXPECT_EQ(ref.sink.events, pre.sink.events);
   for (unsigned r = 0; r < 13; ++r) {
@@ -90,7 +90,7 @@ void write_fe(Memory& mem, std::uint32_t off,
 }
 
 TEST(Predecode, FieldMulFixedRegistersIdentical) {
-  const Program prog = assemble(asmkernels::gen_mul_fixed(true));
+  const ProgramRef prog = assemble(asmkernels::gen_mul_fixed(true));
   Rng rng(0xF1E1D);
   const auto x = random_fe(rng), y = random_fe(rng);
   run_differential(prog, [&](Memory& mem) {
@@ -100,7 +100,7 @@ TEST(Predecode, FieldMulFixedRegistersIdentical) {
 }
 
 TEST(Predecode, FieldMulPlainMemoryIdentical) {
-  const Program prog = assemble(asmkernels::gen_mul_plain(true));
+  const ProgramRef prog = assemble(asmkernels::gen_mul_plain(true));
   Rng rng(0x71A17);
   const auto x = random_fe(rng), y = random_fe(rng);
   run_differential(prog, [&](Memory& mem) {
@@ -114,9 +114,9 @@ TEST(Predecode, KpScheduleIdentical) {
   // w=4 point multiplication — muls, squarings and one EEA inversion,
   // executed back-to-back on persistent per-kernel machines exactly like
   // bench_vm_throughput's workload.
-  const Program mul_prog = assemble(asmkernels::gen_mul_fixed(true));
-  const Program sqr_prog = assemble(asmkernels::gen_sqr());
-  const Program inv_prog = assemble(asmkernels::gen_inv());
+  const ProgramRef mul_prog = assemble(asmkernels::gen_mul_fixed(true));
+  const ProgramRef sqr_prog = assemble(asmkernels::gen_sqr());
+  const ProgramRef inv_prog = assemble(asmkernels::gen_inv());
   constexpr unsigned kMuls = 19, kSqrs = 47, kInvs = 1;
 
   Rng rng(0x5CED);
@@ -135,21 +135,21 @@ TEST(Predecode, KpScheduleIdentical) {
       sqr_mem.store16(kRamBase + asmkernels::kSqrTabOff + 2 * i,
                       gf2::kSquareTable[i]);
     }
-    Cpu mul_cpu(mul_prog.code, mul_mem, mode);
-    Cpu sqr_cpu(sqr_prog.code, sqr_mem, mode);
-    Cpu inv_cpu(inv_prog.code, inv_mem, mode);
+    Cpu mul_cpu(mul_prog, mul_mem, mode);
+    Cpu sqr_cpu(sqr_prog, sqr_mem, mode);
+    Cpu inv_cpu(inv_prog, inv_mem, mode);
     mul_cpu.set_trace_sink(&sink);
     sqr_cpu.set_trace_sink(&sink);
     inv_cpu.set_trace_sink(&sink);
     for (unsigned i = 0; i < kMuls; ++i) {
-      mul_cpu.call(mul_prog.entry("entry"), {});
+      mul_cpu.call(mul_prog->entry("entry"), {});
     }
     for (unsigned i = 0; i < kSqrs; ++i) {
-      sqr_cpu.call(sqr_prog.entry("entry"), {});
+      sqr_cpu.call(sqr_prog->entry("entry"), {});
     }
     for (unsigned i = 0; i < kInvs; ++i) {
       write_fe(inv_mem, asmkernels::kInOff, a);
-      inv_cpu.call(inv_prog.entry("entry"), {});
+      inv_cpu.call(inv_prog->entry("entry"), {});
     }
     total = mul_cpu.stats();
     total.instructions +=
@@ -183,7 +183,7 @@ TEST(Predecode, RichTraceStreamsIdenticalForMulAndSqrKernels) {
   // access addresses/widths — for the K-233 mul and square kernels.
   Rng rng(0x51C);
   for (const bool fixed : {true, false}) {
-    const Program prog = assemble(fixed ? asmkernels::gen_mul_fixed(true)
+    const ProgramRef prog = assemble(fixed ? asmkernels::gen_mul_fixed(true)
                                         : asmkernels::gen_mul_plain(true));
     const auto x = random_fe(rng), y = random_fe(rng);
     Engine ref(prog, Cpu::DecodeMode::kPerStep);
@@ -192,8 +192,8 @@ TEST(Predecode, RichTraceStreamsIdenticalForMulAndSqrKernels) {
       write_fe(*mem, asmkernels::kXOff, x);
       write_fe(*mem, asmkernels::kYOff, y);
     }
-    ref.cpu.call(prog.entry("entry"), {});
-    pre.cpu.call(prog.entry("entry"), {});
+    ref.cpu.call(prog->entry("entry"), {});
+    pre.cpu.call(prog->entry("entry"), {});
     ASSERT_EQ(ref.sink.events.size(), pre.sink.events.size());
     EXPECT_EQ(ref.sink.events, pre.sink.events);
     // The stream is genuinely rich: it carries memory addresses.
@@ -211,7 +211,7 @@ TEST(Predecode, RichTraceStreamsIdenticalForMulAndSqrKernels) {
     EXPECT_GT(load_words, 50u);
   }
 
-  const Program sqr_prog = assemble(asmkernels::gen_sqr());
+  const ProgramRef sqr_prog = assemble(asmkernels::gen_sqr());
   const auto a = random_fe(rng);
   Engine ref(sqr_prog, Cpu::DecodeMode::kPerStep);
   Engine pre(sqr_prog, Cpu::DecodeMode::kPredecode);
@@ -222,8 +222,8 @@ TEST(Predecode, RichTraceStreamsIdenticalForMulAndSqrKernels) {
                    gf2::kSquareTable[i]);
     }
   }
-  ref.cpu.call(sqr_prog.entry("entry"), {});
-  pre.cpu.call(sqr_prog.entry("entry"), {});
+  ref.cpu.call(sqr_prog->entry("entry"), {});
+  pre.cpu.call(sqr_prog->entry("entry"), {});
   EXPECT_EQ(ref.sink.events, pre.sink.events);
   // Simulated-clock timestamps reconstruct the cycle count exactly.
   ASSERT_FALSE(pre.sink.events.empty());
@@ -235,7 +235,7 @@ TEST(Predecode, LoopingInversionKernelIdentical) {
   // The EEA inversion is the one genuinely branchy, data-dependent
   // kernel — the strongest exercise of branch-target handling in the
   // cached engine.
-  const Program prog = assemble(asmkernels::gen_inv());
+  const ProgramRef prog = assemble(asmkernels::gen_inv());
   Rng rng(0x1EA);
   auto a = random_fe(rng);
   a[0] |= 1;
@@ -248,7 +248,7 @@ TEST(Predecode, LiteralPoolDataSlotsAreHarmless) {
   // `ldr rN, =imm` materializes a literal pool after the code; those
   // data words do not decode as instructions. Predecoding must tolerate
   // them (lazy trap slots) and execution must never touch the traps.
-  const Program prog = assemble(R"(
+  const ProgramRef prog = assemble(R"(
 entry:
     ldr r0, =0x12345678
     ldr r1, =0xCAFEBABE
@@ -257,8 +257,8 @@ entry:
 )");
   Engine ref(prog, Cpu::DecodeMode::kPerStep);
   Engine pre(prog, Cpu::DecodeMode::kPredecode);
-  const RunStats a = ref.cpu.call(prog.entry("entry"), {});
-  const RunStats b = pre.cpu.call(prog.entry("entry"), {});
+  const RunStats a = ref.cpu.call(prog->entry("entry"), {});
+  const RunStats b = pre.cpu.call(prog->entry("entry"), {});
   expect_stats_identical(a, b);
   EXPECT_EQ(ref.cpu.reg(0), 0x12345678u + 0xCAFEBABEu);
   EXPECT_EQ(pre.cpu.reg(0), 0x12345678u + 0xCAFEBABEu);
@@ -327,7 +327,7 @@ TEST(Predecode, TypedDecodeFaultIdenticalAcrossEngines) {
 TEST(Predecode, MemoryFaultStateIdenticalAcrossEngines) {
   // A data abort mid-run: a load from far outside RAM must surface as
   // the same BusFault, with identical state, from both engines.
-  const Program prog = assemble(R"(
+  const ProgramRef prog = assemble(R"(
 entry:
     movs r0, #7
     ldr r1, =0x30000000
@@ -338,7 +338,7 @@ entry:
   Engine pre(prog, Cpu::DecodeMode::kPredecode);
   auto capture = [&](Cpu& cpu) {
     try {
-      cpu.call(prog.entry("entry"), {});
+      cpu.call(prog->entry("entry"), {});
     } catch (const BusFault& f) {
       EXPECT_TRUE(f.has_state());
       return std::make_tuple(f.message(), f.address(), f.state());
@@ -357,17 +357,17 @@ entry:
 }
 
 TEST(Predecode, InstructionBudgetTripsIdentically) {
-  const Program prog = assemble(R"(
+  const ProgramRef prog = assemble(R"(
 entry:
 loop: b loop
 )");
   Engine ref(prog, Cpu::DecodeMode::kPerStep);
   Engine pre(prog, Cpu::DecodeMode::kPredecode);
-  EXPECT_THROW(ref.cpu.call(prog.entry("entry"), {}, 100000),
+  EXPECT_THROW(ref.cpu.call(prog->entry("entry"), {}, 100000),
                std::runtime_error);  // legacy catch still works
   ArchState pre_state;
   try {
-    pre.cpu.call(prog.entry("entry"), {}, 100000);
+    pre.cpu.call(prog->entry("entry"), {}, 100000);
     ADD_FAILURE() << "budget did not trip";
   } catch (const BudgetFault& f) {
     EXPECT_EQ(f.kind(), FaultKind::kBudgetExhausted);

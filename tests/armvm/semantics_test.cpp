@@ -37,7 +37,7 @@ class Harness {
   explicit Harness(const std::string& body)
       : prog_(assemble("fn:\n" + body + "    bx lr\n")),
         mem_(1 << 12),
-        cpu_(prog_.code, mem_) {}
+        cpu_(prog_, mem_) {}
 
   RefResult run(std::uint32_t r0, std::uint32_t r1, bool carry_in = false) {
     cpu_.set_reg(0, r0);
@@ -48,13 +48,13 @@ class Harness {
       // running a priming instruction sequence in the harness body
       // instead; tests needing carry use bodies that set it.
     }
-    (void)cpu_.call(prog_.entry("fn"), {});
+    (void)cpu_.call(prog_->entry("fn"), {});
     return {cpu_.reg(0),
             {cpu_.flag_n(), cpu_.flag_z(), cpu_.flag_c(), cpu_.flag_v()}};
   }
 
  private:
-  Program prog_;
+  ProgramRef prog_;
   Memory mem_;
   Cpu cpu_;
 };

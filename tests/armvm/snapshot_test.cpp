@@ -1,0 +1,161 @@
+// MachineSnapshot / restore semantics: checkpoint a run mid-flight,
+// fork it into another context, and prove the fork is bit-identical to
+// letting the original continue — plus the documented asymmetry of
+// set_arch_state() and the resettable halted latch.
+#include <gtest/gtest.h>
+
+#include "armvm/asm.h"
+#include "armvm/cpu.h"
+
+namespace eccm0::armvm {
+namespace {
+
+constexpr std::size_t kRamSize = 1 << 12;
+
+// A loop with RAM traffic so snapshots carry non-trivial memory state:
+// writes i*i to successive words while summing them.
+const char* kLoopSrc = R"(
+entry: movs r1, #0        ; acc
+       movs r2, #16       ; i
+       movs r3, #1
+       lsls r3, r3, #29   ; r3 = RAM base
+loop:  movs r4, r2
+       muls r4, r2
+       str r4, [r3]
+       ldr r5, [r3]
+       adds r1, r1, r5
+       adds r3, #4
+       subs r2, #1
+       bne loop
+       movs r0, r1
+       bx lr
+)";
+
+struct Machine {
+  explicit Machine(ProgramRef p) : prog(std::move(p)), mem(kRamSize),
+                                   cpu(prog, mem) {}
+  ProgramRef prog;
+  Memory mem;
+  Cpu cpu;
+
+  void start() {
+    cpu.set_reg(kLR, kReturnSentinel);
+    cpu.set_reg(kPC, prog->entry("entry"));
+  }
+  void run_to_halt() {
+    while (cpu.step()) {
+    }
+  }
+  std::uint64_t step_n(std::uint64_t n) {
+    std::uint64_t done = 0;
+    while (done < n && cpu.step()) ++done;
+    return done;
+  }
+};
+
+TEST(Snapshot, RoundTripEquality) {
+  const ProgramRef prog = assemble(kLoopSrc);
+  Machine m(prog);
+  m.start();
+  m.step_n(40);
+  const MachineSnapshot s = m.cpu.snapshot();
+
+  // A snapshot of a restored context is the snapshot itself.
+  Machine n(prog);
+  n.cpu.restore(s);
+  EXPECT_TRUE(n.cpu.snapshot() == s);
+
+  // Restoring onto the same context is also exact.
+  m.run_to_halt();
+  m.cpu.restore(s);
+  EXPECT_TRUE(m.cpu.snapshot() == s);
+}
+
+TEST(Snapshot, ForkMatchesContinuation) {
+  const ProgramRef prog = assemble(kLoopSrc);
+  Machine a(prog);
+  a.start();
+  a.step_n(37);
+  const MachineSnapshot s = a.cpu.snapshot();
+
+  // Continue the original to completion.
+  a.run_to_halt();
+
+  // Fork: a fresh context restored from the checkpoint must converge to
+  // the same architectural state, stats, and RAM.
+  Machine b(prog);
+  b.cpu.restore(s);
+  b.run_to_halt();
+
+  EXPECT_TRUE(a.cpu.snapshot() == b.cpu.snapshot());
+  EXPECT_EQ(a.cpu.reg(0), b.cpu.reg(0));
+  EXPECT_EQ(a.cpu.stats().cycles, b.cpu.stats().cycles);
+}
+
+TEST(Snapshot, CapturesHaltedLatchAndRam) {
+  const ProgramRef prog = assemble("entry: movs r0, #3\n bkpt\n");
+  Machine m(prog);
+  m.start();
+  m.run_to_halt();
+  EXPECT_TRUE(m.cpu.halted());
+  const MachineSnapshot s = m.cpu.snapshot();
+  EXPECT_TRUE(s.halted);
+
+  Machine n(prog);
+  EXPECT_FALSE(n.cpu.halted());
+  n.cpu.restore(s);
+  EXPECT_TRUE(n.cpu.halted());
+  EXPECT_EQ(n.cpu.reg(0), 3u);
+}
+
+TEST(Snapshot, RestoreRejectsRamSizeMismatch) {
+  const ProgramRef prog = assemble("entry: bx lr\n");
+  Machine m(prog);
+  m.start();
+  const MachineSnapshot s = m.cpu.snapshot();
+
+  Memory small(kRamSize / 2);
+  Cpu other(prog, small);
+  EXPECT_THROW(other.restore(s), std::invalid_argument);
+}
+
+TEST(Cpu, ResetStatsPlusSetArchStateGivesCleanRerun) {
+  // The documented asymmetry: set_arch_state() restores registers and
+  // flags only. reset_stats() + set_arch_state() + clear_halted() is a
+  // clean re-run whose stats match a fresh context exactly.
+  const ProgramRef prog = assemble(kLoopSrc);
+  Machine fresh(prog);
+  fresh.start();
+  const ArchState start_state = fresh.cpu.arch_state();
+  fresh.run_to_halt();
+  const RunStats first = fresh.cpu.stats();
+  EXPECT_TRUE(fresh.cpu.halted());
+
+  // Stats survive set_arch_state — that is the asymmetry.
+  fresh.cpu.set_arch_state(start_state);
+  EXPECT_EQ(fresh.cpu.stats().instructions, first.instructions);
+
+  // The full recipe re-arms the context for an identical second run.
+  fresh.cpu.reset_stats();
+  fresh.cpu.clear_halted();
+  EXPECT_FALSE(fresh.cpu.halted());
+  fresh.run_to_halt();
+  EXPECT_TRUE(fresh.cpu.stats() == first);
+}
+
+TEST(Cpu, HaltedLatchIsResettable) {
+  const ProgramRef prog = assemble("entry: movs r0, #1\n bkpt\n");
+  Machine m(prog);
+  m.start();
+  m.run_to_halt();
+  EXPECT_TRUE(m.cpu.halted());
+  EXPECT_FALSE(m.cpu.step());  // latched: no further retirement
+
+  m.cpu.clear_halted();
+  m.cpu.set_reg(kPC, prog->entry("entry"));
+  m.cpu.set_reg(kLR, kReturnSentinel);
+  EXPECT_TRUE(m.cpu.step());  // runs again after re-arming
+}
+
+}  // namespace
+}  // namespace eccm0::armvm

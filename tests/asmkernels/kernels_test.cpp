@@ -1,7 +1,7 @@
 // Differential tests: the VM-executed Thumb kernels must agree with the
 // portable C++ kernel on every operation, and their measured cycle counts
 // must land in the paper's bands (Tables 2, 5, 6).
-#include "asmkernels/runner.h"
+#include "workloads/runner.h"
 
 #include <gtest/gtest.h>
 

@@ -15,7 +15,7 @@ namespace {
 
 constexpr std::size_t kRamSize = 0x800;
 
-armvm::Program mul_program() {
+armvm::ProgramRef mul_program() {
   return armvm::assemble(asmkernels::gen_mul_fixed(true));
 }
 
@@ -33,7 +33,7 @@ void write_operands(armvm::Memory& mem) {
 }
 
 TEST(Inject, NoFaultWhenIndexBeyondRetirement) {
-  const armvm::Program prog = mul_program();
+  const armvm::ProgramRef prog = mul_program();
   armvm::Memory mem(kRamSize);
   write_operands(mem);
   FaultSpec never;
@@ -45,7 +45,7 @@ TEST(Inject, NoFaultWhenIndexBeyondRetirement) {
 }
 
 TEST(Inject, SameSpecSameOutcomeBitForBit) {
-  const armvm::Program prog = mul_program();
+  const armvm::ProgramRef prog = mul_program();
   auto run_once = [&](const FaultSpec& spec) {
     armvm::Memory mem(kRamSize);
     write_operands(mem);
@@ -90,7 +90,7 @@ TEST(Inject, SampleSpecIsSeedDeterministic) {
 }
 
 TEST(Inject, RegisterFlipOfPcCrashesWithTypedFault) {
-  const armvm::Program prog = mul_program();
+  const armvm::ProgramRef prog = mul_program();
   armvm::Memory mem(kRamSize);
   write_operands(mem);
   FaultSpec spec;
@@ -103,6 +103,94 @@ TEST(Inject, RegisterFlipOfPcCrashesWithTypedFault) {
   EXPECT_TRUE(run.injected);
   EXPECT_EQ(run.fault_kind, armvm::FaultKind::kAlignmentFault);
   EXPECT_EQ(run.fault_message, "Cpu: odd PC");
+}
+
+TEST(Inject, ForkFromCheckpointMatchesReplayFromReset) {
+  // For many specs at the same trigger index, a campaign can pay the
+  // clean prefix once (checkpoint_at) and fork — the forked run must be
+  // bit-identical to replaying from reset: outcome, instruction and
+  // cycle counts, crash details, and the result words.
+  const armvm::ProgramRef prog = mul_program();
+  Rng rng(0xF02C);
+  for (const FaultModel model :
+       {FaultModel::kRegisterFlip, FaultModel::kRamFlip,
+        FaultModel::kInstructionSkip, FaultModel::kOpcodeFlip}) {
+    for (int i = 0; i < 6; ++i) {
+      const FaultSpec spec = sample_spec(rng, model, 1500, 0xA0);
+
+      armvm::Memory replay_mem(kRamSize);
+      write_operands(replay_mem);
+      const InjectedRun replay = run_with_fault(prog, replay_mem, spec);
+
+      armvm::Memory fork_mem(kRamSize);
+      write_operands(fork_mem);
+      const armvm::MachineSnapshot at =
+          checkpoint_at(prog, fork_mem, spec.index);
+      const InjectedRun forked =
+          run_with_fault_forked(prog, fork_mem, at, spec);
+
+      EXPECT_EQ(forked.outcome, replay.outcome) << fault_model_name(model);
+      EXPECT_EQ(forked.injected, replay.injected);
+      EXPECT_EQ(forked.instructions, replay.instructions);
+      EXPECT_EQ(forked.cycles, replay.cycles);
+      EXPECT_EQ(forked.fault_message, replay.fault_message);
+      if (replay.outcome == RunOutcome::kCompleted) {
+        EXPECT_EQ(fork_mem.read_words(armvm::kRamBase + asmkernels::kVOff, 8),
+                  replay_mem.read_words(armvm::kRamBase + asmkernels::kVOff,
+                                        8));
+      }
+    }
+  }
+}
+
+TEST(Inject, OneCheckpointServesManySpecs) {
+  // The point of forking: one prefix, several different faults.
+  const armvm::ProgramRef prog = mul_program();
+  constexpr std::uint64_t kIndex = 700;
+  armvm::Memory mem(kRamSize);
+  write_operands(mem);
+  const armvm::MachineSnapshot at = checkpoint_at(prog, mem, kIndex);
+
+  Rng rng(0xA11);
+  for (int i = 0; i < 4; ++i) {
+    FaultSpec spec = sample_spec(rng, FaultModel::kRegisterFlip, 1, 0xA0);
+    spec.index = kIndex;
+
+    armvm::Memory fork_mem(kRamSize);
+    const InjectedRun forked = run_with_fault_forked(prog, fork_mem, at, spec);
+
+    armvm::Memory replay_mem(kRamSize);
+    write_operands(replay_mem);
+    const InjectedRun replay = run_with_fault(prog, replay_mem, spec);
+
+    EXPECT_EQ(forked.outcome, replay.outcome);
+    EXPECT_EQ(forked.instructions, replay.instructions);
+    EXPECT_EQ(forked.cycles, replay.cycles);
+  }
+}
+
+TEST(Campaign, ThreadCountDoesNotChangeTheTally) {
+  CampaignConfig cfg;
+  cfg.seed = 0x7E57;
+  cfg.runs_per_model = 8;
+  cfg.threads = 1;
+  const CampaignResult serial = run_kp_campaign(cfg);
+  for (unsigned threads : {2u, 8u}) {
+    cfg.threads = threads;
+    const CampaignResult par = run_kp_campaign(cfg);
+    for (unsigned m = 0; m < kNumFaultModels; ++m) {
+      EXPECT_EQ(par.models[m].injected, serial.models[m].injected)
+          << threads << " threads";
+      for (unsigned p = 0; p < kNumProfiles; ++p) {
+        const OutcomeTally& ts = serial.models[m].per_profile[p];
+        const OutcomeTally& tp = par.models[m].per_profile[p];
+        EXPECT_EQ(tp.correct, ts.correct);
+        EXPECT_EQ(tp.detected, ts.detected);
+        EXPECT_EQ(tp.crashed, ts.crashed);
+        EXPECT_EQ(tp.silent, ts.silent);
+      }
+    }
+  }
 }
 
 TEST(Campaign, DeterministicAcrossRuns) {

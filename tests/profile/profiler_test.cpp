@@ -46,24 +46,24 @@ void write_fe(armvm::Memory& mem, std::uint32_t off,
 /// The EEA inversion kernel is the only one with real BL subroutines
 /// (xsh, deg) — the strongest shadow-stack exercise we have.
 struct InvRun {
-  armvm::Program prog;
+  armvm::ProgramRef prog;
   armvm::Memory mem;
   armvm::Cpu cpu;
   InvRun()
       : prog(armvm::assemble(asmkernels::gen_inv())),
         mem(kRamSize),
-        cpu(prog.code, mem, armvm::Cpu::DecodeMode::kPredecode) {}
+        cpu(prog, mem, armvm::Cpu::DecodeMode::kPredecode) {}
   armvm::RunStats run(Rng& rng) {
     auto a = random_fe(rng);
     a[0] |= 1;
     write_fe(mem, asmkernels::kInOff, a);
-    return cpu.call(prog.entry("entry"), {});
+    return cpu.call(prog->entry("entry"), {});
   }
 };
 
 TEST(Profiler, RootInclusiveCyclesEqualRunStats) {
   InvRun inv;
-  Profiler prof(inv.prog);
+  Profiler prof(*inv.prog);
   inv.cpu.set_trace_sink(&prof);
   Rng rng(0xAB5);
   inv.run(rng);
@@ -88,7 +88,7 @@ TEST(Profiler, RootInclusiveCyclesEqualRunStats) {
 
 TEST(Profiler, SubroutinesAndCallSitesAttributed) {
   InvRun inv;
-  Profiler prof(inv.prog);
+  Profiler prof(*inv.prog);
   inv.cpu.set_trace_sink(&prof);
   Rng rng(0x5EED5);
   inv.run(rng);
@@ -148,7 +148,7 @@ TEST(Profiler, PersistentMachineReopensRootPerCall) {
   // each call must open a fresh root activation and keep the totals in
   // lock-step with the cumulative RunStats.
   InvRun inv;
-  Profiler prof(inv.prog);
+  Profiler prof(*inv.prog);
   inv.cpu.set_trace_sink(&prof);
   Rng rng(0x2CA11);
   inv.run(rng);
@@ -168,22 +168,22 @@ TEST(Profiler, AgreesWithPowerRigAndRunStatsOnEnergy) {
   // Profiler (histogram x Table 3) and PowerRig (synthesized waveform,
   // zero noise) attached to the SAME run via the TeeSink must integrate
   // to the same total energy, which is also the Cpu's own energy report.
-  const armvm::Program prog =
+  const armvm::ProgramRef prog =
       armvm::assemble(asmkernels::gen_mul_fixed(true));
   armvm::Memory mem(kRamSize);
-  armvm::Cpu cpu(prog.code, mem, armvm::Cpu::DecodeMode::kPredecode);
+  armvm::Cpu cpu(prog, mem, armvm::Cpu::DecodeMode::kPredecode);
   Rng rng(0xE4E26);
   write_fe(mem, asmkernels::kXOff, random_fe(rng));
   write_fe(mem, asmkernels::kYOff, random_fe(rng));
 
-  Profiler prof(prog);
+  Profiler prof(*prog);
   measure::RigConfig cfg;
   cfg.noise_uw = 0.0;
   cfg.bias_uw = 0.0;
   measure::PowerRig rig(cfg);
   TeeSink tee({&prof, &rig});
   cpu.set_trace_sink(&tee);
-  cpu.call(prog.entry("entry"), {});
+  cpu.call(prog->entry("entry"), {});
   const armvm::RunStats stats = cpu.stats();
 
   const double model_pj = stats.energy().energy_pj;
@@ -203,16 +203,16 @@ TEST(MemHeatmap, FixedRegisterMulStarvesRegisteredProductWords) {
   Rng rng(0x6EA7);
   const auto x = random_fe(rng), y = random_fe(rng);
   auto run = [&](bool fixed) {
-    const armvm::Program prog = armvm::assemble(
+    const armvm::ProgramRef prog = armvm::assemble(
         fixed ? asmkernels::gen_mul_fixed(true)
               : asmkernels::gen_mul_plain(true));
     armvm::Memory mem(kRamSize);
-    armvm::Cpu cpu(prog.code, mem, armvm::Cpu::DecodeMode::kPredecode);
+    armvm::Cpu cpu(prog, mem, armvm::Cpu::DecodeMode::kPredecode);
     write_fe(mem, asmkernels::kXOff, x);
     write_fe(mem, asmkernels::kYOff, y);
     auto heat = std::make_unique<MemHeatmap>(kRamSize);
     cpu.set_trace_sink(heat.get());
-    cpu.call(prog.entry("entry"), {});
+    cpu.call(prog->entry("entry"), {});
     return heat;
   };
   const auto fixed = run(true);
@@ -251,7 +251,7 @@ TEST(MemHeatmap, FixedRegisterMulStarvesRegisteredProductWords) {
 
 TEST(TraceExport, ChromeTraceAndCollapsedStacks) {
   InvRun inv;
-  Profiler prof(inv.prog);
+  Profiler prof(*inv.prog);
   inv.cpu.set_trace_sink(&prof);
   Rng rng(0xEC5);
   inv.run(rng);

@@ -1,0 +1,99 @@
+// The workloads layer: registry caching/sharing semantics, the shared
+// kP kernel mix, and KernelMachine contexts over shared images.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "asmkernels/gen.h"
+#include "workloads/kp_mix.h"
+#include "workloads/registry.h"
+
+namespace eccm0::workloads {
+namespace {
+
+TEST(Registry, CachesOneImagePerKernel) {
+  // Two lookups return the SAME shared image, not two assemblies.
+  const armvm::ProgramRef a = kernel("mul");
+  const armvm::ProgramRef b = kernel("mul");
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_GT(a->code().size(), 100u);
+  EXPECT_NO_THROW(a->entry("entry"));
+}
+
+TEST(Registry, KnowsTheBuiltinKernels) {
+  auto& reg = KernelRegistry::instance();
+  for (const char* name : {"mul", "mul-raw", "mul-plain", "mul-plain-raw",
+                           "sqr", "reduce", "lut", "inv", "mul163",
+                           "mul163-raw", "mul163-plain", "mul163-plain-raw"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+  }
+  EXPECT_FALSE(reg.contains("nonesuch"));
+  EXPECT_THROW(kernel("nonesuch"), std::out_of_range);
+  // names() lists every builtin (and any registered extras).
+  const auto names = reg.names();
+  const std::set<std::string> set(names.begin(), names.end());
+  EXPECT_TRUE(set.count("mul"));
+  EXPECT_TRUE(set.count("inv"));
+}
+
+TEST(Registry, RejectsDuplicateRegistration) {
+  EXPECT_THROW(
+      KernelRegistry::instance().add("mul", [] { return std::string(); }),
+      std::invalid_argument);
+}
+
+TEST(Registry, ConcurrentLookupsShareOneImage) {
+  // Hammer the lazy-build path from several threads; every thread must
+  // see the same pointer.
+  std::vector<std::thread> threads;
+  std::vector<const armvm::Program*> seen(8, nullptr);
+  for (unsigned t = 0; t < 8; ++t) {
+    threads.emplace_back([t, &seen] { seen[t] = kernel("mul163").get(); });
+  }
+  for (auto& th : threads) th.join();
+  for (unsigned t = 1; t < 8; ++t) EXPECT_EQ(seen[t], seen[0]);
+}
+
+TEST(KpMix, IsCachedAndPlausible) {
+  const ec::FieldOpCounts& ops = kp_mix_sect233k1();
+  EXPECT_EQ(&ops, &kp_mix_sect233k1());  // one cached derivation
+  // One wTNAF w=4 kP on a 233-bit scalar: hundreds of muls, hundreds of
+  // sqrs, a single final inversion (plus the table build's).
+  EXPECT_GT(ops.mul, 100u);
+  EXPECT_GT(ops.sqr, 100u);
+  EXPECT_GE(ops.inv, 1u);
+  EXPECT_LT(ops.inv, 10u);
+}
+
+TEST(KpMix, StandardOperandsAreInField) {
+  const KernelOperands& od = KernelOperands::standard();
+  EXPECT_EQ(&od, &KernelOperands::standard());
+  EXPECT_LE(od.x[7], 0x1FFu);
+  EXPECT_LE(od.y[7], 0x1FFu);
+  EXPECT_LE(od.a[7], 0x1FFu);
+  EXPECT_EQ(od.a[0] & 1u, 1u);  // nonzero inversion input
+}
+
+TEST(KernelMachine, ContextsOverOneImageAreIndependent) {
+  KernelMachine m1("mul");
+  KernelMachine m2("mul");
+  EXPECT_EQ(&m1.prog(), &m2.prog());  // shared image
+
+  const KernelOperands& od = KernelOperands::standard();
+  load_mul_inputs(m1.mem(), od.x, od.y);
+  load_mul_inputs(m2.mem(), od.x, od.y);
+  const armvm::RunStats s1 = m1.call();
+  const armvm::RunStats s2 = m2.call();
+  EXPECT_EQ(s1.cycles, s2.cycles);
+  EXPECT_EQ(s1.instructions, s2.instructions);
+  // Same inputs, same outputs, in private RAMs.
+  for (int w = 0; w < 8; ++w) {
+    EXPECT_EQ(m1.mem().load32(armvm::kRamBase + asmkernels::kVOff + 4 * w),
+              m2.mem().load32(armvm::kRamBase + asmkernels::kVOff + 4 * w));
+  }
+}
+
+}  // namespace
+}  // namespace eccm0::workloads
