@@ -9,10 +9,10 @@
 // on a clean run (cycles and uJ, proposed-asm prices), and a final demo
 // shows ECDSA verify-after-sign refusing a faulted signature.
 //
-// Flags: --runs=N (default 1000 per model), --quick (25 per model),
-//        --seed=S, --threads=N (batch-executor workers, default 1,
-//        0 = hardware concurrency; tallies identical for any value),
-//        --json[=PATH] (default BENCH_fault_campaign.json).
+// Flags (bench::Args): --runs=N (default 1000 per model), --quick (25
+//        per model), --seed=S, --threads=N (batch-executor workers,
+//        default 1, 0 = hardware concurrency; tallies identical for any
+//        value), --json[=PATH] (default BENCH_fault_campaign.json).
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -63,21 +63,20 @@ std::pair<bool, bool> ecdsa_coherence_demo() {
 
 int main(int argc, char** argv) {
   faultsim::CampaignConfig cfg;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) cfg.runs_per_model = 25;
-    if (std::strncmp(argv[i], "--runs=", 7) == 0) {
-      cfg.runs_per_model = std::strtoull(argv[i] + 7, nullptr, 10);
-    }
-    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
-      cfg.seed = std::strtoull(argv[i] + 7, nullptr, 0);
-    }
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      cfg.threads = static_cast<unsigned>(
-          std::strtoul(argv[i] + 10, nullptr, 10));
-    }
+  bool quick = false;
+  bench::Args args;
+  args.seed = cfg.seed;
+  args.threads = cfg.threads;
+  args.add_flag("--quick", &quick);
+  args.add_u64("--runs", &cfg.runs_per_model);
+  if (!args.parse(argc - 1, argv + 1, "BENCH_fault_campaign.json") ||
+      !args.positionals().empty()) {
+    return 2;
   }
-  const std::string json_path =
-      bench::json_flag_path(argc, argv, "BENCH_fault_campaign.json");
+  cfg.seed = args.seed;
+  cfg.threads = args.threads;
+  if (quick) cfg.runs_per_model = 25;
+  const std::string json_path = args.json_path;
 
   bench::banner("Fault-injection campaign: wTNAF kP on sect233k1");
   std::printf("seed 0x%llx, %llu injections per fault model, %u thread(s)"

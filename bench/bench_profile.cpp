@@ -10,8 +10,9 @@
 //   - a per-word RAM heatmap of the product vector v[0..15], fixed-
 //     register vs plain-memory multiplication — the observational proof
 //     of the paper's register-pinning claim (v[3..11] near-zero traffic);
-//   - BENCH_profile.json (report.h convention), profile_trace.json
-//     (Chrome trace-event / Perfetto, simulated 48 MHz clock) and
+//   - with --json[=PATH] (bench::Args convention, opt-in) a
+//     BENCH_profile.json mirror, plus profile_trace.json (Chrome
+//     trace-event / Perfetto, simulated 48 MHz clock) and
 //     profile_flame.txt (collapsed stacks for flamegraph.pl).
 #include <cstdio>
 #include <cstdlib>
@@ -43,7 +44,7 @@ struct Machine {
   workloads::KernelMachine km;
   profile::Profiler prof;
   profile::MemHeatmap heat;
-  profile::TeeSink tee;
+  armvm::TeeSink tee;
   armvm::Memory& mem;
   Cpu& cpu;
 
@@ -118,6 +119,12 @@ void print_functions(Machine& m) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Args args;
+  if (!args.parse(argc - 1, argv + 1, "BENCH_profile.json") ||
+      !args.positionals().empty()) {
+    return 2;
+  }
+
   bench::banner(
       "kP field-kernel profile - symbol attribution + RAM heatmap");
 
@@ -228,9 +235,10 @@ int main(int argc, char** argv) {
                 "and profile_flame.txt (flamegraph.pl)\n");
   }
 
-  std::string json_path =
-      bench::json_flag_path(argc, argv, "BENCH_profile.json");
-  if (json_path.empty()) json_path = "BENCH_profile.json";
+  // JSON is opt-in (the standard --json convention); the smoke run under
+  // ctest exercises only the self-checks above.
+  if (!args.json) return 0;
+  const std::string& json_path = args.json_path;
   bench::JsonWriter w;
   w.begin_object();
   w.field("bench", "profile");

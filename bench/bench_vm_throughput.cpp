@@ -12,9 +12,11 @@
 // speedup. A third section fans the predecoded workload across a
 // sim::BatchExecutor (`--threads N`, default hardware concurrency) —
 // one execution context per worker over the same shared images — and
-// asserts the batched digest matches the serial one. `--json[=PATH]`
-// (default BENCH_vm_throughput.json) mirrors the result
-// machine-readably; `--reps N` scales the workload.
+// asserts the batched digest matches the serial one. Flags follow the
+// shared bench::Args convention: `--json[=PATH]` (default
+// BENCH_vm_throughput.json) picks the mirror path, `--iters=N` scales
+// the workload (reps), `--threads=N` sizes the batched section and
+// `--enforce` turns the 3x speedup target into the exit code.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -134,20 +136,19 @@ bool identical(const armvm::RunStats& a, const armvm::RunStats& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  unsigned reps = 3;
   unsigned rounds = 3;
-  unsigned threads = 0;  // 0 = hardware concurrency
   bool enforce = false;  // --enforce: exit nonzero when speedup < 3x
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
-      reps = static_cast<unsigned>(std::atoi(argv[++i]));
-      if (reps == 0) reps = 1;  // zero work would make every rate NaN
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = static_cast<unsigned>(std::atoi(argv[++i]));
-    } else if (std::strcmp(argv[i], "--enforce") == 0) {
-      enforce = true;
-    }
+  bench::Args args;
+  args.iters = 3;    // reps
+  args.threads = 0;  // 0 = hardware concurrency
+  args.add_flag("--enforce", &enforce);
+  if (!args.parse(argc - 1, argv + 1, "BENCH_vm_throughput.json") ||
+      !args.positionals().empty()) {
+    return 2;
   }
+  // Zero work would make every rate NaN.
+  const unsigned reps = args.iters == 0 ? 1 : static_cast<unsigned>(args.iters);
+  const unsigned threads = args.threads;
 
   bench::banner("VM host throughput - pre-decoded engine vs per-step decode");
 
@@ -211,8 +212,10 @@ int main(int argc, char** argv) {
               "bit-identical\n",
               batch_speedup);
 
-  std::string json_path =
-      bench::json_flag_path(argc, argv, "BENCH_vm_throughput.json");
+  // The committed baseline is load-bearing for the CI regression gate,
+  // so this bench writes its JSON unconditionally; --json=PATH still
+  // redirects it.
+  std::string json_path = args.json_path;
   if (json_path.empty()) json_path = "BENCH_vm_throughput.json";
   bench::JsonWriter w;
   w.begin_object();

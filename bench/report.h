@@ -239,4 +239,90 @@ inline std::string json_flag_path(int argc, char** argv,
   return {};
 }
 
+/// One-pass argv parser for the flag conventions every bench main (and
+/// the ecctool subcommands) share:
+///
+///   --json[=PATH]  opt into the JSON mirror (bare form uses the default
+///                  path handed to parse())
+///   --threads=N    batch-executor worker count (0 = hardware concurrency)
+///   --seed=S       campaign seed, 0x.. accepted
+///   --iters=N      workload scale (reps / runs / calls / traces)
+///
+/// Field values set before parse() act as the defaults; a flag only
+/// overwrites its field when actually present. Benches register their
+/// extra flags with add_flag()/add_u64() before parsing; anything else
+/// that starts with `--` is rejected (parse() reports it on stderr and
+/// returns false), and bare tokens are collected as positionals for the
+/// caller to validate.
+class Args {
+ public:
+  unsigned threads = 1;
+  std::uint64_t seed = 0;
+  std::uint64_t iters = 0;
+  bool json = false;          ///< --json[=PATH] was passed
+  std::string json_path;      ///< resolved output path (empty until then)
+
+  /// Register a bench-specific boolean flag, e.g. "--quick".
+  void add_flag(const char* name, bool* dst) { flags_.push_back({name, dst}); }
+  /// Register a bench-specific "--name=N" integer flag, e.g. "--runs".
+  void add_u64(const char* name, std::uint64_t* dst) {
+    u64s_.push_back({name, dst});
+  }
+
+  bool parse(int argc, char** argv, const std::string& default_json_path) {
+    for (int i = 0; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--json") == 0) {
+        json = true;
+        json_path = default_json_path;
+      } else if (std::strncmp(a, "--json=", 7) == 0) {
+        json = true;
+        json_path = a + 7;
+      } else if (std::strncmp(a, "--threads=", 10) == 0) {
+        threads = static_cast<unsigned>(std::strtoul(a + 10, nullptr, 10));
+      } else if (std::strncmp(a, "--seed=", 7) == 0) {
+        seed = std::strtoull(a + 7, nullptr, 0);
+      } else if (std::strncmp(a, "--iters=", 8) == 0) {
+        iters = std::strtoull(a + 8, nullptr, 10);
+      } else if (a[0] == '-') {
+        if (!match_extra(a)) {
+          std::fprintf(stderr, "unknown flag '%s'%s\n", a, usage_suffix());
+          return false;
+        }
+      } else {
+        positionals_.push_back(a);
+      }
+    }
+    return true;
+  }
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+ private:
+  bool match_extra(const char* a) {
+    for (const auto& [name, dst] : flags_) {
+      if (std::strcmp(a, name) == 0) {
+        *dst = true;
+        return true;
+      }
+    }
+    for (const auto& [name, dst] : u64s_) {
+      const std::size_t n = std::strlen(name);
+      if (std::strncmp(a, name, n) == 0 && a[n] == '=') {
+        *dst = std::strtoull(a + n + 1, nullptr, 0);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const char* usage_suffix() const {
+    return " (standard flags: --json[=PATH] --threads=N --seed=S --iters=N)";
+  }
+
+  std::vector<std::pair<const char*, bool*>> flags_;
+  std::vector<std::pair<const char*, std::uint64_t*>> u64s_;
+  std::vector<std::string> positionals_;
+};
+
 }  // namespace eccm0::bench

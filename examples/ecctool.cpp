@@ -7,8 +7,9 @@
 //   ecctool verify  <pub-hex> <r-hex> <s-hex> <message...>
 //   ecctool ecdh    <priv-hex> <peer-pub-hex>
 //   ecctool info
-//   ecctool profile [mul|mul-plain|sqr|inv] [--calls N] [--threads N]
-//   ecctool campaign [--runs N] [--seed S] [--threads N]
+//   ecctool profile [kernel] [--calls=N] [--threads=N]
+//   ecctool campaign [--runs=N] [--seed=S] [--threads=N]
+//   ecctool sca [kernel] [--iters=N] [--seed=S] [--threads=N]
 //
 // `profile` runs a K-233 field kernel on the cycle-accurate armvm with
 // the symbol-attributed profiler and RAM heatmap attached (one private
@@ -17,6 +18,12 @@
 // writes ecctool_trace.json (Perfetto) + ecctool_flame.txt.
 // `campaign` runs the seeded kP fault-injection matrix; its tallies are
 // bit-identical for any --threads value.
+// `sca` runs both leakage detectors against one kernel: the
+// constant-trace verifier (timing + address criteria, with the first
+// divergence located by symbol) and the fixed-vs-random TVLA campaign
+// on the power rig, then writes the per-cycle |t| trace to
+// ecctool_ttrace.json for Perfetto. The multi-command flags share the
+// bench::Args conventions (--threads=N, --seed=S, ...).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +41,9 @@
 #include "profile/heatmap.h"
 #include "profile/profiler.h"
 #include "profile/trace_export.h"
+#include "report.h"
+#include "sca/campaign.h"
+#include "sca/ct_check.h"
 #include "sim/batch.h"
 #include "workloads/kp_mix.h"
 #include "workloads/registry.h"
@@ -83,10 +93,10 @@ int usage() {
                "       ecctool verify <pub-hex> <r-hex> <s-hex> <message...>\n"
                "       ecctool ecdh <priv-hex> <peer-pub-hex>\n"
                "       ecctool info\n"
-               "       ecctool profile [mul|mul-plain|sqr|inv] [--calls N]"
-               " [--threads N]\n"
-               "       ecctool campaign [--runs N] [--seed S]"
-               " [--threads N]\n");
+               "       ecctool profile [kernel] [--calls=N] [--threads=N]\n"
+               "       ecctool campaign [--runs=N] [--seed=S] [--threads=N]\n"
+               "       ecctool sca [kernel] [--iters=N] [--seed=S]"
+               " [--threads=N]\n");
   return 2;
 }
 
@@ -107,7 +117,7 @@ ProfilePart run_profile_part(const std::string& kernel, unsigned calls) {
   workloads::KernelMachine km(workloads::kernel(kernel));
   profile::Profiler prof(km.prog());
   profile::MemHeatmap heat(workloads::kKernelRamSize);
-  profile::TeeSink tee({&prof, &heat});
+  armvm::TeeSink tee({&prof, &heat});
   km.cpu().set_trace_sink(&tee);
 
   const workloads::KernelOperands& od = workloads::KernelOperands::standard();
@@ -135,19 +145,16 @@ ProfilePart run_profile_part(const std::string& kernel, unsigned calls) {
 }
 
 int run_profile(int argc, char** argv) {
-  std::string kernel = "mul";
-  unsigned calls = 1;
-  unsigned threads = 1;
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--calls") == 0 && i + 1 < argc) {
-      calls = static_cast<unsigned>(std::atoi(argv[++i]));
-      if (calls == 0) calls = 1;
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = static_cast<unsigned>(std::atoi(argv[++i]));
-    } else {
-      kernel = argv[i];
-    }
+  std::uint64_t calls = 1;
+  bench::Args args;
+  args.add_u64("--calls", &calls);
+  if (!args.parse(argc - 2, argv + 2, "") || args.positionals().size() > 1) {
+    return usage();
   }
+  if (calls == 0) calls = 1;
+  const std::string kernel =
+      args.positionals().empty() ? "mul" : args.positionals()[0];
+  const unsigned threads = args.threads;
   if (!workloads::KernelRegistry::instance().contains(kernel)) {
     return usage();
   }
@@ -193,9 +200,9 @@ int run_profile(int argc, char** argv) {
     }
   }
 
-  std::printf("kernel %s: %u call(s), %u context(s), %llu instructions, "
+  std::printf("kernel %s: %llu call(s), %u context(s), %llu instructions, "
               "%llu cycles, %.3f uJ, %.3f ms @48 MHz\n\n",
-              kernel.c_str(), calls, workers,
+              kernel.c_str(), static_cast<unsigned long long>(calls), workers,
               static_cast<unsigned long long>(all.instructions),
               static_cast<unsigned long long>(all.cycles), all.energy_uj,
               all.time_ms);
@@ -253,18 +260,16 @@ int run_profile(int argc, char** argv) {
 int run_campaign(int argc, char** argv) {
   faultsim::CampaignConfig cfg;
   cfg.runs_per_model = 200;
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
-      cfg.runs_per_model = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-      if (cfg.runs_per_model == 0) cfg.runs_per_model = 1;
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      cfg.seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 0));
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      cfg.threads = static_cast<unsigned>(std::atoi(argv[++i]));
-    } else {
-      return usage();
-    }
+  bench::Args args;
+  args.seed = cfg.seed;
+  args.threads = cfg.threads;
+  args.add_u64("--runs", &cfg.runs_per_model);
+  if (!args.parse(argc - 2, argv + 2, "") || !args.positionals().empty()) {
+    return usage();
   }
+  if (cfg.runs_per_model == 0) cfg.runs_per_model = 1;
+  cfg.seed = args.seed;
+  cfg.threads = args.threads;
   std::printf("kP fault campaign: seed 0x%llx, %llu runs/model, "
               "%u thread(s)\n\n",
               static_cast<unsigned long long>(cfg.seed),
@@ -293,6 +298,70 @@ int run_campaign(int argc, char** argv) {
   return 0;
 }
 
+int run_sca(int argc, char** argv) {
+  bench::Args args;
+  args.seed = 0x5CA;
+  args.iters = 40;  // TVLA traces per class
+  if (!args.parse(argc - 2, argv + 2, "") || args.positionals().size() > 1) {
+    return usage();
+  }
+  const std::string kernel =
+      args.positionals().empty() ? "mul" : args.positionals()[0];
+  if (!workloads::KernelRegistry::instance().contains(kernel)) {
+    return usage();
+  }
+
+  sca::CtConfig ct_cfg;
+  ct_cfg.kernel = kernel;
+  ct_cfg.seed = args.seed;
+  const sca::CtReport ct = sca::check_kernel_constant_trace(ct_cfg);
+  std::printf("constant-trace (%u random draws):\n", ct.runs);
+  std::printf("  timing    (pc/class/cycles): %s\n",
+              ct.constant ? "CONSTANT" : "VARIABLE");
+  std::printf("  addresses (+ memory stream): %s\n",
+              ct.constant_addresses ? "CONSTANT" : "VARIABLE");
+  if (ct.min_cycles == ct.max_cycles) {
+    std::printf("  %llu instructions, %llu cycles, digest %016llx\n",
+                static_cast<unsigned long long>(ct.trace_len),
+                static_cast<unsigned long long>(ct.ref_cycles),
+                static_cast<unsigned long long>(ct.digest));
+  } else {
+    std::printf("  cycles vary %llu..%llu\n",
+                static_cast<unsigned long long>(ct.min_cycles),
+                static_cast<unsigned long long>(ct.max_cycles));
+  }
+  if (ct.first.diverged) {
+    std::printf("  first divergence: #%llu at %s (%s)\n",
+                static_cast<unsigned long long>(ct.first.index),
+                ct.first.symbol_a.c_str(), ct.first.reason.c_str());
+  }
+
+  sca::TvlaCampaignConfig tv_cfg;
+  tv_cfg.kernel = kernel;
+  tv_cfg.traces_per_class = static_cast<unsigned>(args.iters);
+  tv_cfg.seed = args.seed;
+  tv_cfg.threads = args.threads;
+  const sca::TvlaCampaignResult res = sca::run_tvla_campaign(tv_cfg);
+  const sca::TvlaSummary& s = res.summary;
+  std::printf("\nTVLA fixed-vs-random (%llu traces, |t| > %.1f):\n",
+              static_cast<unsigned long long>(res.traces), s.threshold);
+  std::printf("  max|t| %.2f at cycle %zu over %zu cycles\n", s.max_abs_t,
+              s.max_cycle, s.compared_cycles);
+  std::printf("  %zu raw excursion(s), %zu confirmed by the duplicated "
+              "test, length leak: %s\n",
+              s.cycles_over_raw, s.cycles_over, s.length_leak ? "yes" : "no");
+  std::printf("  verdict: %s   (t-digest %016llx)\n",
+              s.leaky ? "LEAKY" : "CLEAN",
+              static_cast<unsigned long long>(res.t_digest));
+
+  if (profile::write_text_file(
+          "ecctool_ttrace.json",
+          profile::counter_track_json("tvla |t| " + kernel, res.t_trace))) {
+    std::printf("\nwrote ecctool_ttrace.json (Perfetto counter track)\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -306,6 +375,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "profile") return run_profile(argc, argv);
     if (cmd == "campaign") return run_campaign(argc, argv);
+    if (cmd == "sca") return run_sca(argc, argv);
     if (cmd == "info") {
       std::printf("curve     : %s (Koblitz, F(2^%u), a=0, b=1, h=%u)\n",
                   curve.name.c_str(), curve.f().m(), curve.cofactor);

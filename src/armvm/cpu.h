@@ -262,6 +262,24 @@ class TraceSink {
   virtual void on_retire(const TraceEvent& ev) = 0;
 };
 
+/// Fans one retired-instruction stream out to several sinks (e.g.
+/// Profiler + PowerRig + MemHeatmap on the same run). Borrowed pointers,
+/// like Cpu's sink: every registered sink must outlive the traced run.
+class TeeSink final : public TraceSink {
+ public:
+  TeeSink() = default;
+  explicit TeeSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void add(TraceSink* s) { sinks_.push_back(s); }
+
+  void on_retire(const TraceEvent& ev) override {
+    for (TraceSink* s : sinks_) s->on_retire(ev);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
 class Cpu {
  public:
   /// How `step()` obtains decoded instructions.

@@ -179,6 +179,11 @@ AffinePoint mul_wnaf(CurveOps& ops, const AffinePoint& p, const UInt& k,
 }
 
 AffinePoint mul_ladder(CurveOps& ops, const AffinePoint& p, const UInt& k) {
+  return mul_ladder(ops, p, k, nullptr);
+}
+
+AffinePoint mul_ladder(CurveOps& ops, const AffinePoint& p, const UInt& k,
+                       std::vector<FieldOpCounts>* per_step) {
   if (p.inf || k.is_zero()) return AffinePoint::infinity();
   if (k == UInt{1}) return p;
   const auto& f = ops.f();
@@ -203,6 +208,7 @@ AffinePoint mul_ladder(CurveOps& ops, const AffinePoint& p, const UInt& k) {
     z = ops.fmul(xx, zz);
   };
   for (std::size_t i = k.bit_length() - 1; i-- > 0;) {
+    const FieldOpCounts before = ops.counts();
     if (k.bit(i)) {
       madd(x1, z1, x2, z2);
       mdouble(x2, z2);
@@ -210,6 +216,7 @@ AffinePoint mul_ladder(CurveOps& ops, const AffinePoint& p, const UInt& k) {
       madd(x2, z2, x1, z1);
       mdouble(x1, z1);
     }
+    if (per_step != nullptr) per_step->push_back(ops.counts() - before);
   }
   if (GF2Field::is_zero(z1)) return AffinePoint::infinity();
   if (GF2Field::is_zero(z2)) return ops.neg(p);  // kP = -P when (k+1)P = inf

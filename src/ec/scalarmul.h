@@ -65,6 +65,15 @@ AffinePoint mul_wnaf(CurveOps& ops, const AffinePoint& p,
 AffinePoint mul_ladder(CurveOps& ops, const AffinePoint& p,
                        const mpint::UInt& k);
 
+/// Same ladder with the per-iteration seam the leakage verifier uses:
+/// `per_step` receives the CurveOps field-op delta of every ladder
+/// iteration (one entry per processed bit, most significant first). A
+/// uniform ladder yields identical entries for every bit of every
+/// scalar; sca::check_ladder_op_mix asserts exactly that.
+AffinePoint mul_ladder(CurveOps& ops, const AffinePoint& p,
+                       const mpint::UInt& k,
+                       std::vector<FieldOpCounts>* per_step);
+
 /// Apply a small Z[tau] element: r = (a0 + a1*tau) * P. Used to build
 /// wTNAF tables; |a0|, |a1| are tiny (a few bits).
 AffinePoint ztau_apply(CurveOps& ops, const ZTau& z, const AffinePoint& p);

@@ -136,22 +136,9 @@ class Profiler final : public armvm::TraceSink {
   costmodel::CycleHistogram total_hist_;
 };
 
-/// Fans one Cpu trace out to several sinks (e.g. Profiler + PowerRig +
-/// MemHeatmap on the same run). Borrowed pointers, like Cpu's sink.
-class TeeSink final : public armvm::TraceSink {
- public:
-  TeeSink() = default;
-  explicit TeeSink(std::vector<armvm::TraceSink*> sinks)
-      : sinks_(std::move(sinks)) {}
-
-  void add(armvm::TraceSink* s) { sinks_.push_back(s); }
-
-  void on_retire(const armvm::TraceEvent& ev) override {
-    for (armvm::TraceSink* s : sinks_) s->on_retire(ev);
-  }
-
- private:
-  std::vector<armvm::TraceSink*> sinks_;
-};
+/// TeeSink moved next to TraceSink in armvm (it is a generic combinator
+/// needed by measure and sca too, not just the profiler). This alias
+/// keeps old spellings compiling for one release.
+using TeeSink [[deprecated("use armvm::TeeSink")]] = armvm::TeeSink;
 
 }  // namespace eccm0::profile

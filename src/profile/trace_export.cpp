@@ -74,6 +74,27 @@ std::string collapsed_stack_text(std::span<const NamedProfile> tracks) {
   return out;
 }
 
+std::string counter_track_json(const std::string& name,
+                               std::span<const double> values,
+                               double clock_hz) {
+  const double us_per_cycle = 1e6 / clock_hz;
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  const std::string escaped = json_escape(name);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    double v = values[i];
+    if (v != v) v = 0.0;  // NaN
+    if (v > 1e9) v = 1e9;
+    if (v < -1e9) v = -1e9;
+    if (i != 0) out += ',';
+    out += "{\"name\":\"" + escaped +
+           "\",\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":" +
+           fmt(static_cast<double>(i) * us_per_cycle) +
+           ",\"args\":{\"value\":" + fmt(v) + "}}";
+  }
+  out += "]}";
+  return out;
+}
+
 bool write_text_file(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;

@@ -30,6 +30,15 @@ std::string chrome_trace_json(std::span<const NamedProfile> tracks,
 /// Track names prefix the stacks when more than one track is given.
 std::string collapsed_stack_text(std::span<const NamedProfile> tracks);
 
+/// Serialize a per-cycle scalar series (a TVLA t-trace, a power
+/// waveform) as a Chrome counter track ("ph":"C") on the same simulated
+/// clock as chrome_trace_json, so leakage peaks can be inspected in
+/// Perfetto next to the function timeline. Non-finite samples are
+/// clamped to +/-1e9 (Chrome's JSON dialect has no Infinity literal).
+std::string counter_track_json(const std::string& name,
+                               std::span<const double> values,
+                               double clock_hz = costmodel::kClockHz);
+
 /// Write `content` to `path`; returns false on I/O failure.
 bool write_text_file(const std::string& path, const std::string& content);
 

@@ -1,0 +1,221 @@
+#include "sca/ct_check.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "ec/curve.h"
+#include "ec/scalarmul.h"
+#include "gf2/k233.h"
+#include "gf2/traced.h"
+#include "mpint/uint.h"
+#include "workloads/kp_mix.h"
+#include "workloads/registry.h"
+
+namespace eccm0::sca {
+namespace {
+
+using gf2::k233::Fe;
+using gf2::k233::Prod;
+
+Fe random_fe(Rng& rng) {
+  Fe a;
+  for (auto& w : a) w = static_cast<std::uint32_t>(rng.next_u64());
+  a.back() &= gf2::k233::kTopMask;
+  return a;
+}
+
+Fe random_nonzero_fe(Rng& rng) {
+  Fe a = random_fe(rng);
+  a[0] |= 1;
+  return a;
+}
+
+}  // namespace
+
+void load_kernel_operands(const std::string& kernel, armvm::Memory& mem,
+                          Rng& rng) {
+  if (kernel == "mul" || kernel == "mul-raw" || kernel == "mul-plain" ||
+      kernel == "mul-plain-raw") {
+    const Fe x = random_fe(rng);
+    const Fe y = random_fe(rng);
+    std::uint32_t xs[8], ys[8];
+    for (int i = 0; i < 8; ++i) {
+      xs[i] = x[i];
+      ys[i] = y[i];
+    }
+    workloads::load_mul_inputs(mem, xs, ys);
+  } else if (kernel == "sqr") {
+    workloads::load_sqr_table(mem);
+    const Fe a = random_fe(rng);
+    std::uint32_t as[8];
+    for (int i = 0; i < 8; ++i) as[i] = a[i];
+    workloads::load_sqr_input(mem, as);
+  } else if (kernel == "reduce") {
+    Prod wide;
+    gf2::k233::mul_ld(wide, random_fe(rng), random_fe(rng));
+    std::uint32_t ws[16];
+    for (int i = 0; i < 16; ++i) ws[i] = wide[i];
+    workloads::load_reduce_input(mem, ws);
+  } else if (kernel == "lut") {
+    const Fe y = random_fe(rng);
+    std::uint32_t zero[8] = {}, ys[8];
+    for (int i = 0; i < 8; ++i) ys[i] = y[i];
+    workloads::load_mul_inputs(mem, zero, ys);
+  } else if (kernel == "inv") {
+    const Fe a = random_nonzero_fe(rng);
+    std::uint32_t as[8];
+    for (int i = 0; i < 8; ++i) as[i] = a[i];
+    workloads::load_inv_input(mem, as);
+  } else {
+    throw std::invalid_argument(
+        "load_kernel_operands: no operand recipe for kernel '" + kernel +
+        "'");
+  }
+}
+
+CtReport check_kernel_constant_trace(const CtConfig& cfg) {
+  if (cfg.runs < 2) {
+    throw std::invalid_argument(
+        "check_kernel_constant_trace: need at least 2 runs to compare");
+  }
+  const armvm::ProgramRef prog = workloads::kernel(cfg.kernel);
+  const Rng base(cfg.seed);
+
+  CtReport rep;
+  rep.target = cfg.kernel;
+  rep.runs = cfg.runs;
+  rep.constant = true;
+  rep.constant_addresses = true;
+  rep.min_cycles = std::numeric_limits<std::uint64_t>::max();
+
+  TraceDigest ref;
+  TraceDigest cur;
+  for (unsigned run = 0; run < cfg.runs; ++run) {
+    Rng op_rng = base.split(run);
+    armvm::Memory mem(workloads::kKernelRamSize);
+    load_kernel_operands(cfg.kernel, mem, op_rng);
+    armvm::Cpu cpu(prog, mem);
+    TraceDigest& d = run == 0 ? ref : cur;
+    d.clear();
+    cpu.set_trace_sink(&d);
+    cpu.call(prog->entry("entry"), {});
+    if (d.cycles() < rep.min_cycles) rep.min_cycles = d.cycles();
+    if (d.cycles() > rep.max_cycles) rep.max_cycles = d.cycles();
+    if (run > 0 && rep.constant_addresses) {
+      const Divergence strict = first_divergence(ref, cur, *prog, true);
+      if (strict.diverged) {
+        rep.constant_addresses = false;
+        rep.first = strict;
+      }
+    }
+    if (run > 0 && rep.constant &&
+        first_divergence(ref, cur, *prog, false).diverged) {
+      rep.constant = false;
+    }
+  }
+  rep.trace_len = ref.instructions();
+  rep.ref_cycles = ref.cycles();
+  rep.digest = ref.digest(/*with_addresses=*/false);
+  return rep;
+}
+
+LadderReport check_ladder_op_mix(unsigned scalars, std::uint64_t seed) {
+  const auto& curve = ec::BinaryCurve::sect233k1();
+  ec::CurveOps ops(curve);
+  const ec::AffinePoint g = ec::AffinePoint::make(curve.gx, curve.gy);
+  const Rng base(seed);
+
+  LadderReport rep;
+  rep.scalars = scalars;
+  rep.uniform = true;
+  bool have_ref = false;
+  for (unsigned s = 0; s < scalars; ++s) {
+    Rng krng = base.split(s);
+    const mpint::UInt k = mpint::UInt::random_below(krng, curve.order);
+    std::vector<ec::FieldOpCounts> steps;
+    ec::mul_ladder(ops, g, k, &steps);
+    for (const ec::FieldOpCounts& st : steps) {
+      if (!have_ref) {
+        rep.step_mix = st;
+        have_ref = true;
+      } else if (!(st == rep.step_mix)) {
+        rep.uniform = false;
+      }
+      ++rep.steps;
+    }
+  }
+  return rep;
+}
+
+WtnafReport check_wtnaf_op_mix(unsigned scalars, std::uint64_t seed,
+                               unsigned w) {
+  const auto& curve = ec::BinaryCurve::sect233k1();
+  ec::CurveOps ops(curve);
+  const ec::AffinePoint g = ec::AffinePoint::make(curve.gx, curve.gy);
+  const Rng base(seed);
+
+  WtnafReport rep;
+  rep.scalars = scalars;
+  rep.w = w;
+  rep.min_total = std::numeric_limits<std::uint64_t>::max();
+  for (unsigned s = 0; s < scalars; ++s) {
+    Rng krng = base.split(s);
+    const mpint::UInt k = mpint::UInt::random_below(krng, curve.order);
+    ops.reset_counts();
+    ec::mul_wtnaf(ops, g, k, w);
+    const ec::FieldOpCounts c = ops.counts();
+    const std::uint64_t total = c.mul + c.sqr + c.inv + c.add;
+    if (total < rep.min_total) rep.min_total = total;
+    if (total > rep.max_total) rep.max_total = total;
+  }
+  rep.uniform = rep.min_total == rep.max_total;
+  return rep;
+}
+
+TracedMixReport check_traced_op_mix(unsigned samples, std::uint64_t seed,
+                                    double tolerance) {
+  const Rng base(seed);
+
+  TracedMixReport rep;
+  rep.samples = samples;
+  rep.tolerance = tolerance;
+  rep.mul_min = rep.sqr_min = rep.inv_min =
+      std::numeric_limits<std::uint64_t>::max();
+  for (unsigned s = 0; s < samples; ++s) {
+    Rng rng = base.split(s);
+    const Fe a = random_nonzero_fe(rng);
+    const Fe b = random_fe(rng);
+
+    costmodel::OpRecorder mul_rec;
+    gf2::traced::mul_traced(a, b, mul_rec);
+    const std::uint64_t m = mul_rec.counts().total();
+    if (m < rep.mul_min) rep.mul_min = m;
+    if (m > rep.mul_max) rep.mul_max = m;
+
+    costmodel::OpRecorder sqr_rec;
+    Fe sq;
+    gf2::traced::sqr_traced(sq, a, sqr_rec);
+    const std::uint64_t q = sqr_rec.counts().total();
+    if (q < rep.sqr_min) rep.sqr_min = q;
+    if (q > rep.sqr_max) rep.sqr_max = q;
+
+    costmodel::OpRecorder inv_rec;
+    gf2::traced::inv_traced(a, inv_rec);
+    const std::uint64_t v = inv_rec.counts().total();
+    if (v < rep.inv_min) rep.inv_min = v;
+    if (v > rep.inv_max) rep.inv_max = v;
+  }
+  const auto spread = [](std::uint64_t lo, std::uint64_t hi) {
+    return lo == 0 ? 0.0
+                   : static_cast<double>(hi - lo) / static_cast<double>(lo);
+  };
+  rep.mul_spread = spread(rep.mul_min, rep.mul_max);
+  rep.inv_spread = spread(rep.inv_min, rep.inv_max);
+  rep.mul_within_tolerance = rep.mul_spread <= tolerance;
+  rep.sqr_uniform = rep.sqr_min == rep.sqr_max;
+  rep.inv_flagged = rep.inv_spread > tolerance;
+  return rep;
+}
+
+}  // namespace eccm0::sca

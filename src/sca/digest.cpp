@@ -1,0 +1,103 @@
+#include "sca/digest.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace eccm0::sca {
+
+void TraceDigest::on_retire(const armvm::TraceEvent& ev) {
+  RetireRecord r;
+  r.pc = ev.pc;
+  if (ev.num_costs > 0) r.cls0 = static_cast<std::uint8_t>(ev.costs[0].cls);
+  if (ev.num_costs > 1) r.cls1 = static_cast<std::uint8_t>(ev.costs[1].cls);
+  r.cycles = static_cast<std::uint8_t>(ev.cycles());
+  r.num_accesses = ev.num_accesses;
+  std::uint64_t h = 0;
+  for (unsigned i = 0; i < ev.num_accesses; ++i) {
+    const armvm::MemAccess& a = ev.accesses[i];
+    h = mix64(h, (static_cast<std::uint64_t>(a.addr) << 8) |
+                     (static_cast<std::uint64_t>(a.width) << 1) |
+                     (a.store ? 1u : 0u));
+  }
+  r.addr_hash = h;
+  records_.push_back(r);
+  cycles_ += r.cycles;
+}
+
+std::uint64_t TraceDigest::digest(bool with_addresses) const {
+  std::uint64_t h = 0;
+  for (const RetireRecord& r : records_) {
+    h = mix64(h, r.pc);
+    h = mix64(h, (static_cast<std::uint64_t>(r.cls0) << 24) |
+                     (static_cast<std::uint64_t>(r.cls1) << 16) |
+                     (static_cast<std::uint64_t>(r.cycles) << 8) |
+                     r.num_accesses);
+    if (with_addresses) h = mix64(h, r.addr_hash);
+  }
+  return h;
+}
+
+std::string symbol_at(const armvm::Program& prog, std::uint32_t pc) {
+  // Labels map to byte addresses; the enclosing one is the greatest
+  // label address <= pc.
+  const std::string* best_name = nullptr;
+  std::uint32_t best_addr = 0;
+  for (const auto& [name, addr] : prog.symbols()) {
+    if (addr <= pc && (best_name == nullptr || addr >= best_addr)) {
+      best_name = &name;
+      best_addr = addr;
+    }
+  }
+  if (best_name == nullptr) return "?";
+  if (best_addr == pc) return *best_name;
+  std::ostringstream os;
+  os << *best_name << "+0x" << std::hex << (pc - best_addr);
+  return os.str();
+}
+
+Divergence first_divergence(const TraceDigest& a, const TraceDigest& b,
+                            const armvm::Program& prog,
+                            bool with_addresses) {
+  Divergence d;
+  const auto& ra = a.records();
+  const auto& rb = b.records();
+  const std::size_t n = ra.size() < rb.size() ? ra.size() : rb.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool timing_equal =
+        ra[i].pc == rb[i].pc && ra[i].cls0 == rb[i].cls0 &&
+        ra[i].cls1 == rb[i].cls1 && ra[i].cycles == rb[i].cycles &&
+        ra[i].num_accesses == rb[i].num_accesses;
+    if (timing_equal && (!with_addresses || ra[i].addr_hash == rb[i].addr_hash))
+      continue;
+    d.diverged = true;
+    d.index = i;
+    d.pc_a = ra[i].pc;
+    d.pc_b = rb[i].pc;
+    d.symbol_a = symbol_at(prog, d.pc_a);
+    d.symbol_b = symbol_at(prog, d.pc_b);
+    if (ra[i].pc != rb[i].pc) {
+      d.reason = "pc";
+    } else if (ra[i].cls0 != rb[i].cls0 || ra[i].cls1 != rb[i].cls1) {
+      d.reason = "class";
+    } else if (ra[i].cycles != rb[i].cycles) {
+      d.reason = "cycles";
+    } else {
+      d.reason = "addresses";
+    }
+    return d;
+  }
+  if (ra.size() != rb.size()) {
+    d.diverged = true;
+    d.index = n;
+    const auto& longer = ra.size() > rb.size() ? ra : rb;
+    d.pc_a = ra.size() > n ? ra[n].pc : 0;
+    d.pc_b = rb.size() > n ? rb[n].pc : 0;
+    const std::uint32_t pc = longer[n].pc;
+    d.symbol_a = ra.size() > n ? symbol_at(prog, pc) : "<ended>";
+    d.symbol_b = rb.size() > n ? symbol_at(prog, pc) : "<ended>";
+    d.reason = "length";
+  }
+  return d;
+}
+
+}  // namespace eccm0::sca

@@ -1,0 +1,91 @@
+// Compact per-run trace digests — the primitive of the constant-trace
+// verifier.
+//
+// A TraceDigest is a TraceSink that records the operand-independence-
+// relevant projection of a run: the retired instruction-class sequence,
+// the per-retirement cycle cost, and the ordered memory-address stream
+// (hashed per event). Two runs of a genuinely constant-trace kernel over
+// different operands produce record-for-record identical digests; the
+// first differing record names the first architectural divergence by
+// retirement index and pc, and `Program::symbols` turns the pc into the
+// enclosing label for the report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "armvm/cpu.h"
+#include "armvm/program.h"
+
+namespace eccm0::sca {
+
+/// 64-bit stream fold used for every digest in this subsystem (the same
+/// recipe the throughput bench uses for its output digests).
+constexpr std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
+}
+
+/// One retired instruction, compacted to what leakage assessment needs.
+struct RetireRecord {
+  std::uint32_t pc = 0;
+  std::uint8_t cls0 = 0xFF;      ///< first cost class (0xFF = unused)
+  std::uint8_t cls1 = 0xFF;      ///< second cost class (LDM/STM overhead)
+  std::uint8_t cycles = 0;       ///< total cycles of the event
+  std::uint8_t num_accesses = 0;
+  std::uint64_t addr_hash = 0;   ///< ordered fold of (addr, width, store)
+
+  friend bool operator==(const RetireRecord&, const RetireRecord&) = default;
+};
+
+class TraceDigest final : public armvm::TraceSink {
+ public:
+  void on_retire(const armvm::TraceEvent& ev) override;
+
+  void clear() {
+    records_.clear();
+    cycles_ = 0;
+  }
+
+  const std::vector<RetireRecord>& records() const { return records_; }
+  std::uint64_t instructions() const { return records_.size(); }
+  std::uint64_t cycles() const { return cycles_; }
+
+  /// Order-sensitive 64-bit fold over the recorded stream. With
+  /// `with_addresses` false, the memory-address hashes are left out of
+  /// the fold — the timing projection (class sequence + cycle costs +
+  /// access counts), which is the operand-invariant a cacheless M0+
+  /// needs for constant time and energy.
+  std::uint64_t digest(bool with_addresses = true) const;
+
+ private:
+  std::vector<RetireRecord> records_;
+  std::uint64_t cycles_ = 0;
+};
+
+/// Where two recorded runs first differ.
+struct Divergence {
+  bool diverged = false;
+  std::uint64_t index = 0;  ///< retirement index of the first difference
+  std::uint32_t pc_a = 0;
+  std::uint32_t pc_b = 0;
+  std::string symbol_a;  ///< enclosing label of pc_a (run A)
+  std::string symbol_b;
+  std::string reason;    ///< "class" | "cycles" | "addresses" | "length"
+};
+
+/// Record-by-record comparison; symbols are resolved against `prog` (the
+/// label at or before the diverging pc). Runs that retire different
+/// instruction counts diverge with reason "length" at the shorter run's
+/// end. With `with_addresses` false, only the timing projection is
+/// compared (address-stream differences — e.g. LUT reads indexed by
+/// operand nibbles — are not divergences).
+Divergence first_divergence(const TraceDigest& a, const TraceDigest& b,
+                            const armvm::Program& prog,
+                            bool with_addresses = true);
+
+/// Enclosing label of a code address, "+0x.." suffixed when pc lies
+/// inside the label's body; "?" when no label covers it.
+std::string symbol_at(const armvm::Program& prog, std::uint32_t pc);
+
+}  // namespace eccm0::sca

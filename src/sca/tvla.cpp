@@ -1,0 +1,92 @@
+#include "sca/tvla.h"
+
+#include <cmath>
+#include <limits>
+
+namespace eccm0::sca {
+
+double welch_t(double mean_a, double var_a, std::uint64_t n_a,
+               double mean_b, double var_b, std::uint64_t n_b) {
+  if (n_a < 2 || n_b < 2) return 0.0;
+  const double se2 = var_a / static_cast<double>(n_a) +
+                     var_b / static_cast<double>(n_b);
+  const double diff = mean_a - mean_b;
+  if (se2 <= 0.0) {
+    if (diff == 0.0) return 0.0;
+    return diff > 0.0 ? std::numeric_limits<double>::infinity()
+                      : -std::numeric_limits<double>::infinity();
+  }
+  return diff / std::sqrt(se2);
+}
+
+void WelfordTrace::add(const measure::PowerTrace& trace) {
+  if (trace.size() > cells_.size()) cells_.resize(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    Cell& c = cells_[i];
+    ++c.n;
+    const double delta = trace[i] - c.mean;
+    c.mean += delta / static_cast<double>(c.n);
+    c.m2 += delta * (trace[i] - c.mean);
+  }
+  ++traces_;
+}
+
+std::uint64_t WelfordTrace::count(std::size_t cycle) const {
+  return cycle < cells_.size() ? cells_[cycle].n : 0;
+}
+
+double WelfordTrace::mean(std::size_t cycle) const {
+  return cycle < cells_.size() ? cells_[cycle].mean : 0.0;
+}
+
+double WelfordTrace::variance(std::size_t cycle) const {
+  if (cycle >= cells_.size() || cells_[cycle].n < 2) return 0.0;
+  return cells_[cycle].m2 / static_cast<double>(cells_[cycle].n - 1);
+}
+
+std::vector<double> Tvla::t_of(const WelfordTrace& fixed,
+                               const WelfordTrace& random) {
+  const std::size_t len =
+      fixed.max_len() < random.max_len() ? fixed.max_len() : random.max_len();
+  std::vector<double> t;
+  t.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (fixed.count(i) < 2 || random.count(i) < 2) break;
+    t.push_back(welch_t(fixed.mean(i), fixed.variance(i), fixed.count(i),
+                        random.mean(i), random.variance(i), random.count(i)));
+  }
+  return t;
+}
+
+std::vector<double> Tvla::t_trace() const { return t_of(fixed_, random_); }
+
+TvlaSummary Tvla::summary() const {
+  TvlaSummary s;
+  s.threshold = threshold_;
+  s.fixed_traces = fixed_.traces();
+  s.random_traces = random_.traces();
+  const std::vector<double> t = t_trace();
+  s.compared_cycles = t.size();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const double a = std::fabs(t[i]);
+    if (a > s.max_abs_t) {
+      s.max_abs_t = a;
+      s.max_cycle = i;
+    }
+    if (a > threshold_) ++s.cycles_over_raw;
+  }
+  const std::vector<double> ta = t_of(half_fixed_[0], half_random_[0]);
+  const std::vector<double> tb = t_of(half_fixed_[1], half_random_[1]);
+  const std::size_t n = ta.size() < tb.size() ? ta.size() : tb.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::fabs(ta[i]) > threshold_ && std::fabs(tb[i]) > threshold_ &&
+        (ta[i] > 0) == (tb[i] > 0)) {
+      ++s.cycles_over;
+    }
+  }
+  s.length_leak = fixed_.max_len() != random_.max_len();
+  s.leaky = s.cycles_over > 0 || s.length_leak;
+  return s;
+}
+
+}  // namespace eccm0::sca

@@ -66,6 +66,12 @@ void load_inv_input(armvm::Memory& mem, const std::uint32_t (&a)[8]) {
   load_sqr_input(mem, a);  // same kInOff slot
 }
 
+void load_reduce_input(armvm::Memory& mem, const std::uint32_t (&wide)[16]) {
+  for (int w = 0; w < 16; ++w) {
+    mem.store32(armvm::kRamBase + asmkernels::kWideOff + 4 * w, wide[w]);
+  }
+}
+
 KernelMachine::KernelMachine(const std::string& kernel_name,
                              armvm::Cpu::DecodeMode mode)
     : KernelMachine(kernel(kernel_name), mode) {}

@@ -49,6 +49,9 @@ void load_sqr_input(armvm::Memory& mem, const std::uint32_t (&a)[8]);
 /// Inversion input (kInOff). The EEA kernel consumes its scratch state,
 /// so re-load before every call for a reproducible trace.
 void load_inv_input(armvm::Memory& mem, const std::uint32_t (&a)[8]);
+/// 16-word unreduced product into the standalone reduce kernel's wide
+/// buffer (kWideOff).
+void load_reduce_input(armvm::Memory& mem, const std::uint32_t (&wide)[16]);
 
 /// One shared immutable image + one private execution context. Cheap to
 /// construct (the registry already holds the predecoded image), so

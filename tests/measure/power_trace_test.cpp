@@ -42,6 +42,36 @@ TEST(PowerRig, BiasShiftsAveragePower) {
   EXPECT_NEAR(b.average_power_uw() - a.average_power_uw(), 100.0, 1e-9);
 }
 
+TEST(PowerRig, SameSeedGivesBitIdenticalTrace) {
+  const RigConfig cfg{.noise_uw = 25.0, .bias_uw = 3.0, .seed = 0xD5EED};
+  PowerRig a(cfg), b(cfg);
+  for (int i = 0; i < 500; ++i) {
+    a.on_instruction(InstrClass::kLdr, 2);
+    a.on_instruction(InstrClass::kEor, 1);
+    b.on_instruction(InstrClass::kLdr, 2);
+    b.on_instruction(InstrClass::kEor, 1);
+  }
+  ASSERT_EQ(a.trace().size(), b.trace().size());
+  // Bit-identical, not just close: the TVLA campaign's thread-count
+  // invariance rests on the rig being a pure function of (config, stream).
+  EXPECT_EQ(a.trace(), b.trace());
+}
+
+TEST(PowerRig, WindowPartitionSumsToTotalEnergy) {
+  PowerRig rig(RigConfig{.noise_uw = 25.0, .seed = 11});
+  for (int i = 0; i < 300; ++i) {
+    rig.on_instruction(InstrClass::kStr, 2);
+    rig.on_instruction(InstrClass::kAdd, 1);
+  }
+  const std::size_t n = rig.trace().size();
+  // Any partition of [0, n) must integrate to the whole-trace energy.
+  const double parts = rig.integrate_pj(0, n / 3) +
+                       rig.integrate_pj(n / 3, n / 2) +
+                       rig.integrate_pj(n / 2, n);
+  EXPECT_NEAR(parts, rig.integrate_pj(0, n), 1e-9);
+  EXPECT_NEAR(parts * 1e-6, rig.total_energy_uj(), 1e-12);
+}
+
 TEST(MeasureInstructionEnergy, RecoversTable3Ordering) {
   // The measured energies must reproduce Table 3's ordering:
   // LDR (per cycle) < LSR < MUL < LSL < XOR < ADD.

@@ -181,7 +181,7 @@ TEST(Profiler, AgreesWithPowerRigAndRunStatsOnEnergy) {
   cfg.noise_uw = 0.0;
   cfg.bias_uw = 0.0;
   measure::PowerRig rig(cfg);
-  TeeSink tee({&prof, &rig});
+  armvm::TeeSink tee({&prof, &rig});
   cpu.set_trace_sink(&tee);
   cpu.call(prog->entry("entry"), {});
   const armvm::RunStats stats = cpu.stats();

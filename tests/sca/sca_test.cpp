@@ -1,0 +1,251 @@
+// Leakage-assessment subsystem: the detector must prove its own power.
+// The straight-line K-233 kernels and the Montgomery ladder verify
+// constant-trace; the EEA inversion and wTNAF kP must be FLAGGED — a
+// verifier that passes everything is vacuous.
+#include "sca/campaign.h"
+#include "sca/ct_check.h"
+#include "sca/digest.h"
+#include "sca/tvla.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "workloads/kp_mix.h"
+#include "workloads/registry.h"
+
+namespace eccm0::sca {
+namespace {
+
+armvm::TraceEvent make_event(std::uint32_t pc, costmodel::InstrClass cls,
+                             std::uint8_t cycles, std::uint32_t addr = 0) {
+  armvm::TraceEvent ev;
+  ev.pc = pc;
+  ev.num_costs = 1;
+  ev.costs[0] = {cls, cycles};
+  if (addr != 0) {
+    ev.num_accesses = 1;
+    ev.accesses[0] = {addr, 4, false};
+  }
+  return ev;
+}
+
+TEST(TraceDigest, IdenticalStreamsCompareEqual) {
+  TraceDigest a, b;
+  for (int i = 0; i < 5; ++i) {
+    const auto ev = make_event(4 * i, costmodel::InstrClass::kEor, 1);
+    a.on_retire(ev);
+    b.on_retire(ev);
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+  const armvm::Program prog({}, {});
+  EXPECT_FALSE(first_divergence(a, b, prog).diverged);
+}
+
+TEST(TraceDigest, FirstDivergenceNamesIndexPcAndSymbol) {
+  const armvm::Program prog({}, {{"mul_top", 0}, {"mul_inner", 8}});
+  TraceDigest a, b;
+  a.on_retire(make_event(0, costmodel::InstrClass::kEor, 1));
+  b.on_retire(make_event(0, costmodel::InstrClass::kEor, 1));
+  // Divergence at retirement index 1, pc 12 = mul_inner+0x4.
+  a.on_retire(make_event(12, costmodel::InstrClass::kLdr, 2, 0x20000040));
+  b.on_retire(make_event(12, costmodel::InstrClass::kLdr, 2, 0x20000044));
+  const Divergence d = first_divergence(a, b, prog);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_EQ(d.index, 1u);
+  EXPECT_EQ(d.pc_a, 12u);
+  EXPECT_EQ(d.symbol_a, "mul_inner+0x4");
+  EXPECT_EQ(d.reason, "addresses");
+}
+
+TEST(TraceDigest, LengthMismatchIsDivergence) {
+  const armvm::Program prog({}, {{"entry", 0}});
+  TraceDigest a, b;
+  a.on_retire(make_event(0, costmodel::InstrClass::kEor, 1));
+  a.on_retire(make_event(2, costmodel::InstrClass::kEor, 1));
+  b.on_retire(make_event(0, costmodel::InstrClass::kEor, 1));
+  const Divergence d = first_divergence(a, b, prog);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_EQ(d.reason, "length");
+  EXPECT_EQ(d.index, 1u);
+  EXPECT_EQ(d.symbol_b, "<ended>");
+}
+
+TEST(CtCheck, StraightLineKernelsAreTimingConstant) {
+  for (const char* k : {"mul", "sqr", "reduce", "lut"}) {
+    CtConfig cfg;
+    cfg.kernel = k;
+    cfg.runs = 6;
+    const CtReport rep = check_kernel_constant_trace(cfg);
+    EXPECT_TRUE(rep.constant) << k << " diverged at index " << rep.first.index
+                              << " (" << rep.first.reason << ") in "
+                              << rep.first.symbol_a;
+    EXPECT_EQ(rep.min_cycles, rep.max_cycles) << k;
+    EXPECT_EQ(rep.ref_cycles, rep.min_cycles) << k;
+    EXPECT_GT(rep.trace_len, 0u) << k;
+  }
+}
+
+TEST(CtCheck, TableLookupKernelsFailTheAddressCriterion) {
+  // mul and sqr index their lookup tables by operand nibbles/bytes: the
+  // cycle stream is constant but the address stream is not. reduce and
+  // lut touch only operand-independent addresses.
+  for (const char* k : {"mul", "sqr"}) {
+    CtConfig cfg;
+    cfg.kernel = k;
+    cfg.runs = 4;
+    const CtReport rep = check_kernel_constant_trace(cfg);
+    EXPECT_TRUE(rep.constant) << k;
+    EXPECT_FALSE(rep.constant_addresses) << k;
+    EXPECT_EQ(rep.first.reason, "addresses") << k;
+  }
+  for (const char* k : {"reduce", "lut"}) {
+    CtConfig cfg;
+    cfg.kernel = k;
+    cfg.runs = 4;
+    const CtReport rep = check_kernel_constant_trace(cfg);
+    EXPECT_TRUE(rep.constant_addresses) << k;
+  }
+}
+
+TEST(CtCheck, EeaInversionIsFlagged) {
+  CtConfig cfg;
+  cfg.kernel = "inv";
+  cfg.runs = 4;
+  const CtReport rep = check_kernel_constant_trace(cfg);
+  EXPECT_FALSE(rep.constant);
+  EXPECT_FALSE(rep.constant_addresses);
+  ASSERT_TRUE(rep.first.diverged);
+  // The report must localise the leak: an index, a pc, and the enclosing
+  // label resolved through Program::symbols.
+  EXPECT_FALSE(rep.first.symbol_a.empty());
+  EXPECT_NE(rep.first.symbol_a, "?");
+  EXPECT_FALSE(rep.first.reason.empty());
+  // EEA iteration count depends on operand degrees: cycles spread too.
+  EXPECT_LT(rep.min_cycles, rep.max_cycles);
+}
+
+TEST(CtCheck, ConstantKernelReportIsSeedStable) {
+  CtConfig a, b;
+  a.kernel = b.kernel = "mul";
+  a.runs = b.runs = 4;
+  a.seed = 1;
+  b.seed = 2;
+  // Different operand draws, same architectural trace: the digest is a
+  // property of the kernel, not of the seed.
+  EXPECT_EQ(check_kernel_constant_trace(a).digest,
+            check_kernel_constant_trace(b).digest);
+}
+
+TEST(CtCheck, LadderOpMixIsExactlyUniform) {
+  const LadderReport rep = check_ladder_op_mix(4, 0xAB);
+  EXPECT_TRUE(rep.uniform);
+  EXPECT_GT(rep.steps, 4u * 200u);  // ~232 bits per scalar
+  // Hankerson Alg 3.40: madd (4M 1S 2A) + mdouble (2M 4S 1A) every bit.
+  EXPECT_EQ(rep.step_mix.mul, 6u);
+  EXPECT_EQ(rep.step_mix.sqr, 5u);
+  EXPECT_EQ(rep.step_mix.inv, 0u);
+  EXPECT_EQ(rep.step_mix.add, 3u);
+}
+
+TEST(CtCheck, WtnafOpMixIsFlagged) {
+  const WtnafReport rep = check_wtnaf_op_mix(6, 0xAB, 4);
+  EXPECT_FALSE(rep.uniform);
+  EXPECT_LT(rep.min_total, rep.max_total);
+}
+
+TEST(CtCheck, TracedMixSqrUniformMulTrimJitterInvFlagged) {
+  const TracedMixReport rep = check_traced_op_mix(40, 0x5CA, 0.02);
+  EXPECT_TRUE(rep.sqr_uniform);
+  // mul's only data dependence is live-range trimming of the inter-pass
+  // shift: a fraction of a percent, inside tolerance.
+  EXPECT_TRUE(rep.mul_within_tolerance);
+  EXPECT_GT(rep.mul_spread, 0.0);
+  EXPECT_LT(rep.mul_spread, 0.01);
+  // EEA inversion is data-dependent by double-digit percentages.
+  EXPECT_TRUE(rep.inv_flagged);
+  EXPECT_GT(rep.inv_spread, 0.05);
+}
+
+TEST(Welch, MatchesClosedForm) {
+  // t = (5 - 3) / sqrt(4/16 + 9/9) = 2 / sqrt(1.25)
+  EXPECT_NEAR(welch_t(5.0, 4.0, 16, 3.0, 9.0, 9), 2.0 / std::sqrt(1.25),
+              1e-12);
+  EXPECT_EQ(welch_t(5.0, 4.0, 1, 3.0, 9.0, 9), 0.0);  // n < 2: undefined
+  // Zero pooled variance, distinct means: infinitely significant.
+  EXPECT_TRUE(std::isinf(welch_t(5.0, 0.0, 8, 3.0, 0.0, 8)));
+  EXPECT_EQ(welch_t(5.0, 0.0, 8, 5.0, 0.0, 8), 0.0);
+}
+
+TEST(WelfordTrace, MomentsMatchClosedForm) {
+  WelfordTrace w;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) w.add({v});
+  EXPECT_EQ(w.count(0), 4u);
+  EXPECT_NEAR(w.mean(0), 2.5, 1e-12);
+  EXPECT_NEAR(w.variance(0), 5.0 / 3.0, 1e-12);  // sample variance
+}
+
+TEST(WelfordTrace, RaggedTracesKeepPerCycleCounts) {
+  WelfordTrace w;
+  w.add({1.0, 2.0, 3.0});
+  w.add({1.0});
+  EXPECT_EQ(w.max_len(), 3u);
+  EXPECT_EQ(w.count(0), 2u);
+  EXPECT_EQ(w.count(1), 1u);
+  EXPECT_EQ(w.count(5), 0u);
+}
+
+TEST(Tvla, SyntheticLeakCrossesThreshold) {
+  Rng rng(42);
+  auto noise = [&rng] {
+    // Sum of uniforms: mean 0, enough spread to give a sane variance.
+    return (static_cast<double>(rng.next_u64() % 1000) - 499.5) / 1000.0;
+  };
+  Tvla clean(4.5), leaky(4.5);
+  for (int i = 0; i < 200; ++i) {
+    clean.add_fixed({10.0 + noise(), 20.0 + noise()});
+    clean.add_random({10.0 + noise(), 20.0 + noise()});
+    leaky.add_fixed({10.0 + noise(), 25.0 + noise()});  // cycle 1 leaks
+    leaky.add_random({10.0 + noise(), 20.0 + noise()});
+  }
+  EXPECT_FALSE(clean.summary().leaky);
+  const TvlaSummary s = leaky.summary();
+  EXPECT_TRUE(s.leaky);
+  EXPECT_FALSE(s.length_leak);
+  EXPECT_EQ(s.max_cycle, 1u);
+  EXPECT_GT(s.max_abs_t, 4.5);
+}
+
+TEST(TvlaCampaign, MulKernelIsCleanAndThreadCountInvariant) {
+  TvlaCampaignConfig cfg;
+  cfg.kernel = "mul";
+  cfg.traces_per_class = 20;
+  cfg.threads = 1;
+  const TvlaCampaignResult serial = run_tvla_campaign(cfg);
+  EXPECT_FALSE(serial.summary.leaky);
+  EXPECT_FALSE(serial.summary.length_leak);
+  EXPECT_EQ(serial.summary.fixed_traces, 20u);
+  EXPECT_GT(serial.summary.compared_cycles, 0u);
+
+  cfg.threads = 4;
+  const TvlaCampaignResult parallel = run_tvla_campaign(cfg);
+  EXPECT_EQ(serial.t_digest, parallel.t_digest);
+  EXPECT_EQ(serial.summary.max_abs_t, parallel.summary.max_abs_t);
+  EXPECT_EQ(serial.t_trace, parallel.t_trace);
+}
+
+TEST(TvlaCampaign, EeaInversionLeaksThroughControlFlow) {
+  TvlaCampaignConfig cfg;
+  cfg.kernel = "inv";
+  cfg.traces_per_class = 10;
+  cfg.threads = 0;  // hardware concurrency; result is thread-invariant
+  const TvlaCampaignResult res = run_tvla_campaign(cfg);
+  EXPECT_TRUE(res.summary.leaky);
+  // Variable EEA iteration counts show up as a trace-length leak on top
+  // of the per-cycle t excursions.
+  EXPECT_TRUE(res.summary.length_leak);
+}
+
+}  // namespace
+}  // namespace eccm0::sca
