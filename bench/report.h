@@ -247,6 +247,8 @@ inline std::string json_flag_path(int argc, char** argv,
 ///   --threads=N    batch-executor worker count (0 = hardware concurrency)
 ///   --seed=S       campaign seed, 0x.. accepted
 ///   --iters=N      workload scale (reps / runs / calls / traces)
+///   --engine=E     execution engine: perstep|predecode|threaded
+///                  (armvm::decode_mode_from_name validates the value)
 ///
 /// Field values set before parse() act as the defaults; a flag only
 /// overwrites its field when actually present. Benches register their
@@ -259,6 +261,10 @@ class Args {
   unsigned threads = 1;
   std::uint64_t seed = 0;
   std::uint64_t iters = 0;
+  /// Engine name for `--engine=` (see armvm/dispatch.h). Kept as the
+  /// flag spelling so this header stays armvm-free; harnesses convert
+  /// with armvm::decode_mode_from_name, which throws on a bad value.
+  std::string engine = "predecode";
   bool json = false;          ///< --json[=PATH] was passed
   std::string json_path;      ///< resolved output path (empty until then)
 
@@ -284,6 +290,8 @@ class Args {
         seed = std::strtoull(a + 7, nullptr, 0);
       } else if (std::strncmp(a, "--iters=", 8) == 0) {
         iters = std::strtoull(a + 8, nullptr, 10);
+      } else if (std::strncmp(a, "--engine=", 9) == 0) {
+        engine = a + 9;
       } else if (a[0] == '-') {
         if (!match_extra(a)) {
           std::fprintf(stderr, "unknown flag '%s'%s\n", a, usage_suffix());
@@ -317,7 +325,8 @@ class Args {
   }
 
   const char* usage_suffix() const {
-    return " (standard flags: --json[=PATH] --threads=N --seed=S --iters=N)";
+    return " (standard flags: --json[=PATH] --threads=N --seed=S --iters=N"
+           " --engine=perstep|predecode|threaded)";
   }
 
   std::vector<std::pair<const char*, bool*>> flags_;

@@ -7,9 +7,9 @@
 //   ecctool verify  <pub-hex> <r-hex> <s-hex> <message...>
 //   ecctool ecdh    <priv-hex> <peer-pub-hex>
 //   ecctool info
-//   ecctool profile [kernel] [--calls=N] [--threads=N]
-//   ecctool campaign [--runs=N] [--seed=S] [--threads=N]
-//   ecctool sca [kernel] [--iters=N] [--seed=S] [--threads=N]
+//   ecctool profile [kernel] [--calls=N] [--threads=N] [--engine=E]
+//   ecctool campaign [--runs=N] [--seed=S] [--threads=N] [--engine=E]
+//   ecctool sca [kernel] [--iters=N] [--seed=S] [--threads=N] [--engine=E]
 //
 // `profile` runs a K-233 field kernel on the cycle-accurate armvm with
 // the symbol-attributed profiler and RAM heatmap attached (one private
@@ -23,7 +23,9 @@
 // divergence located by symbol) and the fixed-vs-random TVLA campaign
 // on the power rig, then writes the per-cycle |t| trace to
 // ecctool_ttrace.json for Perfetto. The multi-command flags share the
-// bench::Args conventions (--threads=N, --seed=S, ...).
+// bench::Args conventions (--threads=N, --seed=S, and
+// --engine=perstep|predecode|threaded to pick the armvm execution
+// engine; traced subcommands observe identical streams on every engine).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +36,7 @@
 #include <vector>
 
 #include "armvm/cpu.h"
+#include "armvm/dispatch.h"
 #include "common/rng.h"
 #include "crypto/ecdsa.h"
 #include "ec/codec.h"
@@ -93,10 +96,13 @@ int usage() {
                "       ecctool verify <pub-hex> <r-hex> <s-hex> <message...>\n"
                "       ecctool ecdh <priv-hex> <peer-pub-hex>\n"
                "       ecctool info\n"
-               "       ecctool profile [kernel] [--calls=N] [--threads=N]\n"
-               "       ecctool campaign [--runs=N] [--seed=S] [--threads=N]\n"
+               "       ecctool profile [kernel] [--calls=N] [--threads=N]"
+               " [--engine=E]\n"
+               "       ecctool campaign [--runs=N] [--seed=S] [--threads=N]"
+               " [--engine=E]\n"
                "       ecctool sca [kernel] [--iters=N] [--seed=S]"
-               " [--threads=N]\n");
+               " [--threads=N] [--engine=E]\n"
+               "  (E = perstep|predecode|threaded)\n");
   return 2;
 }
 
@@ -113,8 +119,9 @@ struct ProfilePart {
   std::vector<std::uint64_t> stores;
 };
 
-ProfilePart run_profile_part(const std::string& kernel, unsigned calls) {
-  workloads::KernelMachine km(workloads::kernel(kernel));
+ProfilePart run_profile_part(const std::string& kernel, unsigned calls,
+                             armvm::Cpu::DecodeMode engine) {
+  workloads::KernelMachine km(workloads::kernel(kernel), engine);
   profile::Profiler prof(km.prog());
   profile::MemHeatmap heat(workloads::kKernelRamSize);
   armvm::TeeSink tee({&prof, &heat});
@@ -154,6 +161,8 @@ int run_profile(int argc, char** argv) {
   if (calls == 0) calls = 1;
   const std::string kernel =
       args.positionals().empty() ? "mul" : args.positionals()[0];
+  const armvm::Cpu::DecodeMode engine =
+      armvm::decode_mode_from_name(args.engine);
   const unsigned threads = args.threads;
   if (!workloads::KernelRegistry::instance().contains(kernel)) {
     return usage();
@@ -169,8 +178,10 @@ int run_profile(int argc, char** argv) {
           calls));
   std::vector<unsigned> share(workers, calls / workers);
   for (unsigned w = 0; w < calls % workers; ++w) ++share[w];
-  const std::vector<ProfilePart> parts = pool.map<ProfilePart>(
-      workers, [&](std::size_t w) { return run_profile_part(kernel, share[w]); });
+  const std::vector<ProfilePart> parts =
+      pool.map<ProfilePart>(workers, [&](std::size_t w) {
+        return run_profile_part(kernel, share[w], engine);
+      });
 
   ProfilePart all;
   std::map<std::string, profile::Profiler::FunctionStats> merged;
@@ -238,7 +249,7 @@ int run_profile(int argc, char** argv) {
 
   // The timeline export needs one coherent span stream; rerun one
   // context's worth when the run was fanned out.
-  workloads::KernelMachine km(workloads::kernel(kernel));
+  workloads::KernelMachine km(workloads::kernel(kernel), engine);
   profile::Profiler prof(km.prog());
   km.cpu().set_trace_sink(&prof);
   const workloads::KernelOperands& od = workloads::KernelOperands::standard();
@@ -270,6 +281,7 @@ int run_campaign(int argc, char** argv) {
   if (cfg.runs_per_model == 0) cfg.runs_per_model = 1;
   cfg.seed = args.seed;
   cfg.threads = args.threads;
+  cfg.engine = armvm::decode_mode_from_name(args.engine);
   std::printf("kP fault campaign: seed 0x%llx, %llu runs/model, "
               "%u thread(s)\n\n",
               static_cast<unsigned long long>(cfg.seed),
@@ -311,9 +323,12 @@ int run_sca(int argc, char** argv) {
     return usage();
   }
 
+  const armvm::Cpu::DecodeMode engine =
+      armvm::decode_mode_from_name(args.engine);
   sca::CtConfig ct_cfg;
   ct_cfg.kernel = kernel;
   ct_cfg.seed = args.seed;
+  ct_cfg.engine = engine;
   const sca::CtReport ct = sca::check_kernel_constant_trace(ct_cfg);
   std::printf("constant-trace (%u random draws):\n", ct.runs);
   std::printf("  timing    (pc/class/cycles): %s\n",
@@ -341,6 +356,7 @@ int run_sca(int argc, char** argv) {
   tv_cfg.traces_per_class = static_cast<unsigned>(args.iters);
   tv_cfg.seed = args.seed;
   tv_cfg.threads = args.threads;
+  tv_cfg.engine = engine;
   const sca::TvlaCampaignResult res = sca::run_tvla_campaign(tv_cfg);
   const sca::TvlaSummary& s = res.summary;
   std::printf("\nTVLA fixed-vs-random (%llu traces, |t| > %.1f):\n",

@@ -130,41 +130,6 @@ std::uint32_t Cpu::add_with_carry(std::uint32_t a, std::uint32_t b, bool cin,
   return result;
 }
 
-template <bool kTraced>
-std::uint32_t Cpu::read_mem(std::uint32_t addr, unsigned bytes) {
-  if constexpr (kTraced) note_access(addr, bytes, false);
-  if (addr < kRamBase) {
-    // Read-only code / literal-pool space.
-    std::uint32_t v = 0;
-    for (unsigned i = 0; i < bytes; ++i) {
-      const std::uint32_t byte_addr = addr + i;
-      const std::size_t hw = byte_addr / 2;
-      if (hw >= code_size_) {
-        throw BusFault("Cpu: code-space read out of range", byte_addr);
-      }
-      const std::uint8_t byte =
-          static_cast<std::uint8_t>(code_[hw] >> (8 * (byte_addr % 2)));
-      v |= static_cast<std::uint32_t>(byte) << (8 * i);
-    }
-    return v;
-  }
-  switch (bytes) {
-    case 1: return ram_.load8(addr);
-    case 2: return ram_.load16(addr);
-    default: return ram_.load32(addr);
-  }
-}
-
-template <bool kTraced>
-void Cpu::write_mem(std::uint32_t addr, std::uint32_t v, unsigned bytes) {
-  if constexpr (kTraced) note_access(addr, bytes, true);
-  switch (bytes) {
-    case 1: ram_.store8(addr, static_cast<std::uint8_t>(v)); break;
-    case 2: ram_.store16(addr, static_cast<std::uint16_t>(v)); break;
-    default: ram_.store32(addr, v); break;
-  }
-}
-
 ArchState Cpu::arch_state() const {
   ArchState s;
   for (unsigned i = 0; i < kNumRegs; ++i) s.r[i] = r_[i];
@@ -232,7 +197,9 @@ bool Cpu::step_impl() {
   if (pc % 2 != 0) throw AlignmentFault("Cpu: odd PC", pc);
   const std::size_t idx = pc / 2;
   if (idx >= code_size_) throw BusFault("Cpu: PC outside code", pc);
-  if (mode_ == DecodeMode::kPredecode) [[likely]] {
+  // kThreaded steps exactly like kPredecode: fusion only kicks in inside
+  // the bulk runner, single-stepping is always per-instruction.
+  if (mode_ != DecodeMode::kPerStep) [[likely]] {
     const PredecodedSlot& s = cache_[idx];
     if (!s.valid) [[unlikely]] trap_undecodable(idx);
     r_[kPC] = pc + 2u * s.halfwords;  // default fallthrough
@@ -319,12 +286,18 @@ RunStats Cpu::call(std::uint32_t entry,
   r_[kLR] = kReturnSentinel;
   r_[kPC] = entry;
   halted_ = false;
+  return run(max_instructions);
+}
+
+RunStats Cpu::run(std::uint64_t max_instructions) {
   const RunStats before = stats_;
   // Run in chunks: the instruction-budget check is hoisted out of the
   // per-instruction path and re-established every chunk. Chunks are
   // sized so that exactly max_instructions + 1 instructions can retire
   // before the budget trips — the same point at which a
-  // check-every-step loop would have thrown.
+  // check-every-step loop would have thrown. The threaded engine
+  // additionally never enters a fused block whose retirement count
+  // would overrun the chunk, so the trip point is engine-independent.
   constexpr std::uint64_t kBudgetCheckInterval = 16 * 1024;
   while (!halted_) {
     const std::uint64_t executed = stats_.instructions - before.instructions;
@@ -335,11 +308,17 @@ RunStats Cpu::call(std::uint32_t entry,
     }
     std::uint64_t chunk = max_instructions - executed + 1;
     if (chunk > kBudgetCheckInterval) chunk = kBudgetCheckInterval;
-    if (mode_ == DecodeMode::kPredecode) {
-      run_predecoded(chunk);
-    } else {
-      for (std::uint64_t i = 0; i < chunk && step(); ++i) {
-      }
+    switch (mode_) {
+      case DecodeMode::kPredecode:
+        run_predecoded(chunk);
+        break;
+      case DecodeMode::kThreaded:
+        run_threaded(chunk);
+        break;
+      case DecodeMode::kPerStep:
+        for (std::uint64_t i = 0; i < chunk && step(); ++i) {
+        }
+        break;
     }
   }
   RunStats delta;
@@ -811,5 +790,10 @@ void Cpu::exec(const Instr& i, unsigned halfwords) {
       break;
   }
 }
+
+// The threaded dispatcher (dispatch.cpp) executes unfused slots through
+// the same untraced exec; give it an out-of-line instantiation to link
+// against.
+template void Cpu::exec<false>(const Instr&, unsigned);
 
 }  // namespace eccm0::armvm

@@ -149,6 +149,11 @@ class Memory {
     }
   }
 
+  /// The fused-block dispatcher hoists the RAM view into locals so the
+  /// compiler can keep it in registers across byte stores (which may
+  /// alias anything, including this vector's own bookkeeping).
+  friend class Cpu;
+
   std::uint8_t load8_slow(std::uint32_t addr) const;
   std::uint16_t load16_slow(std::uint32_t addr) const;
   std::uint32_t load32_slow(std::uint32_t addr) const;
@@ -282,10 +287,17 @@ class TeeSink final : public TraceSink {
 
 class Cpu {
  public:
-  /// How `step()` obtains decoded instructions.
+  /// How the execution engine obtains decoded instructions.
   enum class DecodeMode {
     kPredecode,  ///< execute from the construction-time decode cache
     kPerStep,    ///< reference engine: fresh decode() every instruction
+    kThreaded,   ///< token-threaded dispatch over the predecode cache,
+                 ///< with fused basic-block superinstructions and
+                 ///< batched accounting (see armvm/superinst.h). Falls
+                 ///< back to per-instruction execution when a TraceSink
+                 ///< is attached, when the budget would expire inside a
+                 ///< block, or when the PC enters a block anywhere but
+                 ///< its head. Bit-identical to the other engines.
   };
 
   /// A Cpu is a cheap per-run execution context over a shared immutable
@@ -319,6 +331,15 @@ class Cpu {
   RunStats call(std::uint32_t entry, std::initializer_list<std::uint32_t> args,
                 std::uint64_t max_instructions = 100'000'000);
 
+  /// Resume execution from the current architectural state (PC, flags,
+  /// halted latch as-is) until the core halts — what `call()` does after
+  /// setting up the calling convention. Lets a restored snapshot or a
+  /// mid-run fault handoff continue under any engine; the PC may point
+  /// anywhere, including into the middle of a fused block (the threaded
+  /// engine then executes per-instruction until the next block head).
+  /// Returns the stats delta of this resume.
+  RunStats run(std::uint64_t max_instructions = 100'000'000);
+
   /// Snapshot of registers, flags and retired-work counters — the same
   /// structure a Fault carries. Used by fault-injection harnesses to
   /// hand execution between cores and by tests to compare engines.
@@ -346,7 +367,18 @@ class Cpu {
   void clear_halted() { halted_ = false; }
 
   const RunStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  void reset_stats() {
+    stats_ = {};
+    fused_retired_ = 0;
+    fused_blocks_entered_ = 0;
+  }
+
+  /// Diagnostics of the threaded engine (fusion report): instructions
+  /// retired inside fused superblocks, and blocks entered. Not part of
+  /// RunStats or snapshots — purely observability, zero for the other
+  /// engines.
+  std::uint64_t fused_retired() const { return fused_retired_; }
+  std::uint64_t fused_blocks_entered() const { return fused_blocks_entered_; }
 
   /// Attach an observer of retired cost events (nullptr detaches). The
   /// sink is borrowed, not owned; it must outlive the traced run.
@@ -363,6 +395,9 @@ class Cpu {
   std::uint32_t add_with_carry(std::uint32_t a, std::uint32_t b, bool cin,
                                bool set_flags);
   void set_nz(std::uint32_t v);
+  // Defined inline below so both interpreter translation units (cpu.cpp
+  // and the threaded dispatcher in dispatch.cpp) flatten the memory
+  // fast paths into their hot loops.
   template <bool kTraced>
   std::uint32_t read_mem(std::uint32_t addr, unsigned bytes);
   template <bool kTraced>
@@ -391,6 +426,13 @@ class Cpu {
   std::uint64_t run_predecoded(std::uint64_t limit);
   template <bool kTraced>
   std::uint64_t run_predecoded_impl(std::uint64_t limit);
+  /// Threaded-engine chunk runner (dispatch.cpp). Falls back to the
+  /// traced predecoded loop when a sink is attached.
+  std::uint64_t run_threaded(std::uint64_t limit);
+  /// Retire one whole fused block (PC is at its head). On a Fault,
+  /// replays the accounting of the instructions that retired before the
+  /// faulting one and leaves the exact per-step architectural state.
+  void run_fused_block(const SuperBlock& b);
 
   /// The shared immutable image, plus raw views into it so the hot loop
   /// pays no shared_ptr indirection.
@@ -404,8 +446,46 @@ class Cpu {
   bool n_ = false, z_ = false, c_ = false, v_ = false;
   bool halted_ = false;
   RunStats stats_;
+  std::uint64_t fused_retired_ = 0;
+  std::uint64_t fused_blocks_entered_ = 0;
   TraceSink* trace_ = nullptr;
   TraceEvent ev_;  ///< scratch event, populated only while trace_ is set
 };
+
+template <bool kTraced>
+inline std::uint32_t Cpu::read_mem(std::uint32_t addr, unsigned bytes) {
+  if constexpr (kTraced) note_access(addr, bytes, false);
+  if (addr < kRamBase) {
+    // Read-only code / literal-pool space.
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i) {
+      const std::uint32_t byte_addr = addr + i;
+      const std::size_t hw = byte_addr / 2;
+      if (hw >= code_size_) {
+        throw BusFault("Cpu: code-space read out of range", byte_addr);
+      }
+      const std::uint8_t byte =
+          static_cast<std::uint8_t>(code_[hw] >> (8 * (byte_addr % 2)));
+      v |= static_cast<std::uint32_t>(byte) << (8 * i);
+    }
+    return v;
+  }
+  switch (bytes) {
+    case 1: return ram_.load8(addr);
+    case 2: return ram_.load16(addr);
+    default: return ram_.load32(addr);
+  }
+}
+
+template <bool kTraced>
+inline void Cpu::write_mem(std::uint32_t addr, std::uint32_t v,
+                           unsigned bytes) {
+  if constexpr (kTraced) note_access(addr, bytes, true);
+  switch (bytes) {
+    case 1: ram_.store8(addr, static_cast<std::uint8_t>(v)); break;
+    case 2: ram_.store16(addr, static_cast<std::uint16_t>(v)); break;
+    default: ram_.store32(addr, v); break;
+  }
+}
 
 }  // namespace eccm0::armvm

@@ -17,16 +17,18 @@
 #include <vector>
 
 #include "armvm/codec.h"
+#include "armvm/superinst.h"
 
 namespace eccm0::armvm {
 
 class Program {
  public:
   Program() = default;
-  /// Freeze `code` (+ optional label table) and predecode it. The
-  /// predecode pass is total — undecodable halfwords become invalid
-  /// slots that trap only if the PC lands on them — so construction
-  /// never throws on bad encodings.
+  /// Freeze `code` (+ optional label table), predecode it, and run the
+  /// basic-block fusion pass for the threaded engine. The predecode
+  /// pass is total — undecodable halfwords become invalid slots that
+  /// trap only if the PC lands on them — so construction never throws
+  /// on bad encodings.
   explicit Program(std::vector<std::uint16_t> code,
                    std::map<std::string, std::uint32_t> symbols = {});
 
@@ -35,6 +37,8 @@ class Program {
     return symbols_;
   }
   const std::vector<PredecodedSlot>& cache() const { return cache_; }
+  /// Fused superblocks for DecodeMode::kThreaded (see superinst.h).
+  const ThreadedImage& threaded() const { return threaded_; }
   /// Static code size in bytes (for the Table-7 style reports).
   std::size_t code_bytes() const { return 2 * code_.size(); }
 
@@ -45,6 +49,7 @@ class Program {
   std::vector<std::uint16_t> code_;
   std::map<std::string, std::uint32_t> symbols_;
   std::vector<PredecodedSlot> cache_;
+  ThreadedImage threaded_;
 };
 
 /// How every harness holds a program: immutable and shared.

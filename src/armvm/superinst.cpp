@@ -1,0 +1,250 @@
+#include "armvm/superinst.h"
+
+#include <stdexcept>
+
+namespace eccm0::armvm {
+
+using costmodel::InstrClass;
+
+bool fusable(const Instr& ins, unsigned halfwords) {
+  if (halfwords != 1) return false;  // BL pairs never fuse
+  switch (ins.op) {
+    // Control flow: one entry, one exit per block.
+    case Op::kBCond:
+    case Op::kB:
+    case Op::kBl:
+    case Op::kBx:
+    case Op::kBlx:
+    case Op::kBkpt:
+      return false;
+    // Hi-register forms may write PC (branch) or read the raw PC
+    // register, which is stale inside a fused block. rm = PC reads the
+    // architectural pc+4, which is a per-slot constant and fuses fine.
+    case Op::kAddHi:
+    case Op::kMovHi:
+      return ins.rd != kPC;
+    case Op::kCmpHi:
+      return ins.rd != kPC && ins.rm != kPC;
+    // POP {... pc} is a return.
+    case Op::kPop:
+      return (ins.reg_list & 0x100) == 0;
+    default:
+      return true;
+  }
+}
+
+namespace {
+
+unsigned popcount9(std::uint16_t reg_list) {
+  unsigned n = 0;
+  for (unsigned b = 0; b < 9; ++b) n += (reg_list >> b) & 1;
+  return n;
+}
+
+unsigned popcount8(std::uint16_t reg_list) {
+  unsigned n = 0;
+  for (unsigned b = 0; b < 8; ++b) n += (reg_list >> b) & 1;
+  return n;
+}
+
+}  // namespace
+
+unsigned static_costs(const Instr& ins, InstrCost out[2]) {
+  const auto one = [&](InstrClass cls, unsigned cycles) {
+    out[0] = {cls, static_cast<std::uint8_t>(cycles)};
+    return 1u;
+  };
+  const auto two = [&](InstrClass a, unsigned ca, InstrClass b, unsigned cb) {
+    out[0] = {a, static_cast<std::uint8_t>(ca)};
+    out[1] = {b, static_cast<std::uint8_t>(cb)};
+    return 2u;
+  };
+  switch (ins.op) {
+    case Op::kLslImm:
+      return one(ins.imm == 0 ? InstrClass::kMov : InstrClass::kLsl, 1);
+    case Op::kLsrImm:
+    case Op::kAsrImm:
+      return one(InstrClass::kLsr, 1);
+    case Op::kLslReg:
+      return one(InstrClass::kLsl, 1);
+    case Op::kLsrReg:
+    case Op::kAsrReg:
+    case Op::kRorReg:
+      return one(InstrClass::kLsr, 1);
+    case Op::kAddReg:
+    case Op::kSubReg:
+    case Op::kAddImm3:
+    case Op::kSubImm3:
+    case Op::kCmpImm:
+    case Op::kAddImm8:
+    case Op::kSubImm8:
+    case Op::kAdc:
+    case Op::kSbc:
+    case Op::kRsb:
+    case Op::kCmpReg:
+    case Op::kCmn:
+    case Op::kAddHi:
+    case Op::kCmpHi:
+    case Op::kAddSpImm7:
+    case Op::kSubSpImm7:
+    case Op::kAddRdSp:
+    case Op::kAdr:
+      return one(InstrClass::kAdd, 1);
+    case Op::kAnd:
+    case Op::kEor:
+    case Op::kTst:
+    case Op::kOrr:
+    case Op::kBic:
+    case Op::kMvn:
+      return one(InstrClass::kEor, 1);
+    case Op::kMul:
+      return one(InstrClass::kMul, 1);
+    case Op::kMovImm:
+    case Op::kMovHi:
+    case Op::kSxth:
+    case Op::kSxtb:
+    case Op::kUxth:
+    case Op::kUxtb:
+    case Op::kRev:
+    case Op::kRev16:
+    case Op::kRevsh:
+      return one(InstrClass::kMov, 1);
+    case Op::kLdrLit:
+    case Op::kLdrImm:
+    case Op::kLdrbImm:
+    case Op::kLdrhImm:
+    case Op::kLdrReg:
+    case Op::kLdrbReg:
+    case Op::kLdrhReg:
+    case Op::kLdrsbReg:
+    case Op::kLdrshReg:
+    case Op::kLdrSp:
+      return one(InstrClass::kLdr, 2);
+    case Op::kStrImm:
+    case Op::kStrbImm:
+    case Op::kStrhImm:
+    case Op::kStrReg:
+    case Op::kStrbReg:
+    case Op::kStrhReg:
+    case Op::kStrSp:
+      return one(InstrClass::kStr, 2);
+    case Op::kPush:
+      return two(InstrClass::kStr, popcount9(ins.reg_list),
+                 InstrClass::kOther, 1);
+    case Op::kPop:  // PC never in the list (not fusable otherwise)
+      return two(InstrClass::kLdr, popcount9(ins.reg_list),
+                 InstrClass::kOther, 1);
+    case Op::kStm:
+      return two(InstrClass::kStr, popcount8(ins.reg_list),
+                 InstrClass::kOther, 1);
+    case Op::kLdm:
+      return two(InstrClass::kLdr, popcount8(ins.reg_list),
+                 InstrClass::kOther, 1);
+    case Op::kNop:
+      return one(InstrClass::kOther, 1);
+    default:
+      throw std::logic_error("static_costs: non-fusable op");
+  }
+}
+
+ThreadedImage build_threaded_image(
+    const std::vector<std::uint16_t>& code,
+    const std::vector<PredecodedSlot>& cache,
+    const std::map<std::string, std::uint32_t>& symbols) {
+  (void)code;
+  const std::size_t n = cache.size();
+  ThreadedImage img;
+  img.block_at.assign(n, -1);
+
+  // Split points: any halfword execution can branch to. Labels cover the
+  // loop heads and call entries the assembler knows about; static branch
+  // targets cover everything B/BCond/BL can reach. BX/BLX targets are
+  // dynamic, but they can only land on a label or a computed address a
+  // branch already points at in this ISA's assembled images — and an
+  // interior entry is still correct, just unfused (block handlers only
+  // fire at heads).
+  std::vector<std::uint8_t> split(n, 0);
+  for (const auto& [name, addr] : symbols) {
+    const std::size_t idx = addr / 2;
+    if (idx < n) split[idx] = 1;
+  }
+  for (std::size_t idx = 0; idx < n;) {
+    const PredecodedSlot& s = cache[idx];
+    if (!s.valid) {
+      ++idx;
+      continue;
+    }
+    ++img.valid_slots;
+    if (s.ins.op == Op::kB || s.ins.op == Op::kBCond || s.ins.op == Op::kBl) {
+      const std::int64_t target =
+          static_cast<std::int64_t>(2 * idx) + 4 + s.ins.imm;
+      if (target >= 0 && target % 2 == 0 &&
+          static_cast<std::uint64_t>(target / 2) < n) {
+        split[static_cast<std::size_t>(target / 2)] = 1;
+      }
+    }
+    idx += s.halfwords;
+  }
+
+  std::size_t idx = 0;
+  while (idx < n) {
+    if (!cache[idx].valid) {
+      ++idx;
+      continue;
+    }
+    if (!fusable(cache[idx].ins, cache[idx].halfwords)) {
+      idx += cache[idx].halfwords;
+      continue;
+    }
+    // Maximal fusable run: extend while the next slot fuses and is not a
+    // branch target / label (the run head itself may be one — that is
+    // how a fused loop body gets re-entered every iteration).
+    std::size_t j = idx;
+    while (j < n && cache[j].valid && cache[j].halfwords == 1 &&
+           fusable(cache[j].ins, 1) && (j == idx || !split[j])) {
+      ++j;
+    }
+    const auto count = static_cast<std::uint32_t>(j - idx);
+    if (count >= kMinFuseLength) {
+      SuperBlock b;
+      b.head_idx = static_cast<std::uint32_t>(idx);
+      b.count = count;
+      b.end_pc = static_cast<std::uint32_t>(2 * j);
+      std::uint64_t by_class[static_cast<int>(InstrClass::kCount)] = {};
+      b.code.reserve(count + 1);
+      for (std::size_t k = idx; k < j; ++k) {
+        FusedInstr f;
+        f.ins = cache[k].ins;
+        f.pc4 = static_cast<std::uint32_t>(2 * k + 4);
+        f.num_costs = static_cast<std::uint8_t>(static_costs(f.ins, f.costs));
+        for (unsigned c = 0; c < f.num_costs; ++c) {
+          by_class[static_cast<int>(f.costs[c].cls)] += f.costs[c].cycles;
+          b.cycles += f.costs[c].cycles;
+        }
+        b.code.push_back(f);
+      }
+      FusedInstr endf{};
+      endf.ins.op = static_cast<Op>(kEndOfBlockToken);
+      b.code.push_back(endf);
+      for (int c = 0; c < static_cast<int>(InstrClass::kCount); ++c) {
+        if (by_class[c] != 0) {
+          b.hist.emplace_back(static_cast<InstrClass>(c), by_class[c]);
+        }
+      }
+      img.block_at[idx] = static_cast<std::int32_t>(img.blocks.size());
+      img.fused_slots += count;
+      img.blocks.push_back(std::move(b));
+    }
+    idx = j;
+  }
+  return img;
+}
+
+bool is_block_interior(const ThreadedImage& image, std::size_t idx) {
+  for (const SuperBlock& b : image.blocks) {
+    if (idx > b.head_idx && idx < b.head_idx + b.count) return true;
+  }
+  return false;
+}
+
+}  // namespace eccm0::armvm

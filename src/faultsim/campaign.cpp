@@ -84,8 +84,10 @@ std::uint64_t priced_cycles(const ec::FieldOpCounts& ops,
 
 }  // namespace
 
-KpFaultCampaign::KpFaultCampaign(std::uint64_t seed)
+KpFaultCampaign::KpFaultCampaign(std::uint64_t seed,
+                                 armvm::Cpu::DecodeMode engine)
     : seed_(seed),
+      engine_(engine),
       curve_(ec::BinaryCurve::sect233k1()),
       mul_prog_(workloads::kernel("mul")) {
   Rng rng(seed);
@@ -112,7 +114,7 @@ KpFaultCampaign::KpFaultCampaign(std::uint64_t seed)
   FaultSpec never;
   never.index = ~std::uint64_t{0};
   const InjectedRun clean = run_with_fault(mul_prog_, mem, never,
-                                           kKernelBudget);
+                                           kKernelBudget, engine_);
   kernel_retires_ = clean.instructions;
 
   // How many fmul calls one clean kP (table build + Horner loop) makes:
@@ -148,7 +150,7 @@ KpFaultCampaign::RunObservation KpFaultCampaign::evaluate_run(
     write_fe(mem, asmkernels::kXOff, to_fe(a));
     write_fe(mem, asmkernels::kYOff, to_fe(b));
     const InjectedRun vm = run_with_fault(mul_prog_, mem, spec,
-                                          kKernelBudget);
+                                          kKernelBudget, engine_);
     obs.vm_injected = vm.injected;
     if (vm.outcome == RunOutcome::kCrashed) throw CrashSignal{};
     const auto words =
@@ -239,7 +241,7 @@ std::array<ProfileCost, kNumProfiles> KpFaultCampaign::profile_costs(
 CampaignResult run_kp_campaign(const CampaignConfig& config) {
   CampaignResult res;
   res.config = config;
-  KpFaultCampaign campaign(config.seed);
+  KpFaultCampaign campaign(config.seed, config.engine);
   const FaultModel models[kNumFaultModels] = {
       FaultModel::kRegisterFlip, FaultModel::kRamFlip,
       FaultModel::kInstructionSkip, FaultModel::kOpcodeFlip};

@@ -79,6 +79,10 @@ struct CampaignConfig {
   /// run's RNG stream is split from (seed, model, run index) alone and
   /// tallies aggregate in run order.
   unsigned threads = 1;
+  /// Execution engine of the injected armvm core (`--engine=`). The
+  /// tally is engine-independent (see run_with_fault); this exists to
+  /// A/B the engines under fault load.
+  armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode;
 };
 
 struct CampaignResult {
@@ -89,7 +93,9 @@ struct CampaignResult {
 
 class KpFaultCampaign {
  public:
-  explicit KpFaultCampaign(std::uint64_t seed);
+  explicit KpFaultCampaign(
+      std::uint64_t seed,
+      armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode);
 
   /// Inject `runs` seeded faults of `model`, one per kP computation,
   /// fanned across `threads` workers (1 = serial; 0 = hardware
@@ -120,6 +126,7 @@ class KpFaultCampaign {
   RunObservation evaluate_run(FaultModel model, std::uint64_t run) const;
 
   std::uint64_t seed_;
+  armvm::Cpu::DecodeMode engine_;
   const ec::BinaryCurve& curve_;
   ec::AffinePoint p_;
   mpint::UInt k_;

@@ -147,17 +147,18 @@ InjectedRun resume_with_fault(armvm::Cpu& cpu, armvm::Memory& ram,
 
 InjectedRun run_with_fault(const armvm::ProgramRef& prog, armvm::Memory& ram,
                            const FaultSpec& spec,
-                           std::uint64_t max_instructions) {
-  armvm::Cpu cpu(prog, ram);
+                           std::uint64_t max_instructions,
+                           armvm::Cpu::DecodeMode engine) {
+  armvm::Cpu cpu(prog, ram, engine);
   cpu.set_reg(armvm::kLR, armvm::kReturnSentinel);
   cpu.set_reg(armvm::kPC, prog->entry("entry"));
   return resume_with_fault(cpu, ram, *prog, spec, max_instructions);
 }
 
 armvm::MachineSnapshot checkpoint_at(const armvm::ProgramRef& prog,
-                                     armvm::Memory& ram,
-                                     std::uint64_t index) {
-  armvm::Cpu cpu(prog, ram);
+                                     armvm::Memory& ram, std::uint64_t index,
+                                     armvm::Cpu::DecodeMode engine) {
+  armvm::Cpu cpu(prog, ram, engine);
   cpu.set_reg(armvm::kLR, armvm::kReturnSentinel);
   cpu.set_reg(armvm::kPC, prog->entry("entry"));
   bool running = true;
@@ -171,8 +172,9 @@ InjectedRun run_with_fault_forked(const armvm::ProgramRef& prog,
                                   armvm::Memory& ram,
                                   const armvm::MachineSnapshot& at_injection,
                                   const FaultSpec& spec,
-                                  std::uint64_t max_instructions) {
-  armvm::Cpu cpu(prog, ram);
+                                  std::uint64_t max_instructions,
+                                  armvm::Cpu::DecodeMode engine) {
+  armvm::Cpu cpu(prog, ram, engine);
   cpu.restore(at_injection);
   return resume_with_fault(cpu, ram, *prog, spec, max_instructions);
 }

@@ -70,9 +70,17 @@ struct InjectedRun {
 /// Execute `prog` (entry label "entry", no arguments) against `ram`,
 /// applying `spec` at its trigger point. Never throws for architectural
 /// faults — they are the experiment, and come back classified.
-InjectedRun run_with_fault(const armvm::ProgramRef& prog, armvm::Memory& ram,
-                           const FaultSpec& spec,
-                           std::uint64_t max_instructions = 1'000'000);
+///
+/// `engine` selects the execution engine of the injected core (the
+/// `--engine=` flag of the campaign harnesses). The injector always
+/// retires one instruction per step — the trigger is a retirement
+/// index, and the watchdog counts between retirements — so outcomes
+/// are bit-identical across engines; the engine choice A/Bs the decode
+/// path (per-step decode vs the shared predecode cache).
+InjectedRun run_with_fault(
+    const armvm::ProgramRef& prog, armvm::Memory& ram, const FaultSpec& spec,
+    std::uint64_t max_instructions = 1'000'000,
+    armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode);
 
 /// Capture the fault-window checkpoint: a fresh run of `prog` (entry
 /// label "entry") stepped cleanly to retirement index `index` — or to
@@ -80,8 +88,9 @@ InjectedRun run_with_fault(const armvm::ProgramRef& prog, armvm::Memory& ram,
 /// program is assumed; architectural faults before the checkpoint
 /// propagate. `ram` holds the program's input image and is consumed by
 /// the stepping.
-armvm::MachineSnapshot checkpoint_at(const armvm::ProgramRef& prog,
-                                     armvm::Memory& ram, std::uint64_t index);
+armvm::MachineSnapshot checkpoint_at(
+    const armvm::ProgramRef& prog, armvm::Memory& ram, std::uint64_t index,
+    armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode);
 
 /// Fork a checkpointed run: restore `at_injection` (taken by
 /// checkpoint_at at spec.index) into a fresh context over the same
@@ -89,10 +98,10 @@ armvm::MachineSnapshot checkpoint_at(const armvm::ProgramRef& prog,
 /// instruction and cycle counts to run_with_fault replaying from reset,
 /// without re-executing the prefix. This is what lets a campaign that
 /// injects many specs at one index pay the prefix once.
-InjectedRun run_with_fault_forked(const armvm::ProgramRef& prog,
-                                  armvm::Memory& ram,
-                                  const armvm::MachineSnapshot& at_injection,
-                                  const FaultSpec& spec,
-                                  std::uint64_t max_instructions = 1'000'000);
+InjectedRun run_with_fault_forked(
+    const armvm::ProgramRef& prog, armvm::Memory& ram,
+    const armvm::MachineSnapshot& at_injection, const FaultSpec& spec,
+    std::uint64_t max_instructions = 1'000'000,
+    armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode);
 
 }  // namespace eccm0::faultsim

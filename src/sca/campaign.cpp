@@ -35,7 +35,7 @@ TvlaCampaignResult run_tvla_campaign(const TvlaCampaignConfig& cfg) {
         } else {
           load_kernel_operands(cfg.kernel, mem, task_rng);
         }
-        armvm::Cpu cpu(prog, mem);
+        armvm::Cpu cpu(prog, mem, cfg.engine);
         cpu.set_trace_sink(&pow);
         cpu.call(prog->entry("entry"), {});
         return pow.trace();

@@ -26,6 +26,10 @@ struct TvlaCampaignConfig {
   unsigned threads = 1;  ///< 0 = hardware concurrency (sim::BatchExecutor)
   double threshold = 4.5;
   measure::RigConfig rig;  ///< rig.seed is ignored: re-split per task
+  /// Execution engine (`--engine=`). Trace collection is traced, so the
+  /// threaded engine falls back per-instruction; t-digests are
+  /// engine-independent by construction.
+  armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode;
 };
 
 struct TvlaCampaignResult {

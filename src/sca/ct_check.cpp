@@ -95,7 +95,7 @@ CtReport check_kernel_constant_trace(const CtConfig& cfg) {
     Rng op_rng = base.split(run);
     armvm::Memory mem(workloads::kKernelRamSize);
     load_kernel_operands(cfg.kernel, mem, op_rng);
-    armvm::Cpu cpu(prog, mem);
+    armvm::Cpu cpu(prog, mem, cfg.engine);
     TraceDigest& d = run == 0 ? ref : cur;
     d.clear();
     cpu.set_trace_sink(&d);

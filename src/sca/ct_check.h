@@ -48,6 +48,10 @@ struct CtConfig {
   std::string kernel = "mul";  ///< workloads::KernelRegistry name
   unsigned runs = 16;          ///< random operand draws (>= 2)
   std::uint64_t seed = 0xC7C41EC;
+  /// Execution engine (`--engine=`). Digest runs are traced, so the
+  /// threaded engine takes its per-instruction fallback — the report is
+  /// engine-independent by construction, and this exists to prove it.
+  armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode;
 };
 
 struct CtReport {

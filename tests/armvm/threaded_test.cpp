@@ -1,0 +1,407 @@
+// Three-way differential test of the token-threaded superinstruction
+// engine (DecodeMode::kThreaded) against the per-step oracle and the
+// predecoded engine: over every registry kernel, all three must retire
+// the same instruction stream — identical cycle counts, histograms,
+// energy, registers, RAM and (traced) rich event streams — and agree
+// bit-for-bit on the awkward paths: snapshot/restore into the middle of
+// a fused block, a fault at a retirement index interior to a
+// superinstruction, and the instruction-budget trip point.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "armvm/asm.h"
+#include "armvm/cpu.h"
+#include "armvm/dispatch.h"
+#include "armvm/superinst.h"
+#include "asmkernels/gen.h"
+#include "common/rng.h"
+#include "workloads/kp_mix.h"
+#include "workloads/registry.h"
+
+namespace eccm0::armvm {
+namespace {
+
+using workloads::KernelMachine;
+using workloads::KernelOperands;
+using workloads::KernelRegistry;
+
+constexpr std::size_t kRamSize = workloads::kKernelRamSize;
+
+constexpr Cpu::DecodeMode kAllModes[] = {
+    Cpu::DecodeMode::kPerStep,
+    Cpu::DecodeMode::kPredecode,
+    Cpu::DecodeMode::kThreaded,
+};
+
+struct RecordingSink final : TraceSink {
+  std::vector<TraceEvent> events;
+  void on_retire(const TraceEvent& ev) override { events.push_back(ev); }
+};
+
+void expect_stats_identical(const RunStats& a, const RunStats& b) {
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.cycles, b.cycles);
+  for (int i = 0; i < static_cast<int>(costmodel::InstrClass::kCount); ++i) {
+    EXPECT_EQ(a.histogram.cycles[i], b.histogram.cycles[i])
+        << "histogram class " << i;
+  }
+  EXPECT_EQ(a.energy().energy_uj(), b.energy().energy_uj());
+}
+
+/// Deterministic operand recipe covering every registry kernel,
+/// including the K-163 family the sca loader has no recipe for.
+void load_operands(const std::string& name, Memory& mem) {
+  const KernelOperands& ops = KernelOperands::standard();
+  if (name.rfind("mul163", 0) == 0) {
+    Rng rng(0x163F00D);
+    std::uint32_t x[6], y[6];
+    for (auto& w : x) w = static_cast<std::uint32_t>(rng.next_u64());
+    for (auto& w : y) w = static_cast<std::uint32_t>(rng.next_u64());
+    x[5] &= 0x7;  // 163-bit field elements
+    y[5] &= 0x7;
+    for (int w = 0; w < 6; ++w) {
+      mem.store32(kRamBase + asmkernels::kXOff + 4u * w, x[w]);
+      mem.store32(kRamBase + asmkernels::kYOff + 4u * w, y[w]);
+    }
+  } else if (name.rfind("mul", 0) == 0) {
+    workloads::load_mul_inputs(mem, ops.x, ops.y);
+  } else if (name == "sqr") {
+    workloads::load_sqr_table(mem);
+    workloads::load_sqr_input(mem, ops.a);
+  } else if (name == "lut") {
+    std::uint32_t zero[8] = {};
+    workloads::load_mul_inputs(mem, zero, ops.y);
+  } else if (name == "inv") {
+    workloads::load_inv_input(mem, ops.a);
+  } else if (name == "reduce") {
+    Rng rng(0x2EDDCE);
+    std::uint32_t wide[16];
+    for (auto& w : wide) w = static_cast<std::uint32_t>(rng.next_u64());
+    workloads::load_reduce_input(mem, wide);
+  } else {
+    ADD_FAILURE() << "no operand recipe for kernel " << name;
+  }
+}
+
+/// Full observable machine state after a run.
+struct Observed {
+  RunStats stats;
+  std::array<std::uint32_t, 13> regs{};
+  std::array<bool, 4> flags{};
+  std::vector<std::uint32_t> ram;
+};
+
+Observed observe(KernelMachine& m) {
+  Observed o;
+  o.stats = m.cpu().stats();
+  for (unsigned r = 0; r < 13; ++r) o.regs[r] = m.cpu().reg(r);
+  o.flags = {m.cpu().flag_n(), m.cpu().flag_z(), m.cpu().flag_c(),
+             m.cpu().flag_v()};
+  o.ram = m.mem().read_words(kRamBase, kRamSize / 4);
+  return o;
+}
+
+TEST(Threaded, AllRegistryKernelsIdenticalAcrossThreeEngines) {
+  std::uint64_t total_fused = 0;
+  const auto names = KernelRegistry::instance().names();
+  ASSERT_GE(names.size(), 12u);
+  for (const std::string& name : names) {
+    std::vector<Observed> results;
+    std::uint64_t fused_threaded = 0;
+    for (const Cpu::DecodeMode mode : kAllModes) {
+      KernelMachine m(name, mode);
+      load_operands(name, m.mem());
+      // Two back-to-back calls: crosses a call boundary with persistent
+      // state, like the bench workloads do.
+      m.call();
+      if (name == "inv") load_operands(name, m.mem());  // EEA scratch
+      m.call();
+      results.push_back(observe(m));
+      if (mode == Cpu::DecodeMode::kThreaded) {
+        fused_threaded = m.cpu().fused_retired();
+        EXPECT_GT(m.cpu().fused_blocks_entered(), 0u) << name;
+      } else {
+        EXPECT_EQ(m.cpu().fused_retired(), 0u) << name;
+      }
+    }
+    ASSERT_EQ(results.size(), 3u);
+    for (std::size_t e = 1; e < results.size(); ++e) {
+      SCOPED_TRACE(name + " engine#" + std::to_string(e));
+      expect_stats_identical(results[0].stats, results[e].stats);
+      EXPECT_EQ(results[0].regs, results[e].regs);
+      EXPECT_EQ(results[0].flags, results[e].flags);
+      EXPECT_EQ(results[0].ram, results[e].ram);
+    }
+    EXPECT_GT(results[0].stats.instructions, 100u) << name;
+    total_fused += fused_threaded;
+    // The straight-line K-233 kernels must spend nearly all retirement
+    // inside fused blocks.
+    if (name == "mul" || name == "sqr" || name == "reduce") {
+      EXPECT_GT(fused_threaded * 10, results[0].stats.instructions * 9)
+          << name << " fused coverage too low: " << fused_threaded << "/"
+          << results[0].stats.instructions;
+    }
+  }
+  EXPECT_GT(total_fused, 100000u);
+}
+
+TEST(Threaded, TracedStreamsIdenticalAcrossThreeEngines) {
+  // With a sink attached the threaded engine must produce the same rich
+  // per-instruction TraceEvent stream as both oracles (it falls back to
+  // the traced per-instruction loop — fusion never changes what a
+  // profiler or leakage digest observes).
+  for (const std::string name : {"mul", "sqr", "inv"}) {
+    std::vector<std::vector<TraceEvent>> streams;
+    for (const Cpu::DecodeMode mode : kAllModes) {
+      KernelMachine m(name, mode);
+      RecordingSink sink;
+      m.cpu().set_trace_sink(&sink);
+      load_operands(name, m.mem());
+      m.call();
+      streams.push_back(std::move(sink.events));
+    }
+    ASSERT_FALSE(streams[0].empty());
+    EXPECT_EQ(streams[0], streams[1]) << name;
+    EXPECT_EQ(streams[0], streams[2]) << name;
+  }
+}
+
+/// Step a per-step context to the first retirement index >= min_index
+/// at which the PC sits strictly inside a fused block of `image`.
+/// Returns the snapshot there and the retirement index.
+std::pair<MachineSnapshot, std::uint64_t> snapshot_inside_block(
+    const ProgramRef& prog, const ThreadedImage& image, Memory& mem,
+    std::uint64_t min_index) {
+  Cpu cpu(prog, mem, Cpu::DecodeMode::kPerStep);
+  cpu.set_reg(kLR, kReturnSentinel);
+  cpu.set_reg(kPC, prog->entry("entry"));
+  while (cpu.step()) {
+    if (cpu.stats().instructions < min_index) continue;
+    const std::uint32_t pc = cpu.reg(kPC);
+    if (pc != kReturnSentinel && pc % 2 == 0 &&
+        is_block_interior(image, pc / 2)) {
+      return {cpu.snapshot(), cpu.stats().instructions};
+    }
+  }
+  ADD_FAILURE() << "no interior-of-block PC reached";
+  return {cpu.snapshot(), cpu.stats().instructions};
+}
+
+TEST(Threaded, SnapshotRestoreMidFusedBlockResumesIdentically) {
+  const ProgramRef prog = workloads::kernel("mul");
+  const ThreadedImage& image = prog->threaded();
+  ASSERT_FALSE(image.blocks.empty());
+
+  Memory scout_mem(kRamSize);
+  load_operands("mul", scout_mem);
+  const auto [snap, index] =
+      snapshot_inside_block(prog, image, scout_mem, 500);
+  ASSERT_GE(index, 500u);
+  ASSERT_TRUE(is_block_interior(image, snap.arch.r[kPC] / 2));
+
+  // Fork the checkpoint into one context per engine and run each to
+  // completion: the threaded engine enters the block interior
+  // per-instruction, then picks up fusion at the next head.
+  std::vector<Observed> results;
+  for (const Cpu::DecodeMode mode : kAllModes) {
+    KernelMachine m(prog, mode);
+    m.cpu().restore(snap);
+    const RunStats delta = m.cpu().run();
+    EXPECT_GT(delta.instructions, 0u);
+    results.push_back(observe(m));
+  }
+  for (std::size_t e = 1; e < results.size(); ++e) {
+    SCOPED_TRACE("engine#" + std::to_string(e));
+    expect_stats_identical(results[0].stats, results[e].stats);
+    EXPECT_EQ(results[0].regs, results[e].regs);
+    EXPECT_EQ(results[0].flags, results[e].flags);
+    EXPECT_EQ(results[0].ram, results[e].ram);
+  }
+}
+
+TEST(Threaded, MemoryFaultInteriorToSuperinstructionIdentical) {
+  // The STR below faults at retirement index 6 — interior to the single
+  // fused block this straight-line body forms — so the threaded engine
+  // must unwind mid-block: partial accounting replayed, flags synced,
+  // PC at the faulting instruction's fallthrough, identical ArchState.
+  const ProgramRef prog = assemble(R"(
+entry:
+    movs r0, #1
+    movs r1, #2
+    adds r2, r0, r1
+    ldr r3, =0x30000000
+    movs r4, #5
+    adds r5, r4, r4
+    str r4, [r3]
+    adds r6, r5, r5
+    eors r7, r7
+    bx lr
+)");
+  ASSERT_TRUE(is_block_interior(prog->threaded(), prog->entry("entry") / 2 + 6))
+      << "test premise: the faulting STR must sit inside a fused block";
+  std::vector<std::tuple<std::string, std::uint32_t, ArchState>> faults;
+  std::vector<RunStats> stats;
+  for (const Cpu::DecodeMode mode : kAllModes) {
+    Memory mem(kRamSize);
+    Cpu cpu(prog, mem, mode);
+    try {
+      cpu.call(prog->entry("entry"), {});
+      ADD_FAILURE() << "no fault raised";
+    } catch (const BusFault& f) {
+      EXPECT_TRUE(f.has_state());
+      faults.emplace_back(f.message(), f.address(), f.state());
+    }
+    stats.push_back(cpu.stats());
+  }
+  ASSERT_EQ(faults.size(), 3u);
+  for (std::size_t e = 1; e < faults.size(); ++e) {
+    SCOPED_TRACE("engine#" + std::to_string(e));
+    EXPECT_EQ(std::get<0>(faults[0]), std::get<0>(faults[e]));
+    EXPECT_EQ(std::get<1>(faults[0]), std::get<1>(faults[e]));
+    EXPECT_EQ(std::get<2>(faults[0]), std::get<2>(faults[e]));
+    expect_stats_identical(stats[0], stats[e]);
+  }
+  EXPECT_EQ(std::get<1>(faults[0]), 0x30000000u);
+  EXPECT_EQ(std::get<2>(faults[0]).instructions, 6u);  // STR retired nothing
+  EXPECT_EQ(std::get<2>(faults[0]).r[5], 10u);         // prior work landed
+}
+
+TEST(Threaded, RegisterFlipFaultAtInteriorIndexIdentical) {
+  // Snapshot the mul kernel at a retirement index whose PC is interior
+  // to a superinstruction, flip an address-register bit there (the
+  // faultsim register-flip model), and resume under each engine. The
+  // corrupted pointer sends a later store outside the 2 KiB RAM, so
+  // every engine must raise the same BusFault — message, faulting
+  // address, ArchState and accounting bit-identical even though the
+  // threaded engine hits it inside a fused block reached from an
+  // interior (mid-block) restore point.
+  const ProgramRef prog = workloads::kernel("mul");
+  Memory scout_mem(kRamSize);
+  load_operands("mul", scout_mem);
+  const auto [snap, index] =
+      snapshot_inside_block(prog, prog->threaded(), scout_mem, 200);
+  ASSERT_TRUE(is_block_interior(prog->threaded(), snap.arch.r[kPC] / 2));
+
+  std::vector<std::tuple<std::string, std::uint32_t, ArchState>> faults;
+  std::vector<Observed> results;
+  for (const Cpu::DecodeMode mode : kAllModes) {
+    KernelMachine m(prog, mode);
+    m.cpu().restore(snap);
+    m.cpu().set_reg(3, m.cpu().reg(3) ^ (1u << 17));  // the injected fault
+    try {
+      m.cpu().run();
+      ADD_FAILURE() << "corrupted pointer did not fault";
+    } catch (const Fault& f) {
+      ASSERT_TRUE(f.has_state());
+      faults.emplace_back(f.message(), f.address(), f.state());
+    }
+    results.push_back(observe(m));
+  }
+  ASSERT_EQ(faults.size(), 3u);
+  for (std::size_t e = 1; e < results.size(); ++e) {
+    SCOPED_TRACE("engine#" + std::to_string(e));
+    EXPECT_EQ(std::get<0>(faults[0]), std::get<0>(faults[e]));
+    EXPECT_EQ(std::get<1>(faults[0]), std::get<1>(faults[e]));
+    EXPECT_EQ(std::get<2>(faults[0]), std::get<2>(faults[e]));
+    expect_stats_identical(results[0].stats, results[e].stats);
+    EXPECT_EQ(results[0].regs, results[e].regs);
+    EXPECT_EQ(results[0].ram, results[e].ram);
+  }
+}
+
+TEST(Threaded, InstructionBudgetTripsIdenticallyMidBlock) {
+  // A budget that expires deep inside the straight-line mul kernel —
+  // i.e. at a point interior to some fused block — must trip at exactly
+  // budget + 1 retirements under every engine, because the threaded
+  // engine refuses to enter a block that would overrun the budget.
+  const ProgramRef prog = workloads::kernel("mul");
+  constexpr std::uint64_t kBudget = 1000;
+  std::vector<RunStats> stats;
+  std::vector<ArchState> states;
+  for (const Cpu::DecodeMode mode : kAllModes) {
+    KernelMachine m(prog, mode);
+    load_operands("mul", m.mem());
+    try {
+      m.cpu().call(prog->entry("entry"), {}, kBudget);
+      ADD_FAILURE() << "budget did not trip";
+    } catch (const BudgetFault& f) {
+      ASSERT_TRUE(f.has_state());
+      states.push_back(f.state());
+    }
+    stats.push_back(m.cpu().stats());
+  }
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(stats[0].instructions, kBudget + 1);
+  for (std::size_t e = 1; e < stats.size(); ++e) {
+    SCOPED_TRACE("engine#" + std::to_string(e));
+    expect_stats_identical(stats[0], stats[e]);
+    EXPECT_EQ(states[0], states[e]);
+  }
+}
+
+TEST(Threaded, FusionDiscoveryInvariants) {
+  for (const std::string name : {"mul", "sqr", "inv", "reduce"}) {
+    const ProgramRef prog = workloads::kernel(name);
+    const ThreadedImage& image = prog->threaded();
+    SCOPED_TRACE(name);
+    ASSERT_FALSE(image.blocks.empty());
+    EXPECT_GT(image.valid_slots, 0u);
+    EXPECT_LE(image.fused_slots, image.valid_slots);
+    for (std::size_t b = 0; b < image.blocks.size(); ++b) {
+      const SuperBlock& blk = image.blocks[b];
+      EXPECT_GE(blk.count, kMinFuseLength);
+      // `count` real instructions plus the dispatcher's terminator entry.
+      ASSERT_EQ(blk.code.size(), blk.count + 1);
+      EXPECT_EQ(static_cast<std::uint8_t>(blk.code.back().ins.op),
+                kEndOfBlockToken);
+      EXPECT_EQ(blk.code.back().num_costs, 0u);
+      EXPECT_EQ(blk.end_pc, 2 * (blk.head_idx + blk.count));
+      EXPECT_EQ(image.block_at[blk.head_idx], static_cast<std::int32_t>(b));
+      std::uint64_t cycles = 0;
+      for (std::uint32_t i = 0; i < blk.count; ++i) {
+        const FusedInstr& f = blk.code[i];
+        EXPECT_TRUE(fusable(f.ins, 1));
+        for (unsigned c = 0; c < f.num_costs; ++c) {
+          cycles += f.costs[c].cycles;
+        }
+      }
+      // The per-instruction static costs and the batched block delta
+      // are the same numbers.
+      EXPECT_EQ(cycles, blk.cycles);
+      std::uint64_t hist_cycles = 0;
+      for (const auto& [cls, cyc] : blk.hist) hist_cycles += cyc;
+      EXPECT_EQ(hist_cycles, blk.cycles);
+    }
+    // No label (= potential branch/call target) is interior to a block;
+    // loop heads re-enter fused bodies at block heads only.
+    for (const auto& [label, addr] : prog->symbols()) {
+      EXPECT_FALSE(is_block_interior(image, addr / 2))
+          << "label " << label << " interior to a fused block";
+    }
+    // The straight-line kernels fuse nearly everything.
+    if (name != "inv") {
+      EXPECT_GT(image.fused_slots * 10, image.valid_slots * 9);
+    }
+  }
+}
+
+TEST(Threaded, EngineNameHelpersRoundTrip) {
+  EXPECT_EQ(decode_mode_from_name("perstep"), Cpu::DecodeMode::kPerStep);
+  EXPECT_EQ(decode_mode_from_name("predecode"), Cpu::DecodeMode::kPredecode);
+  EXPECT_EQ(decode_mode_from_name("threaded"), Cpu::DecodeMode::kThreaded);
+  for (const Cpu::DecodeMode mode : kAllModes) {
+    EXPECT_EQ(decode_mode_from_name(decode_mode_name(mode)), mode);
+  }
+  EXPECT_THROW(decode_mode_from_name("jit"), std::invalid_argument);
+  // Just exercise the probe; either dispatch form is valid here.
+  (void)threaded_dispatch_uses_computed_goto();
+}
+
+}  // namespace
+}  // namespace eccm0::armvm
