@@ -249,6 +249,8 @@ inline std::string json_flag_path(int argc, char** argv,
 ///   --iters=N      workload scale (reps / runs / calls / traces)
 ///   --engine=E     execution engine: perstep|predecode|threaded
 ///                  (armvm::decode_mode_from_name validates the value)
+///   --mem=M        RAM protection model: raw|parity|secded
+///                  (armvm::mem_model_from_name validates the value)
 ///
 /// Field values set before parse() act as the defaults; a flag only
 /// overwrites its field when actually present. Benches register their
@@ -265,6 +267,12 @@ class Args {
   /// flag spelling so this header stays armvm-free; harnesses convert
   /// with armvm::decode_mode_from_name, which throws on a bad value.
   std::string engine = "predecode";
+  /// Memory model name for `--mem=` (see armvm/memmodel.h). Same
+  /// convention as `engine`: kept as the flag spelling, converted by
+  /// harnesses with armvm::mem_model_from_name (which throws on a bad
+  /// value). Harnesses that sweep all models may set "" as the default
+  /// to mean "no restriction".
+  std::string mem = "raw";
   bool json = false;          ///< --json[=PATH] was passed
   std::string json_path;      ///< resolved output path (empty until then)
 
@@ -273,6 +281,10 @@ class Args {
   /// Register a bench-specific "--name=N" integer flag, e.g. "--runs".
   void add_u64(const char* name, std::uint64_t* dst) {
     u64s_.push_back({name, dst});
+  }
+  /// Register a bench-specific "--name=STR" string flag, e.g. "--ber".
+  void add_str(const char* name, std::string* dst) {
+    strs_.push_back({name, dst});
   }
 
   bool parse(int argc, char** argv, const std::string& default_json_path) {
@@ -292,6 +304,8 @@ class Args {
         iters = std::strtoull(a + 8, nullptr, 10);
       } else if (std::strncmp(a, "--engine=", 9) == 0) {
         engine = a + 9;
+      } else if (std::strncmp(a, "--mem=", 6) == 0) {
+        mem = a + 6;
       } else if (a[0] == '-') {
         if (!match_extra(a)) {
           std::fprintf(stderr, "unknown flag '%s'%s\n", a, usage_suffix());
@@ -321,16 +335,24 @@ class Args {
         return true;
       }
     }
+    for (const auto& [name, dst] : strs_) {
+      const std::size_t n = std::strlen(name);
+      if (std::strncmp(a, name, n) == 0 && a[n] == '=') {
+        *dst = a + n + 1;
+        return true;
+      }
+    }
     return false;
   }
 
   const char* usage_suffix() const {
     return " (standard flags: --json[=PATH] --threads=N --seed=S --iters=N"
-           " --engine=perstep|predecode|threaded)";
+           " --engine=perstep|predecode|threaded --mem=raw|parity|secded)";
   }
 
   std::vector<std::pair<const char*, bool*>> flags_;
   std::vector<std::pair<const char*, std::uint64_t*>> u64s_;
+  std::vector<std::pair<const char*, std::string*>> strs_;
   std::vector<std::string> positionals_;
 };
 

@@ -8,16 +8,26 @@
 //   ecctool ecdh    <priv-hex> <peer-pub-hex>
 //   ecctool info
 //   ecctool profile [kernel] [--calls=N] [--threads=N] [--engine=E]
+//                   [--mem=M]
 //   ecctool campaign [--runs=N] [--seed=S] [--threads=N] [--engine=E]
+//   ecctool memfault [--runs=N] [--ber=LIST] [--mem=M] [--scrub=N]
+//                    [--seed=S] [--threads=N] [--engine=E] [--json[=P]]
 //   ecctool sca [kernel] [--iters=N] [--seed=S] [--threads=N] [--engine=E]
 //
 // `profile` runs a K-233 field kernel on the cycle-accurate armvm with
 // the symbol-attributed profiler and RAM heatmap attached (one private
 // sink pair per execution context, merged after the run), prints the
 // per-function cycle/energy breakdown and the hottest RAM words, and
-// writes ecctool_trace.json (Perfetto) + ecctool_flame.txt.
+// writes ecctool_trace.json (Perfetto) + ecctool_flame.txt. Its --mem=M
+// flag runs the kernel on a protected RAM model (raw|parity|secded) so
+// the wait-state overhead shows up in the attribution.
 // `campaign` runs the seeded kP fault-injection matrix; its tallies are
 // bit-identical for any --threads value.
+// `memfault` runs the SRAM bit-error campaign (faultsim/campaign.h):
+// Bernoulli bit flips at each --ber=1e-5,1e-4,... rate against each
+// memory model (--mem restricts to one; default sweeps all three), with
+// SECDED scrubbing every --scrub=N accesses. Contradictory combinations
+// (a scrub interval with a model that cannot repair) are rejected.
 // `sca` runs both leakage detectors against one kernel: the
 // constant-trace verifier (timing + address criteria, with the first
 // divergence located by symbol) and the fixed-vs-random TVLA campaign
@@ -97,12 +107,17 @@ int usage() {
                "       ecctool ecdh <priv-hex> <peer-pub-hex>\n"
                "       ecctool info\n"
                "       ecctool profile [kernel] [--calls=N] [--threads=N]"
-               " [--engine=E]\n"
+               " [--engine=E] [--mem=M]\n"
                "       ecctool campaign [--runs=N] [--seed=S] [--threads=N]"
                " [--engine=E]\n"
+               "       ecctool memfault [--runs=N] [--ber=B1,B2,...]"
+               " [--mem=M] [--scrub=N]\n"
+               "                        [--seed=S] [--threads=N] [--engine=E]"
+               " [--json[=PATH]]\n"
                "       ecctool sca [kernel] [--iters=N] [--seed=S]"
                " [--threads=N] [--engine=E]\n"
-               "  (E = perstep|predecode|threaded)\n");
+               "  (E = perstep|predecode|threaded,"
+               " M = raw|parity|secded)\n");
   return 2;
 }
 
@@ -120,8 +135,9 @@ struct ProfilePart {
 };
 
 ProfilePart run_profile_part(const std::string& kernel, unsigned calls,
-                             armvm::Cpu::DecodeMode engine) {
-  workloads::KernelMachine km(workloads::kernel(kernel), engine);
+                             armvm::Cpu::DecodeMode engine,
+                             const armvm::MemModelConfig& mem_model) {
+  workloads::KernelMachine km(workloads::kernel(kernel), engine, mem_model);
   profile::Profiler prof(km.prog());
   profile::MemHeatmap heat(workloads::kKernelRamSize);
   armvm::TeeSink tee({&prof, &heat});
@@ -163,6 +179,8 @@ int run_profile(int argc, char** argv) {
       args.positionals().empty() ? "mul" : args.positionals()[0];
   const armvm::Cpu::DecodeMode engine =
       armvm::decode_mode_from_name(args.engine);
+  const armvm::MemModelConfig mem_model =
+      armvm::MemModelConfig::for_kind(armvm::mem_model_from_name(args.mem));
   const unsigned threads = args.threads;
   if (!workloads::KernelRegistry::instance().contains(kernel)) {
     return usage();
@@ -180,7 +198,7 @@ int run_profile(int argc, char** argv) {
   for (unsigned w = 0; w < calls % workers; ++w) ++share[w];
   const std::vector<ProfilePart> parts =
       pool.map<ProfilePart>(workers, [&](std::size_t w) {
-        return run_profile_part(kernel, share[w], engine);
+        return run_profile_part(kernel, share[w], engine, mem_model);
       });
 
   ProfilePart all;
@@ -249,7 +267,7 @@ int run_profile(int argc, char** argv) {
 
   // The timeline export needs one coherent span stream; rerun one
   // context's worth when the run was fanned out.
-  workloads::KernelMachine km(workloads::kernel(kernel), engine);
+  workloads::KernelMachine km(workloads::kernel(kernel), engine, mem_model);
   profile::Profiler prof(km.prog());
   km.cpu().set_trace_sink(&prof);
   const workloads::KernelOperands& od = workloads::KernelOperands::standard();
@@ -306,6 +324,161 @@ int run_campaign(int argc, char** argv) {
     std::printf("  %-16s %10llu cycles  %8.2f uJ\n", profiles[p].name,
                 static_cast<unsigned long long>(res.costs[p].cycles),
                 res.costs[p].energy_uj);
+  }
+  return 0;
+}
+
+int run_memfault(int argc, char** argv) {
+  // Sentinel for "--scrub was not passed": the flag only overwrites it
+  // when present, which is how the contradiction check below can tell
+  // an explicit interval apart from the default.
+  constexpr std::uint64_t kScrubUnset = ~std::uint64_t{0};
+  faultsim::MemCampaignConfig cfg;
+  cfg.runs_per_cell = 60;
+  std::uint64_t scrub = kScrubUnset;
+  std::string ber_list;
+  bench::Args args;
+  args.seed = cfg.seed;
+  args.threads = cfg.threads;
+  args.mem = "";  // default: sweep all three models
+  args.add_u64("--runs", &cfg.runs_per_cell);
+  args.add_u64("--scrub", &scrub);
+  args.add_str("--ber", &ber_list);
+  if (!args.parse(argc - 2, argv + 2, "BENCH_memfault.json") ||
+      !args.positionals().empty()) {
+    return usage();
+  }
+  if (cfg.runs_per_cell == 0) cfg.runs_per_cell = 1;
+  cfg.seed = args.seed;
+  cfg.threads = args.threads;
+  cfg.engine = armvm::decode_mode_from_name(args.engine);
+  if (!args.mem.empty()) {
+    cfg.models = {armvm::mem_model_from_name(args.mem)};
+  }
+  // Scrubbing repairs words, and only SECDED can repair — an explicit
+  // interval combined with a model selection that excludes SECDED is a
+  // contradiction, not a sweep.
+  const bool has_secded =
+      std::find(cfg.models.begin(), cfg.models.end(),
+                armvm::MemModelKind::kSecded) != cfg.models.end();
+  if (scrub != kScrubUnset && scrub != 0 && !has_secded) {
+    std::fprintf(stderr,
+                 "error: --scrub=%llu requires the secded model (scrubbing "
+                 "repairs words; --mem=%s cannot repair)\n",
+                 static_cast<unsigned long long>(scrub), args.mem.c_str());
+    return 2;
+  }
+  cfg.scrub_interval = scrub == kScrubUnset ? 1024 : scrub;
+  if (!ber_list.empty()) {
+    cfg.bers.clear();
+    const char* s = ber_list.c_str();
+    while (*s != '\0') {
+      char* end = nullptr;
+      const double b = std::strtod(s, &end);
+      if (end == s || b <= 0.0 || b > 1.0) {
+        std::fprintf(stderr,
+                     "error: --ber expects a comma-separated list of rates "
+                     "in (0, 1], got '%s'\n",
+                     ber_list.c_str());
+        return 2;
+      }
+      cfg.bers.push_back(b);
+      s = *end == ',' ? end + 1 : end;
+      if (end == s && *end != '\0') {
+        std::fprintf(stderr, "error: bad --ber list '%s'\n", ber_list.c_str());
+        return 2;
+      }
+    }
+  }
+
+  std::printf("SRAM bit-error campaign: seed 0x%llx, %llu runs/cell, "
+              "%u thread(s), scrub %llu\n\n",
+              static_cast<unsigned long long>(cfg.seed),
+              static_cast<unsigned long long>(cfg.runs_per_cell), cfg.threads,
+              static_cast<unsigned long long>(cfg.scrub_interval));
+  const faultsim::MemCampaignResult res = faultsim::run_mem_campaign(cfg);
+  const auto& profiles = faultsim::protection_profiles();
+
+  auto fmt_ber = [](double b) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0e", b);
+    return std::string(buf);
+  };
+  for (unsigned p : {0u, faultsim::kNumProfiles - 1}) {
+    std::printf("silent corruption, software profile '%s':\n",
+                profiles[p].name);
+    std::printf("%-8s", "model");
+    for (double b : cfg.bers) std::printf(" %10s", fmt_ber(b).c_str());
+    std::printf("\n");
+    for (const auto& rep : res.models) {
+      std::printf("%-8s", armvm::mem_model_name(rep.config.kind));
+      for (const auto& cell : rep.cells) {
+        std::printf(" %9.1f%%", 100.0 * cell.per_profile[p].silent_rate());
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("hardware outcome counts (summed over the BER sweep):\n");
+  for (const auto& rep : res.models) {
+    std::uint64_t detected = 0, hw_fix = 0, scrub_fix = 0;
+    for (const auto& cell : rep.cells) {
+      detected += cell.per_profile[0].detected;
+      hw_fix += cell.hw_corrections;
+      scrub_fix += cell.scrub_corrections;
+    }
+    std::printf("  %-8s %6llu detected  %6llu load-time fixes  "
+                "%6llu scrub fixes\n",
+                armvm::mem_model_name(rep.config.kind),
+                static_cast<unsigned long long>(detected),
+                static_cast<unsigned long long>(hw_fix),
+                static_cast<unsigned long long>(scrub_fix));
+  }
+
+  std::printf("\nclean-run codeword overhead (one VM mul kernel call):\n");
+  const std::uint64_t base_cycles = res.models.front().clean_cycles;
+  for (const auto& rep : res.models) {
+    std::printf("  %-8s %2u wait-state(s)  %8llu cycles (%+.2f%%)  %8.0f pJ\n",
+                armvm::mem_model_name(rep.config.kind), rep.config.wait_states,
+                static_cast<unsigned long long>(rep.clean_cycles),
+                100.0 * (static_cast<double>(rep.clean_cycles) /
+                             static_cast<double>(base_cycles) -
+                         1.0),
+                rep.clean_energy_pj);
+  }
+
+  if (!args.json_path.empty()) {
+    bench::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "memfault");
+    w.field("seed", cfg.seed);
+    w.field("runs_per_cell", cfg.runs_per_cell);
+    w.begin_array("models");
+    for (const auto& rep : res.models) {
+      w.begin_object();
+      w.field("model", armvm::mem_model_name(rep.config.kind));
+      w.field("clean_cycles", rep.clean_cycles);
+      w.begin_array("cells");
+      for (const auto& cell : rep.cells) {
+        w.begin_object();
+        w.field("ber", cell.ber);
+        w.field("silent_unprotected", cell.per_profile[0].silent);
+        w.field("silent_protected",
+                cell.per_profile[faultsim::kNumProfiles - 1].silent);
+        w.field("detected", cell.per_profile[0].detected);
+        w.field("hw_corrections", cell.hw_corrections);
+        w.field("scrub_corrections", cell.scrub_corrections);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (w.write_file(args.json_path)) {
+      std::printf("\nJSON written to %s\n", args.json_path.c_str());
+    }
   }
   return 0;
 }
@@ -391,6 +564,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "profile") return run_profile(argc, argv);
     if (cmd == "campaign") return run_campaign(argc, argv);
+    if (cmd == "memfault") return run_memfault(argc, argv);
     if (cmd == "sca") return run_sca(argc, argv);
     if (cmd == "info") {
       std::printf("curve     : %s (Koblitz, F(2^%u), a=0, b=1, h=%u)\n",

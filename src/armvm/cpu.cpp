@@ -18,10 +18,38 @@ namespace eccm0::armvm {
 
 using costmodel::InstrClass;
 
-// Slow paths: reached only for unaligned or out-of-range addresses (the
-// inline fast paths in cpu.h handle every well-formed access). They keep
-// the original check order so the raised fault is unchanged: alignment
-// faults on an in-principle-unaligned address are reported before range.
+Memory::Memory(std::size_t size, const MemModelConfig& config)
+    : bytes_(size, 0), config_(config) {
+  if (config.kind == MemModelKind::kRaw) {
+    if (config.scrub_interval != 0) {
+      throw std::invalid_argument(
+          "Memory: scrub interval requires the SECDED model (raw memory has "
+          "nothing to scrub)");
+    }
+    config_.wait_states = 0;
+    fast_size_ = size;
+    return;
+  }
+  if (config.kind != MemModelKind::kSecded && config.scrub_interval != 0) {
+    throw std::invalid_argument(
+        "Memory: scrub interval requires the SECDED model (detect-only "
+        "models cannot repair words)");
+  }
+  if (size % 4 != 0) {
+    throw std::invalid_argument(
+        "Memory: protected RAM size must be a multiple of 4");
+  }
+  model_ = make_memory_model(config.kind);
+  check_.assign(size / 4, model_->encode(0));
+  fast_size_ = 0;  // every access goes through the codec slow path
+}
+
+// Slow paths: reached for unaligned or out-of-range addresses, and for
+// EVERY access on protected memory (fast_size_ == 0 diverts the inline
+// fast paths here). They keep the original check order so the raised
+// fault is unchanged: alignment faults on an in-principle-unaligned
+// address are reported before range, and both before any codeword
+// decode (the bus rejects the access before the SRAM array is read).
 std::size_t Memory::index(std::uint32_t addr, std::size_t bytes) const {
   if (addr < kRamBase || addr - kRamBase + bytes > bytes_.size()) {
     throw BusFault("Memory: access outside RAM at " + std::to_string(addr),
@@ -30,43 +58,165 @@ std::size_t Memory::index(std::uint32_t addr, std::size_t bytes) const {
   return addr - kRamBase;
 }
 
+std::uint32_t Memory::decode_word(std::size_t word, std::uint32_t addr) const {
+  const MemoryModel::Decoded d =
+      model_->decode(le32(&bytes_[4 * word]), check_[word]);
+  if (d.uncorrectable) {
+    throw MemoryIntegrityFault(
+        std::string(model_->error_text()) + " at " + std::to_string(addr),
+        addr);
+  }
+  if (d.corrected) ++corrections_;
+  return d.data;
+}
+
+void Memory::encode_word(std::size_t word, std::uint32_t data) {
+  put_le32(&bytes_[4 * word], data);
+  check_[word] = model_->encode(data);
+}
+
+void Memory::charge_access() const {
+  pending_wait_cycles_ += config_.wait_states;
+  ++protected_accesses_;
+  if (config_.scrub_interval != 0 &&
+      ++accesses_since_scrub_ >= config_.scrub_interval) {
+    accesses_since_scrub_ = 0;
+    // Logically const: scrubbing repairs the *storage representation* of
+    // words without changing any value a load can observe (uncorrectable
+    // words throw, from scrub and from direct access alike).
+    const_cast<Memory*>(this)->scrub();
+  }
+}
+
+void Memory::scrub() {
+  if (model_ == nullptr) return;
+  const std::size_t words = bytes_.size() / 4;
+  for (std::size_t w = 0; w < words; ++w) {
+    const MemoryModel::Decoded d =
+        model_->decode(le32(&bytes_[4 * w]), check_[w]);
+    if (d.uncorrectable) {
+      const auto addr = kRamBase + static_cast<std::uint32_t>(4 * w);
+      throw MemoryIntegrityFault(std::string(model_->error_text()) +
+                                     " at " + std::to_string(addr) +
+                                     " (scrub)",
+                                 addr);
+    }
+    if (d.corrected) {
+      encode_word(w, d.data);
+      ++scrub_corrections_;
+    }
+  }
+  ++scrub_passes_;
+  accesses_since_scrub_ = 0;
+  pending_wait_cycles_ += config_.wait_states * static_cast<std::uint32_t>(words);
+}
+
 std::uint8_t Memory::load8_slow(std::uint32_t addr) const {
-  return bytes_[index(addr, 1)];
+  const std::size_t i = index(addr, 1);
+  if (model_ == nullptr) return bytes_[i];
+  const std::uint32_t w = decode_word(i / 4, addr);
+  charge_access();
+  return static_cast<std::uint8_t>(w >> (8 * (i % 4)));
 }
 
 std::uint16_t Memory::load16_slow(std::uint32_t addr) const {
   if (addr & 1) throw AlignmentFault("Memory: unaligned halfword load", addr);
   const std::size_t i = index(addr, 2);
-  return static_cast<std::uint16_t>(bytes_[i] | (bytes_[i + 1] << 8));
+  if (model_ == nullptr) {
+    return static_cast<std::uint16_t>(bytes_[i] | (bytes_[i + 1] << 8));
+  }
+  const std::uint32_t w = decode_word(i / 4, addr);
+  charge_access();
+  return static_cast<std::uint16_t>(w >> (8 * (i % 4)));
 }
 
 std::uint32_t Memory::load32_slow(std::uint32_t addr) const {
   if (addr & 3) throw AlignmentFault("Memory: unaligned word load", addr);
   const std::size_t i = index(addr, 4);
-  return static_cast<std::uint32_t>(bytes_[i]) |
-         (static_cast<std::uint32_t>(bytes_[i + 1]) << 8) |
-         (static_cast<std::uint32_t>(bytes_[i + 2]) << 16) |
-         (static_cast<std::uint32_t>(bytes_[i + 3]) << 24);
+  if (model_ == nullptr) {
+    return static_cast<std::uint32_t>(bytes_[i]) |
+           (static_cast<std::uint32_t>(bytes_[i + 1]) << 8) |
+           (static_cast<std::uint32_t>(bytes_[i + 2]) << 16) |
+           (static_cast<std::uint32_t>(bytes_[i + 3]) << 24);
+  }
+  const std::uint32_t w = decode_word(i / 4, addr);
+  charge_access();
+  return w;
 }
 
 void Memory::store8_slow(std::uint32_t addr, std::uint8_t v) {
-  bytes_[index(addr, 1)] = v;
+  const std::size_t i = index(addr, 1);
+  if (model_ == nullptr) {
+    bytes_[i] = v;
+    return;
+  }
+  // Sub-word store = read-modify-write of the codeword; decoding first
+  // means a store into a rotten word faults rather than laundering it.
+  const std::uint32_t shift = 8 * static_cast<std::uint32_t>(i % 4);
+  const std::uint32_t old = decode_word(i / 4, addr);
+  encode_word(i / 4,
+              (old & ~(0xFFu << shift)) | (std::uint32_t{v} << shift));
+  charge_access();
 }
 
 void Memory::store16_slow(std::uint32_t addr, std::uint16_t v) {
   if (addr & 1) throw AlignmentFault("Memory: unaligned halfword store", addr);
   const std::size_t i = index(addr, 2);
-  bytes_[i] = static_cast<std::uint8_t>(v);
-  bytes_[i + 1] = static_cast<std::uint8_t>(v >> 8);
+  if (model_ == nullptr) {
+    bytes_[i] = static_cast<std::uint8_t>(v);
+    bytes_[i + 1] = static_cast<std::uint8_t>(v >> 8);
+    return;
+  }
+  const std::uint32_t shift = 8 * static_cast<std::uint32_t>(i % 4);
+  const std::uint32_t old = decode_word(i / 4, addr);
+  encode_word(i / 4,
+              (old & ~(0xFFFFu << shift)) | (std::uint32_t{v} << shift));
+  charge_access();
 }
 
 void Memory::store32_slow(std::uint32_t addr, std::uint32_t v) {
   if (addr & 3) throw AlignmentFault("Memory: unaligned word store", addr);
   const std::size_t i = index(addr, 4);
-  bytes_[i] = static_cast<std::uint8_t>(v);
-  bytes_[i + 1] = static_cast<std::uint8_t>(v >> 8);
-  bytes_[i + 2] = static_cast<std::uint8_t>(v >> 16);
-  bytes_[i + 3] = static_cast<std::uint8_t>(v >> 24);
+  if (model_ == nullptr) {
+    bytes_[i] = static_cast<std::uint8_t>(v);
+    bytes_[i + 1] = static_cast<std::uint8_t>(v >> 8);
+    bytes_[i + 2] = static_cast<std::uint8_t>(v >> 16);
+    bytes_[i + 3] = static_cast<std::uint8_t>(v >> 24);
+    return;
+  }
+  // Full-word overwrite: fresh codeword, the stale one is irrelevant.
+  encode_word(i / 4, v);
+  charge_access();
+}
+
+std::uint32_t Memory::peek32(std::uint32_t addr) const {
+  if (addr & 3) throw AlignmentFault("Memory: unaligned word load", addr);
+  const std::size_t i = index(addr, 4);
+  if (model_ == nullptr) return le32(&bytes_[i]);
+  return decode_word(i / 4, addr);
+}
+
+void Memory::poke32(std::uint32_t addr, std::uint32_t v) {
+  if (addr & 3) throw AlignmentFault("Memory: unaligned word store", addr);
+  const std::size_t i = index(addr, 4);
+  if (model_ == nullptr) {
+    put_le32(&bytes_[i], v);
+    return;
+  }
+  encode_word(i / 4, v);
+}
+
+void Memory::poke16(std::uint32_t addr, std::uint16_t v) {
+  if (addr & 1) throw AlignmentFault("Memory: unaligned halfword store", addr);
+  const std::size_t i = index(addr, 2);
+  if (model_ == nullptr) {
+    put_le16(&bytes_[i], v);
+    return;
+  }
+  const std::uint32_t shift = 8 * static_cast<std::uint32_t>(i % 4);
+  const std::uint32_t old = decode_word(i / 4, addr);
+  encode_word(i / 4,
+              (old & ~(0xFFFFu << shift)) | (std::uint32_t{v} << shift));
 }
 
 void Memory::set_bytes(std::span<const std::uint8_t> image) {
@@ -74,12 +224,50 @@ void Memory::set_bytes(std::span<const std::uint8_t> image) {
     throw std::invalid_argument("Memory::set_bytes: size mismatch");
   }
   std::copy(image.begin(), image.end(), bytes_.begin());
+  if (model_ != nullptr) {
+    // The image is the logical content; re-encode clean check bits.
+    for (std::size_t w = 0; w < check_.size(); ++w) {
+      check_[w] = model_->encode(le32(&bytes_[4 * w]));
+    }
+  }
+}
+
+void Memory::restore_protection(std::span<const std::uint8_t> check,
+                                std::uint64_t accesses_since_scrub) {
+  if (model_ == nullptr) {
+    if (!check.empty()) {
+      throw std::invalid_argument(
+          "Memory::restore_protection: raw memory has no check bits");
+    }
+    return;
+  }
+  if (check.size() != check_.size()) {
+    throw std::invalid_argument(
+        "Memory::restore_protection: check-bit size mismatch");
+  }
+  std::copy(check.begin(), check.end(), check_.begin());
+  accesses_since_scrub_ = accesses_since_scrub;
+  pending_wait_cycles_ = 0;  // never nonzero at a legal snapshot point
+}
+
+void Memory::flip_storage_bit(std::uint32_t word, unsigned bit) {
+  if (word >= bytes_.size() / 4) {
+    throw std::out_of_range("Memory::flip_storage_bit: word out of range");
+  }
+  if (bit < 32) {
+    bytes_[4 * word + bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    return;
+  }
+  if (model_ == nullptr || bit >= storage_bits_per_word()) {
+    throw std::out_of_range("Memory::flip_storage_bit: bit out of range");
+  }
+  check_[word] ^= static_cast<std::uint8_t>(1u << (bit - 32));
 }
 
 void Memory::write_words(std::uint32_t addr,
                          std::span<const std::uint32_t> w) {
   for (std::size_t i = 0; i < w.size(); ++i) {
-    store32(addr + static_cast<std::uint32_t>(4 * i), w[i]);
+    poke32(addr + static_cast<std::uint32_t>(4 * i), w[i]);
   }
 }
 
@@ -87,7 +275,7 @@ std::vector<std::uint32_t> Memory::read_words(std::uint32_t addr,
                                               std::size_t count) const {
   std::vector<std::uint32_t> out(count);
   for (std::size_t i = 0; i < count; ++i) {
-    out[i] = load32(addr + static_cast<std::uint32_t>(4 * i));
+    out[i] = peek32(addr + static_cast<std::uint32_t>(4 * i));
   }
   return out;
 }
@@ -157,6 +345,9 @@ MachineSnapshot Cpu::snapshot() const {
   s.halted = halted_;
   const auto ram = ram_.bytes();
   s.ram.assign(ram.begin(), ram.end());
+  const auto check = ram_.check_bytes();
+  s.check.assign(check.begin(), check.end());
+  s.mem_accesses = ram_.accesses_since_scrub();
   return s;
 }
 
@@ -164,7 +355,12 @@ void Cpu::restore(const MachineSnapshot& s) {
   set_arch_state(s.arch);
   stats_ = s.stats;
   halted_ = s.halted;
+  // set_bytes re-encodes clean check bits from the logical image;
+  // restore_protection then overlays the snapshot's exact sidecar, so a
+  // word that held a latent bit error at snapshot time is restored
+  // rotten, not spuriously "corrected".
   ram_.set_bytes(s.ram);
+  ram_.restore_protection(s.check, s.mem_accesses);
 }
 
 void Cpu::exec_traced(std::uint32_t pc, const Instr& ins, unsigned halfwords) {
@@ -174,6 +370,13 @@ void Cpu::exec_traced(std::uint32_t pc, const Instr& ins, unsigned halfwords) {
   ev_.num_costs = 0;
   ev_.num_accesses = 0;
   exec<true>(ins, halfwords);
+  // Drain the wait-states this instruction's protected accesses accrued
+  // as one batched kMemWait cost entry, INSIDE the event: traced streams
+  // stay bit-identical across engines, and ev_.cycles() still equals the
+  // instruction's true cycle cost.
+  if (const std::uint32_t w = ram_.take_pending_wait_cycles(); w != 0) {
+    account<true>(InstrClass::kMemWait, w);
+  }
   ev_.next_pc = r_[kPC];
   trace_->on_retire(ev_);
 }
@@ -217,19 +420,29 @@ bool Cpu::step_impl() {
       exec_traced(pc, d.ins, d.halfwords);
     }
   }
+  // Untraced protected memory drains its wait-states here (traced runs
+  // already drained inside exec_traced, so this reads zero). Raw memory
+  // never accrues any: the load folds to a compare against 0.
+  if (const std::uint32_t w = ram_.take_pending_wait_cycles(); w != 0)
+      [[unlikely]] {
+    account<false>(InstrClass::kMemWait, w);
+  }
   ++stats_.instructions;
   return !halted_;
 }
 
 std::uint64_t Cpu::run_predecoded(std::uint64_t limit) {
-  // Select the loop instantiation ONCE per chunk: the untraced variant
-  // contains no tracing code at all, so an idle sink pointer costs the
-  // hot path nothing.
-  return trace_ == nullptr ? run_predecoded_impl<false>(limit)
-                           : run_predecoded_impl<true>(limit);
+  // Select the loop instantiation ONCE per chunk: the untraced/raw
+  // variant contains no tracing or wait-state code at all, so an idle
+  // sink pointer or an unprotected Memory costs the hot path nothing.
+  // (Traced runs drain wait-states inside exec_traced, so the traced
+  // loop needs no kProt variant.)
+  if (trace_ != nullptr) return run_predecoded_impl<true, false>(limit);
+  return ram_.is_protected() ? run_predecoded_impl<false, true>(limit)
+                             : run_predecoded_impl<false, false>(limit);
 }
 
-template <bool kTraced>
+template <bool kTraced, bool kProt>
 ECCM0_FLATTEN std::uint64_t Cpu::run_predecoded_impl(std::uint64_t limit) {
   // Tight inner loop of the pre-decoded engine: no decode, no budget
   // check, and the retired-instruction counter is carried in a register
@@ -258,6 +471,11 @@ ECCM0_FLATTEN std::uint64_t Cpu::run_predecoded_impl(std::uint64_t limit) {
         exec_traced(pc, s.ins, s.halfwords);
       } else {
         exec<false>(s.ins, s.halfwords);
+        if constexpr (kProt) {
+          if (const std::uint32_t w = ram_.take_pending_wait_cycles(); w != 0) {
+            account<false>(InstrClass::kMemWait, w);
+          }
+        }
       }
       ++done;
     }

@@ -26,6 +26,7 @@
 
 #include "armvm/codec.h"
 #include "armvm/fault.h"
+#include "armvm/memmodel.h"
 #include "armvm/program.h"
 #include "costmodel/energy.h"
 
@@ -39,26 +40,44 @@ inline constexpr std::uint32_t kReturnSentinel = 0xFFFFFFFEu;
 
 class Memory {
  public:
-  explicit Memory(std::size_t size) : bytes_(size, 0) {}
+  /// Raw SRAM: every access completes in the base cycle model.
+  explicit Memory(std::size_t size) : bytes_(size, 0), fast_size_(size) {}
+  /// SRAM behind a protection codec (see armvm/memmodel.h). A kRaw
+  /// config degenerates to the raw constructor. Protected sizes must be
+  /// word multiples (the codecs operate on 32-bit words), and only the
+  /// SECDED model accepts a scrub interval — scrubbing repairs words,
+  /// which detect-only models cannot; std::invalid_argument otherwise.
+  Memory(std::size_t size, const MemModelConfig& config);
 
   std::size_t size() const { return bytes_.size(); }
+  bool is_protected() const { return model_ != nullptr; }
+  const MemModelConfig& model_config() const { return config_; }
+  MemModelKind model_kind() const { return config_.kind; }
 
-  // Aligned, in-range accesses take the inline fast path below: one
-  // range/alignment test and a direct load/store at a precomputed
-  // RAM-base offset, no per-access byte switch. Anything else falls
-  // through to the out-of-line slow path, which raises the typed
-  // armvm::Fault matching the condition (BusFault for out-of-range,
-  // AlignmentFault for misaligned) with the pre-typed what() text.
+  // Aligned, in-range accesses on *raw* memory take the inline fast
+  // path below: one range/alignment test and a direct load/store at a
+  // precomputed RAM-base offset, no per-access byte switch. Anything
+  // else — misaligned, out of range, or any access on a protected
+  // model — falls through to the out-of-line slow path, which raises
+  // the typed armvm::Fault matching the condition (BusFault for
+  // out-of-range, AlignmentFault for misaligned, MemoryIntegrityFault
+  // for an uncorrectable codeword) with the pre-typed what() text.
+  //
+  // The gate is `fast_size_`, which equals bytes_.size() for raw memory
+  // and 0 when a protection model is attached: the raw hot path is
+  // exactly the seed comparison sequence (zero extra instructions), and
+  // protected memory diverts every access to the codec without a
+  // second branch.
   std::uint8_t load8(std::uint32_t addr) const {
     const std::uint32_t off = addr - kRamBase;
-    if (addr >= kRamBase && off < bytes_.size()) [[likely]] {
+    if (addr >= kRamBase && off < fast_size_) [[likely]] {
       return bytes_[off];
     }
     return load8_slow(addr);
   }
   std::uint16_t load16(std::uint32_t addr) const {
     const std::uint32_t off = addr - kRamBase;
-    if (addr >= kRamBase && (addr & 1) == 0 && off + 2 <= bytes_.size())
+    if (addr >= kRamBase && (addr & 1) == 0 && off + 2 <= fast_size_)
         [[likely]] {
       return le16(&bytes_[off]);
     }
@@ -66,7 +85,7 @@ class Memory {
   }
   std::uint32_t load32(std::uint32_t addr) const {
     const std::uint32_t off = addr - kRamBase;
-    if (addr >= kRamBase && (addr & 3) == 0 && off + 4 <= bytes_.size())
+    if (addr >= kRamBase && (addr & 3) == 0 && off + 4 <= fast_size_)
         [[likely]] {
       return le32(&bytes_[off]);
     }
@@ -74,7 +93,7 @@ class Memory {
   }
   void store8(std::uint32_t addr, std::uint8_t v) {
     const std::uint32_t off = addr - kRamBase;
-    if (addr >= kRamBase && off < bytes_.size()) [[likely]] {
+    if (addr >= kRamBase && off < fast_size_) [[likely]] {
       bytes_[off] = v;
       return;
     }
@@ -82,7 +101,7 @@ class Memory {
   }
   void store16(std::uint32_t addr, std::uint16_t v) {
     const std::uint32_t off = addr - kRamBase;
-    if (addr >= kRamBase && (addr & 1) == 0 && off + 2 <= bytes_.size())
+    if (addr >= kRamBase && (addr & 1) == 0 && off + 2 <= fast_size_)
         [[likely]] {
       put_le16(&bytes_[off], v);
       return;
@@ -91,7 +110,7 @@ class Memory {
   }
   void store32(std::uint32_t addr, std::uint32_t v) {
     const std::uint32_t off = addr - kRamBase;
-    if (addr >= kRamBase && (addr & 3) == 0 && off + 4 <= bytes_.size())
+    if (addr >= kRamBase && (addr & 3) == 0 && off + 4 <= fast_size_)
         [[likely]] {
       put_le32(&bytes_[off], v);
       return;
@@ -99,7 +118,18 @@ class Memory {
     store32_slow(addr, v);
   }
 
-  /// Bulk helpers for test/benchmark harnesses (RAM-relative address).
+  // ---- Harness access (operand loading, result readout) --------------
+  //
+  // Full codec semantics — a peek decodes (and can raise
+  // MemoryIntegrityFault), a poke re-encodes fresh check bits — but no
+  // wait-state cycles are charged and the scrub clock does not advance:
+  // the test bench talking to the SRAM is not the core paying bus
+  // cycles.
+  std::uint32_t peek32(std::uint32_t addr) const;
+  void poke32(std::uint32_t addr, std::uint32_t v);
+  void poke16(std::uint32_t addr, std::uint16_t v);
+
+  /// Bulk helpers for test/benchmark harnesses; peek/poke semantics.
   void write_words(std::uint32_t addr, std::span<const std::uint32_t> w);
   std::vector<std::uint32_t> read_words(std::uint32_t addr,
                                         std::size_t count) const;
@@ -107,8 +137,58 @@ class Memory {
   /// Whole-RAM access for machine snapshots.
   std::span<const std::uint8_t> bytes() const { return bytes_; }
   /// Overwrite the full RAM image (size must match exactly; throws
-  /// std::invalid_argument otherwise). Used by Cpu::restore().
+  /// std::invalid_argument otherwise). Used by Cpu::restore(). On
+  /// protected memory the image is treated as the *logical* content:
+  /// every check byte is recomputed, i.e. the storage is clean
+  /// afterwards. Restoring corrupted-storage state exactly additionally
+  /// needs restore_protection() with the snapshot's check bits.
   void set_bytes(std::span<const std::uint8_t> image);
+
+  // ---- Protection metadata, reliability counters, injection ----------
+
+  /// The per-word check-byte sidecar (empty for raw memory).
+  std::span<const std::uint8_t> check_bytes() const { return check_; }
+  /// Restore the exact protection state a snapshot captured: the check
+  /// bytes verbatim (overriding set_bytes' recomputation — this is what
+  /// keeps deliberately-corrupt storage corrupt across a
+  /// snapshot/restore round trip) and the scrub-clock phase. Raw memory
+  /// accepts only an empty sidecar.
+  void restore_protection(std::span<const std::uint8_t> check,
+                          std::uint64_t accesses_since_scrub);
+
+  /// Physical storage bits per word as the bit-error injector sees
+  /// them: 32 data bits plus the model's check bits (32/33/39).
+  unsigned storage_bits_per_word() const {
+    return 32 + (model_ ? model_->check_bits() : 0);
+  }
+  /// Flip one physical storage bit: bits 0..31 are the data word,
+  /// 32.. index into the check byte. Throws std::out_of_range outside
+  /// [0, storage_bits_per_word()) or past the last word.
+  void flip_storage_bit(std::uint32_t word, unsigned bit);
+
+  /// Immediate scrubbing pass: decode every word, rewrite correctable
+  /// ones with repaired data + fresh check bits, raise
+  /// MemoryIntegrityFault on an uncorrectable word. Charges wait_states
+  /// cycles per word swept. Also runs automatically every
+  /// `scrub_interval` protected accesses. No-op on raw memory.
+  void scrub();
+
+  std::uint64_t protected_accesses() const { return protected_accesses_; }
+  std::uint64_t accesses_since_scrub() const { return accesses_since_scrub_; }
+  /// Single-bit errors repaired while serving accesses (SECDED decode).
+  std::uint64_t corrections() const { return corrections_; }
+  std::uint64_t scrub_passes() const { return scrub_passes_; }
+  /// Words rewritten clean by scrubbing passes.
+  std::uint64_t scrub_corrections() const { return scrub_corrections_; }
+
+  /// Wait-state cycles accrued since the last drain. The Cpu drains
+  /// this once per retired instruction into the kMemWait histogram
+  /// class; harnesses never need to call it (peek/poke charge nothing).
+  std::uint32_t take_pending_wait_cycles() {
+    const std::uint32_t w = pending_wait_cycles_;
+    pending_wait_cycles_ = 0;
+    return w;
+  }
 
  private:
   static std::uint16_t le16(const std::uint8_t* p) {
@@ -162,7 +242,32 @@ class Memory {
   void store32_slow(std::uint32_t addr, std::uint32_t v);
   std::size_t index(std::uint32_t addr, std::size_t bytes) const;
 
+  // Protected-path helpers (model_ != nullptr). decode_word serves the
+  // corrected value of word `word` (raising MemoryIntegrityFault at
+  // `addr` when the codeword is rotten); loads deliberately do NOT
+  // write the correction back — repair is the scrubbing pass's job,
+  // which is what gives the scrub interval observable meaning.
+  // charge_access accrues wait-states and ticks the scrub clock; it is
+  // const because load paths are const, and the counters it touches are
+  // logically non-observable (mutable).
+  std::uint32_t decode_word(std::size_t word, std::uint32_t addr) const;
+  void encode_word(std::size_t word, std::uint32_t data);
+  void charge_access() const;
+
   std::vector<std::uint8_t> bytes_;
+  /// bytes_.size() for raw memory, 0 when protected — the single gate
+  /// that keeps the inline fast paths raw-only (see comment above).
+  std::size_t fast_size_ = 0;
+  MemModelConfig config_{};
+  std::unique_ptr<MemoryModel> model_;
+  std::vector<std::uint8_t> check_;  ///< one check byte per word
+
+  mutable std::uint32_t pending_wait_cycles_ = 0;
+  mutable std::uint64_t protected_accesses_ = 0;
+  mutable std::uint64_t accesses_since_scrub_ = 0;
+  mutable std::uint64_t corrections_ = 0;
+  std::uint64_t scrub_passes_ = 0;
+  std::uint64_t scrub_corrections_ = 0;
 };
 
 struct RunStats {
@@ -190,6 +295,13 @@ struct MachineSnapshot {
   RunStats stats;
   bool halted = false;
   std::vector<std::uint8_t> ram;
+  /// Protection sidecar of a protected Memory (empty for raw): restored
+  /// verbatim, so storage that held a latent (even deliberately
+  /// injected) bit error stays bit-for-bit rotten across the round trip
+  /// instead of being silently re-encoded clean.
+  std::vector<std::uint8_t> check;
+  /// Scrub-clock phase (accesses since the last scrubbing pass).
+  std::uint64_t mem_accesses = 0;
 
   friend bool operator==(const MachineSnapshot&,
                          const MachineSnapshot&) = default;
@@ -220,13 +332,17 @@ struct TraceEvent {
 
   struct Cost {
     costmodel::InstrClass cls{};
-    std::uint8_t cycles = 0;
+    /// 32-bit: a protected-memory instruction's kMemWait entry can carry
+    /// a whole scrubbing pass (wait_states x every word in RAM).
+    std::uint32_t cycles = 0;
 
     friend bool operator==(const Cost&, const Cost&) = default;
   };
   std::uint8_t num_costs = 0;
   std::uint8_t num_accesses = 0;
-  Cost costs[2];
+  /// At most three: transfer + overhead (LDM/STM/PUSH/POP) + one batched
+  /// kMemWait entry when the memory model charges wait-states.
+  Cost costs[3];
   /// LDM/STM/PUSH/POP transfer at most 8 lo registers + LR/PC.
   MemAccess accesses[9];
 
@@ -408,7 +524,7 @@ class Cpu {
     stats_.cycles += cycles;
     if constexpr (kTraced) {
       ev_.costs[ev_.num_costs].cls = cls;
-      ev_.costs[ev_.num_costs].cycles = static_cast<std::uint8_t>(cycles);
+      ev_.costs[ev_.num_costs].cycles = cycles;
       ++ev_.num_costs;
     }
   }
@@ -424,10 +540,16 @@ class Cpu {
   void exec_traced(std::uint32_t pc, const Instr& ins, unsigned halfwords);
   [[noreturn]] void trap_undecodable(std::size_t idx) const;
   std::uint64_t run_predecoded(std::uint64_t limit);
-  template <bool kTraced>
+  /// kProt selects the protected-memory variant, which drains the
+  /// Memory's pending wait-state cycles into the kMemWait class after
+  /// every retired instruction. The untraced/raw instantiation stays
+  /// bit-for-bit the seed hot path.
+  template <bool kTraced, bool kProt>
   std::uint64_t run_predecoded_impl(std::uint64_t limit);
   /// Threaded-engine chunk runner (dispatch.cpp). Falls back to the
-  /// traced predecoded loop when a sink is attached.
+  /// traced predecoded loop when a sink is attached or the RAM is
+  /// protected (fused blocks precompute cycle deltas and bypass the
+  /// Memory accessors entirely, so they cannot see wait-states).
   std::uint64_t run_threaded(std::uint64_t limit);
   /// Retire one whole fused block (PC is at its head). On a Fault,
   /// replays the accounting of the instructions that retired before the

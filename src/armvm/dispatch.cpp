@@ -267,6 +267,14 @@ void Cpu::run_fused_block(const SuperBlock& blk) {
 }
 
 std::uint64_t Cpu::run_threaded(std::uint64_t limit) {
+  if (ram_.is_protected()) {
+    // Protected-memory fallback: fused blocks hoist the raw RAM bytes
+    // into locals and pre-batch their cycle totals, so they can neither
+    // run the codec nor account wait-states. The protected predecoded
+    // loop is bit-identical by construction; raw memory keeps the full
+    // threaded speed.
+    return run_predecoded(limit);
+  }
   if (trace_ != nullptr) {
     // Traced fallback: the rich per-instruction event stream cannot be
     // batched, and the traced predecoded loop already produces it

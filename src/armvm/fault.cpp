@@ -8,6 +8,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kAlignmentFault: return "alignment-fault";
     case FaultKind::kDecodeFault: return "decode-fault";
     case FaultKind::kBudgetExhausted: return "budget-exhausted";
+    case FaultKind::kMemoryIntegrity: return "memory-integrity";
   }
   return "unknown-fault";
 }

@@ -23,6 +23,7 @@ enum class FaultKind : std::uint8_t {
   kAlignmentFault,   ///< unaligned data access or odd PC
   kDecodeFault,      ///< undefined/unsupported instruction encoding
   kBudgetExhausted,  ///< Cpu::call instruction budget tripped (watchdog)
+  kMemoryIntegrity,  ///< codeword check failed on protected RAM (uncorrectable)
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -112,6 +113,19 @@ class BudgetFault : public Fault, public std::runtime_error {
  public:
   BudgetFault(const std::string& msg, std::uint32_t pc)
       : Fault(FaultKind::kBudgetExhausted, pc, msg), std::runtime_error(msg) {}
+};
+
+/// A protected memory model (parity / SECDED) found a codeword it could
+/// not repair: a parity mismatch, or a SECDED double-bit error. Raised
+/// from the access that observed the rotten word, or from a scrubbing
+/// pass that swept over it. New in the memory-reliability layer, so it
+/// has no legacy std exception contract to honour; std::runtime_error
+/// keeps it visible to generic catch clauses.
+class MemoryIntegrityFault : public Fault, public std::runtime_error {
+ public:
+  MemoryIntegrityFault(const std::string& msg, std::uint32_t addr)
+      : Fault(FaultKind::kMemoryIntegrity, addr, msg),
+        std::runtime_error(msg) {}
 };
 
 }  // namespace eccm0::armvm

@@ -1,0 +1,155 @@
+#include "armvm/memmodel.h"
+
+#include <array>
+#include <bit>
+#include <stdexcept>
+
+namespace eccm0::armvm {
+namespace {
+
+// ---- SECDED(39,32) position tables -----------------------------------
+//
+// Codeword positions 1..38; powers of two hold check bits, everything
+// else holds data bits in ascending order. kDataPos maps data bit ->
+// position, kPosToData maps position -> data bit (0xFF for check/none).
+
+constexpr bool is_pow2(unsigned v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr std::array<std::uint8_t, 32> kDataPos = [] {
+  std::array<std::uint8_t, 32> p{};
+  unsigned n = 0;
+  for (unsigned pos = 1; n < 32; ++pos) {
+    if (!is_pow2(pos)) p[n++] = static_cast<std::uint8_t>(pos);
+  }
+  return p;
+}();
+static_assert(kDataPos[0] == 3 && kDataPos[31] == 38);
+
+constexpr std::array<std::uint8_t, 39> kPosToData = [] {
+  std::array<std::uint8_t, 39> m{};
+  for (auto& e : m) e = 0xFF;
+  for (unsigned j = 0; j < 32; ++j) m[kDataPos[j]] = static_cast<std::uint8_t>(j);
+  return m;
+}();
+
+/// XOR of codeword positions of all set data bits. Bit i of the result
+/// is exactly Hamming check bit c_i (parity over positions with bit i
+/// set), so this one fold yields all six check bits at once.
+constexpr unsigned data_syndrome(std::uint32_t data) {
+  unsigned syn = 0;
+  while (data != 0) {
+    const int j = std::countr_zero(data);
+    syn ^= kDataPos[j];
+    data &= data - 1;
+  }
+  return syn;
+}
+
+class ParityModel final : public MemoryModel {
+ public:
+  MemModelKind kind() const override { return MemModelKind::kParity; }
+  unsigned check_bits() const override { return 1; }
+  std::uint8_t encode(std::uint32_t data) const override {
+    return static_cast<std::uint8_t>(std::popcount(data) & 1);
+  }
+  Decoded decode(std::uint32_t data, std::uint8_t check) const override {
+    Decoded d;
+    d.data = data;
+    d.uncorrectable = ((std::popcount(data) ^ check) & 1) != 0;
+    return d;
+  }
+  const char* error_text() const override {
+    return "Memory: parity error (detect-only model)";
+  }
+};
+
+class SecdedModel final : public MemoryModel {
+ public:
+  MemModelKind kind() const override { return MemModelKind::kSecded; }
+  unsigned check_bits() const override { return 7; }
+
+  std::uint8_t encode(std::uint32_t data) const override {
+    const unsigned c = data_syndrome(data) & 0x3F;
+    const unsigned parity =
+        (std::popcount(data) + std::popcount(c)) & 1;  // over all 38 bits
+    return static_cast<std::uint8_t>(c | (parity << 6));
+  }
+
+  Decoded decode(std::uint32_t data, std::uint8_t check) const override {
+    Decoded d;
+    d.data = data;
+    const unsigned stored_c = check & 0x3F;
+    const unsigned stored_p = (check >> 6) & 1;
+    // Syndrome: XOR of positions of every set bit in the received
+    // 38-bit codeword. For data bits that is data_syndrome(); check bit
+    // i contributes its own position 2^i, so the check field XORs in
+    // verbatim. Zero syndrome = clean Hamming codeword.
+    const unsigned syn = data_syndrome(data) ^ stored_c;
+    const unsigned total_parity =
+        (std::popcount(data) + std::popcount(stored_c) + stored_p) & 1;
+    if (syn == 0 && total_parity == 0) return d;  // clean
+    if (total_parity == 1) {
+      // Odd overall parity: exactly one bit flipped (or an odd >1 burst,
+      // which SECDED cannot distinguish — the standard decode). The
+      // syndrome is the flipped position.
+      d.corrected = true;
+      if (syn == 0) return d;             // the overall parity bit itself
+      if (is_pow2(syn) && syn <= 32) return d;  // a check bit; data intact
+      if (syn <= 38 && kPosToData[syn] != 0xFF) {
+        d.data = data ^ (std::uint32_t{1} << kPosToData[syn]);
+        return d;
+      }
+      // Syndrome points outside the codeword: not a single-bit error.
+      d.corrected = false;
+      d.uncorrectable = true;
+      return d;
+    }
+    // Even parity with nonzero syndrome: double-bit error. Detect only.
+    d.uncorrectable = true;
+    return d;
+  }
+
+  const char* error_text() const override {
+    return "Memory: uncorrectable double-bit error (SECDED)";
+  }
+};
+
+}  // namespace
+
+const char* mem_model_name(MemModelKind k) {
+  switch (k) {
+    case MemModelKind::kRaw: return "raw";
+    case MemModelKind::kParity: return "parity";
+    case MemModelKind::kSecded: return "secded";
+  }
+  return "unknown";
+}
+
+MemModelKind mem_model_from_name(const std::string& name) {
+  if (name == "raw") return MemModelKind::kRaw;
+  if (name == "parity") return MemModelKind::kParity;
+  if (name == "secded") return MemModelKind::kSecded;
+  throw std::invalid_argument("unknown memory model '" + name +
+                              "' (expected raw, parity or secded)");
+}
+
+MemModelConfig MemModelConfig::for_kind(MemModelKind kind,
+                                        std::uint64_t scrub_interval) {
+  switch (kind) {
+    case MemModelKind::kRaw: return raw();
+    case MemModelKind::kParity: return parity();
+    case MemModelKind::kSecded: return secded(2, scrub_interval);
+  }
+  return raw();
+}
+
+std::unique_ptr<MemoryModel> make_memory_model(MemModelKind kind) {
+  switch (kind) {
+    case MemModelKind::kRaw: return nullptr;
+    case MemModelKind::kParity: return std::make_unique<ParityModel>();
+    case MemModelKind::kSecded: return std::make_unique<SecdedModel>();
+  }
+  return nullptr;
+}
+
+}  // namespace eccm0::armvm

@@ -1,0 +1,105 @@
+// Pluggable protection codecs for the ARM VM's RAM.
+//
+// `armvm::Memory` stores a flat little-endian byte image. A MemoryModel
+// adds a per-word *codeword* on top of that image: every 32-bit word
+// carries extra check bits (a sidecar byte per word), every access pays
+// configurable wait-state cycles, and decode can correct or detect
+// storage bit errors. Three models:
+//
+//   kRaw     — no check bits, no wait-states: the original SRAM. Stays
+//              on the inline fast path in cpu.h; the codec machinery is
+//              never consulted.
+//   kParity  — 1 even-parity bit per word (33 storage bits). Detect-only:
+//              any odd number of flipped bits raises MemoryIntegrityFault;
+//              an even number escapes. Mirrors a parity-protected SRAM
+//              macro.
+//   kSecded  — SECDED(39,32): a (38,32) extended Hamming code plus an
+//              overall parity bit (39 storage bits, 7 check bits).
+//              Single-bit errors are corrected silently, double-bit
+//              errors raise MemoryIntegrityFault.
+//
+// Codeword layout (kSecded): the 38-bit Hamming codeword indexes
+// positions 1..38; check bit i sits at position 2^i (i = 0..5) and the
+// 32 data bits fill the non-power-of-two positions in ascending order
+// (data bit 0 -> position 3, bit 1 -> position 5, ...). The stored
+// check byte packs check bits c0..c5 into bits 0..5 and the overall
+// parity bit into bit 6. The syndrome of a single-bit error is the
+// flipped position itself, which is what makes correction a table walk.
+//
+// Models are pure codecs: stateless, no knowledge of addresses, wait
+// states, or scrubbing. Memory (cpu.h) owns the sidecar array, the
+// wait-state/scrub accounting, and the fault raising.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace eccm0::armvm {
+
+enum class MemModelKind : std::uint8_t {
+  kRaw,     ///< plain SRAM, no redundancy
+  kParity,  ///< 1 parity bit per word, detect-only
+  kSecded,  ///< SECDED(39,32) Hamming, correct 1 / detect 2
+};
+inline constexpr unsigned kNumMemModels = 3;
+
+const char* mem_model_name(MemModelKind k);
+/// Parse "raw" / "parity" / "secded"; throws std::invalid_argument on
+/// anything else (the message lists the valid spellings).
+MemModelKind mem_model_from_name(const std::string& name);
+
+/// Construction-time configuration of a Memory's protection layer.
+struct MemModelConfig {
+  MemModelKind kind = MemModelKind::kRaw;
+  /// Extra cycles charged per protected access (codeword fetch + syndrome
+  /// check), priced at costmodel::InstrClass::kMemWait. Ignored for kRaw.
+  unsigned wait_states = 0;
+  /// Run a scrubbing pass every N protected accesses (0 = never). Only
+  /// meaningful for kSecded — scrubbing *repairs* words, and only SECDED
+  /// can repair; the Memory constructor rejects it elsewhere.
+  std::uint64_t scrub_interval = 0;
+
+  static MemModelConfig raw() { return {}; }
+  static MemModelConfig parity(unsigned wait_states = 1) {
+    return {MemModelKind::kParity, wait_states, 0};
+  }
+  static MemModelConfig secded(unsigned wait_states = 2,
+                               std::uint64_t scrub_interval = 0) {
+    return {MemModelKind::kSecded, wait_states, scrub_interval};
+  }
+  /// The default configuration for `kind` (raw / parity@1ws / secded@2ws).
+  static MemModelConfig for_kind(MemModelKind kind,
+                                 std::uint64_t scrub_interval = 0);
+
+  friend bool operator==(const MemModelConfig&, const MemModelConfig&) =
+      default;
+};
+
+/// Stateless per-word codec. One instance serves a whole Memory.
+class MemoryModel {
+ public:
+  struct Decoded {
+    std::uint32_t data = 0;   ///< corrected data word
+    bool corrected = false;   ///< a single-bit error was repaired
+    bool uncorrectable = false;  ///< the codeword is rotten; `data` invalid
+  };
+
+  virtual ~MemoryModel() = default;
+
+  virtual MemModelKind kind() const = 0;
+  /// Check bits stored per word (1 parity, 7 SECDED).
+  virtual unsigned check_bits() const = 0;
+  /// Compute the check byte for a clean data word.
+  virtual std::uint8_t encode(std::uint32_t data) const = 0;
+  /// Decode a (possibly corrupted) stored word + check byte.
+  virtual Decoded decode(std::uint32_t data, std::uint8_t check) const = 0;
+  /// Human text for the MemoryIntegrityFault this model raises.
+  virtual const char* error_text() const = 0;
+};
+
+/// Factory for the protected kinds; kRaw has no model (Memory keeps a
+/// null codec and the inline fast path).
+std::unique_ptr<MemoryModel> make_memory_model(MemModelKind kind);
+
+}  // namespace eccm0::armvm

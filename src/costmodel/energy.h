@@ -26,6 +26,7 @@ enum class InstrClass {
   kMov,     // register move / immediate move
   kBranch,  // B/BL/BX (per cycle, incl. pipeline refill cycles)
   kOther,   // NOP and anything unmodelled
+  kMemWait, // wait-state cycles charged by protected memory models
   kCount,
 };
 
@@ -50,6 +51,9 @@ constexpr InstructionEnergyTable kM0PlusEnergy{{
     11.50,  // kMov    extrapolated: cheapest datapath op, below LSR
     11.75,  // kBranch extrapolated: fetch-dominated, near the table median
     11.75,  // kOther  extrapolated: table median
+    10.98,  // kMemWait extrapolated: SRAM/codeword array activity, same
+            //          bus-dominated class as LDR (check-bit fetch + syndrome
+            //          logic stalls the core exactly like a slow load)
 }};
 
 /// Cortex-M0+ clock used throughout the paper.

@@ -1,0 +1,31 @@
+#include "faultsim/biterr.h"
+
+namespace eccm0::faultsim {
+
+BitErrorStats inject_bit_errors(armvm::Memory& mem, double ber, Rng& rng) {
+  BitErrorStats st;
+  const auto words = static_cast<std::uint32_t>(mem.size() / 4);
+  const unsigned bits = mem.storage_bits_per_word();
+  st.storage_bits = std::uint64_t{words} * bits;
+  // P(flip) = threshold / 2^53, exact for any ber that is a multiple of
+  // 2^-53. The compare uses the top 53 bits of each draw — the same
+  // bits a uniform double would see, without ever touching floating
+  // point at injection time.
+  const double clamped = ber <= 0.0 ? 0.0 : (ber >= 1.0 ? 1.0 : ber);
+  const auto threshold =
+      static_cast<std::uint64_t>(clamped * 9007199254740992.0);  // 2^53
+  for (std::uint32_t w = 0; w < words; ++w) {
+    bool touched = false;
+    for (unsigned b = 0; b < bits; ++b) {
+      if ((rng.next_u64() >> 11) < threshold) {
+        mem.flip_storage_bit(w, b);
+        ++st.flipped_bits;
+        touched = true;
+      }
+    }
+    if (touched) ++st.words_touched;
+  }
+  return st;
+}
+
+}  // namespace eccm0::faultsim

@@ -3,6 +3,7 @@
 #include <span>
 
 #include "asmkernels/gen.h"
+#include "faultsim/biterr.h"
 #include "gf2/k233.h"
 #include "relic_like/costs.h"
 #include "sim/batch.h"
@@ -82,6 +83,44 @@ std::uint64_t priced_cycles(const ec::FieldOpCounts& ops,
          ops.add * (t.fadd + t.call_overhead);
 }
 
+/// Seed-derived golden experiment shared by both campaigns: the fixed
+/// (P, k), the golden kP, and the fmul sample space of one clean kP.
+/// The RNG consumption order is load-bearing — it reproduces the exact
+/// stream the original KpFaultCampaign constructor drew, so committed
+/// campaign baselines (BENCH_fault_campaign.json) are unchanged.
+struct GoldenKp {
+  AffinePoint p;
+  UInt k;
+  AffinePoint golden;
+  std::uint64_t muls_per_kp = 0;
+};
+
+GoldenKp derive_golden(const ec::BinaryCurve& curve, std::uint64_t seed) {
+  GoldenKp out;
+  Rng rng(seed);
+  CurveOps ops(curve);
+  const AffinePoint g = AffinePoint::make(curve.gx, curve.gy);
+  // Seed-derived experiment point and scalar (both kept fixed across the
+  // campaign so every injection perturbs the same golden computation).
+  UInt r;
+  do {
+    r = UInt::random_below(rng, curve.order);
+  } while (r.is_zero());
+  out.p = ec::mul_wtnaf(ops, g, r, 4);
+  do {
+    out.k = UInt::random_below(rng, curve.order);
+  } while (out.k.is_zero());
+  out.golden = ec::mul_wtnaf(ops, out.p, out.k, 4);
+
+  // How many fmul calls one clean kP (table build + Horner loop) makes:
+  // the sample space for which multiplication gets the fault.
+  CurveOps counting(curve);
+  const ec::WtnafTable t = ec::make_wtnaf_table(counting, out.p, 4);
+  (void)ec::mul_wtnaf_ld(counting, t, out.k);
+  out.muls_per_kp = counting.counts().mul;
+  return out;
+}
+
 }  // namespace
 
 KpFaultCampaign::KpFaultCampaign(std::uint64_t seed,
@@ -90,20 +129,11 @@ KpFaultCampaign::KpFaultCampaign(std::uint64_t seed,
       engine_(engine),
       curve_(ec::BinaryCurve::sect233k1()),
       mul_prog_(workloads::kernel("mul")) {
-  Rng rng(seed);
-  CurveOps ops(curve_);
-  const AffinePoint g = AffinePoint::make(curve_.gx, curve_.gy);
-  // Seed-derived experiment point and scalar (both kept fixed across the
-  // campaign so every injection perturbs the same golden computation).
-  UInt r;
-  do {
-    r = UInt::random_below(rng, curve_.order);
-  } while (r.is_zero());
-  p_ = ec::mul_wtnaf(ops, g, r, 4);
-  do {
-    k_ = UInt::random_below(rng, curve_.order);
-  } while (k_.is_zero());
-  golden_ = ec::mul_wtnaf(ops, p_, k_, 4);
+  GoldenKp golden = derive_golden(curve_, seed);
+  p_ = golden.p;
+  k_ = golden.k;
+  golden_ = golden.golden;
+  muls_per_kp_ = golden.muls_per_kp;
 
   // Clean kernel retirement count: the injection window for specs. The
   // kernel is straight-line (generator-unrolled), so the count is
@@ -116,13 +146,6 @@ KpFaultCampaign::KpFaultCampaign(std::uint64_t seed,
   const InjectedRun clean = run_with_fault(mul_prog_, mem, never,
                                            kKernelBudget, engine_);
   kernel_retires_ = clean.instructions;
-
-  // How many fmul calls one clean kP (table build + Horner loop) makes:
-  // the sample space for which multiplication gets the fault.
-  CurveOps counting(curve_);
-  const ec::WtnafTable t = ec::make_wtnaf_table(counting, p_, 4);
-  (void)ec::mul_wtnaf_ld(counting, t, k_);
-  muls_per_kp_ = counting.counts().mul;
 }
 
 KpFaultCampaign::RunObservation KpFaultCampaign::evaluate_run(
@@ -236,6 +259,193 @@ std::array<ProfileCost, kNumProfiles> KpFaultCampaign::profile_costs(
         static_cast<double>(out[p].cycles) * prices.pj_per_cycle * 1e-6;
   }
   return out;
+}
+
+// ---- Memory-reliability campaign -------------------------------------
+
+const char* mem_outcome_name(MemOutcome o) {
+  switch (o) {
+    case MemOutcome::kCorrect: return "correct";
+    case MemOutcome::kCorrected: return "corrected";
+    case MemOutcome::kDetected: return "detected";
+    case MemOutcome::kCrashed: return "crashed";
+    case MemOutcome::kSilentWrong: return "silent-wrong";
+  }
+  return "unknown-outcome";
+}
+
+void MemOutcomeTally::add(MemOutcome o) {
+  switch (o) {
+    case MemOutcome::kCorrect: ++correct; break;
+    case MemOutcome::kCorrected: ++corrected; break;
+    case MemOutcome::kDetected: ++detected; break;
+    case MemOutcome::kCrashed: ++crashed; break;
+    case MemOutcome::kSilentWrong: ++silent; break;
+  }
+}
+
+MemFaultCampaign::MemFaultCampaign(std::uint64_t seed,
+                                   armvm::Cpu::DecodeMode engine)
+    : seed_(seed),
+      engine_(engine),
+      curve_(ec::BinaryCurve::sect233k1()),
+      mul_prog_(workloads::kernel("mul")) {
+  GoldenKp golden = derive_golden(curve_, seed);
+  p_ = golden.p;
+  k_ = golden.k;
+  golden_ = golden.golden;
+  muls_per_kp_ = golden.muls_per_kp;
+}
+
+MemFaultCampaign::RunObservation MemFaultCampaign::evaluate_run(
+    const armvm::MemModelConfig& config, unsigned cell, double ber,
+    std::uint64_t run) const {
+  // Per-run stream: child `run` of the per-cell stream, a pure function
+  // of (seed, model kind, cell index, run index) — same scheme as
+  // KpFaultCampaign, so any thread can evaluate any run.
+  const Rng cell_stream(
+      seed_ ^ (0x9E3779B97F4A7C15ull *
+               ((static_cast<std::uint64_t>(config.kind) + 2) * 64 + cell)));
+  Rng rng = cell_stream.split(run);
+  const std::uint64_t target = rng.next_below(muls_per_kp_);
+
+  RunObservation obs;
+  bool fired = false;
+  CurveOps ops(curve_);
+  ops.set_mul_tamper([&](std::uint64_t idx, const gf2::Elem& a,
+                         const gf2::Elem& b, gf2::Elem& out) {
+    if (fired || idx != target) return;
+    fired = true;
+    armvm::Memory mem(kKernelRamSize, config);
+    write_fe(mem, asmkernels::kXOff, to_fe(a));
+    write_fe(mem, asmkernels::kYOff, to_fe(b));
+    // Load-time injection: the storage is corrupted before the core
+    // runs, so every engine sees the same image (and the raw model's
+    // flips land directly in the operands the kernel will read).
+    const BitErrorStats errs = inject_bit_errors(mem, ber, rng);
+    obs.flipped = errs.flipped_bits;
+    const auto harvest = [&] {
+      obs.hw_corrections = mem.corrections();
+      obs.scrub_corrections = mem.scrub_corrections();
+    };
+    FaultSpec never;
+    never.index = ~std::uint64_t{0};
+    const InjectedRun vm =
+        run_with_fault(mul_prog_, mem, never, kKernelBudget, engine_);
+    if (vm.outcome == RunOutcome::kCrashed) {
+      harvest();
+      obs.integrity = vm.fault_kind == armvm::FaultKind::kMemoryIntegrity;
+      throw CrashSignal{};
+    }
+    gf2::k233::Fe fe{};
+    try {
+      const auto words =
+          mem.read_words(armvm::kRamBase + asmkernels::kVOff, 8);
+      for (std::size_t i = 0; i < fe.size(); ++i) fe[i] = words[i];
+    } catch (const armvm::MemoryIntegrityFault&) {
+      // The product word itself is rotten: detected at readout.
+      harvest();
+      obs.integrity = true;
+      throw CrashSignal{};
+    }
+    harvest();
+    out = from_fe(fe);
+  });
+  try {
+    const ec::WtnafTable t = ec::make_wtnaf_table(ops, p_, 4, &obs.collapsed);
+    const ec::LDPoint q_ld = ec::mul_wtnaf_ld(ops, t, k_, &obs.collapsed);
+    obs.inf = q_ld.is_inf();
+    obs.oncurve = ops.on_curve_ld(q_ld);
+    const AffinePoint q = ops.to_affine(q_ld);
+    obs.wrong = !(q == golden_);
+    if (obs.wrong && obs.oncurve && !obs.inf) {
+      obs.order_ok =
+          ec::mul_wnaf(ops, q, curve_.order, 4) == AffinePoint::infinity();
+    }
+  } catch (const CrashSignal&) {
+    obs.crashed = !obs.integrity;
+  }
+  return obs;
+}
+
+MemModelReport MemFaultCampaign::run_model(const armvm::MemModelConfig& config,
+                                           const std::vector<double>& bers,
+                                           std::uint64_t runs_per_cell,
+                                           unsigned threads) {
+  MemModelReport rep;
+  rep.config = config;
+
+  // Clean-run cost of one mul kernel call under this model: the
+  // codeword scheme's cycle/energy overhead with no errors injected.
+  {
+    armvm::Memory mem(kKernelRamSize, config);
+    write_fe(mem, asmkernels::kXOff, to_fe(p_.x));
+    write_fe(mem, asmkernels::kYOff, to_fe(p_.y));
+    armvm::Cpu cpu(mul_prog_, mem, engine_);
+    const armvm::RunStats st =
+        cpu.call(mul_prog_->entry("entry"), {}, kKernelBudget);
+    rep.clean_cycles = st.cycles;
+    rep.clean_energy_pj = st.energy().energy_pj;
+  }
+
+  sim::BatchExecutor pool(threads);
+  const auto& profiles = protection_profiles();
+  for (unsigned c = 0; c < bers.size(); ++c) {
+    MemCell cell;
+    cell.ber = bers[c];
+    const std::vector<RunObservation> observations =
+        pool.map<RunObservation>(runs_per_cell, [&](std::size_t run) {
+          return evaluate_run(config, c, cell.ber,
+                              static_cast<std::uint64_t>(run));
+        });
+    // Tally serially in run order — byte-identical for any worker count.
+    for (const RunObservation& obs : observations) {
+      cell.flipped_bits += obs.flipped;
+      cell.hw_corrections += obs.hw_corrections;
+      cell.scrub_corrections += obs.scrub_corrections;
+      const bool repaired = obs.hw_corrections + obs.scrub_corrections > 0;
+      for (unsigned p = 0; p < kNumProfiles; ++p) {
+        const ec::ProtectOpts& o = profiles[p].opts;
+        MemOutcome outcome;
+        if (obs.integrity) {
+          // The memory system refused the data — detection regardless
+          // of any software profile.
+          outcome = MemOutcome::kDetected;
+        } else if (obs.crashed) {
+          outcome = MemOutcome::kCrashed;
+        } else if (!obs.wrong) {
+          outcome = repaired ? MemOutcome::kCorrected : MemOutcome::kCorrect;
+        } else {
+          bool detected = false;
+          if (o.recheck_result) {
+            detected = obs.inf || !obs.oncurve || obs.collapsed;
+          }
+          if (!detected && o.order_check && obs.oncurve && !obs.inf) {
+            detected = !obs.order_ok;
+          }
+          outcome = detected ? MemOutcome::kDetected : MemOutcome::kSilentWrong;
+        }
+        cell.per_profile[p].add(outcome);
+      }
+    }
+    rep.cells.push_back(cell);
+  }
+  return rep;
+}
+
+MemCampaignResult run_mem_campaign(const MemCampaignConfig& config) {
+  MemCampaignResult res;
+  res.config = config;
+  MemFaultCampaign campaign(config.seed, config.engine);
+  for (armvm::MemModelKind kind : config.models) {
+    const armvm::MemModelConfig mc = armvm::MemModelConfig::for_kind(
+        kind,
+        kind == armvm::MemModelKind::kSecded ? config.scrub_interval : 0);
+    res.models.push_back(
+        campaign.run_model(mc, config.bers, config.runs_per_cell,
+                           config.threads));
+  }
+  return res;
 }
 
 CampaignResult run_kp_campaign(const CampaignConfig& config) {

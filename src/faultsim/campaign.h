@@ -17,7 +17,9 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
+#include "armvm/memmodel.h"
 #include "ec/costing.h"
 #include "ec/protect.h"
 #include "faultsim/inject.h"
@@ -139,5 +141,134 @@ class KpFaultCampaign {
 /// Run the whole matrix: every fault model x every profile, plus the
 /// clean-run overhead column (priced with the proposed-asm cost table).
 CampaignResult run_kp_campaign(const CampaignConfig& config);
+
+// ---- Memory-reliability campaign (SRAM bit errors vs codeword models)
+//
+// Same experiment shape as KpFaultCampaign — one VM-executed field
+// multiplication spliced into a golden kP — but the perturbation is
+// physical: the kernel's RAM is Bernoulli bit-error injected at a swept
+// BER before the run, under each memory model (raw / parity / SECDED,
+// armvm/memmodel.h). The classification separates what the *hardware*
+// caught (integrity faults), what it silently repaired (SECDED
+// corrections), and what fell through to the PR-2 software
+// countermeasure profiles.
+
+/// Classification of one bit-error-injected kP run under one
+/// (memory model, protection profile) pair.
+enum class MemOutcome : std::uint8_t {
+  kCorrect,      ///< right result, storage never needed repair
+  kCorrected,    ///< right result after >=1 SECDED single-bit repair
+  kDetected,     ///< hardware integrity fault OR software refusal
+  kCrashed,      ///< non-integrity armvm::Fault / watchdog
+  kSilentWrong,  ///< wrong result released with no indication — the loss
+};
+const char* mem_outcome_name(MemOutcome o);
+
+struct MemOutcomeTally {
+  std::uint64_t correct = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t crashed = 0;
+  std::uint64_t silent = 0;
+
+  std::uint64_t total() const {
+    return correct + corrected + detected + crashed + silent;
+  }
+  double silent_rate() const {
+    return total() == 0 ? 0.0
+                        : static_cast<double>(silent) /
+                              static_cast<double>(total());
+  }
+  void add(MemOutcome o);
+
+  friend bool operator==(const MemOutcomeTally&,
+                         const MemOutcomeTally&) = default;
+};
+
+/// One (memory model x BER) cell of the sweep matrix.
+struct MemCell {
+  double ber = 0.0;
+  std::uint64_t flipped_bits = 0;       ///< injected across the cell's runs
+  std::uint64_t hw_corrections = 0;     ///< decode-time single-bit repairs
+  std::uint64_t scrub_corrections = 0;  ///< repairs by scrubbing passes
+  std::array<MemOutcomeTally, kNumProfiles> per_profile;
+};
+
+struct MemModelReport {
+  armvm::MemModelConfig config;
+  /// Clean-run (no injected errors) cost of one VM mul kernel call
+  /// under this model — the codeword scheme's cycle/energy overhead.
+  std::uint64_t clean_cycles = 0;
+  double clean_energy_pj = 0.0;
+  std::vector<MemCell> cells;  ///< one per swept BER
+};
+
+struct MemCampaignConfig {
+  std::uint64_t seed = 0xECC0BE44u;
+  std::uint64_t runs_per_cell = 200;
+  unsigned threads = 1;
+  armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode;
+  /// Raw storage bit-error probabilities to sweep.
+  std::vector<double> bers = {1e-6, 1e-5, 1e-4, 1e-3};
+  /// SECDED scrub period in protected accesses (0 = off); raw/parity
+  /// never scrub (the Memory constructor rejects it).
+  std::uint64_t scrub_interval = 0;
+  std::vector<armvm::MemModelKind> models = {armvm::MemModelKind::kRaw,
+                                             armvm::MemModelKind::kParity,
+                                             armvm::MemModelKind::kSecded};
+};
+
+struct MemCampaignResult {
+  MemCampaignConfig config;
+  std::vector<MemModelReport> models;
+};
+
+class MemFaultCampaign {
+ public:
+  explicit MemFaultCampaign(
+      std::uint64_t seed,
+      armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode);
+
+  /// Sweep every BER for one memory model configuration,
+  /// `runs_per_cell` injected kP runs per cell, fanned across `threads`
+  /// workers (1 = serial; 0 = hardware concurrency). Tallies are
+  /// bit-identical regardless of the thread count.
+  MemModelReport run_model(const armvm::MemModelConfig& config,
+                           const std::vector<double>& bers,
+                           std::uint64_t runs_per_cell, unsigned threads = 1);
+
+  const ec::AffinePoint& golden() const { return golden_; }
+
+ private:
+  struct RunObservation {
+    bool crashed = false;    ///< non-integrity fault
+    bool integrity = false;  ///< MemoryIntegrityFault (hardware detection)
+    bool wrong = false;
+    bool inf = false;
+    bool oncurve = true;
+    bool order_ok = true;
+    bool collapsed = false;
+    std::uint64_t flipped = 0;
+    std::uint64_t hw_corrections = 0;
+    std::uint64_t scrub_corrections = 0;
+  };
+  /// Pure function of (seed, model kind, cell, run) over the campaign's
+  /// immutable state — safe to call from any thread.
+  RunObservation evaluate_run(const armvm::MemModelConfig& config,
+                              unsigned cell, double ber,
+                              std::uint64_t run) const;
+
+  std::uint64_t seed_;
+  armvm::Cpu::DecodeMode engine_;
+  const ec::BinaryCurve& curve_;
+  ec::AffinePoint p_;
+  mpint::UInt k_;
+  ec::AffinePoint golden_;
+  armvm::ProgramRef mul_prog_;
+  std::uint64_t muls_per_kp_ = 0;
+};
+
+/// Run the whole BER x memory-model x protection-profile matrix.
+MemCampaignResult run_mem_campaign(const MemCampaignConfig& config);
 
 }  // namespace eccm0::faultsim

@@ -41,24 +41,26 @@ const KernelOperands& KernelOperands::standard() {
   return kOps;
 }
 
+// Loaders go through poke32/poke16: harness setup must not charge
+// wait-state cycles or advance the scrub clock on protected memory.
 void load_mul_inputs(armvm::Memory& mem, const std::uint32_t (&x)[8],
                      const std::uint32_t (&y)[8]) {
   for (int w = 0; w < 8; ++w) {
-    mem.store32(armvm::kRamBase + asmkernels::kXOff + 4 * w, x[w]);
-    mem.store32(armvm::kRamBase + asmkernels::kYOff + 4 * w, y[w]);
+    mem.poke32(armvm::kRamBase + asmkernels::kXOff + 4 * w, x[w]);
+    mem.poke32(armvm::kRamBase + asmkernels::kYOff + 4 * w, y[w]);
   }
 }
 
 void load_sqr_table(armvm::Memory& mem) {
   for (unsigned i = 0; i < 256; ++i) {
-    mem.store16(armvm::kRamBase + asmkernels::kSqrTabOff + 2 * i,
-                gf2::kSquareTable[i]);
+    mem.poke16(armvm::kRamBase + asmkernels::kSqrTabOff + 2 * i,
+               gf2::kSquareTable[i]);
   }
 }
 
 void load_sqr_input(armvm::Memory& mem, const std::uint32_t (&a)[8]) {
   for (int w = 0; w < 8; ++w) {
-    mem.store32(armvm::kRamBase + asmkernels::kInOff + 4 * w, a[w]);
+    mem.poke32(armvm::kRamBase + asmkernels::kInOff + 4 * w, a[w]);
   }
 }
 
@@ -68,16 +70,19 @@ void load_inv_input(armvm::Memory& mem, const std::uint32_t (&a)[8]) {
 
 void load_reduce_input(armvm::Memory& mem, const std::uint32_t (&wide)[16]) {
   for (int w = 0; w < 16; ++w) {
-    mem.store32(armvm::kRamBase + asmkernels::kWideOff + 4 * w, wide[w]);
+    mem.poke32(armvm::kRamBase + asmkernels::kWideOff + 4 * w, wide[w]);
   }
 }
 
 KernelMachine::KernelMachine(const std::string& kernel_name,
-                             armvm::Cpu::DecodeMode mode)
-    : KernelMachine(kernel(kernel_name), mode) {}
+                             armvm::Cpu::DecodeMode mode,
+                             const armvm::MemModelConfig& mem_model)
+    : KernelMachine(kernel(kernel_name), mode, mem_model) {}
 
-KernelMachine::KernelMachine(armvm::ProgramRef prog,
-                             armvm::Cpu::DecodeMode mode)
-    : prog_(std::move(prog)), mem_(kKernelRamSize), cpu_(prog_, mem_, mode) {}
+KernelMachine::KernelMachine(armvm::ProgramRef prog, armvm::Cpu::DecodeMode mode,
+                             const armvm::MemModelConfig& mem_model)
+    : prog_(std::move(prog)),
+      mem_(kKernelRamSize, mem_model),
+      cpu_(prog_, mem_, mode) {}
 
 }  // namespace eccm0::workloads

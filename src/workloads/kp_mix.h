@@ -56,13 +56,18 @@ void load_reduce_input(armvm::Memory& mem, const std::uint32_t (&wide)[16]);
 /// One shared immutable image + one private execution context. Cheap to
 /// construct (the registry already holds the predecoded image), so
 /// parallel workers build one per thread over the same ProgramRef.
+/// `mem_model` selects the RAM protection scheme (raw by default; see
+/// armvm/memmodel.h) — kernels run identically under every model, only
+/// cycle/energy accounting and fault surfaces change.
 class KernelMachine {
  public:
   explicit KernelMachine(
       const std::string& kernel_name,
-      armvm::Cpu::DecodeMode mode = armvm::Cpu::DecodeMode::kPredecode);
+      armvm::Cpu::DecodeMode mode = armvm::Cpu::DecodeMode::kPredecode,
+      const armvm::MemModelConfig& mem_model = {});
   KernelMachine(armvm::ProgramRef prog,
-                armvm::Cpu::DecodeMode mode = armvm::Cpu::DecodeMode::kPredecode);
+                armvm::Cpu::DecodeMode mode = armvm::Cpu::DecodeMode::kPredecode,
+                const armvm::MemModelConfig& mem_model = {});
 
   const armvm::Program& prog() const { return *prog_; }
   const armvm::ProgramRef& prog_ref() const { return prog_; }

@@ -172,6 +172,86 @@ TEST(Threaded, TracedStreamsIdenticalAcrossThreeEngines) {
   }
 }
 
+TEST(Threaded, MemoryModelsIdenticalAcrossThreeEngines) {
+  // One kernel under each RAM protection model: the three engines must
+  // agree bit-for-bit including the wait-state cycles (the threaded
+  // engine's fused blocks cannot batch protected accesses, so it
+  // delegates; the totals still have to match the per-step oracle).
+  const MemModelConfig configs[] = {
+      MemModelConfig::raw(),
+      MemModelConfig::parity(),
+      MemModelConfig::secded(2, 64),  // with live auto-scrubbing
+  };
+  std::array<std::uint64_t, 3> model_cycles{};
+  for (std::size_t c = 0; c < 3; ++c) {
+    SCOPED_TRACE(mem_model_name(configs[c].kind));
+    std::vector<Observed> results;
+    std::uint64_t accesses = 0, scrub_passes = 0;
+    for (const Cpu::DecodeMode mode : kAllModes) {
+      KernelMachine m("mul", mode, configs[c]);
+      load_operands("mul", m.mem());
+      m.call();
+      m.call();
+      results.push_back(observe(m));
+      accesses = m.mem().protected_accesses();
+      scrub_passes = m.mem().scrub_passes();
+    }
+    ASSERT_EQ(results.size(), 3u);
+    for (std::size_t e = 1; e < results.size(); ++e) {
+      SCOPED_TRACE("engine#" + std::to_string(e));
+      expect_stats_identical(results[0].stats, results[e].stats);
+      EXPECT_EQ(results[0].regs, results[e].regs);
+      EXPECT_EQ(results[0].flags, results[e].flags);
+      EXPECT_EQ(results[0].ram, results[e].ram);
+    }
+    model_cycles[c] = results[0].stats.cycles;
+    // The protection overhead is exactly accounted: every protected
+    // access charges wait_states cycles and every scrub pass sweeps the
+    // whole RAM, all booked under the kMemWait histogram class.
+    const std::uint64_t wait_cycles =
+        results[0].stats.histogram.cycles[static_cast<int>(
+            costmodel::InstrClass::kMemWait)];
+    if (configs[c].kind == MemModelKind::kRaw) {
+      EXPECT_EQ(wait_cycles, 0u);
+      EXPECT_EQ(accesses, 0u);
+    } else {
+      EXPECT_GT(accesses, 0u);
+      EXPECT_EQ(wait_cycles,
+                configs[c].wait_states * (accesses + scrub_passes * 512));
+      EXPECT_EQ(model_cycles[0] + wait_cycles, model_cycles[c]);
+    }
+    if (configs[c].kind == MemModelKind::kSecded) {
+      EXPECT_GT(scrub_passes, 0u);
+    }
+  }
+  EXPECT_LT(model_cycles[0], model_cycles[1]);
+  EXPECT_LT(model_cycles[1], model_cycles[2]);
+}
+
+TEST(Threaded, TracedStreamsIdenticalUnderProtectedMemory) {
+  // A profiler attached to a SECDED machine sees one stream, whatever
+  // the engine — and that stream carries the kMemWait charges.
+  std::vector<std::vector<TraceEvent>> streams;
+  for (const Cpu::DecodeMode mode : kAllModes) {
+    KernelMachine m("mul", mode, MemModelConfig::secded(2, 64));
+    RecordingSink sink;
+    m.cpu().set_trace_sink(&sink);
+    load_operands("mul", m.mem());
+    m.call();
+    streams.push_back(std::move(sink.events));
+  }
+  ASSERT_FALSE(streams[0].empty());
+  EXPECT_EQ(streams[0], streams[1]);
+  EXPECT_EQ(streams[0], streams[2]);
+  bool saw_wait = false;
+  for (const TraceEvent& ev : streams[0]) {
+    for (unsigned i = 0; i < ev.num_costs; ++i) {
+      if (ev.costs[i].cls == costmodel::InstrClass::kMemWait) saw_wait = true;
+    }
+  }
+  EXPECT_TRUE(saw_wait);
+}
+
 /// Step a per-step context to the first retirement index >= min_index
 /// at which the PC sits strictly inside a fused block of `image`.
 /// Returns the snapshot there and the retirement index.

@@ -6,6 +6,7 @@
 
 #include "armvm/asm.h"
 #include "asmkernels/gen.h"
+#include "faultsim/biterr.h"
 #include "faultsim/campaign.h"
 #include "faultsim/inject.h"
 #include "gf2/k233.h"
@@ -234,6 +235,115 @@ TEST(Campaign, ProtectionEliminatesSilentCorruption) {
         << fault_model_name(res.models[m].model);
   }
   EXPECT_TRUE(saw_silent_unprotected);
+}
+
+TEST(BitErrors, InjectionIsSeedDeterministic) {
+  auto storage_fingerprint = [](const armvm::Memory& mem) {
+    std::string fp;
+    for (std::uint8_t b : mem.bytes()) fp += static_cast<char>(b);
+    for (std::uint8_t b : mem.check_bytes()) fp += static_cast<char>(b);
+    return fp;
+  };
+  for (const auto kind : {armvm::MemModelKind::kRaw,
+                          armvm::MemModelKind::kParity,
+                          armvm::MemModelKind::kSecded}) {
+    armvm::Memory a(kRamSize, armvm::MemModelConfig::for_kind(kind));
+    armvm::Memory b(kRamSize, armvm::MemModelConfig::for_kind(kind));
+    write_operands(a);
+    write_operands(b);
+    Rng ra(0xB17E44), rb(0xB17E44);
+    const BitErrorStats sa = inject_bit_errors(a, 1e-3, ra);
+    const BitErrorStats sb = inject_bit_errors(b, 1e-3, rb);
+    EXPECT_EQ(sa.flipped_bits, sb.flipped_bits);
+    EXPECT_EQ(sa.words_touched, sb.words_touched);
+    EXPECT_EQ(storage_fingerprint(a), storage_fingerprint(b))
+        << armvm::mem_model_name(kind);
+    // The injector sees the model's physical storage width.
+    EXPECT_EQ(sa.storage_bits,
+              (kRamSize / 4) * a.storage_bits_per_word());
+    EXPECT_GT(sa.flipped_bits, 0u);
+  }
+  // Every storage bit is an independent draw, so the seed consumption
+  // is fixed: two different BERs flip different bits but leave the RNG
+  // at the same position.
+  Rng r1(7), r2(7);
+  armvm::Memory m1(kRamSize, armvm::MemModelConfig::secded());
+  armvm::Memory m2(kRamSize, armvm::MemModelConfig::secded());
+  (void)inject_bit_errors(m1, 1e-5, r1);
+  (void)inject_bit_errors(m2, 1e-2, r2);
+  EXPECT_EQ(r1.next_u64(), r2.next_u64());
+}
+
+TEST(MemCampaign, ThreadCountDoesNotChangeTheTally) {
+  MemCampaignConfig cfg;
+  cfg.seed = 0x5EC0;
+  cfg.runs_per_cell = 6;
+  cfg.bers = {1e-4, 1e-3};
+  cfg.scrub_interval = 64;
+  cfg.threads = 1;
+  const MemCampaignResult serial = run_mem_campaign(cfg);
+  cfg.threads = 3;
+  const MemCampaignResult par = run_mem_campaign(cfg);
+  ASSERT_EQ(serial.models.size(), par.models.size());
+  for (std::size_t m = 0; m < serial.models.size(); ++m) {
+    const MemModelReport& s = serial.models[m];
+    const MemModelReport& p = par.models[m];
+    EXPECT_EQ(s.clean_cycles, p.clean_cycles);
+    ASSERT_EQ(s.cells.size(), p.cells.size());
+    for (std::size_t c = 0; c < s.cells.size(); ++c) {
+      EXPECT_EQ(s.cells[c].flipped_bits, p.cells[c].flipped_bits);
+      EXPECT_EQ(s.cells[c].hw_corrections, p.cells[c].hw_corrections);
+      EXPECT_EQ(s.cells[c].scrub_corrections, p.cells[c].scrub_corrections);
+      EXPECT_EQ(s.cells[c].per_profile, p.cells[c].per_profile);
+    }
+  }
+}
+
+TEST(MemCampaign, ClassificationInvariants) {
+  MemCampaignConfig cfg;
+  cfg.runs_per_cell = 12;
+  cfg.bers = {1e-4, 1e-3};
+  cfg.scrub_interval = 1024;
+  const MemCampaignResult res = run_mem_campaign(cfg);
+  ASSERT_EQ(res.models.size(), 3u);
+  const MemModelReport& raw = res.models[0];
+  const MemModelReport& parity = res.models[1];
+  const MemModelReport& secded = res.models[2];
+
+  for (const MemModelReport& rep : res.models) {
+    for (const MemCell& cell : rep.cells) {
+      for (unsigned p = 0; p < kNumProfiles; ++p) {
+        // Every run lands in exactly one bucket, for every profile.
+        EXPECT_EQ(cell.per_profile[p].total(), cfg.runs_per_cell);
+        // Stronger software profiles never increase silent corruption.
+        if (p > 0) {
+          EXPECT_LE(cell.per_profile[p].silent, cell.per_profile[0].silent);
+        }
+      }
+    }
+  }
+  // Raw storage cannot correct or hardware-detect anything.
+  for (const MemCell& cell : raw.cells) {
+    EXPECT_EQ(cell.hw_corrections, 0u);
+    EXPECT_EQ(cell.scrub_corrections, 0u);
+    EXPECT_EQ(cell.per_profile[0].corrected, 0u);
+  }
+  // Parity detects but never repairs.
+  for (const MemCell& cell : parity.cells) {
+    EXPECT_EQ(cell.hw_corrections, 0u);
+    EXPECT_EQ(cell.per_profile[0].corrected, 0u);
+  }
+  // SECDED at these BERs: corrections happen, nothing slips through
+  // silently even with no software countermeasures.
+  std::uint64_t secded_fixes = 0;
+  for (const MemCell& cell : secded.cells) {
+    secded_fixes += cell.hw_corrections + cell.scrub_corrections;
+    EXPECT_EQ(cell.per_profile[0].silent, 0u);
+  }
+  EXPECT_GT(secded_fixes, 0u);
+  // The codeword overhead is real and ordered raw < parity < secded.
+  EXPECT_LT(raw.clean_cycles, parity.clean_cycles);
+  EXPECT_LT(parity.clean_cycles, secded.clean_cycles);
 }
 
 TEST(Campaign, ProfileCostsAreMonotone) {
