@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "ec/costing.h"
 #include "relic_like/costs.h"
+#include "manifest.h"
 #include "report.h"
 
 using namespace eccm0;
@@ -52,13 +53,13 @@ int main(int argc, char** argv) {
       bench::json_flag_path(argc, argv, "BENCH_ablation_window.json");
   if (!json_path.empty()) {
     bench::JsonWriter w;
-    w.begin_object();
+    bench::manifest_begin(w, "bench_ablation_window");
     w.field("bench", "ablation_window");
     w.field("curve", "sect233k1");
     w.raw("rows", t.to_json());
     w.field("best_kp_w", static_cast<std::uint64_t>(best_kp_w));
     w.field("best_kg_w", static_cast<std::uint64_t>(best_kg_w));
-    w.end_object();
+    bench::manifest_end(w);
     w.write_file(json_path);
   }
 

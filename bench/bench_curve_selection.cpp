@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "model/curve_selection.h"
+#include "manifest.h"
 #include "report.h"
 
 using namespace eccm0;
@@ -41,13 +42,13 @@ int main(int argc, char** argv) {
       bench::json_flag_path(argc, argv, "BENCH_curve_selection.json");
   if (!json_path.empty()) {
     bench::JsonWriter w;
-    w.begin_object();
+    bench::manifest_begin(w, "bench_curve_selection");
     w.field("bench", "curve_selection");
     w.raw("rows", t.to_json());
     w.field("koblitz_faster_at_matched_security",
             conclusions.koblitz_faster_at_matched_security);
     w.field("binary_lower_power", conclusions.binary_lower_power);
-    w.end_object();
+    bench::manifest_end(w);
     w.write_file(json_path);
   }
   return 0;

@@ -21,8 +21,11 @@
 
 #include "crypto/ecdsa.h"
 #include "faultsim/campaign.h"
+#include "manifest.h"
 #include "relic_like/costs.h"
 #include "report.h"
+#include "telemetry/metrics.h"
+#include "telemetry/progress.h"
 
 namespace {
 
@@ -77,6 +80,13 @@ int main(int argc, char** argv) {
   cfg.threads = args.threads;
   if (quick) cfg.runs_per_model = 25;
   const std::string json_path = args.json_path;
+
+  telemetry::MetricsRegistry metrics;
+  telemetry::ProgressMeter progress(
+      telemetry::progress_mode_from_name(args.progress), "fault campaign",
+      cfg.runs_per_model * faultsim::kNumFaultModels);
+  cfg.metrics = &metrics;
+  cfg.progress = &progress;
 
   bench::banner("Fault-injection campaign: wTNAF kP on sect233k1");
   std::printf("seed 0x%llx, %llu injections per fault model, %u thread(s)"
@@ -146,15 +156,19 @@ int main(int argc, char** argv) {
   std::printf("\ncampaign wall time: %.2f s (%u thread(s))\n", wall_seconds,
               cfg.threads);
 
+  bench::banner("telemetry");
+  metrics.print(stdout);
+
   if (!json_path.empty()) {
     bench::JsonWriter w;
-    w.begin_object();
+    // Wall time and thread count stay out of the persisted payload: the
+    // manifest must be byte-identical for a fixed seed (CI compares the
+    // parallel rerun's payload against the committed serial baseline).
+    bench::manifest_begin(w, "bench_fault_campaign", &args);
     w.field("bench", "fault_campaign");
     w.field("curve", "sect233k1");
     w.field("seed", cfg.seed);
     w.field("runs_per_model", cfg.runs_per_model);
-    w.field("threads", static_cast<std::uint64_t>(cfg.threads));
-    w.field("wall_seconds", wall_seconds);
     w.raw("silent_rate_matrix", coverage.to_json());
     w.begin_array("models");
     for (const auto& m : res.models) {
@@ -194,7 +208,7 @@ int main(int argc, char** argv) {
     w.end_array();
     w.field("ecdsa_coherence_detected", caught);
     w.field("ecdsa_unchecked_escape", escaped);
-    w.end_object();
+    bench::manifest_end(w, &metrics);
     if (w.write_file(json_path)) {
       std::printf("\nJSON written to %s\n", json_path.c_str());
     }

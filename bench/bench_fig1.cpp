@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "gf2/traced.h"
+#include "manifest.h"
 #include "report.h"
 
 using namespace eccm0;
@@ -69,7 +70,7 @@ int main(int argc, char** argv) {
       bench::json_flag_path(argc, argv, "BENCH_fig1.json");
   if (!json_path.empty()) {
     bench::JsonWriter w;
-    w.begin_object();
+    bench::manifest_begin(w, "bench_fig1");
     w.field("bench", "fig1");
     w.field("n", static_cast<std::uint64_t>(n));
     w.field("window_base", static_cast<std::uint64_t>(w0));
@@ -87,7 +88,7 @@ int main(int argc, char** argv) {
     w.end_array();
     w.field("in_window_per_pass", static_cast<std::uint64_t>(in_window));
     w.field("accumulations_per_pass", static_cast<std::uint64_t>(64));
-    w.end_object();
+    bench::manifest_end(w);
     w.write_file(json_path);
   }
   return 0;

@@ -13,6 +13,7 @@
 #include "ec/costing.h"
 #include "ec/scalarmul.h"
 #include "relic_like/costs.h"
+#include "manifest.h"
 #include "report.h"
 
 using namespace eccm0;
@@ -79,13 +80,13 @@ int main(int argc, char** argv) {
       bench::json_flag_path(argc, argv, "BENCH_ladder.json");
   if (!json_path.empty()) {
     bench::JsonWriter w;
-    w.begin_object();
+    bench::manifest_begin(w, "bench_ladder");
     w.field("bench", "ladder");
     w.raw("rows", t.to_json());
     w.field("wtnaf_kp_cycles", kob.cost.total());
     w.field("wnaf_doubling_cycles", wnaf_cycles);
     w.field("ladder_cycles", ladder_cycles);
-    w.end_object();
+    bench::manifest_end(w);
     w.write_file(json_path);
   }
 

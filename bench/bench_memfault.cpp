@@ -25,7 +25,10 @@
 
 #include "armvm/dispatch.h"
 #include "faultsim/campaign.h"
+#include "manifest.h"
 #include "report.h"
+#include "telemetry/metrics.h"
+#include "telemetry/progress.h"
 
 namespace {
 
@@ -70,6 +73,13 @@ int main(int argc, char** argv) {
   cfg.engine = armvm::decode_mode_from_name(args.engine);
   if (quick) cfg.runs_per_cell = 40;
   const std::string json_path = args.json_path;
+
+  telemetry::MetricsRegistry metrics;
+  telemetry::ProgressMeter progress(
+      telemetry::progress_mode_from_name(args.progress), "mem campaign",
+      cfg.runs_per_cell * cfg.bers.size() * cfg.models.size());
+  cfg.metrics = &metrics;
+  cfg.progress = &progress;
 
   bench::banner("Memory-fault campaign: SRAM bit errors vs codeword models");
   std::printf("seed 0x%llx, %llu runs per (model x BER) cell, %u thread(s), "
@@ -157,11 +167,14 @@ int main(int argc, char** argv) {
   std::printf("\ncampaign wall time: %.2f s (%u thread(s))\n", wall_seconds,
               cfg.threads);
 
+  bench::banner("telemetry");
+  metrics.print(stdout);
+
   if (!json_path.empty()) {
     // Deterministic payload only: byte-identical for any --threads, so
     // the CI gate can strict-compare against the committed baseline.
     bench::JsonWriter w;
-    w.begin_object();
+    bench::manifest_begin(w, "bench_memfault", &args);
     w.field("bench", "memfault");
     w.field("curve", "sect233k1");
     w.field("seed", cfg.seed);
@@ -231,7 +244,7 @@ int main(int argc, char** argv) {
       w.end_object();
     }
     w.end_array();
-    w.end_object();
+    bench::manifest_end(w, &metrics);
     if (w.write_file(json_path)) {
       std::printf("\nJSON written to %s\n", json_path.c_str());
     }

@@ -22,6 +22,7 @@
 
 #include "armvm/cpu.h"
 #include "asmkernels/gen.h"
+#include "manifest.h"
 #include "ec/costing.h"
 #include "profile/heatmap.h"
 #include "profile/profiler.h"
@@ -240,7 +241,7 @@ int main(int argc, char** argv) {
   if (!args.json) return 0;
   const std::string& json_path = args.json_path;
   bench::JsonWriter w;
-  w.begin_object();
+  bench::manifest_begin(w, "bench_profile", &args);
   w.field("bench", "profile");
   w.begin_object("workload");
   w.field("kind", "wTNAF w=4 kP field-kernel mix, sect233k1");
@@ -300,7 +301,7 @@ int main(int argc, char** argv) {
   }
   w.end_array();
   w.end_object();
-  w.end_object();
+  bench::manifest_end(w);
   if (!w.write_file(json_path)) {
     std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
   } else {

@@ -20,9 +20,12 @@
 #include <string>
 #include <vector>
 
+#include "manifest.h"
 #include "report.h"
 #include "sca/campaign.h"
 #include "sca/ct_check.h"
+#include "telemetry/metrics.h"
+#include "telemetry/progress.h"
 
 namespace {
 
@@ -52,8 +55,12 @@ int main(int argc, char** argv) {
   }
 
   bool ok = true;
+  telemetry::MetricsRegistry metrics;
+  telemetry::ProgressMeter progress(
+      telemetry::progress_mode_from_name(args.progress), "tvla traces",
+      3 * 2 * args.iters);
   bench::JsonWriter json;
-  json.begin_object();
+  bench::manifest_begin(json, "bench_sca", &args);
   json.field("bench", "sca");
   json.field("seed", args.seed);
   json.field("traces_per_class", args.iters);
@@ -74,6 +81,7 @@ int main(int argc, char** argv) {
     sca::CtConfig cfg;
     cfg.kernel = kernel;
     cfg.seed = args.seed;
+    cfg.metrics = &metrics;
     const sca::CtReport rep = sca::check_kernel_constant_trace(cfg);
     std::string where = "-";
     if (rep.first.diverged) {
@@ -173,6 +181,8 @@ int main(int argc, char** argv) {
     cfg.traces_per_class = static_cast<unsigned>(args.iters);
     cfg.seed = args.seed;
     cfg.threads = args.threads;
+    cfg.metrics = &metrics;
+    cfg.progress = &progress;
     const sca::TvlaCampaignResult res = sca::run_tvla_campaign(cfg);
     const sca::TvlaSummary& s = res.summary;
     tv.add_row({kernel, bench::fmt_u64(res.traces),
@@ -208,8 +218,11 @@ int main(int argc, char** argv) {
       "'raw' excursions alone are small-sample noise. The t-digest is\n"
       "invariant under --threads.\n");
 
+  bench::banner("telemetry");
+  metrics.print(stdout);
+
   json.field("self_check", ok ? "pass" : "fail");
-  json.end_object();
+  bench::manifest_end(json, &metrics);
   if (args.json && !json.write_file(args.json_path)) {
     std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
     return 1;

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "gf2/traced.h"
+#include "manifest.h"
 #include "report.h"
 
 using namespace eccm0;
@@ -71,10 +72,10 @@ int main(int argc, char** argv) {
       bench::json_flag_path(argc, argv, "BENCH_table1.json");
   if (!json_path.empty()) {
     bench::JsonWriter w;
-    w.begin_object();
+    bench::manifest_begin(w, "bench_table1");
     w.field("bench", "table1");
     w.raw("rows", t.to_json());
-    w.end_object();
+    bench::manifest_end(w);
     w.write_file(json_path);
   }
   return 0;

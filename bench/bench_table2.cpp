@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "gf2/traced.h"
+#include "manifest.h"
 #include "report.h"
 
 using namespace eccm0;
@@ -80,14 +81,14 @@ int main(int argc, char** argv) {
       bench::json_flag_path(argc, argv, "BENCH_table2.json");
   if (!json_path.empty()) {
     bench::JsonWriter w;
-    w.begin_object();
+    bench::manifest_begin(w, "bench_table2");
     w.field("bench", "table2");
     w.raw("rows", t.to_json());
     w.field("c_vs_b_speedup",
             static_cast<double>(cycles_b) / static_cast<double>(cycles_c));
     w.field("c_vs_a_speedup",
             static_cast<double>(cycles_a) / static_cast<double>(cycles_c));
-    w.end_object();
+    bench::manifest_end(w);
     w.write_file(json_path);
   }
   return 0;

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "measure/power_trace.h"
+#include "manifest.h"
 #include "report.h"
 
 using namespace eccm0;
@@ -54,11 +55,11 @@ int main(int argc, char** argv) {
       bench::json_flag_path(argc, argv, "BENCH_table3.json");
   if (!json_path.empty()) {
     bench::JsonWriter w;
-    w.begin_object();
+    bench::manifest_begin(w, "bench_table3");
     w.field("bench", "table3");
     w.raw("rows", t.to_json());
     w.field("variation_pct", 100.0 * (max_pj - min_pj) / min_pj);
-    w.end_object();
+    bench::manifest_end(w);
     w.write_file(json_path);
   }
   return 0;

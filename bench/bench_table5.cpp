@@ -6,6 +6,7 @@
 
 #include "workloads/runner.h"
 #include "common/rng.h"
+#include "manifest.h"
 #include "report.h"
 
 using namespace eccm0;
@@ -86,13 +87,13 @@ int main(int argc, char** argv) {
       bench::json_flag_path(argc, argv, "BENCH_table5.json");
   if (!json_path.empty()) {
     bench::JsonWriter w;
-    w.begin_object();
+    bench::manifest_begin(w, "bench_table5");
     w.field("bench", "table5");
     w.raw("rows", t.to_json());
     w.field("sqr_cycles", sqr_sum / kReps);
     w.field("mul_cycles", mul_sum / kReps);
     w.field("mul163_cycles", mul163);
-    w.end_object();
+    bench::manifest_end(w);
     w.write_file(json_path);
   }
   return 0;

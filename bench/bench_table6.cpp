@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "gf2/traced.h"
 #include "relic_like/costs.h"
+#include "manifest.h"
 #include "report.h"
 
 using namespace eccm0;
@@ -108,7 +109,7 @@ int main(int argc, char** argv) {
       bench::json_flag_path(argc, argv, "BENCH_table6.json");
   if (!json_path.empty()) {
     bench::JsonWriter w;
-    w.begin_object();
+    bench::manifest_begin(w, "bench_table6");
     w.field("bench", "table6");
     w.raw("rows", t.to_json());
     w.field("mul_plain_cycles", mul_plain);
@@ -118,7 +119,7 @@ int main(int argc, char** argv) {
                                static_cast<double>(mul_plain)));
     w.field("itoh_tsujii_cycles", it_ours);
     w.field("eea_cycles", inv_vm);
-    w.end_object();
+    bench::manifest_end(w);
     w.write_file(json_path);
   }
   return 0;

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "ec/costing.h"
 #include "relic_like/costs.h"
+#include "manifest.h"
 #include "report.h"
 
 using namespace eccm0;
@@ -80,12 +81,12 @@ int main(int argc, char** argv) {
       bench::json_flag_path(argc, argv, "BENCH_table7.json");
   if (!json_path.empty()) {
     bench::JsonWriter w;
-    w.begin_object();
+    bench::manifest_begin(w, "bench_table7");
     w.field("bench", "table7");
     w.raw("rows", t.to_json());
     w.field("total_kp", tot_kp);
     w.field("total_kg", tot_kg);
-    w.end_object();
+    bench::manifest_end(w);
     w.write_file(json_path);
   }
   return 0;

@@ -37,8 +37,10 @@
 #include "armvm/superinst.h"
 #include "asmkernels/gen.h"
 #include "ec/costing.h"
+#include "manifest.h"
 #include "report.h"
 #include "sim/batch.h"
+#include "telemetry/metrics.h"
 #include "workloads/kp_mix.h"
 #include "workloads/registry.h"
 
@@ -128,8 +130,10 @@ WorkloadResult run_workload(Cpu::DecodeMode mode, const ec::FieldOpCounts& ops,
 /// combined digest (order-independent by construction: serial fold over
 /// the per-task digests in index order).
 WorkloadResult run_batched(const ec::FieldOpCounts& ops, unsigned reps,
-                           unsigned threads) {
+                           unsigned threads,
+                           telemetry::MetricsRegistry* metrics) {
   sim::BatchExecutor pool(threads);
+  pool.set_metrics(metrics);
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<WorkloadResult> parts = pool.map<WorkloadResult>(
       reps, [&](std::size_t) {
@@ -164,7 +168,7 @@ bool identical(const armvm::RunStats& a, const armvm::RunStats& b) {
 /// threaded workload run actually saw.
 void write_fusion_report(const std::string& path, const WorkloadResult& thr) {
   bench::JsonWriter w;
-  w.begin_object();
+  bench::manifest_begin(w, "bench_vm_throughput:fusion");
   w.field("report", "superinstruction_fusion");
   w.field("dispatch", armvm::threaded_dispatch_uses_computed_goto()
                           ? "computed-goto"
@@ -197,7 +201,7 @@ void write_fusion_report(const std::string& path, const WorkloadResult& thr) {
   w.field("fused_blocks_entered", thr.fused_blocks);
   w.field("fused_fraction", thr.fused_fraction());
   w.end_object();
-  w.end_object();
+  bench::manifest_end(w);
   if (!w.write_file(path)) {
     std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
   } else {
@@ -266,9 +270,10 @@ int main(int argc, char** argv) {
   // the pool resolves to a single worker, the serial run IS the batched
   // run (measuring the identical loop twice only reports host noise).
   const unsigned pool_threads = sim::BatchExecutor(threads).threads();
-  const WorkloadResult serial1 = run_batched(ops, reps, 1);
+  telemetry::MetricsRegistry metrics;
+  const WorkloadResult serial1 = run_batched(ops, reps, 1, &metrics);
   const WorkloadResult batched =
-      pool_threads <= 1 ? serial1 : run_batched(ops, reps, threads);
+      pool_threads <= 1 ? serial1 : run_batched(ops, reps, threads, &metrics);
   if (batched.output_digest != serial1.output_digest ||
       batched.stats.instructions != serial1.stats.instructions ||
       batched.stats.cycles != serial1.stats.cycles) {
@@ -324,7 +329,7 @@ int main(int argc, char** argv) {
   std::string json_path = args.json_path;
   if (json_path.empty()) json_path = "BENCH_vm_throughput.json";
   bench::JsonWriter w;
-  w.begin_object();
+  bench::manifest_begin(w, "bench_vm_throughput", &args);
   w.field("bench", "vm_throughput");
   w.begin_object("workload");
   w.field("kind", "wTNAF w=4 kP field-kernel mix, sect233k1");
@@ -371,7 +376,7 @@ int main(int argc, char** argv) {
   w.field("speedup", speedup);
   w.field("threaded_speedup", threaded_speedup);
   w.field("bit_identical", true);
-  w.end_object();
+  bench::manifest_end(w, &metrics);
   if (!w.write_file(json_path)) {
     std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
   } else {

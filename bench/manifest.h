@@ -1,0 +1,74 @@
+// The run-manifest envelope for bench mains (telemetry/manifest.h holds
+// the schema; ecctool builds the same shape through telemetry::RunManifest).
+//
+// Benches keep their incremental bench::JsonWriter payloads; this header
+// just brackets them:
+//
+//   bench::JsonWriter w;
+//   bench::manifest_begin(w, "bench_table1", &args);  // or nullptr
+//   w.field(...);                                     // the payload, as before
+//   bench::manifest_end(w, &metrics);                 // or nullptr
+//   w.write_file(path);
+//
+// manifest_begin writes schema/tool/build and the "run" config object
+// (the shared Args flags, when given) and leaves "payload" open;
+// manifest_end closes it and appends the metrics snapshot — which
+// excludes wall-clock units, so a fixed seed + thread count reproduces
+// the file byte for byte.
+#pragma once
+
+#include "report.h"
+#include "telemetry/manifest.h"
+#include "telemetry/metrics.h"
+
+namespace eccm0::bench {
+
+inline void manifest_begin(JsonWriter& w, const char* tool,
+                           const Args* args = nullptr) {
+  w.begin_object();
+  w.field("schema", telemetry::kManifestSchema);
+  w.field("tool", tool);
+  const telemetry::BuildInfo b = telemetry::build_info();
+  w.begin_object("build");
+  w.field("compiler", b.compiler);
+  w.field("build_type", b.build_type);
+  w.end_object();
+  w.begin_object("run");
+  if (args != nullptr) {
+    w.field("seed", args->seed);
+    w.field("iters", args->iters);
+    w.field("threads", static_cast<std::uint64_t>(args->threads));
+    w.field("engine", args->engine);
+    w.field("mem", args->mem);
+  }
+  w.end_object();
+  w.begin_object("payload");
+}
+
+inline void manifest_end(JsonWriter& w,
+                         const telemetry::MetricsRegistry* metrics = nullptr) {
+  w.end_object();  // payload
+  w.raw("metrics",
+        metrics != nullptr ? metrics->snapshot_json().dump() : "{}");
+  w.end_object();  // envelope
+}
+
+/// Wrap an already-written JSON file in the manifest envelope, in place
+/// (for reporters we don't control, e.g. google-benchmark's --benchmark_out).
+inline bool wrap_file_in_manifest(const std::string& path, const char* tool) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  telemetry::RunManifest man(tool);
+  man.set_payload_raw(std::move(text));
+  return man.write_file(path);
+}
+
+}  // namespace eccm0::bench

@@ -275,6 +275,12 @@ class Args {
   std::string mem = "raw";
   bool json = false;          ///< --json[=PATH] was passed
   std::string json_path;      ///< resolved output path (empty until then)
+  /// Live-progress mode for `--progress[=off|plain]` (bare form means
+  /// "plain"). Kept as the flag spelling so this header stays
+  /// telemetry-free; harnesses convert with
+  /// telemetry::progress_mode_from_name, which throws on a bad value.
+  /// Progress lines go to stderr, so `--json` output stays clean.
+  std::string progress = "off";
 
   /// Register a bench-specific boolean flag, e.g. "--quick".
   void add_flag(const char* name, bool* dst) { flags_.push_back({name, dst}); }
@@ -306,6 +312,10 @@ class Args {
         engine = a + 9;
       } else if (std::strncmp(a, "--mem=", 6) == 0) {
         mem = a + 6;
+      } else if (std::strcmp(a, "--progress") == 0) {
+        progress = "plain";
+      } else if (std::strncmp(a, "--progress=", 11) == 0) {
+        progress = a + 11;
       } else if (a[0] == '-') {
         if (!match_extra(a)) {
           std::fprintf(stderr, "unknown flag '%s'%s\n", a, usage_suffix());
@@ -347,7 +357,8 @@ class Args {
 
   const char* usage_suffix() const {
     return " (standard flags: --json[=PATH] --threads=N --seed=S --iters=N"
-           " --engine=perstep|predecode|threaded --mem=raw|parity|secded)";
+           " --engine=perstep|predecode|threaded --mem=raw|parity|secded"
+           " --progress[=off|plain])";
   }
 
   std::vector<std::pair<const char*, bool*>> flags_;

@@ -8,11 +8,23 @@
 //   ecctool ecdh    <priv-hex> <peer-pub-hex>
 //   ecctool info
 //   ecctool profile [kernel] [--calls=N] [--threads=N] [--engine=E]
-//                   [--mem=M]
+//                   [--mem=M] [--json[=P]]
 //   ecctool campaign [--runs=N] [--seed=S] [--threads=N] [--engine=E]
+//                    [--json[=P]]
 //   ecctool memfault [--runs=N] [--ber=LIST] [--mem=M] [--scrub=N]
 //                    [--seed=S] [--threads=N] [--engine=E] [--json[=P]]
 //   ecctool sca [kernel] [--iters=N] [--seed=S] [--threads=N] [--engine=E]
+//               [--json[=P]]
+//   ecctool stats <manifest.json> [--tracks]
+//
+// Every simulation subcommand accepts `--progress[=off|plain]` (live
+// stderr progress from the campaign loops) and `--json[=PATH]`, which
+// mirrors the run into the telemetry run-manifest envelope
+// ("eccm0.run.v1": build info, run config, payload, metric snapshots —
+// see src/telemetry/manifest.h). `stats` reads such a manifest back and
+// pretty-prints it; with --tracks it additionally exports each metric
+// histogram's bucket distribution as a Perfetto counter track
+// (profile::counter_track_json) next to the manifest.
 //
 // `profile` runs a K-233 field kernel on the cycle-accurate armvm with
 // the symbol-attributed profiler and RAM heatmap attached (one private
@@ -37,6 +49,7 @@
 // --engine=perstep|predecode|threaded to pick the armvm execution
 // engine; traced subcommands observe identical streams on every engine).
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +64,7 @@
 #include "crypto/ecdsa.h"
 #include "ec/codec.h"
 #include "faultsim/campaign.h"
+#include "manifest.h"
 #include "profile/heatmap.h"
 #include "profile/profiler.h"
 #include "profile/trace_export.h"
@@ -58,6 +72,8 @@
 #include "sca/campaign.h"
 #include "sca/ct_check.h"
 #include "sim/batch.h"
+#include "telemetry/metrics.h"
+#include "telemetry/progress.h"
 #include "workloads/kp_mix.h"
 #include "workloads/registry.h"
 
@@ -112,12 +128,13 @@ int usage() {
                " [--engine=E]\n"
                "       ecctool memfault [--runs=N] [--ber=B1,B2,...]"
                " [--mem=M] [--scrub=N]\n"
-               "                        [--seed=S] [--threads=N] [--engine=E]"
-               " [--json[=PATH]]\n"
+               "                        [--seed=S] [--threads=N] [--engine=E]\n"
                "       ecctool sca [kernel] [--iters=N] [--seed=S]"
                " [--threads=N] [--engine=E]\n"
-               "  (E = perstep|predecode|threaded,"
-               " M = raw|parity|secded)\n");
+               "       ecctool stats <manifest.json> [--tracks]\n"
+               "  (E = perstep|predecode|threaded, M = raw|parity|secded;\n"
+               "   simulation subcommands also take --json[=PATH] for a run\n"
+               "   manifest and --progress[=off|plain] for live progress)\n");
   return 2;
 }
 
@@ -171,7 +188,8 @@ int run_profile(int argc, char** argv) {
   std::uint64_t calls = 1;
   bench::Args args;
   args.add_u64("--calls", &calls);
-  if (!args.parse(argc - 2, argv + 2, "") || args.positionals().size() > 1) {
+  if (!args.parse(argc - 2, argv + 2, "ecctool_profile.json") ||
+      args.positionals().size() > 1) {
     return usage();
   }
   if (calls == 0) calls = 1;
@@ -189,7 +207,9 @@ int run_profile(int argc, char** argv) {
   // Fan the calls across one context per task; each context has private
   // sinks, merged below, so the aggregate attribution is thread-count
   // independent.
+  telemetry::MetricsRegistry metrics;
   sim::BatchExecutor pool(threads);
+  pool.set_metrics(&metrics);
   const unsigned workers =
       static_cast<unsigned>(std::min<std::uint64_t>(
           threads == 0 ? calls : std::min<std::uint64_t>(threads, calls),
@@ -283,6 +303,33 @@ int run_profile(int argc, char** argv) {
     std::printf("\nwrote ecctool_trace.json (Perfetto) and "
                 "ecctool_flame.txt (flamegraph.pl)\n");
   }
+
+  if (args.json) {
+    bench::JsonWriter w;
+    bench::manifest_begin(w, "ecctool-profile", &args);
+    w.field("subcommand", "profile");
+    w.field("kernel", kernel);
+    w.field("calls", calls);
+    w.field("contexts", static_cast<std::uint64_t>(workers));
+    w.field("instructions", all.instructions);
+    w.field("cycles", all.cycles);
+    w.field("energy_uj", all.energy_uj);
+    w.begin_array("functions");
+    for (const auto& f : fns) {
+      w.begin_object();
+      w.field("name", f.name);
+      w.field("calls", f.calls);
+      w.field("instructions", f.instructions);
+      w.field("self_cycles", f.self_cycles);
+      w.field("inclusive_cycles", f.inclusive_cycles);
+      w.end_object();
+    }
+    w.end_array();
+    bench::manifest_end(w, &metrics);
+    if (w.write_file(args.json_path)) {
+      std::printf("manifest written to %s\n", args.json_path.c_str());
+    }
+  }
   return 0;
 }
 
@@ -293,13 +340,20 @@ int run_campaign(int argc, char** argv) {
   args.seed = cfg.seed;
   args.threads = cfg.threads;
   args.add_u64("--runs", &cfg.runs_per_model);
-  if (!args.parse(argc - 2, argv + 2, "") || !args.positionals().empty()) {
+  if (!args.parse(argc - 2, argv + 2, "ecctool_campaign.json") ||
+      !args.positionals().empty()) {
     return usage();
   }
   if (cfg.runs_per_model == 0) cfg.runs_per_model = 1;
   cfg.seed = args.seed;
   cfg.threads = args.threads;
   cfg.engine = armvm::decode_mode_from_name(args.engine);
+  telemetry::MetricsRegistry metrics;
+  telemetry::ProgressMeter progress(
+      telemetry::progress_mode_from_name(args.progress), "campaign",
+      cfg.runs_per_model * faultsim::kNumFaultModels);
+  cfg.metrics = &metrics;
+  cfg.progress = &progress;
   std::printf("kP fault campaign: seed 0x%llx, %llu runs/model, "
               "%u thread(s)\n\n",
               static_cast<unsigned long long>(cfg.seed),
@@ -324,6 +378,37 @@ int run_campaign(int argc, char** argv) {
     std::printf("  %-16s %10llu cycles  %8.2f uJ\n", profiles[p].name,
                 static_cast<unsigned long long>(res.costs[p].cycles),
                 res.costs[p].energy_uj);
+  }
+
+  if (args.json) {
+    bench::JsonWriter w;
+    bench::manifest_begin(w, "ecctool-campaign", &args);
+    w.field("subcommand", "campaign");
+    w.field("runs_per_model", cfg.runs_per_model);
+    w.begin_array("models");
+    for (const auto& m : res.models) {
+      w.begin_object();
+      w.field("model", faultsim::fault_model_name(m.model));
+      w.field("runs", m.runs);
+      w.field("injected", m.injected);
+      w.begin_array("profiles");
+      for (unsigned p = 0; p < faultsim::kNumProfiles; ++p) {
+        const auto& o = m.per_profile[p];
+        w.begin_object();
+        w.field("profile", profiles[p].name);
+        w.field("silent", o.silent);
+        w.field("detected", o.detected);
+        w.field("silent_rate", o.silent_rate());
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    bench::manifest_end(w, &metrics);
+    if (w.write_file(args.json_path)) {
+      std::printf("\nmanifest written to %s\n", args.json_path.c_str());
+    }
   }
   return 0;
 }
@@ -369,6 +454,8 @@ int run_memfault(int argc, char** argv) {
     return 2;
   }
   cfg.scrub_interval = scrub == kScrubUnset ? 1024 : scrub;
+  telemetry::MetricsRegistry metrics;
+  cfg.metrics = &metrics;
   if (!ber_list.empty()) {
     cfg.bers.clear();
     const char* s = ber_list.c_str();
@@ -390,6 +477,11 @@ int run_memfault(int argc, char** argv) {
       }
     }
   }
+
+  telemetry::ProgressMeter progress(
+      telemetry::progress_mode_from_name(args.progress), "memfault",
+      cfg.runs_per_cell * cfg.bers.size() * cfg.models.size());
+  cfg.progress = &progress;
 
   std::printf("SRAM bit-error campaign: seed 0x%llx, %llu runs/cell, "
               "%u thread(s), scrub %llu\n\n",
@@ -450,7 +542,7 @@ int run_memfault(int argc, char** argv) {
 
   if (!args.json_path.empty()) {
     bench::JsonWriter w;
-    w.begin_object();
+    bench::manifest_begin(w, "ecctool-memfault", &args);
     w.field("bench", "memfault");
     w.field("seed", cfg.seed);
     w.field("runs_per_cell", cfg.runs_per_cell);
@@ -475,7 +567,7 @@ int run_memfault(int argc, char** argv) {
       w.end_object();
     }
     w.end_array();
-    w.end_object();
+    bench::manifest_end(w, &metrics);
     if (w.write_file(args.json_path)) {
       std::printf("\nJSON written to %s\n", args.json_path.c_str());
     }
@@ -487,7 +579,8 @@ int run_sca(int argc, char** argv) {
   bench::Args args;
   args.seed = 0x5CA;
   args.iters = 40;  // TVLA traces per class
-  if (!args.parse(argc - 2, argv + 2, "") || args.positionals().size() > 1) {
+  if (!args.parse(argc - 2, argv + 2, "ecctool_sca.json") ||
+      args.positionals().size() > 1) {
     return usage();
   }
   const std::string kernel =
@@ -498,10 +591,15 @@ int run_sca(int argc, char** argv) {
 
   const armvm::Cpu::DecodeMode engine =
       armvm::decode_mode_from_name(args.engine);
+  telemetry::MetricsRegistry metrics;
+  telemetry::ProgressMeter progress(
+      telemetry::progress_mode_from_name(args.progress), "tvla traces",
+      2 * args.iters);
   sca::CtConfig ct_cfg;
   ct_cfg.kernel = kernel;
   ct_cfg.seed = args.seed;
   ct_cfg.engine = engine;
+  ct_cfg.metrics = &metrics;
   const sca::CtReport ct = sca::check_kernel_constant_trace(ct_cfg);
   std::printf("constant-trace (%u random draws):\n", ct.runs);
   std::printf("  timing    (pc/class/cycles): %s\n",
@@ -530,6 +628,8 @@ int run_sca(int argc, char** argv) {
   tv_cfg.seed = args.seed;
   tv_cfg.threads = args.threads;
   tv_cfg.engine = engine;
+  tv_cfg.metrics = &metrics;
+  tv_cfg.progress = &progress;
   const sca::TvlaCampaignResult res = sca::run_tvla_campaign(tv_cfg);
   const sca::TvlaSummary& s = res.summary;
   std::printf("\nTVLA fixed-vs-random (%llu traces, |t| > %.1f):\n",
@@ -547,6 +647,144 @@ int run_sca(int argc, char** argv) {
           "ecctool_ttrace.json",
           profile::counter_track_json("tvla |t| " + kernel, res.t_trace))) {
     std::printf("\nwrote ecctool_ttrace.json (Perfetto counter track)\n");
+  }
+
+  if (args.json) {
+    bench::JsonWriter w;
+    bench::manifest_begin(w, "ecctool-sca", &args);
+    w.field("subcommand", "sca");
+    w.field("kernel", kernel);
+    w.begin_object("constant_trace");
+    w.field("timing_constant", ct.constant);
+    w.field("addr_constant", ct.constant_addresses);
+    w.field("instructions", ct.trace_len);
+    w.field("min_cycles", ct.min_cycles);
+    w.field("max_cycles", ct.max_cycles);
+    w.end_object();
+    w.begin_object("tvla");
+    w.field("traces", res.traces);
+    w.field("compared_cycles", static_cast<std::uint64_t>(s.compared_cycles));
+    w.field("max_abs_t", s.max_abs_t);
+    w.field("cycles_over", static_cast<std::uint64_t>(s.cycles_over));
+    w.field("length_leak", s.length_leak);
+    w.field("leaky", s.leaky);
+    w.end_object();
+    bench::manifest_end(w, &metrics);
+    if (w.write_file(args.json_path)) {
+      std::printf("manifest written to %s\n", args.json_path.c_str());
+    }
+  }
+  return 0;
+}
+
+/// `ecctool stats <manifest.json> [--tracks]`: pretty-print a saved run
+/// manifest — build/run config, counters, gauges, histogram quantiles —
+/// and with --tracks export every histogram's bucket distribution as a
+/// Perfetto counter track (one file per histogram, sample i = count in
+/// the i-th occupied bucket).
+int run_stats(int argc, char** argv) {
+  bool tracks = false;
+  bench::Args args;
+  args.add_flag("--tracks", &tracks);
+  if (!args.parse(argc - 2, argv + 2, "") ||
+      args.positionals().size() != 1) {
+    return usage();
+  }
+  const std::string& path = args.positionals()[0];
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  const telemetry::Json doc = telemetry::Json::parse(text);
+  if (!telemetry::is_manifest(doc)) {
+    std::fprintf(stderr,
+                 "error: %s is not an %s run manifest (regenerate it with "
+                 "--json on a current build)\n",
+                 path.c_str(), telemetry::kManifestSchema);
+    return 1;
+  }
+
+  std::printf("tool    : %s\n", doc.get("tool")->as_string().c_str());
+  const telemetry::Json* build = doc.get("build");
+  for (const auto& [key, v] : build->members()) {
+    std::printf("%-8s: %s\n", key.c_str(),
+                v.kind() == telemetry::Json::Kind::kString
+                    ? v.as_string().c_str()
+                    : v.token().c_str());
+  }
+  const telemetry::Json* run = doc.get("run");
+  if (run->size() != 0) {
+    std::printf("run     :");
+    for (const auto& [key, v] : run->members()) {
+      std::printf(" %s=%s", key.c_str(),
+                  v.kind() == telemetry::Json::Kind::kString
+                      ? v.as_string().c_str()
+                      : v.token().c_str());
+    }
+    std::printf("\n");
+  }
+
+  const telemetry::Json* metrics = doc.get("metrics");
+  const telemetry::Json* counters = metrics->get("counters");
+  if (counters != nullptr && counters->size() != 0) {
+    std::printf("\ncounters:\n");
+    for (const auto& [name, v] : counters->members()) {
+      std::printf("  %-44s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v.as_u64()));
+    }
+  }
+  const telemetry::Json* gauges = metrics->get("gauges");
+  if (gauges != nullptr && gauges->size() != 0) {
+    std::printf("\ngauges:\n");
+    for (const auto& [name, v] : gauges->members()) {
+      std::printf("  %-44s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v.as_u64()));
+    }
+  }
+  const telemetry::Json* hists = metrics->get("histograms");
+  if (hists != nullptr && hists->size() != 0) {
+    std::printf("\nhistograms:\n");
+    for (const auto& [name, h] : hists->members()) {
+      auto u64 = [&h](const char* key) {
+        const telemetry::Json* v = h.get(key);
+        return v == nullptr ? std::uint64_t{0} : v->as_u64();
+      };
+      const telemetry::Json* unit = h.get("unit");
+      std::printf("  %-44s n=%llu min=%llu p50=%llu p90=%llu p99=%llu "
+                  "max=%llu %s\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(u64("count")),
+                  static_cast<unsigned long long>(u64("min")),
+                  static_cast<unsigned long long>(u64("p50")),
+                  static_cast<unsigned long long>(u64("p90")),
+                  static_cast<unsigned long long>(u64("p99")),
+                  static_cast<unsigned long long>(u64("max")),
+                  unit == nullptr ? "" : unit->as_string().c_str());
+      if (!tracks) continue;
+      const telemetry::Json* buckets = h.get("buckets");
+      if (buckets == nullptr || buckets->size() == 0) continue;
+      std::vector<double> counts;
+      for (const telemetry::Json& pair : buckets->items()) {
+        counts.push_back(pair.items()[1].as_f64());
+      }
+      std::string fname = "ecctool_stats_" + name + ".json";
+      for (char& c : fname) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.') c = '_';
+      }
+      if (profile::write_text_file(
+              fname, profile::counter_track_json(name, counts))) {
+        std::printf("    -> %s (Perfetto counter track, one sample per "
+                    "occupied bucket)\n",
+                    fname.c_str());
+      }
+    }
   }
   return 0;
 }
@@ -566,6 +804,7 @@ int main(int argc, char** argv) {
     if (cmd == "campaign") return run_campaign(argc, argv);
     if (cmd == "memfault") return run_memfault(argc, argv);
     if (cmd == "sca") return run_sca(argc, argv);
+    if (cmd == "stats") return run_stats(argc, argv);
     if (cmd == "info") {
       std::printf("curve     : %s (Koblitz, F(2^%u), a=0, b=1, h=%u)\n",
                   curve.name.c_str(), curve.f().m(), curve.cofactor);

@@ -7,6 +7,8 @@
 #include "gf2/k233.h"
 #include "relic_like/costs.h"
 #include "sim/batch.h"
+#include "telemetry/metrics.h"
+#include "telemetry/progress.h"
 #include "workloads/registry.h"
 
 namespace eccm0::faultsim {
@@ -175,6 +177,7 @@ KpFaultCampaign::RunObservation KpFaultCampaign::evaluate_run(
     const InjectedRun vm = run_with_fault(mul_prog_, mem, spec,
                                           kKernelBudget, engine_);
     obs.vm_injected = vm.injected;
+    obs.vm_cycles = vm.cycles;
     if (vm.outcome == RunOutcome::kCrashed) throw CrashSignal{};
     const auto words =
         mem.read_words(armvm::kRamBase + asmkernels::kVOff, 8);
@@ -209,9 +212,13 @@ ModelResult KpFaultCampaign::run_model(FaultModel model, std::uint64_t runs,
   res.model = model;
   res.runs = runs;
   sim::BatchExecutor pool(threads);
+  pool.set_metrics(metrics_);
+  telemetry::ProgressMeter* progress = progress_;
   const std::vector<RunObservation> observations =
       pool.map<RunObservation>(runs, [&](std::size_t run) {
-        return evaluate_run(model, static_cast<std::uint64_t>(run));
+        RunObservation obs = evaluate_run(model, static_cast<std::uint64_t>(run));
+        if (progress != nullptr) progress->tick();
+        return obs;
       });
 
   // Tally serially in run order, so the result is byte-for-byte the
@@ -242,6 +249,28 @@ ModelResult KpFaultCampaign::run_model(FaultModel model, std::uint64_t runs,
       }
       res.per_profile[p].add(outcome);
     }
+  }
+
+  if (metrics_ != nullptr) {
+    // Recorded here, in serial run order, from deterministic per-run
+    // observations — so the snapshot is the same for any thread count.
+    const std::string prefix =
+        std::string("campaign.kp.") + fault_model_name(model) + ".";
+    metrics_->counter(prefix + "runs").add(runs);
+    metrics_->counter(prefix + "injected").add(res.injected);
+    const auto& names = protection_profiles();
+    for (unsigned p = 0; p < kNumProfiles; ++p) {
+      const std::string pp = prefix + names[p].name + ".";
+      const OutcomeTally& t = res.per_profile[p];
+      metrics_->counter(pp + "correct").add(t.correct);
+      metrics_->counter(pp + "detected").add(t.detected);
+      metrics_->counter(pp + "crashed").add(t.crashed);
+      metrics_->counter(pp + "silent-wrong").add(t.silent);
+    }
+    telemetry::Histogram cycles;
+    for (const RunObservation& obs : observations) cycles.record(obs.vm_cycles);
+    metrics_->merge_histogram("campaign.kp.vm_cycles",
+                              telemetry::Unit::kCycles, cycles);
   }
   return res;
 }
@@ -332,6 +361,7 @@ MemFaultCampaign::RunObservation MemFaultCampaign::evaluate_run(
     never.index = ~std::uint64_t{0};
     const InjectedRun vm =
         run_with_fault(mul_prog_, mem, never, kKernelBudget, engine_);
+    obs.vm_cycles = vm.cycles;
     if (vm.outcome == RunOutcome::kCrashed) {
       harvest();
       obs.integrity = vm.fault_kind == armvm::FaultKind::kMemoryIntegrity;
@@ -389,14 +419,18 @@ MemModelReport MemFaultCampaign::run_model(const armvm::MemModelConfig& config,
   }
 
   sim::BatchExecutor pool(threads);
+  pool.set_metrics(metrics_);
+  telemetry::ProgressMeter* progress = progress_;
   const auto& profiles = protection_profiles();
   for (unsigned c = 0; c < bers.size(); ++c) {
     MemCell cell;
     cell.ber = bers[c];
     const std::vector<RunObservation> observations =
         pool.map<RunObservation>(runs_per_cell, [&](std::size_t run) {
-          return evaluate_run(config, c, cell.ber,
-                              static_cast<std::uint64_t>(run));
+          RunObservation obs = evaluate_run(config, c, cell.ber,
+                                            static_cast<std::uint64_t>(run));
+          if (progress != nullptr) progress->tick();
+          return obs;
         });
     // Tally serially in run order — byte-identical for any worker count.
     for (const RunObservation& obs : observations) {
@@ -428,6 +462,33 @@ MemModelReport MemFaultCampaign::run_model(const armvm::MemModelConfig& config,
         cell.per_profile[p].add(outcome);
       }
     }
+    if (metrics_ != nullptr) {
+      // Serial run-order tally of deterministic observations — summed
+      // across cells, so one counter set per (model, profile, outcome).
+      const std::string prefix =
+          std::string("campaign.mem.") + armvm::mem_model_name(config.kind) +
+          ".";
+      metrics_->counter(prefix + "runs").add(runs_per_cell);
+      metrics_->counter(prefix + "flipped_bits").add(cell.flipped_bits);
+      metrics_->counter(prefix + "hw_corrections").add(cell.hw_corrections);
+      metrics_->counter(prefix + "scrub_corrections")
+          .add(cell.scrub_corrections);
+      for (unsigned p = 0; p < kNumProfiles; ++p) {
+        const std::string pp = prefix + profiles[p].name + ".";
+        const MemOutcomeTally& t = cell.per_profile[p];
+        metrics_->counter(pp + "correct").add(t.correct);
+        metrics_->counter(pp + "corrected").add(t.corrected);
+        metrics_->counter(pp + "detected").add(t.detected);
+        metrics_->counter(pp + "crashed").add(t.crashed);
+        metrics_->counter(pp + "silent-wrong").add(t.silent);
+      }
+      telemetry::Histogram cycles;
+      for (const RunObservation& obs : observations) {
+        cycles.record(obs.vm_cycles);
+      }
+      metrics_->merge_histogram("campaign.mem.vm_cycles",
+                                telemetry::Unit::kCycles, cycles);
+    }
     rep.cells.push_back(cell);
   }
   return rep;
@@ -437,6 +498,8 @@ MemCampaignResult run_mem_campaign(const MemCampaignConfig& config) {
   MemCampaignResult res;
   res.config = config;
   MemFaultCampaign campaign(config.seed, config.engine);
+  campaign.set_metrics(config.metrics);
+  campaign.set_progress(config.progress);
   for (armvm::MemModelKind kind : config.models) {
     const armvm::MemModelConfig mc = armvm::MemModelConfig::for_kind(
         kind,
@@ -452,6 +515,8 @@ CampaignResult run_kp_campaign(const CampaignConfig& config) {
   CampaignResult res;
   res.config = config;
   KpFaultCampaign campaign(config.seed, config.engine);
+  campaign.set_metrics(config.metrics);
+  campaign.set_progress(config.progress);
   const FaultModel models[kNumFaultModels] = {
       FaultModel::kRegisterFlip, FaultModel::kRamFlip,
       FaultModel::kInstructionSkip, FaultModel::kOpcodeFlip};

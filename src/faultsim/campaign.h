@@ -24,6 +24,11 @@
 #include "ec/protect.h"
 #include "faultsim/inject.h"
 
+namespace eccm0::telemetry {
+class MetricsRegistry;
+class ProgressMeter;
+}
+
 namespace eccm0::faultsim {
 
 /// Classification of one injected kP run under one protection profile.
@@ -85,6 +90,12 @@ struct CampaignConfig {
   /// tally is engine-independent (see run_with_fault); this exists to
   /// A/B the engines under fault load.
   armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode;
+  /// Optional telemetry (nullptr = off, zero cost). Classification
+  /// counters and the `campaign.kp.vm_cycles` histogram are recorded at
+  /// the serial run-order tally, so the snapshot is identical for any
+  /// `threads`; the progress meter ticks once per completed run.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::ProgressMeter* progress = nullptr;
 };
 
 struct CampaignResult {
@@ -111,6 +122,10 @@ class KpFaultCampaign {
 
   const ec::AffinePoint& golden() const { return golden_; }
 
+  /// Optional telemetry hookup (see CampaignConfig::metrics/progress).
+  void set_metrics(telemetry::MetricsRegistry* m) { metrics_ = m; }
+  void set_progress(telemetry::ProgressMeter* p) { progress_ = p; }
+
  private:
   /// Everything one injected kP run observes; enough to classify it
   /// under every countermeasure profile.
@@ -122,6 +137,10 @@ class KpFaultCampaign {
     bool oncurve = true;
     bool order_ok = true;
     bool collapsed = false;
+    /// Simulated cycles of the injected VM kernel run (captured even
+    /// when it crashed) — deterministic, unlike wall time, so it can
+    /// feed a manifest histogram.
+    std::uint64_t vm_cycles = 0;
   };
   /// Evaluate one injection. Pure function of (seed, model, run) over
   /// the campaign's immutable state — safe to call from any thread.
@@ -136,6 +155,8 @@ class KpFaultCampaign {
   armvm::ProgramRef mul_prog_;      ///< fixed-register LD mul, reducing
   std::uint64_t kernel_retires_;    ///< instruction count of a clean mul
   std::uint64_t muls_per_kp_;       ///< fmul invocations in one clean kP
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::ProgressMeter* progress_ = nullptr;
 };
 
 /// Run the whole matrix: every fault model x every profile, plus the
@@ -216,6 +237,11 @@ struct MemCampaignConfig {
   std::vector<armvm::MemModelKind> models = {armvm::MemModelKind::kRaw,
                                              armvm::MemModelKind::kParity,
                                              armvm::MemModelKind::kSecded};
+  /// Optional telemetry (nullptr = off) — same discipline as
+  /// CampaignConfig: deterministic tallies recorded serially in run
+  /// order, progress ticked per completed run.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::ProgressMeter* progress = nullptr;
 };
 
 struct MemCampaignResult {
@@ -239,6 +265,10 @@ class MemFaultCampaign {
 
   const ec::AffinePoint& golden() const { return golden_; }
 
+  /// Optional telemetry hookup (see MemCampaignConfig::metrics/progress).
+  void set_metrics(telemetry::MetricsRegistry* m) { metrics_ = m; }
+  void set_progress(telemetry::ProgressMeter* p) { progress_ = p; }
+
  private:
   struct RunObservation {
     bool crashed = false;    ///< non-integrity fault
@@ -251,6 +281,7 @@ class MemFaultCampaign {
     std::uint64_t flipped = 0;
     std::uint64_t hw_corrections = 0;
     std::uint64_t scrub_corrections = 0;
+    std::uint64_t vm_cycles = 0;  ///< simulated cycles of the kernel run
   };
   /// Pure function of (seed, model kind, cell, run) over the campaign's
   /// immutable state — safe to call from any thread.
@@ -266,6 +297,8 @@ class MemFaultCampaign {
   ec::AffinePoint golden_;
   armvm::ProgramRef mul_prog_;
   std::uint64_t muls_per_kp_ = 0;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::ProgressMeter* progress_ = nullptr;
 };
 
 /// Run the whole BER x memory-model x protection-profile matrix.

@@ -136,9 +136,4 @@ class Profiler final : public armvm::TraceSink {
   costmodel::CycleHistogram total_hist_;
 };
 
-/// TeeSink moved next to TraceSink in armvm (it is a generic combinator
-/// needed by measure and sca too, not just the profiler). This alias
-/// keeps old spellings compiling for one release.
-using TeeSink [[deprecated("use armvm::TeeSink")]] = armvm::TeeSink;
-
 }  // namespace eccm0::profile

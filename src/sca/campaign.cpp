@@ -6,6 +6,8 @@
 #include "sca/ct_check.h"
 #include "sca/digest.h"
 #include "sim/batch.h"
+#include "telemetry/metrics.h"
+#include "telemetry/progress.h"
 #include "workloads/kp_mix.h"
 #include "workloads/registry.h"
 
@@ -20,7 +22,8 @@ TvlaCampaignResult run_tvla_campaign(const TvlaCampaignConfig& cfg) {
   const Rng fixed_stream = base.split(0xF17'ED00ull);
 
   const std::uint64_t n_tasks = 2ull * cfg.traces_per_class;
-  const sim::BatchExecutor exec(cfg.threads);
+  sim::BatchExecutor exec(cfg.threads);
+  exec.set_metrics(cfg.metrics);
   std::vector<measure::PowerTrace> traces =
       exec.map<measure::PowerTrace>(n_tasks, [&](std::uint64_t i) {
         Rng task_rng = base.split(i);
@@ -38,18 +41,27 @@ TvlaCampaignResult run_tvla_campaign(const TvlaCampaignConfig& cfg) {
         armvm::Cpu cpu(prog, mem, cfg.engine);
         cpu.set_trace_sink(&pow);
         cpu.call(prog->entry("entry"), {});
+        if (cfg.progress != nullptr) cfg.progress->tick();
         return pow.trace();
       });
 
   // Serial, index-ordered accumulation: the doubles come out the same
   // for any thread count.
   Tvla tvla(cfg.threshold);
+  telemetry::Histogram trace_cycles;
   for (std::uint64_t i = 0; i < n_tasks; ++i) {
+    const measure::PowerTrace& t = traces[static_cast<std::size_t>(i)];
+    trace_cycles.record(t.size());  // one rig sample per simulated cycle
     if ((i & 1) == 0) {
-      tvla.add_fixed(traces[static_cast<std::size_t>(i)]);
+      tvla.add_fixed(t);
     } else {
-      tvla.add_random(traces[static_cast<std::size_t>(i)]);
+      tvla.add_random(t);
     }
+  }
+  if (cfg.metrics != nullptr) {
+    cfg.metrics->counter("tvla.traces").add(n_tasks);
+    cfg.metrics->merge_histogram("tvla.trace_cycles",
+                                 telemetry::Unit::kCycles, trace_cycles);
   }
 
   TvlaCampaignResult res;

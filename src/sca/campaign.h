@@ -17,6 +17,11 @@
 #include "measure/power_trace.h"
 #include "sca/tvla.h"
 
+namespace eccm0::telemetry {
+class MetricsRegistry;
+class ProgressMeter;
+}
+
 namespace eccm0::sca {
 
 struct TvlaCampaignConfig {
@@ -30,6 +35,12 @@ struct TvlaCampaignConfig {
   /// threaded engine falls back per-instruction; t-digests are
   /// engine-independent by construction.
   armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode;
+  /// Optional telemetry (nullptr = off). The `tvla.trace_cycles`
+  /// histogram is recorded at the serial index-ordered accumulation
+  /// from trace lengths (simulated cycles), so it is thread-count-
+  /// invariant; the progress meter ticks once per collected trace.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::ProgressMeter* progress = nullptr;
 };
 
 struct TvlaCampaignResult {

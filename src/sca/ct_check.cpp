@@ -9,6 +9,8 @@
 #include "gf2/k233.h"
 #include "gf2/traced.h"
 #include "mpint/uint.h"
+#include "telemetry/metrics.h"
+#include "telemetry/progress.h"
 #include "workloads/kp_mix.h"
 #include "workloads/registry.h"
 
@@ -91,6 +93,7 @@ CtReport check_kernel_constant_trace(const CtConfig& cfg) {
 
   TraceDigest ref;
   TraceDigest cur;
+  telemetry::Histogram run_cycles;
   for (unsigned run = 0; run < cfg.runs; ++run) {
     Rng op_rng = base.split(run);
     armvm::Memory mem(workloads::kKernelRamSize);
@@ -100,6 +103,8 @@ CtReport check_kernel_constant_trace(const CtConfig& cfg) {
     d.clear();
     cpu.set_trace_sink(&d);
     cpu.call(prog->entry("entry"), {});
+    run_cycles.record(d.cycles());
+    if (cfg.progress != nullptr) cfg.progress->tick();
     if (d.cycles() < rep.min_cycles) rep.min_cycles = d.cycles();
     if (d.cycles() > rep.max_cycles) rep.max_cycles = d.cycles();
     if (run > 0 && rep.constant_addresses) {
@@ -117,6 +122,12 @@ CtReport check_kernel_constant_trace(const CtConfig& cfg) {
   rep.trace_len = ref.instructions();
   rep.ref_cycles = ref.cycles();
   rep.digest = ref.digest(/*with_addresses=*/false);
+  if (cfg.metrics != nullptr) {
+    cfg.metrics->counter("ct.runs").add(cfg.runs);
+    cfg.metrics->counter("ct.divergent").add(rep.constant ? 0 : 1);
+    cfg.metrics->merge_histogram("ct.run_cycles", telemetry::Unit::kCycles,
+                                 run_cycles);
+  }
   return rep;
 }
 

@@ -42,6 +42,11 @@
 #include "ec/ops.h"
 #include "sca/digest.h"
 
+namespace eccm0::telemetry {
+class MetricsRegistry;
+class ProgressMeter;
+}
+
 namespace eccm0::sca {
 
 struct CtConfig {
@@ -52,6 +57,11 @@ struct CtConfig {
   /// threaded engine takes its per-instruction fallback — the report is
   /// engine-independent by construction, and this exists to prove it.
   armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode;
+  /// Optional telemetry (nullptr = off): `ct.runs` / `ct.divergent`
+  /// counters and a `ct.run_cycles` histogram, recorded in the serial
+  /// run loop; the progress meter ticks once per verified run.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::ProgressMeter* progress = nullptr;
 };
 
 struct CtReport {

@@ -2,11 +2,43 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
 
+#include "telemetry/metrics.h"
+
 namespace eccm0::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+/// Per-worker metric shard: recorded lock-free by one worker, merged
+/// into the registry in worker-index order after the join.
+struct Shard {
+  telemetry::Histogram queue_wait;
+  telemetry::Histogram run;
+};
+
+void merge_shards(telemetry::MetricsRegistry& m, std::uint64_t n,
+                  const std::vector<Shard>& shards) {
+  m.counter("batch.batches").add(1);
+  m.counter("batch.tasks").add(n);
+  for (const Shard& s : shards) {
+    m.merge_histogram("batch.queue_wait_ns", telemetry::Unit::kNanos,
+                      s.queue_wait);
+    m.merge_histogram("batch.run_ns", telemetry::Unit::kNanos, s.run);
+  }
+}
+
+}  // namespace
 
 BatchExecutor::BatchExecutor(unsigned threads)
     : threads_(threads != 0 ? threads
@@ -15,8 +47,22 @@ BatchExecutor::BatchExecutor(unsigned threads)
 void BatchExecutor::for_each(
     std::uint64_t n, const std::function<void(std::uint64_t)>& fn) const {
   if (n == 0) return;
+  telemetry::MetricsRegistry* metrics = metrics_;
+
   if (threads_ <= 1 || n == 1) {
-    for (std::uint64_t i = 0; i < n; ++i) fn(i);
+    if (metrics == nullptr) {
+      for (std::uint64_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::vector<Shard> shards(1);
+    const Clock::time_point start = Clock::now();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Clock::time_point t0 = Clock::now();
+      shards[0].queue_wait.record(ns_between(start, t0));
+      fn(i);
+      shards[0].run.record(ns_between(t0, Clock::now()));
+    }
+    merge_shards(*metrics, n, shards);
     return;
   }
 
@@ -28,10 +74,21 @@ void BatchExecutor::for_each(
   std::exception_ptr first_error;
   std::uint64_t first_error_index = ~std::uint64_t{0};
 
-  auto worker = [&] {
+  const unsigned nthreads =
+      static_cast<unsigned>(std::min<std::uint64_t>(threads_, n));
+  std::vector<Shard> shards(metrics != nullptr ? nthreads : 0);
+  const Clock::time_point start = Clock::now();
+
+  auto worker = [&](unsigned w) {
+    Shard* shard = metrics != nullptr ? &shards[w] : nullptr;
     for (;;) {
       const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
+      Clock::time_point t0;
+      if (shard != nullptr) {
+        t0 = Clock::now();
+        shard->queue_wait.record(ns_between(start, t0));
+      }
       try {
         fn(i);
       } catch (...) {
@@ -43,16 +100,17 @@ void BatchExecutor::for_each(
           first_error = std::current_exception();
         }
       }
+      if (shard != nullptr) shard->run.record(ns_between(t0, Clock::now()));
     }
   };
 
-  const unsigned nthreads =
-      static_cast<unsigned>(std::min<std::uint64_t>(threads_, n));
   std::vector<std::thread> pool;
   pool.reserve(nthreads - 1);
-  for (unsigned t = 1; t < nthreads; ++t) pool.emplace_back(worker);
-  worker();  // the calling thread is worker 0
+  for (unsigned t = 1; t < nthreads; ++t) pool.emplace_back(worker, t);
+  worker(0);  // the calling thread is worker 0
   for (std::thread& t : pool) t.join();
+
+  if (metrics != nullptr) merge_shards(*metrics, n, shards);
 
   if (first_error) std::rethrow_exception(first_error);
 }

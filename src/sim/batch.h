@@ -14,6 +14,10 @@
 #include <functional>
 #include <vector>
 
+namespace eccm0::telemetry {
+class MetricsRegistry;
+}
+
 namespace eccm0::sim {
 
 class BatchExecutor {
@@ -23,6 +27,20 @@ class BatchExecutor {
   explicit BatchExecutor(unsigned threads = 0);
 
   unsigned threads() const { return threads_; }
+
+  /// Opt into telemetry (nullptr = off, the default). When set, every
+  /// for_each records `batch.batches` / `batch.tasks` counters and
+  /// per-task `batch.queue_wait_ns` / `batch.run_ns` wall histograms.
+  /// Workers record into private shards merged in worker-index order
+  /// after the join, so the registry mutex is touched once per batch,
+  /// not once per task. The counters (and any deterministic metrics the
+  /// tasks tally themselves) are thread-count-invariant; the _ns
+  /// histograms are wall-clock and therefore excluded from manifest
+  /// snapshots by their Unit. With no registry the dispatch loop takes
+  /// no clock reads and no locks — same cost as before telemetry
+  /// existed.
+  void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
+  telemetry::MetricsRegistry* metrics() const { return metrics_; }
 
   /// Invoke fn(i) exactly once for every i in [0, n), distributed over
   /// the pool. fn must be safe to call concurrently from different
@@ -46,6 +64,7 @@ class BatchExecutor {
 
  private:
   unsigned threads_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace eccm0::sim

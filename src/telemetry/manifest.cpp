@@ -1,0 +1,60 @@
+#include "telemetry/manifest.h"
+
+#include <cstdio>
+
+namespace eccm0::telemetry {
+
+#ifndef ECCM0_BUILD_TYPE
+#define ECCM0_BUILD_TYPE "unknown"
+#endif
+
+BuildInfo build_info() {
+  BuildInfo b;
+#if defined(__VERSION__)
+  b.compiler = __VERSION__;
+#else
+  b.compiler = "unknown";
+#endif
+  b.build_type = ECCM0_BUILD_TYPE;
+  return b;
+}
+
+Json build_info_json() {
+  const BuildInfo b = build_info();
+  Json j = Json::object();
+  j.set("compiler", Json::str(b.compiler));
+  j.set("build_type", Json::str(b.build_type));
+  return j;
+}
+
+Json RunManifest::to_json() const {
+  Json j = Json::object();
+  j.set("schema", Json::str(kManifestSchema));
+  j.set("tool", Json::str(tool_));
+  j.set("build", build_info_json());
+  j.set("run", run_);
+  j.set("payload", payload_);
+  j.set("metrics", metrics_);
+  return j;
+}
+
+bool RunManifest::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = dump();
+  std::fputs(text.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+bool is_manifest(const Json& doc) {
+  if (!doc.is_object()) return false;
+  const Json* schema = doc.get("schema");
+  if (schema == nullptr || schema->as_string() != kManifestSchema) return false;
+  return doc.get("tool") != nullptr && doc.get("build") != nullptr &&
+         doc.get("run") != nullptr && doc.get("payload") != nullptr &&
+         doc.get("metrics") != nullptr;
+}
+
+}  // namespace eccm0::telemetry

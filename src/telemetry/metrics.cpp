@@ -1,0 +1,208 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace eccm0::telemetry {
+
+const char* unit_name(Unit u) {
+  switch (u) {
+    case Unit::kCount: return "count";
+    case Unit::kCycles: return "cycles";
+    case Unit::kBytes: return "bytes";
+    case Unit::kNanos: return "nanos";
+  }
+  return "?";
+}
+
+std::size_t Histogram::index_of(std::uint64_t v) {
+  if (v < 2 * kSubBuckets) return static_cast<std::size_t>(v);
+  const unsigned exp = 63u - static_cast<unsigned>(std::countl_zero(v));
+  const unsigned shift = exp - kSubBucketBits;
+  return (static_cast<std::size_t>(shift) << kSubBucketBits) +
+         static_cast<std::size_t>(v >> shift);
+}
+
+std::uint64_t Histogram::bucket_floor(std::size_t index) {
+  if (index < kSubBuckets) return index;
+  const std::uint64_t sub = kSubBuckets + (index & (kSubBuckets - 1));
+  const unsigned shift = static_cast<unsigned>(index >> kSubBucketBits) - 1;
+  return sub << shift;
+}
+
+void Histogram::record(std::uint64_t v) {
+  const std::size_t idx = index_of(v);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  const double raw = std::ceil(q * static_cast<double>(count_));
+  std::uint64_t rank = raw < 1.0 ? 1 : static_cast<std::uint64_t>(raw);
+  rank = std::min(rank, count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= rank) {
+      return std::clamp(bucket_floor(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Histogram::nonzero_buckets()
+    const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) out.emplace_back(bucket_floor(i), buckets_[i]);
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Unit unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace(std::string(name));
+  if (inserted) it->second.first = unit;
+  return it->second.second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Unit unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gauges_.try_emplace(std::string(name));
+  if (inserted) it->second.first = unit;
+  return it->second.second;
+}
+
+void MetricsRegistry::record(std::string_view name, Unit unit,
+                             std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = hists_.try_emplace(std::string(name));
+  if (inserted) it->second.unit = unit;
+  it->second.h.record(value);
+}
+
+void MetricsRegistry::merge_histogram(std::string_view name, Unit unit,
+                                      const Histogram& shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = hists_.try_emplace(std::string(name));
+  if (inserted) it->second.unit = unit;
+  it->second.h.merge(shard);
+}
+
+Histogram MetricsRegistry::histogram_copy(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hists_.find(name);
+  return it == hists_.end() ? Histogram{} : it->second.h;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.second.value();
+}
+
+std::uint64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second.second.value();
+}
+
+namespace {
+
+Json histogram_json(const Histogram& h) {
+  Json j = Json::object();
+  j.set("count", Json::number(h.count()));
+  j.set("min", Json::number(h.min()));
+  j.set("max", Json::number(h.max()));
+  j.set("sum", Json::number(h.sum()));
+  j.set("mean", Json::number(h.mean()));
+  j.set("p50", Json::number(h.quantile(0.50)));
+  j.set("p90", Json::number(h.quantile(0.90)));
+  j.set("p99", Json::number(h.quantile(0.99)));
+  Json buckets = Json::array();
+  for (const auto& [floor, count] : h.nonzero_buckets()) {
+    Json pair = Json::array();
+    pair.push(Json::number(floor));
+    pair.push(Json::number(count));
+    buckets.push(std::move(pair));
+  }
+  j.set("buckets", std::move(buckets));
+  return j;
+}
+
+}  // namespace
+
+Json MetricsRegistry::snapshot_json(bool include_wall) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json out = Json::object();
+  Json counters = Json::object();
+  for (const auto& [name, entry] : counters_) {
+    if (!include_wall && is_wall_unit(entry.first)) continue;
+    counters.set(name, Json::number(entry.second.value()));
+  }
+  Json gauges = Json::object();
+  for (const auto& [name, entry] : gauges_) {
+    if (!include_wall && is_wall_unit(entry.first)) continue;
+    gauges.set(name, Json::number(entry.second.value()));
+  }
+  Json hists = Json::object();
+  for (const auto& [name, entry] : hists_) {
+    if (!include_wall && is_wall_unit(entry.unit)) continue;
+    Json h = histogram_json(entry.h);
+    h.set("unit", Json::str(unit_name(entry.unit)));
+    hists.set(name, std::move(h));
+  }
+  if (counters.size() != 0) out.set("counters", std::move(counters));
+  if (gauges.size() != 0) out.set("gauges", std::move(gauges));
+  if (hists.size() != 0) out.set("histograms", std::move(hists));
+  return out;
+}
+
+void MetricsRegistry::print(std::FILE* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : counters_) {
+    std::fprintf(out, "  %-44s %12llu %s\n", name.c_str(),
+                 static_cast<unsigned long long>(entry.second.value()),
+                 unit_name(entry.first));
+  }
+  for (const auto& [name, entry] : gauges_) {
+    std::fprintf(out, "  %-44s %12llu %s (gauge)\n", name.c_str(),
+                 static_cast<unsigned long long>(entry.second.value()),
+                 unit_name(entry.first));
+  }
+  for (const auto& [name, entry] : hists_) {
+    const Histogram& h = entry.h;
+    std::fprintf(out,
+                 "  %-44s n=%llu min=%llu p50=%llu p90=%llu p99=%llu "
+                 "max=%llu mean=%.1f %s\n",
+                 name.c_str(), static_cast<unsigned long long>(h.count()),
+                 static_cast<unsigned long long>(h.min()),
+                 static_cast<unsigned long long>(h.quantile(0.50)),
+                 static_cast<unsigned long long>(h.quantile(0.90)),
+                 static_cast<unsigned long long>(h.quantile(0.99)),
+                 static_cast<unsigned long long>(h.max()), h.mean(),
+                 unit_name(entry.unit));
+  }
+}
+
+}  // namespace eccm0::telemetry

@@ -1,0 +1,164 @@
+// Sharded metrics substrate: named counters, gauges, and log-bucket
+// latency histograms with exact-rank quantile queries.
+//
+// Design rules, in the order they mattered:
+//
+//   * Zero cost when disabled. Nothing in the hot path owns a registry;
+//     instrumented components hold a `MetricsRegistry*` that defaults to
+//     nullptr and guard every touch with a null check — the same
+//     discipline the tracing hook uses (PR 3), so the untraced /
+//     unmetered configuration keeps its existing codegen.
+//
+//   * Deterministic output. Snapshots iterate a sorted name map, so the
+//     emitted JSON does not depend on registration order (which can vary
+//     with thread interleaving). Metrics carry a Unit; wall-clock
+//     metrics (Unit::kNanos) are recorded and printable but excluded
+//     from manifest snapshots, because byte-identical manifests across
+//     runs is an acceptance criterion and wall time never is.
+//
+//   * Associative merge. Histogram is a plain value type (no locks, no
+//     atomics) so each worker can record into a private shard;
+//     Histogram::merge is commutative and associative over the recorded
+//     multiset, so merging shards in worker-index order yields the same
+//     histogram for any thread count that saw the same values.
+//
+// Bucketing is the HdrHistogram scheme: values below 2*kSubBuckets are
+// their own bucket (exact); above that, each power-of-two octave is
+// split into kSubBuckets linear sub-buckets, bounding relative error by
+// 2^-kSubBucketBits (3.125%). Quantiles return the bucket floor at the
+// exact rank ceil(q*count), clamped to the recorded [min, max].
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace eccm0::telemetry {
+
+/// What a metric's values measure. kNanos marks wall-clock data, which
+/// snapshot_json() omits by default to keep manifests deterministic.
+enum class Unit : std::uint8_t { kCount, kCycles, kBytes, kNanos };
+
+const char* unit_name(Unit u);
+inline bool is_wall_unit(Unit u) { return u == Unit::kNanos; }
+
+/// Monotonic event count. Increments are lock-free; callers on hot
+/// paths should look the counter up once and keep the reference.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins sample of a level (queue depth, worker count, ...).
+class Gauge {
+ public:
+  void set(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Log-bucket histogram of uint64 samples. Plain value type: recording
+/// is single-writer (use one shard per worker and merge), merge is
+/// associative + commutative, and equal recorded multisets produce
+/// equal state regardless of recording order.
+class Histogram {
+ public:
+  /// Sub-buckets per octave = 2^kSubBucketBits; also the relative-error
+  /// bound exponent (3.125% at 5 bits).
+  static constexpr unsigned kSubBucketBits = 5;
+  static constexpr unsigned kSubBuckets = 1u << kSubBucketBits;
+
+  /// Bucket index of a value. Values < 2*kSubBuckets map to themselves.
+  static std::size_t index_of(std::uint64_t v);
+  /// Smallest value mapping to bucket `index` (inverse of index_of on
+  /// bucket floors).
+  static std::uint64_t bucket_floor(std::size_t index);
+
+  void record(std::uint64_t v);
+  /// Fold `other` in: state becomes the histogram of the union multiset.
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at exact rank ceil(q*count) (1-based, clamped to [1, count]),
+  /// reported as its bucket floor clamped to [min, max]. Exact for
+  /// values below 2*kSubBuckets and for bucket-floor values; otherwise
+  /// within 2^-kSubBucketBits relative error. Returns 0 when empty.
+  std::uint64_t quantile(double q) const;
+
+  /// Occupied buckets as (floor, count) pairs in ascending floor order —
+  /// the full distribution, for snapshots and counter-track export.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> nonzero_buckets() const;
+
+  bool operator==(const Histogram& other) const = default;
+
+ private:
+  std::vector<std::uint64_t> buckets_;  ///< grown on demand
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+/// Named metric store. Lookup is mutex-guarded (cache the returned
+/// reference outside loops); returned references stay valid for the
+/// registry's lifetime. Snapshots iterate names in sorted order.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name, Unit unit = Unit::kCount);
+  Gauge& gauge(std::string_view name, Unit unit = Unit::kCount);
+
+  /// Record one sample into the named histogram (locked per call —
+  /// fine for per-run tallies; workers in tight loops should record
+  /// into a private Histogram shard and merge_histogram() it once).
+  void record(std::string_view name, Unit unit, std::uint64_t value);
+  /// Fold a worker shard into the named histogram.
+  void merge_histogram(std::string_view name, Unit unit,
+                       const Histogram& shard);
+
+  /// Copy of a named histogram (empty histogram if absent).
+  Histogram histogram_copy(std::string_view name) const;
+  std::uint64_t counter_value(std::string_view name) const;
+  std::uint64_t gauge_value(std::string_view name) const;
+
+  /// Deterministic snapshot: sorted names; counters/gauges as values,
+  /// histograms as {count,min,max,sum,mean,p50,p90,p99,buckets,unit}
+  /// where buckets is the [floor, count] distribution. Metrics with a
+  /// wall-clock unit are omitted unless `include_wall`.
+  Json snapshot_json(bool include_wall = false) const;
+
+  /// Human-readable dump (includes wall-clock metrics) for stderr.
+  void print(std::FILE* out) const;
+
+ private:
+  struct Hist {
+    Unit unit = Unit::kCycles;
+    Histogram h;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::pair<Unit, Counter>, std::less<>> counters_;
+  std::map<std::string, std::pair<Unit, Gauge>, std::less<>> gauges_;
+  std::map<std::string, Hist, std::less<>> hists_;
+};
+
+}  // namespace eccm0::telemetry

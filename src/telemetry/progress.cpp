@@ -1,0 +1,36 @@
+#include "telemetry/progress.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace eccm0::telemetry {
+
+ProgressMode progress_mode_from_name(std::string_view name) {
+  if (name == "off") return ProgressMode::kOff;
+  if (name == "plain") return ProgressMode::kPlain;
+  throw std::invalid_argument("unknown progress mode '" + std::string(name) +
+                              "' (expected off|plain)");
+}
+
+ProgressMeter::ProgressMeter(ProgressMode mode, std::string label,
+                             std::uint64_t total)
+    : total_(total),
+      stride_(total / 20 == 0 ? 1 : total / 20),
+      mode_(mode),
+      label_(std::move(label)) {}
+
+void ProgressMeter::tick(std::uint64_t n) {
+  const std::uint64_t now =
+      done_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (mode_ == ProgressMode::kOff) return;
+  // A tick of n > 1 may skip over a milestone; report when the increment
+  // crossed one (or finished), printing the count actually reached.
+  const bool crossed = (now / stride_) != ((now - n) / stride_);
+  if (crossed || now >= total_) {
+    std::fprintf(stderr, "%s: %llu/%llu\n", label_.c_str(),
+                 static_cast<unsigned long long>(now),
+                 static_cast<unsigned long long>(total_));
+  }
+}
+
+}  // namespace eccm0::telemetry

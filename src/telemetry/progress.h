@@ -1,0 +1,39 @@
+// Live completion reporting for long campaigns, behind the shared
+// `--progress[=off|plain]` flag. Output goes to stderr only, so a
+// campaign piping `--json` stdout or writing a manifest file never gets
+// polluted. "plain" prints newline-terminated milestone lines (log- and
+// CI-friendly, no terminal control codes); "off" is free: tick() is a
+// relaxed increment and one predictable branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace eccm0::telemetry {
+
+enum class ProgressMode : std::uint8_t { kOff, kPlain };
+
+/// "off" | "plain" -> mode; throws std::invalid_argument otherwise.
+ProgressMode progress_mode_from_name(std::string_view name);
+
+/// Thread-safe milestone printer: ~20 lines per run plus the final
+/// count. The worker that crosses a milestone prints it, so each line
+/// appears exactly once regardless of thread count.
+class ProgressMeter {
+ public:
+  ProgressMeter(ProgressMode mode, std::string label, std::uint64_t total);
+
+  void tick(std::uint64_t n = 1);
+  std::uint64_t done() const { return done_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> done_{0};
+  std::uint64_t total_;
+  std::uint64_t stride_;
+  ProgressMode mode_;
+  std::string label_;
+};
+
+}  // namespace eccm0::telemetry
