@@ -10,7 +10,9 @@
 // shows ECDSA verify-after-sign refusing a faulted signature.
 //
 // Flags (bench::Args): --runs=N (default 1000 per model), --quick (25
-//        per model), --seed=S, --threads=N (batch-executor workers,
+//        per model), --seed=S, --curve=NAME (sect233k1 default; the
+//        secp curves fault the Montgomery-mul kernel inside a Jacobian
+//        wNAF ladder instead), --threads=N (batch-executor workers,
 //        default 1, 0 = hardware concurrency; tallies identical for any
 //        value), --json[=PATH] (default BENCH_fault_campaign.json).
 #include <chrono>
@@ -26,6 +28,7 @@
 #include "report.h"
 #include "telemetry/metrics.h"
 #include "telemetry/progress.h"
+#include "workloads/spec.h"
 
 namespace {
 
@@ -78,6 +81,13 @@ int main(int argc, char** argv) {
   }
   cfg.seed = args.seed;
   cfg.threads = args.threads;
+  try {
+    (void)workloads::curve_from_name(args.curve);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  cfg.curve = args.curve;
   if (quick) cfg.runs_per_model = 25;
   const std::string json_path = args.json_path;
 
@@ -88,7 +98,9 @@ int main(int argc, char** argv) {
   cfg.metrics = &metrics;
   cfg.progress = &progress;
 
-  bench::banner("Fault-injection campaign: wTNAF kP on sect233k1");
+  const std::string title =
+      "Fault-injection campaign: hardened kP on " + cfg.curve;
+  bench::banner(title.c_str());
   std::printf("seed 0x%llx, %llu injections per fault model, %u thread(s)"
               "\n\n",
               static_cast<unsigned long long>(cfg.seed),
@@ -166,7 +178,7 @@ int main(int argc, char** argv) {
     // parallel rerun's payload against the committed serial baseline).
     bench::manifest_begin(w, "bench_fault_campaign", &args);
     w.field("bench", "fault_campaign");
-    w.field("curve", "sect233k1");
+    w.field("curve", cfg.curve);
     w.field("seed", cfg.seed);
     w.field("runs_per_model", cfg.runs_per_model);
     w.raw("silent_rate_matrix", coverage.to_json());

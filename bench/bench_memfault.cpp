@@ -14,9 +14,11 @@
 // parallel re-run to be byte-identical to the committed baseline.
 //
 // Flags (bench::Args): --runs=N (default 200 per cell), --quick (40),
-//        --seed=S, --threads=N (0 = hardware concurrency; tallies
-//        identical for any value), --engine=E, --scrub=N (SECDED scrub
-//        period in accesses, default 1024, 0 = off),
+//        --seed=S, --curve=NAME (sect233k1 default; secp curves splice
+//        the Montgomery-mul kernel into a Jacobian wNAF kP), --threads=N
+//        (0 = hardware concurrency; tallies identical for any value),
+//        --engine=E, --scrub=N (SECDED scrub period in accesses,
+//        default 1024, 0 = off),
 //        --json[=PATH] (default BENCH_memfault.json).
 #include <chrono>
 #include <cstdio>
@@ -29,6 +31,7 @@
 #include "report.h"
 #include "telemetry/metrics.h"
 #include "telemetry/progress.h"
+#include "workloads/spec.h"
 
 namespace {
 
@@ -71,6 +74,13 @@ int main(int argc, char** argv) {
   cfg.seed = args.seed;
   cfg.threads = args.threads;
   cfg.engine = armvm::decode_mode_from_name(args.engine);
+  try {
+    (void)workloads::curve_from_name(args.curve);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  cfg.curve = args.curve;
   if (quick) cfg.runs_per_cell = 40;
   const std::string json_path = args.json_path;
 
@@ -82,9 +92,9 @@ int main(int argc, char** argv) {
   cfg.progress = &progress;
 
   bench::banner("Memory-fault campaign: SRAM bit errors vs codeword models");
-  std::printf("seed 0x%llx, %llu runs per (model x BER) cell, %u thread(s), "
-              "engine %s, SECDED scrub every %llu accesses\n\n",
-              static_cast<unsigned long long>(cfg.seed),
+  std::printf("seed 0x%llx, curve %s, %llu runs per (model x BER) cell, "
+              "%u thread(s), engine %s, SECDED scrub every %llu accesses\n\n",
+              static_cast<unsigned long long>(cfg.seed), cfg.curve.c_str(),
               static_cast<unsigned long long>(cfg.runs_per_cell), cfg.threads,
               args.engine.c_str(),
               static_cast<unsigned long long>(cfg.scrub_interval));
@@ -176,7 +186,7 @@ int main(int argc, char** argv) {
     bench::JsonWriter w;
     bench::manifest_begin(w, "bench_memfault", &args);
     w.field("bench", "memfault");
-    w.field("curve", "sect233k1");
+    w.field("curve", cfg.curve);
     w.field("seed", cfg.seed);
     w.field("runs_per_cell", cfg.runs_per_cell);
     w.field("engine", args.engine);

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "report.h"
 #include "workloads/kp_mix.h"
 #include "workloads/registry.h"
+#include "workloads/spec.h"
 
 using namespace eccm0;
 using armvm::Cpu;
@@ -117,12 +119,127 @@ void print_functions(Machine& m) {
   std::printf("\n");
 }
 
+/// `--curve=secpNNNr1` profile: the curve's Montgomery kernel mix of one
+/// Jacobian wNAF w=4 kP. The register-pinning heatmap comparison is a
+/// sect233k1 claim (there is no "plain" comparator kernel on GF(p)), so
+/// this path reports attribution + the Montgomery operand regions only.
+int run_prime_profile(const bench::Args& args,
+                      const workloads::CurveRef& curve) {
+  bench::banner("kP field-kernel profile - symbol attribution (GF(p))");
+
+  const ec::FieldOpCounts& ops = workloads::op_mix(curve);
+  std::printf("kP workload (Jacobian wNAF w=4, %s): %llu mul, %llu sqr, "
+              "%llu inv\n\n",
+              curve.name.c_str(), static_cast<unsigned long long>(ops.mul),
+              static_cast<unsigned long long>(ops.sqr),
+              static_cast<unsigned long long>(ops.inv));
+
+  Machine mont(curve.kernel_tag + "-mont");
+  Machine sqr(curve.kernel_tag + "-sqr");
+  Machine inv(curve.kernel_tag + "-inv");
+
+  const workloads::PrimeOperands& od = workloads::PrimeOperands::standard(curve);
+  for (Machine* m : {&mont, &sqr, &inv}) {
+    workloads::load_prime_modulus(m->mem, curve);
+  }
+  workloads::load_prime_mul_inputs(mont.mem, od.x, od.y);
+  workloads::load_prime_mul_inputs(sqr.mem, od.x, od.y);
+  workloads::load_prime_inv_input(inv.mem, od.a);
+
+  // All three prime kernels are rerunnable without an operand reload.
+  for (std::uint64_t i = 0; i < ops.mul; ++i) mont.call();
+  for (std::uint64_t i = 0; i < ops.sqr; ++i) sqr.call();
+  for (std::uint64_t i = 0; i < ops.inv; ++i) inv.call();
+
+  bool ok = true;
+  for (Machine* m : {&mont, &sqr, &inv}) ok = check_totals(*m) && ok;
+  if (!ok) return 1;
+  for (Machine* m : {&mont, &sqr, &inv}) print_functions(*m);
+
+  const unsigned n = curve.limbs;
+  const profile::MemHeatmap::Region kMontRegions[] = {
+      {"t (wide)", asmkernels::kWideOff, 2 * n},
+      {"out (reduced)", asmkernels::kOutOff, n},
+      {"x (multiplier)", asmkernels::kXOff, n},
+      {"y (multiplicand)", asmkernels::kYOff, n},
+      {"modulus", asmkernels::kPModOff, n},
+  };
+  std::printf("%s-mont RAM regions:\n", curve.kernel_tag.c_str());
+  bench::Table rt({"region", "loads", "stores", "peak word"});
+  for (const auto& rep : mont.heat.summarize(kMontRegions)) {
+    rt.add_row({rep.name, bench::fmt_u64(rep.loads),
+                bench::fmt_u64(rep.stores),
+                bench::fmt_u64(rep.peak_word_traffic)});
+  }
+  rt.print();
+
+  const profile::NamedProfile tracks[] = {
+      {curve.kernel_tag + "-mont", &mont.prof},
+      {curve.kernel_tag + "-sqr", &sqr.prof},
+      {curve.kernel_tag + "-inv", &inv.prof}};
+  if (profile::write_text_file("profile_trace.json",
+                               profile::chrome_trace_json(tracks)) &&
+      profile::write_text_file("profile_flame.txt",
+                               profile::collapsed_stack_text(tracks))) {
+    std::printf("\nwrote profile_trace.json (Perfetto / chrome://tracing) "
+                "and profile_flame.txt (flamegraph.pl)\n");
+  }
+
+  if (!args.json) return 0;
+  bench::JsonWriter w;
+  bench::manifest_begin(w, "bench_profile", &args);
+  w.field("bench", "profile");
+  w.begin_object("workload");
+  w.field("kind", "Jacobian wNAF w=4 kP field-kernel mix, " + curve.name);
+  w.field("mul", ops.mul);
+  w.field("sqr", ops.sqr);
+  w.field("inv", ops.inv);
+  w.end_object();
+  w.begin_object("machines");
+  for (Machine* m : {&mont, &sqr, &inv}) {
+    const armvm::RunStats s = m->cpu.stats();
+    w.begin_object(m->name.c_str());
+    w.field("instructions", s.instructions);
+    w.field("cycles", s.cycles);
+    w.field("energy_uj", s.energy().energy_uj());
+    w.field("totals_match_runstats", true);
+    w.begin_array("functions");
+    for (const auto& f : m->prof.functions()) {
+      w.begin_object();
+      w.field("name", f.name);
+      w.field("calls", f.calls);
+      w.field("instructions", f.instructions);
+      w.field("self_cycles", f.self_cycles);
+      w.field("inclusive_cycles", f.inclusive_cycles);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  bench::manifest_end(w);
+  if (!w.write_file(args.json_path)) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 args.json_path.c_str());
+  } else {
+    std::printf("wrote %s\n", args.json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Args args;
   if (!args.parse(argc - 1, argv + 1, "BENCH_profile.json") ||
       !args.positionals().empty()) {
+    return 2;
+  }
+  try {
+    const workloads::CurveRef& curve = workloads::curve_from_name(args.curve);
+    if (!curve.binary_field) return run_prime_profile(args, curve);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
 

@@ -40,6 +40,7 @@ inline void manifest_begin(JsonWriter& w, const char* tool,
     w.field("threads", static_cast<std::uint64_t>(args->threads));
     w.field("engine", args->engine);
     w.field("mem", args->mem);
+    w.field("curve", args->curve);
   }
   w.end_object();
   w.begin_object("payload");

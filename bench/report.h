@@ -251,6 +251,8 @@ inline std::string json_flag_path(int argc, char** argv,
 ///                  (armvm::decode_mode_from_name validates the value)
 ///   --mem=M        RAM protection model: raw|parity|secded
 ///                  (armvm::mem_model_from_name validates the value)
+///   --curve=C      workload curve: sect233k1|secp192r1|secp224r1|secp256r1
+///                  (workloads::curve_from_name validates the value)
 ///
 /// Field values set before parse() act as the defaults; a flag only
 /// overwrites its field when actually present. Benches register their
@@ -273,6 +275,11 @@ class Args {
   /// value). Harnesses that sweep all models may set "" as the default
   /// to mean "no restriction".
   std::string mem = "raw";
+  /// Curve name for `--curve=` (see workloads/spec.h). Kept as the flag
+  /// spelling so this header stays workloads-free; harnesses convert
+  /// with workloads::curve_from_name, which throws on an unknown name —
+  /// bench mains catch that and exit 2.
+  std::string curve = "sect233k1";
   bool json = false;          ///< --json[=PATH] was passed
   std::string json_path;      ///< resolved output path (empty until then)
   /// Live-progress mode for `--progress[=off|plain]` (bare form means
@@ -312,6 +319,8 @@ class Args {
         engine = a + 9;
       } else if (std::strncmp(a, "--mem=", 6) == 0) {
         mem = a + 6;
+      } else if (std::strncmp(a, "--curve=", 8) == 0) {
+        curve = a + 8;
       } else if (std::strcmp(a, "--progress") == 0) {
         progress = "plain";
       } else if (std::strncmp(a, "--progress=", 11) == 0) {
@@ -358,7 +367,7 @@ class Args {
   const char* usage_suffix() const {
     return " (standard flags: --json[=PATH] --threads=N --seed=S --iters=N"
            " --engine=perstep|predecode|threaded --mem=raw|parity|secded"
-           " --progress[=off|plain])";
+           " --curve=NAME --progress[=off|plain])";
   }
 
   std::vector<std::pair<const char*, bool*>> flags_;

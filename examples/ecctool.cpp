@@ -6,15 +6,17 @@
 //   ecctool sign    <priv-hex> <message...>
 //   ecctool verify  <pub-hex> <r-hex> <s-hex> <message...>
 //   ecctool ecdh    <priv-hex> <peer-pub-hex>
-//   ecctool info
-//   ecctool profile [kernel] [--calls=N] [--threads=N] [--engine=E]
-//                   [--mem=M] [--json[=P]]
-//   ecctool campaign [--runs=N] [--seed=S] [--threads=N] [--engine=E]
+//   ecctool info [--curve=C]
+//   ecctool kernels [--curve=C] [--json[=P]]
+//   ecctool profile [kernel] [--curve=C] [--calls=N] [--threads=N]
+//                   [--engine=E] [--mem=M] [--json[=P]]
+//   ecctool campaign [--curve=C] [--runs=N] [--seed=S] [--threads=N]
+//                    [--engine=E] [--json[=P]]
+//   ecctool memfault [--curve=C] [--runs=N] [--ber=LIST] [--mem=M]
+//                    [--scrub=N] [--seed=S] [--threads=N] [--engine=E]
 //                    [--json[=P]]
-//   ecctool memfault [--runs=N] [--ber=LIST] [--mem=M] [--scrub=N]
-//                    [--seed=S] [--threads=N] [--engine=E] [--json[=P]]
-//   ecctool sca [kernel] [--iters=N] [--seed=S] [--threads=N] [--engine=E]
-//               [--json[=P]]
+//   ecctool sca [kernel] [--curve=C] [--iters=N] [--seed=S] [--threads=N]
+//               [--engine=E] [--json[=P]]
 //   ecctool stats <manifest.json> [--tracks]
 //
 // Every simulation subcommand accepts `--progress[=off|plain]` (live
@@ -63,6 +65,7 @@
 #include "common/rng.h"
 #include "crypto/ecdsa.h"
 #include "ec/codec.h"
+#include "ecp/curve.h"
 #include "faultsim/campaign.h"
 #include "manifest.h"
 #include "profile/heatmap.h"
@@ -76,6 +79,7 @@
 #include "telemetry/progress.h"
 #include "workloads/kp_mix.h"
 #include "workloads/registry.h"
+#include "workloads/spec.h"
 
 using namespace eccm0;
 
@@ -121,21 +125,99 @@ int usage() {
                "       ecctool sign <priv-hex> <message...>\n"
                "       ecctool verify <pub-hex> <r-hex> <s-hex> <message...>\n"
                "       ecctool ecdh <priv-hex> <peer-pub-hex>\n"
-               "       ecctool info\n"
-               "       ecctool profile [kernel] [--calls=N] [--threads=N]"
-               " [--engine=E] [--mem=M]\n"
-               "       ecctool campaign [--runs=N] [--seed=S] [--threads=N]"
-               " [--engine=E]\n"
-               "       ecctool memfault [--runs=N] [--ber=B1,B2,...]"
-               " [--mem=M] [--scrub=N]\n"
+               "       ecctool info [--curve=C]\n"
+               "       ecctool kernels [--curve=C]\n"
+               "       ecctool profile [kernel] [--curve=C] [--calls=N]"
+               " [--threads=N] [--engine=E] [--mem=M]\n"
+               "       ecctool campaign [--curve=C] [--runs=N] [--seed=S]"
+               " [--threads=N] [--engine=E]\n"
+               "       ecctool memfault [--curve=C] [--runs=N]"
+               " [--ber=B1,B2,...] [--mem=M] [--scrub=N]\n"
                "                        [--seed=S] [--threads=N] [--engine=E]\n"
-               "       ecctool sca [kernel] [--iters=N] [--seed=S]"
+               "       ecctool sca [kernel] [--curve=C] [--iters=N] [--seed=S]"
                " [--threads=N] [--engine=E]\n"
                "       ecctool stats <manifest.json> [--tracks]\n"
-               "  (E = perstep|predecode|threaded, M = raw|parity|secded;\n"
+               "  (E = perstep|predecode|threaded, M = raw|parity|secded,\n"
+               "   C = sect233k1|secp192r1|secp224r1|secp256r1;\n"
                "   simulation subcommands also take --json[=PATH] for a run\n"
                "   manifest and --progress[=off|plain] for live progress)\n");
   return 2;
+}
+
+/// Validate `--curve=` the same way every bench main does: unknown names
+/// list the known set on stderr and exit 2.
+bool check_curve(const std::string& name) {
+  try {
+    (void)workloads::curve_from_name(name);
+    return true;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return false;
+  }
+}
+
+/// Default kernel for a curve: the field multiplication the campaigns
+/// splice (gf2 "mul", or the curve's Montgomery multiplication).
+std::string default_kernel(const std::string& curve_name) {
+  const workloads::CurveRef& c = workloads::curve_from_name(curve_name);
+  return c.binary_field ? "mul" : c.kernel_tag + "-mont";
+}
+
+/// `ecctool kernels [--curve=C]`: one row per registry entry — curve and
+/// field tag, limb count, assembled image size, symbol count. --curve
+/// restricts to one curve's kernels.
+int run_kernels(int argc, char** argv) {
+  bench::Args args;
+  args.curve = "";  // default: list every curve
+  if (!args.parse(argc - 2, argv + 2, "ecctool_kernels.json") ||
+      !args.positionals().empty()) {
+    return usage();
+  }
+  if (!args.curve.empty() && !check_curve(args.curve)) return 2;
+
+  auto& reg = workloads::KernelRegistry::instance();
+  bench::Table t({"kernel", "curve", "field", "limbs", "code bytes",
+                  "symbols"});
+  bench::JsonWriter w;
+  if (args.json) {
+    bench::manifest_begin(w, "ecctool-kernels", &args);
+    w.field("subcommand", "kernels");
+    w.begin_array("kernels");
+  }
+  unsigned listed = 0;
+  for (const std::string& name : reg.names()) {
+    const workloads::KernelInfo info = reg.info(name);
+    if (!args.curve.empty() && info.curve != args.curve) continue;
+    const armvm::ProgramRef prog = reg.get(name);
+    t.add_row({name, info.curve.empty() ? "-" : info.curve,
+               info.binary_field ? "GF(2^m)" : "GF(p)",
+               std::to_string(info.limbs), std::to_string(prog->code_bytes()),
+               std::to_string(prog->symbols().size())});
+    if (args.json) {
+      w.begin_object();
+      w.field("kernel", name);
+      w.field("curve", info.curve);
+      w.field("binary_field", info.binary_field);
+      w.field("limbs", static_cast<std::uint64_t>(info.limbs));
+      w.field("code_bytes", static_cast<std::uint64_t>(prog->code_bytes()));
+      w.field("symbols", static_cast<std::uint64_t>(prog->symbols().size()));
+      w.end_object();
+    }
+    ++listed;
+  }
+  t.print();
+  const std::string scope =
+      args.curve.empty() ? std::string() : " for " + args.curve;
+  std::printf("\n%u kernel(s)%s\n", listed, scope.c_str());
+  if (args.json) {
+    w.end_array();
+    w.field("count", static_cast<std::uint64_t>(listed));
+    bench::manifest_end(w);
+    if (w.write_file(args.json_path)) {
+      std::printf("manifest written to %s\n", args.json_path.c_str());
+    }
+  }
+  return 0;
 }
 
 /// One worker's share of a threaded profile: a private execution
@@ -151,6 +233,26 @@ struct ProfilePart {
   std::vector<std::uint64_t> stores;
 };
 
+/// Seed every operand slot a kernel family reads, then re-seed the
+/// consumable slots before each call so repeated calls replay one trace.
+void load_profile_operands(const std::string& kernel, armvm::Memory& mem) {
+  const workloads::KernelInfo info =
+      workloads::KernelRegistry::instance().info(kernel);
+  if (info.binary_field) {
+    const workloads::KernelOperands& od = workloads::KernelOperands::standard();
+    workloads::load_mul_inputs(mem, od.x, od.y);
+    workloads::load_sqr_table(mem);
+    workloads::load_inv_input(mem, od.a);  // also the sqr input slot
+    return;
+  }
+  const workloads::CurveRef& curve = workloads::curve_from_name(info.curve);
+  const workloads::PrimeOperands& od = workloads::PrimeOperands::standard(curve);
+  workloads::load_prime_modulus(mem, curve);
+  workloads::load_prime_mul_inputs(mem, od.x, od.y);
+  workloads::load_prime_inv_input(mem, od.a);
+  workloads::load_prime_wide_input(mem, od.wide);  // consumed by -redc
+}
+
 ProfilePart run_profile_part(const std::string& kernel, unsigned calls,
                              armvm::Cpu::DecodeMode engine,
                              const armvm::MemModelConfig& mem_model) {
@@ -160,11 +262,8 @@ ProfilePart run_profile_part(const std::string& kernel, unsigned calls,
   armvm::TeeSink tee({&prof, &heat});
   km.cpu().set_trace_sink(&tee);
 
-  const workloads::KernelOperands& od = workloads::KernelOperands::standard();
-  workloads::load_mul_inputs(km.mem(), od.x, od.y);
-  workloads::load_sqr_table(km.mem());
   for (unsigned c = 0; c < calls; ++c) {
-    workloads::load_inv_input(km.mem(), od.a);  // also the sqr input slot
+    load_profile_operands(kernel, km.mem());
     km.call();
   }
 
@@ -193,8 +292,10 @@ int run_profile(int argc, char** argv) {
     return usage();
   }
   if (calls == 0) calls = 1;
-  const std::string kernel =
-      args.positionals().empty() ? "mul" : args.positionals()[0];
+  if (!check_curve(args.curve)) return 2;
+  const std::string kernel = args.positionals().empty()
+                                 ? default_kernel(args.curve)
+                                 : args.positionals()[0];
   const armvm::Cpu::DecodeMode engine =
       armvm::decode_mode_from_name(args.engine);
   const armvm::MemModelConfig mem_model =
@@ -290,10 +391,7 @@ int run_profile(int argc, char** argv) {
   workloads::KernelMachine km(workloads::kernel(kernel), engine, mem_model);
   profile::Profiler prof(km.prog());
   km.cpu().set_trace_sink(&prof);
-  const workloads::KernelOperands& od = workloads::KernelOperands::standard();
-  workloads::load_mul_inputs(km.mem(), od.x, od.y);
-  workloads::load_sqr_table(km.mem());
-  workloads::load_inv_input(km.mem(), od.a);
+  load_profile_operands(kernel, km.mem());
   km.call();
   const profile::NamedProfile tracks[] = {{kernel, &prof}};
   if (profile::write_text_file("ecctool_trace.json",
@@ -348,15 +446,17 @@ int run_campaign(int argc, char** argv) {
   cfg.seed = args.seed;
   cfg.threads = args.threads;
   cfg.engine = armvm::decode_mode_from_name(args.engine);
+  if (!check_curve(args.curve)) return 2;
+  cfg.curve = args.curve;
   telemetry::MetricsRegistry metrics;
   telemetry::ProgressMeter progress(
       telemetry::progress_mode_from_name(args.progress), "campaign",
       cfg.runs_per_model * faultsim::kNumFaultModels);
   cfg.metrics = &metrics;
   cfg.progress = &progress;
-  std::printf("kP fault campaign: seed 0x%llx, %llu runs/model, "
+  std::printf("kP fault campaign on %s: seed 0x%llx, %llu runs/model, "
               "%u thread(s)\n\n",
-              static_cast<unsigned long long>(cfg.seed),
+              cfg.curve.c_str(), static_cast<unsigned long long>(cfg.seed),
               static_cast<unsigned long long>(cfg.runs_per_model),
               cfg.threads);
   const faultsim::CampaignResult res = faultsim::run_kp_campaign(cfg);
@@ -384,6 +484,7 @@ int run_campaign(int argc, char** argv) {
     bench::JsonWriter w;
     bench::manifest_begin(w, "ecctool-campaign", &args);
     w.field("subcommand", "campaign");
+    w.field("curve", cfg.curve);
     w.field("runs_per_model", cfg.runs_per_model);
     w.begin_array("models");
     for (const auto& m : res.models) {
@@ -437,6 +538,8 @@ int run_memfault(int argc, char** argv) {
   cfg.seed = args.seed;
   cfg.threads = args.threads;
   cfg.engine = armvm::decode_mode_from_name(args.engine);
+  if (!check_curve(args.curve)) return 2;
+  cfg.curve = args.curve;
   if (!args.mem.empty()) {
     cfg.models = {armvm::mem_model_from_name(args.mem)};
   }
@@ -483,9 +586,9 @@ int run_memfault(int argc, char** argv) {
       cfg.runs_per_cell * cfg.bers.size() * cfg.models.size());
   cfg.progress = &progress;
 
-  std::printf("SRAM bit-error campaign: seed 0x%llx, %llu runs/cell, "
+  std::printf("SRAM bit-error campaign on %s: seed 0x%llx, %llu runs/cell, "
               "%u thread(s), scrub %llu\n\n",
-              static_cast<unsigned long long>(cfg.seed),
+              cfg.curve.c_str(), static_cast<unsigned long long>(cfg.seed),
               static_cast<unsigned long long>(cfg.runs_per_cell), cfg.threads,
               static_cast<unsigned long long>(cfg.scrub_interval));
   const faultsim::MemCampaignResult res = faultsim::run_mem_campaign(cfg);
@@ -544,6 +647,7 @@ int run_memfault(int argc, char** argv) {
     bench::JsonWriter w;
     bench::manifest_begin(w, "ecctool-memfault", &args);
     w.field("bench", "memfault");
+    w.field("curve", cfg.curve);
     w.field("seed", cfg.seed);
     w.field("runs_per_cell", cfg.runs_per_cell);
     w.begin_array("models");
@@ -583,8 +687,10 @@ int run_sca(int argc, char** argv) {
       args.positionals().size() > 1) {
     return usage();
   }
-  const std::string kernel =
-      args.positionals().empty() ? "mul" : args.positionals()[0];
+  if (!check_curve(args.curve)) return 2;
+  const std::string kernel = args.positionals().empty()
+                                 ? default_kernel(args.curve)
+                                 : args.positionals()[0];
   if (!workloads::KernelRegistry::instance().contains(kernel)) {
     return usage();
   }
@@ -794,6 +900,33 @@ int run_stats(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  // The protocol commands run the sect233k1 host crypto stack. They
+  // accept the shared --curve= flag for symmetry, but the prime curves'
+  // ECDH/ECDSA transactions run as VM workloads (workloads::make_workload),
+  // not as host crypto — so anything else is rejected up front.
+  std::vector<char*> filtered;
+  if (cmd == "keygen" || cmd == "sign" || cmd == "verify" || cmd == "ecdh") {
+    std::string curve_flag = "sect233k1";
+    for (int i = 0; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--curve=", 8) == 0) {
+        curve_flag = argv[i] + 8;
+      } else {
+        filtered.push_back(argv[i]);
+      }
+    }
+    if (!check_curve(curve_flag)) return 2;
+    if (curve_flag != "sect233k1") {
+      std::fprintf(stderr,
+                   "error: host protocol crypto runs on sect233k1; run "
+                   "%s-curve transactions through the workload layer "
+                   "(bench_prime_vs_binary, ecctool profile/campaign/sca "
+                   "--curve=%s)\n",
+                   curve_flag.c_str(), curve_flag.c_str());
+      return 2;
+    }
+    argc = static_cast<int>(filtered.size());
+    argv = filtered.data();
+  }
   const crypto::Ecdsa ecdsa;
   const crypto::Ecdh ecdh;
   const auto& curve = ecdsa.curve();
@@ -804,8 +937,28 @@ int main(int argc, char** argv) {
     if (cmd == "campaign") return run_campaign(argc, argv);
     if (cmd == "memfault") return run_memfault(argc, argv);
     if (cmd == "sca") return run_sca(argc, argv);
+    if (cmd == "kernels") return run_kernels(argc, argv);
     if (cmd == "stats") return run_stats(argc, argv);
     if (cmd == "info") {
+      bench::Args args;
+      if (!args.parse(argc - 2, argv + 2, "") || !args.positionals().empty()) {
+        return usage();
+      }
+      if (!check_curve(args.curve)) return 2;
+      const workloads::CurveRef& ref = workloads::curve_from_name(args.curve);
+      if (!ref.binary_field) {
+        const ecp::PrimeCurve& pc = workloads::prime_curve(ref);
+        std::printf("curve     : %s (short Weierstrass, F(p), %u bits, "
+                    "%u limbs)\n",
+                    ref.name.c_str(), ref.bits, ref.limbs);
+        std::printf("p         : %s\n", pc.p.to_hex().c_str());
+        std::printf("order     : %s\n", pc.order.to_hex().c_str());
+        std::printf("generator : (%s,\n             %s)\n",
+                    pc.gx.to_hex().c_str(), pc.gy.to_hex().c_str());
+        std::printf("kernels   : %s-mul/-mont/-sqr/-redc/-inv\n",
+                    ref.kernel_tag.c_str());
+        return 0;
+      }
       std::printf("curve     : %s (Koblitz, F(2^%u), a=0, b=1, h=%u)\n",
                   curve.name.c_str(), curve.f().m(), curve.cofactor);
       std::printf("order     : %s\n", curve.order.to_hex().c_str());

@@ -74,4 +74,42 @@ inline constexpr std::uint32_t kInvG1Off = 0x640;
 inline constexpr std::uint32_t kInvG2Off = 0x660;
 inline constexpr std::uint32_t kInvVarsOff = 0x6C0;
 
+// ---------------------------------------------------------------------
+// Prime-field kernels (secp192r1/224r1/256r1 over mpint Montgomery
+// arithmetic). Same 2 KiB RAM layout, extended with a modulus block:
+//   0x700  m       n-word modulus (n = 6, 7, 8)
+//   0x720  m0inv   one word, -m[0]^-1 mod 2^32 (Montgomery constant)
+// Operands reuse the gf2 slots: x at kXOff, y at kYOff, standalone
+// inputs at kInOff / kWideOff, reduced results at kOutOff, raw products
+// at kVOff. The EEA inversion reuses the kInvUOff.. scratch vectors.
+// MULS on the M0+ is 32x32->32, so the 64-bit partial products are
+// built by a 16x16 decomposition subroutine (mul64) — the school-book
+// "compiled shape" the paper's selection model prices for prime fields.
+inline constexpr std::uint32_t kPModOff = 0x700;
+inline constexpr std::uint32_t kPM0Off = 0x720;
+
+/// School-book n x n -> 2n word multiplication (operand scanning, MAC
+/// via the 16x16 decomposition). x at kXOff, y at kYOff, raw 2n-word
+/// product at kVOff. No reduction.
+std::string gen_prime_mul(unsigned n);
+
+/// Montgomery multiplication: school-book product into the wide buffer
+/// followed by an in-place word-by-word REDC (mirrors
+/// mpint::Montgomery::redc including the final conditional subtract).
+/// x at kXOff, y at kYOff, m/m0inv at kPModOff/kPM0Off, n-word result
+/// (Montgomery domain) at kOutOff. With `square` the y operand is read
+/// from kXOff, giving the squaring kernel.
+std::string gen_prime_mont(unsigned n, bool square);
+
+/// Standalone REDC of a caller-loaded 2n-word value t at kWideOff
+/// (t < m*R required, as for any Montgomery intermediate); result
+/// t*R^-1 mod m at kOutOff.
+std::string gen_prime_redc(unsigned n);
+
+/// Modular inversion by the binary extended Euclidean algorithm
+/// (HAC 14.61): plain-domain input a at kInOff, a^-1 mod m at kOutOff,
+/// scratch u/v/x1/x2 in the kInvUOff.. vectors. A genuine looping and
+/// branching routine, like the gf2 EEA kernel.
+std::string gen_prime_inv(unsigned n);
+
 }  // namespace eccm0::asmkernels

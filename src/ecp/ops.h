@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "ecp/curve.h"
 
@@ -38,11 +39,27 @@ struct PrimeOpCounts {
 
 class PrimeCurveOps {
  public:
+  /// Fault-injection seam, mirroring ec::CurveOps::MulTamper: observes
+  /// every counted Montgomery multiplication (0-based running index,
+  /// both in-domain operands) and may overwrite the result in place.
+  /// Installed only by fault campaigns; normal runs pay one branch per
+  /// fmul.
+  using MulTamper = std::function<void(
+      std::uint64_t index, const mpint::UInt& a, const mpint::UInt& b,
+      mpint::UInt& r)>;
+
   explicit PrimeCurveOps(const PrimeCurve& c) : c_(c) {}
 
   const PrimeCurve& curve() const { return c_; }
   const PrimeOpCounts& counts() const { return counts_; }
   void reset_counts() { counts_ = {}; }
+
+  /// Install (or clear, with nullptr) the multiplication tamper hook.
+  /// Resets the running multiplication index to 0.
+  void set_mul_tamper(MulTamper t) {
+    tamper_ = std::move(t);
+    mul_index_ = 0;
+  }
 
   /// Import/export between plain integers mod p and the Montgomery domain.
   AffinePointP import_point(const mpint::UInt& x, const mpint::UInt& y) const;
@@ -53,7 +70,10 @@ class PrimeCurveOps {
 
   mpint::UInt fmul(const mpint::UInt& a, const mpint::UInt& b) {
     ++counts_.mul;
-    return c_.mont->mul(a, b);
+    if (!tamper_) [[likely]] return c_.mont->mul(a, b);
+    mpint::UInt r = c_.mont->mul(a, b);
+    tamper_(mul_index_++, a, b, r);
+    return r;
   }
   mpint::UInt fsqr(const mpint::UInt& a) {
     ++counts_.sqr;
@@ -90,6 +110,8 @@ class PrimeCurveOps {
  private:
   const PrimeCurve& c_;
   PrimeOpCounts counts_;
+  MulTamper tamper_;
+  std::uint64_t mul_index_ = 0;
 };
 
 /// Width-w NAF scalar multiplication (the doubling-based path a prime

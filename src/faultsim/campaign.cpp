@@ -3,6 +3,7 @@
 #include <span>
 
 #include "asmkernels/gen.h"
+#include "ecp/costing.h"
 #include "faultsim/biterr.h"
 #include "gf2/k233.h"
 #include "relic_like/costs.h"
@@ -10,6 +11,7 @@
 #include "telemetry/metrics.h"
 #include "telemetry/progress.h"
 #include "workloads/registry.h"
+#include "workloads/spec.h"
 
 namespace eccm0::faultsim {
 
@@ -97,6 +99,71 @@ struct GoldenKp {
   std::uint64_t muls_per_kp = 0;
 };
 
+/// Prime-curve analogue of GoldenKp, derived with the same seed
+/// discipline (its own stream — the binary stream is untouched, so the
+/// committed binary campaign baselines are byte-identical).
+struct GoldenKpP {
+  ecp::AffinePointP p;
+  UInt k;
+  ecp::AffinePointP golden;
+  std::uint64_t muls_per_kp = 0;
+};
+
+GoldenKpP derive_golden_p(const ecp::PrimeCurve& curve, std::uint64_t seed) {
+  GoldenKpP out;
+  Rng rng(seed);
+  ecp::PrimeCurveOps ops(curve);
+  const ecp::AffinePointP g = ops.generator();
+  UInt r;
+  do {
+    r = UInt::random_below(rng, curve.order);
+  } while (r.is_zero());
+  out.p = ecp::mul_wnaf_p(ops, g, r, 4);
+  do {
+    out.k = UInt::random_below(rng, curve.order);
+  } while (out.k.is_zero());
+  out.golden = ecp::mul_wnaf_p(ops, out.p, out.k, 4);
+
+  ecp::PrimeCurveOps counting(curve);
+  (void)ecp::mul_wnaf_p(counting, out.p, out.k, 4);
+  out.muls_per_kp = counting.counts().mul;
+  return out;
+}
+
+/// Write a UInt's low `n` limbs (zero padded) into kernel RAM.
+void write_uint(armvm::Memory& mem, std::uint32_t offset, const UInt& v,
+                std::size_t n) {
+  const auto limbs = v.limbs();
+  for (std::size_t i = 0; i < n; ++i) {
+    mem.store32(armvm::kRamBase + offset + 4 * static_cast<std::uint32_t>(i),
+                i < limbs.size() ? limbs[i] : 0);
+  }
+}
+
+UInt read_uint(armvm::Memory& mem, std::uint32_t offset, std::size_t n) {
+  std::vector<std::uint32_t> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = mem.load32(armvm::kRamBase + offset +
+                      4 * static_cast<std::uint32_t>(i));
+  }
+  return UInt(std::move(w));
+}
+
+/// FieldCostTable view of the n-limb prime-field cost model, so both
+/// families price their profile-overhead column through priced_cycles.
+ec::FieldCostTable prime_cost_table(std::size_t limbs) {
+  const ecp::PrimeFieldCosts pc = ecp::m0plus_prime_costs(limbs);
+  ec::FieldCostTable t;
+  t.name = "m0plus-prime";
+  t.mul = pc.mul;
+  t.sqr = pc.sqr;
+  t.inv = pc.inv;
+  t.fadd = pc.add;
+  t.call_overhead = pc.call_overhead;
+  t.pj_per_cycle = pc.pj_per_cycle;
+  return t;
+}
+
 GoldenKp derive_golden(const ec::BinaryCurve& curve, std::uint64_t seed) {
   GoldenKp out;
   Rng rng(seed);
@@ -126,11 +193,47 @@ GoldenKp derive_golden(const ec::BinaryCurve& curve, std::uint64_t seed) {
 }  // namespace
 
 KpFaultCampaign::KpFaultCampaign(std::uint64_t seed,
-                                 armvm::Cpu::DecodeMode engine)
+                                 armvm::Cpu::DecodeMode engine,
+                                 const std::string& curve)
     : seed_(seed),
       engine_(engine),
-      curve_(ec::BinaryCurve::sect233k1()),
-      mul_prog_(workloads::kernel("mul")) {
+      curve_(ec::BinaryCurve::sect233k1()) {
+  const workloads::CurveRef& ref = workloads::curve_from_name(curve);
+  prime_ = !ref.binary_field;
+  if (!prime_ && ref.name != "sect233k1") {
+    throw std::invalid_argument(
+        "KpFaultCampaign: unsupported binary curve '" + ref.name + "'");
+  }
+  FaultSpec never;
+  never.index = ~std::uint64_t{0};
+  if (prime_) {
+    pcurve_ = &workloads::prime_curve(ref);
+    mul_prog_ = workloads::kernel(ref.kernel_tag + "-mont");
+    // RAM flips may land anywhere in the prime layout's live data
+    // (product..modulus block).
+    data_words_ = (asmkernels::kPM0Off + 4) / 4;
+    GoldenKpP golden = derive_golden_p(*pcurve_, seed);
+    pp_ = golden.p;
+    k_ = golden.k;
+    pgolden_ = golden.golden;
+    muls_per_kp_ = golden.muls_per_kp;
+
+    // Clean kernel retirement count on representative operands: unlike
+    // the unrolled gf2 kernel the Montgomery loop's carry propagation
+    // is mildly data-dependent, but the spec window only needs a
+    // representative bound — indices past the actual retirement simply
+    // never fire (counted in `injected`).
+    armvm::Memory mem(kKernelRamSize);
+    workloads::load_prime_modulus(mem, ref);
+    write_uint(mem, asmkernels::kXOff, pp_.x, ref.limbs);
+    write_uint(mem, asmkernels::kYOff, pp_.y, ref.limbs);
+    const InjectedRun clean =
+        run_with_fault(mul_prog_, mem, never, kKernelBudget, engine_);
+    kernel_retires_ = clean.instructions;
+    return;
+  }
+  mul_prog_ = workloads::kernel("mul");
+  data_words_ = kKernelDataWords;
   GoldenKp golden = derive_golden(curve_, seed);
   p_ = golden.p;
   k_ = golden.k;
@@ -143,8 +246,6 @@ KpFaultCampaign::KpFaultCampaign(std::uint64_t seed,
   armvm::Memory mem(kKernelRamSize);
   write_fe(mem, asmkernels::kXOff, to_fe(p_.x));
   write_fe(mem, asmkernels::kYOff, to_fe(p_.y));
-  FaultSpec never;
-  never.index = ~std::uint64_t{0};
   const InjectedRun clean = run_with_fault(mul_prog_, mem, never,
                                            kKernelBudget, engine_);
   kernel_retires_ = clean.instructions;
@@ -152,6 +253,7 @@ KpFaultCampaign::KpFaultCampaign(std::uint64_t seed,
 
 KpFaultCampaign::RunObservation KpFaultCampaign::evaluate_run(
     FaultModel model, std::uint64_t run) const {
+  if (prime_) return evaluate_run_p(model, run);
   // Per-run stream: child `run` of the per-model stream. A pure function
   // of (seed, model, run), so any thread can evaluate any run and the
   // campaign is independent of scheduling order.
@@ -160,7 +262,7 @@ KpFaultCampaign::RunObservation KpFaultCampaign::evaluate_run(
   Rng rng = model_stream.split(run);
   const std::uint64_t target = rng.next_below(muls_per_kp_);
   const FaultSpec spec =
-      sample_spec(rng, model, kernel_retires_, kKernelDataWords);
+      sample_spec(rng, model, kernel_retires_, data_words_);
 
   // One evaluation per injection; the observations below are enough to
   // classify it under every countermeasure set.
@@ -199,6 +301,56 @@ KpFaultCampaign::RunObservation KpFaultCampaign::evaluate_run(
       // pass everything (see protect.cpp).
       obs.order_ok =
           ec::mul_wnaf(ops, q, curve_.order, 4) == AffinePoint::infinity();
+    }
+  } catch (const CrashSignal&) {
+    obs.crashed = true;
+  }
+  return obs;
+}
+
+KpFaultCampaign::RunObservation KpFaultCampaign::evaluate_run_p(
+    FaultModel model, std::uint64_t run) const {
+  // Same stream discipline as the binary path: pure in (seed, model,
+  // run), so the tally is thread-count invariant.
+  const Rng model_stream(seed_ ^ (0x9E3779B97F4A7C15ull *
+                                  (static_cast<std::uint64_t>(model) + 2)));
+  Rng rng = model_stream.split(run);
+  const std::uint64_t target = rng.next_below(muls_per_kp_);
+  const FaultSpec spec =
+      sample_spec(rng, model, kernel_retires_, data_words_);
+
+  const workloads::CurveRef& ref = workloads::curve_from_name(pcurve_->name);
+  const std::size_t n = ref.limbs;
+  RunObservation obs;
+  bool fired = false;
+  ecp::PrimeCurveOps ops(*pcurve_);
+  ops.set_mul_tamper([&](std::uint64_t idx, const UInt& a, const UInt& b,
+                         UInt& out) {
+    if (fired || idx != target) return;
+    fired = true;
+    armvm::Memory mem(kKernelRamSize);
+    workloads::load_prime_modulus(mem, ref);
+    write_uint(mem, asmkernels::kXOff, a, n);
+    write_uint(mem, asmkernels::kYOff, b, n);
+    const InjectedRun vm =
+        run_with_fault(mul_prog_, mem, spec, kKernelBudget, engine_);
+    obs.vm_injected = vm.injected;
+    obs.vm_cycles = vm.cycles;
+    if (vm.outcome == RunOutcome::kCrashed) throw CrashSignal{};
+    // The splice boundary reduces the (possibly faulted) raw kernel
+    // output into [0, p): the host Montgomery oracle's add/sub assume
+    // reduced operands, and a fault that escapes the field is still a
+    // wrong in-field value afterwards.
+    out = read_uint(mem, asmkernels::kOutOff, n) % pcurve_->p;
+  });
+  try {
+    const ecp::AffinePointP q = ecp::mul_wnaf_p(ops, pp_, k_, 4);
+    obs.inf = q.inf;
+    obs.oncurve = q.inf ? true : ops.on_curve(q);
+    obs.wrong = !ops.eq(q, pgolden_);
+    if (obs.wrong && obs.oncurve && !obs.inf) {
+      // Doubling-based order check, as on the binary side.
+      obs.order_ok = ecp::mul_wnaf_p(ops, q, pcurve_->order, 4).inf;
     }
   } catch (const CrashSignal&) {
     obs.crashed = true;
@@ -280,9 +432,22 @@ std::array<ProfileCost, kNumProfiles> KpFaultCampaign::profile_costs(
   std::array<ProfileCost, kNumProfiles> out;
   const auto& profiles = protection_profiles();
   for (unsigned p = 0; p < kNumProfiles; ++p) {
-    CurveOps ops(curve_);
-    (void)ec::scalarmul_protected(ops, p_, k_, 4, profiles[p].opts);
-    out[p].ops = ops.counts();
+    if (prime_) {
+      // Prime-side equivalent of ec::scalarmul_protected's clean run:
+      // the same checks, counted through PrimeCurveOps.
+      ecp::PrimeCurveOps ops(*pcurve_);
+      const ec::ProtectOpts& o = profiles[p].opts;
+      if (o.validate_input) (void)ops.on_curve(pp_);
+      const ecp::AffinePointP q = ecp::mul_wnaf_p(ops, pp_, k_, 4);
+      if (o.recheck_result) (void)ops.on_curve(q);
+      if (o.order_check) (void)ecp::mul_wnaf_p(ops, q, pcurve_->order, 4);
+      const ecp::PrimeOpCounts& c = ops.counts();
+      out[p].ops = {c.mul, c.sqr, c.inv, c.add};
+    } else {
+      CurveOps ops(curve_);
+      (void)ec::scalarmul_protected(ops, p_, k_, 4, profiles[p].opts);
+      out[p].ops = ops.counts();
+    }
     out[p].cycles = priced_cycles(out[p].ops, prices);
     out[p].energy_uj =
         static_cast<double>(out[p].cycles) * prices.pj_per_cycle * 1e-6;
@@ -314,11 +479,28 @@ void MemOutcomeTally::add(MemOutcome o) {
 }
 
 MemFaultCampaign::MemFaultCampaign(std::uint64_t seed,
-                                   armvm::Cpu::DecodeMode engine)
+                                   armvm::Cpu::DecodeMode engine,
+                                   const std::string& curve)
     : seed_(seed),
       engine_(engine),
-      curve_(ec::BinaryCurve::sect233k1()),
-      mul_prog_(workloads::kernel("mul")) {
+      curve_(ec::BinaryCurve::sect233k1()) {
+  const workloads::CurveRef& ref = workloads::curve_from_name(curve);
+  prime_ = !ref.binary_field;
+  if (!prime_ && ref.name != "sect233k1") {
+    throw std::invalid_argument(
+        "MemFaultCampaign: unsupported binary curve '" + ref.name + "'");
+  }
+  if (prime_) {
+    pcurve_ = &workloads::prime_curve(ref);
+    mul_prog_ = workloads::kernel(ref.kernel_tag + "-mont");
+    GoldenKpP golden = derive_golden_p(*pcurve_, seed);
+    pp_ = golden.p;
+    k_ = golden.k;
+    pgolden_ = golden.golden;
+    muls_per_kp_ = golden.muls_per_kp;
+    return;
+  }
+  mul_prog_ = workloads::kernel("mul");
   GoldenKp golden = derive_golden(curve_, seed);
   p_ = golden.p;
   k_ = golden.k;
@@ -329,6 +511,7 @@ MemFaultCampaign::MemFaultCampaign(std::uint64_t seed,
 MemFaultCampaign::RunObservation MemFaultCampaign::evaluate_run(
     const armvm::MemModelConfig& config, unsigned cell, double ber,
     std::uint64_t run) const {
+  if (prime_) return evaluate_run_p(config, cell, ber, run);
   // Per-run stream: child `run` of the per-cell stream, a pure function
   // of (seed, model kind, cell index, run index) — same scheme as
   // KpFaultCampaign, so any thread can evaluate any run.
@@ -398,6 +581,72 @@ MemFaultCampaign::RunObservation MemFaultCampaign::evaluate_run(
   return obs;
 }
 
+MemFaultCampaign::RunObservation MemFaultCampaign::evaluate_run_p(
+    const armvm::MemModelConfig& config, unsigned cell, double ber,
+    std::uint64_t run) const {
+  // Same stream discipline as the binary path.
+  const Rng cell_stream(
+      seed_ ^ (0x9E3779B97F4A7C15ull *
+               ((static_cast<std::uint64_t>(config.kind) + 2) * 64 + cell)));
+  Rng rng = cell_stream.split(run);
+  const std::uint64_t target = rng.next_below(muls_per_kp_);
+
+  const workloads::CurveRef& ref = workloads::curve_from_name(pcurve_->name);
+  const std::size_t n = ref.limbs;
+  RunObservation obs;
+  bool fired = false;
+  ecp::PrimeCurveOps ops(*pcurve_);
+  ops.set_mul_tamper([&](std::uint64_t idx, const UInt& a, const UInt& b,
+                         UInt& out) {
+    if (fired || idx != target) return;
+    fired = true;
+    armvm::Memory mem(kKernelRamSize, config);
+    workloads::load_prime_modulus(mem, ref);
+    write_uint(mem, asmkernels::kXOff, a, n);
+    write_uint(mem, asmkernels::kYOff, b, n);
+    const BitErrorStats errs = inject_bit_errors(mem, ber, rng);
+    obs.flipped = errs.flipped_bits;
+    const auto harvest = [&] {
+      obs.hw_corrections = mem.corrections();
+      obs.scrub_corrections = mem.scrub_corrections();
+    };
+    FaultSpec never;
+    never.index = ~std::uint64_t{0};
+    const InjectedRun vm =
+        run_with_fault(mul_prog_, mem, never, kKernelBudget, engine_);
+    obs.vm_cycles = vm.cycles;
+    if (vm.outcome == RunOutcome::kCrashed) {
+      harvest();
+      obs.integrity = vm.fault_kind == armvm::FaultKind::kMemoryIntegrity;
+      throw CrashSignal{};
+    }
+    UInt got;
+    try {
+      got = read_uint(mem, asmkernels::kOutOff, n);
+    } catch (const armvm::MemoryIntegrityFault&) {
+      // The result word itself is rotten: detected at readout.
+      harvest();
+      obs.integrity = true;
+      throw CrashSignal{};
+    }
+    harvest();
+    // Reduce at the splice boundary (see KpFaultCampaign::evaluate_run_p).
+    out = got % pcurve_->p;
+  });
+  try {
+    const ecp::AffinePointP q = ecp::mul_wnaf_p(ops, pp_, k_, 4);
+    obs.inf = q.inf;
+    obs.oncurve = q.inf ? true : ops.on_curve(q);
+    obs.wrong = !ops.eq(q, pgolden_);
+    if (obs.wrong && obs.oncurve && !obs.inf) {
+      obs.order_ok = ecp::mul_wnaf_p(ops, q, pcurve_->order, 4).inf;
+    }
+  } catch (const CrashSignal&) {
+    obs.crashed = !obs.integrity;
+  }
+  return obs;
+}
+
 MemModelReport MemFaultCampaign::run_model(const armvm::MemModelConfig& config,
                                            const std::vector<double>& bers,
                                            std::uint64_t runs_per_cell,
@@ -409,8 +658,16 @@ MemModelReport MemFaultCampaign::run_model(const armvm::MemModelConfig& config,
   // codeword scheme's cycle/energy overhead with no errors injected.
   {
     armvm::Memory mem(kKernelRamSize, config);
-    write_fe(mem, asmkernels::kXOff, to_fe(p_.x));
-    write_fe(mem, asmkernels::kYOff, to_fe(p_.y));
+    if (prime_) {
+      const workloads::CurveRef& ref =
+          workloads::curve_from_name(pcurve_->name);
+      workloads::load_prime_modulus(mem, ref);
+      write_uint(mem, asmkernels::kXOff, pp_.x, ref.limbs);
+      write_uint(mem, asmkernels::kYOff, pp_.y, ref.limbs);
+    } else {
+      write_fe(mem, asmkernels::kXOff, to_fe(p_.x));
+      write_fe(mem, asmkernels::kYOff, to_fe(p_.y));
+    }
     armvm::Cpu cpu(mul_prog_, mem, engine_);
     const armvm::RunStats st =
         cpu.call(mul_prog_->entry("entry"), {}, kKernelBudget);
@@ -497,7 +754,7 @@ MemModelReport MemFaultCampaign::run_model(const armvm::MemModelConfig& config,
 MemCampaignResult run_mem_campaign(const MemCampaignConfig& config) {
   MemCampaignResult res;
   res.config = config;
-  MemFaultCampaign campaign(config.seed, config.engine);
+  MemFaultCampaign campaign(config.seed, config.engine, config.curve);
   campaign.set_metrics(config.metrics);
   campaign.set_progress(config.progress);
   for (armvm::MemModelKind kind : config.models) {
@@ -514,7 +771,7 @@ MemCampaignResult run_mem_campaign(const MemCampaignConfig& config) {
 CampaignResult run_kp_campaign(const CampaignConfig& config) {
   CampaignResult res;
   res.config = config;
-  KpFaultCampaign campaign(config.seed, config.engine);
+  KpFaultCampaign campaign(config.seed, config.engine, config.curve);
   campaign.set_metrics(config.metrics);
   campaign.set_progress(config.progress);
   const FaultModel models[kNumFaultModels] = {
@@ -524,7 +781,12 @@ CampaignResult run_kp_campaign(const CampaignConfig& config) {
     res.models[m] =
         campaign.run_model(models[m], config.runs_per_model, config.threads);
   }
-  res.costs = campaign.profile_costs(relic_like::proposed_asm_costs());
+  // Price the profile-overhead column with the matching field family's
+  // cost model.
+  const workloads::CurveRef& ref = workloads::curve_from_name(config.curve);
+  res.costs = campaign.profile_costs(
+      ref.binary_field ? relic_like::proposed_asm_costs()
+                       : prime_cost_table(ref.limbs));
   return res;
 }
 

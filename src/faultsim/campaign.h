@@ -1,9 +1,12 @@
-// Fault-injection campaign against the paper's kP workload.
+// Fault-injection campaign against the paper's kP workload, on either
+// field family.
 //
-// Each injected run computes k*P on sect233k1 with the production wTNAF
-// path, but exactly one field multiplication inside it is executed on
-// the armvm Thumb kernel (the paper's fixed-register LD multiplier)
-// under a seeded FaultSpec. The faulted product — or the crash — then
+// Each injected run computes k*P with the production scalar-mult path
+// of the selected curve (wTNAF on sect233k1, Jacobian wNAF on the secp
+// prime curves), but exactly one field multiplication inside it is
+// executed on the armvm Thumb kernel (the fixed-register LD multiplier
+// for GF(2^m), the Montgomery multiplier for GF(p)) under a seeded
+// FaultSpec. The faulted product — or the crash — then
 // propagates through the rest of the scalar multiplication exactly as
 // it would on a glitched node. Every run is classified against each
 // countermeasure profile of ec::scalarmul_protected, producing the
@@ -17,11 +20,13 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "armvm/memmodel.h"
 #include "ec/costing.h"
 #include "ec/protect.h"
+#include "ecp/ops.h"
 #include "faultsim/inject.h"
 
 namespace eccm0::telemetry {
@@ -81,6 +86,9 @@ struct ModelResult {
 struct CampaignConfig {
   std::uint64_t seed = 0xECC0FA17u;
   std::uint64_t runs_per_model = 1000;
+  /// Workload curve (`--curve=`): sect233k1 or a secp prime curve.
+  /// Unknown names throw std::invalid_argument at campaign construction.
+  std::string curve = "sect233k1";
   /// Worker threads for the batch executor (0 = hardware concurrency).
   /// Results are bit-identical regardless of the thread count: every
   /// run's RNG stream is split from (seed, model, run index) alone and
@@ -108,7 +116,8 @@ class KpFaultCampaign {
  public:
   explicit KpFaultCampaign(
       std::uint64_t seed,
-      armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode);
+      armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode,
+      const std::string& curve = "sect233k1");
 
   /// Inject `runs` seeded faults of `model`, one per kP computation,
   /// fanned across `threads` workers (1 = serial; 0 = hardware
@@ -145,14 +154,22 @@ class KpFaultCampaign {
   /// Evaluate one injection. Pure function of (seed, model, run) over
   /// the campaign's immutable state — safe to call from any thread.
   RunObservation evaluate_run(FaultModel model, std::uint64_t run) const;
+  /// Prime-curve variant of evaluate_run (the kernel splice goes
+  /// through ecp::PrimeCurveOps::set_mul_tamper instead).
+  RunObservation evaluate_run_p(FaultModel model, std::uint64_t run) const;
 
   std::uint64_t seed_;
   armvm::Cpu::DecodeMode engine_;
+  bool prime_ = false;
   const ec::BinaryCurve& curve_;
   ec::AffinePoint p_;
   mpint::UInt k_;
   ec::AffinePoint golden_;
-  armvm::ProgramRef mul_prog_;      ///< fixed-register LD mul, reducing
+  const ecp::PrimeCurve* pcurve_ = nullptr;  ///< set when prime_
+  ecp::AffinePointP pp_;
+  ecp::AffinePointP pgolden_;
+  armvm::ProgramRef mul_prog_;      ///< LD mul (gf2) or Montgomery mul
+  std::uint32_t data_words_ = 0;    ///< RAM-flip target region, in words
   std::uint64_t kernel_retires_;    ///< instruction count of a clean mul
   std::uint64_t muls_per_kp_;       ///< fmul invocations in one clean kP
   telemetry::MetricsRegistry* metrics_ = nullptr;
@@ -227,6 +244,8 @@ struct MemModelReport {
 struct MemCampaignConfig {
   std::uint64_t seed = 0xECC0BE44u;
   std::uint64_t runs_per_cell = 200;
+  /// Workload curve (`--curve=`), same contract as CampaignConfig.
+  std::string curve = "sect233k1";
   unsigned threads = 1;
   armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode;
   /// Raw storage bit-error probabilities to sweep.
@@ -253,7 +272,8 @@ class MemFaultCampaign {
  public:
   explicit MemFaultCampaign(
       std::uint64_t seed,
-      armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode);
+      armvm::Cpu::DecodeMode engine = armvm::Cpu::DecodeMode::kPredecode,
+      const std::string& curve = "sect233k1");
 
   /// Sweep every BER for one memory model configuration,
   /// `runs_per_cell` injected kP runs per cell, fanned across `threads`
@@ -288,13 +308,21 @@ class MemFaultCampaign {
   RunObservation evaluate_run(const armvm::MemModelConfig& config,
                               unsigned cell, double ber,
                               std::uint64_t run) const;
+  /// Prime-curve variant (kernel splice via PrimeCurveOps tamper).
+  RunObservation evaluate_run_p(const armvm::MemModelConfig& config,
+                                unsigned cell, double ber,
+                                std::uint64_t run) const;
 
   std::uint64_t seed_;
   armvm::Cpu::DecodeMode engine_;
+  bool prime_ = false;
   const ec::BinaryCurve& curve_;
   ec::AffinePoint p_;
   mpint::UInt k_;
   ec::AffinePoint golden_;
+  const ecp::PrimeCurve* pcurve_ = nullptr;  ///< set when prime_
+  ecp::AffinePointP pp_;
+  ecp::AffinePointP pgolden_;
   armvm::ProgramRef mul_prog_;
   std::uint64_t muls_per_kp_ = 0;
   telemetry::MetricsRegistry* metrics_ = nullptr;

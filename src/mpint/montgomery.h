@@ -39,6 +39,10 @@ class Montgomery {
   /// 1 in the Montgomery domain (R mod m).
   UInt one() const { return r_mod_m_; }
 
+  /// The REDC word multiplier -m^-1 mod 2^32 — exposed so the VM prime
+  /// kernels can be loaded with the exact constant this oracle uses.
+  Word m0_inv() const { return m0_inv_; }
+
  private:
   UInt redc(std::vector<Word> t) const;
 

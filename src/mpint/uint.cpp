@@ -100,6 +100,23 @@ UInt UInt::operator-(const UInt& o) const {
 
 UInt UInt::operator*(const UInt& o) const {
   if (is_zero() || o.is_zero()) return {};
+  if (std::min(w_.size(), o.w_.size()) >= kKaratsubaThreshold) {
+    // Karatsuba: split both operands at half the wider one and trade
+    // one quarter-size product for linear adds/shifts.
+    const std::size_t h = std::max(w_.size(), o.w_.size()) / 2;
+    const auto split = [h](const std::vector<Word>& w) {
+      const std::size_t cut = std::min(h, w.size());
+      return std::pair<UInt, UInt>{
+          UInt(std::vector<Word>(w.begin(), w.begin() + cut)),
+          UInt(std::vector<Word>(w.begin() + cut, w.end()))};
+    };
+    const auto [a0, a1] = split(w_);
+    const auto [b0, b1] = split(o.w_);
+    const UInt z0 = a0 * b0;
+    const UInt z2 = a1 * b1;
+    const UInt z1 = (a0 + a1) * (b0 + b1) - z0 - z2;
+    return (z2 << (2 * h * kWordBits)) + (z1 << (h * kWordBits)) + z0;
+  }
   std::vector<Word> r(w_.size() + o.w_.size(), 0);
   for (std::size_t i = 0; i < w_.size(); ++i) {
     DWord carry = 0;

@@ -18,6 +18,14 @@
 
 namespace eccm0::mpint {
 
+/// Limb count at which operator* switches from schoolbook to Karatsuba.
+/// Deliberately above every ECC operand size in this repo (n <= 8 limbs
+/// plus 2n-limb products), so the curve baselines keep the schoolbook
+/// operation counts the committed manifests were measured with; the
+/// crossover itself is characterised by the bench_prime_vs_binary
+/// Karatsuba-threshold ablation.
+inline constexpr std::size_t kKaratsubaThreshold = 24;
+
 class UInt {
  public:
   UInt() = default;

@@ -8,11 +8,13 @@
 #include "ec/scalarmul.h"
 #include "gf2/k233.h"
 #include "gf2/traced.h"
+#include "ecp/curve.h"
 #include "mpint/uint.h"
 #include "telemetry/metrics.h"
 #include "telemetry/progress.h"
 #include "workloads/kp_mix.h"
 #include "workloads/registry.h"
+#include "workloads/spec.h"
 
 namespace eccm0::sca {
 namespace {
@@ -37,6 +39,48 @@ Fe random_nonzero_fe(Rng& rng) {
 
 void load_kernel_operands(const std::string& kernel, armvm::Memory& mem,
                           Rng& rng) {
+  // Prime-field kernel family: curve-tagged registry entries. Operands
+  // are fresh uniform residues below p each call (in-domain for mont/
+  // sqr, plain nonzero for inv, < p*R for redc), so trace comparison
+  // exercises data-dependent paths the same way the gf2 recipes do.
+  if (workloads::KernelRegistry::instance().contains(kernel) &&
+      !workloads::KernelRegistry::instance().info(kernel).binary_field) {
+    const workloads::CurveRef& curve = workloads::curve_from_name(
+        workloads::KernelRegistry::instance().info(kernel).curve);
+    const ecp::PrimeCurve& pc = workloads::prime_curve(curve);
+    const std::size_t n = curve.limbs;
+    const auto words = [n](const mpint::UInt& v) {
+      std::vector<std::uint32_t> w(n, 0);
+      const auto limbs = v.limbs();
+      for (std::size_t i = 0; i < limbs.size() && i < n; ++i) w[i] = limbs[i];
+      return w;
+    };
+    workloads::load_prime_modulus(mem, curve);
+    if (kernel.ends_with("-mul") || kernel.ends_with("-mont") ||
+        kernel.ends_with("-sqr")) {
+      workloads::load_prime_mul_inputs(
+          mem, words(mpint::UInt::random_below(rng, pc.p)),
+          words(mpint::UInt::random_below(rng, pc.p)));
+    } else if (kernel.ends_with("-redc")) {
+      std::vector<std::uint32_t> wide(2 * n, 0);
+      const mpint::UInt t =
+          mpint::UInt::random_below(rng, pc.p << (32 * n));
+      const auto limbs = t.limbs();
+      for (std::size_t i = 0; i < limbs.size() && i < wide.size(); ++i) {
+        wide[i] = limbs[i];
+      }
+      workloads::load_prime_wide_input(mem, wide);
+    } else if (kernel.ends_with("-inv")) {
+      mpint::UInt a = mpint::UInt::random_below(rng, pc.p);
+      if (a.is_zero()) a = 1;
+      workloads::load_prime_inv_input(mem, words(a));
+    } else {
+      throw std::invalid_argument(
+          "load_kernel_operands: no operand recipe for prime kernel '" +
+          kernel + "'");
+    }
+    return;
+  }
   if (kernel == "mul" || kernel == "mul-raw" || kernel == "mul-plain" ||
       kernel == "mul-plain-raw") {
     const Fe x = random_fe(rng);

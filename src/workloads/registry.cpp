@@ -15,19 +15,46 @@ KernelRegistry& KernelRegistry::instance() {
 
 KernelRegistry::KernelRegistry() {
   using namespace eccm0::asmkernels;
-  entries_["mul"] = {[] { return gen_mul_fixed(true); }, nullptr};
-  entries_["mul-raw"] = {[] { return gen_mul_fixed(false); }, nullptr};
-  entries_["mul-plain"] = {[] { return gen_mul_plain(true); }, nullptr};
-  entries_["mul-plain-raw"] = {[] { return gen_mul_plain(false); }, nullptr};
-  entries_["sqr"] = {[] { return gen_sqr(); }, nullptr};
-  entries_["reduce"] = {[] { return gen_reduce(); }, nullptr};
-  entries_["lut"] = {[] { return gen_lut_only(); }, nullptr};
-  entries_["inv"] = {[] { return gen_inv(); }, nullptr};
-  entries_["mul163"] = {[] { return gen_mul_k163_fixed(true); }, nullptr};
-  entries_["mul163-raw"] = {[] { return gen_mul_k163_fixed(false); }, nullptr};
-  entries_["mul163-plain"] = {[] { return gen_mul_k163_plain(true); }, nullptr};
+  const KernelInfo k233{"sect233k1", true, 8};
+  const KernelInfo k163{"sect163k1", true, 6};
+  entries_["mul"] = {[] { return gen_mul_fixed(true); }, nullptr, k233};
+  entries_["mul-raw"] = {[] { return gen_mul_fixed(false); }, nullptr, k233};
+  entries_["mul-plain"] = {[] { return gen_mul_plain(true); }, nullptr, k233};
+  entries_["mul-plain-raw"] = {[] { return gen_mul_plain(false); }, nullptr,
+                               k233};
+  entries_["sqr"] = {[] { return gen_sqr(); }, nullptr, k233};
+  entries_["reduce"] = {[] { return gen_reduce(); }, nullptr, k233};
+  entries_["lut"] = {[] { return gen_lut_only(); }, nullptr, k233};
+  entries_["inv"] = {[] { return gen_inv(); }, nullptr, k233};
+  entries_["mul163"] = {[] { return gen_mul_k163_fixed(true); }, nullptr, k163};
+  entries_["mul163-raw"] = {[] { return gen_mul_k163_fixed(false); }, nullptr,
+                            k163};
+  entries_["mul163-plain"] = {[] { return gen_mul_k163_plain(true); }, nullptr,
+                              k163};
   entries_["mul163-plain-raw"] = {[] { return gen_mul_k163_plain(false); },
-                                  nullptr};
+                                  nullptr, k163};
+  // Prime-field kernel family: one Montgomery arithmetic set per secp
+  // curve, named <tag>-<op> so WorkloadSpec can derive the set from the
+  // curve tag alone.
+  struct PrimeTag {
+    const char* tag;
+    const char* curve;
+    unsigned n;
+  };
+  for (const PrimeTag& p : {PrimeTag{"p192", "secp192r1", 6},
+                            PrimeTag{"p224", "secp224r1", 7},
+                            PrimeTag{"p256", "secp256r1", 8}}) {
+    const KernelInfo info{p.curve, false, p.n};
+    const unsigned n = p.n;
+    const std::string t = p.tag;
+    entries_[t + "-mul"] = {[n] { return gen_prime_mul(n); }, nullptr, info};
+    entries_[t + "-mont"] = {[n] { return gen_prime_mont(n, false); }, nullptr,
+                             info};
+    entries_[t + "-sqr"] = {[n] { return gen_prime_mont(n, true); }, nullptr,
+                            info};
+    entries_[t + "-redc"] = {[n] { return gen_prime_redc(n); }, nullptr, info};
+    entries_[t + "-inv"] = {[n] { return gen_prime_inv(n); }, nullptr, info};
+  }
 }
 
 armvm::ProgramRef KernelRegistry::get(const std::string& name) {
@@ -43,18 +70,29 @@ armvm::ProgramRef KernelRegistry::get(const std::string& name) {
   return it->second.image;
 }
 
-void KernelRegistry::add(const std::string& name, Builder build) {
+void KernelRegistry::add(const std::string& name, Builder build,
+                         KernelInfo info) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (entries_.count(name)) {
     throw std::invalid_argument("KernelRegistry: duplicate workload '" + name +
                                 "'");
   }
-  entries_[name] = {std::move(build), nullptr};
+  entries_[name] = {std::move(build), nullptr, std::move(info)};
 }
 
 bool KernelRegistry::contains(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.count(name) != 0;
+}
+
+KernelInfo KernelRegistry::info(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::out_of_range("KernelRegistry: no workload named '" + name +
+                            "'");
+  }
+  return it->second.info;
 }
 
 std::vector<std::string> KernelRegistry::names() const {

@@ -1,11 +1,15 @@
-// Central registry of named workload images.
+// Central registry of named, curve-tagged workload images.
 //
 // Every harness in this repo — KernelVm, the throughput/profile benches,
 // the fault-campaign engine, ecctool — used to assemble its own copy of
 // the same Thumb kernels. The registry builds each image exactly once,
 // lazily, and hands out the shared immutable armvm::ProgramRef; a new
-// workload is one `add()` call away. Resolution is thread-safe, so
-// parallel campaign workers can resolve images concurrently.
+// workload is one `add()` call away. Each entry carries a KernelInfo
+// tag (curve name, field family, limb count) so curve-agnostic harnesses
+// — WorkloadSpec, `ecctool kernels`, the campaign drivers — can select
+// and describe kernels without hard-wiring a kernel list. Resolution is
+// thread-safe, so parallel campaign workers can resolve images
+// concurrently.
 #pragma once
 
 #include <functional>
@@ -18,6 +22,13 @@
 
 namespace eccm0::workloads {
 
+/// Curve/field tag attached to every registry entry.
+struct KernelInfo {
+  std::string curve;         ///< e.g. "sect233k1", "secp192r1"; "" = untagged
+  bool binary_field = true;  ///< GF(2^m) vs GF(p)
+  unsigned limbs = 8;        ///< field-element words the kernel operates on
+};
+
 class KernelRegistry {
  public:
   /// A builder returns the assembler source of the workload; it runs at
@@ -25,21 +36,25 @@ class KernelRegistry {
   using Builder = std::function<std::string()>;
 
   /// Process-wide instance, seeded with the built-in kernel set:
-  ///   mul / mul-raw           fixed-register LD K-233 mul (mod / raw)
-  ///   mul-plain / mul-plain-raw  plain-memory comparator
-  ///   sqr, reduce, lut, inv   the remaining K-233 field kernels
-  ///   mul163 / mul163-raw / mul163-plain / mul163-plain-raw  K-163
+  ///   sect233k1 (binary): mul / mul-raw (fixed-register LD, mod / raw),
+  ///     mul-plain / mul-plain-raw, sqr, reduce, lut, inv
+  ///   sect163k1 (binary): mul163 / mul163-raw / -plain / -plain-raw
+  ///   secp192r1/224r1/256r1 (prime): pNNN-mul (school-book raw),
+  ///     pNNN-mont / pNNN-sqr (Montgomery mul/sqr), pNNN-redc, pNNN-inv
   static KernelRegistry& instance();
 
   /// Resolve `name` to its shared image, assembling+predecoding it on
   /// first use. Throws std::out_of_range for unknown names.
   armvm::ProgramRef get(const std::string& name);
 
-  /// Register a new named workload. Throws std::invalid_argument if the
-  /// name is already taken.
-  void add(const std::string& name, Builder build);
+  /// Register a new named workload with its curve tag. Throws
+  /// std::invalid_argument if the name is already taken.
+  void add(const std::string& name, Builder build, KernelInfo info = {});
 
   bool contains(const std::string& name) const;
+  /// Curve/field tag of a registered workload. Throws std::out_of_range
+  /// for unknown names.
+  KernelInfo info(const std::string& name) const;
   /// All registered names, sorted.
   std::vector<std::string> names() const;
 
@@ -49,6 +64,7 @@ class KernelRegistry {
   struct Entry {
     Builder build;
     armvm::ProgramRef image;  ///< null until first get()
+    KernelInfo info;
   };
 
   mutable std::mutex mutex_;

@@ -1,0 +1,120 @@
+// Curve-agnostic workload descriptions.
+//
+// A WorkloadSpec bundles everything a harness needs to run a field-level
+// workload on the VM without knowing which curve family it came from:
+// the registry kernel names, the deterministic operand recipe, the
+// expected field-op mix of the transaction, and the curve/field tag.
+// kp_mix_sect233k1() generalizes here to op_mix(curve) over both field
+// families, and the protocol transactions (a complete ECDH agreement,
+// an ECDSA sign+verify) become replayable specs, so the campaigns, the
+// sca rig, the profiler and the benches all operate on one abstraction
+// instead of the historical gf2-only kernel list.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "armvm/cpu.h"
+#include "ec/ops.h"
+#include "workloads/kp_mix.h"
+
+namespace eccm0::ecp {
+struct PrimeCurve;
+}
+
+namespace eccm0::workloads {
+
+/// A curve the workload layer can drive end-to-end (kernels registered,
+/// operand recipe known, host oracle available).
+struct CurveRef {
+  std::string name;          ///< "sect233k1", "secp192r1", ...
+  bool binary_field = true;  ///< GF(2^m) vs GF(p)
+  unsigned bits = 0;
+  unsigned limbs = 0;
+  /// Registry prefix of the prime kernel family ("p192"...); empty for
+  /// the binary curves whose kernels keep their historical names.
+  std::string kernel_tag;
+};
+
+/// Resolve a --curve= value. Throws std::invalid_argument (listing the
+/// known names) for unknown curves — the benches map that to exit 2.
+const CurveRef& curve_from_name(const std::string& name);
+
+/// Names accepted by curve_from_name, sorted.
+std::vector<std::string> workload_curve_names();
+
+/// The host ecp::PrimeCurve backing a prime-field CurveRef (oracle,
+/// Montgomery context, generator). Throws std::invalid_argument for
+/// binary curves.
+const ecp::PrimeCurve& prime_curve(const CurveRef& curve);
+
+/// Field-op counts of one real w=4 point multiplication on `curve`
+/// (wTNAF on the binary side, Jacobian wNAF via ecp on the prime side),
+/// derived once per curve from the shared mix seed 0x7AB1E4 and cached.
+/// For sect233k1 this is exactly kp_mix_sect233k1().
+const ec::FieldOpCounts& op_mix(const CurveRef& curve);
+
+/// A replayable workload: kernels + operands + expected op mix.
+struct WorkloadSpec {
+  std::string name;         ///< e.g. "kp-secp192r1", "ecdh-sect233k1"
+  CurveRef curve;
+  std::string transaction;  ///< "kp" | "ecdh" | "ecdsa"
+  /// Scalar multiplications in one transaction: kP = 1, ECDH agreement
+  /// (keygen kG + shared-secret kP, one party) = 2, ECDSA sign+verify
+  /// (nonce kG + u1*G + u2*Q) = 3.
+  unsigned point_muls = 1;
+  /// Registry kernel names replayed for the mix's mul/sqr/inv counts.
+  std::string mul_kernel, sqr_kernel, inv_kernel;
+  /// Total field-op mix of the transaction (order-field host arithmetic
+  /// — hashing, the ECDSA mod-n algebra — is outside the VM budget, as
+  /// in the paper's energy accounting).
+  ec::FieldOpCounts ops;
+};
+
+/// Build the kP / ECDH / ECDSA spec for a curve. `transaction` must be
+/// one of "kp", "ecdh", "ecdsa"; throws std::invalid_argument otherwise
+/// (and for unknown curves).
+WorkloadSpec make_workload(const std::string& transaction,
+                           const std::string& curve_name);
+WorkloadSpec kp_workload(const std::string& curve_name);
+WorkloadSpec ecdh_workload(const std::string& curve_name);
+WorkloadSpec ecdsa_workload(const std::string& curve_name);
+
+/// Deterministic prime-kernel operands (per-curve, seed 0x7151CA7 like
+/// KernelOperands::standard): x, y are in-field Montgomery-domain
+/// multiplication inputs, a is a nonzero plain-domain inversion input,
+/// wide is a 2n-word REDC input < m*R.
+struct PrimeOperands {
+  std::vector<std::uint32_t> x, y, a, wide;
+  static const PrimeOperands& standard(const CurveRef& curve);
+};
+
+/// Loaders for the prime kernels' RAM layout (modulus block + operand
+/// slots; poke, so no wait-state charges on protected memory).
+void load_prime_modulus(armvm::Memory& mem, const CurveRef& curve);
+void load_prime_mul_inputs(armvm::Memory& mem,
+                           const std::vector<std::uint32_t>& x,
+                           const std::vector<std::uint32_t>& y);
+void load_prime_inv_input(armvm::Memory& mem,
+                          const std::vector<std::uint32_t>& a);
+void load_prime_wide_input(armvm::Memory& mem,
+                           const std::vector<std::uint32_t>& wide);
+
+/// Replay result: accumulated VM stats over every kernel call of the
+/// spec, plus an order-sensitive digest of all kernel-output words (the
+/// engine-equivalence witness).
+struct ReplayResult {
+  armvm::RunStats stats;
+  std::uint64_t output_digest = 0;
+  std::uint64_t fused_retired = 0;
+};
+
+/// Run the spec's field-op mix as one VM workload (mul/sqr/inv kernel
+/// calls in mix order), `reps` times. Deterministic: same spec, mode
+/// and mem model give bit-identical stats and digest.
+ReplayResult replay(const WorkloadSpec& spec, armvm::Cpu::DecodeMode mode,
+                    const armvm::MemModelConfig& mem_model = {},
+                    unsigned reps = 1);
+
+}  // namespace eccm0::workloads

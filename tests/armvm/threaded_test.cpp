@@ -23,6 +23,7 @@
 #include "common/rng.h"
 #include "workloads/kp_mix.h"
 #include "workloads/registry.h"
+#include "workloads/spec.h"
 
 namespace eccm0::armvm {
 namespace {
@@ -58,6 +59,24 @@ void expect_stats_identical(const RunStats& a, const RunStats& b) {
 /// including the K-163 family the sca loader has no recipe for.
 void load_operands(const std::string& name, Memory& mem) {
   const KernelOperands& ops = KernelOperands::standard();
+  const workloads::KernelInfo info = KernelRegistry::instance().info(name);
+  if (!info.binary_field) {
+    const workloads::CurveRef& curve = workloads::curve_from_name(info.curve);
+    const workloads::PrimeOperands& pod =
+        workloads::PrimeOperands::standard(curve);
+    workloads::load_prime_modulus(mem, curve);
+    if (name.ends_with("-mul") || name.ends_with("-mont") ||
+        name.ends_with("-sqr")) {
+      workloads::load_prime_mul_inputs(mem, pod.x, pod.y);
+    } else if (name.ends_with("-redc")) {
+      workloads::load_prime_wide_input(mem, pod.wide);
+    } else if (name.ends_with("-inv")) {
+      workloads::load_prime_inv_input(mem, pod.a);
+    } else {
+      ADD_FAILURE() << "no operand recipe for prime kernel " << name;
+    }
+    return;
+  }
   if (name.rfind("mul163", 0) == 0) {
     Rng rng(0x163F00D);
     std::uint32_t x[6], y[6];
@@ -110,7 +129,7 @@ Observed observe(KernelMachine& m) {
 TEST(Threaded, AllRegistryKernelsIdenticalAcrossThreeEngines) {
   std::uint64_t total_fused = 0;
   const auto names = KernelRegistry::instance().names();
-  ASSERT_GE(names.size(), 12u);
+  ASSERT_GE(names.size(), 27u);  // 12 gf2 + 15 prime built-ins
   for (const std::string& name : names) {
     std::vector<Observed> results;
     std::uint64_t fused_threaded = 0;
@@ -120,7 +139,10 @@ TEST(Threaded, AllRegistryKernelsIdenticalAcrossThreeEngines) {
       // Two back-to-back calls: crosses a call boundary with persistent
       // state, like the bench workloads do.
       m.call();
-      if (name == "inv") load_operands(name, m.mem());  // EEA scratch
+      // EEA scratch / in-place REDC: these consume their input state.
+      if (name == "inv" || name.ends_with("-redc")) {
+        load_operands(name, m.mem());
+      }
       m.call();
       results.push_back(observe(m));
       if (mode == Cpu::DecodeMode::kThreaded) {
@@ -149,6 +171,36 @@ TEST(Threaded, AllRegistryKernelsIdenticalAcrossThreeEngines) {
     }
   }
   EXPECT_GT(total_fused, 100000u);
+}
+
+TEST(Threaded, ProtocolWorkloadsIdenticalAcrossThreeEngines) {
+  // Whole protocol transactions (a complete ECDH agreement, an ECDSA
+  // sign+verify) replayed as single VM runs, on both field families:
+  // the three engines must agree on every stat and on the output digest.
+  const std::pair<const char*, const char*> workloads[] = {
+      {"ecdh", "secp192r1"},
+      {"ecdsa", "sect233k1"},
+      {"kp", "secp256r1"},
+  };
+  for (const auto& [tx, curve] : workloads) {
+    SCOPED_TRACE(std::string(tx) + "-" + curve);
+    const workloads::WorkloadSpec spec = workloads::make_workload(tx, curve);
+    EXPECT_GT(spec.ops.mul, 100u);
+    std::vector<workloads::ReplayResult> results;
+    for (const Cpu::DecodeMode mode : kAllModes) {
+      results.push_back(workloads::replay(spec, mode));
+    }
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_NE(results[0].output_digest, 0u);
+    for (std::size_t e = 1; e < results.size(); ++e) {
+      SCOPED_TRACE("engine#" + std::to_string(e));
+      expect_stats_identical(results[0].stats, results[e].stats);
+      EXPECT_EQ(results[0].output_digest, results[e].output_digest);
+    }
+    EXPECT_EQ(results[0].fused_retired, 0u);
+    EXPECT_EQ(results[1].fused_retired, 0u);
+    EXPECT_GT(results[2].fused_retired, 0u);  // threaded
+  }
 }
 
 TEST(Threaded, TracedStreamsIdenticalAcrossThreeEngines) {

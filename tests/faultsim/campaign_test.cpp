@@ -346,6 +346,73 @@ TEST(MemCampaign, ClassificationInvariants) {
   EXPECT_LT(parity.clean_cycles, secded.clean_cycles);
 }
 
+TEST(Campaign, PrimeCurveCampaignClassifiesAndIsThreadInvariant) {
+  // The same campaign machinery on a prime-curve kP workload (Jacobian
+  // wNAF on secp192r1, the VM Montgomery multiplier spliced in): every
+  // run classified, tallies thread-count invariant, injections firing.
+  CampaignConfig cfg;
+  cfg.curve = "secp192r1";
+  cfg.seed = 0x7E57;
+  cfg.runs_per_model = 4;
+  cfg.threads = 1;
+  const CampaignResult serial = run_kp_campaign(cfg);
+  std::uint64_t injected = 0;
+  for (unsigned m = 0; m < kNumFaultModels; ++m) {
+    injected += serial.models[m].injected;
+    for (unsigned p = 0; p < kNumProfiles; ++p) {
+      EXPECT_EQ(serial.models[m].per_profile[p].total(),
+                serial.models[m].runs);
+    }
+  }
+  EXPECT_GT(injected, 0u);
+  // The profile-overhead column is priced with the prime cost model.
+  EXPECT_GT(serial.costs[0].cycles, 0u);
+  EXPECT_GT(serial.costs[kNumProfiles - 1].cycles, serial.costs[0].cycles);
+
+  cfg.threads = 4;
+  const CampaignResult par = run_kp_campaign(cfg);
+  for (unsigned m = 0; m < kNumFaultModels; ++m) {
+    EXPECT_EQ(par.models[m].injected, serial.models[m].injected);
+    for (unsigned p = 0; p < kNumProfiles; ++p) {
+      const OutcomeTally& ts = serial.models[m].per_profile[p];
+      const OutcomeTally& tp = par.models[m].per_profile[p];
+      EXPECT_EQ(tp.correct, ts.correct);
+      EXPECT_EQ(tp.detected, ts.detected);
+      EXPECT_EQ(tp.crashed, ts.crashed);
+      EXPECT_EQ(tp.silent, ts.silent);
+    }
+  }
+}
+
+TEST(Campaign, UnknownCurveThrows) {
+  CampaignConfig cfg;
+  cfg.curve = "secp521r1";
+  cfg.runs_per_model = 1;
+  EXPECT_THROW(run_kp_campaign(cfg), std::invalid_argument);
+  MemCampaignConfig mcfg;
+  mcfg.curve = "sect571k1";
+  EXPECT_THROW(run_mem_campaign(mcfg), std::invalid_argument);
+}
+
+TEST(MemCampaign, PrimeCurveSweepClassifiesEveryRun) {
+  MemCampaignConfig cfg;
+  cfg.curve = "secp192r1";
+  cfg.runs_per_cell = 3;
+  cfg.bers = {1e-4};
+  cfg.models = {armvm::MemModelKind::kRaw, armvm::MemModelKind::kParity};
+  const MemCampaignResult res = run_mem_campaign(cfg);
+  ASSERT_EQ(res.models.size(), 2u);
+  for (const MemModelReport& rep : res.models) {
+    EXPECT_GT(rep.clean_cycles, 0u);
+    ASSERT_EQ(rep.cells.size(), 1u);
+    for (unsigned p = 0; p < kNumProfiles; ++p) {
+      EXPECT_EQ(rep.cells[0].per_profile[p].total(), cfg.runs_per_cell);
+    }
+  }
+  // Parity charges wait states the raw model does not.
+  EXPECT_GT(res.models[1].clean_cycles, res.models[0].clean_cycles);
+}
+
 TEST(Campaign, ProfileCostsAreMonotone) {
   CampaignConfig cfg;
   cfg.runs_per_model = 1;

@@ -163,5 +163,34 @@ TEST(ModArith, InvmodNotInvertibleThrows) {
   EXPECT_THROW(invmod(UInt{0}, UInt{7}), std::domain_error);
 }
 
+TEST(UInt, KaratsubaMatchesSchoolbookAcrossThreshold) {
+  // Products straddling kKaratsubaThreshold must agree with an
+  // independently computed schoolbook product, including the lopsided
+  // and carry-heavy shapes the recursion's split produces.
+  const auto schoolbook = [](const UInt& a, const UInt& b) {
+    UInt acc;
+    const auto bw = b.limbs();
+    for (std::size_t i = 0; i < bw.size(); ++i) {
+      acc += (a * UInt{bw[i]}) << (32 * i);  // 1-limb rhs stays schoolbook
+    }
+    return acc;
+  };
+  Rng rng(10);
+  const std::size_t t = kKaratsubaThreshold;
+  const std::size_t shapes[][2] = {{t - 1, t - 1}, {t, t},       {t + 1, t},
+                                   {2 * t, t},     {3 * t, t + 3}, {2 * t, 2 * t}};
+  for (const auto& s : shapes) {
+    std::vector<Word> aw(s[0]), bw(s[1]);
+    rng.fill(aw);
+    rng.fill(bw);
+    const UInt a{std::move(aw)}, b{std::move(bw)};
+    EXPECT_EQ(a * b, schoolbook(a, b)) << s[0] << "x" << s[1] << " limbs";
+    // All-ones operands maximise carry chains through the z1 recombine.
+    const UInt ones_a = UInt::pow2(32 * s[0]) - UInt{1};
+    const UInt ones_b = UInt::pow2(32 * s[1]) - UInt{1};
+    EXPECT_EQ(ones_a * ones_b, schoolbook(ones_a, ones_b));
+  }
+}
+
 }  // namespace
 }  // namespace eccm0::mpint

@@ -126,6 +126,29 @@ TEST(CtCheck, EeaInversionIsFlagged) {
   EXPECT_LT(rep.min_cycles, rep.max_cycles);
 }
 
+TEST(CtCheck, PrimeKernelsCheckEndToEnd) {
+  // The checker runs on the curve-tagged prime kernels through the same
+  // recipe seam. The Montgomery REDC carry loop and final conditional
+  // subtract are operand-dependent, so mont is (correctly) flagged
+  // non-constant; the EEA inverse diverges even harder.
+  for (const char* k : {"p192-mont", "p256-sqr"}) {
+    CtConfig cfg;
+    cfg.kernel = k;
+    cfg.runs = 6;
+    const CtReport rep = check_kernel_constant_trace(cfg);
+    EXPECT_GT(rep.trace_len, 0u) << k;
+    EXPECT_FALSE(rep.constant) << k;
+    ASSERT_TRUE(rep.first.diverged) << k;
+    EXPECT_FALSE(rep.first.symbol_a.empty()) << k;
+  }
+  CtConfig inv;
+  inv.kernel = "p224-inv";
+  inv.runs = 4;
+  const CtReport rep = check_kernel_constant_trace(inv);
+  EXPECT_FALSE(rep.constant);
+  EXPECT_LT(rep.min_cycles, rep.max_cycles);
+}
+
 TEST(CtCheck, ConstantKernelReportIsSeedStable) {
   CtConfig a, b;
   a.kernel = b.kernel = "mul";

@@ -2,13 +2,17 @@
 // kP kernel mix, and KernelMachine contexts over shared images.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "asmkernels/gen.h"
 #include "workloads/kp_mix.h"
 #include "workloads/registry.h"
+#include "workloads/spec.h"
 
 namespace eccm0::workloads {
 namespace {
@@ -42,6 +46,33 @@ TEST(Registry, RejectsDuplicateRegistration) {
   EXPECT_THROW(
       KernelRegistry::instance().add("mul", [] { return std::string(); }),
       std::invalid_argument);
+  // Prime entries are just as protected as the historical binary names.
+  EXPECT_THROW(
+      KernelRegistry::instance().add("p192-mont",
+                                     [] { return std::string(); }),
+      std::invalid_argument);
+}
+
+TEST(Registry, NamesAreSortedAndCurveTagged) {
+  auto& reg = KernelRegistry::instance();
+  const auto names = reg.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  // 12 binary + 15 prime builtins (plus any test-registered extras).
+  EXPECT_GE(names.size(), 27u);
+  for (const auto& [tag, limbs] : std::vector<std::pair<std::string, unsigned>>{
+           {"p192", 6u}, {"p224", 7u}, {"p256", 8u}}) {
+    for (const char* suffix : {"-mul", "-mont", "-sqr", "-redc", "-inv"}) {
+      const std::string name = tag + suffix;
+      ASSERT_TRUE(reg.contains(name)) << name;
+      const KernelInfo info = reg.info(name);
+      EXPECT_FALSE(info.binary_field) << name;
+      EXPECT_EQ(info.limbs, limbs) << name;
+      EXPECT_EQ(info.curve.substr(0, 4), "secp") << name;
+    }
+  }
+  EXPECT_TRUE(reg.info("mul").binary_field);
+  EXPECT_EQ(reg.info("mul").curve, "sect233k1");
+  EXPECT_THROW(reg.info("nonesuch"), std::out_of_range);
 }
 
 TEST(Registry, ConcurrentLookupsShareOneImage) {
@@ -54,6 +85,54 @@ TEST(Registry, ConcurrentLookupsShareOneImage) {
   }
   for (auto& th : threads) th.join();
   for (unsigned t = 1; t < 8; ++t) EXPECT_EQ(seen[t], seen[0]);
+}
+
+TEST(Registry, ConcurrentColdGetBuildsExactlyOnce) {
+  // A freshly registered kernel is guaranteed cold (no other test can
+  // have resolved it), so every thread races the first build. The
+  // builder must run exactly once and all threads must see one image.
+  static std::atomic<int> builds{0};
+  KernelRegistry::instance().add(
+      "test-cold-p192",
+      [] {
+        builds.fetch_add(1);
+        return asmkernels::gen_prime_mul(6);
+      },
+      {"secp192r1", false, 6});
+  std::vector<std::thread> threads;
+  std::vector<const armvm::Program*> seen(8, nullptr);
+  for (unsigned t = 0; t < 8; ++t) {
+    threads.emplace_back(
+        [t, &seen] { seen[t] = kernel("test-cold-p192").get(); });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(builds.load(), 1);
+  for (unsigned t = 0; t < 8; ++t) {
+    ASSERT_NE(seen[t], nullptr);
+    EXPECT_EQ(seen[t], seen[0]);
+  }
+}
+
+TEST(Spec, CurveFromNameKnowsAllFourAndRejectsTheRest) {
+  const auto names = workload_curve_names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(names.size(), 4u);
+  for (const char* n :
+       {"secp192r1", "secp224r1", "secp256r1", "sect233k1"}) {
+    const CurveRef& c = curve_from_name(n);
+    EXPECT_EQ(c.name, n);
+    EXPECT_GE(c.limbs, 6u);
+  }
+  EXPECT_FALSE(curve_from_name("secp256r1").binary_field);
+  EXPECT_TRUE(curve_from_name("sect233k1").binary_field);
+  try {
+    (void)curve_from_name("secp521r1");
+    FAIL() << "unknown curve accepted";
+  } catch (const std::invalid_argument& e) {
+    // The message must list the accepted names (the exit-2 usage text).
+    EXPECT_NE(std::string(e.what()).find("sect233k1"), std::string::npos);
+  }
+  EXPECT_THROW(make_workload("keygen", "sect233k1"), std::invalid_argument);
 }
 
 TEST(KpMix, IsCachedAndPlausible) {
