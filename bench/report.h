@@ -327,7 +327,8 @@ class Args {
         progress = a + 11;
       } else if (a[0] == '-') {
         if (!match_extra(a)) {
-          std::fprintf(stderr, "unknown flag '%s'%s\n", a, usage_suffix());
+          std::fprintf(stderr, "unknown flag '%s'%s\n", a,
+                       usage_suffix().c_str());
           return false;
         }
       } else {
@@ -364,10 +365,27 @@ class Args {
     return false;
   }
 
-  const char* usage_suffix() const {
-    return " (standard flags: --json[=PATH] --threads=N --seed=S --iters=N"
-           " --engine=perstep|predecode|threaded --mem=raw|parity|secded"
-           " --curve=NAME --progress[=off|plain])";
+  /// The rejection message lists the tool's registered flags alongside
+  /// the standard set, so `unknown flag` output is self-documenting for
+  /// every bench/subcommand without each main owning a usage string.
+  std::string usage_suffix() const {
+    std::string s =
+        " (standard flags: --json[=PATH] --threads=N --seed=S --iters=N"
+        " --engine=perstep|predecode|threaded --mem=raw|parity|secded"
+        " --curve=NAME --progress[=off|plain]";
+    std::string extra;
+    for (const auto& [name, dst] : flags_) {
+      extra += std::string(" ") + name;
+    }
+    for (const auto& [name, dst] : u64s_) {
+      extra += std::string(" ") + name + "=N";
+    }
+    for (const auto& [name, dst] : strs_) {
+      extra += std::string(" ") + name + "=STR";
+    }
+    if (!extra.empty()) s += "; tool flags:" + extra;
+    s += ")";
+    return s;
   }
 
   std::vector<std::pair<const char*, bool*>> flags_;

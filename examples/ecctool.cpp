@@ -18,6 +18,19 @@
 //   ecctool sca [kernel] [--curve=C] [--iters=N] [--seed=S] [--threads=N]
 //               [--engine=E] [--json[=P]]
 //   ecctool stats <manifest.json> [--tracks]
+//   ecctool serve [--port=P] [--listen-workers=N] [--queue-depth=N]
+//                 [--no-coalesce] [--port-file=PATH] [--engine=E] [--mem=M]
+//                 [--json[=P]]
+//   ecctool client <op> --port=P [--curve=C] [--iters=N] [--params=JSON]
+//                  [--raw=BODY]
+//
+// `serve` runs the async batch service (src/service, wire schema
+// eccm0.req.v1 / eccm0.resp.v1 — DESIGN.md §14): kP / ECDH / ECDSA
+// workload replays and campaign jobs over a bounded MPMC queue with
+// request coalescing, until a `shutdown` request or SIGINT/SIGTERM.
+// `client` sends one request to a running serve and prints the response
+// document (exit 0 on ok, 1 on a typed error); --raw sends arbitrary
+// bytes as the frame body, for protocol testing.
 //
 // Every simulation subcommand accepts `--progress[=off|plain]` (live
 // stderr progress from the campaign loops) and `--json[=PATH]`, which
@@ -52,12 +65,15 @@
 // engine; traced subcommands observe identical streams on every engine).
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "armvm/cpu.h"
@@ -74,6 +90,8 @@
 #include "report.h"
 #include "sca/campaign.h"
 #include "sca/ct_check.h"
+#include "service/client.h"
+#include "service/server.h"
 #include "sim/batch.h"
 #include "telemetry/metrics.h"
 #include "telemetry/progress.h"
@@ -137,6 +155,12 @@ int usage() {
                "       ecctool sca [kernel] [--curve=C] [--iters=N] [--seed=S]"
                " [--threads=N] [--engine=E]\n"
                "       ecctool stats <manifest.json> [--tracks]\n"
+               "       ecctool serve [--port=P] [--listen-workers=N]"
+               " [--queue-depth=N] [--no-coalesce]\n"
+               "                     [--port-file=PATH] [--engine=E] [--mem=M]"
+               " [--json[=P]]\n"
+               "       ecctool client <op> --port=P [--curve=C] [--iters=N]"
+               " [--params=JSON] [--raw=BODY]\n"
                "  (E = perstep|predecode|threaded, M = raw|parity|secded,\n"
                "   C = sect233k1|secp192r1|secp224r1|secp256r1;\n"
                "   simulation subcommands also take --json[=PATH] for a run\n"
@@ -895,6 +919,160 @@ int run_stats(int argc, char** argv) {
   return 0;
 }
 
+// ---- serve / client --------------------------------------------------
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+void on_stop_signal(int) { g_stop_signal = 1; }
+
+/// `ecctool serve`: the long-running crypto/campaign service
+/// (service/server.h, wire schema in DESIGN.md §14). Runs until a
+/// `shutdown` request or SIGINT/SIGTERM, then drains and (with --json)
+/// writes a run manifest of the serve counters.
+int run_serve(int argc, char** argv) {
+  std::uint64_t port = 0;
+  std::uint64_t listen_workers = 0;  // 0 = hardware concurrency
+  std::uint64_t queue_depth = 64;
+  bool no_coalesce = false;
+  std::string port_file;
+  bench::Args args;
+  args.add_u64("--port", &port);
+  args.add_u64("--listen-workers", &listen_workers);
+  args.add_u64("--queue-depth", &queue_depth);
+  args.add_flag("--no-coalesce", &no_coalesce);
+  args.add_str("--port-file", &port_file);
+  if (!args.parse(argc - 2, argv + 2, "ecctool_serve.json") ||
+      !args.positionals().empty()) {
+    return usage();
+  }
+  if (port > 65535) {
+    std::fprintf(stderr, "error: --port=%llu is not a TCP port\n",
+                 static_cast<unsigned long long>(port));
+    return 2;
+  }
+  if (queue_depth == 0) {
+    std::fprintf(stderr,
+                 "error: --queue-depth=0 would admit no work; use a "
+                 "positive depth\n");
+    return 2;
+  }
+
+  service::ServerConfig cfg;
+  try {
+    cfg.engine = armvm::decode_mode_from_name(args.engine);
+    cfg.mem_model =
+        armvm::MemModelConfig::for_kind(armvm::mem_model_from_name(args.mem));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  cfg.port = static_cast<std::uint16_t>(port);
+  cfg.workers = static_cast<unsigned>(listen_workers);
+  cfg.queue_depth = static_cast<std::size_t>(queue_depth);
+  cfg.coalesce = !no_coalesce;
+
+  service::Server server(cfg);
+  server.start();
+  std::printf("serving on 127.0.0.1:%u (%u workers, queue depth %llu%s)\n",
+              server.port(), server.config().workers == 0
+                                 ? 0u
+                                 : server.config().workers,
+              static_cast<unsigned long long>(queue_depth),
+              cfg.coalesce ? ", coalescing" : "");
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%u\n", server.port());
+      std::fclose(f);
+    }
+  }
+
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  while (g_stop_signal == 0 && !server.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+
+  telemetry::MetricsRegistry& m = server.metrics();
+  std::printf("served %llu request(s), %llu busy rejection(s), "
+              "%llu coalesced\n",
+              static_cast<unsigned long long>(
+                  m.counter_value("serve.requests")),
+              static_cast<unsigned long long>(m.counter_value("serve.busy")),
+              static_cast<unsigned long long>(
+                  m.counter_value("serve.coalesced")));
+  if (args.json) {
+    bench::JsonWriter w;
+    bench::manifest_begin(w, "ecctool-serve", &args);
+    w.field("subcommand", "serve");
+    w.field("queue_depth", queue_depth);
+    w.field("coalesce", cfg.coalesce);
+    w.field("requests", m.counter_value("serve.requests"));
+    w.field("busy", m.counter_value("serve.busy"));
+    w.field("coalesced", m.counter_value("serve.coalesced"));
+    w.field("errors", m.counter_value("serve.errors"));
+    bench::manifest_end(w, &m);
+    if (w.write_file(args.json_path)) {
+      std::printf("manifest written to %s\n", args.json_path.c_str());
+    }
+  }
+  return 0;
+}
+
+/// `ecctool client`: one-shot request against a running serve instance —
+/// connect, send one eccm0.req.v1 frame, print the response document.
+/// Exit 0 on an ok response, 1 on a typed error response or transport
+/// failure, 2 on bad usage.
+int run_client(int argc, char** argv) {
+  std::uint64_t port = 0;
+  std::string raw;
+  std::string params_text;
+  bench::Args args;
+  args.add_u64("--port", &port);
+  args.add_str("--raw", &raw);
+  args.add_str("--params", &params_text);
+  if (!args.parse(argc - 2, argv + 2, "")) return usage();
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr,
+                 "error: client needs --port=P of a running serve\n");
+    return 2;
+  }
+  if (raw.empty() && args.positionals().size() != 1) {
+    std::fprintf(stderr, "error: client takes exactly one op (or --raw)\n");
+    return 2;
+  }
+
+  telemetry::Json params = telemetry::Json::object();
+  if (!params_text.empty()) {
+    try {
+      params = telemetry::Json::parse(params_text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: bad --params JSON: %s\n", e.what());
+      return 2;
+    }
+  } else {
+    params.set("curve", telemetry::Json::str(args.curve));
+    if (args.iters != 0) {
+      params.set("reps", telemetry::Json::number(args.iters));
+    }
+  }
+
+  try {
+    service::Client client;
+    client.connect_to(static_cast<std::uint16_t>(port));
+    const telemetry::Json resp =
+        raw.empty() ? client.call(args.positionals()[0], std::move(params))
+                    : client.call_raw(raw);
+    std::printf("%s\n", resp.dump().c_str());
+    const telemetry::Json* ok = resp.get("ok");
+    return ok != nullptr && ok->as_bool() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -939,6 +1117,8 @@ int main(int argc, char** argv) {
     if (cmd == "sca") return run_sca(argc, argv);
     if (cmd == "kernels") return run_kernels(argc, argv);
     if (cmd == "stats") return run_stats(argc, argv);
+    if (cmd == "serve") return run_serve(argc, argv);
+    if (cmd == "client") return run_client(argc, argv);
     if (cmd == "info") {
       bench::Args args;
       if (!args.parse(argc - 2, argv + 2, "") || !args.positionals().empty()) {

@@ -1,0 +1,47 @@
+// Minimal blocking client of the serve wire protocol: connect, send one
+// eccm0.req.v1 frame, read one eccm0.resp.v1 frame. One outstanding
+// request per Client — callers that want pipelining write frames
+// themselves (see wire.h); `ecctool client` and the loopback tests are
+// the intended users.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/wire.h"
+#include "telemetry/json.h"
+
+namespace eccm0::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to 127.0.0.1:port. Throws std::runtime_error on failure.
+  void connect_to(std::uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one request and block for its response document. Throws
+  /// std::runtime_error on a transport failure (peer gone, bad frame).
+  telemetry::Json call(const std::string& op, telemetry::Json params);
+
+  /// Send raw bytes as one frame and read back one response document —
+  /// the malformed-request test path (`ecctool client --raw`).
+  telemetry::Json call_raw(const std::string& body);
+
+  /// The socket fd (for tests that want to speak frames directly).
+  int fd() const { return fd_; }
+
+ private:
+  telemetry::Json read_response();
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace eccm0::service

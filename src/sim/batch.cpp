@@ -115,4 +115,30 @@ void BatchExecutor::for_each(
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void BatchExecutor::run_workers(
+    const std::function<void(unsigned)>& fn) const {
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+  unsigned first_error_worker = ~0u;
+
+  auto worker = [&](unsigned w) {
+    try {
+      fn(w);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(err_mutex);
+      if (w < first_error_worker) {
+        first_error_worker = w;
+        first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads_);
+  for (unsigned t = 0; t < threads_; ++t) pool.emplace_back(worker, t);
+  for (std::thread& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 }  // namespace eccm0::sim

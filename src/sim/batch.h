@@ -62,6 +62,15 @@ class BatchExecutor {
     return out;
   }
 
+  /// Long-running form for services: spawn exactly threads() workers,
+  /// each running fn(worker_index) until it returns (a service worker
+  /// loops on its queue until the queue closes), and join them all.
+  /// Unlike for_each there is no index space and no shard telemetry —
+  /// the service owns its own per-request metrics. Exceptions escaping
+  /// a worker rethrow (lowest worker index wins) after every worker has
+  /// drained, mirroring the for_each contract.
+  void run_workers(const std::function<void(unsigned)>& fn) const;
+
  private:
   unsigned threads_;
   telemetry::MetricsRegistry* metrics_ = nullptr;

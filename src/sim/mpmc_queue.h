@@ -1,0 +1,152 @@
+// Lock-free bounded multi-producer/multi-consumer ring.
+//
+// The serve front-end needs a work queue that many session threads can
+// push into and many BatchExecutor workers can pop from without a
+// mutex on the request hot path. This is the count/value-pair ring
+// design (Vyukov's bounded MPMC queue, the same scheme the joernblog
+// atomic_queue notes describe): each cell carries a sequence count next
+// to its value, producers and consumers claim tickets from two shared
+// counters, and the per-cell count tells a claimant when its cell is
+// ready — full/empty detection and slot hand-off need no lock and no
+// CAS loop over shared state beyond the ticket claim itself.
+//
+// Guarantees:
+//   * try_push/try_pop are lock-free; a full queue fails the push
+//     immediately (that failure is the server's backpressure signal,
+//     turned into a typed `busy` response upstream).
+//   * Items pushed by one producer are delivered in that producer's
+//     push order (tickets are claimed in order), and nothing is lost
+//     or duplicated — the MPMC stress test pins both properties.
+//   * pop_wait blocks on a C++20 atomic wait (no spinning) until an
+//     item arrives or close() is called; after close the queue drains
+//     remaining items before reporting exhaustion.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace eccm0::sim {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2: the count
+  /// discipline needs a cell's post-push count (pos + 1) to differ from
+  /// the cell's next producer ticket (pos + capacity), which a 1-cell
+  /// ring cannot do — a push could then overwrite an unconsumed item.
+  /// The bound is the backpressure contract: once `capacity()` items
+  /// sit unclaimed, try_push fails until a consumer makes room.
+  explicit MpmcQueue(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].count.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Items currently enqueued (racy snapshot, for stats/gauges only).
+  std::size_t size_approx() const {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    return t >= h ? t - h : 0;
+  }
+
+  /// False when the queue is full (never blocks).
+  bool try_push(T v) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t count = cell->count.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(count) -
+                                static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // the cell still holds an unconsumed value: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(v);
+    cell->count.store(pos + 1, std::memory_order_release);
+    version_.fetch_add(1, std::memory_order_release);
+    version_.notify_one();
+    return true;
+  }
+
+  /// False when the queue is empty (never blocks).
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t count = cell->count.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(count) -
+                                static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // nothing published at this ticket yet: empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->count.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Block until an item is available (true) or the queue was closed
+  /// and fully drained (false). Safe for any number of consumers.
+  bool pop_wait(T& out) {
+    for (;;) {
+      if (try_pop(out)) return true;
+      const std::uint64_t seen = version_.load(std::memory_order_acquire);
+      if (closed_.load(std::memory_order_acquire)) {
+        // A push may have raced the close; drain it before giving up.
+        return try_pop(out);
+      }
+      version_.wait(seen, std::memory_order_acquire);
+    }
+  }
+
+  /// Wake every pop_wait; subsequent pop_wait calls drain what is left
+  /// and then return false. Pushes after close still succeed (the
+  /// server rejects new work upstream of the queue).
+  void close() {
+    closed_.store(true, std::memory_order_release);
+    version_.fetch_add(1, std::memory_order_release);
+    version_.notify_all();
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> count{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer ticket
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer ticket
+  /// Change signal for pop_wait (bumped by push and close); not a size.
+  alignas(64) std::atomic<std::uint64_t> version_{0};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace eccm0::sim

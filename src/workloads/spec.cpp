@@ -207,11 +207,22 @@ void load_prime_wide_input(armvm::Memory& mem,
   }
 }
 
+ReplayImages ReplayImages::resolve(const WorkloadSpec& spec) {
+  return ReplayImages{kernel(spec.mul_kernel), kernel(spec.sqr_kernel),
+                      kernel(spec.inv_kernel)};
+}
+
 ReplayResult replay(const WorkloadSpec& spec, armvm::Cpu::DecodeMode mode,
                     const armvm::MemModelConfig& mem_model, unsigned reps) {
-  KernelMachine mul(spec.mul_kernel, mode, mem_model);
-  KernelMachine sqr(spec.sqr_kernel, mode, mem_model);
-  KernelMachine inv(spec.inv_kernel, mode, mem_model);
+  return replay(spec, ReplayImages::resolve(spec), mode, mem_model, reps);
+}
+
+ReplayResult replay(const WorkloadSpec& spec, const ReplayImages& images,
+                    armvm::Cpu::DecodeMode mode,
+                    const armvm::MemModelConfig& mem_model, unsigned reps) {
+  KernelMachine mul(images.mul, mode, mem_model);
+  KernelMachine sqr(images.sqr, mode, mem_model);
+  KernelMachine inv(images.inv, mode, mem_model);
 
   unsigned out_words = 8;
   std::uint32_t mul_out_off = asmkernels::kVOff;

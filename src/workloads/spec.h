@@ -110,10 +110,27 @@ struct ReplayResult {
   std::uint64_t fused_retired = 0;
 };
 
+/// A spec's three kernel images, pre-resolved from the KernelRegistry.
+/// This is the per-worker registry shard of the serve front-end: each
+/// service worker resolves the images it needs once, so the request hot
+/// path never takes the registry mutex, and every replay over the same
+/// shard shares the same immutable Program images.
+struct ReplayImages {
+  armvm::ProgramRef mul, sqr, inv;
+  static ReplayImages resolve(const WorkloadSpec& spec);
+};
+
 /// Run the spec's field-op mix as one VM workload (mul/sqr/inv kernel
 /// calls in mix order), `reps` times. Deterministic: same spec, mode
 /// and mem model give bit-identical stats and digest.
 ReplayResult replay(const WorkloadSpec& spec, armvm::Cpu::DecodeMode mode,
+                    const armvm::MemModelConfig& mem_model = {},
+                    unsigned reps = 1);
+
+/// replay() over pre-resolved images — bit-identical to the registry
+/// path by construction (the registry hands out the same ProgramRefs).
+ReplayResult replay(const WorkloadSpec& spec, const ReplayImages& images,
+                    armvm::Cpu::DecodeMode mode,
                     const armvm::MemModelConfig& mem_model = {},
                     unsigned reps = 1);
 

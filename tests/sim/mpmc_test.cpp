@@ -1,0 +1,185 @@
+// MpmcQueue invariants: capacity rounding, bounded full/empty behavior,
+// FIFO per producer, no lost or duplicated items under multi-producer/
+// multi-consumer stress, and close() waking blocked consumers. The
+// stress tests are the TSan targets for the serve queue (ci.yml runs
+// this binary under -fsanitize=thread).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "sim/mpmc_queue.h"
+
+namespace eccm0::sim {
+namespace {
+
+TEST(MpmcQueue, CapacityRoundsUpToPowerOfTwoMinimumTwo) {
+  // Minimum 2: a 1-cell ring cannot tell "pushed, unconsumed" (count
+  // pos+1) apart from "ready for the next producer ticket" (pos+cap).
+  EXPECT_EQ(MpmcQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpmcQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpmcQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpmcQueue<int>(64).capacity(), 64u);
+  EXPECT_EQ(MpmcQueue<int>(65).capacity(), 128u);
+}
+
+TEST(MpmcQueue, EmptyPopFailsFullPushFails) {
+  MpmcQueue<int> q(4);
+  int v = -1;
+  EXPECT_FALSE(q.try_pop(v));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99)) << "queue at capacity must refuse";
+  EXPECT_EQ(q.size_approx(), 4u);
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(q.try_push(4)) << "pop must free a slot";
+}
+
+// Regression: on the smallest ring, a push into the slot just freed by
+// a pop must not overwrite the still-unconsumed neighbor (the failure
+// mode that forced the minimum capacity to 2).
+TEST(MpmcQueue, SmallestRingInterleavedPushPop) {
+  MpmcQueue<int> q(1);
+  int v = -1;
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(q.try_push(3 * round));
+    ASSERT_TRUE(q.try_pop(v));
+    ASSERT_EQ(v, 3 * round);
+    ASSERT_TRUE(q.try_push(3 * round + 1));
+    ASSERT_TRUE(q.try_push(3 * round + 2));
+    ASSERT_FALSE(q.try_push(-1)) << "capacity 2 must refuse a third";
+    ASSERT_TRUE(q.try_pop(v));
+    ASSERT_EQ(v, 3 * round + 1);
+    ASSERT_TRUE(q.try_pop(v));
+    ASSERT_EQ(v, 3 * round + 2);
+    ASSERT_FALSE(q.try_pop(v));
+  }
+}
+
+TEST(MpmcQueue, SerialFifo) {
+  MpmcQueue<int> q(8);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(round * 8 + i));
+    for (int i = 0; i < 8; ++i) {
+      int v = -1;
+      EXPECT_TRUE(q.try_pop(v));
+      EXPECT_EQ(v, round * 8 + i);
+    }
+  }
+}
+
+// Each producer pushes an increasing sequence tagged with its id; a
+// single consumer must see every producer's items in their push order.
+TEST(MpmcQueue, FifoPerProducer) {
+  constexpr unsigned kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 5000;
+  MpmcQueue<std::uint64_t> q(64);
+
+  std::vector<std::thread> producers;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t item = (std::uint64_t{p} << 32) | i;
+        while (!q.try_push(item)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::uint64_t> next(kProducers, 0);
+  for (std::uint64_t seen = 0; seen < kProducers * kPerProducer; ++seen) {
+    std::uint64_t item = 0;
+    while (!q.try_pop(item)) std::this_thread::yield();
+    const unsigned p = static_cast<unsigned>(item >> 32);
+    const std::uint64_t seq = item & 0xFFFFFFFFu;
+    ASSERT_LT(p, kProducers);
+    EXPECT_EQ(seq, next[p]) << "producer " << p << " reordered";
+    next[p] = seq + 1;
+  }
+  for (std::thread& t : producers) t.join();
+  std::uint64_t leftover;
+  EXPECT_FALSE(q.try_pop(leftover));
+}
+
+// Full MPMC stress through pop_wait: every pushed item arrives at
+// exactly one consumer — nothing lost, nothing duplicated.
+TEST(MpmcQueue, MpmcStressNoLossNoDuplication) {
+  constexpr unsigned kProducers = 4;
+  constexpr unsigned kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = 4000;
+  constexpr std::uint64_t kTotal = kProducers * kPerProducer;
+  MpmcQueue<std::uint64_t> q(32);
+
+  std::vector<std::vector<std::uint64_t>> received(kConsumers);
+  std::vector<std::thread> consumers;
+  for (unsigned c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&q, &received, c] {
+      std::uint64_t item;
+      while (q.pop_wait(item)) received[c].push_back(item);
+    });
+  }
+  std::vector<std::thread> producers;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        while (!q.try_push((std::uint64_t{p} << 32) | i)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  q.close();
+  for (std::thread& t : consumers) t.join();
+
+  std::vector<std::uint64_t> all;
+  for (const auto& r : received) all.insert(all.end(), r.begin(), r.end());
+  ASSERT_EQ(all.size(), kTotal);
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end())
+      << "duplicated item";
+  // Sorted and unique with the right count == exactly the pushed set.
+  for (unsigned p = 0; p < kProducers; ++p) {
+    for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+      EXPECT_EQ(all[p * kPerProducer + i], (std::uint64_t{p} << 32) | i);
+    }
+  }
+}
+
+TEST(MpmcQueue, CloseWakesBlockedConsumers) {
+  MpmcQueue<int> q(4);
+  std::atomic<int> done{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&q, &done] {
+      int v;
+      while (q.pop_wait(v)) {
+      }
+      done.fetch_add(1);
+    });
+  }
+  // Give the consumers a moment to block in pop_wait, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(done.load(), 3);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(MpmcQueue, CloseDrainsRemainingItems) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(i));
+  q.close();
+  int v = -1;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.pop_wait(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.pop_wait(v)) << "closed and drained must report false";
+}
+
+}  // namespace
+}  // namespace eccm0::sim
