@@ -40,6 +40,13 @@ std::uint64_t param_u64(const telemetry::Json& params, const char* key,
     throw OpError{wire::ErrorCode::kBadParam,
                   std::string("param '") + key + "' must be a number"};
   }
+  // as_u64 is strtoull underneath, which wraps "-1" to 2^64-1 — a
+  // negative count must be a typed rejection, not a 10^19 work order.
+  if (!v->token().empty() && v->token()[0] == '-') {
+    throw OpError{wire::ErrorCode::kBadParam,
+                  std::string("param '") + key +
+                      "' must be a non-negative integer"};
+  }
   return v->as_u64();
 }
 
@@ -336,9 +343,16 @@ void Server::start() {
 }
 
 void Server::stop() {
-  if (stopped_.exchange(true)) return;
   stop_requested_.store(true, std::memory_order_release);
   running_.store(false, std::memory_order_release);
+
+  // Serialize the teardown itself: a second concurrent caller (e.g.
+  // the destructor racing a wait() thread) must block until the first
+  // stop() has finished joining, not return into member destruction
+  // while threads are still live.
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
 
   // The acceptor may be blocked in ::accept on this fd; shutdown wakes
   // it. The exchange keeps the fd value itself race-free with the
@@ -351,7 +365,10 @@ void Server::stop() {
   if (acceptor_.joinable()) acceptor_.join();
 
   // Closing the queue lets workers drain what is already admitted and
-  // then exit; jobs in flight still get their responses.
+  // then exit; jobs in flight still get their responses. try_push fails
+  // once the queue is closed, so a session racing this close gets a
+  // failed push and answers `shutting_down` itself — no admitted job is
+  // ever destroyed unanswered.
   queue_.close();
   if (pool_.joinable()) pool_.join();
 
@@ -519,7 +536,12 @@ telemetry::Json Server::handle(WorkerState& state, const Job& job) {
       faultsim::CampaignConfig cfg;
       cfg.curve = param_str(req.params, "curve", cfg.curve);
       cfg.seed = param_u64(req.params, "seed", cfg.seed);
-      cfg.runs_per_model = param_u64(req.params, "runs", 50);
+      const std::uint64_t runs = param_u64(req.params, "runs", 50);
+      if (runs == 0 || runs > 1000) {
+        throw OpError{wire::ErrorCode::kBadParam,
+                      "param 'runs' must be in [1, 1000]"};
+      }
+      cfg.runs_per_model = runs;
       cfg.threads = 1;  // the serve workers are the parallelism
       cfg.engine = config_.engine;
       return campaign_payload(faultsim::run_kp_campaign(cfg));
@@ -528,7 +550,12 @@ telemetry::Json Server::handle(WorkerState& state, const Job& job) {
       faultsim::MemCampaignConfig cfg;
       cfg.curve = param_str(req.params, "curve", cfg.curve);
       cfg.seed = param_u64(req.params, "seed", cfg.seed);
-      cfg.runs_per_cell = param_u64(req.params, "runs", 20);
+      const std::uint64_t runs = param_u64(req.params, "runs", 20);
+      if (runs == 0 || runs > 1000) {
+        throw OpError{wire::ErrorCode::kBadParam,
+                      "param 'runs' must be in [1, 1000]"};
+      }
+      cfg.runs_per_cell = runs;
       cfg.threads = 1;
       cfg.engine = config_.engine;
       return mem_campaign_payload(faultsim::run_mem_campaign(cfg));
@@ -537,11 +564,12 @@ telemetry::Json Server::handle(WorkerState& state, const Job& job) {
       sca::CtConfig cfg;
       cfg.kernel = param_str(req.params, "kernel", cfg.kernel);
       cfg.seed = param_u64(req.params, "seed", cfg.seed);
-      cfg.runs = static_cast<unsigned>(param_u64(req.params, "runs", cfg.runs));
-      if (cfg.runs < 2) {
+      const std::uint64_t runs = param_u64(req.params, "runs", cfg.runs);
+      if (runs < 2 || runs > 1000) {
         throw OpError{wire::ErrorCode::kBadParam,
-                      "param 'runs' must be >= 2"};
+                      "param 'runs' must be in [2, 1000]"};
       }
+      cfg.runs = static_cast<unsigned>(runs);
       cfg.engine = config_.engine;
       return ct_payload(sca::check_kernel_constant_trace(cfg));
     }

@@ -82,9 +82,11 @@ class Server {
   /// Throws std::runtime_error if the socket cannot be opened.
   void start();
 
-  /// Drain and tear everything down (idempotent): stop accepting, close
-  /// the queue (queued jobs still get answered), join workers, then
-  /// sessions. Safe to call from any thread except a session/worker.
+  /// Drain and tear everything down (idempotent, also under concurrent
+  /// callers: later callers block until the first teardown finishes):
+  /// stop accepting, close the queue (queued jobs still get answered),
+  /// join workers, then sessions. Safe to call from any thread except
+  /// a session/worker.
   void stop();
 
   /// Block until a `shutdown` request (or stop()) arrives, then stop().
@@ -144,7 +146,9 @@ class Server {
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-  std::atomic<bool> stopped_{false};
+  /// Guards the teardown in stop(); stopped_ is written under it.
+  std::mutex stop_mu_;
+  bool stopped_ = false;
 
   std::thread acceptor_;
   std::thread pool_;

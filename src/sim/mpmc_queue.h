@@ -20,11 +20,16 @@
 //   * pop_wait blocks on a C++20 atomic wait (no spinning) until an
 //     item arrives or close() is called; after close the queue drains
 //     remaining items before reporting exhaustion.
+//   * close() is a barrier for producers: a try_push that starts after
+//     close fails, and every try_push that returned true is guaranteed
+//     to be drained by pop_wait before it reports exhaustion — no
+//     admitted item is ever silently destroyed with the queue.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <utility>
 
 namespace eccm0::sim {
@@ -57,8 +62,16 @@ class MpmcQueue {
     return t >= h ? t - h : 0;
   }
 
-  /// False when the queue is full (never blocks).
+  /// False when the queue is full or closed (never blocks). The
+  /// pending_ bracket around the ticket claim is what lets close()
+  /// promise "true means drained": a consumer in pop_wait's closed
+  /// path will not report exhaustion while any push is in flight.
   bool try_push(T v) {
+    pending_.fetch_add(1, std::memory_order_seq_cst);
+    if (closed_.load(std::memory_order_seq_cst)) {
+      pending_.fetch_sub(1, std::memory_order_release);
+      return false;
+    }
     Cell* cell;
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
@@ -72,6 +85,7 @@ class MpmcQueue {
           break;
         }
       } else if (dif < 0) {
+        pending_.fetch_sub(1, std::memory_order_release);
         return false;  // the cell still holds an unconsumed value: full
       } else {
         pos = tail_.load(std::memory_order_relaxed);
@@ -79,6 +93,7 @@ class MpmcQueue {
     }
     cell->value = std::move(v);
     cell->count.store(pos + 1, std::memory_order_release);
+    pending_.fetch_sub(1, std::memory_order_release);
     version_.fetch_add(1, std::memory_order_release);
     version_.notify_one();
     return true;
@@ -113,21 +128,40 @@ class MpmcQueue {
   /// and fully drained (false). Safe for any number of consumers.
   bool pop_wait(T& out) {
     for (;;) {
-      if (try_pop(out)) return true;
+      // Snapshot the version BEFORE attempting the pop: a push that
+      // completes between the failed try_pop and the wait then differs
+      // from `seen`, so wait() returns immediately instead of sleeping
+      // through the only notify (the lost-wakeup race).
       const std::uint64_t seen = version_.load(std::memory_order_acquire);
-      if (closed_.load(std::memory_order_acquire)) {
-        // A push may have raced the close; drain it before giving up.
-        return try_pop(out);
+      if (try_pop(out)) return true;
+      if (closed_.load(std::memory_order_seq_cst)) {
+        // Drain path: a producer that claimed its ticket before close
+        // may not have published its cell yet, and one mid-try_push may
+        // not even have claimed. Report exhaustion only once no push is
+        // in flight (pending_ == 0) and every claimed ticket has been
+        // consumed (head_ == tail_) — otherwise spin until the racing
+        // item becomes poppable (shutdown-only path, never hot).
+        for (;;) {
+          if (try_pop(out)) return true;
+          if (pending_.load(std::memory_order_seq_cst) == 0 &&
+              head_.load(std::memory_order_seq_cst) ==
+                  tail_.load(std::memory_order_seq_cst)) {
+            return false;
+          }
+          std::this_thread::yield();
+        }
       }
       version_.wait(seen, std::memory_order_acquire);
     }
   }
 
   /// Wake every pop_wait; subsequent pop_wait calls drain what is left
-  /// and then return false. Pushes after close still succeed (the
-  /// server rejects new work upstream of the queue).
+  /// and then return false. Pushes that start after close fail, so a
+  /// producer observing try_push == false on a closed queue knows its
+  /// item was rejected, and a producer that got true knows a consumer
+  /// will drain it.
   void close() {
-    closed_.store(true, std::memory_order_release);
+    closed_.store(true, std::memory_order_seq_cst);
     version_.fetch_add(1, std::memory_order_release);
     version_.notify_all();
   }
@@ -146,6 +180,9 @@ class MpmcQueue {
   alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer ticket
   /// Change signal for pop_wait (bumped by push and close); not a size.
   alignas(64) std::atomic<std::uint64_t> version_{0};
+  /// Producers currently inside try_push (between entry and their
+  /// publish/abort); pop_wait's closed drain waits for it to hit zero.
+  std::atomic<std::size_t> pending_{0};
   std::atomic<bool> closed_{false};
 };
 

@@ -234,6 +234,21 @@ TEST(Server, TypedErrorsComeBackOnTheSameConnection) {
   EXPECT_FALSE(resp.get("ok")->as_bool());
   EXPECT_EQ(resp.get("error")->get("code")->as_string(), "bad_param");
 
+  // A negative count must be a typed rejection, not a strtoull wrap to
+  // 2^64-1 that occupies a worker forever and wedges shutdown.
+  resp = client.call_raw(
+      "{\"schema\":\"eccm0.req.v1\",\"id\":6,\"op\":\"campaign\","
+      "\"params\":{\"runs\":-1}}");
+  EXPECT_FALSE(resp.get("ok")->as_bool());
+  EXPECT_EQ(resp.get("error")->get("code")->as_string(), "bad_param");
+
+  // Campaign-style run counts are bounded like reps/calls/ms.
+  resp = client.call_raw(
+      "{\"schema\":\"eccm0.req.v1\",\"id\":7,\"op\":\"sca\","
+      "\"params\":{\"runs\":100000}}");
+  EXPECT_FALSE(resp.get("ok")->as_bool());
+  EXPECT_EQ(resp.get("error")->get("code")->as_string(), "bad_param");
+
   // And the connection still serves good requests after all of that.
   resp = client.call("ping", telemetry::Json::object());
   EXPECT_TRUE(resp.get("ok")->as_bool());

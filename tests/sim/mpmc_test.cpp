@@ -181,5 +181,42 @@ TEST(MpmcQueue, CloseDrainsRemainingItems) {
   EXPECT_FALSE(q.pop_wait(v)) << "closed and drained must report false";
 }
 
+// close() is the producer barrier: a push that starts after close must
+// fail (so the server's session thread can answer `shutting_down`),
+// while items admitted before close are still drained.
+TEST(MpmcQueue, PushAfterCloseFails) {
+  MpmcQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(7));
+  q.close();
+  EXPECT_FALSE(q.try_push(8)) << "closed queue must reject new work";
+  int v = -1;
+  EXPECT_TRUE(q.pop_wait(v)) << "pre-close item must still drain";
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(q.pop_wait(v));
+}
+
+// Regression for the pop_wait lost-wakeup race: with exactly one
+// request outstanding at a time, a push that lands between the
+// consumer's failed try_pop and its version wait must still wake it.
+// Before the fix (version snapshot taken AFTER the failed pop), the
+// consumer could sleep through the only notify and this test would
+// hang: the producer never pushes again until the item is consumed.
+TEST(MpmcQueue, SingleOutstandingHandoffNeverLosesWakeup) {
+  MpmcQueue<int> q(2);
+  constexpr int kRounds = 5000;
+  std::atomic<int> popped{0};
+  std::thread consumer([&q, &popped] {
+    int v;
+    while (q.pop_wait(v)) popped.fetch_add(1);
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    ASSERT_TRUE(q.try_push(i));
+    while (popped.load() <= i) std::this_thread::yield();
+  }
+  q.close();
+  consumer.join();
+  EXPECT_EQ(popped.load(), kRounds);
+}
+
 }  // namespace
 }  // namespace eccm0::sim
